@@ -1,0 +1,179 @@
+// Shared helpers for the reproduction benches: aligned table printing,
+// growth-exponent fitting, and uniform engine runners.
+//
+// Each bench binary regenerates one table/figure of the paper (see
+// DESIGN.md). The metric is the paper's own (Definition 4.2): the size of
+// the largest relation an algorithm constructs, plus wall time on today's
+// hardware for context. Absolute 1988 numbers are not reproducible; the
+// shapes (who wins, growth exponents, crossovers) are the target.
+#ifndef SEPREC_BENCH_BENCH_UTIL_H_
+#define SEPREC_BENCH_BENCH_UTIL_H_
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/compiler.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace seprec {
+namespace bench {
+
+// ---- Table printing -------------------------------------------------------
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size(), 0);
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        if (row[c].size() > widths[c]) widths[c] = row[c].size();
+      }
+    }
+    auto print_row = [&widths](const std::vector<std::string>& row) {
+      std::string line = "  ";
+      for (size_t c = 0; c < row.size(); ++c) {
+        line += row[c];
+        if (c + 1 < row.size()) {
+          line.append(widths[c] - row[c].size() + 2, ' ');
+        }
+      }
+      std::puts(line.c_str());
+    };
+    print_row(headers_);
+    size_t total = 2;
+    for (size_t w : widths) total += w + 2;
+    std::puts(std::string(total, '-').c_str());
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline void Banner(const std::string& title) {
+  std::puts("");
+  std::puts(std::string(74, '=').c_str());
+  std::puts(title.c_str());
+  std::puts(std::string(74, '=').c_str());
+}
+
+inline void Note(const std::string& text) { std::puts(text.c_str()); }
+
+// ---- Fitting ---------------------------------------------------------------
+
+// Least-squares slope of log(y) against log(x): the growth exponent of a
+// polynomial series. Ignores non-positive values.
+inline double FitPolynomialExponent(const std::vector<double>& xs,
+                                    const std::vector<double>& ys) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  size_t n = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] <= 0 || ys[i] <= 0) continue;
+    double lx = std::log(xs[i]);
+    double ly = std::log(ys[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  double denom = n * sxx - sx * sx;
+  if (denom == 0) return 0.0;
+  return (n * sxy - sx * sy) / denom;
+}
+
+// Least-squares slope of log(y) against x: log2 of the base of an
+// exponential series (log2(y) ~ slope * x).
+inline double FitExponentialBaseLog2(const std::vector<double>& xs,
+                                     const std::vector<double>& ys) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  size_t n = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (ys[i] <= 0) continue;
+    double ly = std::log2(ys[i]);
+    sx += xs[i];
+    sy += ly;
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ly;
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  double denom = n * sxx - sx * sx;
+  if (denom == 0) return 0.0;
+  return (n * sxy - sx * sy) / denom;
+}
+
+inline std::string Fmt(double v) {
+  char buf[64];
+  if (v >= 100) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+  }
+  return buf;
+}
+
+inline std::string FmtSeconds(double s) {
+  char buf[64];
+  if (s < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", s * 1e6);
+  } else if (s < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", s);
+  }
+  return buf;
+}
+
+// ---- Engine runner -----------------------------------------------------------
+
+struct RunOutcome {
+  bool ok = false;
+  std::string failure;      // short status text when !ok
+  size_t answers = 0;
+  size_t max_relation = 0;  // the paper's metric
+  size_t total_tuples = 0;  // sum of constructed relation sizes
+  size_t iterations = 0;
+  double seconds = 0;
+  EvalStats stats;
+};
+
+// Runs `strategy` on (program, query, db) with an optional budget, timing
+// the whole call. The database is consumed (engines materialise into it).
+inline RunOutcome RunStrategy(const QueryProcessor& qp, const Atom& query,
+                              Database* db, Strategy strategy,
+                              const FixpointOptions& options = {}) {
+  RunOutcome out;
+  WallTimer timer;
+  StatusOr<QueryResult> result = qp.Answer(query, db, strategy, options);
+  out.seconds = timer.Seconds();
+  if (!result.ok()) {
+    out.failure = std::string(StatusCodeToString(result.status().code()));
+    return out;
+  }
+  out.ok = true;
+  out.answers = result->answer.size();
+  out.max_relation = result->stats.max_relation_size;
+  out.total_tuples = result->stats.TotalRelationSize();
+  out.iterations = result->stats.iterations;
+  out.stats = result->stats;
+  return out;
+}
+
+}  // namespace bench
+}  // namespace seprec
+
+#endif  // SEPREC_BENCH_BENCH_UTIL_H_

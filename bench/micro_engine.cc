@@ -1,0 +1,142 @@
+// Experiment E10: google-benchmark micro suite for the engine primitives —
+// tuple storage, index probes, rule-plan execution, fixpoints, the
+// Separable schema, the Magic rewrite, and separability detection.
+#include <benchmark/benchmark.h>
+
+#include "core/compiler.h"
+#include "datalog/parser.h"
+#include "eval/fixpoint.h"
+#include "eval/join_plan.h"
+#include "gen/generators.h"
+#include "gen/workloads.h"
+#include "magic/magic_transform.h"
+#include "separable/detection.h"
+#include "util/rng.h"
+
+namespace seprec {
+namespace {
+
+void BM_RelationInsert(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    Relation rel("r", 2);
+    for (size_t i = 0; i < n; ++i) {
+      rel.Insert({Value::Int(static_cast<int64_t>(i % 512)),
+                  Value::Int(static_cast<int64_t>(i))});
+    }
+    benchmark::DoNotOptimize(rel.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_RelationInsert)->Arg(1000)->Arg(10000);
+
+void BM_IndexProbe(benchmark::State& state) {
+  Relation rel("r", 2);
+  Rng rng(7);
+  for (size_t i = 0; i < 10000; ++i) {
+    rel.Insert({Value::Int(static_cast<int64_t>(rng.Below(512))),
+                Value::Int(static_cast<int64_t>(i))});
+  }
+  const Index& index = rel.GetIndex({0});
+  Rng probe_rng(13);
+  size_t hits = 0;
+  for (auto _ : state) {
+    Value key[1] = {Value::Int(static_cast<int64_t>(probe_rng.Below(512)))};
+    index.ForEach(Row(key, 1), [&hits](uint32_t) { ++hits; });
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IndexProbe);
+
+void BM_JoinPlanTwoHop(benchmark::State& state) {
+  Database db;
+  MakeRandomGraph(&db, "e", "v", 300, 1500, 3);
+  Program p = ParseProgramOrDie("h(X, Z) :- e(X, Y), e(Y, Z).");
+  StatusOr<RulePlan> plan = RulePlan::Compile(p.rules[0], &db);
+  SEPREC_CHECK(plan.ok());
+  for (auto _ : state) {
+    Relation out("out", 2);
+    benchmark::DoNotOptimize(plan->ExecuteInto(&out));
+  }
+}
+BENCHMARK(BM_JoinPlanTwoHop);
+
+void BM_SemiNaiveTcChain(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Program tc = TransitiveClosureProgram();
+  for (auto _ : state) {
+    Database db;
+    MakeChain(&db, "edge", "v", n);
+    Status status = EvaluateSemiNaive(tc, &db);
+    SEPREC_CHECK(status.ok());
+    benchmark::DoNotOptimize(db.Find("tc")->size());
+  }
+}
+BENCHMARK(BM_SemiNaiveTcChain)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_SeparableExample11(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  StatusOr<QueryProcessor> qp = QueryProcessor::Create(Example11Program());
+  SEPREC_CHECK(qp.ok());
+  Atom query = FirstColumnQuery("buys", 2, "a0");
+  for (auto _ : state) {
+    Database db;
+    MakeExample11Data(&db, n);
+    auto result = qp->Answer(query, &db, Strategy::kSeparable);
+    SEPREC_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->answer.size());
+  }
+}
+BENCHMARK(BM_SeparableExample11)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_MagicExample11(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  StatusOr<QueryProcessor> qp = QueryProcessor::Create(Example11Program());
+  SEPREC_CHECK(qp.ok());
+  Atom query = FirstColumnQuery("buys", 2, "a0");
+  for (auto _ : state) {
+    Database db;
+    MakeExample11Data(&db, n);
+    auto result = qp->Answer(query, &db, Strategy::kMagic);
+    SEPREC_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->answer.size());
+  }
+}
+BENCHMARK(BM_MagicExample11)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_DetectSeparable(benchmark::State& state) {
+  Program p = Example12Program();
+  for (auto _ : state) {
+    auto sep = AnalyzeSeparable(p, "buys");
+    SEPREC_CHECK(sep.ok());
+    benchmark::DoNotOptimize(sep->classes.size());
+  }
+}
+BENCHMARK(BM_DetectSeparable);
+
+void BM_MagicRewriteOnly(benchmark::State& state) {
+  Program p = Example12Program();
+  Atom query = ParseAtomOrDie("buys(tom, Y)");
+  for (auto _ : state) {
+    auto rewrite = MagicTransform(p, query);
+    SEPREC_CHECK(rewrite.ok());
+    benchmark::DoNotOptimize(rewrite->program.rules.size());
+  }
+}
+BENCHMARK(BM_MagicRewriteOnly);
+
+void BM_ParseExample(benchmark::State& state) {
+  const std::string text = Example12Program().ToString();
+  for (auto _ : state) {
+    auto p = ParseProgram(text);
+    SEPREC_CHECK(p.ok());
+    benchmark::DoNotOptimize(p->rules.size());
+  }
+}
+BENCHMARK(BM_ParseExample);
+
+}  // namespace
+}  // namespace seprec
+
+BENCHMARK_MAIN();

@@ -1,0 +1,229 @@
+// An interactive Datalog shell over the library: type facts and rules to
+// extend the program, queries to evaluate them. The processor re-analyses
+// after each definition and reports which algorithm each query uses.
+//
+// Usage:
+//   datalog_repl [program.dl ...]     load files, then read stdin
+//
+// Commands:
+//   fact.               add a fact            e.g.  edge(a, b).
+//   head :- body.       add a rule            e.g.  tc(X,Y) :- edge(X,Y).
+//   atom?  /  ?- atom.  run a query           e.g.  tc(a, Y)?
+//   .explain atom       show the strategy and its rewrite/schema artifact
+//   .why fact           derivation tree for a ground fact, e.g.
+//                       .why tc(a, c)   (evaluate the predicate first)
+//   .program            list the current rules
+//   .relations          list materialised relations
+//   .load REL FILE      load tab-separated facts into relation REL
+//   .save REL FILE      save relation REL as a tab-separated file
+//   .strategy NAME      force auto|separable|magic|counting|qsqr|seminaive|naive
+//   .quit               exit
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/compiler.h"
+#include "core/provenance.h"
+#include "datalog/parser.h"
+#include "separable/engine.h"
+#include "storage/io.h"
+#include "util/string_util.h"
+
+namespace seprec {
+namespace {
+
+class Shell {
+ public:
+  int RunFile(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    Feed(text.str());
+    return 0;
+  }
+
+  void RunStdin() {
+    std::string line;
+    std::printf("seprec datalog shell — '.quit' to exit\n> ");
+    std::fflush(stdout);
+    while (std::getline(std::cin, line)) {
+      if (StripWhitespace(line) == ".quit") break;
+      Feed(line);
+      std::printf("> ");
+      std::fflush(stdout);
+    }
+  }
+
+ private:
+  void Feed(const std::string& text) {
+    std::string_view stripped = StripWhitespace(text);
+    if (stripped.empty()) return;
+    if (stripped[0] == '.') {
+      Command(std::string(stripped));
+      return;
+    }
+    StatusOr<ParsedUnit> unit = ParseUnit(stripped);
+    if (!unit.ok()) {
+      std::printf("parse error: %s\n", unit.status().ToString().c_str());
+      return;
+    }
+    if (!unit->program.rules.empty()) {
+      Program candidate = program_;
+      for (Rule& rule : unit->program.rules) {
+        candidate.rules.push_back(std::move(rule));
+      }
+      StatusOr<QueryProcessor> qp = QueryProcessor::Create(candidate);
+      if (!qp.ok()) {
+        std::printf("rejected: %s\n", qp.status().ToString().c_str());
+        return;
+      }
+      program_ = std::move(candidate);
+      processor_ = std::move(qp).value();
+      have_processor_ = true;
+    }
+    for (const Atom& query : unit->queries) {
+      Query(query);
+    }
+  }
+
+  void Query(const Atom& query) {
+    EnsureProcessor();
+    auto decision = processor_.Decide(query);
+    Strategy strategy = forced_.value_or(decision.strategy);
+    StatusOr<QueryResult> result = processor_.Answer(query, &db_, strategy);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      return;
+    }
+    for (const std::string& t : result->answer.ToStrings(db_.symbols())) {
+      std::printf("  %s%s\n", query.predicate.c_str(), t.c_str());
+    }
+    std::printf("%zu answer(s) via %s; largest relation %zu tuples\n",
+                result->answer.size(),
+                std::string(StrategyToString(result->strategy)).c_str(),
+                result->stats.max_relation_size);
+  }
+
+  void Command(const std::string& command) {
+    std::vector<std::string> parts = StrSplit(command, ' ');
+    if (parts[0] == ".program") {
+      std::printf("%s", program_.ToString().c_str());
+      return;
+    }
+    if (parts[0] == ".relations") {
+      for (const std::string& name : db_.RelationNames()) {
+        std::printf("  %s/%zu: %zu tuples\n", name.c_str(),
+                    db_.Find(name)->arity(), db_.Find(name)->size());
+      }
+      return;
+    }
+    if (parts[0] == ".strategy" && parts.size() >= 2) {
+      const std::string& name = parts[1];
+      if (name == "auto") {
+        forced_.reset();
+      } else if (name == "separable") {
+        forced_ = Strategy::kSeparable;
+      } else if (name == "magic") {
+        forced_ = Strategy::kMagic;
+      } else if (name == "counting") {
+        forced_ = Strategy::kCounting;
+      } else if (name == "qsqr") {
+        forced_ = Strategy::kQsqr;
+      } else if (name == "seminaive") {
+        forced_ = Strategy::kSemiNaive;
+      } else if (name == "naive") {
+        forced_ = Strategy::kNaive;
+      } else {
+        std::printf("unknown strategy '%s'\n", name.c_str());
+        return;
+      }
+      std::printf("strategy set to %s\n", name.c_str());
+      return;
+    }
+    if (parts[0] == ".explain" && parts.size() >= 2) {
+      std::string atom_text = command.substr(std::string(".explain ").size());
+      StatusOr<Atom> atom = ParseAtom(atom_text);
+      if (!atom.ok()) {
+        std::printf("parse error: %s\n", atom.status().ToString().c_str());
+        return;
+      }
+      EnsureProcessor();
+      auto explanation = processor_.Explain(*atom);
+      if (!explanation.ok()) {
+        std::printf("error: %s\n", explanation.status().ToString().c_str());
+        return;
+      }
+      std::printf("%s", explanation->c_str());
+      return;
+    }
+    if (parts[0] == ".why" && parts.size() >= 2) {
+      std::string atom_text = command.substr(std::string(".why ").size());
+      StatusOr<Atom> atom = ParseAtom(atom_text);
+      if (!atom.ok()) {
+        std::printf("parse error: %s\n", atom.status().ToString().c_str());
+        return;
+      }
+      auto node = ExplainTuple(program_, &db_, *atom);
+      if (!node.ok()) {
+        std::printf("error: %s\n", node.status().ToString().c_str());
+        return;
+      }
+      std::printf("%s", node->ToString().c_str());
+      return;
+    }
+    if (parts[0] == ".load" && parts.size() >= 3) {
+      auto added = LoadRelationTsvFile(&db_, parts[1], parts[2]);
+      if (!added.ok()) {
+        std::printf("error: %s\n", added.status().ToString().c_str());
+      } else {
+        std::printf("loaded %zu new tuple(s) into %s\n", *added,
+                    parts[1].c_str());
+      }
+      return;
+    }
+    if (parts[0] == ".save" && parts.size() >= 3) {
+      Status status = SaveRelationTsvFile(db_, parts[1], parts[2]);
+      if (!status.ok()) {
+        std::printf("error: %s\n", status.ToString().c_str());
+      } else {
+        std::printf("saved %s to %s\n", parts[1].c_str(), parts[2].c_str());
+      }
+      return;
+    }
+    std::printf("unknown command: %s\n", command.c_str());
+  }
+
+  void EnsureProcessor() {
+    if (!have_processor_) {
+      StatusOr<QueryProcessor> qp = QueryProcessor::Create(program_);
+      SEPREC_CHECK(qp.ok());
+      processor_ = std::move(qp).value();
+      have_processor_ = true;
+    }
+  }
+
+  Program program_;
+  Database db_;
+  QueryProcessor processor_ = *QueryProcessor::Create(Program{});
+  bool have_processor_ = false;
+  std::optional<Strategy> forced_;
+};
+
+}  // namespace
+}  // namespace seprec
+
+int main(int argc, char** argv) {
+  seprec::Shell shell;
+  for (int i = 1; i < argc; ++i) {
+    if (int rc = shell.RunFile(argv[i]); rc != 0) return rc;
+  }
+  if (argc > 1) return 0;
+  shell.RunStdin();
+  return 0;
+}

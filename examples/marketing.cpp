@@ -1,0 +1,83 @@
+// The paper's motivating scenario (Examples 1.1 and 1.2): who buys what in
+// a social network where purchases propagate along friend/idol edges and
+// down price chains. Runs the same query under all four evaluation
+// algorithms and prints the cost comparison of Section 4.
+#include <cstdio>
+
+#include "core/compiler.h"
+#include "datalog/parser.h"
+#include "gen/generators.h"
+#include "gen/workloads.h"
+#include "separable/engine.h"
+
+namespace {
+
+void PrintOutcome(const char* label, const seprec::StatusOr<seprec::QueryResult>& result,
+                  const seprec::Database& db) {
+  if (!result.ok()) {
+    std::printf("  %-10s FAILED: %s\n", label,
+                result.status().ToString().c_str());
+    return;
+  }
+  std::printf("  %-10s %3zu answers, largest relation %6zu tuples, %.2f ms\n",
+              label, result->answer.size(), result->stats.max_relation_size,
+              result->stats.seconds * 1e3);
+  (void)db;
+}
+
+}  // namespace
+
+int main() {
+  using namespace seprec;
+
+  std::printf("== Example 1.2: buys via friends, plus anything cheaper ==\n");
+  Program program = Example12Program();
+  std::printf("%s\n", program.ToString().c_str());
+
+  StatusOr<QueryProcessor> qp = QueryProcessor::Create(program);
+  SEPREC_CHECK(qp.ok());
+
+  // Show the structure the compiler detected.
+  const SeparableRecursion* sep = qp->FindSeparable("buys");
+  SEPREC_CHECK(sep != nullptr);
+  std::printf("%s\n", DescribeSeparable(*sep).c_str());
+
+  // The instantiated algorithm (the paper's Figure 4).
+  Atom query = ParseAtomOrDie("buys(a0, Y)");
+  auto schema = ExplainSchema(*sep, query);
+  SEPREC_CHECK(schema.ok());
+  std::printf("instantiated schema for %s:\n%s\n", query.ToString().c_str(),
+              schema->c_str());
+
+  const size_t n = 120;
+  std::printf("database: friend chain of %zu people, cheaper chain of %zu "
+              "products, one perfectFor link\n\n",
+              n, n);
+
+  for (Strategy strategy : {Strategy::kSeparable, Strategy::kMagic,
+                            Strategy::kSemiNaive, Strategy::kNaive}) {
+    Database db;
+    MakeExample12Data(&db, n);
+    auto result = qp->Answer(query, &db, strategy);
+    PrintOutcome(StrategyToString(strategy).data(), result, db);
+  }
+
+  std::printf("\n== Example 1.1: buys via friends and idols ==\n");
+  Program program11 = Example11Program();
+  StatusOr<QueryProcessor> qp11 = QueryProcessor::Create(program11);
+  SEPREC_CHECK(qp11.ok());
+  const size_t n11 = 16;
+  std::printf("database: friend = idol = chain of %zu (the Counting "
+              "worst case)\n\n", n11);
+  for (Strategy strategy : {Strategy::kSeparable, Strategy::kMagic,
+                            Strategy::kCounting}) {
+    Database db;
+    MakeExample11Data(&db, n11);
+    auto result = qp11->Answer(ParseAtomOrDie("buys(a0, Y)"), &db, strategy);
+    PrintOutcome(StrategyToString(strategy).data(), result, db);
+  }
+  std::printf("\nNote how Counting's relation count explodes (2^n paths) "
+              "while Separable stays at n tuples:\nthe class structure lets "
+              "each equivalence class be closed independently.\n");
+  return 0;
+}

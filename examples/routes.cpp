@@ -1,0 +1,106 @@
+// A logistics scenario exercising a 3-ary separable recursion with two
+// equivalence classes and a PARTIAL selection (the paper's Example 2.4
+// shape, Lemma 2.1 rewrite).
+//
+// shipment(Origin, Carrier, Dest) holds if a parcel starting at Origin
+// under Carrier can end up at Dest:
+//   * a handoff moves the parcel to a new (origin, carrier) pair;
+//   * a delivery leg extends the destination;
+//   * a base `contract` starts things off.
+//
+//   shipment(O, C, D) :- handoff(O, C, O2, C2) & shipment(O2, C2, D).
+//   shipment(O, C, D) :- shipment(O, C, D1) & leg(D1, D).
+//   shipment(O, C, D) :- contract(O, C, D).
+//
+// The query shipment(seattle, Carrier, Dest)? binds only half of the class
+// {Origin, Carrier}: a partial selection, evaluated as a union of full
+// selections.
+#include <cstdio>
+
+#include "core/compiler.h"
+#include "datalog/parser.h"
+#include "separable/engine.h"
+
+int main() {
+  using namespace seprec;
+
+  Program program = ParseProgramOrDie(R"(
+    % (origin, carrier) -> (origin', carrier') handoffs
+    handoff(seattle,  acme,  portland, acme).
+    handoff(portland, acme,  boise,    zephyr).
+    handoff(seattle,  rapid, denver,   rapid).
+    handoff(denver,   rapid, boise,    zephyr).
+
+    % destination extension legs
+    leg(omaha, chicago).
+    leg(chicago, nyc).
+
+    % base contracts
+    contract(boise, zephyr, omaha).
+    contract(denver, rapid, omaha).
+
+    shipment(O, C, D) :- handoff(O, C, O2, C2) & shipment(O2, C2, D).
+    shipment(O, C, D) :- shipment(O, C, D1) & leg(D1, D).
+    shipment(O, C, D) :- contract(O, C, D).
+  )");
+
+  StatusOr<QueryProcessor> qp = QueryProcessor::Create(program);
+  SEPREC_CHECK(qp.ok());
+
+  const SeparableRecursion* sep = qp->FindSeparable("shipment");
+  SEPREC_CHECK(sep != nullptr);
+  std::printf("%s\n", DescribeSeparable(*sep).c_str());
+
+  Database db;
+
+  // Full selection: both columns of class {0,1} bound.
+  {
+    Atom query = ParseAtomOrDie("shipment(seattle, acme, D)");
+    std::printf("full selection  %s  [%s]\n", query.ToString().c_str(),
+                qp->Decide(query).reason.c_str());
+    auto result = qp->Answer(query, &db);
+    SEPREC_CHECK(result.ok());
+    for (const std::string& t : result->answer.ToStrings(db.symbols())) {
+      std::printf("  shipment%s\n", t.c_str());
+    }
+  }
+
+  // Partial selection: only the origin is known -> Lemma 2.1 rewrite.
+  {
+    Atom query = ParseAtomOrDie("shipment(seattle, C, D)");
+    std::printf("\npartial selection  %s  [%s]\n", query.ToString().c_str(),
+                qp->Decide(query).reason.c_str());
+    auto result = qp->Answer(query, &db);
+    SEPREC_CHECK(result.ok());
+    for (const std::string& t : result->answer.ToStrings(db.symbols())) {
+      std::printf("  shipment%s\n", t.c_str());
+    }
+  }
+
+  // Persistent-column selection: who can deliver TO nyc?
+  {
+    Atom query = ParseAtomOrDie("shipment(O, C, nyc)");
+    std::printf("\ndestination selection  %s\n", query.ToString().c_str());
+    auto result = qp->Answer(query, &db);
+    SEPREC_CHECK(result.ok());
+    for (const std::string& t : result->answer.ToStrings(db.symbols())) {
+      std::printf("  shipment%s\n", t.c_str());
+    }
+  }
+
+  // Cross-check against plain semi-naive evaluation.
+  {
+    Database check_db;
+    Atom query = ParseAtomOrDie("shipment(seattle, C, D)");
+    auto separable = qp->Answer(query, &db);
+    auto reference = qp->Answer(query, &check_db, Strategy::kSemiNaive);
+    SEPREC_CHECK(separable.ok() && reference.ok());
+    // Compare renderings: the two databases intern symbols independently,
+    // so raw Values are not comparable across them.
+    SEPREC_CHECK(separable->answer.ToStrings(db.symbols()) ==
+                 reference->answer.ToStrings(check_db.symbols()));
+    std::printf("\ncross-check vs semi-naive: %zu answers agree\n",
+                separable->answer.size());
+  }
+  return 0;
+}

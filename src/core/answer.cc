@@ -1,0 +1,23 @@
+#include "core/answer.h"
+
+#include <algorithm>
+
+namespace seprec {
+
+std::vector<std::string> Answer::ToStrings(const SymbolTable& symbols) const {
+  std::vector<std::string> out;
+  out.reserve(tuples_.size());
+  for (const std::vector<Value>& tuple : tuples_) {
+    std::string line = "(";
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      if (i > 0) line += ", ";
+      line += symbols.ToString(tuple[i]);
+    }
+    line += ")";
+    out.push_back(std::move(line));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace seprec

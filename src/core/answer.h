@@ -1,0 +1,56 @@
+// Answer: the result set of a query — full-arity tuples of the query
+// predicate that match the query atom.
+#ifndef SEPREC_CORE_ANSWER_H_
+#define SEPREC_CORE_ANSWER_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "storage/relation.h"
+#include "storage/symbol_table.h"
+
+namespace seprec {
+
+class Answer {
+ public:
+  explicit Answer(size_t arity) : arity_(arity) {}
+
+  size_t arity() const { return arity_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  // Adds a tuple (deduplicated).
+  void Add(Row row) {
+    SEPREC_CHECK(row.size() == arity_);
+    tuples_.insert(std::vector<Value>(row.begin(), row.end()));
+  }
+
+  bool Contains(Row row) const {
+    return tuples_.count(std::vector<Value>(row.begin(), row.end())) > 0;
+  }
+
+  const std::set<std::vector<Value>>& tuples() const { return tuples_; }
+
+  // Sorted textual rendering "(a, b)" per tuple, for tests and tools.
+  std::vector<std::string> ToStrings(const SymbolTable& symbols) const;
+
+  // Equality compares raw Values, which is only meaningful when both
+  // answers were produced against the SAME Database (symbol ids are
+  // per-SymbolTable). To compare answers across databases, compare
+  // ToStrings() renderings instead.
+  friend bool operator==(const Answer& a, const Answer& b) {
+    return a.arity_ == b.arity_ && a.tuples_ == b.tuples_;
+  }
+  friend bool operator!=(const Answer& a, const Answer& b) {
+    return !(a == b);
+  }
+
+ private:
+  size_t arity_;
+  std::set<std::vector<Value>> tuples_;
+};
+
+}  // namespace seprec
+
+#endif  // SEPREC_CORE_ANSWER_H_

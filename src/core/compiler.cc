@@ -1,0 +1,250 @@
+#include "core/compiler.h"
+
+#include "core/query.h"
+#include "counting/engine.h"
+#include "eval/qsq.h"
+#include "magic/engine.h"
+#include "separable/engine.h"
+#include "separable/rewrite.h"
+#include "util/string_util.h"
+
+namespace seprec {
+
+std::string_view StrategyToString(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kAuto: return "auto";
+    case Strategy::kSeparable: return "separable";
+    case Strategy::kMagic: return "magic";
+    case Strategy::kCounting: return "counting";
+    case Strategy::kQsqr: return "qsqr";
+    case Strategy::kSemiNaive: return "seminaive";
+    case Strategy::kNaive: return "naive";
+  }
+  return "?";
+}
+
+StatusOr<QueryProcessor> QueryProcessor::Create(
+    Program program, const ProcessorOptions& options) {
+  QueryProcessor qp;
+  SEPREC_ASSIGN_OR_RETURN(qp.info_, ProgramInfo::Analyze(program));
+  for (const auto& [name, pred] : qp.info_.predicates()) {
+    if (!pred.is_idb || !pred.is_recursive) continue;
+    StatusOr<SeparableRecursion> sep =
+        AnalyzeSeparable(qp.info_.program(), name, options.separability);
+    if (sep.ok()) {
+      qp.separable_.emplace(name, std::move(sep).value());
+    } else {
+      qp.not_separable_reason_.emplace(name, sep.status().message());
+    }
+  }
+  return qp;
+}
+
+const SeparableRecursion* QueryProcessor::FindSeparable(
+    std::string_view predicate) const {
+  auto it = separable_.find(std::string(predicate));
+  return it == separable_.end() ? nullptr : &it->second;
+}
+
+std::string QueryProcessor::SeparabilityFailure(
+    std::string_view predicate) const {
+  auto it = not_separable_reason_.find(std::string(predicate));
+  return it == not_separable_reason_.end() ? "" : it->second;
+}
+
+QueryProcessor::Decision QueryProcessor::Decide(const Atom& query) const {
+  Decision decision;
+  const PredicateInfo* pred = info_.Find(query.predicate);
+  if (pred == nullptr || !pred->is_idb) {
+    decision.strategy = Strategy::kSemiNaive;
+    decision.reason = "base (EDB) predicate: direct selection";
+    return decision;
+  }
+  if (!pred->is_recursive) {
+    decision.strategy = Strategy::kSemiNaive;
+    decision.reason = "non-recursive IDB predicate";
+    return decision;
+  }
+  if (NumBoundPositions(query) == 0) {
+    decision.strategy = Strategy::kSemiNaive;
+    decision.reason = "no selection constants to exploit";
+    return decision;
+  }
+  for (const Rule* rule : info_.program().RulesFor(query.predicate)) {
+    if (rule->aggregate.has_value()) {
+      decision.strategy = Strategy::kSemiNaive;
+      decision.reason = "aggregate-defined predicate";
+      return decision;
+    }
+  }
+  const SeparableRecursion* sep = FindSeparable(query.predicate);
+  if (sep != nullptr) {
+    decision.strategy = Strategy::kSeparable;
+    SelectionKind kind = ClassifySelection(*sep, query);
+    decision.reason =
+        kind == SelectionKind::kFull
+            ? "separable recursion, full selection"
+            : "separable recursion, partial selection (Lemma 2.1 rewrite)";
+    return decision;
+  }
+  decision.strategy = Strategy::kMagic;
+  decision.reason =
+      StrCat("not separable (", SeparabilityFailure(query.predicate),
+             "); falling back to Generalized Magic Sets");
+  return decision;
+}
+
+StatusOr<std::string> QueryProcessor::Explain(const Atom& query) const {
+  Decision decision = Decide(query);
+  std::string out =
+      StrCat("query    : ", query.ToString(), "\n",
+             "strategy : ", StrategyToString(decision.strategy), "\n",
+             "reason   : ", decision.reason, "\n\n");
+  switch (decision.strategy) {
+    case Strategy::kSeparable: {
+      const SeparableRecursion* sep = FindSeparable(query.predicate);
+      SEPREC_CHECK(sep != nullptr);
+      out += DescribeSeparable(*sep);
+      if (ClassifySelection(*sep, query) == SelectionKind::kFull) {
+        SEPREC_ASSIGN_OR_RETURN(std::string schema,
+                                ExplainSchema(*sep, query));
+        out += StrCat("\ninstantiated schema (Figure 2):\n", schema);
+      } else {
+        out +=
+            "\npartial selection: evaluated as a union of full selections. "
+            "The Lemma 2.1 rewrite:\n";
+        SEPREC_ASSIGN_OR_RETURN(
+            PartialRewrite rewrite,
+            RewritePartialSelection(info_.program(), *sep, query));
+        out += rewrite.program.ToString();
+      }
+      return out;
+    }
+    case Strategy::kMagic: {
+      SEPREC_ASSIGN_OR_RETURN(MagicRewrite rewrite,
+                              MagicTransform(info_.program(), query));
+      out += StrCat("rewritten program (Generalized Magic Sets):\n",
+                    rewrite.program.ToString());
+      return out;
+    }
+    case Strategy::kCounting: {
+      SEPREC_ASSIGN_OR_RETURN(CountingRewrite rewrite,
+                              CountingTransform(info_.program(), query));
+      out += StrCat("rewritten program (Generalized Counting):\n",
+                    rewrite.program.ToString());
+      return out;
+    }
+    default: {
+      const PredicateInfo* pred = info_.Find(query.predicate);
+      if (pred == nullptr || !pred->is_idb) {
+        out += "direct selection on a base relation.\n";
+        return out;
+      }
+      std::set<std::string> wanted = info_.DependenciesOf(query.predicate);
+      wanted.insert(query.predicate);
+      out += "rules evaluated bottom-up (semi-naive):\n";
+      for (const Rule& rule : info_.program().rules) {
+        if (wanted.count(rule.head.predicate)) {
+          out += StrCat("  ", rule.ToString(), "\n");
+        }
+      }
+      return out;
+    }
+  }
+}
+
+StatusOr<QueryResult> QueryProcessor::Answer(
+    const Atom& query, Database* db, Strategy strategy,
+    const FixpointOptions& options) const {
+  const PredicateInfo* pred = info_.Find(query.predicate);
+  if (pred != nullptr && pred->arity != query.arity()) {
+    return InvalidArgumentError(
+        StrCat("query arity ", query.arity(), " does not match '",
+               query.predicate, "'/", pred->arity));
+  }
+
+  QueryResult result;
+  result.answer = seprec::Answer(query.arity());
+  if (strategy == Strategy::kAuto) {
+    Decision decision = Decide(query);
+    result.strategy = decision.strategy;
+    result.reason = decision.reason;
+  } else {
+    result.strategy = strategy;
+    result.reason = "forced by caller";
+  }
+
+  switch (result.strategy) {
+    case Strategy::kSeparable: {
+      const SeparableRecursion* sep = FindSeparable(query.predicate);
+      if (sep == nullptr) {
+        return FailedPreconditionError(
+            StrCat("'", query.predicate, "' is not a separable recursion: ",
+                   SeparabilityFailure(query.predicate)));
+      }
+      SEPREC_ASSIGN_OR_RETURN(
+          SeparableRunResult run,
+          EvaluateWithSeparable(info_.program(), *sep, query, db, options));
+      result.answer = std::move(run.answer);
+      result.stats = std::move(run.stats);
+      return result;
+    }
+    case Strategy::kMagic: {
+      SEPREC_ASSIGN_OR_RETURN(
+          MagicRunResult run,
+          EvaluateWithMagic(info_.program(), query, db, options));
+      result.answer = std::move(run.answer);
+      result.stats = std::move(run.stats);
+      return result;
+    }
+    case Strategy::kCounting: {
+      SEPREC_ASSIGN_OR_RETURN(
+          CountingRunResult run,
+          EvaluateWithCounting(info_.program(), query, db, options));
+      result.answer = std::move(run.answer);
+      result.stats = std::move(run.stats);
+      return result;
+    }
+    case Strategy::kQsqr: {
+      SEPREC_ASSIGN_OR_RETURN(
+          QsqrRunResult run,
+          EvaluateWithQsqr(info_.program(), query, db, options));
+      result.answer = std::move(run.answer);
+      result.stats = std::move(run.stats);
+      return result;
+    }
+    case Strategy::kSemiNaive:
+    case Strategy::kNaive: {
+      // Materialise the query predicate (and only what it depends on),
+      // then select.
+      const bool seminaive = result.strategy == Strategy::kSemiNaive;
+      result.stats.algorithm = seminaive ? "seminaive" : "naive";
+      if (pred != nullptr && pred->is_idb) {
+        std::set<std::string> wanted =
+            info_.DependenciesOf(query.predicate);
+        wanted.insert(query.predicate);
+        Program focused;
+        for (const Rule& rule : info_.program().rules) {
+          if (wanted.count(rule.head.predicate)) {
+            focused.rules.push_back(rule);
+          }
+        }
+        Status status =
+            seminaive
+                ? EvaluateSemiNaive(focused, db, options, &result.stats)
+                : EvaluateNaive(focused, db, options, &result.stats);
+        SEPREC_RETURN_IF_ERROR(status);
+      }
+      const Relation* rel = db->Find(query.predicate);
+      if (rel != nullptr) {
+        result.answer = SelectMatching(*rel, query, db->symbols());
+      }
+      return result;
+    }
+    case Strategy::kAuto:
+      break;
+  }
+  return InternalError("unreachable strategy dispatch");
+}
+
+}  // namespace seprec

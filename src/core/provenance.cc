@@ -1,0 +1,265 @@
+#include "core/provenance.h"
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "datalog/analysis.h"
+#include "eval/join_plan.h"
+#include "util/string_util.h"
+
+namespace seprec {
+
+size_t DerivationNode::Size() const {
+  size_t n = 1;
+  for (const DerivationNode& premise : premises) n += premise.Size();
+  return n;
+}
+
+namespace {
+
+void Render(const DerivationNode& node, size_t depth, std::string* out) {
+  out->append(2 * depth, ' ');
+  if (node.negated) {
+    *out += StrCat("not ", node.fact.ToString(), "   [absent]\n");
+    return;
+  }
+  *out += node.fact.ToString();
+  if (node.rule.empty()) {
+    *out += "   [fact]\n";
+  } else {
+    *out += StrCat("   [", node.rule, "]\n");
+  }
+  for (const DerivationNode& premise : node.premises) {
+    Render(premise, depth + 1, out);
+  }
+}
+
+Term ValueToTerm(Value v, const SymbolTable& symbols) {
+  if (v.is_int()) return Term::Int(v.as_int());
+  return Term::Sym(symbols.NameOf(v.symbol_id()));
+}
+
+Atom GroundAtom(const std::string& predicate, Row values,
+                const SymbolTable& symbols) {
+  Atom atom;
+  atom.predicate = predicate;
+  for (Value v : values) atom.args.push_back(ValueToTerm(v, symbols));
+  return atom;
+}
+
+class ProvenanceSearch {
+ public:
+  ProvenanceSearch(const Program& program, const ProgramInfo& info,
+                   Database* db, const ProvenanceOptions& options)
+      : rectified_(Rectify(program)), info_(info), db_(db),
+        options_(options) {}
+
+  StatusOr<DerivationNode> Derive(const std::string& predicate,
+                                  const std::vector<Value>& values) {
+    std::string key = KeyOf(predicate, values);
+    auto memoised = memo_.find(key);
+    if (memoised != memo_.end()) return memoised->second;
+    if (in_progress_.count(key)) {
+      // Cycle: this branch cannot yield a well-founded derivation.
+      return NotFoundError(StrCat("cyclic dependency on ", key));
+    }
+
+    const Relation* rel = db_->Find(predicate);
+    if (rel == nullptr || !rel->Contains(Row(values.data(), values.size()))) {
+      return NotFoundError(
+          StrCat(GroundAtom(predicate, Row(values.data(), values.size()),
+                            db_->symbols())
+                     .ToString(),
+                 " is not in the database"));
+    }
+
+    DerivationNode node;
+    node.fact = GroundAtom(predicate, Row(values.data(), values.size()),
+                           db_->symbols());
+    if (!info_.IsIdb(predicate)) {
+      memo_.emplace(key, node);
+      return node;
+    }
+
+    in_progress_.insert(key);
+    StatusOr<DerivationNode> result = DeriveViaRules(predicate, values,
+                                                     std::move(node));
+    in_progress_.erase(key);
+    if (result.ok()) {
+      memo_.emplace(key, result.value());
+    }
+    return result;
+  }
+
+ private:
+  static std::string KeyOf(const std::string& predicate,
+                           const std::vector<Value>& values) {
+    std::string key = predicate;
+    for (Value v : values) key += StrCat("/", v.bits());
+    return key;
+  }
+
+  StatusOr<DerivationNode> DeriveViaRules(const std::string& predicate,
+                                          const std::vector<Value>& values,
+                                          DerivationNode node) {
+    const Rule* aggregate_rule = nullptr;
+    for (const Rule& rule : rectified_.rules) {
+      if (rule.head.predicate != predicate) continue;
+      if (rule.aggregate.has_value()) {
+        aggregate_rule = &rule;
+        continue;  // aggregate derivations are reported opaquely below
+      }
+      StatusOr<std::optional<DerivationNode>> attempt =
+          TryRule(rule, values, node);
+      if (!attempt.ok()) return attempt.status();
+      if (attempt->has_value()) {
+        DerivationNode found = **attempt;
+        // A rule with no relational body literal is a (rectified) fact;
+        // render it as one.
+        bool relational = false;
+        for (const Literal& lit : rule.body) {
+          if (lit.kind == Literal::Kind::kAtom) relational = true;
+        }
+        if (!relational) {
+          found.rule.clear();
+          found.premises.clear();
+        }
+        return found;
+      }
+    }
+    if (aggregate_rule != nullptr) {
+      // The tuple is in the relation and only an aggregate rule can have
+      // produced it; report the rule without enumerating contributors.
+      DerivationNode via = node;
+      via.rule = aggregate_rule->ToString();
+      return via;
+    }
+    return NotFoundError(
+        StrCat("no rule derives ", node.fact.ToString(),
+               " (relations may be stale for this program)"));
+  }
+
+  // Tries one rule; nullopt = no witness through this rule.
+  StatusOr<std::optional<DerivationNode>> TryRule(const Rule& rule,
+                                                  const std::vector<Value>&
+                                                      values,
+                                                  const DerivationNode&
+                                                      base_node) {
+    // Witness rule: emit the arguments of every relational body literal,
+    // binding the (rectified, distinct-variable) head to the target tuple
+    // with equality literals (substituting could not express a constant
+    // target of an `is` assignment).
+    Rule witness;
+    witness.head.predicate = "$wit";
+    std::vector<std::pair<size_t, size_t>> slices;  // literal -> arg span
+    for (const Literal& lit : rule.body) {
+      if (lit.kind != Literal::Kind::kAtom) continue;
+      size_t begin = witness.head.args.size();
+      for (const Term& arg : lit.atom.args) {
+        witness.head.args.push_back(arg);
+      }
+      slices.emplace_back(begin, lit.atom.args.size());
+    }
+    witness.body = rule.body;
+    for (size_t i = 0; i < rule.head.args.size(); ++i) {
+      SEPREC_CHECK(rule.head.args[i].IsVar());
+      witness.body.push_back(Literal::MakeCompare(
+          CmpOp::kEq, rule.head.args[i],
+          ValueToTerm(values[i], db_->symbols())));
+    }
+
+    StatusOr<RulePlan> plan = RulePlan::Compile(witness, db_);
+    if (!plan.ok()) {
+      // A rule made unsafe by substitution quirks cannot witness.
+      return std::optional<DerivationNode>();
+    }
+    Relation rows("$wit", witness.head.args.size());
+    plan->ExecuteInto(&rows);
+
+    for (size_t r = 0; r < rows.size(); ++r) {
+      if (++expansions_ > options_.max_expansions) {
+        return ResourceExhaustedError(
+            StrCat("provenance search exceeded ", options_.max_expansions,
+                   " expansions"));
+      }
+      Row row = rows.row(r);
+      DerivationNode node = base_node;
+      node.rule = rule.ToString();
+      bool all_ok = true;
+      size_t slice_index = 0;
+      for (const Literal& lit : rule.body) {
+        if (lit.kind != Literal::Kind::kAtom) continue;
+        auto [begin, width] = slices[slice_index++];
+        std::vector<Value> premise(row.begin() + begin,
+                                   row.begin() + begin + width);
+        if (lit.negated) {
+          DerivationNode absent;
+          absent.fact = GroundAtom(lit.atom.predicate,
+                                   Row(premise.data(), premise.size()),
+                                   db_->symbols());
+          absent.negated = true;
+          node.premises.push_back(std::move(absent));
+          continue;
+        }
+        StatusOr<DerivationNode> child =
+            Derive(lit.atom.predicate, premise);
+        if (!child.ok()) {
+          if (child.status().code() == StatusCode::kNotFound) {
+            all_ok = false;
+            break;
+          }
+          return child.status();  // budget exhausted etc.
+        }
+        node.premises.push_back(std::move(child).value());
+      }
+      if (all_ok) return std::optional<DerivationNode>(std::move(node));
+    }
+    return std::optional<DerivationNode>();
+  }
+
+  Program rectified_;
+  const ProgramInfo& info_;
+  Database* db_;
+  ProvenanceOptions options_;
+  size_t expansions_ = 0;
+  std::set<std::string> in_progress_;
+  std::map<std::string, DerivationNode> memo_;
+};
+
+}  // namespace
+
+std::string DerivationNode::ToString() const {
+  std::string out;
+  Render(*this, 0, &out);
+  return out;
+}
+
+StatusOr<DerivationNode> ExplainTuple(const Program& program, Database* db,
+                                      const Atom& ground_atom,
+                                      const ProvenanceOptions& options) {
+  if (!ground_atom.IsGround()) {
+    return InvalidArgumentError(
+        StrCat("atom is not ground: ", ground_atom.ToString()));
+  }
+  SEPREC_ASSIGN_OR_RETURN(ProgramInfo info, ProgramInfo::Analyze(program));
+
+  std::vector<Value> values;
+  for (const Term& arg : ground_atom.args) {
+    if (arg.kind == Term::Kind::kInt) {
+      values.push_back(Value::Int(arg.int_value));
+      continue;
+    }
+    Value v;
+    if (!db->symbols().TryFind(arg.name, &v)) {
+      return NotFoundError(StrCat("constant '", arg.name,
+                                  "' appears nowhere in the database"));
+    }
+    values.push_back(v);
+  }
+
+  ProvenanceSearch search(program, info, db, options);
+  return search.Derive(ground_atom.predicate, values);
+}
+
+}  // namespace seprec

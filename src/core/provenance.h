@@ -1,0 +1,58 @@
+// Why-provenance: reconstruct a derivation tree for a tuple of a
+// materialised IDB relation — which rule produced it, from which premise
+// tuples, recursively down to base facts.
+//
+// Works post hoc against a database where the program's IDB relations are
+// already materialised (e.g. after EvaluateSemiNaive or a QueryProcessor
+// answer): for each candidate rule the head is bound to the target tuple
+// and the body is searched for a witness binding whose IDB premises are
+// themselves (recursively, acyclically) derivable. Every true tuple has an
+// acyclic derivation by fixpoint construction, so the search with an
+// in-progress guard always terminates.
+#ifndef SEPREC_CORE_PROVENANCE_H_
+#define SEPREC_CORE_PROVENANCE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace seprec {
+
+struct DerivationNode {
+  // The ground fact, e.g. tc(a, c). For negated premises the `negated`
+  // flag is set: the fact's ABSENCE supported the derivation.
+  Atom fact;
+  bool negated = false;
+
+  // The rule instance that produced the fact; empty for base facts and
+  // negated premises.
+  std::string rule;
+
+  std::vector<DerivationNode> premises;
+
+  // Number of nodes in the tree.
+  size_t Size() const;
+
+  // Indented multi-line rendering.
+  std::string ToString() const;
+};
+
+struct ProvenanceOptions {
+  // Abort the witness search after this many rule-instance expansions.
+  size_t max_expansions = 100000;
+};
+
+// Explains why `ground_atom` (every argument a constant) is in the
+// database. Returns NOT_FOUND if the tuple is not present / not derivable.
+// `db` must already hold the materialised IDB relations of `program`.
+StatusOr<DerivationNode> ExplainTuple(const Program& program, Database* db,
+                                      const Atom& ground_atom,
+                                      const ProvenanceOptions& options = {});
+
+}  // namespace seprec
+
+#endif  // SEPREC_CORE_PROVENANCE_H_

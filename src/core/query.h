@@ -1,0 +1,39 @@
+// Query helpers shared by every engine driver.
+#ifndef SEPREC_CORE_QUERY_H_
+#define SEPREC_CORE_QUERY_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/answer.h"
+#include "datalog/ast.h"
+#include "storage/database.h"
+
+namespace seprec {
+
+// True at position i iff query.args[i] is a constant.
+std::vector<bool> BoundPositions(const Atom& query);
+
+// Number of constant argument positions.
+size_t NumBoundPositions(const Atom& query);
+
+// Resolves the constant arguments of `query` against `symbols` WITHOUT
+// interning: a symbol constant that was never interned cannot match any
+// stored tuple, which is reported through `resolvable` = false.
+// Positions holding variables get nullopt.
+std::vector<std::optional<Value>> ResolveConstants(const Atom& query,
+                                                   const SymbolTable& symbols,
+                                                   bool* resolvable);
+
+// True if `row` matches `query`: constants equal and repeated variables
+// consistent. `constants` must come from ResolveConstants.
+bool RowMatchesQuery(Row row, const Atom& query,
+                     const std::vector<std::optional<Value>>& constants);
+
+// Selects all rows of `rel` matching `query` into an Answer.
+Answer SelectMatching(const Relation& rel, const Atom& query,
+                      const SymbolTable& symbols);
+
+}  // namespace seprec
+
+#endif  // SEPREC_CORE_QUERY_H_

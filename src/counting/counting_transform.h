@@ -1,0 +1,67 @@
+// The Generalized Counting Method [BMSU86, SZ86, BR87], the paper's second
+// comparator.
+//
+// For a selection query on a linear recursion, Counting descends from the
+// selection constants like a magic set, but additionally records *how* each
+// value was reached: the level I and a derivation-path index K whose
+// base-(p+1) digits name the recursive rule applied at each level (p =
+// number of recursive rules). After meeting the exit relation it re-ascends,
+// replaying the recorded rule sequence in reverse to rebuild the answer
+// columns. This is exactly the rule set the paper displays for Example 1.1
+// and Lemma 4.3:
+//
+//   count(0, 0, c).
+//   count(I+1, (p+1)*K + i, W) :- count(I, K, X) & a_i(X, W).     (descend)
+//   sup(I, K, Ybar)  :- count(I, K, X) & t0(X, Ybar).             (pivot)
+//   sup(I-1, K div (p+1), Y') :- sup(I, K, Y), c_i(...), K mod (p+1) = i.
+//   ans(Ybar) :- sup(0, 0, Ybar).                                 (ascend)
+//
+// The K column is why Generalized Counting is Omega(p^n) on databases where
+// several a_i relations overlap (Lemma 4.3) and Omega(2^n) on Example 1.1 —
+// the count relation stores one tuple per distinct derivation path. On
+// cyclic data the level column grows forever; the engine's iteration budget
+// turns that into RESOURCE_EXHAUSTED, mirroring the known non-termination.
+#ifndef SEPREC_COUNTING_COUNTING_TRANSFORM_H_
+#define SEPREC_COUNTING_COUNTING_TRANSFORM_H_
+
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "util/status.h"
+
+namespace seprec {
+
+struct CountingRewrite {
+  Program program;
+
+  std::string count_predicate;
+  std::string sup_predicate;
+  std::string ans_predicate;
+
+  // Positions of the query predicate bound by the query (the descent
+  // columns) and the free positions (the answer columns), both ascending.
+  std::vector<uint32_t> bound_positions;
+  std::vector<uint32_t> free_positions;
+
+  size_t arity = 0;  // of the original query predicate
+
+  // False for single-rule recursions: with p = 1 the rule sequence is
+  // determined by the derivation length alone, so the method degenerates
+  // to classic Counting [BMSU86] with just the level index I (and no
+  // exponential path column). True for p > 1 (the generalized method the
+  // paper analyses).
+  bool uses_path_index = false;
+};
+
+// Builds the counting rewrite of `program` for `query` (which must bind at
+// least one argument of a linear recursive IDB predicate). Fails with
+// FAILED_PRECONDITION when the method does not apply: non-linear rules,
+// mutual recursion, rules whose nonrecursive part connects the bound and
+// free sides of the recursion, or descents/ascents that would be unsafe.
+StatusOr<CountingRewrite> CountingTransform(const Program& program,
+                                            const Atom& query);
+
+}  // namespace seprec
+
+#endif  // SEPREC_COUNTING_COUNTING_TRANSFORM_H_

@@ -1,0 +1,32 @@
+// Driver: answer a query via the Generalized Counting rewrite plus
+// semi-naive bottom-up evaluation.
+#ifndef SEPREC_COUNTING_ENGINE_H_
+#define SEPREC_COUNTING_ENGINE_H_
+
+#include "core/answer.h"
+#include "counting/counting_transform.h"
+#include "datalog/ast.h"
+#include "eval/fixpoint.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace seprec {
+
+struct CountingRunResult {
+  Answer answer{0};
+  EvalStats stats;
+  CountingRewrite rewrite;  // for EXPLAIN output and tests
+};
+
+// Applies the Generalized Counting Method to `query` over `program`.
+// Fails with FAILED_PRECONDITION when counting does not apply and with
+// RESOURCE_EXHAUSTED when the iteration/tuple budget is hit (which is how
+// non-termination on cyclic data surfaces). Pass `options` with a finite
+// max_iterations when the data may be cyclic.
+StatusOr<CountingRunResult> EvaluateWithCounting(
+    const Program& program, const Atom& query, Database* db,
+    const FixpointOptions& options = {});
+
+}  // namespace seprec
+
+#endif  // SEPREC_COUNTING_ENGINE_H_

@@ -1,0 +1,373 @@
+#include "datalog/ast.h"
+
+#include <cctype>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace seprec {
+
+// ---- Term ---------------------------------------------------------------
+
+Term Term::Var(std::string name) {
+  Term t;
+  t.kind = Kind::kVariable;
+  t.name = std::move(name);
+  return t;
+}
+
+Term Term::Sym(std::string spelling) {
+  Term t;
+  t.kind = Kind::kSymbol;
+  t.name = std::move(spelling);
+  return t;
+}
+
+Term Term::Int(int64_t value) {
+  Term t;
+  t.kind = Kind::kInt;
+  t.int_value = value;
+  return t;
+}
+
+std::string Term::ToString() const {
+  switch (kind) {
+    case Kind::kVariable:
+    case Kind::kSymbol:
+      return name;
+    case Kind::kInt:
+      return StrCat(int_value);
+  }
+  return "<bad term>";
+}
+
+bool operator==(const Term& a, const Term& b) {
+  if (a.kind != b.kind) return false;
+  if (a.kind == Term::Kind::kInt) return a.int_value == b.int_value;
+  return a.name == b.name;
+}
+
+bool operator<(const Term& a, const Term& b) {
+  if (a.kind != b.kind) return a.kind < b.kind;
+  if (a.kind == Term::Kind::kInt) return a.int_value < b.int_value;
+  return a.name < b.name;
+}
+
+// ---- Atom ---------------------------------------------------------------
+
+bool Atom::IsGround() const {
+  for (const Term& t : args) {
+    if (t.IsVar()) return false;
+  }
+  return true;
+}
+
+std::string Atom::ToString() const {
+  if (args.empty()) return predicate;
+  std::string out = predicate + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+bool operator==(const Atom& a, const Atom& b) {
+  return a.predicate == b.predicate && a.args == b.args;
+}
+
+// ---- Expr ---------------------------------------------------------------
+
+Expr Expr::Leaf(Term t) {
+  Expr e;
+  e.op = Op::kTerm;
+  e.term = std::move(t);
+  return e;
+}
+
+Expr Expr::Binary(Op op, Expr lhs, Expr rhs) {
+  SEPREC_CHECK(op != Op::kTerm);
+  Expr e;
+  e.op = op;
+  e.lhs = std::make_shared<const Expr>(std::move(lhs));
+  e.rhs = std::make_shared<const Expr>(std::move(rhs));
+  return e;
+}
+
+std::string Expr::ToString() const {
+  if (op == Op::kTerm) return term.ToString();
+  const char* sym = "?";
+  switch (op) {
+    case Op::kAdd: sym = " + "; break;
+    case Op::kSub: sym = " - "; break;
+    case Op::kMul: sym = " * "; break;
+    case Op::kDiv: sym = " / "; break;
+    case Op::kMod: sym = " mod "; break;
+    case Op::kTerm: break;
+  }
+  return StrCat("(", lhs->ToString(), sym, rhs->ToString(), ")");
+}
+
+// ---- Literal ------------------------------------------------------------
+
+std::string_view CmpOpToString(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "=";
+    case CmpOp::kNe: return "!=";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+Literal Literal::MakeAtom(Atom atom) {
+  Literal lit;
+  lit.kind = Kind::kAtom;
+  lit.atom = std::move(atom);
+  return lit;
+}
+
+Literal Literal::MakeNegatedAtom(Atom atom) {
+  Literal lit;
+  lit.kind = Kind::kAtom;
+  lit.negated = true;
+  lit.atom = std::move(atom);
+  return lit;
+}
+
+Literal Literal::MakeCompare(CmpOp op, Term lhs, Term rhs) {
+  Literal lit;
+  lit.kind = Kind::kCompare;
+  lit.cmp_op = op;
+  lit.cmp_lhs = std::move(lhs);
+  lit.cmp_rhs = std::move(rhs);
+  return lit;
+}
+
+Literal Literal::MakeAssign(std::string var, Expr expr) {
+  Literal lit;
+  lit.kind = Kind::kAssign;
+  lit.assign_var = std::move(var);
+  lit.expr = std::move(expr);
+  return lit;
+}
+
+std::string Literal::ToString() const {
+  switch (kind) {
+    case Kind::kAtom:
+      return negated ? "not " + atom.ToString() : atom.ToString();
+    case Kind::kCompare:
+      return StrCat(cmp_lhs.ToString(), " ", CmpOpToString(cmp_op), " ",
+                    cmp_rhs.ToString());
+    case Kind::kAssign:
+      return StrCat(assign_var, " is ", expr.ToString());
+  }
+  return "<bad literal>";
+}
+
+// ---- Rule / Program -----------------------------------------------------
+
+std::string_view AggregateOpToString(AggregateSpec::Op op) {
+  switch (op) {
+    case AggregateSpec::Op::kCount: return "count";
+    case AggregateSpec::Op::kSum: return "sum";
+    case AggregateSpec::Op::kMin: return "min";
+    case AggregateSpec::Op::kMax: return "max";
+  }
+  return "?";
+}
+
+std::string AggregateSpec::ToString() const {
+  return StrCat(AggregateOpToString(op), "(", over_var, ")");
+}
+
+std::string Rule::ToString() const {
+  std::string head_text;
+  if (aggregate.has_value()) {
+    head_text = head.predicate + "(";
+    for (size_t i = 0; i < head.args.size(); ++i) {
+      if (i > 0) head_text += ", ";
+      head_text += i == aggregate->head_position ? aggregate->ToString()
+                                                 : head.args[i].ToString();
+    }
+    head_text += ")";
+  } else {
+    head_text = head.ToString();
+  }
+  if (body.empty()) return head_text + ".";
+  std::string out = head_text + " :- ";
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += body[i].ToString();
+  }
+  out += ".";
+  return out;
+}
+
+std::vector<const Atom*> Rule::BodyAtomsOf(std::string_view predicate) const {
+  std::vector<const Atom*> out;
+  for (const Literal& lit : body) {
+    if (lit.kind == Literal::Kind::kAtom && lit.atom.predicate == predicate) {
+      out.push_back(&lit.atom);
+    }
+  }
+  return out;
+}
+
+std::vector<const Atom*> Rule::BodyAtoms() const {
+  std::vector<const Atom*> out;
+  for (const Literal& lit : body) {
+    if (lit.kind == Literal::Kind::kAtom) {
+      out.push_back(&lit.atom);
+    }
+  }
+  return out;
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (const Rule& rule : rules) {
+    out += rule.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<const Rule*> Program::RulesFor(std::string_view predicate) const {
+  std::vector<const Rule*> out;
+  for (const Rule& rule : rules) {
+    if (rule.head.predicate == predicate) {
+      out.push_back(&rule);
+    }
+  }
+  return out;
+}
+
+// ---- Variable utilities -------------------------------------------------
+
+void CollectVars(const Term& term, std::set<std::string>* out) {
+  if (term.IsVar()) out->insert(term.name);
+}
+
+void CollectVars(const Atom& atom, std::set<std::string>* out) {
+  for (const Term& t : atom.args) CollectVars(t, out);
+}
+
+void CollectVars(const Expr& expr, std::set<std::string>* out) {
+  if (expr.op == Expr::Op::kTerm) {
+    CollectVars(expr.term, out);
+    return;
+  }
+  CollectVars(*expr.lhs, out);
+  CollectVars(*expr.rhs, out);
+}
+
+void CollectVars(const Literal& literal, std::set<std::string>* out) {
+  switch (literal.kind) {
+    case Literal::Kind::kAtom:
+      CollectVars(literal.atom, out);
+      return;
+    case Literal::Kind::kCompare:
+      CollectVars(literal.cmp_lhs, out);
+      CollectVars(literal.cmp_rhs, out);
+      return;
+    case Literal::Kind::kAssign:
+      out->insert(literal.assign_var);
+      CollectVars(literal.expr, out);
+      return;
+  }
+}
+
+void CollectVars(const Rule& rule, std::set<std::string>* out) {
+  CollectVars(rule.head, out);
+  for (const Literal& lit : rule.body) CollectVars(lit, out);
+}
+
+Term Substitute(const Term& term, const Substitution& sub) {
+  if (!term.IsVar()) return term;
+  auto it = sub.find(term.name);
+  return it == sub.end() ? term : it->second;
+}
+
+Atom Substitute(const Atom& atom, const Substitution& sub) {
+  Atom out = atom;
+  for (Term& t : out.args) t = Substitute(t, sub);
+  return out;
+}
+
+Expr Substitute(const Expr& expr, const Substitution& sub) {
+  if (expr.op == Expr::Op::kTerm) {
+    return Expr::Leaf(Substitute(expr.term, sub));
+  }
+  return Expr::Binary(expr.op, Substitute(*expr.lhs, sub),
+                      Substitute(*expr.rhs, sub));
+}
+
+Literal Substitute(const Literal& literal, const Substitution& sub) {
+  switch (literal.kind) {
+    case Literal::Kind::kAtom: {
+      Literal out = Literal::MakeAtom(Substitute(literal.atom, sub));
+      out.negated = literal.negated;
+      return out;
+    }
+    case Literal::Kind::kCompare:
+      return Literal::MakeCompare(literal.cmp_op,
+                                  Substitute(literal.cmp_lhs, sub),
+                                  Substitute(literal.cmp_rhs, sub));
+    case Literal::Kind::kAssign: {
+      Term var = Substitute(Term::Var(literal.assign_var), sub);
+      // Substituting an assignment target must produce another variable.
+      SEPREC_CHECK(var.IsVar());
+      return Literal::MakeAssign(var.name, Substitute(literal.expr, sub));
+    }
+  }
+  SEPREC_CHECK(false);
+}
+
+Rule Substitute(const Rule& rule, const Substitution& sub) {
+  Rule out;
+  out.head = Substitute(rule.head, sub);
+  out.body.reserve(rule.body.size());
+  for (const Literal& lit : rule.body) {
+    out.body.push_back(Substitute(lit, sub));
+  }
+  out.aggregate = rule.aggregate;
+  if (out.aggregate.has_value()) {
+    Term renamed = Substitute(Term::Var(out.aggregate->over_var), sub);
+    // The aggregated variable must stay a variable under renaming.
+    SEPREC_CHECK(renamed.IsVar());
+    out.aggregate->over_var = renamed.name;
+  }
+  return out;
+}
+
+// ---- Construction shorthands --------------------------------------------
+
+Term MakeTerm(std::string_view token) {
+  SEPREC_CHECK(!token.empty());
+  char first = token[0];
+  if (std::isupper(static_cast<unsigned char>(first)) || first == '_') {
+    return Term::Var(std::string(token));
+  }
+  if (std::isdigit(static_cast<unsigned char>(first)) ||
+      (first == '-' && token.size() > 1)) {
+    return Term::Int(std::stoll(std::string(token)));
+  }
+  return Term::Sym(std::string(token));
+}
+
+Atom MakeAtomFromTokens(std::string_view predicate,
+                        const std::vector<std::string>& arg_tokens) {
+  Atom atom;
+  atom.predicate = std::string(predicate);
+  atom.args.reserve(arg_tokens.size());
+  for (const std::string& token : arg_tokens) {
+    atom.args.push_back(MakeTerm(token));
+  }
+  return atom;
+}
+
+}  // namespace seprec

@@ -1,0 +1,184 @@
+// Abstract syntax for function-free Datalog with comparison and arithmetic
+// built-ins.
+//
+// The paper's programs are pure Horn clauses over EDB/IDB predicates; the
+// comparison (`=`, `!=`, `<`, ...) and assignment (`X is E`) literals exist
+// so that (a) rectification can introduce equalities (Section 2: repeated
+// head variables / head constants become body equalities) and (b) the
+// Generalized Counting rewrite can express its derivation-index arithmetic
+// as ordinary rules.
+//
+// AST terms carry spellings (std::string); constants are resolved to interned
+// Values only when a rule is compiled against a Database.
+#ifndef SEPREC_DATALOG_AST_H_
+#define SEPREC_DATALOG_AST_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace seprec {
+
+// A variable, symbol constant, or integer constant.
+struct Term {
+  enum class Kind { kVariable, kSymbol, kInt };
+
+  Kind kind = Kind::kVariable;
+  std::string name;      // variable name or symbol spelling
+  int64_t int_value = 0; // meaningful only when kind == kInt
+
+  static Term Var(std::string name);
+  static Term Sym(std::string spelling);
+  static Term Int(int64_t value);
+
+  bool IsVar() const { return kind == Kind::kVariable; }
+  bool IsConstant() const { return kind != Kind::kVariable; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Term& a, const Term& b);
+  friend bool operator!=(const Term& a, const Term& b) { return !(a == b); }
+  friend bool operator<(const Term& a, const Term& b);
+};
+
+// A predicate applied to terms: p(t1, ..., tk).
+struct Atom {
+  std::string predicate;
+  std::vector<Term> args;
+
+  size_t arity() const { return args.size(); }
+  bool IsGround() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Atom& a, const Atom& b);
+  friend bool operator!=(const Atom& a, const Atom& b) { return !(a == b); }
+};
+
+// Arithmetic expression for assignment literals. Interior nodes share
+// immutable children so Expr (and thus Rule) stays cheaply copyable.
+struct Expr {
+  enum class Op { kTerm, kAdd, kSub, kMul, kDiv, kMod };
+
+  Op op = Op::kTerm;
+  Term term;  // when op == kTerm
+  std::shared_ptr<const Expr> lhs;
+  std::shared_ptr<const Expr> rhs;
+
+  static Expr Leaf(Term t);
+  static Expr Binary(Op op, Expr lhs, Expr rhs);
+
+  std::string ToString() const;
+};
+
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+std::string_view CmpOpToString(CmpOp op);
+
+// A body literal: relational atom (possibly negated), comparison, or
+// arithmetic assignment.
+struct Literal {
+  enum class Kind { kAtom, kCompare, kAssign };
+
+  Kind kind = Kind::kAtom;
+
+  Atom atom;             // kAtom
+  bool negated = false;  // kAtom: `not p(...)` — stratified negation
+
+  CmpOp cmp_op = CmpOp::kEq;  // kCompare: cmp_lhs <op> cmp_rhs
+  Term cmp_lhs;
+  Term cmp_rhs;
+
+  std::string assign_var;  // kAssign: assign_var is expr
+  Expr expr;
+
+  static Literal MakeAtom(Atom atom);
+  static Literal MakeNegatedAtom(Atom atom);
+  static Literal MakeCompare(CmpOp op, Term lhs, Term rhs);
+  static Literal MakeAssign(std::string var, Expr expr);
+
+  bool IsRelational() const { return kind == Kind::kAtom; }
+  bool IsPositiveAtom() const { return kind == Kind::kAtom && !negated; }
+
+  std::string ToString() const;
+};
+
+// A head aggregate: `p(X, count(Y)) :- body.` computes, for every binding
+// of the other head arguments (the group), the aggregate of the
+// (set-semantics, deduplicated) bindings of Y. Sum/min/max require
+// integer values. Aggregation is stratified like negation: the rule's
+// body predicates must lie in strata below the head.
+struct AggregateSpec {
+  enum class Op { kCount, kSum, kMin, kMax };
+
+  Op op = Op::kCount;
+  size_t head_position = 0;  // which head argument holds the aggregate
+  std::string over_var;      // the aggregated variable
+
+  std::string ToString() const;  // e.g. "count(Y)"
+};
+
+std::string_view AggregateOpToString(AggregateSpec::Op op);
+
+// head :- body. An empty body makes the rule a fact (head must be ground).
+// When `aggregate` is set, head.args[aggregate->head_position] is the
+// variable Var(aggregate->over_var) — the printable form shows the
+// aggregate instead.
+struct Rule {
+  Atom head;
+  std::vector<Literal> body;
+  std::optional<AggregateSpec> aggregate;
+
+  std::string ToString() const;
+
+  // Body atoms with the given predicate name (relational literals only).
+  std::vector<const Atom*> BodyAtomsOf(std::string_view predicate) const;
+  // All relational body atoms.
+  std::vector<const Atom*> BodyAtoms() const;
+};
+
+struct Program {
+  std::vector<Rule> rules;
+
+  std::string ToString() const;
+
+  // Rules whose head predicate is `predicate`, in program order.
+  std::vector<const Rule*> RulesFor(std::string_view predicate) const;
+};
+
+// ---- Variable utilities ------------------------------------------------
+
+// Inserts the variable names appearing in the construct into `out`.
+void CollectVars(const Term& term, std::set<std::string>* out);
+void CollectVars(const Atom& atom, std::set<std::string>* out);
+void CollectVars(const Expr& expr, std::set<std::string>* out);
+void CollectVars(const Literal& literal, std::set<std::string>* out);
+void CollectVars(const Rule& rule, std::set<std::string>* out);
+
+// Applies a variable -> term substitution (variables not in the map are
+// unchanged).
+using Substitution = std::map<std::string, Term>;
+Term Substitute(const Term& term, const Substitution& sub);
+Atom Substitute(const Atom& atom, const Substitution& sub);
+Expr Substitute(const Expr& expr, const Substitution& sub);
+Literal Substitute(const Literal& literal, const Substitution& sub);
+Rule Substitute(const Rule& rule, const Substitution& sub);
+
+// ---- Construction shorthands (used heavily by tests and examples) ------
+
+// MakeTerm("X") -> variable (leading uppercase or '_'), MakeTerm("tom") ->
+// symbol, MakeTerm("42") -> int.
+Term MakeTerm(std::string_view token);
+
+// MakeAtom2("edge", {"X", "y", "3"}) builds edge(X, y, 3).
+Atom MakeAtomFromTokens(std::string_view predicate,
+                        const std::vector<std::string>& arg_tokens);
+
+}  // namespace seprec
+
+#endif  // SEPREC_DATALOG_AST_H_

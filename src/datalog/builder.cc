@@ -1,0 +1,74 @@
+#include "datalog/builder.h"
+
+#include "util/logging.h"
+
+namespace seprec {
+
+RuleBuilder& RuleBuilder::Body(std::string_view predicate,
+                               const std::vector<std::string>& arg_tokens) {
+  rule_.body.push_back(
+      Literal::MakeAtom(MakeAtomFromTokens(predicate, arg_tokens)));
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::Not(std::string_view predicate,
+                              const std::vector<std::string>& arg_tokens) {
+  rule_.body.push_back(
+      Literal::MakeNegatedAtom(MakeAtomFromTokens(predicate, arg_tokens)));
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::Compare(std::string_view lhs_token, CmpOp op,
+                                  std::string_view rhs_token) {
+  rule_.body.push_back(
+      Literal::MakeCompare(op, MakeTerm(lhs_token), MakeTerm(rhs_token)));
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::Let(std::string_view var, Expr expr) {
+  Term target = MakeTerm(var);
+  SEPREC_CHECK(target.IsVar());
+  rule_.body.push_back(Literal::MakeAssign(target.name, std::move(expr)));
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::Aggregate(AggregateSpec::Op op, size_t position) {
+  SEPREC_CHECK(position < rule_.head.args.size());
+  SEPREC_CHECK(rule_.head.args[position].IsVar());
+  SEPREC_CHECK(!rule_.aggregate.has_value());
+  AggregateSpec spec;
+  spec.op = op;
+  spec.head_position = position;
+  spec.over_var = rule_.head.args[position].name;
+  rule_.aggregate = spec;
+  return *this;
+}
+
+ProgramBuilder& RuleBuilder::End() {
+  parent_->program_.rules.push_back(std::move(rule_));
+  return *parent_;
+}
+
+ProgramBuilder& ProgramBuilder::Fact(
+    std::string_view predicate,
+    const std::vector<std::string>& constant_tokens) {
+  seprec::Rule fact;
+  fact.head = MakeAtomFromTokens(predicate, constant_tokens);
+  SEPREC_CHECK(fact.head.IsGround());
+  program_.rules.push_back(std::move(fact));
+  return *this;
+}
+
+RuleBuilder ProgramBuilder::Rule(std::string_view predicate,
+                                 const std::vector<std::string>& arg_tokens) {
+  seprec::Rule rule;
+  rule.head = MakeAtomFromTokens(predicate, arg_tokens);
+  return RuleBuilder(this, std::move(rule));
+}
+
+ProgramBuilder& ProgramBuilder::Add(seprec::Rule rule) {
+  program_.rules.push_back(std::move(rule));
+  return *this;
+}
+
+}  // namespace seprec

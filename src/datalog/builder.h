@@ -1,0 +1,84 @@
+// Fluent programmatic construction of Datalog programs — the alternative
+// to assembling source text for generated workloads and embedding the
+// library without the parser.
+//
+//   Program p = ProgramBuilder()
+//                   .Fact("edge", {"a", "b"})
+//                   .Rule("tc", {"X", "Y"})
+//                       .Body("edge", {"X", "Y"})
+//                       .End()
+//                   .Rule("tc", {"X", "Y"})
+//                       .Body("edge", {"X", "W"})
+//                       .Body("tc", {"W", "Y"})
+//                       .End()
+//                   .Build();
+//
+// Argument tokens follow MakeTerm's convention: leading uppercase or '_'
+// is a variable, digits an integer, anything else a symbol.
+#ifndef SEPREC_DATALOG_BUILDER_H_
+#define SEPREC_DATALOG_BUILDER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "datalog/ast.h"
+
+namespace seprec {
+
+class ProgramBuilder;
+
+class RuleBuilder {
+ public:
+  // Appends a positive body atom.
+  RuleBuilder& Body(std::string_view predicate,
+                    const std::vector<std::string>& arg_tokens);
+  // Appends a negated body atom (stratified negation).
+  RuleBuilder& Not(std::string_view predicate,
+                   const std::vector<std::string>& arg_tokens);
+  // Appends a comparison, e.g. Compare("X", CmpOp::kLt, "10").
+  RuleBuilder& Compare(std::string_view lhs_token, CmpOp op,
+                       std::string_view rhs_token);
+  // Appends `var is expr`.
+  RuleBuilder& Let(std::string_view var, Expr expr);
+  // Marks head position `position` as aggregate `op` over the variable
+  // already placed there.
+  RuleBuilder& Aggregate(AggregateSpec::Op op, size_t position);
+
+  // Finishes the rule and returns to the program builder.
+  ProgramBuilder& End();
+
+ private:
+  friend class ProgramBuilder;
+  RuleBuilder(ProgramBuilder* parent, Rule rule)
+      : parent_(parent), rule_(std::move(rule)) {}
+
+  ProgramBuilder* parent_;
+  Rule rule_;
+};
+
+class ProgramBuilder {
+ public:
+  ProgramBuilder() = default;
+
+  // Adds a ground fact (all tokens must be constants).
+  ProgramBuilder& Fact(std::string_view predicate,
+                       const std::vector<std::string>& constant_tokens);
+
+  // Starts a rule with the given head.
+  RuleBuilder Rule(std::string_view predicate,
+                   const std::vector<std::string>& arg_tokens);
+
+  // Adds an already-built rule (escape hatch).
+  ProgramBuilder& Add(seprec::Rule rule);
+
+  Program Build() const { return program_; }
+
+ private:
+  friend class RuleBuilder;
+  Program program_;
+};
+
+}  // namespace seprec
+
+#endif  // SEPREC_DATALOG_BUILDER_H_

@@ -1,0 +1,86 @@
+#include "datalog/containment.h"
+
+#include <map>
+#include <string>
+
+#include "eval/join_plan.h"
+#include "storage/database.h"
+#include "util/string_util.h"
+
+namespace seprec {
+namespace {
+
+// Freezes a term: variables become reserved "$frz$<name>" symbols,
+// constants map to themselves.
+Value Freeze(const Term& term, Database* db) {
+  if (term.IsVar()) {
+    return db->symbols().Intern(StrCat("$frz$", term.name));
+  }
+  if (term.kind == Term::Kind::kInt) {
+    return Value::Int(term.int_value);
+  }
+  return db->symbols().Intern(term.name);
+}
+
+}  // namespace
+
+StatusOr<bool> Contains(const ConjunctiveQuery& general,
+                        const ConjunctiveQuery& specific) {
+  // Canonical database: the frozen atoms of `specific`.
+  Database db;
+  for (const Atom& atom : specific.atoms) {
+    SEPREC_ASSIGN_OR_RETURN(Relation * rel,
+                            db.CreateRelation(atom.predicate, atom.arity()));
+    std::vector<Value> row;
+    row.reserve(atom.arity());
+    for (const Term& t : atom.args) {
+      row.push_back(Freeze(t, &db));
+    }
+    rel->Insert(Row(row.data(), row.size()));
+  }
+
+  // Evaluate `general` as a rule over the canonical database.
+  Rule rule;
+  rule.head.predicate = "$ans";
+  rule.head.args = general.head;
+  for (const Atom& atom : general.atoms) {
+    rule.body.push_back(Literal::MakeAtom(atom));
+  }
+  // A head variable that appears in no body atom has no containment
+  // mapping target: not contained (also unsafe to evaluate).
+  std::set<std::string> body_vars;
+  for (const Atom& atom : general.atoms) CollectVars(atom, &body_vars);
+  for (const Term& t : general.head) {
+    if (t.IsVar() && !body_vars.count(t.name)) return false;
+  }
+
+  SEPREC_ASSIGN_OR_RETURN(RulePlan plan, RulePlan::Compile(rule, &db));
+  Relation answers("$ans", general.head.size());
+  plan.ExecuteInto(&answers);
+
+  if (specific.head.size() != general.head.size()) {
+    return InvalidArgumentError("head arities differ");
+  }
+  std::vector<Value> target;
+  target.reserve(specific.head.size());
+  for (const Term& t : specific.head) {
+    target.push_back(Freeze(t, &db));
+  }
+  return answers.Contains(Row(target.data(), target.size()));
+}
+
+StatusOr<bool> Equivalent(const ConjunctiveQuery& a,
+                          const ConjunctiveQuery& b) {
+  SEPREC_ASSIGN_OR_RETURN(bool ab, Contains(a, b));
+  if (!ab) return false;
+  return Contains(b, a);
+}
+
+ConjunctiveQuery FromExpansion(const ExpansionString& s, const Atom& query) {
+  ConjunctiveQuery q;
+  q.atoms = s.atoms;
+  q.head = query.args;
+  return q;
+}
+
+}  // namespace seprec

@@ -1,0 +1,128 @@
+#include "datalog/expand.h"
+
+#include <set>
+
+#include "util/string_util.h"
+
+namespace seprec {
+namespace {
+
+struct FringeElement {
+  std::vector<Atom> atoms;          // produced so far, production order
+  std::vector<Term> instance_args;  // current instance of t
+  std::vector<size_t> derivation;
+};
+
+// Builds the substitution applying `rule` to an instance of its head
+// predicate with `instance_args`: head variables map to the instance
+// arguments, every other rule variable gets subscripted with `iteration`.
+Substitution ApplySubstitution(const Rule& rule,
+                               const std::vector<Term>& instance_args,
+                               size_t iteration) {
+  Substitution sub;
+  std::set<std::string> head_vars;
+  for (size_t i = 0; i < rule.head.args.size(); ++i) {
+    sub[rule.head.args[i].name] = instance_args[i];
+    head_vars.insert(rule.head.args[i].name);
+  }
+  std::set<std::string> all;
+  CollectVars(rule, &all);
+  for (const std::string& v : all) {
+    if (!head_vars.count(v)) {
+      sub[v] = Term::Var(StrCat(v, iteration));
+    }
+  }
+  return sub;
+}
+
+}  // namespace
+
+std::string ExpansionString::ToString() const {
+  std::string out;
+  for (const Atom& atom : atoms) {
+    out += atom.ToString();
+  }
+  return out;
+}
+
+StatusOr<std::vector<ExpansionString>> Expand(const Program& program,
+                                              const Atom& query,
+                                              size_t max_applications) {
+  std::vector<const Rule*> recursive;
+  std::vector<const Rule*> exits;
+  for (const Rule& rule : program.rules) {
+    if (rule.head.predicate != query.predicate) continue;
+    // Validate shape.
+    std::set<std::string> seen_head_vars;
+    for (const Term& arg : rule.head.args) {
+      if (!arg.IsVar() || !seen_head_vars.insert(arg.name).second) {
+        return InvalidArgumentError(
+            StrCat("rule head is not rectified: ", rule.ToString()));
+      }
+    }
+    for (const Literal& lit : rule.body) {
+      if (lit.kind != Literal::Kind::kAtom || lit.negated) {
+        return UnimplementedError(
+            StrCat("Expand supports positive relational literals only: ",
+                   rule.ToString()));
+      }
+    }
+    size_t occurrences = rule.BodyAtomsOf(query.predicate).size();
+    if (occurrences > 1) {
+      return InvalidArgumentError(
+          StrCat("non-linear rule: ", rule.ToString()));
+    }
+    (occurrences == 1 ? recursive : exits).push_back(&rule);
+  }
+  if (recursive.empty() && exits.empty()) {
+    return InvalidArgumentError(
+        StrCat("no rules define '", query.predicate, "'"));
+  }
+
+  std::vector<ExpansionString> result;
+  std::vector<FringeElement> fringe;
+  FringeElement start;
+  start.instance_args = query.args;
+  fringe.push_back(std::move(start));
+
+  for (size_t iteration = 0; iteration <= max_applications; ++iteration) {
+    std::vector<FringeElement> next;
+    for (const FringeElement& f : fringe) {
+      // Line 7: close the element with each exit rule.
+      for (const Rule* exit : exits) {
+        Substitution sub =
+            ApplySubstitution(*exit, f.instance_args, iteration);
+        ExpansionString s;
+        s.atoms = f.atoms;
+        for (const Literal& lit : exit->body) {
+          s.atoms.push_back(Substitute(lit.atom, sub));
+        }
+        s.derivation = f.derivation;
+        result.push_back(std::move(s));
+      }
+      if (iteration == max_applications) continue;
+      // Lines 8-10: extend with each recursive rule.
+      for (size_t r = 0; r < recursive.size(); ++r) {
+        const Rule* rule = recursive[r];
+        Substitution sub =
+            ApplySubstitution(*rule, f.instance_args, iteration);
+        FringeElement g;
+        g.atoms = f.atoms;
+        for (const Literal& lit : rule->body) {
+          if (lit.atom.predicate == query.predicate) continue;
+          g.atoms.push_back(Substitute(lit.atom, sub));
+        }
+        const Atom* body_t = rule->BodyAtomsOf(query.predicate)[0];
+        Atom substituted = Substitute(*body_t, sub);
+        g.instance_args = substituted.args;
+        g.derivation = f.derivation;
+        g.derivation.push_back(r);
+        next.push_back(std::move(g));
+      }
+    }
+    fringe = std::move(next);
+  }
+  return result;
+}
+
+}  // namespace seprec

@@ -1,0 +1,45 @@
+// Procedure Expand (Figure 1 of the paper): enumerates the expansion of a
+// linear recursion — the conjunctive queries ("strings") obtained by all
+// sequences of rule applications, with nondistinguished variables
+// subscripted by the iteration that introduced them.
+//
+// Used by tests (Example 2.1's expansion prefix) and by the
+// fig_schema_instantiation bench, not by the evaluation engines.
+#ifndef SEPREC_DATALOG_EXPAND_H_
+#define SEPREC_DATALOG_EXPAND_H_
+
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "util/status.h"
+
+namespace seprec {
+
+struct ExpansionString {
+  // The base-predicate conjunction; atoms appear in production order with
+  // the exit rule's atoms last.
+  std::vector<Atom> atoms;
+  // Indices (into the recursive-rule list, program order) of the rule
+  // applied at each iteration.
+  std::vector<size_t> derivation;
+
+  // Paper-style rendering: "f(X, W0)f(W0, W1)p(W1, Y)".
+  std::string ToString() const;
+};
+
+// Expands the definition of `query.predicate` in `program`, starting from
+// the instance `query` (its variables are the distinguished variables;
+// constants are allowed and flow through). Returns all strings with at most
+// `max_applications` recursive rule applications, in breadth-first order.
+//
+// Requirements: every defining rule is linear recursive or nonrecursive,
+// rule heads are rectified (distinct variables, no constants), and bodies
+// contain only relational atoms.
+StatusOr<std::vector<ExpansionString>> Expand(const Program& program,
+                                              const Atom& query,
+                                              size_t max_applications);
+
+}  // namespace seprec
+
+#endif  // SEPREC_DATALOG_EXPAND_H_

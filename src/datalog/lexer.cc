@@ -1,0 +1,180 @@
+#include "datalog/lexer.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace seprec {
+
+std::string_view TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kVar: return "variable";
+    case TokenKind::kInt: return "integer";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kPeriod: return "'.'";
+    case TokenKind::kColonDash: return "':-'";
+    case TokenKind::kQueryDash: return "'?-'";
+    case TokenKind::kQuestion: return "'?'";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kEnd: return "end of input";
+  }
+  return "<bad token>";
+}
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  size_t i = 0;
+  const size_t n = source.size();
+
+  auto push = [&tokens, &line](TokenKind kind, std::string text = "",
+                               int64_t value = 0) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.int_value = value;
+    t.line = line;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '%') {  // comment to end of line
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) {
+        ++i;
+      }
+      std::string digits(source.substr(start, i - start));
+      errno = 0;
+      char* end = nullptr;
+      long long value = std::strtoll(digits.c_str(), &end, 10);
+      if (errno != 0) {
+        return InvalidArgumentError(
+            StrCat("line ", line, ": integer literal out of range: ", digits));
+      }
+      push(TokenKind::kInt, digits, value);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && IsIdentChar(source[i])) ++i;
+      std::string word(source.substr(start, i - start));
+      if (std::isupper(static_cast<unsigned char>(c)) || c == '_') {
+        push(TokenKind::kVar, std::move(word));
+      } else {
+        push(TokenKind::kIdent, std::move(word));
+      }
+      continue;
+    }
+    if (c == '\'') {  // quoted symbol
+      size_t start = ++i;
+      while (i < n && source[i] != '\'') {
+        if (source[i] == '\n') {
+          return InvalidArgumentError(
+              StrCat("line ", line, ": newline in quoted symbol"));
+        }
+        ++i;
+      }
+      if (i >= n) {
+        return InvalidArgumentError(
+            StrCat("line ", line, ": unterminated quoted symbol"));
+      }
+      push(TokenKind::kIdent, std::string(source.substr(start, i - start)));
+      ++i;  // closing quote
+      continue;
+    }
+    switch (c) {
+      case '(': push(TokenKind::kLParen); ++i; continue;
+      case ')': push(TokenKind::kRParen); ++i; continue;
+      case ',': push(TokenKind::kComma); ++i; continue;
+      case '&': push(TokenKind::kComma); ++i; continue;  // paper syntax
+      case '.': push(TokenKind::kPeriod); ++i; continue;
+      case '+': push(TokenKind::kPlus); ++i; continue;
+      case '-': push(TokenKind::kMinus); ++i; continue;
+      case '*': push(TokenKind::kStar); ++i; continue;
+      case '/': push(TokenKind::kSlash); ++i; continue;
+      case '=': push(TokenKind::kEq); ++i; continue;
+      case ':':
+        if (i + 1 < n && source[i + 1] == '-') {
+          push(TokenKind::kColonDash);
+          i += 2;
+          continue;
+        }
+        return InvalidArgumentError(StrCat("line ", line, ": stray ':'"));
+      case '?':
+        if (i + 1 < n && source[i + 1] == '-') {
+          push(TokenKind::kQueryDash);
+          i += 2;
+          continue;
+        }
+        push(TokenKind::kQuestion);
+        ++i;
+        continue;
+      case '!':
+        if (i + 1 < n && source[i + 1] == '=') {
+          push(TokenKind::kNe);
+          i += 2;
+          continue;
+        }
+        return InvalidArgumentError(StrCat("line ", line, ": stray '!'"));
+      case '<':
+        if (i + 1 < n && source[i + 1] == '=') {
+          push(TokenKind::kLe);
+          i += 2;
+        } else {
+          push(TokenKind::kLt);
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < n && source[i + 1] == '=') {
+          push(TokenKind::kGe);
+          i += 2;
+        } else {
+          push(TokenKind::kGt);
+          ++i;
+        }
+        continue;
+      default:
+        return InvalidArgumentError(
+            StrCat("line ", line, ": unexpected character '", c, "'"));
+    }
+  }
+  push(TokenKind::kEnd);
+  return tokens;
+}
+
+}  // namespace seprec

@@ -1,0 +1,64 @@
+// Tokenizer for the Prolog-style Datalog surface syntax.
+//
+// Token classes:
+//   lowercase identifier            -> kIdent   (predicate / symbol constant)
+//   Uppercase or '_' identifier     -> kVar
+//   decimal integer                 -> kInt
+//   'single quoted'                 -> kIdent   (symbol with any spelling)
+//   punctuation                     -> kLParen kRParen kComma kPeriod ...
+//   ':-' '?-' '?'                   -> kColonDash kQueryDash kQuestion
+//   '=' '!=' '<' '<=' '>' '>='      -> comparison tokens
+//   '+' '-' '*' '/'                 -> arithmetic tokens ('mod' is kIdent)
+//   '&' is accepted as a synonym of ',' (the paper writes bodies with '&').
+// Comments run from '%' to end of line.
+#ifndef SEPREC_DATALOG_LEXER_H_
+#define SEPREC_DATALOG_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace seprec {
+
+enum class TokenKind {
+  kIdent,
+  kVar,
+  kInt,
+  kLParen,
+  kRParen,
+  kComma,
+  kPeriod,
+  kColonDash,
+  kQueryDash,
+  kQuestion,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kEnd,
+};
+
+std::string_view TokenKindToString(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;        // identifier / variable spelling
+  int64_t int_value = 0;   // for kInt
+  int line = 1;            // 1-based source line, for error messages
+};
+
+// Tokenizes `source`; on success the result ends with a kEnd token.
+StatusOr<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace seprec
+
+#endif  // SEPREC_DATALOG_LEXER_H_

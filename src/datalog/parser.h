@@ -1,0 +1,50 @@
+// Recursive-descent parser for Datalog programs and queries.
+//
+// Grammar (Prolog-flavoured; '&' and ',' both separate body literals):
+//
+//   unit     := clause*
+//   clause   := atom '.'                          (fact)
+//             | atom ':-' body '.'                (rule)
+//             | '?-' atom '.'                     (query)
+//             | atom '?'                          (query, paper style)
+//   body     := literal ((',' | '&') literal)*
+//   literal  := atom
+//             | term cmpop term                   (cmpop: = != < <= > >=)
+//             | VAR 'is' expr
+//   atom     := IDENT ['(' term (',' term)* ')']
+//   term     := VAR | IDENT | INT | '-' INT
+//   expr     := mulexpr (('+'|'-') mulexpr)*
+//   mulexpr  := unit2 (('*'|'/'|'mod') unit2)*
+//   unit2    := term | '(' expr ')'
+#ifndef SEPREC_DATALOG_PARSER_H_
+#define SEPREC_DATALOG_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "util/status.h"
+
+namespace seprec {
+
+struct ParsedUnit {
+  Program program;           // facts and rules, in source order
+  std::vector<Atom> queries; // query atoms, in source order
+};
+
+// Parses a whole source text.
+StatusOr<ParsedUnit> ParseUnit(std::string_view source);
+
+// Parses a source text that must contain only facts/rules (no queries).
+StatusOr<Program> ParseProgram(std::string_view source);
+
+// Parses a single atom such as "buys(tom, Y)".
+StatusOr<Atom> ParseAtom(std::string_view source);
+
+// Test/example conveniences: abort on parse failure.
+Program ParseProgramOrDie(std::string_view source);
+Atom ParseAtomOrDie(std::string_view source);
+
+}  // namespace seprec
+
+#endif  // SEPREC_DATALOG_PARSER_H_

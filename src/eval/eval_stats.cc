@@ -1,0 +1,19 @@
+#include "eval/eval_stats.h"
+
+#include "util/string_util.h"
+
+namespace seprec {
+
+std::string EvalStats::ToString() const {
+  std::string out = StrCat("algorithm: ", algorithm, "\n",
+                           "iterations: ", iterations, "\n",
+                           "tuples inserted: ", tuples_inserted, "\n",
+                           "max relation size: ", max_relation_size, "\n",
+                           "wall seconds: ", seconds, "\n");
+  for (const auto& [name, size] : relation_sizes) {
+    out += StrCat("  |", name, "| = ", size, "\n");
+  }
+  return out;
+}
+
+}  // namespace seprec

@@ -1,0 +1,63 @@
+// EvalStats: the cost measurements shared by every evaluation engine.
+//
+// The paper compares algorithms by the sizes of the relations they
+// construct (Definition 4.2: an algorithm is O(f(n)) on a query if it
+// constructs only relations of size O(f(n))). Every engine therefore
+// reports, per constructed relation, its final size, plus totals and wall
+// time, so the benches can print the paper's metric uniformly.
+#ifndef SEPREC_EVAL_EVAL_STATS_H_
+#define SEPREC_EVAL_EVAL_STATS_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+namespace seprec {
+
+struct EvalStats {
+  std::string algorithm;
+
+  // Fixpoint rounds summed over all strata / loops.
+  size_t iterations = 0;
+
+  // Total distinct tuples inserted into constructed (IDB + auxiliary)
+  // relations over the whole evaluation.
+  size_t tuples_inserted = 0;
+
+  // Final size of every constructed relation, by name.
+  std::map<std::string, size_t> relation_sizes;
+
+  // Size of the largest constructed relation (the paper's headline metric).
+  size_t max_relation_size = 0;
+
+  double seconds = 0.0;
+
+  // Records `size` for `name`, updating the maximum.
+  void NoteRelation(const std::string& name, size_t size) {
+    relation_sizes[name] = size;
+    if (size > max_relation_size) max_relation_size = size;
+  }
+
+  // Records `size` for `name`, keeping the larger of the old and new value
+  // (used when the same auxiliary relation is populated across several
+  // sub-evaluations, e.g. the union-of-full-selections driver).
+  void NoteRelationMax(const std::string& name, size_t size) {
+    size_t& slot = relation_sizes[name];
+    if (size > slot) slot = size;
+    if (size > max_relation_size) max_relation_size = size;
+  }
+
+  // Sum of all constructed relation sizes.
+  size_t TotalRelationSize() const {
+    size_t total = 0;
+    for (const auto& [name, size] : relation_sizes) total += size;
+    return total;
+  }
+
+  // Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+}  // namespace seprec
+
+#endif  // SEPREC_EVAL_EVAL_STATS_H_

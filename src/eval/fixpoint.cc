@@ -1,0 +1,314 @@
+#include "eval/fixpoint.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "datalog/analysis.h"
+#include "eval/join_plan.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace seprec {
+namespace {
+
+constexpr char kDeltaPrefix[] = "$delta_";
+
+struct AggregateRuntime {
+  RulePlan plan;  // emits (head args with over_var at the aggregate slot)
+  AggregateSpec spec;
+  std::string head_predicate;
+  size_t arity = 0;
+};
+
+struct StratumRuntime {
+  std::vector<std::string> idb_preds;   // predicates of this stratum
+  std::vector<RulePlan> base_plans;     // all body literals read full rels
+  std::vector<RulePlan> delta_plans;    // one per (rule, SCC occurrence)
+  std::vector<AggregateRuntime> aggregate_plans;  // run once, first
+  bool recursive = false;
+};
+
+class FixpointEngine {
+ public:
+  FixpointEngine(Database* db, const FixpointOptions& options,
+                 EvalStats* stats, bool seminaive)
+      : db_(db), options_(options), stats_(stats), seminaive_(seminaive) {}
+
+  Status Run(const Program& program) {
+    WallTimer timer;
+    SEPREC_ASSIGN_OR_RETURN(ProgramInfo info, ProgramInfo::Analyze(program));
+
+    Status result = Status::OK();
+    for (size_t s = 0; s < info.strata().size(); ++s) {
+      // Skip EDB-only components.
+      bool any_idb = false;
+      for (const std::string& pred : info.strata()[s]) {
+        if (info.IsIdb(pred)) any_idb = true;
+      }
+      if (!any_idb) continue;
+
+      SEPREC_ASSIGN_OR_RETURN(StratumRuntime stratum,
+                              PrepareStratum(info, s));
+      result = EvaluateStratum(info, stratum);
+      if (!result.ok()) break;
+    }
+
+    // Record final sizes even on resource exhaustion.
+    if (stats_ != nullptr) {
+      for (const auto& [name, pred] : info.predicates()) {
+        if (!pred.is_idb) continue;
+        const Relation* rel = db_->Find(name);
+        stats_->NoteRelation(name, rel == nullptr ? 0 : rel->size());
+      }
+      stats_->seconds = timer.Seconds();
+      if (stats_->algorithm.empty()) {
+        stats_->algorithm = seminaive_ ? "seminaive" : "naive";
+      }
+    }
+    // Drop the internal delta relations.
+    for (const std::string& name : delta_names_) {
+      db_->Drop(name);
+    }
+    return result;
+  }
+
+ private:
+  StatusOr<StratumRuntime> PrepareStratum(const ProgramInfo& info, size_t s) {
+    StratumRuntime stratum;
+    std::set<std::string> scc(info.strata()[s].begin(),
+                              info.strata()[s].end());
+    for (const std::string& pred : info.strata()[s]) {
+      if (!info.IsIdb(pred)) continue;
+      stratum.idb_preds.push_back(pred);
+      if (info.IsRecursive(pred)) stratum.recursive = true;
+      const PredicateInfo* pi = info.Find(pred);
+      SEPREC_RETURN_IF_ERROR(
+          db_->CreateRelation(pred, pi->arity).status());
+      if (seminaive_) {
+        std::string delta = StrCat(kDeltaPrefix, pred);
+        SEPREC_RETURN_IF_ERROR(
+            db_->CreateRelation(delta, pi->arity).status());
+        delta_names_.insert(delta);
+      }
+    }
+
+    for (const Rule* rule : info.RulesOfStratum(s)) {
+      PlanOptions base_opts;
+      base_opts.disable_indexes = options_.disable_indexes;
+      if (rule->aggregate.has_value()) {
+        // Aggregate rules run once per stratum (stratification guarantees
+        // their bodies are complete); the plan collects (group, value)
+        // rows that EvaluateStratum folds per group.
+        SEPREC_ASSIGN_OR_RETURN(RulePlan plan,
+                                RulePlan::Compile(*rule, db_, base_opts));
+        stratum.aggregate_plans.push_back(
+            AggregateRuntime{std::move(plan), *rule->aggregate,
+                             rule->head.predicate, rule->head.arity()});
+        continue;
+      }
+      SEPREC_ASSIGN_OR_RETURN(RulePlan base,
+                              RulePlan::Compile(*rule, db_, base_opts));
+      stratum.base_plans.push_back(std::move(base));
+      if (!seminaive_ || !stratum.recursive) continue;
+      // One delta variant per body occurrence of a same-stratum predicate.
+      for (size_t i = 0; i < rule->body.size(); ++i) {
+        const Literal& lit = rule->body[i];
+        if (lit.kind != Literal::Kind::kAtom) continue;
+        if (!scc.count(lit.atom.predicate)) continue;
+        if (!info.IsIdb(lit.atom.predicate)) continue;
+        PlanOptions opts;
+        opts.disable_indexes = options_.disable_indexes;
+        opts.relation_overrides[i] =
+            StrCat(kDeltaPrefix, lit.atom.predicate);
+        SEPREC_ASSIGN_OR_RETURN(RulePlan delta,
+                                RulePlan::Compile(*rule, db_, opts));
+        stratum.delta_plans.push_back(std::move(delta));
+      }
+    }
+    return stratum;
+  }
+
+  Status EvaluateStratum(const ProgramInfo& info,
+                         const StratumRuntime& stratum) {
+    // Per-predicate scratch relations (write-only, engine-local).
+    std::map<std::string, std::unique_ptr<Relation>> scratch;
+    for (const std::string& pred : stratum.idb_preds) {
+      const PredicateInfo* pi = info.Find(pred);
+      scratch.emplace(pred, std::make_unique<Relation>(
+                                StrCat("$scratch_", pred), pi->arity));
+    }
+    auto scratch_for = [&scratch](const std::string& pred) {
+      return scratch.at(pred).get();
+    };
+
+    bool overflow = false;
+
+    // Fold scratch into the materialised relations (and deltas); returns
+    // the number of genuinely new tuples.
+    auto fold = [this, &scratch, &stratum]() -> size_t {
+      size_t new_tuples = 0;
+      for (const std::string& pred : stratum.idb_preds) {
+        Relation* full = db_->Find(pred);
+        Relation* delta =
+            seminaive_ ? db_->Find(StrCat(kDeltaPrefix, pred)) : nullptr;
+        if (delta != nullptr) delta->Clear();
+        Relation* sc = scratch.at(pred).get();
+        for (size_t i = 0; i < sc->size(); ++i) {
+          if (full->Insert(sc->row(i))) {
+            ++new_tuples;
+            if (delta != nullptr) delta->Insert(sc->row(i));
+          }
+        }
+        sc->Clear();
+      }
+      if (stats_ != nullptr) stats_->tuples_inserted += new_tuples;
+      total_inserted_ += new_tuples;
+      return new_tuples;
+    };
+
+    // Aggregate rules first (their bodies live in lower strata).
+    for (const AggregateRuntime& agg : stratum.aggregate_plans) {
+      SEPREC_RETURN_IF_ERROR(
+          RunAggregate(agg, scratch_for(agg.head_predicate), &overflow));
+    }
+    // Round 0: all rules against full (initially possibly empty) relations.
+    for (const RulePlan& plan : stratum.base_plans) {
+      plan.ExecuteInto(scratch_for(plan.rule().head.predicate), &overflow);
+    }
+    size_t new_tuples = fold();
+    size_t rounds = 1;
+    if (stats_ != nullptr) stats_->iterations += 1;
+
+    if (stratum.recursive) {
+      const std::vector<RulePlan>& plans =
+          seminaive_ ? stratum.delta_plans : stratum.base_plans;
+      while (new_tuples > 0) {
+        if (rounds >= options_.max_iterations) {
+          return ResourceExhaustedError(
+              StrCat("fixpoint exceeded ", options_.max_iterations,
+                     " iterations"));
+        }
+        if (total_inserted_ > options_.max_tuples) {
+          return ResourceExhaustedError(
+              StrCat("fixpoint exceeded ", options_.max_tuples, " tuples"));
+        }
+        for (const RulePlan& plan : plans) {
+          plan.ExecuteInto(scratch_for(plan.rule().head.predicate),
+                           &overflow);
+        }
+        new_tuples = fold();
+        ++rounds;
+        if (stats_ != nullptr) stats_->iterations += 1;
+      }
+    }
+    if (overflow) {
+      return OutOfRangeError("arithmetic overflow during evaluation");
+    }
+    if (total_inserted_ > options_.max_tuples) {
+      return ResourceExhaustedError(
+          StrCat("fixpoint exceeded ", options_.max_tuples, " tuples"));
+    }
+    return Status::OK();
+  }
+
+  // Collects the (group, value) rows of an aggregate rule, folds each
+  // group with the aggregate operator, and emits one row per group into
+  // `out` (the value replacing the over-variable slot).
+  Status RunAggregate(const AggregateRuntime& agg, Relation* out,
+                      bool* overflow) {
+    Relation collected("$agg_collect", agg.arity);
+    agg.plan.ExecuteInto(&collected, overflow);
+
+    const size_t pos = agg.spec.head_position;
+    struct Accumulator {
+      int64_t count = 0;
+      int64_t sum = 0;
+      int64_t min = 0;
+      int64_t max = 0;
+    };
+    std::map<std::vector<Value>, Accumulator> groups;
+    for (size_t i = 0; i < collected.size(); ++i) {
+      Row row = collected.row(i);
+      std::vector<Value> key;
+      key.reserve(agg.arity - 1);
+      for (size_t c = 0; c < agg.arity; ++c) {
+        if (c != pos) key.push_back(row[c]);
+      }
+      Value v = row[pos];
+      if (agg.spec.op != AggregateSpec::Op::kCount && !v.is_int()) {
+        return OutOfRangeError(
+            StrCat("aggregate ", AggregateOpToString(agg.spec.op),
+                   " over non-integer value in relation '",
+                   agg.head_predicate, "'"));
+      }
+      auto [it, inserted] = groups.try_emplace(std::move(key));
+      Accumulator& acc = it->second;
+      int64_t x = v.is_int() ? v.as_int() : 0;
+      if (inserted) {
+        acc.min = acc.max = x;
+      } else {
+        acc.min = std::min(acc.min, x);
+        acc.max = std::max(acc.max, x);
+      }
+      ++acc.count;
+      int64_t new_sum = 0;
+      if (__builtin_add_overflow(acc.sum, x, &new_sum)) {
+        return OutOfRangeError(
+            StrCat("aggregate sum overflow in relation '",
+                   agg.head_predicate, "'"));
+      }
+      acc.sum = new_sum;
+    }
+    for (const auto& [key, acc] : groups) {
+      int64_t result = 0;
+      switch (agg.spec.op) {
+        case AggregateSpec::Op::kCount: result = acc.count; break;
+        case AggregateSpec::Op::kSum: result = acc.sum; break;
+        case AggregateSpec::Op::kMin: result = acc.min; break;
+        case AggregateSpec::Op::kMax: result = acc.max; break;
+      }
+      if (result > Value::kMaxInt || result < Value::kMinInt) {
+        return OutOfRangeError("aggregate result out of Value range");
+      }
+      std::vector<Value> row;
+      row.reserve(agg.arity);
+      size_t key_index = 0;
+      for (size_t c = 0; c < agg.arity; ++c) {
+        if (c == pos) {
+          row.push_back(Value::Int(result));
+        } else {
+          row.push_back(key[key_index++]);
+        }
+      }
+      out->Insert(Row(row.data(), row.size()));
+    }
+    return Status::OK();
+  }
+
+  Database* db_;
+  FixpointOptions options_;
+  EvalStats* stats_;
+  bool seminaive_;
+  size_t total_inserted_ = 0;
+  std::set<std::string> delta_names_;
+};
+
+}  // namespace
+
+Status EvaluateSemiNaive(const Program& program, Database* db,
+                         const FixpointOptions& options, EvalStats* stats) {
+  FixpointEngine engine(db, options, stats, /*seminaive=*/true);
+  return engine.Run(program);
+}
+
+Status EvaluateNaive(const Program& program, Database* db,
+                     const FixpointOptions& options, EvalStats* stats) {
+  FixpointEngine engine(db, options, stats, /*seminaive=*/false);
+  return engine.Run(program);
+}
+
+}  // namespace seprec

@@ -1,0 +1,52 @@
+// Bottom-up fixpoint engines: naive and semi-naive evaluation.
+//
+// Both materialise every IDB predicate of the program into the database,
+// stratum by stratum (SCCs of the dependency graph in topological order).
+// Semi-naive is the library's generic baseline evaluator — the same
+// strategy a general Datalog engine (e.g. Soufflé) applies to programs it
+// has no specialised algorithm for — and it is also the machinery that runs
+// the Magic Sets and Counting rewrites.
+#ifndef SEPREC_EVAL_FIXPOINT_H_
+#define SEPREC_EVAL_FIXPOINT_H_
+
+#include <cstddef>
+#include <limits>
+
+#include "datalog/ast.h"
+#include "eval/eval_stats.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace seprec {
+
+struct FixpointOptions {
+  // Abort with RESOURCE_EXHAUSTED once a stratum exceeds this many rounds.
+  // Guards non-terminating rewrites (e.g. Counting over cyclic data).
+  size_t max_iterations = std::numeric_limits<size_t>::max();
+
+  // Abort with RESOURCE_EXHAUSTED once this many tuples were inserted into
+  // IDB relations in total.
+  size_t max_tuples = std::numeric_limits<size_t>::max();
+
+  // Ablation: compile rule plans without index probes (full scans with
+  // post-filters). See PlanOptions::disable_indexes.
+  bool disable_indexes = false;
+};
+
+// Evaluates `program` to fixpoint with semi-naive (delta) iteration.
+// On success all IDB relations are materialised in `db`; `stats` (optional)
+// receives sizes/iterations/time. On RESOURCE_EXHAUSTED the partially
+// materialised relations remain in `db` and stats are still filled in.
+Status EvaluateSemiNaive(const Program& program, Database* db,
+                         const FixpointOptions& options = {},
+                         EvalStats* stats = nullptr);
+
+// Naive (re-derive everything each round) evaluation; reference semantics
+// for tests and the ablation benches.
+Status EvaluateNaive(const Program& program, Database* db,
+                     const FixpointOptions& options = {},
+                     EvalStats* stats = nullptr);
+
+}  // namespace seprec
+
+#endif  // SEPREC_EVAL_FIXPOINT_H_

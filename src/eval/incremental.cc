@@ -1,0 +1,320 @@
+#include "eval/incremental.h"
+
+#include "eval/fixpoint.h"
+#include "util/string_util.h"
+
+namespace seprec {
+
+std::string UpdateStats::ToString() const {
+  return StrCat("inserted: ", inserted, ", overdeleted: ", overdeleted,
+                ", rederived: ", rederived, ", iterations: ", iterations);
+}
+
+std::string IncrementalEngine::NewDeltaName(std::string_view pred) const {
+  return StrCat("$inc_new_", pred);
+}
+
+std::string IncrementalEngine::DelDeltaName(std::string_view pred) const {
+  return StrCat("$inc_del_", pred);
+}
+
+StatusOr<IncrementalEngine> IncrementalEngine::Create(Program program,
+                                                      Database* db) {
+  IncrementalEngine engine;
+  engine.db_ = db;
+  SEPREC_ASSIGN_OR_RETURN(engine.info_, ProgramInfo::Analyze(program));
+
+  for (const Rule& rule : program.rules) {
+    if (rule.aggregate.has_value()) {
+      return FailedPreconditionError(
+          StrCat("DRed maintenance requires a positive program; aggregate "
+                 "rule: ",
+                 rule.ToString()));
+    }
+    for (const Literal& lit : rule.body) {
+      if (lit.kind == Literal::Kind::kAtom && lit.negated) {
+        return FailedPreconditionError(
+            StrCat("DRed maintenance requires a positive program; negated "
+                   "literal in: ",
+                   rule.ToString()));
+      }
+    }
+  }
+
+  for (const auto& [name, pred] : engine.info_.predicates()) {
+    engine.predicates_.insert(name);
+    if (pred.is_idb) engine.idb_.insert(name);
+    SEPREC_RETURN_IF_ERROR(db->CreateRelation(name, pred.arity).status());
+    SEPREC_RETURN_IF_ERROR(
+        db->CreateRelation(engine.NewDeltaName(name), pred.arity).status());
+    SEPREC_RETURN_IF_ERROR(
+        db->CreateRelation(engine.DelDeltaName(name), pred.arity).status());
+  }
+
+  // Per-occurrence variant plans for insertion and overdeletion, and the
+  // del-filtered rederivation plan per rule.
+  for (const Rule& rule : program.rules) {
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      const Literal& lit = rule.body[i];
+      if (lit.kind != Literal::Kind::kAtom) continue;
+      PlanOptions new_opts;
+      new_opts.relation_overrides[i] =
+          engine.NewDeltaName(lit.atom.predicate);
+      SEPREC_ASSIGN_OR_RETURN(RulePlan new_plan,
+                              RulePlan::Compile(rule, db, new_opts));
+      engine.insert_plans_.push_back(
+          VariantPlan{std::move(new_plan), rule.head.predicate});
+
+      PlanOptions del_opts;
+      del_opts.relation_overrides[i] =
+          engine.DelDeltaName(lit.atom.predicate);
+      SEPREC_ASSIGN_OR_RETURN(RulePlan del_plan,
+                              RulePlan::Compile(rule, db, del_opts));
+      engine.overdelete_plans_.push_back(
+          VariantPlan{std::move(del_plan), rule.head.predicate});
+    }
+    // Rederive plan: body plus a filter restricting heads to overdeleted
+    // candidates.
+    Rule rederive = rule;
+    Atom filter;
+    filter.predicate = engine.DelDeltaName(rule.head.predicate);
+    filter.args = rule.head.args;
+    rederive.body.insert(rederive.body.begin(),
+                         Literal::MakeAtom(std::move(filter)));
+    SEPREC_ASSIGN_OR_RETURN(RulePlan rederive_plan,
+                            RulePlan::Compile(rederive, db));
+    engine.rederive_plans_.push_back(
+        VariantPlan{std::move(rederive_plan), rule.head.predicate});
+  }
+  return engine;
+}
+
+Status IncrementalEngine::Initialize() {
+  return EvaluateSemiNaive(info_.program(), db_);
+}
+
+Status IncrementalEngine::SeedRows(
+    std::string_view relation, const std::vector<std::vector<Value>>& rows,
+    bool removing, Relation** edb, Relation** seed) {
+  if (idb_.count(std::string(relation))) {
+    return InvalidArgumentError(
+        StrCat("'", relation, "' is IDB; incremental updates apply to base "
+               "relations"));
+  }
+  *edb = db_->Find(relation);
+  if (*edb == nullptr) {
+    return NotFoundError(StrCat("unknown relation '", relation, "'"));
+  }
+  *seed = db_->Find(removing ? DelDeltaName(relation)
+                             : NewDeltaName(relation));
+  if (*seed == nullptr) {
+    return InvalidArgumentError(
+        StrCat("relation '", relation,
+               "' is not part of the maintained program"));
+  }
+  for (const std::vector<Value>& row : rows) {
+    if (row.size() != (*edb)->arity()) {
+      return InvalidArgumentError(
+          StrCat("row arity ", row.size(), " does not match '", relation,
+                 "'/", (*edb)->arity()));
+    }
+  }
+  return Status::OK();
+}
+
+Status IncrementalEngine::PropagateInsertions() {
+  // Assumes $inc_new_* deltas are seeded and their contents are already
+  // present in the base relations.
+  std::map<std::string, std::unique_ptr<Relation>> scratch;
+  for (const std::string& pred : idb_) {
+    scratch.emplace(pred, std::make_unique<Relation>(
+                              "$inc_scratch",
+                              db_->Find(pred)->arity()));
+  }
+
+  bool any_delta = true;
+  while (any_delta) {
+    ++last_update_.iterations;
+    for (const VariantPlan& vp : insert_plans_) {
+      vp.plan.ExecuteInto(scratch.at(vp.head).get());
+    }
+    // Clear all deltas, then fold scratch: new tuples become next deltas.
+    for (const std::string& pred : predicates_) {
+      db_->Find(NewDeltaName(pred))->Clear();
+    }
+    any_delta = false;
+    for (const std::string& pred : idb_) {
+      Relation* full = db_->Find(pred);
+      Relation* delta = db_->Find(NewDeltaName(pred));
+      Relation* sc = scratch.at(pred).get();
+      for (size_t i = 0; i < sc->size(); ++i) {
+        if (full->Insert(sc->row(i))) {
+          ++last_update_.inserted;
+          delta->Insert(sc->row(i));
+          any_delta = true;
+        }
+      }
+      sc->Clear();
+    }
+  }
+  return Status::OK();
+}
+
+Status IncrementalEngine::AddFacts(
+    std::string_view relation, const std::vector<std::vector<Value>>& rows) {
+  last_update_ = UpdateStats();
+  Relation* edb = nullptr;
+  Relation* seed = nullptr;
+  SEPREC_RETURN_IF_ERROR(
+      SeedRows(relation, rows, /*removing=*/false, &edb, &seed));
+
+  for (const std::string& pred : predicates_) {
+    db_->Find(NewDeltaName(pred))->Clear();
+  }
+  for (const std::vector<Value>& row : rows) {
+    if (edb->Insert(Row(row.data(), row.size()))) {
+      seed->Insert(Row(row.data(), row.size()));
+    }
+  }
+  if (seed->empty()) return Status::OK();
+  return PropagateInsertions();
+}
+
+Status IncrementalEngine::AddFact(std::string_view relation,
+                                  const std::vector<std::string>& symbols) {
+  std::vector<Value> row;
+  row.reserve(symbols.size());
+  for (const std::string& s : symbols) {
+    row.push_back(db_->symbols().Intern(s));
+  }
+  return AddFacts(relation, {row});
+}
+
+Status IncrementalEngine::RemoveFacts(
+    std::string_view relation, const std::vector<std::vector<Value>>& rows) {
+  last_update_ = UpdateStats();
+  Relation* edb = nullptr;
+  Relation* seed = nullptr;
+  SEPREC_RETURN_IF_ERROR(
+      SeedRows(relation, rows, /*removing=*/true, &edb, &seed));
+
+  // Overdeletion is computed against the PRE-deletion relations: collect
+  // per-predicate overdelete sets in the $inc_del_* relations first.
+  for (const std::string& pred : predicates_) {
+    db_->Find(DelDeltaName(pred))->Clear();
+    db_->Find(NewDeltaName(pred))->Clear();
+  }
+  for (const std::vector<Value>& row : rows) {
+    if (edb->Contains(Row(row.data(), row.size()))) {
+      seed->Insert(Row(row.data(), row.size()));
+    }
+  }
+  if (seed->empty()) return Status::OK();
+
+  // The $inc_del_* relations play two roles: the accumulated overdelete
+  // set AND the per-round delta. Keep a separate per-round delta by
+  // double-buffering through scratch relations.
+  std::map<std::string, std::unique_ptr<Relation>> scratch;
+  std::map<std::string, std::unique_ptr<Relation>> total_del;
+  for (const std::string& pred : predicates_) {
+    size_t arity = db_->Find(pred)->arity();
+    scratch.emplace(pred,
+                    std::make_unique<Relation>("$inc_scratch", arity));
+    auto total = std::make_unique<Relation>("$inc_total_del", arity);
+    total->InsertAll(*db_->Find(DelDeltaName(pred)));
+    total_del.emplace(pred, std::move(total));
+  }
+  total_del.at(std::string(relation))->InsertAll(*seed);
+
+  bool any_delta = true;
+  while (any_delta) {
+    ++last_update_.iterations;
+    for (const VariantPlan& vp : overdelete_plans_) {
+      vp.plan.ExecuteInto(scratch.at(vp.head).get());
+    }
+    for (const std::string& pred : predicates_) {
+      db_->Find(DelDeltaName(pred))->Clear();
+    }
+    any_delta = false;
+    for (const std::string& pred : idb_) {
+      Relation* full = db_->Find(pred);
+      Relation* delta = db_->Find(DelDeltaName(pred));
+      Relation* total = total_del.at(pred).get();
+      Relation* sc = scratch.at(pred).get();
+      for (size_t i = 0; i < sc->size(); ++i) {
+        Row r = sc->row(i);
+        // Only tuples actually in the materialised relation matter, and
+        // each enters the overdelete set once.
+        if (full->Contains(r) && total->Insert(r)) {
+          delta->Insert(r);
+          any_delta = true;
+        }
+      }
+      sc->Clear();
+    }
+  }
+
+  // Erase the overdeleted tuples (and load $inc_del_* with the full sets
+  // for the rederive filter).
+  for (const std::string& pred : predicates_) {
+    Relation* total = total_del.at(pred).get();
+    Relation* delta = db_->Find(DelDeltaName(pred));
+    delta->Clear();
+    delta->InsertAll(*total);
+    if (pred == relation) {
+      db_->Find(pred)->EraseRows(*total);
+    } else if (idb_.count(pred)) {
+      size_t removed = db_->Find(pred)->EraseRows(*total);
+      last_update_.overdeleted += removed;
+    }
+  }
+
+  // Rederive: candidates still derivable from the remaining tuples come
+  // back and cascade as insertions.
+  for (const std::string& pred : predicates_) {
+    db_->Find(NewDeltaName(pred))->Clear();
+  }
+  bool any_rederived = false;
+  for (const VariantPlan& vp : rederive_plans_) {
+    vp.plan.ExecuteInto(scratch.at(vp.head).get());
+  }
+  for (const std::string& pred : idb_) {
+    Relation* full = db_->Find(pred);
+    Relation* delta = db_->Find(NewDeltaName(pred));
+    Relation* sc = scratch.at(pred).get();
+    for (size_t i = 0; i < sc->size(); ++i) {
+      if (full->Insert(sc->row(i))) {
+        ++last_update_.rederived;
+        delta->Insert(sc->row(i));
+        any_rederived = true;
+      }
+    }
+    sc->Clear();
+  }
+  if (any_rederived) {
+    size_t before = last_update_.inserted;
+    SEPREC_RETURN_IF_ERROR(PropagateInsertions());
+    last_update_.rederived += last_update_.inserted - before;
+  }
+  // Clear the del filters.
+  for (const std::string& pred : predicates_) {
+    db_->Find(DelDeltaName(pred))->Clear();
+  }
+  return Status::OK();
+}
+
+Status IncrementalEngine::RemoveFact(
+    std::string_view relation, const std::vector<std::string>& symbols) {
+  std::vector<Value> row;
+  row.reserve(symbols.size());
+  for (const std::string& s : symbols) {
+    Value v;
+    if (!db_->symbols().TryFind(s, &v)) {
+      return Status::OK();  // unknown symbol: nothing to remove
+    }
+    row.push_back(v);
+  }
+  return RemoveFacts(relation, {row});
+}
+
+}  // namespace seprec

@@ -1,0 +1,109 @@
+// Incremental view maintenance for positive Datalog programs:
+// insertions by semi-naive delta propagation, deletions by
+// Delete-and-Rederive (DRed) [Gupta, Mumick & Subrahmanian 1993].
+//
+// After Initialize() materialises the fixpoint, AddFacts/RemoveFacts keep
+// every IDB relation exact under EDB updates without recomputing from
+// scratch:
+//
+//   * insertion: seed per-relation deltas with the new tuples and run the
+//     per-occurrence delta rules to fixpoint (only work proportional to
+//     the affected derivations);
+//   * deletion: (1) overdelete — close the set of tuples with at least
+//     one derivation through a deleted tuple (computed against the
+//     pre-deletion relations), (2) erase them, (3) rederive — re-insert
+//     every overdeleted tuple that still has a derivation from the
+//     remaining tuples, cascading re-insertions like insertions.
+//
+// Restricted to positive programs (no negation, no aggregates): DRed's
+// overdelete/rederive argument needs monotonicity. Non-positive programs
+// are rejected at Create; re-evaluate those from scratch instead.
+#ifndef SEPREC_EVAL_INCREMENTAL_H_
+#define SEPREC_EVAL_INCREMENTAL_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "datalog/analysis.h"
+#include "datalog/ast.h"
+#include "eval/join_plan.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace seprec {
+
+struct UpdateStats {
+  size_t inserted = 0;     // tuples added to IDB relations (incl. cascades)
+  size_t overdeleted = 0;  // tuples provisionally deleted
+  size_t rederived = 0;    // overdeleted tuples that came back
+  size_t iterations = 0;   // delta rounds
+
+  std::string ToString() const;
+};
+
+class IncrementalEngine {
+ public:
+  // Validates the program (safe, positive, no aggregates) and compiles
+  // the delta/overdelete/rederive plan sets. `db` must outlive the engine.
+  static StatusOr<IncrementalEngine> Create(Program program, Database* db);
+
+  IncrementalEngine(IncrementalEngine&&) = default;
+  IncrementalEngine& operator=(IncrementalEngine&&) = default;
+
+  // Full semi-naive evaluation establishing the fixpoint. Call once
+  // before the first update (also callable later to re-sync).
+  Status Initialize();
+
+  // Inserts rows into the EDB relation `relation` and propagates.
+  Status AddFacts(std::string_view relation,
+                  const std::vector<std::vector<Value>>& rows);
+  // Convenience: symbol tokens, interned.
+  Status AddFact(std::string_view relation,
+                 const std::vector<std::string>& symbols);
+
+  // Removes rows from the EDB relation `relation` and maintains all IDB
+  // relations by DRed.
+  Status RemoveFacts(std::string_view relation,
+                     const std::vector<std::vector<Value>>& rows);
+  Status RemoveFact(std::string_view relation,
+                    const std::vector<std::string>& symbols);
+
+  // Statistics of the most recent AddFacts/RemoveFacts call.
+  const UpdateStats& last_update() const { return last_update_; }
+
+  const Program& program() const { return info_.program(); }
+
+ private:
+  IncrementalEngine() = default;
+
+  struct VariantPlan {
+    RulePlan plan;
+    std::string head;
+  };
+
+  Status SeedRows(std::string_view relation,
+                  const std::vector<std::vector<Value>>& rows,
+                  bool removing, Relation** edb, Relation** seed);
+  // Runs the insertion delta loop starting from the current $inc_new_*
+  // contents. Adds newly derived tuples to the IDB relations.
+  Status PropagateInsertions();
+
+  std::string NewDeltaName(std::string_view pred) const;
+  std::string DelDeltaName(std::string_view pred) const;
+
+  ProgramInfo info_;
+  Database* db_ = nullptr;
+  std::set<std::string> predicates_;      // every predicate mentioned
+  std::set<std::string> idb_;             // head predicates
+  std::vector<VariantPlan> insert_plans_;     // occurrence -> $inc_new_*
+  std::vector<VariantPlan> overdelete_plans_; // occurrence -> $inc_del_*
+  std::vector<VariantPlan> rederive_plans_;   // body + del-filter on head
+  UpdateStats last_update_;
+};
+
+}  // namespace seprec
+
+#endif  // SEPREC_EVAL_INCREMENTAL_H_

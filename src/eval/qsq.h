@@ -1,0 +1,48 @@
+// QSQR — Query-SubQuery (recursive), the classical set-oriented TOP-DOWN
+// evaluation method [Vieille 1986].
+//
+// Where Magic Sets simulates top-down goal propagation by rewriting the
+// program and running it bottom-up, QSQR propagates goals directly: each
+// adorned predicate p^α keeps an `input` relation of bound-argument tuples
+// (subqueries) and an `ans` relation of answers; rule bodies are swept
+// left-to-right through supplementary relations, generating new subqueries
+// at IDB literals and consuming answers, iterating to a global fixpoint.
+//
+// The adorned system QSQR explores is exactly the one the Magic rewrite
+// generates, so the input/ans relation sizes match Magic's magic_/adorned
+// relation sizes — the classical equivalence, demonstrated by the tests
+// and the tab_ablation bench.
+//
+// Negated and aggregate-defined predicates are pre-materialised and read
+// as base relations (as in the Magic driver).
+#ifndef SEPREC_EVAL_QSQ_H_
+#define SEPREC_EVAL_QSQ_H_
+
+#include <set>
+#include <string>
+
+#include "core/answer.h"
+#include "datalog/ast.h"
+#include "eval/fixpoint.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace seprec {
+
+struct QsqrRunResult {
+  Answer answer{0};
+  EvalStats stats;
+  // The (predicate, adornment) pairs explored, e.g. "tc_bf".
+  std::set<std::string> adorned;
+};
+
+// Answers `query` (which should bind at least one argument for the method
+// to focus anything; all-free queries degenerate to full evaluation) over
+// `program` by QSQR.
+StatusOr<QsqrRunResult> EvaluateWithQsqr(const Program& program,
+                                         const Atom& query, Database* db,
+                                         const FixpointOptions& options = {});
+
+}  // namespace seprec
+
+#endif  // SEPREC_EVAL_QSQ_H_

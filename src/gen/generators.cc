@@ -1,0 +1,115 @@
+#include "gen/generators.h"
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace seprec {
+namespace {
+
+Relation* MustCreate(Database* db, std::string_view relation, size_t arity) {
+  StatusOr<Relation*> rel = db->CreateRelation(relation, arity);
+  SEPREC_CHECK(rel.ok());
+  return *rel;
+}
+
+}  // namespace
+
+std::string NodeName(std::string_view prefix, size_t index) {
+  return StrCat(prefix, index);
+}
+
+void MakeChain(Database* db, std::string_view relation,
+               std::string_view prefix, size_t n) {
+  Relation* rel = MustCreate(db, relation, 2);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    Value from = db->symbols().Intern(NodeName(prefix, i));
+    Value to = db->symbols().Intern(NodeName(prefix, i + 1));
+    rel->Insert({from, to});
+  }
+}
+
+void MakeCycle(Database* db, std::string_view relation,
+               std::string_view prefix, size_t n) {
+  MakeChain(db, relation, prefix, n);
+  if (n < 2) return;
+  Relation* rel = MustCreate(db, relation, 2);
+  Value last = db->symbols().Intern(NodeName(prefix, n - 1));
+  Value first = db->symbols().Intern(NodeName(prefix, 0));
+  rel->Insert({last, first});
+}
+
+void MakeTree(Database* db, std::string_view relation,
+              std::string_view prefix, size_t branching, size_t depth) {
+  SEPREC_CHECK(branching >= 1);
+  Relation* rel = MustCreate(db, relation, 2);
+  // Nodes are numbered breadth-first: node i has children
+  // i*branching+1 .. i*branching+branching.
+  size_t level_start = 0;
+  size_t level_size = 1;
+  size_t next_id = 1;
+  for (size_t d = 0; d < depth; ++d) {
+    for (size_t i = 0; i < level_size; ++i) {
+      size_t parent = level_start + i;
+      Value pv = db->symbols().Intern(NodeName(prefix, parent));
+      for (size_t b = 0; b < branching; ++b) {
+        Value cv = db->symbols().Intern(NodeName(prefix, next_id++));
+        rel->Insert({pv, cv});
+      }
+    }
+    level_start += level_size;
+    level_size *= branching;
+  }
+}
+
+void MakeRandomGraph(Database* db, std::string_view relation,
+                     std::string_view prefix, size_t num_nodes,
+                     size_t num_edges, uint64_t seed) {
+  SEPREC_CHECK(num_nodes >= 1);
+  Relation* rel = MustCreate(db, relation, 2);
+  Rng rng(seed);
+  for (size_t e = 0; e < num_edges; ++e) {
+    size_t from = rng.Below(num_nodes);
+    size_t to = rng.Below(num_nodes);
+    Value fv = db->symbols().Intern(NodeName(prefix, from));
+    Value tv = db->symbols().Intern(NodeName(prefix, to));
+    rel->Insert({fv, tv});
+  }
+}
+
+void MakeCrossProduct(Database* db, std::string_view relation,
+                      std::string_view prefix, size_t k, size_t n) {
+  SEPREC_CHECK(k >= 1);
+  // Guard against runaway materialisation: n^k tuples.
+  double size = 1;
+  for (size_t i = 0; i < k; ++i) size *= static_cast<double>(n);
+  SEPREC_CHECK(size <= 50e6);
+
+  Relation* rel = MustCreate(db, relation, k);
+  std::vector<Value> symbols;
+  symbols.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    symbols.push_back(db->symbols().Intern(NodeName(prefix, i)));
+  }
+  std::vector<size_t> odometer(k, 0);
+  std::vector<Value> row(k);
+  while (true) {
+    for (size_t i = 0; i < k; ++i) row[i] = symbols[odometer[i]];
+    rel->Insert(Row(row.data(), row.size()));
+    size_t pos = k;
+    while (pos > 0) {
+      --pos;
+      if (++odometer[pos] < n) break;
+      odometer[pos] = 0;
+      if (pos == 0) return;
+    }
+    if (n <= 1) return;
+  }
+}
+
+void MakeFact(Database* db, std::string_view relation,
+              const std::vector<std::string>& symbols) {
+  Status status = db->AddFact(relation, symbols);
+  SEPREC_CHECK(status.ok());
+}
+
+}  // namespace seprec

@@ -1,0 +1,50 @@
+// Synthetic EDB generators for tests, examples, and the reproduction
+// benches. All generators are deterministic (seeded) and intern their
+// symbols into the target database.
+#ifndef SEPREC_GEN_GENERATORS_H_
+#define SEPREC_GEN_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/database.h"
+
+namespace seprec {
+
+// "<prefix><index>", e.g. NodeName("a", 3) == "a3".
+std::string NodeName(std::string_view prefix, size_t index);
+
+// Inserts the chain (p0,p1), (p1,p2), ..., (p_{n-2}, p_{n-1}) — n nodes,
+// n-1 edges — into binary relation `relation`.
+void MakeChain(Database* db, std::string_view relation,
+               std::string_view prefix, size_t n);
+
+// Chain plus the closing edge (p_{n-1}, p0).
+void MakeCycle(Database* db, std::string_view relation,
+               std::string_view prefix, size_t n);
+
+// Complete `branching`-ary tree of the given depth; edges point from
+// parent to child. Node 0 is the root.
+void MakeTree(Database* db, std::string_view relation,
+              std::string_view prefix, size_t branching, size_t depth);
+
+// `num_edges` edges drawn uniformly (with replacement, duplicates dropped
+// by the relation) among `num_nodes` nodes.
+void MakeRandomGraph(Database* db, std::string_view relation,
+                     std::string_view prefix, size_t num_nodes,
+                     size_t num_edges, uint64_t seed);
+
+// All n^k tuples over {p0..p_{n-1}} into a k-ary relation (the exit
+// relation of Lemma 4.2's worst case). Refuses absurd sizes via CHECK.
+void MakeCrossProduct(Database* db, std::string_view relation,
+                      std::string_view prefix, size_t k, size_t n);
+
+// A single fact.
+void MakeFact(Database* db, std::string_view relation,
+              const std::vector<std::string>& symbols);
+
+}  // namespace seprec
+
+#endif  // SEPREC_GEN_GENERATORS_H_

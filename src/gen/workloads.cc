@@ -1,0 +1,148 @@
+#include "gen/workloads.h"
+
+#include "datalog/parser.h"
+#include "gen/generators.h"
+#include "util/string_util.h"
+
+namespace seprec {
+
+Program Example11Program() {
+  return ParseProgramOrDie(R"(
+    buys(X, Y) :- friend(X, W) & buys(W, Y).
+    buys(X, Y) :- idol(X, W) & buys(W, Y).
+    buys(X, Y) :- perfectFor(X, Y).
+  )");
+}
+
+void MakeExample11Data(Database* db, size_t n) {
+  MakeChain(db, "friend", "a", n);
+  MakeChain(db, "idol", "a", n);
+  MakeFact(db, "perfectFor", {NodeName("a", n - 1), "b"});
+}
+
+Program Example12Program() {
+  return ParseProgramOrDie(R"(
+    buys(X, Y) :- friend(X, W) & buys(W, Y).
+    buys(X, Y) :- buys(X, W) & cheaper(Y, W).
+    buys(X, Y) :- perfectFor(X, Y).
+  )");
+}
+
+void MakeExample12Data(Database* db, size_t n) {
+  MakeChain(db, "friend", "a", n);
+  // cheaper(b_i, b_{i+1}): b_i is cheaper than b_{i+1}; the recursion walks
+  // from the product bought toward cheaper ones.
+  MakeChain(db, "cheaper", "b", n);
+  MakeFact(db, "perfectFor", {NodeName("a", n - 1), NodeName("b", n - 1)});
+}
+
+Program Example24Program() {
+  return ParseProgramOrDie(R"(
+    t(X, Y, Z) :- a(X, Y, U, V) & t(U, V, Z).
+    t(X, Y, Z) :- t(X, Y, W) & b(W, Z).
+    t(X, Y, Z) :- t0(X, Y, Z).
+  )");
+}
+
+void MakeExample24Data(Database* db, size_t n) {
+  // a((x_i, y_i) -> (x_{i+1}, y_{i+1})) chain over pairs.
+  StatusOr<Relation*> a = db->CreateRelation("a", 4);
+  SEPREC_CHECK(a.ok());
+  for (size_t i = 0; i + 1 < n; ++i) {
+    Value x0 = db->symbols().Intern(NodeName("x", i));
+    Value y0 = db->symbols().Intern(NodeName("y", i));
+    Value x1 = db->symbols().Intern(NodeName("x", i + 1));
+    Value y1 = db->symbols().Intern(NodeName("y", i + 1));
+    (*a)->Insert({x0, y0, x1, y1});
+  }
+  MakeChain(db, "b", "z", n);
+  MakeFact(db, "t0",
+           {NodeName("x", n - 1), NodeName("y", n - 1), NodeName("z", 0)});
+}
+
+Program SpkProgram(size_t p, size_t k) {
+  SEPREC_CHECK(p >= 1);
+  SEPREC_CHECK(k >= 1);
+  std::string text;
+  std::string head_args = "X1";
+  for (size_t c = 2; c <= k; ++c) head_args += StrCat(", X", c);
+  std::string tail_args = "W";
+  for (size_t c = 2; c <= k; ++c) tail_args += StrCat(", X", c);
+  for (size_t i = 1; i <= p; ++i) {
+    text += StrCat("t(", head_args, ") :- a", i, "(X1, W) & t(", tail_args,
+                   ").\n");
+  }
+  text += StrCat("t(", head_args, ") :- t0(", head_args, ").\n");
+  return ParseProgramOrDie(text);
+}
+
+void MakeLemma42Data(Database* db, size_t p, size_t k, size_t n) {
+  MakeChain(db, "a1", "c", n);
+  for (size_t i = 2; i <= p; ++i) {
+    StatusOr<Relation*> rel = db->CreateRelation(StrCat("a", i), 2);
+    SEPREC_CHECK(rel.ok());
+  }
+  MakeCrossProduct(db, "t0", "c", k, n);
+}
+
+void MakeLemma43Data(Database* db, size_t p, size_t k, size_t n) {
+  for (size_t i = 1; i <= p; ++i) {
+    MakeChain(db, StrCat("a", i), "c", n);
+  }
+  std::vector<std::string> exit_tuple;
+  exit_tuple.push_back(NodeName("c", n - 1));
+  for (size_t c = 2; c <= k; ++c) {
+    exit_tuple.push_back(NodeName("d", c));
+  }
+  MakeFact(db, "t0", exit_tuple);
+}
+
+Program TransitiveClosureProgram() {
+  return ParseProgramOrDie(R"(
+    tc(X, Y) :- edge(X, W) & tc(W, Y).
+    tc(X, Y) :- edge(X, Y).
+  )");
+}
+
+Program SameGenerationProgram() {
+  return ParseProgramOrDie(R"(
+    sg(X, Y) :- up(X, U) & sg(U, V) & down(V, Y).
+    sg(X, Y) :- flat(X, Y).
+  )");
+}
+
+void MakeSameGenerationData(Database* db, size_t fanout, size_t levels) {
+  MakeTree(db, "down", "s", fanout, levels);
+  // up = reversed down.
+  const Relation* down = db->Find("down");
+  StatusOr<Relation*> up = db->CreateRelation("up", 2);
+  SEPREC_CHECK(up.ok());
+  for (size_t i = 0; i < down->size(); ++i) {
+    Row r = down->row(i);
+    (*up)->Insert({r[1], r[0]});
+  }
+  // flat: the root's children are mutual siblings.
+  StatusOr<Relation*> flat = db->CreateRelation("flat", 2);
+  SEPREC_CHECK(flat.ok());
+  for (size_t i = 1; i <= fanout; ++i) {
+    for (size_t j = 1; j <= fanout; ++j) {
+      if (i == j) continue;
+      Value a = db->symbols().Intern(NodeName("s", i));
+      Value b = db->symbols().Intern(NodeName("s", j));
+      (*flat)->Insert({a, b});
+    }
+  }
+}
+
+Atom FirstColumnQuery(const std::string& predicate, size_t arity,
+                      const std::string& constant) {
+  Atom query;
+  query.predicate = predicate;
+  query.args.push_back(Term::Sym(constant));
+  for (size_t i = 1; i < arity; ++i) {
+    query.args.push_back(Term::Var(StrCat("Y", i)));
+  }
+  return query;
+}
+
+}  // namespace seprec

@@ -1,0 +1,93 @@
+// The paper's example programs and worst-case families, plus the EDB
+// instances its analyses use. Shared by tests, examples, and benches.
+//
+// Experiment map (see DESIGN.md):
+//   Example 1.1 -> fig_example11 (Counting blow-up)
+//   Example 1.2 -> fig_example12 (Magic Omega(n^2))
+//   Example 2.4 -> tab_partial_selection (Lemma 2.1 rewrite)
+//   S_p^k family (Lemmas 4.1-4.3) -> tab_lemma41/42/43
+#ifndef SEPREC_GEN_WORKLOADS_H_
+#define SEPREC_GEN_WORKLOADS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "datalog/ast.h"
+#include "storage/database.h"
+
+namespace seprec {
+
+// Example 1.1:
+//   buys(X, Y) :- friend(X, W) & buys(W, Y).
+//   buys(X, Y) :- idol(X, W) & buys(W, Y).
+//   buys(X, Y) :- perfectFor(X, Y).
+// One equivalence class {column 0}; column 1 is persistent.
+Program Example11Program();
+
+// The Section 4 database for Example 1.1: friend and idol both the chain
+// a0 -> a1 -> ... -> a_{n-1}; perfectFor = {(a_{n-1}, b)}. The paper's
+// query is buys(a0, Y)? (its "tom" is our a0). Generalized Counting's
+// count relation is Omega(2^n) here.
+void MakeExample11Data(Database* db, size_t n);
+
+// Example 1.2:
+//   buys(X, Y) :- friend(X, W) & buys(W, Y).
+//   buys(X, Y) :- buys(X, W) & cheaper(Y, W).
+//   buys(X, Y) :- perfectFor(X, Y).
+// Two equivalence classes: {column 0} (friend) and {column 1} (cheaper).
+Program Example12Program();
+
+// The Section 4 database for Example 1.2: friend = chain a0..a_{n-1},
+// cheaper = reversed chain b_{n-1} -> ... -> b0 (as cheaper(b_{i-1}, b_i)),
+// perfectFor = {(a_{n-1}, b_{n-1})}. Magic materialises n^2 buys tuples on
+// buys(a0, Y)?; Separable stays O(n).
+void MakeExample12Data(Database* db, size_t n);
+
+// Example 2.4 (partial selections):
+//   t(X, Y, Z) :- a(X, Y, U, V) & t(U, V, Z).
+//   t(X, Y, Z) :- t(X, Y, W) & b(W, Z).
+//   t(X, Y, Z) :- t0(X, Y, Z).
+// Classes {0,1} and {2}; the query t(c, Y, Z)? binds only column 0 — a
+// partial selection exercising the Lemma 2.1 rewrite.
+Program Example24Program();
+
+// Data for Example 2.4: `a` walks pairs ((xi, yi)) down a chain of length
+// n, `b` a chain of length n, t0 linking the chain ends.
+void MakeExample24Data(Database* db, size_t n);
+
+// The S_p^k family of Lemmas 4.2/4.3: p recursive rules of arity k,
+//   t(X1, ..., Xk) :- a_i(X1, W) & t(W, X2, ..., Xk).     i = 1..p
+//   t(X1, ..., Xk) :- t0(X1, ..., Xk).
+Program SpkProgram(size_t p, size_t k);
+
+// Lemma 4.2 data: a_1 = chain of n constants, a_i (i > 1) empty, t0 = the
+// full n^k cross product. Magic's rewritten t relation reaches n^k tuples.
+void MakeLemma42Data(Database* db, size_t p, size_t k, size_t n);
+
+// Lemma 4.3 data: every a_i the same chain of n constants; t0 a single
+// tuple at the chain end. Counting's count relation reaches Omega(p^n).
+void MakeLemma43Data(Database* db, size_t p, size_t k, size_t n);
+
+// Plain transitive closure (separable, single rule, single class):
+//   tc(X, Y) :- edge(X, W) & tc(W, Y).
+//   tc(X, Y) :- edge(X, Y).
+Program TransitiveClosureProgram();
+
+// Same-generation — linear but NOT separable (the nonrecursive literals
+// flank the recursive atom on both sides, breaking conditions 2/4):
+//   sg(X, Y) :- up(X, U) & sg(U, V) & down(V, Y).
+//   sg(X, Y) :- flat(X, Y).
+Program SameGenerationProgram();
+
+// Data for same-generation: a `levels`-deep `fanout`-ary tree with up =
+// child->parent, down = parent->child, flat = sibling pairs at the root.
+void MakeSameGenerationData(Database* db, size_t fanout, size_t levels);
+
+// The query atom "pred(c0, Y1, ..., Yk-1)" used throughout Section 4:
+// first column bound to `constant`, rest free.
+Atom FirstColumnQuery(const std::string& predicate, size_t arity,
+                      const std::string& constant);
+
+}  // namespace seprec
+
+#endif  // SEPREC_GEN_WORKLOADS_H_

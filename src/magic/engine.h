@@ -1,0 +1,32 @@
+// Driver: answer a query via the Generalized Magic Sets rewrite plus
+// semi-naive bottom-up evaluation.
+#ifndef SEPREC_MAGIC_ENGINE_H_
+#define SEPREC_MAGIC_ENGINE_H_
+
+#include "core/answer.h"
+#include "datalog/ast.h"
+#include "eval/fixpoint.h"
+#include "magic/magic_transform.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace seprec {
+
+struct MagicRunResult {
+  Answer answer{0};
+  EvalStats stats;
+  MagicRewrite rewrite;  // for EXPLAIN output and tests
+};
+
+// Rewrites `program` for `query`, evaluates the rewritten program against
+// `db` (materialising magic_* and adorned relations there), and selects the
+// answers. The query must contain at least one constant for the rewrite to
+// focus anything, but all-free queries are accepted.
+StatusOr<MagicRunResult> EvaluateWithMagic(
+    const Program& program, const Atom& query, Database* db,
+    const FixpointOptions& options = {},
+    const MagicOptions& magic_options = {});
+
+}  // namespace seprec
+
+#endif  // SEPREC_MAGIC_ENGINE_H_

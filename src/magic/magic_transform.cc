@@ -1,0 +1,291 @@
+#include "magic/magic_transform.h"
+
+#include <deque>
+#include <map>
+
+#include "datalog/analysis.h"
+#include "util/string_util.h"
+
+namespace seprec {
+namespace {
+
+// Adornment for an atom given the currently bound variables.
+std::string AdornAtom(const Atom& atom, const std::set<std::string>& bound) {
+  std::string adornment;
+  adornment.reserve(atom.args.size());
+  for (const Term& arg : atom.args) {
+    bool b = arg.IsConstant() || (arg.IsVar() && bound.count(arg.name) > 0);
+    adornment.push_back(b ? 'b' : 'f');
+  }
+  return adornment;
+}
+
+// Bound arguments of `atom` under `adornment`, in position order.
+std::vector<Term> BoundArgs(const Atom& atom, const std::string& adornment) {
+  std::vector<Term> out;
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    if (adornment[i] == 'b') out.push_back(atom.args[i]);
+  }
+  return out;
+}
+
+// True if the builtin's inputs are all bound; updates `bound` with any
+// variable the builtin binds (an '=' with one free side, or an 'is' whose
+// expression inputs are bound).
+bool BuiltinReady(const Literal& lit, std::set<std::string>* bound) {
+  auto term_bound = [bound](const Term& t) {
+    return !t.IsVar() || bound->count(t.name) > 0;
+  };
+  if (lit.kind == Literal::Kind::kCompare) {
+    bool lb = term_bound(lit.cmp_lhs);
+    bool rb = term_bound(lit.cmp_rhs);
+    if (lb && rb) return true;
+    if (lit.cmp_op == CmpOp::kEq && (lb || rb)) {
+      const Term& free_side = lb ? lit.cmp_rhs : lit.cmp_lhs;
+      bound->insert(free_side.name);
+      return true;
+    }
+    return false;
+  }
+  if (lit.kind == Literal::Kind::kAssign) {
+    std::set<std::string> inputs;
+    CollectVars(lit.expr, &inputs);
+    for (const std::string& v : inputs) {
+      if (!bound->count(v)) return false;
+    }
+    bound->insert(lit.assign_var);
+    return true;
+  }
+  return false;
+}
+
+// Greedy most-bound-first body order: ready builtins and fully-bound
+// negated atoms immediately, then the positive atom with the most bound
+// argument positions (ties broken by source order). Falls back to source
+// order for anything left unready.
+std::vector<Literal> OrderMostBoundFirst(
+    const Rule& rule, const std::set<std::string>& initially_bound) {
+  std::vector<Literal> ordered;
+  std::vector<bool> used(rule.body.size(), false);
+  std::set<std::string> bound = initially_bound;
+  size_t remaining = rule.body.size();
+
+  auto term_bound = [&bound](const Term& t) {
+    return !t.IsVar() || bound.count(t.name) > 0;
+  };
+  auto filter_ready = [&](const Literal& lit) {
+    if (lit.kind == Literal::Kind::kAtom) {
+      if (!lit.negated) return false;
+      for (const Term& arg : lit.atom.args) {
+        if (!term_bound(arg)) return false;
+      }
+      return true;
+    }
+    std::set<std::string> probe = bound;
+    return BuiltinReady(lit, &probe);
+  };
+
+  while (remaining > 0) {
+    bool progressed = false;
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (used[i] || !filter_ready(rule.body[i])) continue;
+      if (rule.body[i].kind != Literal::Kind::kAtom) {
+        BuiltinReady(rule.body[i], &bound);  // record its bindings
+      }
+      ordered.push_back(rule.body[i]);
+      used[i] = true;
+      --remaining;
+      progressed = true;
+    }
+    ptrdiff_t best = -1;
+    size_t best_bound = 0;
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (used[i] || !rule.body[i].IsPositiveAtom()) continue;
+      size_t score = 0;
+      for (const Term& arg : rule.body[i].atom.args) {
+        if (term_bound(arg)) ++score;
+      }
+      if (best < 0 || score > best_bound) {
+        best = static_cast<ptrdiff_t>(i);
+        best_bound = score;
+      }
+    }
+    if (best >= 0) {
+      CollectVars(rule.body[best].atom, &bound);
+      ordered.push_back(rule.body[best]);
+      used[best] = true;
+      --remaining;
+      progressed = true;
+    }
+    if (!progressed) {
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        if (!used[i]) {
+          ordered.push_back(rule.body[i]);
+          used[i] = true;
+          --remaining;
+        }
+      }
+    }
+  }
+  return ordered;
+}
+
+}  // namespace
+
+std::string AdornmentOf(const Atom& query) {
+  std::string adornment;
+  adornment.reserve(query.args.size());
+  for (const Term& arg : query.args) {
+    adornment.push_back(arg.IsConstant() ? 'b' : 'f');
+  }
+  return adornment;
+}
+
+StatusOr<MagicRewrite> MagicTransform(const Program& program,
+                                      const Atom& query,
+                                      const MagicOptions& options) {
+  SEPREC_ASSIGN_OR_RETURN(ProgramInfo info, ProgramInfo::Analyze(program));
+  const PredicateInfo* qpred = info.Find(query.predicate);
+  if (qpred == nullptr || !qpred->is_idb) {
+    return InvalidArgumentError(StrCat("query predicate '", query.predicate,
+                                       "' is not an IDB predicate"));
+  }
+  if (qpred->arity != query.arity()) {
+    return InvalidArgumentError(StrCat("query arity ", query.arity(),
+                                       " does not match predicate arity ",
+                                       qpred->arity));
+  }
+
+  Program rectified = Rectify(program);
+
+  // Aggregate-defined predicates cannot be adorned (guarding their rules
+  // with a magic predicate would change group contents); they are read as
+  // base relations, materialised by the driver.
+  std::set<std::string> aggregate_preds;
+  for (const Rule& rule : rectified.rules) {
+    if (rule.aggregate.has_value()) aggregate_preds.insert(rule.head.predicate);
+  }
+  if (aggregate_preds.count(std::string(query.predicate))) {
+    return FailedPreconditionError(
+        StrCat("query predicate '", query.predicate,
+               "' is defined by an aggregate rule; use semi-naive "
+               "evaluation"));
+  }
+
+  auto adorned_name = [](const std::string& pred,
+                         const std::string& adornment) {
+    return StrCat(pred, "_", adornment);
+  };
+  auto magic_name = [&adorned_name](const std::string& pred,
+                                    const std::string& adornment) {
+    return StrCat("magic_", adorned_name(pred, adornment));
+  };
+
+  MagicRewrite out;
+  std::string query_adornment = AdornmentOf(query);
+  out.answer_predicate = adorned_name(query.predicate, query_adornment);
+  out.rewritten_query = query;
+  out.rewritten_query.predicate = out.answer_predicate;
+
+  // Seed: magic fact with the query constants.
+  {
+    Rule seed;
+    seed.head.predicate = magic_name(query.predicate, query_adornment);
+    seed.head.args = BoundArgs(query, query_adornment);
+    out.program.rules.push_back(std::move(seed));
+    out.magic_predicates.insert(
+        magic_name(query.predicate, query_adornment));
+  }
+
+  std::deque<std::pair<std::string, std::string>> queue;
+  std::set<std::pair<std::string, std::string>> done;
+  queue.emplace_back(query.predicate, query_adornment);
+  done.insert({query.predicate, query_adornment});
+
+  while (!queue.empty()) {
+    auto [pred, adornment] = queue.front();
+    queue.pop_front();
+    out.adorned_predicates.insert(adorned_name(pred, adornment));
+
+    for (const Rule& rule : rectified.rules) {
+      if (rule.head.predicate != pred) continue;
+      if (rule.aggregate.has_value()) {
+        return FailedPreconditionError(
+            StrCat("reachable predicate '", pred,
+                   "' mixes aggregate and ordinary rules; Magic cannot "
+                   "rewrite it"));
+      }
+
+      std::set<std::string> bound;
+      for (size_t i = 0; i < rule.head.args.size(); ++i) {
+        if (adornment[i] == 'b' && rule.head.args[i].IsVar()) {
+          bound.insert(rule.head.args[i].name);
+        }
+      }
+
+      // The SIP prefix starts with the magic guard.
+      Literal guard = Literal::MakeAtom(
+          Atom{magic_name(pred, adornment), BoundArgs(rule.head, adornment)});
+      std::vector<Literal> prefix = {guard};
+      std::vector<Literal> new_body = {guard};
+
+      std::vector<Literal> body =
+          options.sip == SipStrategy::kMostBoundFirst
+              ? OrderMostBoundFirst(rule, bound)
+              : rule.body;
+      for (const Literal& lit : body) {
+        if (lit.kind != Literal::Kind::kAtom) {
+          // Include a builtin in the SIP prefix only once its inputs are
+          // bound, so generated magic-rule bodies stay safe.
+          if (BuiltinReady(lit, &bound)) {
+            prefix.push_back(lit);
+          }
+          new_body.push_back(lit);
+          continue;
+        }
+        if (lit.negated) {
+          // Negated atoms bind nothing and are never adorned: the driver
+          // materialises negated IDB predicates fully beforehand, so the
+          // rewrite reads them as base relations. Kept out of the SIP
+          // prefix (their variables need not be bound there).
+          new_body.push_back(lit);
+          continue;
+        }
+        const Atom& atom = lit.atom;
+        if (!info.IsIdb(atom.predicate) ||
+            aggregate_preds.count(atom.predicate)) {
+          prefix.push_back(lit);
+          new_body.push_back(lit);
+          CollectVars(atom, &bound);
+          continue;
+        }
+        // IDB body atom: adorn, emit a magic rule, rename the occurrence.
+        std::string beta = AdornAtom(atom, bound);
+        Rule magic_rule;
+        magic_rule.head.predicate = magic_name(atom.predicate, beta);
+        magic_rule.head.args = BoundArgs(atom, beta);
+        magic_rule.body = prefix;
+        out.program.rules.push_back(std::move(magic_rule));
+        out.magic_predicates.insert(magic_name(atom.predicate, beta));
+        if (done.insert({atom.predicate, beta}).second) {
+          queue.emplace_back(atom.predicate, beta);
+        }
+        Atom renamed = atom;
+        renamed.predicate = adorned_name(atom.predicate, beta);
+        Literal adorned_lit = Literal::MakeAtom(renamed);
+        prefix.push_back(adorned_lit);
+        new_body.push_back(adorned_lit);
+        CollectVars(atom, &bound);
+      }
+
+      Rule modified;
+      modified.head = rule.head;
+      modified.head.predicate = adorned_name(pred, adornment);
+      modified.body = std::move(new_body);
+      out.program.rules.push_back(std::move(modified));
+    }
+  }
+  return out;
+}
+
+}  // namespace seprec

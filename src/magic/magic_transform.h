@@ -1,0 +1,65 @@
+// Generalized Magic Sets rewriting [BMSU86, BR87], the paper's first
+// comparator.
+//
+// Given a program and a query with constants, produces an equivalent
+// program specialised to the query: each reachable (predicate, adornment)
+// pair gets an adorned copy of its rules guarded by a `magic_` predicate,
+// and magic rules propagate bindings via full left-to-right sideways
+// information passing. The rewritten program is evaluated bottom-up with
+// the ordinary semi-naive engine; the sizes of the magic and adorned
+// relations are the quantities Section 4 of the paper bounds.
+#ifndef SEPREC_MAGIC_MAGIC_TRANSFORM_H_
+#define SEPREC_MAGIC_MAGIC_TRANSFORM_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "util/status.h"
+
+namespace seprec {
+
+struct MagicRewrite {
+  Program program;
+
+  // The adorned predicate holding the query's answers, and the query to run
+  // against it (same constants as the original query).
+  std::string answer_predicate;
+  Atom rewritten_query;
+
+  // Names of the magic predicates (for stats grouping).
+  std::set<std::string> magic_predicates;
+  // Names of the adorned IDB copies.
+  std::set<std::string> adorned_predicates;
+};
+
+// How sideways information passing traverses rule bodies.
+enum class SipStrategy {
+  // The textbook order the paper displays: literals left to right.
+  kLeftToRight,
+  // Greedy: repeatedly take the literal with the most bound arguments
+  // (ready builtins first). Often yields tighter adornments for queries
+  // binding a non-leading column, e.g. tc(X, c)? stays in the fb
+  // adornment instead of widening to bb.
+  kMostBoundFirst,
+};
+
+struct MagicOptions {
+  SipStrategy sip = SipStrategy::kLeftToRight;
+};
+
+// Rewrites `program` for `query`. The query predicate must be an IDB
+// predicate of the program. Works for any safe program (not just linear
+// ones).
+StatusOr<MagicRewrite> MagicTransform(const Program& program,
+                                      const Atom& query,
+                                      const MagicOptions& options = {});
+
+// Renders an adornment such as "bf" for a query atom (constant positions
+// are bound).
+std::string AdornmentOf(const Atom& query);
+
+}  // namespace seprec
+
+#endif  // SEPREC_MAGIC_MAGIC_TRANSFORM_H_

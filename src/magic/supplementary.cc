@@ -1,0 +1,317 @@
+#include "magic/supplementary.h"
+
+#include <deque>
+#include <map>
+#include <set>
+
+#include "core/query.h"
+#include "core/support.h"
+#include "datalog/analysis.h"
+#include "util/string_util.h"
+
+namespace seprec {
+namespace {
+
+// Reorders `body` into a safe left-to-right order: relational atoms in
+// source order, each builtin as soon as its inputs are bound. Safety of
+// the rule guarantees such an order exists.
+std::vector<Literal> SafeOrder(const Rule& rule,
+                               const std::set<std::string>& initially_bound) {
+  std::vector<Literal> ordered;
+  std::vector<bool> used(rule.body.size(), false);
+  std::set<std::string> bound = initially_bound;
+
+  auto builtin_ready = [&bound](const Literal& lit) {
+    auto term_bound = [&bound](const Term& t) {
+      return !t.IsVar() || bound.count(t.name) > 0;
+    };
+    if (lit.kind == Literal::Kind::kAtom && lit.negated) {
+      for (const Term& arg : lit.atom.args) {
+        if (!term_bound(arg)) return false;
+      }
+      return true;
+    }
+    if (lit.kind == Literal::Kind::kCompare) {
+      bool lb = term_bound(lit.cmp_lhs);
+      bool rb = term_bound(lit.cmp_rhs);
+      if (lb && rb) return true;
+      return lit.cmp_op == CmpOp::kEq && (lb || rb);
+    }
+    if (lit.kind == Literal::Kind::kAssign) {
+      std::set<std::string> inputs;
+      CollectVars(lit.expr, &inputs);
+      for (const std::string& v : inputs) {
+        if (!bound.count(v)) return false;
+      }
+      return true;
+    }
+    return false;
+  };
+
+  size_t remaining = rule.body.size();
+  while (remaining > 0) {
+    bool progressed = false;
+    // Ready builtins and negated atoms first (cheap filters/bindings).
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (used[i] || rule.body[i].IsPositiveAtom()) continue;
+      if (builtin_ready(rule.body[i])) {
+        ordered.push_back(rule.body[i]);
+        if (!(rule.body[i].kind == Literal::Kind::kAtom &&
+              rule.body[i].negated)) {
+          CollectVars(rule.body[i], &bound);
+        }
+        used[i] = true;
+        --remaining;
+        progressed = true;
+      }
+    }
+    // Then the next positive relational atom in source order.
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (used[i] || !rule.body[i].IsPositiveAtom()) continue;
+      ordered.push_back(rule.body[i]);
+      CollectVars(rule.body[i].atom, &bound);
+      used[i] = true;
+      --remaining;
+      progressed = true;
+      break;
+    }
+    if (!progressed) {
+      // Unready builtins only (rule unsafe under this binding); emit them
+      // anyway — downstream plan compilation will report the error.
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        if (!used[i]) {
+          ordered.push_back(rule.body[i]);
+          used[i] = true;
+          --remaining;
+        }
+      }
+    }
+  }
+  return ordered;
+}
+
+// The variables `sup_j` must carry: available after the first j literals
+// AND still needed by later literals or the head.
+std::vector<std::string> PassedVars(const std::set<std::string>& available,
+                                    const std::vector<Literal>& ordered,
+                                    size_t j, const Atom& head) {
+  std::set<std::string> needed;
+  CollectVars(head, &needed);
+  for (size_t i = j; i < ordered.size(); ++i) {
+    CollectVars(ordered[i], &needed);
+  }
+  std::vector<std::string> out;
+  for (const std::string& v : available) {
+    if (needed.count(v)) out.push_back(v);
+  }
+  return out;
+}
+
+Atom VarsAtom(const std::string& predicate,
+              const std::vector<std::string>& vars) {
+  Atom atom;
+  atom.predicate = predicate;
+  for (const std::string& v : vars) atom.args.push_back(Term::Var(v));
+  return atom;
+}
+
+}  // namespace
+
+StatusOr<MagicRewrite> SupplementaryMagicTransform(const Program& program,
+                                                   const Atom& query) {
+  SEPREC_ASSIGN_OR_RETURN(ProgramInfo info, ProgramInfo::Analyze(program));
+  const PredicateInfo* qpred = info.Find(query.predicate);
+  if (qpred == nullptr || !qpred->is_idb) {
+    return InvalidArgumentError(StrCat("query predicate '", query.predicate,
+                                       "' is not an IDB predicate"));
+  }
+  if (qpred->arity != query.arity()) {
+    return InvalidArgumentError(StrCat("query arity ", query.arity(),
+                                       " does not match predicate arity ",
+                                       qpred->arity));
+  }
+
+  Program rectified = Rectify(program);
+
+  std::set<std::string> aggregate_preds;
+  for (const Rule& rule : rectified.rules) {
+    if (rule.aggregate.has_value()) aggregate_preds.insert(rule.head.predicate);
+  }
+  if (aggregate_preds.count(std::string(query.predicate))) {
+    return FailedPreconditionError(
+        StrCat("query predicate '", query.predicate,
+               "' is defined by an aggregate rule; use semi-naive "
+               "evaluation"));
+  }
+
+  auto adorned_name = [](const std::string& pred,
+                         const std::string& adornment) {
+    return StrCat(pred, "_", adornment);
+  };
+  auto magic_name = [&adorned_name](const std::string& pred,
+                                    const std::string& adornment) {
+    return StrCat("magic_", adorned_name(pred, adornment));
+  };
+
+  MagicRewrite out;
+  std::string query_adornment = AdornmentOf(query);
+  out.answer_predicate = adorned_name(query.predicate, query_adornment);
+  out.rewritten_query = query;
+  out.rewritten_query.predicate = out.answer_predicate;
+
+  {
+    Rule seed;
+    seed.head.predicate = magic_name(query.predicate, query_adornment);
+    for (size_t i = 0; i < query.args.size(); ++i) {
+      if (query_adornment[i] == 'b') seed.head.args.push_back(query.args[i]);
+    }
+    out.program.rules.push_back(std::move(seed));
+    out.magic_predicates.insert(magic_name(query.predicate, query_adornment));
+  }
+
+  std::deque<std::pair<std::string, std::string>> queue;
+  std::set<std::pair<std::string, std::string>> done;
+  queue.emplace_back(query.predicate, query_adornment);
+  done.insert({query.predicate, query_adornment});
+
+  size_t rule_counter = 0;
+  while (!queue.empty()) {
+    auto [pred, adornment] = queue.front();
+    queue.pop_front();
+    out.adorned_predicates.insert(adorned_name(pred, adornment));
+
+    for (const Rule& rule : rectified.rules) {
+      if (rule.head.predicate != pred) continue;
+      if (rule.aggregate.has_value()) {
+        return FailedPreconditionError(
+            StrCat("reachable predicate '", pred,
+                   "' mixes aggregate and ordinary rules; Magic cannot "
+                   "rewrite it"));
+      }
+      const size_t rule_id = rule_counter++;
+
+      std::set<std::string> bound;
+      std::vector<Term> bound_head_args;
+      std::vector<std::string> bound_head_vars;
+      for (size_t i = 0; i < rule.head.args.size(); ++i) {
+        if (adornment[i] == 'b') {
+          bound_head_args.push_back(rule.head.args[i]);
+          bound.insert(rule.head.args[i].name);
+          bound_head_vars.push_back(rule.head.args[i].name);
+        }
+      }
+
+      std::vector<Literal> ordered = SafeOrder(rule, bound);
+
+      // sup_r_0(bound head vars) :- magic_p(bound head vars).
+      auto sup_name = [rule_id, &pred](size_t j) {
+        return StrCat("sup_", pred, "_", rule_id, "_", j);
+      };
+      {
+        Rule sup0;
+        sup0.head = VarsAtom(sup_name(0), bound_head_vars);
+        Atom guard;
+        guard.predicate = magic_name(pred, adornment);
+        guard.args = bound_head_args;
+        sup0.body.push_back(Literal::MakeAtom(std::move(guard)));
+        out.program.rules.push_back(std::move(sup0));
+        out.magic_predicates.insert(sup_name(0));
+      }
+
+      std::set<std::string> available = bound;
+      std::vector<std::string> prev_vars = bound_head_vars;
+      for (size_t j = 0; j < ordered.size(); ++j) {
+        Literal lit = ordered[j];
+        // Adorn positive IDB atoms and emit their magic rule from sup_{j}.
+        // (Negated and aggregate-defined IDB atoms read pre-materialised
+        // base relations.)
+        if (lit.IsPositiveAtom() && info.IsIdb(lit.atom.predicate) &&
+            !aggregate_preds.count(lit.atom.predicate)) {
+          std::string beta;
+          std::vector<Term> magic_args;
+          for (const Term& arg : lit.atom.args) {
+            bool b = arg.IsConstant() ||
+                     (arg.IsVar() && available.count(arg.name) > 0);
+            beta.push_back(b ? 'b' : 'f');
+            if (b) magic_args.push_back(arg);
+          }
+          Rule magic_rule;
+          magic_rule.head.predicate =
+              magic_name(lit.atom.predicate, beta);
+          magic_rule.head.args = std::move(magic_args);
+          magic_rule.body.push_back(
+              Literal::MakeAtom(VarsAtom(sup_name(j), prev_vars)));
+          out.program.rules.push_back(std::move(magic_rule));
+          out.magic_predicates.insert(magic_name(lit.atom.predicate, beta));
+          if (done.insert({lit.atom.predicate, beta}).second) {
+            queue.emplace_back(lit.atom.predicate, beta);
+          }
+          lit.atom.predicate = adorned_name(lit.atom.predicate, beta);
+        }
+
+        CollectVars(ordered[j], &available);
+
+        if (j + 1 < ordered.size()) {
+          // sup_{j+1}(passed) :- sup_j(prev), lit.
+          std::vector<std::string> passed =
+              PassedVars(available, ordered, j + 1, rule.head);
+          Rule step;
+          step.head = VarsAtom(sup_name(j + 1), passed);
+          step.body.push_back(
+              Literal::MakeAtom(VarsAtom(sup_name(j), prev_vars)));
+          step.body.push_back(std::move(lit));
+          out.program.rules.push_back(std::move(step));
+          out.magic_predicates.insert(sup_name(j + 1));
+          prev_vars = std::move(passed);
+        } else {
+          // Final: adorned head :- sup_{m-1}(prev), last lit.
+          Rule final_rule;
+          final_rule.head = rule.head;
+          final_rule.head.predicate = adorned_name(pred, adornment);
+          final_rule.body.push_back(
+              Literal::MakeAtom(VarsAtom(sup_name(j), prev_vars)));
+          final_rule.body.push_back(std::move(lit));
+          out.program.rules.push_back(std::move(final_rule));
+        }
+      }
+      if (ordered.empty()) {
+        // Fact: adorned head :- sup_0.
+        Rule final_rule;
+        final_rule.head = rule.head;
+        final_rule.head.predicate = adorned_name(pred, adornment);
+        final_rule.body.push_back(
+            Literal::MakeAtom(VarsAtom(sup_name(0), prev_vars)));
+        out.program.rules.push_back(std::move(final_rule));
+      }
+    }
+  }
+  return out;
+}
+
+StatusOr<MagicRunResult> EvaluateWithSupplementaryMagic(
+    const Program& program, const Atom& query, Database* db,
+    const FixpointOptions& options) {
+  MagicRunResult result;
+  result.answer = Answer(query.arity());
+  SEPREC_ASSIGN_OR_RETURN(result.rewrite,
+                          SupplementaryMagicTransform(program, query));
+  result.stats.algorithm = "magic+sup";
+  std::set<std::string> base_like = NegatedIdbPredicates(program);
+  for (const std::string& pred : AggregatePredicates(program)) {
+    base_like.insert(pred);
+  }
+  if (!base_like.empty()) {
+    SEPREC_RETURN_IF_ERROR(MaterializePredicates(program, base_like, db,
+                                                 options, &result.stats));
+  }
+  SEPREC_RETURN_IF_ERROR(EvaluateSemiNaive(result.rewrite.program, db,
+                                           options, &result.stats));
+  const Relation* answers = db->Find(result.rewrite.answer_predicate);
+  if (answers != nullptr) {
+    result.answer = SelectMatching(*answers, result.rewrite.rewritten_query,
+                                   db->symbols());
+  }
+  return result;
+}
+
+}  // namespace seprec

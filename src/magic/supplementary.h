@@ -1,0 +1,40 @@
+// Supplementary Magic Sets [Beeri & Ramakrishnan 1987], the refinement of
+// the Generalized Magic Sets rewrite that materialises each rule's join
+// prefixes once in "supplementary" predicates:
+//
+//   sup_r_0(bound-head-vars)  :- magic_p(bound-head-vars).
+//   sup_r_j(passed-vars)      :- sup_r_{j-1}(...), lit_j.
+//   magic_q(bound args of q)  :- sup_r_{j-1}(...).        (q IDB at pos j)
+//   p_adorned(head)           :- sup_r_{m-1}(...), lit_m.
+//
+// Compared to the plain rewrite (magic_transform.h) this avoids
+// re-evaluating shared prefixes in the magic rules and the modified rule —
+// the classical space/time trade-off. Provided as an ablation comparator
+// (tab_ablation bench); the paper's Section 4 analysis uses the plain
+// variant it displays.
+#ifndef SEPREC_MAGIC_SUPPLEMENTARY_H_
+#define SEPREC_MAGIC_SUPPLEMENTARY_H_
+
+#include "core/answer.h"
+#include "datalog/ast.h"
+#include "eval/fixpoint.h"
+#include "magic/engine.h"
+#include "magic/magic_transform.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace seprec {
+
+// Rewrites `program` for `query` with supplementary predicates. The
+// returned MagicRewrite's magic_predicates also lists the sup_* names.
+StatusOr<MagicRewrite> SupplementaryMagicTransform(const Program& program,
+                                                   const Atom& query);
+
+// Driver: rewrite + semi-naive evaluation + answer selection.
+StatusOr<MagicRunResult> EvaluateWithSupplementaryMagic(
+    const Program& program, const Atom& query, Database* db,
+    const FixpointOptions& options = {});
+
+}  // namespace seprec
+
+#endif  // SEPREC_MAGIC_SUPPLEMENTARY_H_

@@ -1,0 +1,226 @@
+#include "separable/detection.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace seprec {
+namespace {
+
+// The nonrecursive body literals of recursive rule `i`.
+std::vector<Literal> NonRecursiveLiterals(const LinearRecursion& rec,
+                                          size_t i) {
+  std::vector<Literal> out;
+  const Rule& rule = rec.recursive_rules[i];
+  for (size_t j = 0; j < rule.body.size(); ++j) {
+    if (j != rec.recursive_atom_index[i]) out.push_back(rule.body[j]);
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<SeparableRecursion> AnalyzeSeparable(
+    const Program& program, std::string_view predicate,
+    const SeparabilityOptions& options) {
+  SEPREC_ASSIGN_OR_RETURN(LinearRecursion rec,
+                          ExtractLinearRecursion(program, predicate));
+  if (rec.recursive_rules.empty()) {
+    return FailedPreconditionError(
+        StrCat("'", predicate, "' has no (non-trivial) recursive rule"));
+  }
+  if (rec.exit_rules.empty()) {
+    return FailedPreconditionError(
+        StrCat("'", predicate, "' has no nonrecursive exit rule"));
+  }
+
+  SeparableRecursion sep;
+  const size_t n = rec.recursive_rules.size();
+  const size_t k = rec.arity;
+
+  // Per rule: the t_i^h / t_i^b position sets.
+  std::vector<std::set<uint32_t>> head_positions(n);
+  std::vector<std::set<uint32_t>> body_positions(n);
+
+  for (size_t i = 0; i < n; ++i) {
+    const Rule& rule = rec.recursive_rules[i];
+    const Atom& body_t = rec.RecursiveBodyAtom(i);
+
+    // The recursive atom must carry plain, pairwise-distinct variables;
+    // constants or repeats are outside Definition 2.4's shape.
+    std::set<std::string> seen;
+    for (const Term& arg : body_t.args) {
+      if (!arg.IsVar()) {
+        return FailedPreconditionError(
+            StrCat("recursive atom has a constant argument: ",
+                   rule.ToString()));
+      }
+      if (!seen.insert(arg.name).second) {
+        return FailedPreconditionError(
+            StrCat("recursive atom repeats variable '", arg.name,
+                   "': ", rule.ToString()));
+      }
+    }
+
+    // Condition 1: no shifting variables. Head variables are V0..Vk-1, so
+    // any head variable inside the body instance must sit at its own
+    // position.
+    for (size_t p = 0; p < k; ++p) {
+      const std::string& v = body_t.args[p].name;
+      for (size_t q = 0; q < k; ++q) {
+        if (v == rec.head_vars[q] && q != p) {
+          return FailedPreconditionError(StrCat(
+              "condition 1 (shifting variables): '", v, "' moves from "
+              "position ", q, " to ", p, " in: ", rule.ToString()));
+        }
+      }
+    }
+
+    // Variables of the nonrecursive part.
+    std::set<std::string> nonrec_vars;
+    std::vector<Literal> others = NonRecursiveLiterals(rec, i);
+    for (const Literal& lit : others) CollectVars(lit, &nonrec_vars);
+
+    for (uint32_t p = 0; p < k; ++p) {
+      if (nonrec_vars.count(rec.head_vars[p])) head_positions[i].insert(p);
+      if (nonrec_vars.count(body_t.args[p].name)) {
+        body_positions[i].insert(p);
+      }
+    }
+
+    // Condition 2: t_i^h == t_i^b.
+    if (head_positions[i] != body_positions[i]) {
+      return FailedPreconditionError(
+          StrCat("condition 2 (t^h != t^b) fails for: ", rule.ToString()));
+    }
+
+    // Condition 4: the nonrecursive literals form one maximal connected
+    // set. (A rule whose entire body is the recursive atom was either
+    // dropped as tautological or rejected above.)
+    size_t num_components = 0;
+    if (!others.empty()) {
+      ConnectedComponents(others, &num_components);
+    }
+    if (options.require_connected_bodies && num_components != 1) {
+      return FailedPreconditionError(StrCat(
+          "condition 4 (maximal connected set): the nonrecursive body of ",
+          rule.ToString(), " has ", num_components,
+          " connected components"));
+    }
+  }
+
+  // Condition 3: position sets pairwise equal or disjoint; group rules
+  // into equivalence classes.
+  std::map<std::vector<uint32_t>, size_t> class_of_positions;
+  sep.class_of_rule.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (body_positions[i] == body_positions[j]) continue;
+      for (uint32_t p : body_positions[i]) {
+        if (body_positions[j].count(p)) {
+          return FailedPreconditionError(StrCat(
+              "condition 3 (equal or disjoint): rules ", i, " and ", j,
+              " overlap on column ", p, " without being equal"));
+        }
+      }
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<uint32_t> key(body_positions[i].begin(),
+                              body_positions[i].end());
+    auto [it, inserted] = class_of_positions.emplace(key, sep.classes.size());
+    if (inserted) {
+      EquivalenceClass ec;
+      ec.positions = key;
+      sep.classes.push_back(std::move(ec));
+    }
+    sep.classes[it->second].rule_indices.push_back(i);
+    sep.class_of_rule[i] = it->second;
+  }
+
+  // Persistent positions: in no class.
+  std::set<uint32_t> in_class;
+  for (const EquivalenceClass& ec : sep.classes) {
+    in_class.insert(ec.positions.begin(), ec.positions.end());
+  }
+  for (uint32_t p = 0; p < k; ++p) {
+    if (!in_class.count(p)) sep.persistent_positions.push_back(p);
+  }
+
+  sep.recursion = std::move(rec);
+  return sep;
+}
+
+bool IsSeparable(const Program& program, std::string_view predicate) {
+  return AnalyzeSeparable(program, predicate).ok();
+}
+
+SeparableRecursion RemoveClass(const SeparableRecursion& sep,
+                               size_t class_index) {
+  SEPREC_CHECK(class_index < sep.classes.size());
+  SeparableRecursion out;
+  out.recursion.predicate = sep.recursion.predicate;
+  out.recursion.arity = sep.recursion.arity;
+  out.recursion.head_vars = sep.recursion.head_vars;
+  out.recursion.exit_rules = sep.recursion.exit_rules;
+
+  std::map<size_t, size_t> new_rule_index;  // old -> new
+  for (size_t i = 0; i < sep.recursion.recursive_rules.size(); ++i) {
+    if (sep.class_of_rule[i] == class_index) continue;
+    new_rule_index[i] = out.recursion.recursive_rules.size();
+    out.recursion.recursive_rules.push_back(sep.recursion.recursive_rules[i]);
+    out.recursion.recursive_atom_index.push_back(
+        sep.recursion.recursive_atom_index[i]);
+  }
+  for (size_t c = 0; c < sep.classes.size(); ++c) {
+    if (c == class_index) continue;
+    EquivalenceClass ec;
+    ec.positions = sep.classes[c].positions;
+    for (size_t old_rule : sep.classes[c].rule_indices) {
+      ec.rule_indices.push_back(new_rule_index.at(old_rule));
+    }
+    out.classes.push_back(std::move(ec));
+  }
+  out.class_of_rule.resize(out.recursion.recursive_rules.size());
+  for (size_t c = 0; c < out.classes.size(); ++c) {
+    for (size_t r : out.classes[c].rule_indices) out.class_of_rule[r] = c;
+  }
+  // The removed class's columns become persistent.
+  std::set<uint32_t> persistent(sep.persistent_positions.begin(),
+                                sep.persistent_positions.end());
+  persistent.insert(sep.classes[class_index].positions.begin(),
+                    sep.classes[class_index].positions.end());
+  out.persistent_positions.assign(persistent.begin(), persistent.end());
+  return out;
+}
+
+std::string DescribeSeparable(const SeparableRecursion& sep) {
+  std::string out = StrCat("separable recursion '", sep.predicate(),
+                           "'/", sep.arity(), "\n");
+  for (size_t c = 0; c < sep.classes.size(); ++c) {
+    out += StrCat("  class e", c + 1, ": columns {");
+    for (size_t i = 0; i < sep.classes[c].positions.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += StrCat(sep.classes[c].positions[i]);
+    }
+    out += "}, rules:\n";
+    for (size_t r : sep.classes[c].rule_indices) {
+      out += StrCat("    ", sep.recursion.recursive_rules[r].ToString(),
+                    "\n");
+    }
+  }
+  out += "  persistent columns {";
+  for (size_t i = 0; i < sep.persistent_positions.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += StrCat(sep.persistent_positions[i]);
+  }
+  out += "}\n  exit rules:\n";
+  for (const Rule& rule : sep.recursion.exit_rules) {
+    out += StrCat("    ", rule.ToString(), "\n");
+  }
+  return out;
+}
+
+}  // namespace seprec

@@ -1,0 +1,82 @@
+// Detection of separable recursions (Definition 2.4 of the paper).
+//
+// A linear recursion t defined by recursive rules r_1..r_n (plus exit
+// rules) is *separable* iff
+//   1. no r_i has shifting variables (a variable occupying different
+//      argument positions in the head and body instances of t);
+//   2. for each r_i, the head positions of t sharing variables with the
+//      nonrecursive body (t_i^h) equal the body-instance positions doing so
+//      (t_i^b);
+//   3. the position sets of different rules are pairwise equal or disjoint
+//      — inducing the *equivalence classes* e_1..e_m of rules; and
+//   4. removing the recursive atom from r_i's body leaves a single maximal
+//      connected set of literals.
+// Positions belonging to no class are *persistent* (t|pers): their
+// variables ride along unchanged through every rule application.
+//
+// Detection cost is a small polynomial in the rule set only (Section 3.1),
+// never in the database — verified by the tab_detection bench.
+#ifndef SEPREC_SEPARABLE_DETECTION_H_
+#define SEPREC_SEPARABLE_DETECTION_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "datalog/analysis.h"
+#include "datalog/ast.h"
+#include "util/status.h"
+
+namespace seprec {
+
+struct EquivalenceClass {
+  std::vector<size_t> rule_indices;  // into LinearRecursion::recursive_rules
+  std::vector<uint32_t> positions;   // t|e_i, ascending
+};
+
+struct SeparableRecursion {
+  LinearRecursion recursion;
+  std::vector<EquivalenceClass> classes;
+  std::vector<uint32_t> persistent_positions;  // t|pers, ascending
+  std::vector<size_t> class_of_rule;  // class index per recursive rule
+
+  size_t arity() const { return recursion.arity; }
+  const std::string& predicate() const { return recursion.predicate; }
+};
+
+struct SeparabilityOptions {
+  // Enforce condition 4 (the nonrecursive body of each recursive rule is
+  // one maximal connected set). Section 5 of the paper observes that
+  // dropping this condition keeps the evaluation algorithm CORRECT but
+  // costs the selection's focussing effect: components not connected to
+  // the class columns are evaluated without any binding (e.g. the whole
+  // `b` relation in t(X,Y) :- a(X,W) & t(W,Z) & b(Z,Y)). Set to false to
+  // accept such recursions anyway.
+  bool require_connected_bodies = true;
+};
+
+// Analyzes the definition of `predicate` in `program`. Returns
+// FAILED_PRECONDITION with a human-readable reason when the recursion is
+// not separable (which exact condition failed), INVALID_ARGUMENT on
+// malformed input.
+StatusOr<SeparableRecursion> AnalyzeSeparable(const Program& program,
+                                              std::string_view predicate,
+                                              const SeparabilityOptions&
+                                                  options = {});
+
+// Convenience: true iff AnalyzeSeparable succeeds.
+bool IsSeparable(const Program& program, std::string_view predicate);
+
+// Builds the sub-recursion obtained by deleting the rules of class
+// `class_index` (the paper's t_part construction in Lemma 2.1): the deleted
+// class's positions become persistent. Exit rules are kept.
+SeparableRecursion RemoveClass(const SeparableRecursion& sep,
+                               size_t class_index);
+
+// Renders a summary: classes, their positions and rules, persistent
+// columns. For tools and tests.
+std::string DescribeSeparable(const SeparableRecursion& sep);
+
+}  // namespace seprec
+
+#endif  // SEPREC_SEPARABLE_DETECTION_H_

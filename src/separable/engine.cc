@@ -1,0 +1,640 @@
+#include "separable/engine.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "core/query.h"
+#include "core/support.h"
+#include "eval/join_plan.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace seprec {
+namespace {
+
+// Which columns anchor the evaluation: a fully bound class (phase 1 walks
+// it) or bound persistent columns (the dummy equivalence class — phase 1
+// degenerates to seen_1 := {constants}).
+struct AnchorInfo {
+  std::optional<size_t> anchor_class;
+  std::vector<uint32_t> anchor_positions;  // ascending
+  std::vector<uint32_t> rest_positions;    // ascending complement
+};
+
+std::optional<AnchorInfo> FindAnchor(const SeparableRecursion& sep,
+                                     const std::vector<bool>& bound) {
+  AnchorInfo anchor;
+  std::set<uint32_t> ap;
+  for (uint32_t p : sep.persistent_positions) {
+    if (bound[p]) ap.insert(p);
+  }
+  if (!ap.empty()) {
+    anchor.anchor_class = std::nullopt;
+  } else {
+    bool found = false;
+    for (size_t c = 0; c < sep.classes.size() && !found; ++c) {
+      bool all = true;
+      for (uint32_t p : sep.classes[c].positions) {
+        if (!bound[p]) all = false;
+      }
+      if (all) {
+        anchor.anchor_class = c;
+        ap.insert(sep.classes[c].positions.begin(),
+                  sep.classes[c].positions.end());
+        found = true;
+      }
+    }
+    if (!found) return std::nullopt;
+  }
+  anchor.anchor_positions.assign(ap.begin(), ap.end());
+  for (uint32_t p = 0; p < sep.arity(); ++p) {
+    if (!ap.count(p)) anchor.rest_positions.push_back(p);
+  }
+  return anchor;
+}
+
+// ---- Synthetic rules instantiating the Figure 2 schema -----------------
+
+Term HeadVar(const SeparableRecursion& sep, uint32_t p) {
+  return Term::Var(sep.recursion.head_vars[p]);
+}
+
+// Nonrecursive body literals of recursive rule `i`.
+std::vector<Literal> NonRecursiveLits(const SeparableRecursion& sep,
+                                      size_t i) {
+  std::vector<Literal> out;
+  const Rule& rule = sep.recursion.recursive_rules[i];
+  for (size_t j = 0; j < rule.body.size(); ++j) {
+    if (j != sep.recursion.recursive_atom_index[i]) out.push_back(rule.body[j]);
+  }
+  return out;
+}
+
+// carry'(V_b(t|e1)) :- carry(V_h(t|e1)) & a_i   — the f_1 operator terms.
+Rule MakePhase1Rule(const SeparableRecursion& sep, const AnchorInfo& anchor,
+                    size_t rule_index, const std::string& carry_name,
+                    const std::string& out_name) {
+  const Atom& body_t = sep.recursion.RecursiveBodyAtom(rule_index);
+  Rule rule;
+  rule.head.predicate = out_name;
+  for (uint32_t p : anchor.anchor_positions) {
+    rule.head.args.push_back(body_t.args[p]);
+  }
+  Atom carry;
+  carry.predicate = carry_name;
+  for (uint32_t p : anchor.anchor_positions) {
+    carry.args.push_back(HeadVar(sep, p));
+  }
+  rule.body.push_back(Literal::MakeAtom(std::move(carry)));
+  for (Literal& lit : NonRecursiveLits(sep, rule_index)) {
+    rule.body.push_back(std::move(lit));
+  }
+  return rule;
+}
+
+// carry_2(rest) :- seen_1(V_h(t|e1)) & exit body   — the g_2 operator.
+Rule MakeExitRule(const SeparableRecursion& sep, const AnchorInfo& anchor,
+                  size_t exit_index, const std::string& seen1_name,
+                  const std::string& out_name) {
+  const Rule& exit = sep.recursion.exit_rules[exit_index];
+  Rule rule;
+  rule.head.predicate = out_name;
+  for (uint32_t p : anchor.rest_positions) {
+    rule.head.args.push_back(HeadVar(sep, p));
+  }
+  Atom seen;
+  seen.predicate = seen1_name;
+  for (uint32_t p : anchor.anchor_positions) {
+    seen.args.push_back(HeadVar(sep, p));
+  }
+  rule.body.push_back(Literal::MakeAtom(std::move(seen)));
+  for (const Literal& lit : exit.body) rule.body.push_back(lit);
+  return rule;
+}
+
+// carry'(V_h positions of rest) :- carry(body-instance rest) & a_ij — f_2.
+Rule MakePhase2Rule(const SeparableRecursion& sep, const AnchorInfo& anchor,
+                    size_t rule_index, const std::string& carry_name,
+                    const std::string& out_name) {
+  const Atom& body_t = sep.recursion.RecursiveBodyAtom(rule_index);
+  const EquivalenceClass& ec = sep.classes[sep.class_of_rule[rule_index]];
+  std::set<uint32_t> own(ec.positions.begin(), ec.positions.end());
+  Rule rule;
+  rule.head.predicate = out_name;
+  for (uint32_t p : anchor.rest_positions) {
+    rule.head.args.push_back(HeadVar(sep, p));
+  }
+  Atom carry;
+  carry.predicate = carry_name;
+  for (uint32_t p : anchor.rest_positions) {
+    // Positions of this rule's own class advance (body-instance variable);
+    // every other rest column passes through unchanged.
+    carry.args.push_back(own.count(p) ? body_t.args[p] : HeadVar(sep, p));
+  }
+  rule.body.push_back(Literal::MakeAtom(std::move(carry)));
+  for (Literal& lit : NonRecursiveLits(sep, rule_index)) {
+    rule.body.push_back(std::move(lit));
+  }
+  return rule;
+}
+
+// ---- Schema runner -------------------------------------------------------
+
+class SchemaRunner {
+ public:
+  SchemaRunner(const SeparableRecursion& sep, AnchorInfo anchor,
+               Database* db)
+      : sep_(sep), anchor_(std::move(anchor)), db_(db) {
+    static int counter = 0;
+    prefix_ = StrCat("$sep", counter++, "_");
+  }
+
+  ~SchemaRunner() {
+    for (const std::string& suffix :
+         {"carry1", "seen1", "carry2", "seen2"}) {
+      db_->Drop(prefix_ + suffix);
+    }
+  }
+
+  SchemaRunner(const SchemaRunner&) = delete;
+  SchemaRunner& operator=(const SchemaRunner&) = delete;
+
+  Status Compile() {
+    const size_t w = anchor_.anchor_positions.size();
+    const size_t rest = anchor_.rest_positions.size();
+    SEPREC_ASSIGN_OR_RETURN(carry1_,
+                            db_->CreateRelation(prefix_ + "carry1", w));
+    SEPREC_ASSIGN_OR_RETURN(seen1_,
+                            db_->CreateRelation(prefix_ + "seen1", w));
+    SEPREC_ASSIGN_OR_RETURN(carry2_,
+                            db_->CreateRelation(prefix_ + "carry2", rest));
+    SEPREC_ASSIGN_OR_RETURN(seen2_,
+                            db_->CreateRelation(prefix_ + "seen2", rest));
+    scratch1_ = std::make_unique<Relation>(prefix_ + "scratch1", w);
+    scratch2_ = std::make_unique<Relation>(prefix_ + "scratch2", rest);
+
+    if (anchor_.anchor_class.has_value()) {
+      const EquivalenceClass& ec = sep_.classes[*anchor_.anchor_class];
+      for (size_t r : ec.rule_indices) {
+        SEPREC_ASSIGN_OR_RETURN(
+            RulePlan plan,
+            RulePlan::Compile(
+                MakePhase1Rule(sep_, anchor_, r, carry1_->name(), "$new1"),
+                db_));
+        phase1_plans_.push_back(std::move(plan));
+      }
+    }
+    for (size_t e = 0; e < sep_.recursion.exit_rules.size(); ++e) {
+      SEPREC_ASSIGN_OR_RETURN(
+          RulePlan plan,
+          RulePlan::Compile(
+              MakeExitRule(sep_, anchor_, e, seen1_->name(), "$init2"), db_));
+      exit_plans_.push_back(std::move(plan));
+    }
+    for (size_t r = 0; r < sep_.recursion.recursive_rules.size(); ++r) {
+      if (anchor_.anchor_class.has_value() &&
+          sep_.class_of_rule[r] == *anchor_.anchor_class) {
+        continue;
+      }
+      SEPREC_ASSIGN_OR_RETURN(
+          RulePlan plan,
+          RulePlan::Compile(
+              MakePhase2Rule(sep_, anchor_, r, carry2_->name(), "$new2"),
+              db_));
+      phase2_plans_.push_back(std::move(plan));
+    }
+    return Status::OK();
+  }
+
+  // Runs the schema from `seeds` (each of width |anchor_positions|) and
+  // appends the seen_2 rows (rest-position values) to `rest_rows`.
+  Status Run(const std::vector<std::vector<Value>>& seeds,
+             const FixpointOptions& options, EvalStats* stats,
+             std::vector<std::vector<Value>>* rest_rows) {
+    carry1_->Clear();
+    seen1_->Clear();
+    carry2_->Clear();
+    seen2_->Clear();
+    scratch1_->Clear();
+    scratch2_->Clear();
+
+    size_t inserted = 0;
+    size_t max_carry1 = 0;
+    size_t max_carry2 = 0;
+    size_t iterations = 0;
+
+    for (const std::vector<Value>& seed : seeds) {
+      Row row(seed.data(), seed.size());
+      carry1_->Insert(row);
+      if (seen1_->Insert(row)) ++inserted;
+    }
+    max_carry1 = carry1_->size();
+
+    auto budget_check = [&]() -> Status {
+      if (iterations > options.max_iterations) {
+        return ResourceExhaustedError(
+            StrCat("separable schema exceeded ", options.max_iterations,
+                   " iterations"));
+      }
+      if (inserted > options.max_tuples) {
+        return ResourceExhaustedError(
+            StrCat("separable schema exceeded ", options.max_tuples,
+                   " tuples"));
+      }
+      return Status::OK();
+    };
+
+    // Phase 1 (skipped for a persistent-column anchor).
+    if (anchor_.anchor_class.has_value()) {
+      while (!carry1_->empty()) {
+        ++iterations;
+        SEPREC_RETURN_IF_ERROR(budget_check());
+        scratch1_->Clear();
+        for (const RulePlan& plan : phase1_plans_) {
+          plan.ExecuteInto(scratch1_.get());
+        }
+        carry1_->Clear();
+        for (size_t i = 0; i < scratch1_->size(); ++i) {
+          if (seen1_->Insert(scratch1_->row(i))) {
+            ++inserted;
+            carry1_->Insert(scratch1_->row(i));
+          }
+        }
+        max_carry1 = std::max(max_carry1, carry1_->size());
+      }
+    }
+
+    // Phase 2 initialisation: carry_2 := g_2(seen_1).
+    scratch2_->Clear();
+    for (const RulePlan& plan : exit_plans_) {
+      plan.ExecuteInto(scratch2_.get());
+    }
+    carry2_->Clear();
+    for (size_t i = 0; i < scratch2_->size(); ++i) {
+      if (seen2_->Insert(scratch2_->row(i))) {
+        ++inserted;
+        carry2_->Insert(scratch2_->row(i));
+      }
+    }
+    max_carry2 = carry2_->size();
+
+    if (!phase2_plans_.empty()) {
+      while (!carry2_->empty()) {
+        ++iterations;
+        SEPREC_RETURN_IF_ERROR(budget_check());
+        scratch2_->Clear();
+        for (const RulePlan& plan : phase2_plans_) {
+          plan.ExecuteInto(scratch2_.get());
+        }
+        carry2_->Clear();
+        for (size_t i = 0; i < scratch2_->size(); ++i) {
+          if (seen2_->Insert(scratch2_->row(i))) {
+            ++inserted;
+            carry2_->Insert(scratch2_->row(i));
+          }
+        }
+        max_carry2 = std::max(max_carry2, carry2_->size());
+      }
+    }
+
+    for (size_t i = 0; i < seen2_->size(); ++i) {
+      Row row = seen2_->row(i);
+      rest_rows->emplace_back(row.begin(), row.end());
+    }
+
+    if (stats != nullptr) {
+      stats->iterations += iterations;
+      stats->tuples_inserted += inserted;
+      stats->NoteRelationMax("carry_1", max_carry1);
+      stats->NoteRelationMax("seen_1", seen1_->size());
+      stats->NoteRelationMax("carry_2", max_carry2);
+      stats->NoteRelationMax("seen_2", seen2_->size());
+      stats->NoteRelationMax("ans", seen2_->size());
+    }
+    return Status::OK();
+  }
+
+  const AnchorInfo& anchor() const { return anchor_; }
+
+ private:
+  const SeparableRecursion& sep_;
+  AnchorInfo anchor_;
+  Database* db_;
+  std::string prefix_;
+  Relation* carry1_ = nullptr;
+  Relation* seen1_ = nullptr;
+  Relation* carry2_ = nullptr;
+  Relation* seen2_ = nullptr;
+  std::unique_ptr<Relation> scratch1_;
+  std::unique_ptr<Relation> scratch2_;
+  std::vector<RulePlan> phase1_plans_;
+  std::vector<RulePlan> exit_plans_;
+  std::vector<RulePlan> phase2_plans_;
+};
+
+// Assembles a full-arity answer row from anchor values and rest values and
+// adds it to `answer` if it matches the query (extra constants outside the
+// anchor and repeated query variables become post-filters).
+void EmitAnswer(const AnchorInfo& anchor, Row anchor_values, Row rest_values,
+                const Atom& query,
+                const std::vector<std::optional<Value>>& query_constants,
+                Answer* answer) {
+  std::vector<Value> full(query.arity());
+  for (size_t i = 0; i < anchor.anchor_positions.size(); ++i) {
+    full[anchor.anchor_positions[i]] = anchor_values[i];
+  }
+  for (size_t i = 0; i < anchor.rest_positions.size(); ++i) {
+    full[anchor.rest_positions[i]] = rest_values[i];
+  }
+  Row row(full.data(), full.size());
+  if (RowMatchesQuery(row, query, query_constants)) {
+    answer->Add(row);
+  }
+}
+
+// Forward declaration for the partial-selection driver's recursion (the
+// t_part branch is itself a full selection on a reduced recursion).
+Status EvaluateSelection(const Program& program, const SeparableRecursion& sep,
+                         const Atom& query, Database* db,
+                         const FixpointOptions& options,
+                         SeparableRunResult* result);
+
+// Lemma 2.1: evaluate a partial selection as a union of full selections.
+Status EvaluatePartial(const Program& program, const SeparableRecursion& sep,
+                       const Atom& query, Database* db,
+                       const FixpointOptions& options,
+                       SeparableRunResult* result) {
+  result->used_partial_rewrite = true;
+  std::vector<bool> bound = BoundPositions(query);
+
+  // Pick e1: a class bound on a proper nonempty subset of its columns.
+  std::optional<size_t> e1;
+  for (size_t c = 0; c < sep.classes.size() && !e1.has_value(); ++c) {
+    size_t hits = 0;
+    for (uint32_t p : sep.classes[c].positions) {
+      if (bound[p]) ++hits;
+    }
+    if (hits > 0 && hits < sep.classes[c].positions.size()) e1 = c;
+  }
+  SEPREC_CHECK(e1.has_value());
+
+  // Branch A: t_part — the recursion without e1; the selection constants
+  // now sit in persistent columns, a full selection.
+  SeparableRecursion part = RemoveClass(sep, *e1);
+  SEPREC_RETURN_IF_ERROR(
+      EvaluateSelection(program, part, query, db, options, result));
+
+  // Branch B: t :- t_full & a_1j for each rule of e1 — sideways
+  // information passing through a_1j binds all of e1's columns, yielding
+  // full selections on the original recursion.
+  const EquivalenceClass& ec = sep.classes[*e1];
+  bool resolvable = false;
+  std::vector<std::optional<Value>> query_constants =
+      ResolveConstants(query, db->symbols(), &resolvable);
+  SEPREC_CHECK(resolvable);  // driver interned all query constants
+
+  AnchorInfo full_anchor;
+  full_anchor.anchor_class = *e1;
+  full_anchor.anchor_positions = ec.positions;
+  for (uint32_t p = 0; p < sep.arity(); ++p) {
+    if (std::find(ec.positions.begin(), ec.positions.end(), p) ==
+        ec.positions.end()) {
+      full_anchor.rest_positions.push_back(p);
+    }
+  }
+  SchemaRunner runner(sep, full_anchor, db);
+  SEPREC_RETURN_IF_ERROR(runner.Compile());
+
+  // Seed bindings: evaluate each e1 rule's nonrecursive body with the
+  // query constants substituted, collecting (head e1 values, body-instance
+  // e1 values) pairs.
+  const size_t w = ec.positions.size();
+  std::map<std::vector<Value>, std::set<std::vector<Value>>> seeds_to_heads;
+  Substitution constant_sub;
+  for (uint32_t p = 0; p < sep.arity(); ++p) {
+    if (bound[p]) {
+      constant_sub[sep.recursion.head_vars[p]] = query.args[p];
+    }
+  }
+  for (size_t r : ec.rule_indices) {
+    const Atom& body_t = sep.recursion.RecursiveBodyAtom(r);
+    Rule binding_rule;
+    binding_rule.head.predicate = "$bindings";
+    for (uint32_t p : ec.positions) {
+      binding_rule.head.args.push_back(HeadVar(sep, p));
+    }
+    for (uint32_t p : ec.positions) {
+      binding_rule.head.args.push_back(body_t.args[p]);
+    }
+    binding_rule.body = NonRecursiveLits(sep, r);
+    binding_rule = Substitute(binding_rule, constant_sub);
+    SEPREC_ASSIGN_OR_RETURN(RulePlan plan,
+                            RulePlan::Compile(binding_rule, db));
+    Relation bindings("$bindings", 2 * w);
+    plan.ExecuteInto(&bindings);
+    result->stats.NoteRelationMax("bindings", bindings.size());
+    for (size_t i = 0; i < bindings.size(); ++i) {
+      Row row = bindings.row(i);
+      std::vector<Value> head_vals(row.begin(), row.begin() + w);
+      std::vector<Value> seed_vals(row.begin() + w, row.end());
+      seeds_to_heads[std::move(seed_vals)].insert(std::move(head_vals));
+    }
+  }
+
+  // One full-selection schema run per distinct seed.
+  for (const auto& [seed, heads] : seeds_to_heads) {
+    std::vector<std::vector<Value>> rest_rows;
+    SEPREC_RETURN_IF_ERROR(runner.Run({seed}, options, &result->stats,
+                                      &rest_rows));
+    ++result->schema_runs;
+    for (const std::vector<Value>& head_vals : heads) {
+      for (const std::vector<Value>& rest : rest_rows) {
+        EmitAnswer(full_anchor, Row(head_vals.data(), head_vals.size()),
+                   Row(rest.data(), rest.size()), query, query_constants,
+                   &result->answer);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status EvaluateSelection(const Program& program, const SeparableRecursion& sep,
+                         const Atom& query, Database* db,
+                         const FixpointOptions& options,
+                         SeparableRunResult* result) {
+  std::vector<bool> bound = BoundPositions(query);
+  std::optional<AnchorInfo> anchor = FindAnchor(sep, bound);
+  if (!anchor.has_value()) {
+    return EvaluatePartial(program, sep, query, db, options, result);
+  }
+
+  bool resolvable = false;
+  std::vector<std::optional<Value>> query_constants =
+      ResolveConstants(query, db->symbols(), &resolvable);
+  SEPREC_CHECK(resolvable);
+
+  std::vector<Value> seed;
+  for (uint32_t p : anchor->anchor_positions) {
+    seed.push_back(*query_constants[p]);
+  }
+
+  SchemaRunner runner(sep, *anchor, db);
+  SEPREC_RETURN_IF_ERROR(runner.Compile());
+  std::vector<std::vector<Value>> rest_rows;
+  SEPREC_RETURN_IF_ERROR(
+      runner.Run({seed}, options, &result->stats, &rest_rows));
+  ++result->schema_runs;
+  for (const std::vector<Value>& rest : rest_rows) {
+    EmitAnswer(*anchor, Row(seed.data(), seed.size()),
+               Row(rest.data(), rest.size()), query, query_constants,
+               &result->answer);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+SelectionKind ClassifySelection(const SeparableRecursion& sep,
+                                const Atom& query) {
+  std::vector<bool> bound = BoundPositions(query);
+  bool any = false;
+  for (bool b : bound) any = any || b;
+  if (!any) return SelectionKind::kNoConstants;
+  return FindAnchor(sep, bound).has_value() ? SelectionKind::kFull
+                                            : SelectionKind::kPartial;
+}
+
+StatusOr<SeparableRunResult> EvaluateWithSeparable(
+    const Program& program, const SeparableRecursion& sep, const Atom& query,
+    Database* db, const FixpointOptions& options) {
+  if (query.arity() != sep.arity() || query.predicate != sep.predicate()) {
+    return InvalidArgumentError(
+        StrCat("query ", query.ToString(), " does not match recursion '",
+               sep.predicate(), "'/", sep.arity()));
+  }
+  if (ClassifySelection(sep, query) == SelectionKind::kNoConstants) {
+    return InvalidArgumentError(
+        "the Separable algorithm requires a selection constant");
+  }
+
+  SeparableRunResult result;
+  result.answer = Answer(query.arity());
+  result.stats.algorithm = "separable";
+  WallTimer timer;
+
+  // Intern the query constants so seeds have concrete Values (a fresh
+  // symbol simply matches nothing).
+  for (const Term& arg : query.args) {
+    if (arg.kind == Term::Kind::kSymbol) db->symbols().Intern(arg.name);
+  }
+
+  SEPREC_RETURN_IF_ERROR(MaterializeSupport(program, sep.predicate(), db,
+                                            options, &result.stats));
+  Status status =
+      EvaluateSelection(program, sep, query, db, options, &result);
+  result.stats.seconds = timer.Seconds();
+  if (!status.ok()) return status;
+  return result;
+}
+
+StatusOr<SeparableRunResult> EvaluateWithSeparable(
+    const Program& program, const Atom& query, Database* db,
+    const FixpointOptions& options) {
+  SEPREC_ASSIGN_OR_RETURN(SeparableRecursion sep,
+                          AnalyzeSeparable(program, query.predicate));
+  return EvaluateWithSeparable(program, sep, query, db, options);
+}
+
+StatusOr<std::string> ExplainSchema(const SeparableRecursion& sep,
+                                    const Atom& query) {
+  std::vector<bool> bound = BoundPositions(query);
+  bool any = false;
+  for (bool b : bound) any = any || b;
+  if (!any) {
+    return InvalidArgumentError("query has no selection constant");
+  }
+  std::optional<AnchorInfo> anchor = FindAnchor(sep, bound);
+  if (!anchor.has_value()) {
+    return InvalidArgumentError(
+        "partial selection: rewrite with Lemma 2.1 first");
+  }
+
+  auto args_csv = [](const std::vector<Term>& args) {
+    std::string out;
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += args[i].ToString();
+    }
+    return out;
+  };
+  auto rule_rhs = [](const Rule& rule) {
+    std::string out;
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (i > 0) out += " & ";
+      out += rule.body[i].ToString();
+    }
+    return out;
+  };
+
+  std::string text;
+  std::string seeds;
+  for (uint32_t p : anchor->anchor_positions) {
+    if (!seeds.empty()) seeds += ", ";
+    seeds += query.args[p].ToString();
+  }
+
+  if (anchor->anchor_class.has_value()) {
+    text += StrCat("carry_1(", seeds, ");\n");
+    text += "seen_1 := carry_1;\n";
+    text += "while carry_1 not empty do\n";
+    const EquivalenceClass& ec = sep.classes[*anchor->anchor_class];
+    std::string update;
+    for (size_t r : ec.rule_indices) {
+      Rule rule = MakePhase1Rule(sep, *anchor, r, "carry_1", "carry_1");
+      if (!update.empty()) update += "\n             \\cup ";
+      update += StrCat(rule.head.ToString(), " := ", rule_rhs(rule));
+    }
+    text += StrCat("  ", update, ";\n");
+    text += "  carry_1 := carry_1 - seen_1;\n";
+    text += "  seen_1 := seen_1 \\cup carry_1;\nendwhile;\n";
+  } else {
+    text += StrCat("seen_1(", seeds, ");   % selection constants are in "
+                   "t|pers: dummy equivalence class\n");
+  }
+
+  for (size_t e = 0; e < sep.recursion.exit_rules.size(); ++e) {
+    Rule rule = MakeExitRule(sep, *anchor, e, "seen_1", "carry_2");
+    text += StrCat(rule.head.ToString(), " := ", rule_rhs(rule), ";\n");
+  }
+  text += "seen_2 := carry_2;\n";
+
+  bool any_phase2 = false;
+  std::string update2;
+  for (size_t r = 0; r < sep.recursion.recursive_rules.size(); ++r) {
+    if (anchor->anchor_class.has_value() &&
+        sep.class_of_rule[r] == *anchor->anchor_class) {
+      continue;
+    }
+    any_phase2 = true;
+    Rule rule = MakePhase2Rule(sep, *anchor, r, "carry_2", "carry_2");
+    if (!update2.empty()) update2 += "\n             \\cup ";
+    update2 += StrCat(rule.head.ToString(), " := ", rule_rhs(rule));
+  }
+  if (any_phase2) {
+    text += "while carry_2 not empty do\n";
+    text += StrCat("  ", update2, ";\n");
+    text += "  carry_2 := carry_2 - seen_2;\n";
+    text += "  seen_2 := seen_2 \\cup carry_2;\nendwhile;\n";
+  }
+  std::string ans_args;
+  for (uint32_t p : anchor->rest_positions) {
+    if (!ans_args.empty()) ans_args += ", ";
+    ans_args += sep.recursion.head_vars[p];
+  }
+  text += StrCat("ans(", ans_args, ") := seen_2(", ans_args, ");\n");
+  return text;
+}
+
+}  // namespace seprec

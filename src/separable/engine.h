@@ -1,0 +1,76 @@
+// The Separable evaluation algorithm (Section 3.3, Figure 2) and its
+// partial-selection driver (Lemma 2.1).
+//
+// Full selections run the two-loop carry/seen schema directly:
+//
+//   phase 1: starting from the selection constants, close the anchor
+//            equivalence class top-down (seen_1 = every value reachable in
+//            the anchor columns) — skipped when the selection constants sit
+//            in persistent columns (the paper's dummy equivalence class);
+//   phase 2: join seen_1 with the exit relation(s), then close the
+//            remaining equivalence classes bottom-up (seen_2 = the answer
+//            columns).
+//
+// Partial selections are evaluated as the union of full selections the
+// Lemma 2.1 rewrite produces: one run over the recursion with the partially
+// bound class removed (its columns become persistent), plus, for each rule
+// of that class, full runs seeded through that rule's nonrecursive body
+// (sideways information passing binds the whole class).
+//
+// The aux relations carry_1/seen_1/carry_2/seen_2 are monadic-or-narrower
+// per Lemma 4.1 — their sizes, reported in EvalStats, are the paper's
+// comparison metric.
+#ifndef SEPREC_SEPARABLE_ENGINE_H_
+#define SEPREC_SEPARABLE_ENGINE_H_
+
+#include "core/answer.h"
+#include "datalog/ast.h"
+#include "eval/fixpoint.h"
+#include "separable/detection.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace seprec {
+
+struct SeparableRunResult {
+  Answer answer{0};
+  EvalStats stats;
+
+  // True when the query was a partial selection and the Lemma 2.1
+  // union-of-full-selections driver ran.
+  bool used_partial_rewrite = false;
+  // Number of full-selection schema executions (1 for a full selection).
+  size_t schema_runs = 0;
+};
+
+// Answers `query` (which must contain at least one constant) over the
+// separable definition of its predicate in `program`. Support predicates
+// (anything the recursion's bodies mention) are materialised first.
+StatusOr<SeparableRunResult> EvaluateWithSeparable(
+    const Program& program, const Atom& query, Database* db,
+    const FixpointOptions& options = {});
+
+// As above but with a pre-computed analysis (used by the query processor
+// and benches to avoid re-detection).
+StatusOr<SeparableRunResult> EvaluateWithSeparable(
+    const Program& program, const SeparableRecursion& sep, const Atom& query,
+    Database* db, const FixpointOptions& options = {});
+
+// Selection classification for a query against a separable recursion
+// (Definition 2.7).
+enum class SelectionKind {
+  kNoConstants,  // no selection at all; Separable does not apply
+  kFull,         // binds a persistent column or a whole class
+  kPartial,      // binds a proper nonempty subset of some class only
+};
+SelectionKind ClassifySelection(const SeparableRecursion& sep,
+                                const Atom& query);
+
+// Renders the instantiated evaluation schema for `query` in the style of
+// the paper's Figures 3 and 4 (init/while/endwhile pseudo-code).
+StatusOr<std::string> ExplainSchema(const SeparableRecursion& sep,
+                                    const Atom& query);
+
+}  // namespace seprec
+
+#endif  // SEPREC_SEPARABLE_ENGINE_H_

@@ -1,0 +1,131 @@
+#include "separable/rewrite.h"
+
+#include <set>
+
+#include "core/query.h"
+#include "separable/engine.h"
+#include "util/string_util.h"
+
+namespace seprec {
+namespace {
+
+std::string UniquePredicateName(std::string base,
+                                const std::set<std::string>& taken) {
+  while (taken.count(base)) base += "_";
+  return base;
+}
+
+// Copies `rule`, renaming head and recursive-atom occurrences of
+// `predicate` to `replacement`.
+Rule RenameRecursion(const Rule& rule, const std::string& predicate,
+                     const std::string& replacement) {
+  Rule out = rule;
+  if (out.head.predicate == predicate) out.head.predicate = replacement;
+  for (Literal& lit : out.body) {
+    if (lit.kind == Literal::Kind::kAtom &&
+        lit.atom.predicate == predicate) {
+      lit.atom.predicate = replacement;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<PartialRewrite> RewritePartialSelection(
+    const Program& program, const SeparableRecursion& sep,
+    const Atom& query) {
+  if (query.predicate != sep.predicate() || query.arity() != sep.arity()) {
+    return InvalidArgumentError(
+        StrCat("query ", query.ToString(), " does not match '",
+               sep.predicate(), "'/", sep.arity()));
+  }
+  if (ClassifySelection(sep, query) != SelectionKind::kPartial) {
+    return FailedPreconditionError(
+        StrCat("query ", query.ToString(),
+               " is not a partial selection; Lemma 2.1 does not apply"));
+  }
+
+  // e1: a class bound on a proper nonempty subset of its columns.
+  std::vector<bool> bound = BoundPositions(query);
+  size_t e1 = sep.classes.size();
+  for (size_t c = 0; c < sep.classes.size() && e1 == sep.classes.size();
+       ++c) {
+    size_t hits = 0;
+    for (uint32_t p : sep.classes[c].positions) {
+      if (bound[p]) ++hits;
+    }
+    if (hits > 0 && hits < sep.classes[c].positions.size()) e1 = c;
+  }
+  SEPREC_CHECK(e1 < sep.classes.size());
+
+  std::set<std::string> taken;
+  for (const Rule& rule : program.rules) {
+    taken.insert(rule.head.predicate);
+    for (const Atom* atom : rule.BodyAtoms()) taken.insert(atom->predicate);
+  }
+  PartialRewrite out;
+  out.removed_class = e1;
+  out.part_predicate =
+      UniquePredicateName(StrCat(sep.predicate(), "_part"), taken);
+  taken.insert(out.part_predicate);
+  out.full_predicate =
+      UniquePredicateName(StrCat(sep.predicate(), "_full"), taken);
+
+  // Rules of the input that do not define t survive unchanged.
+  for (const Rule& rule : program.rules) {
+    if (rule.head.predicate != sep.predicate()) {
+      out.program.rules.push_back(rule);
+    }
+  }
+
+  const std::string& t = sep.predicate();
+  std::set<size_t> e1_rules(sep.classes[e1].rule_indices.begin(),
+                            sep.classes[e1].rule_indices.end());
+
+  // t_part: the recursion without e1's rules.
+  for (size_t r = 0; r < sep.recursion.recursive_rules.size(); ++r) {
+    if (e1_rules.count(r)) continue;
+    out.program.rules.push_back(RenameRecursion(
+        sep.recursion.recursive_rules[r], t, out.part_predicate));
+  }
+  for (const Rule& exit : sep.recursion.exit_rules) {
+    out.program.rules.push_back(
+        RenameRecursion(exit, t, out.part_predicate));
+  }
+
+  // t_full: the whole recursion.
+  for (const Rule& rule : sep.recursion.recursive_rules) {
+    out.program.rules.push_back(
+        RenameRecursion(rule, t, out.full_predicate));
+  }
+  for (const Rule& exit : sep.recursion.exit_rules) {
+    out.program.rules.push_back(
+        RenameRecursion(exit, t, out.full_predicate));
+  }
+
+  // Glue: t :- t_part.   and   t :- a_1j & t_full.  (per rule of e1)
+  {
+    Rule glue;
+    glue.head.predicate = t;
+    Atom part;
+    part.predicate = out.part_predicate;
+    for (const std::string& v : sep.recursion.head_vars) {
+      glue.head.args.push_back(Term::Var(v));
+      part.args.push_back(Term::Var(v));
+    }
+    glue.body.push_back(Literal::MakeAtom(std::move(part)));
+    out.program.rules.push_back(std::move(glue));
+  }
+  for (size_t r : sep.classes[e1].rule_indices) {
+    Rule glue = sep.recursion.recursive_rules[r];
+    // Keep the head on t; the recursive body atom reads t_full.
+    Literal& rec =
+        glue.body[sep.recursion.recursive_atom_index[r]];
+    rec.atom.predicate = out.full_predicate;
+    out.program.rules.push_back(std::move(glue));
+  }
+  return out;
+}
+
+}  // namespace seprec

@@ -1,0 +1,47 @@
+// The Lemma 2.1 program transformation, as a source-to-source rewrite.
+//
+// Given a partial selection on a separable recursion t (the query binds a
+// proper nonempty subset of some equivalence class e1 and nothing that
+// would make it full), the paper replaces t's definition with
+//
+//   t_part — the recursion WITHOUT e1's rules (e1's columns persistent),
+//   t_full — a copy of the whole recursion, and the glue rules
+//   t :- t_part.
+//   t :- a_1j & t_full.        (one per rule r_1j of e1)
+//
+// after which sideways information passing turns the original selection
+// into full selections on both new predicates (Example 2.4). The
+// SeparableEngine evaluates partial selections directly with this
+// strategy; this module materialises the transformation as an actual
+// Program so it can be displayed (the paper's Example 2.4 listing),
+// tested for equivalence, and fed to any engine.
+#ifndef SEPREC_SEPARABLE_REWRITE_H_
+#define SEPREC_SEPARABLE_REWRITE_H_
+
+#include <string>
+
+#include "datalog/ast.h"
+#include "separable/detection.h"
+#include "util/status.h"
+
+namespace seprec {
+
+struct PartialRewrite {
+  // The transformed program: every rule of the input except t's, plus the
+  // t_part / t_full recursions and the glue rules.
+  Program program;
+
+  std::string part_predicate;  // e.g. "t_part"
+  std::string full_predicate;  // e.g. "t_full"
+  size_t removed_class = 0;    // index of e1 in `sep.classes`
+};
+
+// Builds the rewrite for `query` (which must be a PARTIAL selection on
+// `sep`; FAILED_PRECONDITION otherwise). `program` supplies the non-t
+// rules carried over unchanged.
+StatusOr<PartialRewrite> RewritePartialSelection(
+    const Program& program, const SeparableRecursion& sep, const Atom& query);
+
+}  // namespace seprec
+
+#endif  // SEPREC_SEPARABLE_REWRITE_H_

@@ -1,0 +1,84 @@
+#include "storage/database.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace seprec {
+
+StatusOr<Relation*> Database::CreateRelation(std::string_view name,
+                                             size_t arity) {
+  auto it = relations_.find(std::string(name));
+  if (it != relations_.end()) {
+    if (it->second->arity() != arity) {
+      return InvalidArgumentError(
+          StrCat("relation '", name, "' already exists with arity ",
+                 it->second->arity(), ", requested ", arity));
+    }
+    return it->second.get();
+  }
+  auto relation = std::make_unique<Relation>(std::string(name), arity);
+  Relation* ptr = relation.get();
+  relations_.emplace(std::string(name), std::move(relation));
+  return ptr;
+}
+
+Relation* Database::Find(std::string_view name) {
+  auto it = relations_.find(std::string(name));
+  return it == relations_.end() ? nullptr : it->second.get();
+}
+
+const Relation* Database::Find(std::string_view name) const {
+  auto it = relations_.find(std::string(name));
+  return it == relations_.end() ? nullptr : it->second.get();
+}
+
+Status Database::AddFact(std::string_view relation,
+                         std::initializer_list<std::string_view> symbols) {
+  SEPREC_ASSIGN_OR_RETURN(Relation * rel,
+                          CreateRelation(relation, symbols.size()));
+  std::vector<Value> row;
+  row.reserve(symbols.size());
+  for (std::string_view s : symbols) {
+    row.push_back(symbols_.Intern(s));
+  }
+  rel->Insert(Row(row.data(), row.size()));
+  return Status::OK();
+}
+
+Status Database::AddFact(std::string_view relation,
+                         const std::vector<std::string>& symbols) {
+  SEPREC_ASSIGN_OR_RETURN(Relation * rel,
+                          CreateRelation(relation, symbols.size()));
+  std::vector<Value> row;
+  row.reserve(symbols.size());
+  for (const std::string& s : symbols) {
+    row.push_back(symbols_.Intern(s));
+  }
+  rel->Insert(Row(row.data(), row.size()));
+  return Status::OK();
+}
+
+void Database::Drop(std::string_view name) {
+  relations_.erase(std::string(name));
+}
+
+std::vector<std::string> Database::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) {
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+size_t Database::TotalTuples() const {
+  size_t total = 0;
+  for (const auto& [name, rel] : relations_) {
+    total += rel->size();
+  }
+  return total;
+}
+
+}  // namespace seprec

@@ -1,0 +1,60 @@
+// Database: the catalog of named relations plus the shared symbol table.
+#ifndef SEPREC_STORAGE_DATABASE_H_
+#define SEPREC_STORAGE_DATABASE_H_
+
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/relation.h"
+#include "storage/symbol_table.h"
+#include "util/status.h"
+
+namespace seprec {
+
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  SymbolTable& symbols() { return symbols_; }
+  const SymbolTable& symbols() const { return symbols_; }
+
+  // Creates relation `name` with the given arity, or returns the existing
+  // one (whose arity must match; mismatch is an error).
+  StatusOr<Relation*> CreateRelation(std::string_view name, size_t arity);
+
+  // Returns the relation or nullptr.
+  Relation* Find(std::string_view name);
+  const Relation* Find(std::string_view name) const;
+
+  // Convenience: ensures the relation exists and inserts a row of symbol
+  // constants, interning them. Example: AddFact("edge", {"a", "b"}).
+  Status AddFact(std::string_view relation,
+                 std::initializer_list<std::string_view> symbols);
+  Status AddFact(std::string_view relation,
+                 const std::vector<std::string>& symbols);
+
+  // Removes a relation if present (used to drop $-prefixed scratch
+  // relations created during evaluation). Any Relation*/Index references
+  // become invalid.
+  void Drop(std::string_view name);
+
+  // Names of all relations, sorted (stable output for tests / tools).
+  std::vector<std::string> RelationNames() const;
+
+  // Total number of stored tuples across all relations.
+  size_t TotalTuples() const;
+
+ private:
+  SymbolTable symbols_;
+  std::unordered_map<std::string, std::unique_ptr<Relation>> relations_;
+};
+
+}  // namespace seprec
+
+#endif  // SEPREC_STORAGE_DATABASE_H_

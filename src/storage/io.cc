@@ -1,0 +1,107 @@
+#include "storage/io.h"
+
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace seprec {
+namespace {
+
+// True if `token` is a decimal integer within the Value range.
+bool ParseInteger(const std::string& token, int64_t* value) {
+  if (token.empty()) return false;
+  size_t start = token[0] == '-' ? 1 : 0;
+  if (start == token.size()) return false;
+  for (size_t i = start; i < token.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(token[i]))) return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(token.c_str(), &end, 10);
+  if (errno != 0 || end != token.c_str() + token.size()) return false;
+  if (v > Value::kMaxInt || v < Value::kMinInt) return false;
+  *value = v;
+  return true;
+}
+
+}  // namespace
+
+StatusOr<size_t> LoadRelationTsv(Database* db, std::string_view name,
+                                 std::istream& in) {
+  Relation* rel = db->Find(name);
+  size_t added = 0;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> columns = StrSplit(line, '\t');
+    if (rel == nullptr) {
+      SEPREC_ASSIGN_OR_RETURN(rel, db->CreateRelation(name, columns.size()));
+    }
+    if (columns.size() != rel->arity()) {
+      return InvalidArgumentError(
+          StrCat("line ", line_number, ": expected ", rel->arity(),
+                 " columns for relation '", name, "', found ",
+                 columns.size()));
+    }
+    std::vector<Value> row;
+    row.reserve(columns.size());
+    for (const std::string& column : columns) {
+      int64_t v = 0;
+      if (ParseInteger(column, &v)) {
+        row.push_back(Value::Int(v));
+      } else {
+        row.push_back(db->symbols().Intern(column));
+      }
+    }
+    if (rel->Insert(Row(row.data(), row.size()))) ++added;
+  }
+  if (rel == nullptr) {
+    return InvalidArgumentError(
+        StrCat("no data lines for relation '", name,
+               "' and the relation does not already exist"));
+  }
+  return added;
+}
+
+StatusOr<size_t> LoadRelationTsvFile(Database* db, std::string_view name,
+                                     const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return NotFoundError(StrCat("cannot open '", path, "'"));
+  }
+  return LoadRelationTsv(db, name, in);
+}
+
+Status SaveRelationTsv(const Database& db, std::string_view name,
+                       std::ostream& out) {
+  const Relation* rel = db.Find(name);
+  if (rel == nullptr) {
+    return NotFoundError(StrCat("no relation '", name, "'"));
+  }
+  rel->ForEachRow([&](Row row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << '\t';
+      out << db.symbols().ToString(row[c]);
+    }
+    out << '\n';
+  });
+  return Status::OK();
+}
+
+Status SaveRelationTsvFile(const Database& db, std::string_view name,
+                           const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return InvalidArgumentError(StrCat("cannot write '", path, "'"));
+  }
+  return SaveRelationTsv(db, name, out);
+}
+
+}  // namespace seprec

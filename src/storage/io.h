@@ -1,0 +1,38 @@
+// Loading and saving relations as tab-separated files (the interchange
+// format Datalog engines conventionally use for EDB facts).
+//
+// Each line is one tuple; columns are separated by a single '\t'. A column
+// that parses entirely as a decimal integer becomes an integer Value,
+// anything else an interned symbol. Empty lines and lines starting with
+// '#' are skipped.
+#ifndef SEPREC_STORAGE_IO_H_
+#define SEPREC_STORAGE_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace seprec {
+
+// Reads tuples from `in` into relation `name` (created with the arity of
+// the first data line if absent). Returns the number of NEW tuples.
+StatusOr<size_t> LoadRelationTsv(Database* db, std::string_view name,
+                                 std::istream& in);
+
+// File-path convenience.
+StatusOr<size_t> LoadRelationTsvFile(Database* db, std::string_view name,
+                                     const std::string& path);
+
+// Writes every tuple of relation `name`, one line per tuple, columns
+// tab-separated, rows in insertion order.
+Status SaveRelationTsv(const Database& db, std::string_view name,
+                       std::ostream& out);
+Status SaveRelationTsvFile(const Database& db, std::string_view name,
+                           const std::string& path);
+
+}  // namespace seprec
+
+#endif  // SEPREC_STORAGE_IO_H_

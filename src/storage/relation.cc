@@ -1,0 +1,170 @@
+#include "storage/relation.h"
+
+#include <algorithm>
+
+namespace seprec {
+
+Index::Index(const Relation* relation, ColumnList columns)
+    : relation_(relation), columns_(std::move(columns)) {
+  for (uint32_t c : columns_) {
+    SEPREC_CHECK(c < relation_->arity());
+  }
+  buckets_.reserve(relation_->size());
+  for (uint32_t slot = 0; slot < relation_->slots(); ++slot) {
+    if (relation_->IsLive(slot)) Add(slot);
+  }
+}
+
+void Index::Add(uint32_t row_id) {
+  buckets_.emplace(KeyHashOfRow(row_id), row_id);
+}
+
+uint64_t Index::KeyHashOfRow(uint32_t row_id) const {
+  Row r = relation_->row(row_id);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (uint32_t c : columns_) h = HashCombine(h, r[c].bits());
+  return h;
+}
+
+bool Index::RowMatchesKey(uint32_t row_id, Row key) const {
+  Row r = relation_->row(row_id);
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (r[columns_[i]] != key[i]) return false;
+  }
+  return true;
+}
+
+size_t Index::CountMatches(Row key) const {
+  size_t n = 0;
+  ForEach(key, [&n](uint32_t) { ++n; });
+  return n;
+}
+
+Relation::Relation(std::string name, size_t arity)
+    : name_(std::move(name)),
+      arity_(arity),
+      row_set_(/*bucket_count=*/16, RowIdHash{this}, RowIdEq{this}) {}
+
+bool Relation::Insert(Row row) {
+  SEPREC_CHECK(row.size() == arity_);
+  // Tentatively append so the row-set functors (which hash by slot) can
+  // see the candidate row; roll back on duplicate.
+  data_.insert(data_.end(), row.begin(), row.end());
+  dead_.push_back(false);
+  uint32_t slot = static_cast<uint32_t>(num_slots_);
+  ++num_slots_;
+  auto [it, inserted] = row_set_.insert(slot);
+  (void)it;
+  if (!inserted) {
+    --num_slots_;
+    dead_.pop_back();
+    data_.resize(data_.size() - arity_);
+    return false;
+  }
+  ++num_rows_;
+  for (auto& [cols, index] : indexes_) {
+    index->Add(slot);
+  }
+  return true;
+}
+
+bool Relation::Contains(Row row) const {
+  SEPREC_CHECK(row.size() == arity_);
+  // Same tentative-append trick, const_cast-free: use a throwaway probe via
+  // the first index on all columns if rows exist, else linear check.
+  // Cheapest correct approach: append+lookup+rollback on a mutable copy is
+  // not possible here, so probe through an index over all columns.
+  if (num_rows_ == 0) return false;
+  ColumnList all(arity_);
+  for (size_t i = 0; i < arity_; ++i) all[i] = static_cast<uint32_t>(i);
+  if (arity_ == 0) return num_rows_ > 0;
+  const Index& index = GetIndex(all);
+  bool found = false;
+  index.ForEach(row, [&found](uint32_t) { found = true; });
+  return found;
+}
+
+const Index& Relation::GetIndex(const ColumnList& columns) const {
+  auto it = indexes_.find(columns);
+  if (it == indexes_.end()) {
+    it = indexes_.emplace(columns, std::make_unique<Index>(this, columns))
+             .first;
+  }
+  return *it->second;
+}
+
+void Relation::Clear() {
+  data_.clear();
+  dead_.clear();
+  num_rows_ = 0;
+  num_slots_ = 0;
+  row_set_.clear();
+  indexes_.clear();
+}
+
+size_t Relation::InsertAll(const Relation& other) {
+  SEPREC_CHECK(other.arity() == arity_);
+  size_t added = 0;
+  other.ForEachRow([this, &added](Row r) {
+    if (Insert(r)) ++added;
+  });
+  return added;
+}
+
+size_t Relation::EraseRows(const Relation& to_remove) {
+  SEPREC_CHECK(to_remove.arity() == arity_);
+  if (to_remove.empty() || num_rows_ == 0) return 0;
+  if (arity_ == 0) {
+    // At most the single empty tuple.
+    if (num_rows_ == 1) {
+      dead_[*row_set_.begin()] = true;
+      row_set_.clear();
+      num_rows_ = 0;
+      return 1;
+    }
+    return 0;
+  }
+  ColumnList all(arity_);
+  for (size_t i = 0; i < arity_; ++i) all[i] = static_cast<uint32_t>(i);
+  const Index& index = GetIndex(all);
+  size_t removed = 0;
+  to_remove.ForEachRow([&](Row r) {
+    // Find the (single, live) slot holding r, if any.
+    uint32_t victim = 0;
+    bool found = false;
+    index.ForEach(r, [&victim, &found](uint32_t slot) {
+      victim = slot;
+      found = true;
+    });
+    if (found) {
+      row_set_.erase(victim);
+      dead_[victim] = true;
+      --num_rows_;
+      ++removed;
+    }
+  });
+  return removed;
+}
+
+std::string Relation::DebugString(const SymbolTable& symbols) const {
+  std::vector<std::string> lines;
+  lines.reserve(num_rows_);
+  ForEachRow([this, &symbols, &lines](Row r) {
+    std::string line = name_ + "(";
+    for (size_t c = 0; c < r.size(); ++c) {
+      if (c > 0) line += ", ";
+      line += symbols.ToString(r[c]);
+    }
+    line += ")";
+    lines.push_back(std::move(line));
+  });
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace seprec

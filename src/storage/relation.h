@@ -1,0 +1,182 @@
+// Relation: an in-memory set of fixed-arity tuples with hash indexes.
+//
+// Storage is row-major and append-mostly; duplicate rows are rejected on
+// insert. Deletion (used by DRed incremental maintenance) tombstones the
+// slot: `size()` reports LIVE rows while slots()/IsLive() expose the
+// underlying slot space; iteration uses ForEachRow / explicit slot loops
+// with IsLive checks. For relations that are never erased, slots() ==
+// size() and row(i) enumerates exactly the live rows in insertion order.
+// Secondary hash indexes on arbitrary column subsets are built lazily and
+// maintained incrementally, which is what the fixpoint engines need: they
+// interleave index lookups with inserts every iteration.
+//
+// Not thread-safe: the evaluators are single-threaded, matching the paper's
+// cost model (relation sizes, not parallelism).
+#ifndef SEPREC_STORAGE_RELATION_H_
+#define SEPREC_STORAGE_RELATION_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/symbol_table.h"
+#include "storage/value.h"
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace seprec {
+
+using Row = std::span<const Value>;
+// Column positions, 0-based, in probe order (not necessarily sorted).
+using ColumnList = std::vector<uint32_t>;
+
+class Relation;
+
+// Hash index over a subset of a relation's columns. Owned by the relation;
+// kept up to date as rows are inserted.
+class Index {
+ public:
+  Index(const Relation* relation, ColumnList columns);
+
+  // Invokes fn(row_id) for every row whose `columns` equal `key` (same
+  // order). `key.size()` must equal the column count.
+  template <typename Fn>
+  void ForEach(Row key, Fn&& fn) const;
+
+  // Number of rows matching `key`.
+  size_t CountMatches(Row key) const;
+
+  const ColumnList& columns() const { return columns_; }
+
+ private:
+  friend class Relation;
+
+  // Adds `row_id` (must reference an existing row of the parent relation).
+  void Add(uint32_t row_id);
+
+  uint64_t KeyHashOfRow(uint32_t row_id) const;
+  bool RowMatchesKey(uint32_t row_id, Row key) const;
+
+  const Relation* relation_;
+  ColumnList columns_;
+  std::unordered_multimap<uint64_t, uint32_t> buckets_;
+};
+
+class Relation {
+ public:
+  Relation(std::string name, size_t arity);
+  Relation(const Relation&) = delete;
+  Relation& operator=(const Relation&) = delete;
+
+  const std::string& name() const { return name_; }
+  size_t arity() const { return arity_; }
+  // Number of LIVE rows.
+  size_t size() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
+  // Number of storage slots (live + tombstoned). Equal to size() unless
+  // EraseRows was used.
+  size_t slots() const { return num_slots_; }
+  bool IsLive(size_t slot) const {
+    SEPREC_DCHECK(slot < num_slots_);
+    return !dead_[slot];
+  }
+
+  // Inserts `row` (length must equal arity). Returns true if the row was new.
+  bool Insert(Row row);
+  bool Insert(std::initializer_list<Value> row) {
+    return Insert(Row(row.begin(), row.size()));
+  }
+
+  bool Contains(Row row) const;
+
+  // Slot access; callers iterating [0, slots()) must skip dead slots (see
+  // ForEachRow).
+  Row row(size_t slot) const {
+    SEPREC_DCHECK(slot < num_slots_);
+    return Row(data_.data() + slot * arity_, arity_);
+  }
+
+  // Invokes fn(Row) for every live row, in insertion order.
+  template <typename Fn>
+  void ForEachRow(Fn&& fn) const {
+    for (size_t slot = 0; slot < num_slots_; ++slot) {
+      if (!dead_[slot]) fn(row(slot));
+    }
+  }
+
+  // Returns an index on `columns`, building it on first request. The result
+  // stays valid (and current) for the relation's lifetime.
+  const Index& GetIndex(const ColumnList& columns) const;
+
+  // Removes all rows (indexes are dropped too).
+  void Clear();
+
+  // Inserts every row of `other` (arities must match). Returns the number of
+  // new rows.
+  size_t InsertAll(const Relation& other);
+
+  // Removes every row that appears in `to_remove` (arities must match) by
+  // tombstoning its slot — O(|to_remove|) with an index probe per row.
+  // Slot ids remain stable; indexes skip dead slots. Returns the number
+  // of rows removed.
+  size_t EraseRows(const Relation& to_remove);
+
+  // One line per row, rows sorted, for tests and diagnostics.
+  std::string DebugString(const SymbolTable& symbols) const;
+
+ private:
+  friend class Index;
+
+  struct RowIdHash {
+    const Relation* rel;
+    size_t operator()(uint32_t row_id) const {
+      Row r = rel->row(row_id);
+      uint64_t h = 0xcbf29ce484222325ULL;
+      for (Value v : r) h = HashCombine(h, v.bits());
+      return static_cast<size_t>(h);
+    }
+  };
+  struct RowIdEq {
+    const Relation* rel;
+    bool operator()(uint32_t a, uint32_t b) const {
+      Row ra = rel->row(a);
+      Row rb = rel->row(b);
+      for (size_t i = 0; i < ra.size(); ++i) {
+        if (ra[i] != rb[i]) return false;
+      }
+      return true;
+    }
+  };
+
+  std::string name_;
+  size_t arity_;
+  size_t num_rows_ = 0;   // live rows
+  size_t num_slots_ = 0;  // live + tombstoned
+  std::vector<Value> data_;  // row-major, num_slots_ * arity_ values
+  std::vector<bool> dead_;   // per slot
+  std::unordered_set<uint32_t, RowIdHash, RowIdEq> row_set_;  // live slots
+  // std::map: ColumnList has operator< for free; index count is tiny.
+  mutable std::map<ColumnList, std::unique_ptr<Index>> indexes_;
+};
+
+template <typename Fn>
+void Index::ForEach(Row key, Fn&& fn) const {
+  SEPREC_DCHECK(key.size() == columns_.size());
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (Value v : key) h = HashCombine(h, v.bits());
+  auto [begin, end] = buckets_.equal_range(h);
+  for (auto it = begin; it != end; ++it) {
+    if (relation_->IsLive(it->second) && RowMatchesKey(it->second, key)) {
+      fn(it->second);
+    }
+  }
+}
+
+}  // namespace seprec
+
+#endif  // SEPREC_STORAGE_RELATION_H_

@@ -1,0 +1,176 @@
+#include "storage/snapshot.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace seprec {
+namespace {
+
+constexpr char kHeader[] = "seprec-snapshot v1";
+
+std::string EncodeValue(Value v, const SymbolTable& symbols) {
+  if (v.is_int()) {
+    return StrCat("i:", v.as_int());
+  }
+  std::string out = "s:";
+  for (char c : symbols.NameOf(v.symbol_id())) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+StatusOr<Value> DecodeValue(const std::string& field, Database* db,
+                            size_t line_number) {
+  if (field.size() < 2 || field[1] != ':') {
+    return InvalidArgumentError(
+        StrCat("line ", line_number, ": malformed value '", field, "'"));
+  }
+  std::string payload = field.substr(2);
+  if (field[0] == 'i') {
+    errno = 0;
+    char* end = nullptr;
+    long long v = std::strtoll(payload.c_str(), &end, 10);
+    if (errno != 0 || end != payload.c_str() + payload.size() ||
+        v > Value::kMaxInt || v < Value::kMinInt) {
+      return InvalidArgumentError(
+          StrCat("line ", line_number, ": bad integer '", payload, "'"));
+    }
+    return Value::Int(v);
+  }
+  if (field[0] != 's') {
+    return InvalidArgumentError(
+        StrCat("line ", line_number, ": unknown value tag '", field[0],
+               "'"));
+  }
+  std::string symbol;
+  for (size_t i = 0; i < payload.size(); ++i) {
+    if (payload[i] != '\\') {
+      symbol.push_back(payload[i]);
+      continue;
+    }
+    if (i + 1 >= payload.size()) {
+      return InvalidArgumentError(
+          StrCat("line ", line_number, ": dangling escape"));
+    }
+    char next = payload[++i];
+    switch (next) {
+      case '\\': symbol.push_back('\\'); break;
+      case 't': symbol.push_back('\t'); break;
+      case 'n': symbol.push_back('\n'); break;
+      default:
+        return InvalidArgumentError(
+            StrCat("line ", line_number, ": bad escape '\\", next, "'"));
+    }
+  }
+  return db->symbols().Intern(symbol);
+}
+
+}  // namespace
+
+Status SaveSnapshot(const Database& db, std::ostream& out) {
+  out << kHeader << '\n';
+  for (const std::string& name : db.RelationNames()) {
+    const Relation* rel = db.Find(name);
+    out << "relation " << name << ' ' << rel->arity() << '\n';
+    rel->ForEachRow([&](Row row) {
+      if (row.empty()) {
+        out << "()\n";  // 0-ary tuple marker (an empty line is skipped)
+        return;
+      }
+      for (size_t c = 0; c < row.size(); ++c) {
+        if (c > 0) out << '\t';
+        out << EncodeValue(row[c], db.symbols());
+      }
+      out << '\n';
+    });
+  }
+  out << "end\n";
+  if (!out) return InternalError("write failed");
+  return Status::OK();
+}
+
+Status SaveSnapshotFile(const Database& db, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return InvalidArgumentError(StrCat("cannot write '", path, "'"));
+  return SaveSnapshot(db, out);
+}
+
+Status LoadSnapshot(Database* db, std::istream& in) {
+  std::string line;
+  size_t line_number = 0;
+  if (!std::getline(in, line) || line != kHeader) {
+    return InvalidArgumentError("missing snapshot header");
+  }
+  ++line_number;
+  Relation* current = nullptr;
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    if (line == "end") {
+      saw_end = true;
+      break;
+    }
+    if (StartsWith(line, "relation ")) {
+      std::vector<std::string> parts = StrSplit(line, ' ');
+      if (parts.size() != 3) {
+        return InvalidArgumentError(
+            StrCat("line ", line_number, ": malformed relation header"));
+      }
+      errno = 0;
+      char* end = nullptr;
+      long long arity = std::strtoll(parts[2].c_str(), &end, 10);
+      if (errno != 0 || end != parts[2].c_str() + parts[2].size() ||
+          arity < 0) {
+        return InvalidArgumentError(
+            StrCat("line ", line_number, ": bad arity '", parts[2], "'"));
+      }
+      SEPREC_ASSIGN_OR_RETURN(
+          current, db->CreateRelation(parts[1],
+                                      static_cast<size_t>(arity)));
+      continue;
+    }
+    if (current == nullptr) {
+      return InvalidArgumentError(
+          StrCat("line ", line_number, ": tuple before relation header"));
+    }
+    if (line == "()" && current->arity() == 0) {
+      current->Insert(Row{});
+      continue;
+    }
+    std::vector<std::string> fields = StrSplit(line, '\t');
+    if (fields.size() != current->arity()) {
+      return InvalidArgumentError(
+          StrCat("line ", line_number, ": expected ", current->arity(),
+                 " columns, found ", fields.size()));
+    }
+    std::vector<Value> row;
+    row.reserve(fields.size());
+    for (const std::string& field : fields) {
+      SEPREC_ASSIGN_OR_RETURN(Value v, DecodeValue(field, db, line_number));
+      row.push_back(v);
+    }
+    current->Insert(Row(row.data(), row.size()));
+  }
+  if (!saw_end) {
+    return InvalidArgumentError("snapshot truncated (no 'end' marker)");
+  }
+  return Status::OK();
+}
+
+Status LoadSnapshotFile(Database* db, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return NotFoundError(StrCat("cannot open '", path, "'"));
+  return LoadSnapshot(db, in);
+}
+
+}  // namespace seprec

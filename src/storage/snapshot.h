@@ -1,0 +1,35 @@
+// Whole-database snapshots: a typed text format that round-trips every
+// relation (including which columns are integers vs symbols — plain TSV
+// cannot distinguish the symbol "42" from the integer 42).
+//
+// Format:
+//   seprec-snapshot v1
+//   relation <name> <arity>
+//   <value>\t<value>...          one line per tuple
+//   ...
+//   end
+// Values are encoded as `s:<escaped symbol>` or `i:<decimal>`; symbols
+// escape backslash, tab, and newline as \\ \t \n.
+#ifndef SEPREC_STORAGE_SNAPSHOT_H_
+#define SEPREC_STORAGE_SNAPSHOT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace seprec {
+
+// Writes every relation of `db` (alphabetically) to `out`.
+Status SaveSnapshot(const Database& db, std::ostream& out);
+Status SaveSnapshotFile(const Database& db, const std::string& path);
+
+// Loads a snapshot into `db` (relations are created or appended to;
+// arity mismatches fail).
+Status LoadSnapshot(Database* db, std::istream& in);
+Status LoadSnapshotFile(Database* db, const std::string& path);
+
+}  // namespace seprec
+
+#endif  // SEPREC_STORAGE_SNAPSHOT_H_

@@ -1,0 +1,43 @@
+#include "storage/symbol_table.h"
+
+#include <limits>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace seprec {
+
+Value SymbolTable::Intern(std::string_view name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) {
+    return Value::Symbol(it->second);
+  }
+  SEPREC_CHECK(names_.size() < std::numeric_limits<uint32_t>::max());
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(std::string_view(names_.back()), id);
+  return Value::Symbol(id);
+}
+
+bool SymbolTable::TryFind(std::string_view name, Value* value) const {
+  auto it = ids_.find(name);
+  if (it == ids_.end()) {
+    return false;
+  }
+  *value = Value::Symbol(it->second);
+  return true;
+}
+
+const std::string& SymbolTable::NameOf(uint32_t id) const {
+  SEPREC_CHECK(id < names_.size());
+  return names_[id];
+}
+
+std::string SymbolTable::ToString(Value v) const {
+  if (v.is_int()) {
+    return StrCat(v.as_int());
+  }
+  return NameOf(v.symbol_id());
+}
+
+}  // namespace seprec

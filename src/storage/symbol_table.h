@@ -1,0 +1,49 @@
+// SymbolTable: bidirectional interning of string constants.
+//
+// All string constants in a Database share one SymbolTable, so symbol
+// equality is id equality and tuples store fixed-width Values.
+#ifndef SEPREC_STORAGE_SYMBOL_TABLE_H_
+#define SEPREC_STORAGE_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "storage/value.h"
+
+namespace seprec {
+
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  // Returns the Value for `name`, interning it on first use.
+  Value Intern(std::string_view name);
+
+  // Returns the Value for `name` if already interned, otherwise nullopt-like
+  // behaviour via `found`.
+  bool TryFind(std::string_view name, Value* value) const;
+
+  // Returns the spelling of an interned symbol. `id` must be valid.
+  const std::string& NameOf(uint32_t id) const;
+
+  // Renders any Value: symbol spelling or decimal integer.
+  std::string ToString(Value v) const;
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  // Deque keeps element addresses stable, so the map's string_view keys
+  // (which point into stored names, including short-string buffers) never
+  // dangle as the table grows.
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, uint32_t> ids_;
+};
+
+}  // namespace seprec
+
+#endif  // SEPREC_STORAGE_SYMBOL_TABLE_H_

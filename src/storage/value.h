@@ -1,0 +1,83 @@
+// Value: the runtime representation of a Datalog constant.
+//
+// A Value is a tagged 64-bit word holding either an interned symbol id
+// (strings are interned in a SymbolTable) or a signed 62-bit integer.
+// Integers exist natively because the Generalized Counting comparator
+// (Section 4 of the paper) materialises derivation-index arithmetic
+// (`count(I+1, 2J, 2K, W) :- count(I, J, K, X) & friend(X, W)`), and those
+// index columns grow exponentially with derivation depth.
+#ifndef SEPREC_STORAGE_VALUE_H_
+#define SEPREC_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "util/logging.h"
+
+namespace seprec {
+
+class Value {
+ public:
+  // The default value is symbol id 0 (valid once a table interned anything).
+  Value() : bits_(0) {}
+
+  static Value Symbol(uint32_t id) { return Value(uint64_t{id}); }
+
+  // `v` must fit in 62 bits; counting benchmarks guard their sweeps so that
+  // index arithmetic stays in range.
+  static Value Int(int64_t v) {
+    SEPREC_CHECK(v >= kMinInt && v <= kMaxInt);
+    return Value(kIntTag | (static_cast<uint64_t>(v) & kPayloadMask));
+  }
+
+  bool is_int() const { return (bits_ & kIntTag) != 0; }
+  bool is_symbol() const { return !is_int(); }
+
+  uint32_t symbol_id() const {
+    SEPREC_DCHECK(is_symbol());
+    return static_cast<uint32_t>(bits_);
+  }
+
+  int64_t as_int() const {
+    SEPREC_DCHECK(is_int());
+    // Sign-extend the 62-bit payload.
+    uint64_t payload = bits_ & kPayloadMask;
+    return static_cast<int64_t>(payload << 2) >> 2;
+  }
+
+  uint64_t bits() const { return bits_; }
+
+  friend bool operator==(Value a, Value b) { return a.bits_ == b.bits_; }
+  friend bool operator!=(Value a, Value b) { return a.bits_ != b.bits_; }
+  // Total order: all symbols (by id) precede all ints; ints by numeric value.
+  friend bool operator<(Value a, Value b) {
+    if (a.is_int() != b.is_int()) return b.is_int();
+    if (a.is_int()) return a.as_int() < b.as_int();
+    return a.symbol_id() < b.symbol_id();
+  }
+
+  static constexpr int64_t kMaxInt = (int64_t{1} << 61) - 1;
+  static constexpr int64_t kMinInt = -(int64_t{1} << 61);
+
+ private:
+  explicit Value(uint64_t bits) : bits_(bits) {}
+
+  static constexpr uint64_t kIntTag = uint64_t{1} << 63;
+  static constexpr uint64_t kPayloadMask = (uint64_t{1} << 62) - 1;
+
+  uint64_t bits_;
+};
+
+struct ValueHash {
+  size_t operator()(Value v) const {
+    uint64_t x = v.bits();
+    // SplitMix64 finalizer.
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(x ^ (x >> 31));
+  }
+};
+
+}  // namespace seprec
+
+#endif  // SEPREC_STORAGE_VALUE_H_

@@ -1,0 +1,43 @@
+// Lightweight assertion and logging helpers.
+//
+// The library is exception-free (Google C++ style); unrecoverable internal
+// errors abort via SEPREC_CHECK, while recoverable errors are reported
+// through seprec::Status (see util/status.h).
+#ifndef SEPREC_UTIL_LOGGING_H_
+#define SEPREC_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace seprec {
+namespace internal_logging {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "[seprec] CHECK failed at %s:%d: %s\n", file, line,
+               expr);
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace seprec
+
+// Aborts the process if `expr` is false. Used for internal invariants that
+// indicate a programming error rather than bad user input.
+#define SEPREC_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::seprec::internal_logging::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                                   \
+  } while (0)
+
+// Like SEPREC_CHECK but compiled out in optimized builds.
+#ifdef NDEBUG
+#define SEPREC_DCHECK(expr) \
+  do {                      \
+  } while (0)
+#else
+#define SEPREC_DCHECK(expr) SEPREC_CHECK(expr)
+#endif
+
+#endif  // SEPREC_UTIL_LOGGING_H_

@@ -1,0 +1,59 @@
+// Deterministic pseudo-random number generation for data generators and
+// property tests. SplitMix64: tiny state, excellent statistical quality for
+// this purpose, and fully reproducible across platforms.
+#ifndef SEPREC_UTIL_RNG_H_
+#define SEPREC_UTIL_RNG_H_
+
+#include <cstdint>
+
+#include "util/logging.h"
+
+namespace seprec {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  // Returns the next 64-bit pseudo-random value.
+  uint64_t Next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Returns a value uniformly distributed in [0, bound). `bound` must be > 0.
+  uint64_t Below(uint64_t bound) {
+    SEPREC_DCHECK(bound > 0);
+    // Rejection sampling to avoid modulo bias; the loop almost never runs
+    // more than once for the small bounds used by generators.
+    const uint64_t limit = ~uint64_t{0} - (~uint64_t{0} % bound);
+    uint64_t v = Next();
+    while (v >= limit) {
+      v = Next();
+    }
+    return v % bound;
+  }
+
+  // Returns a value uniformly distributed in [lo, hi], inclusive.
+  int64_t Between(int64_t lo, int64_t hi) {
+    SEPREC_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Below(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Returns true with probability `p` (clamped to [0, 1]).
+  bool Chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53 < p;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace seprec
+
+#endif  // SEPREC_UTIL_RNG_H_

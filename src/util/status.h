@@ -1,0 +1,154 @@
+// Error propagation without exceptions: Status and StatusOr<T>.
+//
+// These are deliberately small subsets of the absl types of the same names.
+// Functions that can fail on user input (bad syntax, unsafe rules,
+// inapplicable transformations) return Status / StatusOr; internal invariant
+// violations use SEPREC_CHECK instead.
+#ifndef SEPREC_UTIL_STATUS_H_
+#define SEPREC_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace seprec {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kResourceExhausted,
+  kInternal,
+};
+
+// Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT",
+// ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+// A success-or-error result. Cheap to copy in the success case.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    SEPREC_DCHECK(code != StatusCode::kOk);
+  }
+
+  static Status OK() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Renders "OK" or "CODE: message" for diagnostics.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgumentError(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+inline Status NotFoundError(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+inline Status AlreadyExistsError(std::string message) {
+  return Status(StatusCode::kAlreadyExists, std::move(message));
+}
+inline Status FailedPreconditionError(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+inline Status OutOfRangeError(std::string message) {
+  return Status(StatusCode::kOutOfRange, std::move(message));
+}
+inline Status UnimplementedError(std::string message) {
+  return Status(StatusCode::kUnimplemented, std::move(message));
+}
+inline Status ResourceExhaustedError(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+inline Status InternalError(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+
+// Holds either a value of type T or an error Status. Accessing the value of
+// a non-OK StatusOr aborts.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    SEPREC_CHECK(!status_.ok());
+  }
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    SEPREC_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    SEPREC_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    SEPREC_CHECK(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace seprec
+
+// Propagates a non-OK Status from the evaluated expression.
+#define SEPREC_RETURN_IF_ERROR(expr)              \
+  do {                                            \
+    ::seprec::Status seprec_status_tmp = (expr);  \
+    if (!seprec_status_tmp.ok()) {                \
+      return seprec_status_tmp;                   \
+    }                                             \
+  } while (0)
+
+// Assigns the value of a StatusOr expression to `lhs`, or propagates the
+// error. `lhs` may include a declaration, e.g.
+//   SEPREC_ASSIGN_OR_RETURN(auto plan, CompilePlan(...));
+#define SEPREC_ASSIGN_OR_RETURN(lhs, expr)                   \
+  SEPREC_ASSIGN_OR_RETURN_IMPL_(                             \
+      SEPREC_STATUS_CONCAT_(seprec_statusor_, __LINE__), lhs, expr)
+
+#define SEPREC_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) {                                    \
+    return tmp.status();                              \
+  }                                                   \
+  lhs = std::move(tmp).value()
+
+#define SEPREC_STATUS_CONCAT_(a, b) SEPREC_STATUS_CONCAT_IMPL_(a, b)
+#define SEPREC_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // SEPREC_UTIL_STATUS_H_

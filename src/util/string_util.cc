@@ -1,0 +1,54 @@
+#include "util/string_util.h"
+
+#include <cctype>
+
+namespace seprec {
+
+std::vector<std::string> StrSplit(std::string_view input, char sep) {
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(sep, start);
+    if (pos == std::string_view::npos) {
+      pieces.emplace_back(input.substr(start));
+      return pieces;
+    }
+    pieces.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep) {
+  std::string result;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) result.append(sep);
+    result.append(parts[i]);
+  }
+  return result;
+}
+
+std::string_view StripWhitespace(std::string_view input) {
+  size_t begin = 0;
+  while (begin < input.size() &&
+         std::isspace(static_cast<unsigned char>(input[begin]))) {
+    ++begin;
+  }
+  size_t end = input.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(input[end - 1]))) {
+    --end;
+  }
+  return input.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+}  // namespace seprec

@@ -1,0 +1,49 @@
+// Small string helpers (no dependency on absl / std::format).
+#ifndef SEPREC_UTIL_STRING_UTIL_H_
+#define SEPREC_UTIL_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace seprec {
+
+// Splits `input` on `sep`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view input, char sep);
+
+// Joins the elements of `parts` with `sep` between them.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view input);
+
+// Returns true if `s` starts with / ends with the given prefix or suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+namespace internal_strings {
+
+inline void AppendPieces(std::ostringstream&) {}
+
+template <typename T, typename... Rest>
+void AppendPieces(std::ostringstream& out, const T& first,
+                  const Rest&... rest) {
+  out << first;
+  AppendPieces(out, rest...);
+}
+
+}  // namespace internal_strings
+
+// Concatenates streamable values into a std::string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream out;
+  internal_strings::AppendPieces(out, args...);
+  return out.str();
+}
+
+}  // namespace seprec
+
+#endif  // SEPREC_UTIL_STRING_UTIL_H_

@@ -1,0 +1,26 @@
+// Wall-clock timing for evaluation statistics and benches.
+#ifndef SEPREC_UTIL_TIMER_H_
+#define SEPREC_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace seprec {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  double Seconds() const {
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace seprec
+
+#endif  // SEPREC_UTIL_TIMER_H_

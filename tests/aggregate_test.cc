@@ -1,0 +1,230 @@
+// Stratified head aggregates: count / sum / min / max with group-by.
+#include <gtest/gtest.h>
+
+#include "core/compiler.h"
+#include "core/provenance.h"
+#include "datalog/analysis.h"
+#include "datalog/parser.h"
+#include "eval/fixpoint.h"
+#include "gen/generators.h"
+#include "magic/engine.h"
+
+namespace seprec {
+namespace {
+
+TEST(Aggregate, ParseAndPrintRoundTrip) {
+  Program p = ParseProgramOrDie(
+      "outdeg(X, count(Y)) :- edge(X, Y).\n"
+      "total(sum(N)) :- score(P, N).\n"
+      "best(P, max(N)) :- score(P, N).\n"
+      "worst(min(N)) :- score(P, N).");
+  ASSERT_EQ(p.rules.size(), 4u);
+  ASSERT_TRUE(p.rules[0].aggregate.has_value());
+  EXPECT_EQ(p.rules[0].aggregate->op, AggregateSpec::Op::kCount);
+  EXPECT_EQ(p.rules[0].aggregate->head_position, 1u);
+  EXPECT_EQ(p.rules[0].aggregate->over_var, "Y");
+  EXPECT_EQ(p.rules[0].ToString(), "outdeg(X, count(Y)) :- edge(X, Y).");
+  EXPECT_EQ(p.rules[1].aggregate->op, AggregateSpec::Op::kSum);
+  EXPECT_EQ(p.rules[1].aggregate->head_position, 0u);
+  // Round trip.
+  Program p2 = ParseProgramOrDie(p.ToString());
+  EXPECT_EQ(p.ToString(), p2.ToString());
+}
+
+TEST(Aggregate, ParserRejectsMalformed) {
+  EXPECT_FALSE(ParseProgram("p(count(Y)).").ok());             // no body
+  EXPECT_FALSE(ParseProgram("p(count(3)) :- q(X).").ok());     // not a var
+  EXPECT_FALSE(
+      ParseProgram("p(count(X), sum(Y)) :- q(X, Y).").ok());   // two aggs
+  EXPECT_FALSE(ParseProgram("?- p(count(X)).").ok());          // in query
+}
+
+TEST(Aggregate, CountPredicateNameStillUsableAsSymbol) {
+  // Plain `count` with no parenthesis is an ordinary symbol/predicate.
+  Program p = ParseProgramOrDie("p(count) :- q(count).");
+  EXPECT_FALSE(p.rules[0].aggregate.has_value());
+}
+
+TEST(Aggregate, CountGroupBy) {
+  Program p = ParseProgramOrDie("outdeg(X, count(Y)) :- edge(X, Y).");
+  Database db;
+  ASSERT_TRUE(db.AddFact("edge", {"a", "b"}).ok());
+  ASSERT_TRUE(db.AddFact("edge", {"a", "c"}).ok());
+  ASSERT_TRUE(db.AddFact("edge", {"a", "c"}).ok());  // duplicate: set sem.
+  ASSERT_TRUE(db.AddFact("edge", {"b", "c"}).ok());
+  ASSERT_TRUE(EvaluateSemiNaive(p, &db).ok());
+  EXPECT_EQ(db.Find("outdeg")->DebugString(db.symbols()),
+            "outdeg(a, 2)\noutdeg(b, 1)\n");
+}
+
+TEST(Aggregate, SumMinMax) {
+  Program p = ParseProgramOrDie(
+      "team_total(T, sum(N)) :- score(T, P, N).\n"
+      "team_best(T, max(N)) :- score(T, P, N).\n"
+      "team_worst(T, min(N)) :- score(T, P, N).");
+  Database db;
+  Relation* score = *db.CreateRelation("score", 3);
+  auto add = [&](const char* t, const char* pl, int64_t n) {
+    score->Insert({db.symbols().Intern(t), db.symbols().Intern(pl),
+                   Value::Int(n)});
+  };
+  add("red", "ann", 10);
+  add("red", "bob", 7);
+  add("blue", "cal", -3);
+  add("blue", "dee", 5);
+  ASSERT_TRUE(EvaluateSemiNaive(p, &db).ok());
+  EXPECT_EQ(db.Find("team_total")->DebugString(db.symbols()),
+            "team_total(blue, 2)\nteam_total(red, 17)\n");
+  EXPECT_EQ(db.Find("team_best")->DebugString(db.symbols()),
+            "team_best(blue, 5)\nteam_best(red, 10)\n");
+  EXPECT_EQ(db.Find("team_worst")->DebugString(db.symbols()),
+            "team_worst(blue, -3)\nteam_worst(red, 7)\n");
+}
+
+TEST(Aggregate, GlobalAggregateNoGroup) {
+  Program p = ParseProgramOrDie("n_edges(count(E)) :- pair(E).\n"
+                                "pair(Y) :- edge(X, Y).");
+  Database db;
+  MakeChain(&db, "edge", "v", 5);
+  ASSERT_TRUE(EvaluateSemiNaive(p, &db).ok());
+  EXPECT_EQ(db.Find("n_edges")->DebugString(db.symbols()), "n_edges(4)\n");
+}
+
+TEST(Aggregate, SetSemanticsDeduplicatesBeforeCounting) {
+  // Two rules deriving the same pair must count once.
+  Program p = ParseProgramOrDie(
+      "connected(X, Y) :- edge(X, Y).\n"
+      "connected(X, Y) :- edge(Y, X).\n"
+      "degree(X, count(Y)) :- connected(X, Y).");
+  Database db;
+  ASSERT_TRUE(db.AddFact("edge", {"a", "b"}).ok());
+  ASSERT_TRUE(db.AddFact("edge", {"b", "a"}).ok());
+  ASSERT_TRUE(EvaluateSemiNaive(p, &db).ok());
+  EXPECT_EQ(db.Find("degree")->DebugString(db.symbols()),
+            "degree(a, 1)\ndegree(b, 1)\n");
+}
+
+TEST(Aggregate, OverRecursiveLowerStratum) {
+  Program p = ParseProgramOrDie(
+      "tc(X, Y) :- edge(X, W) & tc(W, Y).\n"
+      "tc(X, Y) :- edge(X, Y).\n"
+      "reach_count(X, count(Y)) :- tc(X, Y).");
+  Database db;
+  MakeChain(&db, "edge", "v", 5);
+  ASSERT_TRUE(EvaluateSemiNaive(p, &db).ok());
+  EXPECT_EQ(db.Find("reach_count")->DebugString(db.symbols()),
+            "reach_count(v0, 4)\nreach_count(v1, 3)\nreach_count(v2, 2)\n"
+            "reach_count(v3, 1)\n");
+}
+
+TEST(Aggregate, ThroughRecursionRejected) {
+  Program p = ParseProgramOrDie(
+      "t(X, count(Y)) :- t(X, Y), edge(X, Y).");
+  EXPECT_FALSE(ProgramInfo::Analyze(p).ok());
+}
+
+TEST(Aggregate, SumOverSymbolsIsOutOfRange) {
+  Program p = ParseProgramOrDie("total(sum(Y)) :- item(Y).");
+  Database db;
+  ASSERT_TRUE(db.AddFact("item", {"pear"}).ok());
+  Status status = EvaluateSemiNaive(p, &db);
+  EXPECT_EQ(status.code(), StatusCode::kOutOfRange);
+}
+
+TEST(Aggregate, CountOverSymbolsIsFine) {
+  Program p = ParseProgramOrDie("n(count(Y)) :- item(Y).");
+  Database db;
+  ASSERT_TRUE(db.AddFact("item", {"pear"}).ok());
+  ASSERT_TRUE(db.AddFact("item", {"plum"}).ok());
+  ASSERT_TRUE(EvaluateSemiNaive(p, &db).ok());
+  EXPECT_EQ(db.Find("n")->DebugString(db.symbols()), "n(2)\n");
+}
+
+TEST(Aggregate, NaiveEngineMatches) {
+  Program p = ParseProgramOrDie("outdeg(X, count(Y)) :- edge(X, Y).");
+  Database db1, db2;
+  MakeRandomGraph(&db1, "edge", "v", 10, 25, 8);
+  MakeRandomGraph(&db2, "edge", "v", 10, 25, 8);
+  ASSERT_TRUE(EvaluateSemiNaive(p, &db1).ok());
+  ASSERT_TRUE(EvaluateNaive(p, &db2).ok());
+  EXPECT_EQ(db1.Find("outdeg")->DebugString(db1.symbols()),
+            db2.Find("outdeg")->DebugString(db2.symbols()));
+}
+
+TEST(Aggregate, QueryProcessorRoutesToSemiNaive) {
+  Program p = ParseProgramOrDie(
+      "outdeg(X, count(Y)) :- edge(X, Y).\n"
+      "busy(X) :- outdeg(X, N), N >= 2.");
+  auto qp = QueryProcessor::Create(p);
+  ASSERT_TRUE(qp.ok()) << qp.status().ToString();
+  EXPECT_EQ(qp->Decide(ParseAtomOrDie("outdeg(a, N)")).strategy,
+            Strategy::kSemiNaive);
+  Database db;
+  ASSERT_TRUE(db.AddFact("edge", {"a", "b"}).ok());
+  ASSERT_TRUE(db.AddFact("edge", {"a", "c"}).ok());
+  ASSERT_TRUE(db.AddFact("edge", {"b", "c"}).ok());
+  auto result = qp->Answer(ParseAtomOrDie("busy(X)"), &db);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->answer.ToStrings(db.symbols()),
+            (std::vector<std::string>{"(a)"}));
+}
+
+TEST(Aggregate, MagicTreatsAggregatePredicateAsBase) {
+  // A recursion over an aggregate-derived edge weight relation: magic on
+  // the recursion must still work, reading the aggregate relation as
+  // materialised base data.
+  Program p = ParseProgramOrDie(
+      "deg(X, count(Y)) :- edge(X, Y).\n"
+      "hub(X) :- deg(X, N), N >= 2.\n"
+      "hubreach(X, Y) :- hub(X), edge(X, Y).\n"
+      "hubreach(X, Y) :- hubreach(X, W), edge(W, Y).");
+  Database db1, db2;
+  for (Database* db : {&db1, &db2}) {
+    ASSERT_TRUE(db->AddFact("edge", {"a", "b"}).ok());
+    ASSERT_TRUE(db->AddFact("edge", {"a", "c"}).ok());
+    ASSERT_TRUE(db->AddFact("edge", {"b", "d"}).ok());
+  }
+  Atom query = ParseAtomOrDie("hubreach(a, Y)");
+  auto magic = EvaluateWithMagic(p, query, &db1);
+  ASSERT_TRUE(magic.ok()) << magic.status().ToString();
+  auto qp = QueryProcessor::Create(p);
+  ASSERT_TRUE(qp.ok());
+  auto ref = qp->Answer(query, &db2, Strategy::kSemiNaive);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(magic->answer.ToStrings(db1.symbols()),
+            ref->answer.ToStrings(db2.symbols()));
+  EXPECT_EQ(magic->answer.size(), 3u);  // b, c, d
+}
+
+TEST(Aggregate, MagicRejectsAggregateQueryPredicate) {
+  Program p = ParseProgramOrDie("outdeg(X, count(Y)) :- edge(X, Y).");
+  Database db;
+  auto run = EvaluateWithMagic(p, ParseAtomOrDie("outdeg(a, N)"), &db);
+  EXPECT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Aggregate, ProvenanceReportsAggregateOpaquely) {
+  Program p = ParseProgramOrDie("outdeg(X, count(Y)) :- edge(X, Y).");
+  Database db;
+  ASSERT_TRUE(db.AddFact("edge", {"a", "b"}).ok());
+  ASSERT_TRUE(db.AddFact("edge", {"a", "c"}).ok());
+  ASSERT_TRUE(EvaluateSemiNaive(p, &db).ok());
+  auto node = ExplainTuple(p, &db, ParseAtomOrDie("outdeg(a, 2)"));
+  ASSERT_TRUE(node.ok()) << node.status().ToString();
+  EXPECT_NE(node->rule.find("count(Y)"), std::string::npos);
+  EXPECT_TRUE(node->premises.empty());
+}
+
+TEST(Aggregate, RepeatedGroupVariableRectifies) {
+  // p(X, X, count(Y)): repeated head variable plus an aggregate.
+  Program p = ParseProgramOrDie("p(X, X, count(Y)) :- edge(X, Y).");
+  Database db;
+  ASSERT_TRUE(db.AddFact("edge", {"a", "b"}).ok());
+  ASSERT_TRUE(db.AddFact("edge", {"a", "c"}).ok());
+  ASSERT_TRUE(EvaluateSemiNaive(p, &db).ok());
+  EXPECT_EQ(db.Find("p")->DebugString(db.symbols()), "p(a, a, 2)\n");
+}
+
+}  // namespace
+}  // namespace seprec

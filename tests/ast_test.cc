@@ -1,0 +1,101 @@
+#include "datalog/ast.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+
+namespace seprec {
+namespace {
+
+TEST(Term, Constructors) {
+  EXPECT_TRUE(Term::Var("X").IsVar());
+  EXPECT_FALSE(Term::Sym("tom").IsVar());
+  EXPECT_TRUE(Term::Sym("tom").IsConstant());
+  EXPECT_EQ(Term::Int(5).int_value, 5);
+}
+
+TEST(Term, EqualityAndOrdering) {
+  EXPECT_EQ(Term::Var("X"), Term::Var("X"));
+  EXPECT_NE(Term::Var("X"), Term::Sym("X"));
+  EXPECT_NE(Term::Int(1), Term::Int(2));
+  EXPECT_LT(Term::Var("A"), Term::Var("B"));
+}
+
+TEST(Term, MakeTermClassification) {
+  EXPECT_TRUE(MakeTerm("Xyz").IsVar());
+  EXPECT_TRUE(MakeTerm("_under").IsVar());
+  EXPECT_EQ(MakeTerm("tom").kind, Term::Kind::kSymbol);
+  EXPECT_EQ(MakeTerm("17").kind, Term::Kind::kInt);
+  EXPECT_EQ(MakeTerm("-4").int_value, -4);
+}
+
+TEST(Atom, ToStringAndGround) {
+  Atom atom = MakeAtomFromTokens("p", {"X", "tom", "3"});
+  EXPECT_EQ(atom.ToString(), "p(X, tom, 3)");
+  EXPECT_FALSE(atom.IsGround());
+  Atom ground = MakeAtomFromTokens("p", {"a", "b"});
+  EXPECT_TRUE(ground.IsGround());
+  Atom prop;
+  prop.predicate = "raining";
+  EXPECT_EQ(prop.ToString(), "raining");
+}
+
+TEST(Expr, BuildAndPrint) {
+  Expr e = Expr::Binary(Expr::Op::kAdd,
+                        Expr::Binary(Expr::Op::kMul, Expr::Leaf(Term::Var("X")),
+                                     Expr::Leaf(Term::Int(2))),
+                        Expr::Leaf(Term::Int(1)));
+  EXPECT_EQ(e.ToString(), "((X * 2) + 1)");
+}
+
+TEST(Literal, ToStringForms) {
+  EXPECT_EQ(Literal::MakeAtom(MakeAtomFromTokens("p", {"X"})).ToString(),
+            "p(X)");
+  EXPECT_EQ(
+      Literal::MakeCompare(CmpOp::kLe, Term::Var("X"), Term::Int(3)).ToString(),
+      "X <= 3");
+  EXPECT_EQ(Literal::MakeAssign("Z", Expr::Leaf(Term::Int(9))).ToString(),
+            "Z is 9");
+}
+
+TEST(Rule, ToStringFactVsRule) {
+  Program p = ParseProgramOrDie("e(a, b).\nt(X) :- e(X, Y).");
+  EXPECT_EQ(p.rules[0].ToString(), "e(a, b).");
+  EXPECT_EQ(p.rules[1].ToString(), "t(X) :- e(X, Y).");
+}
+
+TEST(CollectVars, AllLiteralKinds) {
+  Program p = ParseProgramOrDie(
+      "h(A) :- p(A, B), B < C, D is A + B, q(D).");
+  std::set<std::string> vars;
+  CollectVars(p.rules[0], &vars);
+  EXPECT_EQ(vars, (std::set<std::string>{"A", "B", "C", "D"}));
+}
+
+TEST(Substitute, RenamesVariablesEverywhere) {
+  Program p = ParseProgramOrDie("h(A, B) :- p(A, C), C = B, D is A + 1, q(D).");
+  Substitution sub;
+  sub["A"] = Term::Var("X");
+  sub["C"] = Term::Sym("fixed");
+  Rule r = Substitute(p.rules[0], sub);
+  EXPECT_EQ(r.ToString(), "h(X, B) :- p(X, fixed), fixed = B, D is (X + 1), q(D).");
+}
+
+TEST(Substitute, ConstantsUntouched) {
+  Atom atom = MakeAtomFromTokens("p", {"a", "X"});
+  Substitution sub;
+  sub["X"] = Term::Int(7);
+  Atom out = Substitute(atom, sub);
+  EXPECT_EQ(out.ToString(), "p(a, 7)");
+}
+
+TEST(Rule, BodyAtomsHelpers) {
+  Program p = ParseProgramOrDie("t(X, Y) :- a(X, W), t(W, Y), X != Y.");
+  EXPECT_EQ(p.rules[0].BodyAtoms().size(), 2u);
+  EXPECT_EQ(p.rules[0].BodyAtomsOf("t").size(), 1u);
+  EXPECT_EQ(p.rules[0].BodyAtomsOf("a").size(), 1u);
+  EXPECT_TRUE(p.rules[0].BodyAtomsOf("zzz").empty());
+}
+
+}  // namespace
+}  // namespace seprec

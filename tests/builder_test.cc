@@ -1,0 +1,103 @@
+#include "datalog/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "core/compiler.h"
+#include "datalog/parser.h"
+#include "eval/fixpoint.h"
+
+namespace seprec {
+namespace {
+
+TEST(Builder, TransitiveClosure) {
+  Program p = ProgramBuilder()
+                  .Fact("edge", {"a", "b"})
+                  .Fact("edge", {"b", "c"})
+                  .Rule("tc", {"X", "Y"})
+                      .Body("edge", {"X", "Y"})
+                      .End()
+                  .Rule("tc", {"X", "Y"})
+                      .Body("edge", {"X", "W"})
+                      .Body("tc", {"W", "Y"})
+                      .End()
+                  .Build();
+  EXPECT_EQ(p.ToString(),
+            "edge(a, b).\n"
+            "edge(b, c).\n"
+            "tc(X, Y) :- edge(X, Y).\n"
+            "tc(X, Y) :- edge(X, W), tc(W, Y).\n");
+  auto qp = QueryProcessor::Create(p);
+  ASSERT_TRUE(qp.ok());
+  Database db;
+  auto result = qp->Answer(ParseAtomOrDie("tc(a, Y)"), &db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->answer.size(), 2u);
+}
+
+TEST(Builder, BuiltinsNegationAndAggregates) {
+  Program p =
+      ProgramBuilder()
+          .Rule("eligible", {"X"})
+              .Body("person", {"X"})
+              .Not("banned", {"X"})
+              .End()
+          .Rule("double", {"X", "D"})
+              .Body("n", {"X"})
+              .Let("D", Expr::Binary(Expr::Op::kMul,
+                                     Expr::Leaf(Term::Var("X")),
+                                     Expr::Leaf(Term::Int(2))))
+              .Compare("X", CmpOp::kGt, "0")
+              .End()
+          .Rule("deg", {"X", "N"})
+              .Body("edge", {"X", "N"})
+              .Aggregate(AggregateSpec::Op::kCount, 1)
+              .End()
+          .Build();
+  EXPECT_EQ(p.rules[0].ToString(),
+            "eligible(X) :- person(X), not banned(X).");
+  EXPECT_EQ(p.rules[1].ToString(),
+            "double(X, D) :- n(X), D is (X * 2), X > 0.");
+  EXPECT_EQ(p.rules[2].ToString(), "deg(X, count(N)) :- edge(X, N).");
+  // The built program round-trips through the parser.
+  Program reparsed = ParseProgramOrDie(p.ToString());
+  EXPECT_EQ(reparsed.ToString(), p.ToString());
+}
+
+TEST(Builder, TokenClassification) {
+  Program p = ProgramBuilder()
+                  .Rule("mix", {"Var", "sym", "42"})
+                      .Body("src", {"Var", "sym", "42"})
+                      .End()
+                  .Build();
+  const Atom& head = p.rules[0].head;
+  EXPECT_TRUE(head.args[0].IsVar());
+  EXPECT_EQ(head.args[1].kind, Term::Kind::kSymbol);
+  EXPECT_EQ(head.args[2].int_value, 42);
+}
+
+TEST(Builder, AddEscapeHatch) {
+  Rule handwritten = ParseProgramOrDie("p(X) :- q(X).").rules[0];
+  Program p = ProgramBuilder().Add(handwritten).Build();
+  EXPECT_EQ(p.rules.size(), 1u);
+}
+
+TEST(Builder, BuiltProgramEvaluates) {
+  Program p = ProgramBuilder()
+                  .Fact("n", {"3"})
+                  .Fact("n", {"-1"})
+                  .Rule("double", {"X", "D"})
+                      .Body("n", {"X"})
+                      .Let("D", Expr::Binary(Expr::Op::kMul,
+                                             Expr::Leaf(Term::Var("X")),
+                                             Expr::Leaf(Term::Int(2))))
+                      .Compare("X", CmpOp::kGt, "0")
+                      .End()
+                  .Build();
+  Database db;
+  ASSERT_TRUE(EvaluateSemiNaive(p, &db).ok());
+  EXPECT_EQ(db.Find("double")->DebugString(db.symbols()),
+            "double(3, 6)\n");
+}
+
+}  // namespace
+}  // namespace seprec

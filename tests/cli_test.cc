@@ -1,0 +1,145 @@
+// End-to-end tests of the seprec_cli binary (spawned as a subprocess).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include "util/string_util.h"
+
+namespace seprec {
+namespace {
+
+#ifndef SEPREC_CLI_PATH
+#error "SEPREC_CLI_PATH must be defined by the build"
+#endif
+#ifndef SEPREC_TESTDATA_DIR
+#error "SEPREC_TESTDATA_DIR must be defined by the build"
+#endif
+
+struct CliResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr
+};
+
+CliResult RunCli(const std::string& args) {
+  CliResult result;
+  std::string command = StrCat(SEPREC_CLI_PATH, " ", args, " 2>&1");
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer;
+  size_t n;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.output.append(buffer.data(), n);
+  }
+  int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string Data(const std::string& file) {
+  return StrCat(SEPREC_TESTDATA_DIR, "/", file);
+}
+
+TEST(Cli, UsageOnNoArguments) {
+  CliResult r = RunCli("");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, RunSocialProgram) {
+  CliResult r = RunCli(StrCat("run ", Data("social.dl")));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("?- buys(ann, Y)."), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("(ann, hat)"), std::string::npos);
+  EXPECT_NE(r.output.find("(ann, mug)"), std::string::npos);
+  EXPECT_NE(r.output.find("via separable"), std::string::npos);
+  // Second query binds the persistent column.
+  EXPECT_NE(r.output.find("?- buys(X, hat)."), std::string::npos);
+}
+
+TEST(Cli, RunWithTsvData) {
+  CliResult r = RunCli(StrCat("run ", Data("tc.dl"), " --data edge=",
+                              Data("edges.tsv")));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("loaded 3 tuple(s) into edge"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("(a, d)"), std::string::npos);
+  EXPECT_NE(r.output.find("3 answer(s)"), std::string::npos);
+}
+
+TEST(Cli, RunWithForcedStrategyAndStats) {
+  CliResult r = RunCli(StrCat("run ", Data("social.dl"),
+                              " --strategy magic --stats"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("via magic"), std::string::npos);
+  EXPECT_NE(r.output.find("algorithm: magic"), std::string::npos);
+  EXPECT_NE(r.output.find("max relation size"), std::string::npos);
+}
+
+TEST(Cli, CheckReportsSeparability) {
+  CliResult r = RunCli(StrCat("check ", Data("social.dl")));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("buys/2"), std::string::npos);
+  EXPECT_NE(r.output.find("linear recursive"), std::string::npos);
+  EXPECT_NE(r.output.find("separable recursion 'buys'"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("strata"), std::string::npos);
+}
+
+TEST(Cli, ExplainShowsSchema) {
+  CliResult r = RunCli(StrCat("explain ", Data("social.dl"),
+                              " \"buys(ann, Y)\""));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("strategy : separable"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("carry_1(ann);"), std::string::npos);
+}
+
+TEST(Cli, WhyShowsDerivation) {
+  CliResult r = RunCli(StrCat("why ", Data("social.dl"),
+                              " \"buys(ann, hat)\""));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("buys(ann, hat)"), std::string::npos);
+  EXPECT_NE(r.output.find("perfectFor(dia, hat)"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("[fact]"), std::string::npos);
+}
+
+TEST(Cli, ExamplePrograms) {
+  // The shipped .dl library under examples/programs runs end-to-end.
+  const std::string dir = std::string(SEPREC_TESTDATA_DIR) +
+                          "/../../examples/programs";
+  CliResult bom = RunCli(StrCat("run ", dir, "/bom.dl"));
+  EXPECT_EQ(bom.exit_code, 0) << bom.output;
+  EXPECT_NE(bom.output.find("(bearing, bike)"), std::string::npos)
+      << bom.output;
+  EXPECT_NE(bom.output.find("(bike, 8)"), std::string::npos)
+      << bom.output;  // 8 component kinds in bike
+
+  CliResult sg = RunCli(StrCat("run ", dir, "/same_generation.dl"));
+  EXPECT_EQ(sg.exit_code, 0) << sg.output;
+  EXPECT_NE(sg.output.find("via magic"), std::string::npos) << sg.output;
+
+  CliResult blocked = RunCli(StrCat("run ", dir, "/blocked_routes.dl"));
+  EXPECT_EQ(blocked.exit_code, 0) << blocked.output;
+  EXPECT_NE(blocked.output.find("via separable"), std::string::npos)
+      << blocked.output;
+  EXPECT_NE(blocked.output.find("(a, d)"), std::string::npos);
+  EXPECT_EQ(blocked.output.find("(a, c)"), std::string::npos);
+}
+
+TEST(Cli, ErrorsAreClean) {
+  EXPECT_EQ(RunCli("run /no/such/file.dl").exit_code, 1);
+  EXPECT_EQ(RunCli(StrCat("run ", Data("social.dl"),
+                          " --strategy bogus")).exit_code, 1);
+  EXPECT_EQ(RunCli(StrCat("explain ", Data("social.dl"), " \"((\"")).exit_code,
+            1);
+  EXPECT_EQ(RunCli(StrCat("why ", Data("social.dl"),
+                          " \"buys(nobody, nothing)\"")).exit_code, 1);
+  EXPECT_EQ(RunCli(StrCat("run ", Data("social.dl"),
+                          " --data bad-spec")).exit_code, 1);
+}
+
+}  // namespace
+}  // namespace seprec

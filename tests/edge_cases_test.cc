@@ -1,0 +1,188 @@
+// Edge cases across modules: propositional (0-ary) predicates, EvalStats
+// accounting, unusual but legal programs.
+#include <gtest/gtest.h>
+
+#include "core/compiler.h"
+#include "datalog/parser.h"
+#include "eval/eval_stats.h"
+#include "eval/fixpoint.h"
+#include "gen/generators.h"
+#include "gen/workloads.h"
+#include "magic/engine.h"
+
+namespace seprec {
+namespace {
+
+TEST(EvalStats, NoteAndTotals) {
+  EvalStats stats;
+  stats.NoteRelation("a", 10);
+  stats.NoteRelation("b", 3);
+  EXPECT_EQ(stats.max_relation_size, 10u);
+  EXPECT_EQ(stats.TotalRelationSize(), 13u);
+  stats.NoteRelation("a", 2);  // overwrite keeps max high-water
+  EXPECT_EQ(stats.TotalRelationSize(), 5u);
+  EXPECT_EQ(stats.max_relation_size, 10u);
+  stats.NoteRelationMax("a", 1);  // max-mode keeps the larger
+  EXPECT_EQ(stats.relation_sizes.at("a"), 2u);
+  stats.NoteRelationMax("a", 7);
+  EXPECT_EQ(stats.relation_sizes.at("a"), 7u);
+  stats.algorithm = "test";
+  EXPECT_NE(stats.ToString().find("algorithm: test"), std::string::npos);
+}
+
+TEST(Propositional, FixpointOnZeroArity) {
+  Program p = ParseProgramOrDie(
+      "raining.\n"
+      "cloudy :- raining.\n"
+      "wet :- raining, ground_exposed.\n"
+      "ground_exposed.");
+  Database db;
+  ASSERT_TRUE(EvaluateSemiNaive(p, &db).ok());
+  EXPECT_EQ(db.Find("cloudy")->size(), 1u);
+  EXPECT_EQ(db.Find("wet")->size(), 1u);
+}
+
+TEST(Propositional, QueryThroughProcessor) {
+  Program p = ParseProgramOrDie(
+      "raining.\n"
+      "wet :- raining.");
+  auto qp = QueryProcessor::Create(p);
+  ASSERT_TRUE(qp.ok());
+  Database db;
+  auto result = qp->Answer(ParseAtomOrDie("wet"), &db);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->answer.size(), 1u);
+  EXPECT_EQ(result->answer.arity(), 0u);
+}
+
+TEST(Propositional, MagicWithZeroArity) {
+  // All-free (trivially: no arguments) query through magic: 0-ary magic
+  // seed relation.
+  Program p = ParseProgramOrDie(
+      "switch_on.\n"
+      "lit :- switch_on, has_power.\n"
+      "has_power.");
+  Database db1, db2;
+  auto run = EvaluateWithMagic(p, ParseAtomOrDie("lit"), &db1);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->answer.size(), 1u);
+  ASSERT_TRUE(EvaluateSemiNaive(p, &db2).ok());
+  EXPECT_EQ(db2.Find("lit")->size(), 1u);
+}
+
+TEST(Propositional, NegatedZeroArity) {
+  Program p = ParseProgramOrDie(
+      "maintenance_mode.\n"
+      "serving :- listener_up, not maintenance_mode.\n"
+      "listener_up.");
+  Database db;
+  ASSERT_TRUE(EvaluateSemiNaive(p, &db).ok());
+  EXPECT_EQ(db.Find("serving")->size(), 0u);
+  Program p2 = ParseProgramOrDie(
+      "serving :- listener_up, not maintenance_mode.\n"
+      "listener_up.");
+  Database db2;
+  ASSERT_TRUE(EvaluateSemiNaive(p2, &db2).ok());
+  EXPECT_EQ(db2.Find("serving")->size(), 1u);
+}
+
+TEST(EdgeCase, SingleNodeChainQueries) {
+  // Chain of one node: empty edge relation; all engines return empty.
+  auto qp = QueryProcessor::Create(TransitiveClosureProgram());
+  ASSERT_TRUE(qp.ok());
+  for (Strategy s : {Strategy::kSeparable, Strategy::kMagic,
+                     Strategy::kQsqr, Strategy::kCounting}) {
+    Database db;
+    MakeChain(&db, "edge", "v", 1);
+    auto result = qp->Answer(ParseAtomOrDie("tc(v0, Y)"), &db, s);
+    ASSERT_TRUE(result.ok())
+        << StrategyToString(s) << ": " << result.status().ToString();
+    EXPECT_TRUE(result->answer.empty()) << StrategyToString(s);
+  }
+}
+
+TEST(EdgeCase, QueryConstantTypeMismatch) {
+  // Integer constant where the data has symbols: no crash, no answers.
+  auto qp = QueryProcessor::Create(TransitiveClosureProgram());
+  ASSERT_TRUE(qp.ok());
+  Database db;
+  MakeChain(&db, "edge", "v", 4);
+  auto result = qp->Answer(ParseAtomOrDie("tc(7, Y)"), &db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->answer.empty());
+}
+
+TEST(EdgeCase, RuleWithOnlyBuiltins) {
+  Program p = ParseProgramOrDie("answer(X) :- X = 41, Y is X + 1, Y = 42.");
+  Database db;
+  ASSERT_TRUE(EvaluateSemiNaive(p, &db).ok());
+  EXPECT_EQ(db.Find("answer")->DebugString(db.symbols()), "answer(41)\n");
+}
+
+TEST(EdgeCase, ChainedEqualitiesAcrossTypes) {
+  Program p = ParseProgramOrDie(
+      "mix(X, Y) :- X = tom, Y = 3.\n"
+      "pick(Y) :- mix(tom, Y).");
+  Database db;
+  ASSERT_TRUE(EvaluateSemiNaive(p, &db).ok());
+  EXPECT_EQ(db.Find("pick")->DebugString(db.symbols()), "pick(3)\n");
+}
+
+TEST(EdgeCase, SeparableOnParallelEdgesAndDuplicates) {
+  // Multigraph-ish input (duplicates collapse under set semantics).
+  Program p = ParseProgramOrDie(
+      "tc(X, Y) :- edge(X, W) & tc(W, Y).\n"
+      "tc(X, Y) :- edge(X, Y).");
+  auto qp = QueryProcessor::Create(p);
+  ASSERT_TRUE(qp.ok());
+  Database db;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(db.AddFact("edge", {"a", "b"}).ok());
+    ASSERT_TRUE(db.AddFact("edge", {"b", "c"}).ok());
+  }
+  auto result = qp->Answer(ParseAtomOrDie("tc(a, Y)"), &db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->answer.size(), 2u);
+}
+
+TEST(EdgeCase, VeryWideSelection) {
+  // Query binds 7 of 8 columns of a separable recursion (class {0} plus
+  // 7 persistent columns).
+  Program p = ParseProgramOrDie(
+      "t(A, B, C, D, E, F, G, H) :- "
+      "step(A, W) & t(W, B, C, D, E, F, G, H).\n"
+      "t(A, B, C, D, E, F, G, H) :- seed(A, B, C, D, E, F, G, H).");
+  auto qp = QueryProcessor::Create(p);
+  ASSERT_TRUE(qp.ok());
+  Database db;
+  MakeChain(&db, "step", "s", 4);
+  ASSERT_TRUE(
+      db.AddFact("seed", {"s3", "b", "c", "d", "e", "f", "g", "h"}).ok());
+  auto result = qp->Answer(
+      ParseAtomOrDie("t(s0, b, c, d, e, f, g, Z)"), &db);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->answer.size(), 1u);
+  EXPECT_EQ(result->strategy, Strategy::kSeparable);
+}
+
+TEST(EdgeCase, TwoRecursivePredicatesIndependent) {
+  Program p = ParseProgramOrDie(
+      "up(X, Y) :- uedge(X, Y).\n"
+      "up(X, Y) :- uedge(X, W) & up(W, Y).\n"
+      "dn(X, Y) :- dedge(X, Y).\n"
+      "dn(X, Y) :- dedge(X, W) & dn(W, Y).\n"
+      "meet(X) :- up(a, X), dn(b, X).");
+  auto qp = QueryProcessor::Create(p);
+  ASSERT_TRUE(qp.ok());
+  EXPECT_NE(qp->FindSeparable("up"), nullptr);
+  EXPECT_NE(qp->FindSeparable("dn"), nullptr);
+  Database db;
+  ASSERT_TRUE(db.AddFact("uedge", {"a", "m"}).ok());
+  ASSERT_TRUE(db.AddFact("dedge", {"b", "m"}).ok());
+  auto result = qp->Answer(ParseAtomOrDie("meet(X)"), &db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->answer.size(), 1u);
+}
+
+}  // namespace
+}  // namespace seprec

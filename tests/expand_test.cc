@@ -1,0 +1,103 @@
+#include "datalog/expand.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datalog/parser.h"
+#include "gen/workloads.h"
+
+namespace seprec {
+namespace {
+
+std::vector<std::string> Strings(const std::vector<ExpansionString>& exp) {
+  std::vector<std::string> out;
+  for (const ExpansionString& s : exp) out.push_back(s.ToString());
+  return out;
+}
+
+// Example 2.1: the expansion of Example 1.1 begins
+//   p(X, Y), f(X, W0)p(W0, Y), i(X, W0)p(W0, Y), f(X, W0)f(W0, W1)p(W1, Y), ...
+TEST(Expand, Example21Prefix) {
+  Program p = ParseProgramOrDie(
+      "t(X, Y) :- f(X, W) & t(W, Y).\n"
+      "t(X, Y) :- i(X, W) & t(W, Y).\n"
+      "t(X, Y) :- p(X, Y).");
+  auto exp = Expand(p, ParseAtomOrDie("t(X, Y)"), 2);
+  ASSERT_TRUE(exp.ok()) << exp.status().ToString();
+  std::vector<std::string> strings = Strings(*exp);
+  ASSERT_EQ(strings.size(), 1u + 2u + 4u);
+  EXPECT_EQ(strings[0], "p(X, Y)");
+  EXPECT_EQ(strings[1], "f(X, W0)p(W0, Y)");
+  EXPECT_EQ(strings[2], "i(X, W0)p(W0, Y)");
+  EXPECT_EQ(strings[3], "f(X, W0)f(W0, W1)p(W1, Y)");
+  EXPECT_EQ(strings[4], "f(X, W0)i(W0, W1)p(W1, Y)");
+  EXPECT_EQ(strings[5], "i(X, W0)f(W0, W1)p(W1, Y)");
+  EXPECT_EQ(strings[6], "i(X, W0)i(W0, W1)p(W1, Y)");
+}
+
+TEST(Expand, DerivationsRecorded) {
+  Program p = Example11Program();
+  auto exp = Expand(p, ParseAtomOrDie("buys(X, Y)"), 2);
+  ASSERT_TRUE(exp.ok());
+  EXPECT_EQ((*exp)[0].derivation, (std::vector<size_t>{}));
+  EXPECT_EQ((*exp)[3].derivation, (std::vector<size_t>{0, 0}));
+  EXPECT_EQ((*exp)[4].derivation, (std::vector<size_t>{0, 1}));
+}
+
+TEST(Expand, ConstantsFlowThrough) {
+  Program p = Example11Program();
+  auto exp = Expand(p, ParseAtomOrDie("buys(tom, Y)"), 1);
+  ASSERT_TRUE(exp.ok());
+  EXPECT_EQ((*exp)[0].ToString(), "perfectFor(tom, Y)");
+  EXPECT_EQ((*exp)[1].ToString(), "friend(tom, W0)perfectFor(W0, Y)");
+  EXPECT_EQ((*exp)[2].ToString(), "idol(tom, W0)perfectFor(W0, Y)");
+}
+
+TEST(Expand, MultipleExitRules) {
+  Program p = ParseProgramOrDie(
+      "t(X) :- e(X, W) & t(W).\n"
+      "t(X) :- base1(X).\n"
+      "t(X) :- base2(X).");
+  auto exp = Expand(p, ParseAtomOrDie("t(X)"), 1);
+  ASSERT_TRUE(exp.ok());
+  ASSERT_EQ(exp->size(), 4u);  // 2 exits at depth 0, 2 at depth 1
+  EXPECT_EQ((*exp)[0].ToString(), "base1(X)");
+  EXPECT_EQ((*exp)[1].ToString(), "base2(X)");
+}
+
+TEST(Expand, RejectsNonLinear) {
+  Program p = ParseProgramOrDie(
+      "t(X, Y) :- t(X, W), t(W, Y).\nt(X, Y) :- e(X, Y).");
+  EXPECT_FALSE(Expand(p, ParseAtomOrDie("t(X, Y)"), 1).ok());
+}
+
+TEST(Expand, RejectsUnrectifiedHead) {
+  Program p = ParseProgramOrDie("t(X, X) :- e(X).");
+  EXPECT_FALSE(Expand(p, ParseAtomOrDie("t(A, B)"), 1).ok());
+}
+
+TEST(Expand, RejectsBuiltins) {
+  Program p = ParseProgramOrDie("t(X) :- e(X), X != a.");
+  EXPECT_FALSE(Expand(p, ParseAtomOrDie("t(X)"), 1).ok());
+}
+
+TEST(Expand, UnknownPredicate) {
+  Program p = ParseProgramOrDie("t(X) :- e(X).");
+  EXPECT_FALSE(Expand(p, ParseAtomOrDie("zzz(X)"), 1).ok());
+}
+
+TEST(Expand, GrowthRateMatchesRuleCount) {
+  // p recursive rules -> p^d strings with exactly d applications.
+  Program p = ParseProgramOrDie(
+      "t(X) :- a1(X, W) & t(W).\n"
+      "t(X) :- a2(X, W) & t(W).\n"
+      "t(X) :- a3(X, W) & t(W).\n"
+      "t(X) :- t0(X).");
+  auto exp = Expand(p, ParseAtomOrDie("t(X)"), 3);
+  ASSERT_TRUE(exp.ok());
+  EXPECT_EQ(exp->size(), 1u + 3u + 9u + 27u);
+}
+
+}  // namespace
+}  // namespace seprec

@@ -1,0 +1,156 @@
+// Tests for the synthetic data generators and paper workloads.
+#include <gtest/gtest.h>
+
+#include "datalog/analysis.h"
+#include "gen/generators.h"
+#include "gen/workloads.h"
+#include "util/rng.h"
+
+namespace seprec {
+namespace {
+
+TEST(Rng, DeterministicAndBounded) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(Rng(42).Next(), c.Next());
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.Below(10), 10u);
+    int64_t v = r.Between(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+  EXPECT_FALSE(Rng(1).Chance(0.0));
+  EXPECT_TRUE(Rng(1).Chance(1.0));
+}
+
+TEST(Generators, Chain) {
+  Database db;
+  MakeChain(&db, "e", "v", 5);
+  const Relation* rel = db.Find("e");
+  ASSERT_NE(rel, nullptr);
+  EXPECT_EQ(rel->size(), 4u);
+  EXPECT_EQ(rel->DebugString(db.symbols()),
+            "e(v0, v1)\ne(v1, v2)\ne(v2, v3)\ne(v3, v4)\n");
+}
+
+TEST(Generators, ChainOfOneNodeIsEmpty) {
+  Database db;
+  MakeChain(&db, "e", "v", 1);
+  EXPECT_EQ(db.Find("e")->size(), 0u);
+}
+
+TEST(Generators, Cycle) {
+  Database db;
+  MakeCycle(&db, "e", "v", 4);
+  EXPECT_EQ(db.Find("e")->size(), 4u);
+  Value v3 = db.symbols().Intern("v3");
+  Value v0 = db.symbols().Intern("v0");
+  EXPECT_TRUE(db.Find("e")->Contains(std::vector<Value>{v3, v0}));
+}
+
+TEST(Generators, Tree) {
+  Database db;
+  MakeTree(&db, "e", "n", 2, 3);
+  // Binary tree depth 3: 2 + 4 + 8 = 14 edges.
+  EXPECT_EQ(db.Find("e")->size(), 14u);
+  Database db3;
+  MakeTree(&db3, "e", "n", 3, 2);
+  EXPECT_EQ(db3.Find("e")->size(), 12u);  // 3 + 9
+}
+
+TEST(Generators, RandomGraphDeterministic) {
+  Database db1, db2;
+  MakeRandomGraph(&db1, "e", "v", 10, 30, 99);
+  MakeRandomGraph(&db2, "e", "v", 10, 30, 99);
+  EXPECT_EQ(db1.Find("e")->DebugString(db1.symbols()),
+            db2.Find("e")->DebugString(db2.symbols()));
+  EXPECT_LE(db1.Find("e")->size(), 30u);
+  EXPECT_GT(db1.Find("e")->size(), 10u);
+}
+
+TEST(Generators, CrossProduct) {
+  Database db;
+  MakeCrossProduct(&db, "t0", "c", 3, 4);
+  EXPECT_EQ(db.Find("t0")->size(), 64u);
+  Database db1;
+  MakeCrossProduct(&db1, "t0", "c", 1, 5);
+  EXPECT_EQ(db1.Find("t0")->size(), 5u);
+  Database db2;
+  MakeCrossProduct(&db2, "t0", "c", 2, 1);
+  EXPECT_EQ(db2.Find("t0")->size(), 1u);
+}
+
+TEST(Generators, NodeName) {
+  EXPECT_EQ(NodeName("a", 0), "a0");
+  EXPECT_EQ(NodeName("node_", 17), "node_17");
+}
+
+TEST(Workloads, ProgramsAreSafeAndAnalyzable) {
+  for (const Program& p :
+       {Example11Program(), Example12Program(), Example24Program(),
+        SpkProgram(3, 4), TransitiveClosureProgram(),
+        SameGenerationProgram()}) {
+    EXPECT_TRUE(ProgramInfo::Analyze(p).ok()) << p.ToString();
+  }
+}
+
+TEST(Workloads, Example11DataShape) {
+  Database db;
+  MakeExample11Data(&db, 6);
+  EXPECT_EQ(db.Find("friend")->size(), 5u);
+  EXPECT_EQ(db.Find("idol")->size(), 5u);
+  EXPECT_EQ(db.Find("perfectFor")->size(), 1u);
+}
+
+TEST(Workloads, Example12DataShape) {
+  Database db;
+  MakeExample12Data(&db, 6);
+  EXPECT_EQ(db.Find("friend")->size(), 5u);
+  EXPECT_EQ(db.Find("cheaper")->size(), 5u);
+  EXPECT_EQ(db.Find("perfectFor")->size(), 1u);
+}
+
+TEST(Workloads, SpkProgramShape) {
+  Program p = SpkProgram(4, 3);
+  EXPECT_EQ(p.rules.size(), 5u);  // 4 recursive + exit
+  EXPECT_EQ(p.rules[0].head.arity(), 3u);
+  EXPECT_EQ(p.rules[0].body.size(), 2u);
+  Program p1 = SpkProgram(1, 1);
+  EXPECT_EQ(p1.rules.size(), 2u);
+  EXPECT_EQ(p1.rules[0].head.arity(), 1u);
+}
+
+TEST(Workloads, Lemma42DataShape) {
+  Database db;
+  MakeLemma42Data(&db, 3, 2, 5);
+  EXPECT_EQ(db.Find("a1")->size(), 4u);
+  EXPECT_EQ(db.Find("a2")->size(), 0u);
+  EXPECT_EQ(db.Find("a3")->size(), 0u);
+  EXPECT_EQ(db.Find("t0")->size(), 25u);
+}
+
+TEST(Workloads, Lemma43DataShape) {
+  Database db;
+  MakeLemma43Data(&db, 3, 2, 5);
+  EXPECT_EQ(db.Find("a1")->size(), 4u);
+  EXPECT_EQ(db.Find("a2")->size(), 4u);
+  EXPECT_EQ(db.Find("a3")->size(), 4u);
+  EXPECT_EQ(db.Find("t0")->size(), 1u);
+}
+
+TEST(Workloads, SameGenerationDataShape) {
+  Database db;
+  MakeSameGenerationData(&db, 2, 3);
+  EXPECT_EQ(db.Find("down")->size(), 14u);
+  EXPECT_EQ(db.Find("up")->size(), 14u);
+  EXPECT_EQ(db.Find("flat")->size(), 2u);  // (s1,s2), (s2,s1)
+}
+
+TEST(Workloads, FirstColumnQuery) {
+  Atom q = FirstColumnQuery("t", 3, "c0");
+  EXPECT_EQ(q.ToString(), "t(c0, Y1, Y2)");
+}
+
+}  // namespace
+}  // namespace seprec

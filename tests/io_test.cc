@@ -1,0 +1,132 @@
+#include "storage/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/compiler.h"
+#include "datalog/parser.h"
+
+namespace seprec {
+namespace {
+
+TEST(Io, LoadBasicTsv) {
+  Database db;
+  std::istringstream in("a\tb\nb\tc\n# comment\n\nc\td\n");
+  auto added = LoadRelationTsv(&db, "edge", in);
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  EXPECT_EQ(*added, 3u);
+  const Relation* rel = db.Find("edge");
+  ASSERT_NE(rel, nullptr);
+  EXPECT_EQ(rel->arity(), 2u);
+  EXPECT_EQ(rel->size(), 3u);
+}
+
+TEST(Io, IntegerColumnsBecomeInts) {
+  Database db;
+  std::istringstream in("alice\t42\nbob\t-7\ncarol\tnot4\n");
+  ASSERT_TRUE(LoadRelationTsv(&db, "age", in).ok());
+  const Relation* rel = db.Find("age");
+  ASSERT_EQ(rel->size(), 3u);
+  EXPECT_TRUE(rel->row(0)[1].is_int());
+  EXPECT_EQ(rel->row(0)[1].as_int(), 42);
+  EXPECT_EQ(rel->row(1)[1].as_int(), -7);
+  EXPECT_TRUE(rel->row(2)[1].is_symbol());
+}
+
+TEST(Io, DuplicatesDeduplicated) {
+  Database db;
+  std::istringstream in("a\tb\na\tb\n");
+  auto added = LoadRelationTsv(&db, "edge", in);
+  ASSERT_TRUE(added.ok());
+  EXPECT_EQ(*added, 1u);
+}
+
+TEST(Io, ArityMismatchRejected) {
+  Database db;
+  std::istringstream in("a\tb\nc\n");
+  auto added = LoadRelationTsv(&db, "edge", in);
+  EXPECT_FALSE(added.ok());
+  EXPECT_EQ(added.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Io, AppendToExistingRelation) {
+  Database db;
+  ASSERT_TRUE(db.AddFact("edge", {"x", "y"}).ok());
+  std::istringstream in("a\tb\n");
+  auto added = LoadRelationTsv(&db, "edge", in);
+  ASSERT_TRUE(added.ok());
+  EXPECT_EQ(db.Find("edge")->size(), 2u);
+}
+
+TEST(Io, EmptyInputWithoutRelationFails) {
+  Database db;
+  std::istringstream in("# nothing\n");
+  EXPECT_FALSE(LoadRelationTsv(&db, "edge", in).ok());
+}
+
+TEST(Io, SaveRoundTrip) {
+  Database db;
+  std::istringstream in("a\t1\nb\t2\n");
+  ASSERT_TRUE(LoadRelationTsv(&db, "r", in).ok());
+  std::ostringstream out;
+  ASSERT_TRUE(SaveRelationTsv(db, "r", out).ok());
+  EXPECT_EQ(out.str(), "a\t1\nb\t2\n");
+
+  Database db2;
+  std::istringstream back(out.str());
+  ASSERT_TRUE(LoadRelationTsv(&db2, "r", back).ok());
+  EXPECT_EQ(db2.Find("r")->size(), 2u);
+}
+
+TEST(Io, SaveUnknownRelationFails) {
+  Database db;
+  std::ostringstream out;
+  EXPECT_EQ(SaveRelationTsv(db, "ghost", out).code(), StatusCode::kNotFound);
+}
+
+TEST(Io, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/seprec_io_test.tsv";
+  {
+    std::ofstream out(path);
+    out << "n0\tn1\nn1\tn2\nn2\tn3\n";
+  }
+  Database db;
+  auto added = LoadRelationTsvFile(&db, "edge", path);
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  EXPECT_EQ(*added, 3u);
+
+  const std::string out_path = ::testing::TempDir() + "/seprec_io_out.tsv";
+  ASSERT_TRUE(SaveRelationTsvFile(db, "edge", out_path).ok());
+  Database db2;
+  ASSERT_TRUE(LoadRelationTsvFile(&db2, "edge", out_path).ok());
+  EXPECT_EQ(db2.Find("edge")->size(), 3u);
+  std::remove(path.c_str());
+  std::remove(out_path.c_str());
+}
+
+TEST(Io, MissingFileIsNotFound) {
+  Database db;
+  auto added = LoadRelationTsvFile(&db, "edge", "/no/such/file.tsv");
+  EXPECT_FALSE(added.ok());
+  EXPECT_EQ(added.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Io, LoadedDataAnswersQueries) {
+  Database db;
+  std::istringstream in("a\tb\nb\tc\nc\td\n");
+  ASSERT_TRUE(LoadRelationTsv(&db, "edge", in).ok());
+  Program p = ParseProgramOrDie(
+      "tc(X, Y) :- edge(X, W) & tc(W, Y).\n"
+      "tc(X, Y) :- edge(X, Y).");
+  auto qp = QueryProcessor::Create(p);
+  ASSERT_TRUE(qp.ok());
+  auto result = qp->Answer(ParseAtomOrDie("tc(a, Y)"), &db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->answer.size(), 3u);
+}
+
+}  // namespace
+}  // namespace seprec

@@ -1,0 +1,113 @@
+#include "datalog/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace seprec {
+namespace {
+
+std::vector<TokenKind> Kinds(const std::vector<Token>& tokens) {
+  std::vector<TokenKind> kinds;
+  for (const Token& t : tokens) kinds.push_back(t.kind);
+  return kinds;
+}
+
+TEST(Lexer, SimpleRule) {
+  auto tokens = Tokenize("p(X) :- q(X).");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(Kinds(*tokens),
+            (std::vector<TokenKind>{
+                TokenKind::kIdent, TokenKind::kLParen, TokenKind::kVar,
+                TokenKind::kRParen, TokenKind::kColonDash, TokenKind::kIdent,
+                TokenKind::kLParen, TokenKind::kVar, TokenKind::kRParen,
+                TokenKind::kPeriod, TokenKind::kEnd}));
+  EXPECT_EQ((*tokens)[0].text, "p");
+  EXPECT_EQ((*tokens)[2].text, "X");
+}
+
+TEST(Lexer, AmpersandIsComma) {
+  auto tokens = Tokenize("a & b");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kComma);
+}
+
+TEST(Lexer, IntegersAndNegative) {
+  auto tokens = Tokenize("42 - 7");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kInt);
+  EXPECT_EQ((*tokens)[0].int_value, 42);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kMinus);
+  EXPECT_EQ((*tokens)[2].int_value, 7);
+}
+
+TEST(Lexer, ComparisonOperators) {
+  auto tokens = Tokenize("= != < <= > >=");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(Kinds(*tokens),
+            (std::vector<TokenKind>{TokenKind::kEq, TokenKind::kNe,
+                                    TokenKind::kLt, TokenKind::kLe,
+                                    TokenKind::kGt, TokenKind::kGe,
+                                    TokenKind::kEnd}));
+}
+
+TEST(Lexer, QueryTokens) {
+  auto tokens = Tokenize("?- p(X). q(a)?");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kQueryDash);
+  EXPECT_EQ((*tokens)[10].kind, TokenKind::kQuestion);
+}
+
+TEST(Lexer, CommentsSkipped) {
+  auto tokens = Tokenize("p. % trailing comment\n% whole line\nq.");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 5u);
+  EXPECT_EQ((*tokens)[0].text, "p");
+  EXPECT_EQ((*tokens)[2].text, "q");
+  EXPECT_EQ((*tokens)[2].line, 3);
+}
+
+TEST(Lexer, QuotedSymbols) {
+  auto tokens = Tokenize("'Hello World' 'with.dots'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdent);
+  EXPECT_EQ((*tokens)[0].text, "Hello World");
+  EXPECT_EQ((*tokens)[1].text, "with.dots");
+}
+
+TEST(Lexer, VariablesStartUppercaseOrUnderscore) {
+  auto tokens = Tokenize("X _y lower");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kVar);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kVar);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kIdent);
+}
+
+TEST(Lexer, ErrorOnUnterminatedQuote) {
+  auto tokens = Tokenize("'oops");
+  EXPECT_FALSE(tokens.ok());
+}
+
+TEST(Lexer, ErrorOnStrayCharacters) {
+  EXPECT_FALSE(Tokenize("p :- q # r.").ok());
+  EXPECT_FALSE(Tokenize("p : q.").ok());
+  EXPECT_FALSE(Tokenize("p ! q.").ok());
+}
+
+TEST(Lexer, LineNumbersTracked) {
+  auto tokens = Tokenize("a.\nb.\n\nc.");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1);
+  EXPECT_EQ((*tokens)[2].line, 2);
+  EXPECT_EQ((*tokens)[4].line, 4);
+}
+
+TEST(Lexer, ArithmeticTokens) {
+  auto tokens = Tokenize("X is Y * 2 + 1");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kIdent);  // 'is' is an identifier
+  EXPECT_EQ((*tokens)[1].text, "is");
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kStar);
+  EXPECT_EQ((*tokens)[5].kind, TokenKind::kPlus);
+}
+
+}  // namespace
+}  // namespace seprec

@@ -1,0 +1,206 @@
+#include "magic/engine.h"
+#include "magic/magic_transform.h"
+
+#include <gtest/gtest.h>
+
+#include "core/query.h"
+#include "datalog/parser.h"
+#include "eval/fixpoint.h"
+#include "gen/generators.h"
+#include "gen/workloads.h"
+
+namespace seprec {
+namespace {
+
+// Answers via plain semi-naive materialisation + selection: the reference.
+Answer ReferenceAnswer(const Program& program, const Atom& query,
+                       Database* db) {
+  Status status = EvaluateSemiNaive(program, db);
+  SEPREC_CHECK(status.ok());
+  const Relation* rel = db->Find(query.predicate);
+  SEPREC_CHECK(rel != nullptr);
+  return SelectMatching(*rel, query, db->symbols());
+}
+
+TEST(MagicTransform, AdornmentOfQuery) {
+  EXPECT_EQ(AdornmentOf(ParseAtomOrDie("t(tom, Y)")), "bf");
+  EXPECT_EQ(AdornmentOf(ParseAtomOrDie("t(X, Y)")), "ff");
+  EXPECT_EQ(AdornmentOf(ParseAtomOrDie("t(a, 3, Z)")), "bbf");
+}
+
+TEST(MagicTransform, Example12MatchesPaperRules) {
+  // The paper (Section 4) shows for buys(tom, Y)? on Example 1.2:
+  //   magic(tom).
+  //   magic(W) :- magic(X) & friend(X, W).
+  //   buys(X, Y) :- magic(X) & perfectFor(X, Y).
+  //   buys(X, Y) :- magic(X) & friend(X, W) & buys(W, Y).
+  //   buys(X, Y) :- magic(X) & buys(X, Z) & cheaper(Y, Z).
+  auto rewrite = MagicTransform(Example12Program(),
+                                ParseAtomOrDie("buys(tom, Y)"));
+  ASSERT_TRUE(rewrite.ok()) << rewrite.status().ToString();
+  const std::string text = rewrite->program.ToString();
+  EXPECT_NE(text.find("magic_buys_bf(tom)."), std::string::npos) << text;
+  // One magic rule per recursive occurrence with a bound first column. The
+  // friend rule propagates the binding; the cheaper rule's occurrence keeps
+  // the same binding (X is bound in the head).
+  EXPECT_NE(text.find("magic_buys_bf(W) :- magic_buys_bf(X), friend(X, W)."),
+            std::string::npos)
+      << text;
+  EXPECT_EQ(rewrite->answer_predicate, "buys_bf");
+  EXPECT_EQ(rewrite->rewritten_query.ToString(), "buys_bf(tom, Y)");
+  EXPECT_TRUE(rewrite->magic_predicates.count("magic_buys_bf"));
+}
+
+TEST(MagicTransform, RejectsEdbQuery) {
+  EXPECT_FALSE(
+      MagicTransform(Example11Program(), ParseAtomOrDie("friend(a, B)")).ok());
+}
+
+TEST(MagicTransform, RejectsArityMismatch) {
+  EXPECT_FALSE(
+      MagicTransform(Example11Program(), ParseAtomOrDie("buys(a)")).ok());
+}
+
+TEST(MagicTransform, AllFreeQueryStillWorks) {
+  Database db;
+  MakeExample11Data(&db, 5);
+  auto run = EvaluateWithMagic(Example11Program(),
+                               ParseAtomOrDie("buys(X, Y)"), &db);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  Database ref_db;
+  MakeExample11Data(&ref_db, 5);
+  Answer expected =
+      ReferenceAnswer(Example11Program(), ParseAtomOrDie("buys(X, Y)"),
+                      &ref_db);
+  EXPECT_EQ(run->answer, expected);
+}
+
+TEST(MagicEngine, Example11Answer) {
+  Database db;
+  MakeExample11Data(&db, 10);
+  auto run = EvaluateWithMagic(Example11Program(),
+                               ParseAtomOrDie("buys(a0, Y)"), &db);
+  ASSERT_TRUE(run.ok());
+  ASSERT_EQ(run->answer.size(), 1u);
+  EXPECT_EQ(run->answer.ToStrings(db.symbols())[0], "(a0, b)");
+}
+
+TEST(MagicEngine, AgreesWithSemiNaiveOnChainTc) {
+  for (size_t n : {2u, 5u, 12u}) {
+    Database db1, db2;
+    MakeChain(&db1, "edge", "v", n);
+    MakeChain(&db2, "edge", "v", n);
+    Atom query = ParseAtomOrDie("tc(v0, Y)");
+    auto run = EvaluateWithMagic(TransitiveClosureProgram(), query, &db1);
+    ASSERT_TRUE(run.ok());
+    Answer expected = ReferenceAnswer(TransitiveClosureProgram(), query, &db2);
+    EXPECT_EQ(run->answer, expected) << "n=" << n;
+  }
+}
+
+TEST(MagicEngine, AgreesOnRandomGraphs) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    Database db1, db2;
+    MakeRandomGraph(&db1, "edge", "v", 20, 40, seed);
+    MakeRandomGraph(&db2, "edge", "v", 20, 40, seed);
+    Atom query = ParseAtomOrDie("tc(v3, Y)");
+    auto run = EvaluateWithMagic(TransitiveClosureProgram(), query, &db1);
+    ASSERT_TRUE(run.ok());
+    EXPECT_EQ(run->answer,
+              ReferenceAnswer(TransitiveClosureProgram(), query, &db2));
+  }
+}
+
+TEST(MagicEngine, SameGenerationBoundQuery) {
+  Database db1, db2;
+  MakeSameGenerationData(&db1, 2, 4);
+  MakeSameGenerationData(&db2, 2, 4);
+  Atom query = ParseAtomOrDie("sg(s7, Y)");
+  auto run = EvaluateWithMagic(SameGenerationProgram(), query, &db1);
+  ASSERT_TRUE(run.ok());
+  Answer expected = ReferenceAnswer(SameGenerationProgram(), query, &db2);
+  EXPECT_EQ(run->answer, expected);
+  EXPECT_FALSE(run->answer.empty());
+}
+
+TEST(MagicEngine, FocusesOnReachablePart) {
+  // Two disconnected chains; querying inside one must not materialise
+  // reachability tuples for the other.
+  Database db;
+  MakeChain(&db, "edge", "left", 30);
+  MakeChain(&db, "edge", "right", 30);
+  auto run = EvaluateWithMagic(TransitiveClosureProgram(),
+                               ParseAtomOrDie("tc(left20, Y)"), &db);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->answer.size(), 9u);  // left21..left29
+  // The adorned tc relation holds only tuples reachable from left20.
+  EXPECT_LE(run->stats.relation_sizes.at("tc_bf"), 9u * 10u);
+  EXPECT_LT(run->stats.max_relation_size, 100u);
+}
+
+TEST(MagicEngine, SecondColumnBinding) {
+  Database db1, db2;
+  MakeChain(&db1, "edge", "v", 8);
+  MakeChain(&db2, "edge", "v", 8);
+  Atom query = ParseAtomOrDie("tc(X, v7)");
+  auto run = EvaluateWithMagic(TransitiveClosureProgram(), query, &db1);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->answer,
+            ReferenceAnswer(TransitiveClosureProgram(), query, &db2));
+  EXPECT_EQ(run->answer.size(), 7u);
+}
+
+TEST(MagicEngine, BothColumnsBound) {
+  Database db;
+  MakeChain(&db, "edge", "v", 8);
+  auto yes = EvaluateWithMagic(TransitiveClosureProgram(),
+                               ParseAtomOrDie("tc(v1, v5)"), &db);
+  ASSERT_TRUE(yes.ok());
+  EXPECT_EQ(yes->answer.size(), 1u);
+  Database db2;
+  MakeChain(&db2, "edge", "v", 8);
+  auto no = EvaluateWithMagic(TransitiveClosureProgram(),
+                              ParseAtomOrDie("tc(v5, v1)"), &db2);
+  ASSERT_TRUE(no.ok());
+  EXPECT_TRUE(no->answer.empty());
+}
+
+TEST(MagicEngine, ConstantAbsentFromDatabase) {
+  Database db;
+  MakeChain(&db, "edge", "v", 5);
+  auto run = EvaluateWithMagic(TransitiveClosureProgram(),
+                               ParseAtomOrDie("tc(ghost, Y)"), &db);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->answer.empty());
+}
+
+TEST(MagicEngine, MultiLevelIdb) {
+  // Magic through a non-recursive IDB layer.
+  Program p = ParseProgramOrDie(
+      "link(X, Y) :- raw(X, Y).\n"
+      "link(X, Y) :- raw(Y, X).\n"
+      "tc(X, Y) :- link(X, Y).\n"
+      "tc(X, Y) :- link(X, W), tc(W, Y).");
+  Database db1, db2;
+  MakeChain(&db1, "raw", "v", 6);
+  MakeChain(&db2, "raw", "v", 6);
+  Atom query = ParseAtomOrDie("tc(v2, Y)");
+  auto run = EvaluateWithMagic(p, query, &db1);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->answer, ReferenceAnswer(p, query, &db2));
+}
+
+TEST(MagicEngine, RepeatedQueryVariable) {
+  Database db1, db2;
+  MakeCycle(&db1, "edge", "v", 4);
+  MakeCycle(&db2, "edge", "v", 4);
+  Atom query = ParseAtomOrDie("tc(X, X)");  // nodes on cycles
+  auto run = EvaluateWithMagic(TransitiveClosureProgram(), query, &db1);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->answer,
+            ReferenceAnswer(TransitiveClosureProgram(), query, &db2));
+  EXPECT_EQ(run->answer.size(), 4u);
+}
+
+}  // namespace
+}  // namespace seprec

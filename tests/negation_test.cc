@@ -1,0 +1,241 @@
+// Stratified negation: parsing, safety, stratification checking, plan
+// anti-joins, fixpoint semantics, and interaction with every engine.
+#include <gtest/gtest.h>
+
+#include "core/compiler.h"
+#include "core/query.h"
+#include "datalog/analysis.h"
+#include "datalog/parser.h"
+#include "eval/fixpoint.h"
+#include "eval/join_plan.h"
+#include "gen/generators.h"
+#include "magic/engine.h"
+#include "magic/supplementary.h"
+
+namespace seprec {
+namespace {
+
+TEST(Negation, ParseAndPrint) {
+  Program p = ParseProgramOrDie(
+      "orphan(X) :- person(X), not parent(Y, X).");
+  ASSERT_EQ(p.rules[0].body.size(), 2u);
+  EXPECT_FALSE(p.rules[0].body[0].negated);
+  EXPECT_TRUE(p.rules[0].body[1].negated);
+  EXPECT_EQ(p.rules[0].ToString(),
+            "orphan(X) :- person(X), not parent(Y, X).");
+  // Round trip.
+  Program p2 = ParseProgramOrDie(p.ToString());
+  EXPECT_EQ(p.ToString(), p2.ToString());
+}
+
+TEST(Negation, NotAsPredicateNameStillWorks) {
+  // 'not' is only special when followed by a predicate name inside a
+  // body; a 0-ary atom named differently is unaffected.
+  Program p = ParseProgramOrDie("p(X) :- q(X), not r(X).");
+  EXPECT_TRUE(p.rules[0].body[1].negated);
+}
+
+TEST(Negation, SafetyRequiresBoundVariables) {
+  // Y appears only in the negated atom: unsafe.
+  EXPECT_FALSE(
+      CheckSafety(ParseProgramOrDie("p(X) :- q(X), not r(X, Y).")).ok());
+  EXPECT_TRUE(
+      CheckSafety(ParseProgramOrDie("p(X) :- q(X, Y), not r(X, Y).")).ok());
+  // A head variable cannot be bound by a negated atom.
+  EXPECT_FALSE(CheckSafety(ParseProgramOrDie("p(X) :- not r(X).")).ok());
+}
+
+TEST(Negation, StratificationRejectsNegativeCycles) {
+  // p negates q and q depends on p: negation inside the SCC.
+  Program bad = ParseProgramOrDie(
+      "p(X) :- base(X), not q(X).\n"
+      "q(X) :- edge(X, Y), p(Y).");
+  EXPECT_FALSE(ProgramInfo::Analyze(bad).ok());
+  // Direct self-negation.
+  Program self = ParseProgramOrDie("p(X) :- base(X), not p(X).");
+  EXPECT_FALSE(ProgramInfo::Analyze(self).ok());
+  // Negating a lower stratum is fine.
+  Program good = ParseProgramOrDie(
+      "q(X) :- edge(X, Y).\n"
+      "p(X) :- base(X), not q(X).");
+  EXPECT_TRUE(ProgramInfo::Analyze(good).ok());
+}
+
+TEST(Negation, PlanAntiJoinBasic) {
+  Database db;
+  ASSERT_TRUE(db.AddFact("person", {"ann"}).ok());
+  ASSERT_TRUE(db.AddFact("person", {"bob"}).ok());
+  ASSERT_TRUE(db.AddFact("banned", {"bob"}).ok());
+  Program p = ParseProgramOrDie("ok(X) :- person(X), not banned(X).");
+  StatusOr<RulePlan> plan = RulePlan::Compile(p.rules[0], &db);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  Relation out("out", 1);
+  plan->ExecuteInto(&out);
+  EXPECT_EQ(out.DebugString(db.symbols()), "out(ann)\n");
+  EXPECT_NE(plan->DebugString().find("anti-scan"), std::string::npos);
+}
+
+TEST(Negation, PlanAntiJoinWithConstants) {
+  Database db;
+  ASSERT_TRUE(db.AddFact("e", {"a", "b"}).ok());
+  ASSERT_TRUE(db.AddFact("e", {"b", "c"}).ok());
+  ASSERT_TRUE(db.AddFact("blocked", {"b", "special"}).ok());
+  Program p = ParseProgramOrDie(
+      "h(X, Y) :- e(X, Y), not blocked(X, special).");
+  StatusOr<RulePlan> plan = RulePlan::Compile(p.rules[0], &db);
+  ASSERT_TRUE(plan.ok());
+  Relation out("out", 2);
+  plan->ExecuteInto(&out);
+  EXPECT_EQ(out.DebugString(db.symbols()), "out(a, b)\n");
+}
+
+TEST(Negation, PlanAntiJoinIndexFree) {
+  Database db;
+  ASSERT_TRUE(db.AddFact("person", {"ann"}).ok());
+  ASSERT_TRUE(db.AddFact("person", {"bob"}).ok());
+  ASSERT_TRUE(db.AddFact("banned", {"bob"}).ok());
+  Program p = ParseProgramOrDie("ok(X) :- person(X), not banned(X).");
+  PlanOptions options;
+  options.disable_indexes = true;
+  StatusOr<RulePlan> plan = RulePlan::Compile(p.rules[0], &db, options);
+  ASSERT_TRUE(plan.ok());
+  Relation out("out", 1);
+  plan->ExecuteInto(&out);
+  EXPECT_EQ(out.DebugString(db.symbols()), "out(ann)\n");
+}
+
+TEST(Negation, MissingNegatedRelationMeansAlwaysTrue) {
+  Database db;
+  ASSERT_TRUE(db.AddFact("person", {"ann"}).ok());
+  Program p = ParseProgramOrDie("ok(X) :- person(X), not never_seen(X).");
+  StatusOr<RulePlan> plan = RulePlan::Compile(p.rules[0], &db);
+  ASSERT_TRUE(plan.ok());
+  Relation out("out", 1);
+  plan->ExecuteInto(&out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(Negation, FixpointSetDifference) {
+  // Unreachable nodes: classic stratified example.
+  Program p = ParseProgramOrDie(
+      "node(X) :- edge(X, Y).\n"
+      "node(Y) :- edge(X, Y).\n"
+      "reach(X) :- start(X).\n"
+      "reach(Y) :- reach(X), edge(X, Y).\n"
+      "unreach(X) :- node(X), not reach(X).");
+  Database db;
+  MakeChain(&db, "edge", "v", 4);
+  MakeChain(&db, "edge", "w", 3);
+  MakeFact(&db, "start", {"v0"});
+  EvalStats stats;
+  ASSERT_TRUE(EvaluateSemiNaive(p, &db, {}, &stats).ok());
+  EXPECT_EQ(db.Find("unreach")->DebugString(db.symbols()),
+            "unreach(w0)\nunreach(w1)\nunreach(w2)\n");
+}
+
+TEST(Negation, NaiveAgreesWithSemiNaive) {
+  Program p = ParseProgramOrDie(
+      "node(X) :- edge(X, Y).\n"
+      "node(Y) :- edge(X, Y).\n"
+      "reach(X) :- start(X).\n"
+      "reach(Y) :- reach(X), edge(X, Y).\n"
+      "unreach(X) :- node(X), not reach(X).");
+  Database db1, db2;
+  for (Database* db : {&db1, &db2}) {
+    MakeRandomGraph(db, "edge", "v", 15, 25, 3);
+    MakeFact(db, "start", {"v0"});
+  }
+  ASSERT_TRUE(EvaluateSemiNaive(p, &db1).ok());
+  ASSERT_TRUE(EvaluateNaive(p, &db2).ok());
+  EXPECT_EQ(db1.Find("unreach")->DebugString(db1.symbols()),
+            db2.Find("unreach")->DebugString(db2.symbols()));
+}
+
+TEST(Negation, NegationInsideRecursiveRuleOverLowerStratum) {
+  // Reachability avoiding closed nodes: negation inside the recursion,
+  // but of a lower-stratum (EDB) predicate — stratified and separable!
+  Program p = ParseProgramOrDie(
+      "open_reach(X, Y) :- edge(X, Y), not closed(Y).\n"
+      "open_reach(X, Y) :- edge(X, W), not closed(W), open_reach(W, Y).");
+  auto qp = QueryProcessor::Create(p);
+  ASSERT_TRUE(qp.ok()) << qp.status().ToString();
+  EXPECT_EQ(qp->Decide(ParseAtomOrDie("open_reach(v0, Y)")).strategy,
+            Strategy::kSeparable);
+
+  Database db;
+  MakeChain(&db, "edge", "v", 8);
+  MakeFact(&db, "closed", {"v5"});
+  auto result = qp->Answer(ParseAtomOrDie("open_reach(v0, Y)"), &db);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // v0 can reach v1..v4 (v5 closed blocks the rest)... v5 itself excluded.
+  EXPECT_EQ(result->answer.size(), 4u);
+
+  // Cross-check with semi-naive and magic on fresh databases.
+  for (Strategy s : {Strategy::kSemiNaive, Strategy::kMagic}) {
+    Database db2;
+    MakeChain(&db2, "edge", "v", 8);
+    MakeFact(&db2, "closed", {"v5"});
+    auto other = qp->Answer(ParseAtomOrDie("open_reach(v0, Y)"), &db2, s);
+    ASSERT_TRUE(other.ok()) << StrategyToString(s) << ": "
+                            << other.status().ToString();
+    EXPECT_EQ(other->answer.size(), result->answer.size())
+        << StrategyToString(s);
+  }
+}
+
+TEST(Negation, MagicWithNegatedIdbPredicate) {
+  Program p = ParseProgramOrDie(
+      "closed(X) :- raw_closed(X).\n"
+      "tc(X, Y) :- edge(X, Y), not closed(Y).\n"
+      "tc(X, Y) :- edge(X, W), not closed(W), tc(W, Y).");
+  Database db1, db2;
+  for (Database* db : {&db1, &db2}) {
+    MakeChain(db, "edge", "v", 8);
+    MakeFact(db, "raw_closed", {"v5"});
+  }
+  Atom query = ParseAtomOrDie("tc(v0, Y)");
+  auto magic = EvaluateWithMagic(p, query, &db1);
+  ASSERT_TRUE(magic.ok()) << magic.status().ToString();
+  EvalStats stats;
+  ASSERT_TRUE(EvaluateSemiNaive(p, &db2, {}, &stats).ok());
+  Answer expected = SelectMatching(*db2.Find("tc"), query, db2.symbols());
+  EXPECT_EQ(magic->answer, expected);
+  EXPECT_EQ(magic->answer.size(), 4u);
+}
+
+TEST(Negation, SupplementaryMagicWithNegation) {
+  Program p = ParseProgramOrDie(
+      "closed(X) :- raw_closed(X).\n"
+      "tc(X, Y) :- edge(X, Y), not closed(Y).\n"
+      "tc(X, Y) :- edge(X, W), not closed(W), tc(W, Y).");
+  Database db1, db2;
+  for (Database* db : {&db1, &db2}) {
+    MakeChain(db, "edge", "v", 8);
+    MakeFact(db, "raw_closed", {"v5"});
+  }
+  Atom query = ParseAtomOrDie("tc(v0, Y)");
+  auto sup = EvaluateWithSupplementaryMagic(p, query, &db1);
+  ASSERT_TRUE(sup.ok()) << sup.status().ToString();
+  auto plain = EvaluateWithMagic(p, query, &db2);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(sup->answer, plain->answer);
+}
+
+TEST(Negation, MultiStratumTower) {
+  Program p = ParseProgramOrDie(
+      "a(X) :- base(X).\n"
+      "b(X) :- base(X), not a_exception(X).\n"
+      "a_exception(X) :- special(X).\n"
+      "c(X) :- b(X), not d_source(X).\n"
+      "d_source(X) :- a(X), special(X).");
+  Database db;
+  MakeFact(&db, "base", {"x"});
+  MakeFact(&db, "base", {"y"});
+  MakeFact(&db, "special", {"y"});
+  ASSERT_TRUE(EvaluateSemiNaive(p, &db).ok());
+  EXPECT_EQ(db.Find("b")->DebugString(db.symbols()), "b(x)\n");
+  EXPECT_EQ(db.Find("c")->DebugString(db.symbols()), "c(x)\n");
+}
+
+}  // namespace
+}  // namespace seprec

@@ -1,0 +1,138 @@
+#include "datalog/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace seprec {
+namespace {
+
+TEST(Parser, FactAndRule) {
+  auto unit = ParseUnit("edge(a, b).\ntc(X, Y) :- edge(X, Y).");
+  ASSERT_TRUE(unit.ok()) << unit.status().ToString();
+  ASSERT_EQ(unit->program.rules.size(), 2u);
+  const Rule& fact = unit->program.rules[0];
+  EXPECT_EQ(fact.head.predicate, "edge");
+  EXPECT_TRUE(fact.body.empty());
+  EXPECT_TRUE(fact.head.IsGround());
+  const Rule& rule = unit->program.rules[1];
+  EXPECT_EQ(rule.head.predicate, "tc");
+  ASSERT_EQ(rule.body.size(), 1u);
+  EXPECT_EQ(rule.body[0].atom.predicate, "edge");
+}
+
+TEST(Parser, PaperAmpersandBodies) {
+  Program p = ParseProgramOrDie(
+      "buys(X, Y) :- friend(X, W) & buys(W, Y).");
+  ASSERT_EQ(p.rules.size(), 1u);
+  EXPECT_EQ(p.rules[0].body.size(), 2u);
+}
+
+TEST(Parser, QueriesBothSyntaxes) {
+  auto unit = ParseUnit("?- buys(tom, Y).\nbuys(tom, Z)?");
+  ASSERT_TRUE(unit.ok());
+  ASSERT_EQ(unit->queries.size(), 2u);
+  EXPECT_EQ(unit->queries[0].ToString(), "buys(tom, Y)");
+  EXPECT_EQ(unit->queries[1].ToString(), "buys(tom, Z)");
+}
+
+TEST(Parser, QuestionMarkWithTrailingPeriod) {
+  auto unit = ParseUnit("buys(tom, Y)? .");
+  ASSERT_TRUE(unit.ok());
+  EXPECT_EQ(unit->queries.size(), 1u);
+}
+
+TEST(Parser, TermKinds) {
+  Atom atom = ParseAtomOrDie("p(X, tom, 42, -3, 'Big Name')");
+  ASSERT_EQ(atom.arity(), 5u);
+  EXPECT_EQ(atom.args[0].kind, Term::Kind::kVariable);
+  EXPECT_EQ(atom.args[1].kind, Term::Kind::kSymbol);
+  EXPECT_EQ(atom.args[2].kind, Term::Kind::kInt);
+  EXPECT_EQ(atom.args[2].int_value, 42);
+  EXPECT_EQ(atom.args[3].int_value, -3);
+  EXPECT_EQ(atom.args[4].name, "Big Name");
+}
+
+TEST(Parser, PropositionalAtom) {
+  Program p = ParseProgramOrDie("raining.\nwet :- raining.");
+  EXPECT_EQ(p.rules[0].head.arity(), 0u);
+  EXPECT_EQ(p.rules[1].body[0].atom.predicate, "raining");
+}
+
+TEST(Parser, ComparisonLiterals) {
+  Program p = ParseProgramOrDie("p(X, Y) :- q(X, Y), X != Y, X < 10.");
+  ASSERT_EQ(p.rules[0].body.size(), 3u);
+  const Literal& ne = p.rules[0].body[1];
+  EXPECT_EQ(ne.kind, Literal::Kind::kCompare);
+  EXPECT_EQ(ne.cmp_op, CmpOp::kNe);
+  const Literal& lt = p.rules[0].body[2];
+  EXPECT_EQ(lt.cmp_op, CmpOp::kLt);
+  EXPECT_EQ(lt.cmp_rhs.int_value, 10);
+}
+
+TEST(Parser, EqualityBetweenConstantsAndVars) {
+  Program p = ParseProgramOrDie("p(X) :- q(X, Y), Y = tom.");
+  const Literal& eq = p.rules[0].body[1];
+  EXPECT_EQ(eq.kind, Literal::Kind::kCompare);
+  EXPECT_EQ(eq.cmp_op, CmpOp::kEq);
+  EXPECT_EQ(eq.cmp_rhs.name, "tom");
+}
+
+TEST(Parser, AssignmentWithPrecedence) {
+  Program p = ParseProgramOrDie("p(Z) :- q(X), Z is X * 2 + 1.");
+  const Literal& assign = p.rules[0].body[1];
+  ASSERT_EQ(assign.kind, Literal::Kind::kAssign);
+  EXPECT_EQ(assign.assign_var, "Z");
+  // Z is (X*2) + 1 — '+' at the root.
+  EXPECT_EQ(assign.expr.op, Expr::Op::kAdd);
+  EXPECT_EQ(assign.expr.lhs->op, Expr::Op::kMul);
+}
+
+TEST(Parser, ParenthesizedExpressions) {
+  Program p = ParseProgramOrDie("p(Z) :- q(X), Z is X * (2 + 1).");
+  const Literal& assign = p.rules[0].body[1];
+  EXPECT_EQ(assign.expr.op, Expr::Op::kMul);
+  EXPECT_EQ(assign.expr.rhs->op, Expr::Op::kAdd);
+}
+
+TEST(Parser, ModOperator) {
+  Program p = ParseProgramOrDie("p(Z) :- q(X), Z is X mod 3.");
+  EXPECT_EQ(p.rules[0].body[1].expr.op, Expr::Op::kMod);
+}
+
+TEST(Parser, ErrorMissingPeriod) {
+  EXPECT_FALSE(ParseProgram("p(X) :- q(X)").ok());
+}
+
+TEST(Parser, ErrorDanglingComma) {
+  EXPECT_FALSE(ParseProgram("p(X) :- q(X), .").ok());
+}
+
+TEST(Parser, ErrorEmptyArgList) {
+  EXPECT_FALSE(ParseProgram("p() :- q(X).").ok());
+}
+
+TEST(Parser, ErrorQueryInProgramText) {
+  EXPECT_FALSE(ParseProgram("p(a).\n?- p(X).").ok());
+}
+
+TEST(Parser, ParseAtomRejectsRule) {
+  EXPECT_FALSE(ParseAtom("p(X) :- q(X)").ok());
+}
+
+TEST(Parser, ToStringRoundTrip) {
+  const std::string text =
+      "buys(X, Y) :- friend(X, W), buys(W, Y).\n"
+      "t(X) :- a(X, Y), Y != b, X < 3, Z is X + 1, p(Z).\n";
+  Program p1 = ParseProgramOrDie(text);
+  Program p2 = ParseProgramOrDie(p1.ToString());
+  EXPECT_EQ(p1.ToString(), p2.ToString());
+}
+
+TEST(Parser, RulesForFindsByPredicate) {
+  Program p = ParseProgramOrDie("p(a).\nq(b).\np(X) :- q(X).");
+  EXPECT_EQ(p.RulesFor("p").size(), 2u);
+  EXPECT_EQ(p.RulesFor("q").size(), 1u);
+  EXPECT_TRUE(p.RulesFor("r").empty());
+}
+
+}  // namespace
+}  // namespace seprec

@@ -1,0 +1,173 @@
+#include "core/provenance.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "eval/fixpoint.h"
+#include "gen/generators.h"
+#include "gen/workloads.h"
+
+namespace seprec {
+namespace {
+
+TEST(Provenance, BaseFactIsLeaf) {
+  Database db;
+  MakeChain(&db, "edge", "v", 4);
+  ASSERT_TRUE(EvaluateSemiNaive(TransitiveClosureProgram(), &db).ok());
+  auto node = ExplainTuple(TransitiveClosureProgram(), &db,
+                           ParseAtomOrDie("edge(v0, v1)"));
+  ASSERT_TRUE(node.ok()) << node.status().ToString();
+  EXPECT_TRUE(node->rule.empty());
+  EXPECT_TRUE(node->premises.empty());
+  EXPECT_EQ(node->Size(), 1u);
+}
+
+TEST(Provenance, TransitiveChainDerivation) {
+  Database db;
+  MakeChain(&db, "edge", "v", 5);
+  ASSERT_TRUE(EvaluateSemiNaive(TransitiveClosureProgram(), &db).ok());
+  auto node = ExplainTuple(TransitiveClosureProgram(), &db,
+                           ParseAtomOrDie("tc(v0, v4)"));
+  ASSERT_TRUE(node.ok()) << node.status().ToString();
+  // tc(v0,v4) <- edge(v0,v1), tc(v1,v4) <- ... : 4 edges + 4 tc nodes.
+  EXPECT_EQ(node->fact.ToString(), "tc(v0, v4)");
+  EXPECT_FALSE(node->rule.empty());
+  EXPECT_EQ(node->Size(), 8u);
+  std::string text = node->ToString();
+  EXPECT_NE(text.find("edge(v0, v1)   [fact]"), std::string::npos) << text;
+  EXPECT_NE(text.find("tc(v3, v4)"), std::string::npos) << text;
+}
+
+TEST(Provenance, MissingTupleIsNotFound) {
+  Database db;
+  MakeChain(&db, "edge", "v", 4);
+  ASSERT_TRUE(EvaluateSemiNaive(TransitiveClosureProgram(), &db).ok());
+  auto node = ExplainTuple(TransitiveClosureProgram(), &db,
+                           ParseAtomOrDie("tc(v3, v0)"));
+  EXPECT_FALSE(node.ok());
+  EXPECT_EQ(node.status().code(), StatusCode::kNotFound);
+  auto ghost = ExplainTuple(TransitiveClosureProgram(), &db,
+                            ParseAtomOrDie("tc(ghost, v0)"));
+  EXPECT_EQ(ghost.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Provenance, NonGroundRejected) {
+  Database db;
+  auto node = ExplainTuple(TransitiveClosureProgram(), &db,
+                           ParseAtomOrDie("tc(v0, Y)"));
+  EXPECT_EQ(node.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Provenance, WorksOnCyclicData) {
+  // Every well-founded derivation exists even though tuples support each
+  // other cyclically in the fixpoint.
+  Database db;
+  MakeCycle(&db, "edge", "v", 4);
+  ASSERT_TRUE(EvaluateSemiNaive(TransitiveClosureProgram(), &db).ok());
+  for (const char* atom : {"tc(v0, v0)", "tc(v2, v1)", "tc(v3, v3)"}) {
+    auto node = ExplainTuple(TransitiveClosureProgram(), &db,
+                             ParseAtomOrDie(atom));
+    ASSERT_TRUE(node.ok()) << atom << ": " << node.status().ToString();
+    EXPECT_GE(node->Size(), 3u);
+  }
+}
+
+TEST(Provenance, MultiRuleRecursionPicksSomeWitness) {
+  Database db;
+  MakeExample11Data(&db, 6);
+  ASSERT_TRUE(EvaluateSemiNaive(Example11Program(), &db).ok());
+  auto node = ExplainTuple(Example11Program(), &db,
+                           ParseAtomOrDie("buys(a0, b)"));
+  ASSERT_TRUE(node.ok()) << node.status().ToString();
+  // Chain of 6 people then perfectFor: 6 buys nodes + 6 premises.
+  EXPECT_EQ(node->fact.ToString(), "buys(a0, b)");
+  std::string text = node->ToString();
+  EXPECT_NE(text.find("perfectFor(a5, b)   [fact]"), std::string::npos)
+      << text;
+}
+
+TEST(Provenance, NegatedPremisesShownAsAbsent) {
+  Program p = ParseProgramOrDie(
+      "ok(X) :- person(X), not banned(X).");
+  Database db;
+  MakeFact(&db, "person", {"ann"});
+  MakeFact(&db, "person", {"bob"});
+  MakeFact(&db, "banned", {"bob"});
+  ASSERT_TRUE(EvaluateSemiNaive(p, &db).ok());
+  auto node = ExplainTuple(p, &db, ParseAtomOrDie("ok(ann)"));
+  ASSERT_TRUE(node.ok()) << node.status().ToString();
+  ASSERT_EQ(node->premises.size(), 2u);
+  EXPECT_FALSE(node->premises[0].negated);
+  EXPECT_TRUE(node->premises[1].negated);
+  EXPECT_NE(node->ToString().find("not banned(ann)   [absent]"),
+            std::string::npos);
+}
+
+TEST(Provenance, BuiltinRulesExplainable) {
+  Program p = ParseProgramOrDie(
+      "n(0).\n"
+      "n(Y) :- n(X), X < 5, Y is X + 1.");
+  Database db;
+  ASSERT_TRUE(EvaluateSemiNaive(p, &db).ok());
+  auto node = ExplainTuple(p, &db, ParseAtomOrDie("n(3)"));
+  ASSERT_TRUE(node.ok()) << node.status().ToString();
+  EXPECT_EQ(node->Size(), 4u);  // n(3) <- n(2) <- n(1) <- n(0)
+}
+
+TEST(Provenance, StratifiedTower) {
+  Program p = ParseProgramOrDie(
+      "node(X) :- edge(X, Y).\n"
+      "node(Y) :- edge(X, Y).\n"
+      "reach(X) :- start(X).\n"
+      "reach(Y) :- reach(X), edge(X, Y).\n"
+      "unreach(X) :- node(X), not reach(X).");
+  Database db;
+  MakeChain(&db, "edge", "v", 3);
+  MakeChain(&db, "edge", "w", 2);
+  MakeFact(&db, "start", {"v0"});
+  ASSERT_TRUE(EvaluateSemiNaive(p, &db).ok());
+  auto node = ExplainTuple(p, &db, ParseAtomOrDie("unreach(w1)"));
+  ASSERT_TRUE(node.ok()) << node.status().ToString();
+  std::string text = node->ToString();
+  EXPECT_NE(text.find("not reach(w1)   [absent]"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("node(w1)"), std::string::npos);
+}
+
+TEST(Provenance, ExpansionBudget) {
+  Database db;
+  MakeRandomGraph(&db, "edge", "v", 30, 90, 4);
+  ASSERT_TRUE(EvaluateSemiNaive(TransitiveClosureProgram(), &db).ok());
+  // Find some derivable tuple to explain.
+  const Relation* tc = db.Find("tc");
+  ASSERT_GT(tc->size(), 0u);
+  Row row = tc->row(tc->size() / 2);
+  Atom atom;
+  atom.predicate = "tc";
+  for (Value v : row) {
+    atom.args.push_back(Term::Sym(db.symbols().ToString(v)));
+  }
+  ProvenanceOptions tiny;
+  tiny.max_expansions = 1;
+  auto node = ExplainTuple(TransitiveClosureProgram(), &db, atom, tiny);
+  // Either it found a 1-step witness or it exhausted the budget — both
+  // acceptable; it must not loop.
+  if (!node.ok()) {
+    EXPECT_EQ(node.status().code(), StatusCode::kResourceExhausted);
+  }
+}
+
+TEST(Provenance, FactWithHeadConstants) {
+  Program p = ParseProgramOrDie(
+      "status(server1, up).\n"
+      "alive(X) :- status(X, up).");
+  Database db;
+  ASSERT_TRUE(EvaluateSemiNaive(p, &db).ok());
+  auto node = ExplainTuple(p, &db, ParseAtomOrDie("alive(server1)"));
+  ASSERT_TRUE(node.ok()) << node.status().ToString();
+  ASSERT_EQ(node->premises.size(), 1u);
+  EXPECT_EQ(node->premises[0].fact.ToString(), "status(server1, up)");
+}
+
+}  // namespace
+}  // namespace seprec

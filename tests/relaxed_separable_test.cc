@@ -1,0 +1,138 @@
+// Section 5: relaxing condition 4 keeps the Separable algorithm correct
+// but costs the selection's focus.
+#include <gtest/gtest.h>
+
+#include "core/compiler.h"
+#include "core/query.h"
+#include "datalog/parser.h"
+#include "eval/fixpoint.h"
+#include "gen/generators.h"
+#include "separable/detection.h"
+#include "separable/engine.h"
+
+namespace seprec {
+namespace {
+
+// The paper's Section 5 example: removing t leaves a(X, W) and b(Z, Y) —
+// two components.
+Program Section5Program() {
+  return ParseProgramOrDie(
+      "t(X, Y) :- a(X, W) & t(W, Z) & b(Z, Y).\n"
+      "t(X, Y) :- t0(X, Y).");
+}
+
+void LoadSection5Data(Database* db, size_t n) {
+  MakeChain(db, "a", "x", n);
+  MakeChain(db, "b", "y", n);
+  MakeFact(db, "t0", {NodeName("x", n - 1), NodeName("y", 0)});
+}
+
+Answer ReferenceAnswer(const Program& program, const Atom& query,
+                       Database* db) {
+  Status status = EvaluateSemiNaive(program, db);
+  SEPREC_CHECK(status.ok());
+  return SelectMatching(*db->Find(query.predicate), query, db->symbols());
+}
+
+TEST(RelaxedSeparable, StrictDetectionRejects) {
+  EXPECT_FALSE(IsSeparable(Section5Program(), "t"));
+}
+
+TEST(RelaxedSeparable, RelaxedDetectionAccepts) {
+  SeparabilityOptions options;
+  options.require_connected_bodies = false;
+  auto sep = AnalyzeSeparable(Section5Program(), "t", options);
+  ASSERT_TRUE(sep.ok()) << sep.status().ToString();
+  // One class covering both columns (the a/b parts touch columns 0 and 1
+  // and t^h = t^b = {0, 1}).
+  ASSERT_EQ(sep->classes.size(), 1u);
+  EXPECT_EQ(sep->classes[0].positions, (std::vector<uint32_t>{0, 1}));
+}
+
+TEST(RelaxedSeparable, CorrectOnPartialSelection) {
+  SeparabilityOptions options;
+  options.require_connected_bodies = false;
+  auto sep = AnalyzeSeparable(Section5Program(), "t", options);
+  ASSERT_TRUE(sep.ok());
+  for (size_t n : {3u, 5u, 8u}) {
+    Database db1, db2;
+    LoadSection5Data(&db1, n);
+    LoadSection5Data(&db2, n);
+    Atom query = ParseAtomOrDie("t(x0, Y)");
+    auto run = EvaluateWithSeparable(Section5Program(), *sep, query, &db1);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    Answer expected = ReferenceAnswer(Section5Program(), query, &db2);
+    EXPECT_EQ(run->answer, expected) << "n=" << n;
+    EXPECT_FALSE(run->answer.empty()) << "n=" << n;
+  }
+}
+
+TEST(RelaxedSeparable, CorrectOnFullSelection) {
+  SeparabilityOptions options;
+  options.require_connected_bodies = false;
+  auto sep = AnalyzeSeparable(Section5Program(), "t", options);
+  ASSERT_TRUE(sep.ok());
+  Database db1, db2;
+  LoadSection5Data(&db1, 6);
+  LoadSection5Data(&db2, 6);
+  Atom query = ParseAtomOrDie("t(x0, y5)");
+  auto run = EvaluateWithSeparable(Section5Program(), *sep, query, &db1);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->answer, ReferenceAnswer(Section5Program(), query, &db2));
+  EXPECT_EQ(run->answer.size(), 1u);
+}
+
+TEST(RelaxedSeparable, LosesFocusButStaysCorrect) {
+  // The paper: "we will examine the entire b relation". With the
+  // selection on column 0 only, the binding evaluation must touch every b
+  // tuple: the bindings relation is Omega(|b|).
+  SeparabilityOptions options;
+  options.require_connected_bodies = false;
+  auto sep = AnalyzeSeparable(Section5Program(), "t", options);
+  ASSERT_TRUE(sep.ok());
+  Database db;
+  LoadSection5Data(&db, 30);
+  Atom query = ParseAtomOrDie("t(x0, Y)");
+  auto run = EvaluateWithSeparable(Section5Program(), *sep, query, &db);
+  ASSERT_TRUE(run.ok());
+  ASSERT_TRUE(run->used_partial_rewrite);
+  EXPECT_GE(run->stats.relation_sizes.at("bindings"), 29u);
+}
+
+TEST(RelaxedSeparable, ProcessorOptionWiresThrough) {
+  ProcessorOptions options;
+  options.separability.require_connected_bodies = false;
+  auto qp = QueryProcessor::Create(Section5Program(), options);
+  ASSERT_TRUE(qp.ok());
+  EXPECT_NE(qp->FindSeparable("t"), nullptr);
+  EXPECT_EQ(qp->Decide(ParseAtomOrDie("t(x0, Y)")).strategy,
+            Strategy::kSeparable);
+  // Default (strict) processor falls back to Magic.
+  auto strict = QueryProcessor::Create(Section5Program());
+  ASSERT_TRUE(strict.ok());
+  EXPECT_EQ(strict->Decide(ParseAtomOrDie("t(x0, Y)")).strategy,
+            Strategy::kMagic);
+}
+
+TEST(RelaxedSeparable, RandomDataAgreement) {
+  SeparabilityOptions options;
+  options.require_connected_bodies = false;
+  auto sep = AnalyzeSeparable(Section5Program(), "t", options);
+  ASSERT_TRUE(sep.ok());
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Database db1, db2;
+    for (Database* db : {&db1, &db2}) {
+      MakeRandomGraph(db, "a", "n", 12, 20, seed);
+      MakeRandomGraph(db, "b", "n", 12, 20, seed + 50);
+      MakeRandomGraph(db, "t0", "n", 12, 10, seed + 100);
+    }
+    Atom query = ParseAtomOrDie("t(n0, Y)");
+    auto run = EvaluateWithSeparable(Section5Program(), *sep, query, &db1);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_EQ(run->answer, ReferenceAnswer(Section5Program(), query, &db2))
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace seprec

@@ -1,0 +1,392 @@
+#include "separable/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/query.h"
+#include "datalog/parser.h"
+#include "eval/fixpoint.h"
+#include "gen/generators.h"
+#include "gen/workloads.h"
+
+namespace seprec {
+namespace {
+
+Answer ReferenceAnswer(const Program& program, const Atom& query,
+                       Database* db) {
+  Status status = EvaluateSemiNaive(program, db);
+  SEPREC_CHECK(status.ok());
+  const Relation* rel = db->Find(query.predicate);
+  SEPREC_CHECK(rel != nullptr);
+  return SelectMatching(*rel, query, db->symbols());
+}
+
+TEST(SelectionClassification, Definitions) {
+  auto sep11 = AnalyzeSeparable(Example11Program(), "buys");
+  ASSERT_TRUE(sep11.ok());
+  // Column 0 is the class, column 1 persistent: any single constant is a
+  // full selection (Example 2.4's remark).
+  EXPECT_EQ(ClassifySelection(*sep11, ParseAtomOrDie("buys(tom, Y)")),
+            SelectionKind::kFull);
+  EXPECT_EQ(ClassifySelection(*sep11, ParseAtomOrDie("buys(X, prod)")),
+            SelectionKind::kFull);
+  EXPECT_EQ(ClassifySelection(*sep11, ParseAtomOrDie("buys(X, Y)")),
+            SelectionKind::kNoConstants);
+
+  auto sep24 = AnalyzeSeparable(Example24Program(), "t");
+  ASSERT_TRUE(sep24.ok());
+  // t(c, Y, Z)? binds one of class {0,1}'s two columns: partial.
+  EXPECT_EQ(ClassifySelection(*sep24, ParseAtomOrDie("t(c, Y, Z)")),
+            SelectionKind::kPartial);
+  EXPECT_EQ(ClassifySelection(*sep24, ParseAtomOrDie("t(c, d, Z)")),
+            SelectionKind::kFull);
+  EXPECT_EQ(ClassifySelection(*sep24, ParseAtomOrDie("t(X, Y, c)")),
+            SelectionKind::kFull);
+}
+
+TEST(SeparableEngine, Example11FullSelection) {
+  Database db;
+  MakeExample11Data(&db, 10);
+  auto run = EvaluateWithSeparable(Example11Program(),
+                                   ParseAtomOrDie("buys(a0, Y)"), &db);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_EQ(run->answer.size(), 1u);
+  EXPECT_EQ(run->answer.ToStrings(db.symbols())[0], "(a0, b)");
+  EXPECT_FALSE(run->used_partial_rewrite);
+  EXPECT_EQ(run->schema_runs, 1u);
+}
+
+TEST(SeparableEngine, Example11RelationsAreLinear) {
+  // Lemma 4.1 / Section 4: only monadic relations, O(n) tuples.
+  for (size_t n : {8u, 16u, 32u}) {
+    Database db;
+    MakeExample11Data(&db, n);
+    auto run = EvaluateWithSeparable(Example11Program(),
+                                     ParseAtomOrDie("buys(a0, Y)"), &db);
+    ASSERT_TRUE(run.ok());
+    EXPECT_EQ(run->stats.relation_sizes.at("seen_1"), n);
+    EXPECT_LE(run->stats.max_relation_size, n);
+  }
+}
+
+TEST(SeparableEngine, Example11PersistentColumnSelection) {
+  // buys(X, b)? binds the persistent column: the dummy-class path.
+  Database db1, db2;
+  MakeExample11Data(&db1, 10);
+  MakeExample11Data(&db2, 10);
+  Atom query = ParseAtomOrDie("buys(X, b)");
+  auto run = EvaluateWithSeparable(Example11Program(), query, &db1);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  Answer expected = ReferenceAnswer(Example11Program(), query, &db2);
+  EXPECT_EQ(run->answer, expected);
+  // Everyone a0..a9 buys b.
+  EXPECT_EQ(run->answer.size(), 10u);
+}
+
+TEST(SeparableEngine, Example12TwoClasses) {
+  Database db1, db2;
+  MakeExample12Data(&db1, 8);
+  MakeExample12Data(&db2, 8);
+  Atom query = ParseAtomOrDie("buys(a0, Y)");
+  auto run = EvaluateWithSeparable(Example12Program(), query, &db1);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  Answer expected = ReferenceAnswer(Example12Program(), query, &db2);
+  EXPECT_EQ(run->answer, expected);
+  // a0 buys b7 (via friends) and everything cheaper: b0..b7.
+  EXPECT_EQ(run->answer.size(), 8u);
+}
+
+TEST(SeparableEngine, Example12StaysLinear) {
+  for (size_t n : {8u, 16u, 32u}) {
+    Database db;
+    MakeExample12Data(&db, n);
+    auto run = EvaluateWithSeparable(Example12Program(),
+                                     ParseAtomOrDie("buys(a0, Y)"), &db);
+    ASSERT_TRUE(run.ok());
+    // All carry/seen relations are monadic with at most n entries.
+    EXPECT_LE(run->stats.max_relation_size, n);
+  }
+}
+
+TEST(SeparableEngine, SecondClassSelection) {
+  // Bind the cheaper-class column instead: buys(X, b0)?.
+  Database db1, db2;
+  MakeExample12Data(&db1, 6);
+  MakeExample12Data(&db2, 6);
+  Atom query = ParseAtomOrDie("buys(X, b0)");
+  auto run = EvaluateWithSeparable(Example12Program(), query, &db1);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->answer, ReferenceAnswer(Example12Program(), query, &db2));
+}
+
+TEST(SeparableEngine, TerminatesOnCyclicData) {
+  // Lemma 3.4: Separable terminates on cyclic data (where Henschen-Naqvi
+  // style methods loop).
+  Database db1, db2;
+  MakeCycle(&db1, "edge", "v", 6);
+  MakeCycle(&db2, "edge", "v", 6);
+  Atom query = ParseAtomOrDie("tc(v2, Y)");
+  auto run = EvaluateWithSeparable(TransitiveClosureProgram(), query, &db1);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->answer,
+            ReferenceAnswer(TransitiveClosureProgram(), query, &db2));
+  EXPECT_EQ(run->answer.size(), 6u);
+}
+
+TEST(SeparableEngine, BothColumnsBoundBooleanQuery) {
+  Database db;
+  MakeChain(&db, "edge", "v", 8);
+  auto yes = EvaluateWithSeparable(TransitiveClosureProgram(),
+                                   ParseAtomOrDie("tc(v1, v6)"), &db);
+  ASSERT_TRUE(yes.ok()) << yes.status().ToString();
+  EXPECT_EQ(yes->answer.size(), 1u);
+  Database db2;
+  MakeChain(&db2, "edge", "v", 8);
+  auto no = EvaluateWithSeparable(TransitiveClosureProgram(),
+                                  ParseAtomOrDie("tc(v6, v1)"), &db2);
+  ASSERT_TRUE(no.ok());
+  EXPECT_TRUE(no->answer.empty());
+}
+
+TEST(SeparableEngine, Arity1Recursion) {
+  Program p = ParseProgramOrDie(
+      "reach(X) :- edge(Y, X) & reach(Y).\n"
+      "reach(X) :- source(X).");
+  Database db;
+  MakeChain(&db, "edge", "v", 6);
+  MakeFact(&db, "source", {"v0"});
+  // reach(v4)? — boolean membership through a unary recursion.
+  auto run = EvaluateWithSeparable(p, ParseAtomOrDie("reach(v4)"), &db);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->answer.size(), 1u);
+}
+
+TEST(SeparableEngine, RequiresSelectionConstant) {
+  Database db;
+  MakeExample11Data(&db, 4);
+  auto run = EvaluateWithSeparable(Example11Program(),
+                                   ParseAtomOrDie("buys(X, Y)"), &db);
+  EXPECT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SeparableEngine, ConstantAbsentFromDatabase) {
+  Database db;
+  MakeExample11Data(&db, 4);
+  auto run = EvaluateWithSeparable(Example11Program(),
+                                   ParseAtomOrDie("buys(stranger, Y)"), &db);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->answer.empty());
+}
+
+TEST(SeparableEngine, EmptyExitRelation) {
+  Database db;
+  MakeChain(&db, "friend", "a", 5);
+  MakeChain(&db, "idol", "a", 5);
+  ASSERT_TRUE(db.CreateRelation("perfectFor", 2).ok());
+  auto run = EvaluateWithSeparable(Example11Program(),
+                                   ParseAtomOrDie("buys(a0, Y)"), &db);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->answer.empty());
+  // Phase 1 still walked the friend/idol closure.
+  EXPECT_EQ(run->stats.relation_sizes.at("seen_1"), 5u);
+}
+
+TEST(SeparableEngine, PartialSelectionExample24) {
+  // The paper's Example 2.4: t(c, Y, Z)? binds half of class {0,1}.
+  for (size_t n : {3u, 5u, 8u}) {
+    Database db1, db2;
+    MakeExample24Data(&db1, n);
+    MakeExample24Data(&db2, n);
+    Atom query = ParseAtomOrDie("t(x0, Y, Z)");
+    auto run = EvaluateWithSeparable(Example24Program(), query, &db1);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_TRUE(run->used_partial_rewrite);
+    EXPECT_GE(run->schema_runs, 1u);
+    Answer expected = ReferenceAnswer(Example24Program(), query, &db2);
+    EXPECT_EQ(run->answer, expected) << "n=" << n;
+    EXPECT_FALSE(run->answer.empty());
+  }
+}
+
+TEST(SeparableEngine, PartialSelectionSecondComponent) {
+  // Bind column 1 instead of column 0: still partial on class {0,1}.
+  Database db1, db2;
+  MakeExample24Data(&db1, 5);
+  MakeExample24Data(&db2, 5);
+  Atom query = ParseAtomOrDie("t(X, y0, Z)");
+  auto run = EvaluateWithSeparable(Example24Program(), query, &db1);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->answer, ReferenceAnswer(Example24Program(), query, &db2));
+}
+
+TEST(SeparableEngine, FullSelectionOnWideClass) {
+  // Binding both columns of class {0,1} is full.
+  Database db1, db2;
+  MakeExample24Data(&db1, 5);
+  MakeExample24Data(&db2, 5);
+  Atom query = ParseAtomOrDie("t(x0, y0, Z)");
+  auto run = EvaluateWithSeparable(Example24Program(), query, &db1);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_FALSE(run->used_partial_rewrite);
+  EXPECT_EQ(run->answer, ReferenceAnswer(Example24Program(), query, &db2));
+}
+
+TEST(SeparableEngine, ThreeClassesWalkBothPhases) {
+  Program p = ParseProgramOrDie(
+      "t(A, B, C) :- f(A, W) & t(W, B, C).\n"
+      "t(A, B, C) :- g(B, W) & t(A, W, C).\n"
+      "t(A, B, C) :- h(C, W) & t(A, B, W).\n"
+      "t(A, B, C) :- t0(A, B, C).");
+  Database db1, db2;
+  for (Database* db : {&db1, &db2}) {
+    MakeChain(db, "f", "p", 4);
+    MakeChain(db, "g", "q", 4);
+    MakeChain(db, "h", "r", 4);
+    MakeFact(db, "t0", {"p3", "q3", "r3"});
+  }
+  Atom query = ParseAtomOrDie("t(p0, Y, Z)");
+  auto run = EvaluateWithSeparable(p, query, &db1);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  Answer expected = ReferenceAnswer(p, query, &db2);
+  EXPECT_EQ(run->answer, expected);
+  // g and h walk backwards from q3/r3: 4*4 combinations.
+  EXPECT_EQ(run->answer.size(), 16u);
+}
+
+TEST(SeparableEngine, ExtraConstantActsAsPostFilter) {
+  // Query binds class column AND the persistent column.
+  Database db1, db2;
+  MakeExample11Data(&db1, 6);
+  MakeExample11Data(&db2, 6);
+  Atom query = ParseAtomOrDie("buys(a0, b)");
+  auto run = EvaluateWithSeparable(Example11Program(), query, &db1);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->answer, ReferenceAnswer(Example11Program(), query, &db2));
+  EXPECT_EQ(run->answer.size(), 1u);
+}
+
+TEST(SeparableEngine, MultipleExitRules) {
+  Program p = ParseProgramOrDie(
+      "t(X, Y) :- e(X, W) & t(W, Y).\n"
+      "t(X, Y) :- base1(X, Y).\n"
+      "t(X, Y) :- base2(X, Y).");
+  Database db1, db2;
+  for (Database* db : {&db1, &db2}) {
+    MakeChain(db, "e", "v", 5);
+    MakeFact(db, "base1", {"v4", "endA"});
+    MakeFact(db, "base2", {"v2", "endB"});
+  }
+  Atom query = ParseAtomOrDie("t(v0, Y)");
+  auto run = EvaluateWithSeparable(p, query, &db1);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->answer, ReferenceAnswer(p, query, &db2));
+  EXPECT_EQ(run->answer.size(), 2u);
+}
+
+TEST(SeparableEngine, ExitRuleWithJoinBody) {
+  Program p = ParseProgramOrDie(
+      "t(X, Y) :- e(X, W) & t(W, Y).\n"
+      "t(X, Y) :- owns(X, U) & madeBy(U, Y).");
+  Database db1, db2;
+  for (Database* db : {&db1, &db2}) {
+    MakeChain(db, "e", "v", 4);
+    MakeFact(db, "owns", {"v3", "widget"});
+    MakeFact(db, "madeBy", {"widget", "acme"});
+  }
+  Atom query = ParseAtomOrDie("t(v0, Y)");
+  auto run = EvaluateWithSeparable(p, query, &db1);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->answer.size(), 1u);
+  EXPECT_EQ(run->answer, ReferenceAnswer(p, query, &db2));
+}
+
+TEST(SeparableEngine, SupportIdbMaterialised) {
+  Program p = ParseProgramOrDie(
+      "e(X, Y) :- raw(X, Y).\n"
+      "e(X, Y) :- raw(Y, X).\n"
+      "t(X, Y) :- e(X, W) & t(W, Y).\n"
+      "t(X, Y) :- e(X, Y).");
+  Database db1, db2;
+  MakeChain(&db1, "raw", "v", 5);
+  MakeChain(&db2, "raw", "v", 5);
+  Atom query = ParseAtomOrDie("t(v2, Y)");
+  auto run = EvaluateWithSeparable(p, query, &db1);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->answer, ReferenceAnswer(p, query, &db2));
+  // Undirected reachability from v2 covers every node.
+  EXPECT_EQ(run->answer.size(), 5u);
+}
+
+TEST(SeparableEngine, RandomGraphAgreement) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Database db1, db2;
+    MakeRandomGraph(&db1, "friend", "p", 15, 25, seed);
+    MakeRandomGraph(&db1, "idol", "p", 15, 20, seed + 100);
+    MakeRandomGraph(&db1, "perfectFor", "p", 15, 10, seed + 200);
+    MakeRandomGraph(&db2, "friend", "p", 15, 25, seed);
+    MakeRandomGraph(&db2, "idol", "p", 15, 20, seed + 100);
+    MakeRandomGraph(&db2, "perfectFor", "p", 15, 10, seed + 200);
+    Atom query = ParseAtomOrDie("buys(p0, Y)");
+    auto run = EvaluateWithSeparable(Example11Program(), query, &db1);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_EQ(run->answer, ReferenceAnswer(Example11Program(), query, &db2))
+        << "seed=" << seed;
+  }
+}
+
+TEST(SeparableEngine, StatsNameTheSchemaRelations) {
+  Database db;
+  MakeExample12Data(&db, 6);
+  auto run = EvaluateWithSeparable(Example12Program(),
+                                   ParseAtomOrDie("buys(a0, Y)"), &db);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->stats.relation_sizes.count("carry_1"));
+  EXPECT_TRUE(run->stats.relation_sizes.count("seen_1"));
+  EXPECT_TRUE(run->stats.relation_sizes.count("carry_2"));
+  EXPECT_TRUE(run->stats.relation_sizes.count("seen_2"));
+  EXPECT_EQ(run->stats.algorithm, "separable");
+  EXPECT_GT(run->stats.iterations, 0u);
+}
+
+TEST(ExplainSchema, Figure3Shape) {
+  auto sep = AnalyzeSeparable(Example11Program(), "buys");
+  ASSERT_TRUE(sep.ok());
+  auto text = ExplainSchema(*sep, ParseAtomOrDie("buys(tom, Y)"));
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("carry_1(tom);"), std::string::npos) << *text;
+  EXPECT_NE(text->find("while carry_1 not empty do"), std::string::npos);
+  EXPECT_NE(text->find("friend"), std::string::npos);
+  EXPECT_NE(text->find("idol"), std::string::npos);
+  EXPECT_NE(text->find("ans("), std::string::npos);
+  // Example 1.1 has no second-phase loop (single class).
+  EXPECT_EQ(text->find("while carry_2"), std::string::npos);
+}
+
+TEST(ExplainSchema, Figure4Shape) {
+  auto sep = AnalyzeSeparable(Example12Program(), "buys");
+  ASSERT_TRUE(sep.ok());
+  auto text = ExplainSchema(*sep, ParseAtomOrDie("buys(tom, Y)"));
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("while carry_1 not empty do"), std::string::npos);
+  EXPECT_NE(text->find("while carry_2 not empty do"), std::string::npos);
+  EXPECT_NE(text->find("cheaper"), std::string::npos);
+}
+
+TEST(ExplainSchema, DummyClassForPersistentSelection) {
+  auto sep = AnalyzeSeparable(Example11Program(), "buys");
+  ASSERT_TRUE(sep.ok());
+  auto text = ExplainSchema(*sep, ParseAtomOrDie("buys(X, prod)"));
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("seen_1(prod)"), std::string::npos) << *text;
+  EXPECT_NE(text->find("dummy equivalence class"), std::string::npos);
+}
+
+TEST(ExplainSchema, RejectsPartialAndUnbound) {
+  auto sep = AnalyzeSeparable(Example24Program(), "t");
+  ASSERT_TRUE(sep.ok());
+  EXPECT_FALSE(ExplainSchema(*sep, ParseAtomOrDie("t(c, Y, Z)")).ok());
+  EXPECT_FALSE(ExplainSchema(*sep, ParseAtomOrDie("t(X, Y, Z)")).ok());
+}
+
+}  // namespace
+}  // namespace seprec

@@ -1,0 +1,110 @@
+#include "storage/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "gen/generators.h"
+
+namespace seprec {
+namespace {
+
+TEST(Snapshot, RoundTripMixedTypes) {
+  Database db;
+  Relation* r = *db.CreateRelation("mixed", 3);
+  r->Insert({db.symbols().Intern("tom"), Value::Int(42),
+             db.symbols().Intern("42")});
+  r->Insert({db.symbols().Intern("with\ttab"), Value::Int(-7),
+             db.symbols().Intern("line\nbreak")});
+  ASSERT_TRUE(db.AddFact("plain", {"a", "b"}).ok());
+
+  std::ostringstream out;
+  ASSERT_TRUE(SaveSnapshot(db, out).ok());
+
+  Database restored;
+  std::istringstream in(out.str());
+  ASSERT_TRUE(LoadSnapshot(&restored, in).ok());
+
+  ASSERT_NE(restored.Find("mixed"), nullptr);
+  EXPECT_EQ(restored.Find("mixed")->size(), 2u);
+  EXPECT_EQ(restored.Find("plain")->size(), 1u);
+  // The integer 42 and the symbol "42" stay distinct.
+  Row row0 = restored.Find("mixed")->row(0);
+  EXPECT_TRUE(row0[1].is_int());
+  EXPECT_TRUE(row0[2].is_symbol());
+  EXPECT_EQ(restored.symbols().ToString(row0[2]), "42");
+  // Escaped symbols round-trip.
+  EXPECT_EQ(restored.Find("mixed")->DebugString(restored.symbols()),
+            db.Find("mixed")->DebugString(db.symbols()));
+}
+
+TEST(Snapshot, ZeroArityRelation) {
+  Database db;
+  Relation* p = *db.CreateRelation("flag", 0);
+  p->Insert(Row{});
+  std::ostringstream out;
+  ASSERT_TRUE(SaveSnapshot(db, out).ok());
+  Database restored;
+  std::istringstream in(out.str());
+  ASSERT_TRUE(LoadSnapshot(&restored, in).ok());
+  ASSERT_NE(restored.Find("flag"), nullptr);
+  EXPECT_EQ(restored.Find("flag")->size(), 1u);
+}
+
+TEST(Snapshot, EmptyRelationsPreserved) {
+  Database db;
+  ASSERT_TRUE(db.CreateRelation("empty", 2).ok());
+  std::ostringstream out;
+  ASSERT_TRUE(SaveSnapshot(db, out).ok());
+  Database restored;
+  std::istringstream in(out.str());
+  ASSERT_TRUE(LoadSnapshot(&restored, in).ok());
+  ASSERT_NE(restored.Find("empty"), nullptr);
+  EXPECT_EQ(restored.Find("empty")->size(), 0u);
+  EXPECT_EQ(restored.Find("empty")->arity(), 2u);
+}
+
+TEST(Snapshot, RejectsGarbage) {
+  Database db;
+  std::istringstream bad1("not a snapshot\n");
+  EXPECT_FALSE(LoadSnapshot(&db, bad1).ok());
+  std::istringstream bad2("seprec-snapshot v1\ns:x\nend\n");
+  EXPECT_FALSE(LoadSnapshot(&db, bad2).ok());  // tuple before header
+  std::istringstream bad3(
+      "seprec-snapshot v1\nrelation r 1\nz:oops\nend\n");
+  EXPECT_FALSE(LoadSnapshot(&db, bad3).ok());  // bad tag
+  std::istringstream bad4("seprec-snapshot v1\nrelation r 1\ns:x\n");
+  EXPECT_FALSE(LoadSnapshot(&db, bad4).ok());  // truncated
+  std::istringstream bad5(
+      "seprec-snapshot v1\nrelation r 1\ns:x\ts:y\nend\n");
+  EXPECT_FALSE(LoadSnapshot(&db, bad5).ok());  // arity mismatch
+}
+
+TEST(Snapshot, FileRoundTrip) {
+  Database db;
+  MakeChain(&db, "edge", "v", 10);
+  const std::string path = ::testing::TempDir() + "/seprec_snapshot.txt";
+  ASSERT_TRUE(SaveSnapshotFile(db, path).ok());
+  Database restored;
+  ASSERT_TRUE(LoadSnapshotFile(&restored, path).ok());
+  EXPECT_EQ(restored.Find("edge")->DebugString(restored.symbols()),
+            db.Find("edge")->DebugString(db.symbols()));
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadSnapshotFile(&restored, "/no/such/file").ok());
+}
+
+TEST(Snapshot, LargeDatabase) {
+  Database db;
+  MakeRandomGraph(&db, "e1", "v", 50, 400, 1);
+  MakeRandomGraph(&db, "e2", "w", 50, 400, 2);
+  std::ostringstream out;
+  ASSERT_TRUE(SaveSnapshot(db, out).ok());
+  Database restored;
+  std::istringstream in(out.str());
+  ASSERT_TRUE(LoadSnapshot(&restored, in).ok());
+  EXPECT_EQ(restored.TotalTuples(), db.TotalTuples());
+}
+
+}  // namespace
+}  // namespace seprec

@@ -1,0 +1,78 @@
+// Tests for the small utility layer: hashing, strings, timer.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/hash.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace seprec {
+namespace {
+
+TEST(Hash, CombineIsOrderSensitive) {
+  uint64_t ab = HashCombine(HashCombine(0, 1), 2);
+  uint64_t ba = HashCombine(HashCombine(0, 2), 1);
+  EXPECT_NE(ab, ba);
+}
+
+TEST(Hash, WordsDistinguishLengthAndContent) {
+  uint64_t a[] = {1, 2, 3};
+  uint64_t b[] = {1, 2, 4};
+  EXPECT_NE(HashWords(a, 3), HashWords(b, 3));
+  EXPECT_NE(HashWords(a, 2), HashWords(a, 3));
+}
+
+TEST(Hash, MixBitsSpreadsSmallInputs) {
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    seen.insert(MixBits(i));
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Strings, Split) {
+  EXPECT_EQ(StrSplit("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(StrSplit("nosep", ','), (std::vector<std::string>{"nosep"}));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(StrJoin({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"one"}, ","), "one");
+}
+
+TEST(Strings, Strip) {
+  EXPECT_EQ(StripWhitespace("  x \t\n"), "x");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+  EXPECT_EQ(StripWhitespace("inner space"), "inner space");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("magic_tc_bf", "magic_"));
+  EXPECT_FALSE(StartsWith("ma", "magic_"));
+  EXPECT_TRUE(EndsWith("file.tsv", ".tsv"));
+  EXPECT_FALSE(EndsWith("tsv", ".tsv"));
+}
+
+TEST(Strings, StrCatMixedTypes) {
+  EXPECT_EQ(StrCat("n=", 42, ", f=", 1.5, '!'), "n=42, f=1.5!");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(Timer, MonotoneNonNegative) {
+  WallTimer timer;
+  double a = timer.Seconds();
+  double b = timer.Seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  timer.Restart();
+  EXPECT_GE(timer.Seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace seprec

@@ -1,0 +1,254 @@
+// seprec_cli — command-line front end for the separable-recursion query
+// compiler.
+//
+//   seprec_cli run <program.dl> [--data REL=FILE.tsv]... [--strategy S]
+//                  [--stats]
+//       Load the program, load any TSV data files, execute every query in
+//       the file (?- q. or q?), print answers (and stats with --stats).
+//
+//   seprec_cli check <program.dl>
+//       Static report: predicates, strata, recursion/linearity, and for
+//       each recursive predicate whether it is separable (with classes)
+//       or why not.
+//
+//   seprec_cli explain <program.dl> "<query>"
+//       Show the strategy the compiler picks and its artifact (Figure-2
+//       schema / rewritten program / rule list).
+//
+//   seprec_cli why <program.dl> "<fact>" [--data REL=FILE.tsv]...
+//       Materialise the program and print a derivation tree for the fact.
+//
+// Strategies: auto separable magic counting qsqr seminaive naive.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/compiler.h"
+#include "core/provenance.h"
+#include "datalog/analysis.h"
+#include "datalog/parser.h"
+#include "eval/fixpoint.h"
+#include "separable/detection.h"
+#include "storage/io.h"
+#include "util/string_util.h"
+
+namespace seprec {
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "seprec_cli: %s\n", message.c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: seprec_cli run <program.dl> [--data REL=FILE]... "
+               "[--strategy S] [--stats]\n"
+               "       seprec_cli check <program.dl>\n"
+               "       seprec_cli explain <program.dl> \"<query>\"\n"
+               "       seprec_cli why <program.dl> \"<fact>\" "
+               "[--data REL=FILE]...\n");
+  return 2;
+}
+
+StatusOr<ParsedUnit> LoadUnit(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return NotFoundError(StrCat("cannot open '", path, "'"));
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ParseUnit(text.str());
+}
+
+struct CommonFlags {
+  std::vector<std::pair<std::string, std::string>> data;  // rel -> path
+  std::optional<Strategy> strategy;
+  bool stats = false;
+};
+
+StatusOr<CommonFlags> ParseFlags(int argc, char** argv, int first) {
+  CommonFlags flags;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--stats") {
+      flags.stats = true;
+      continue;
+    }
+    if (arg == "--data" && i + 1 < argc) {
+      std::string spec = argv[++i];
+      size_t eq = spec.find('=');
+      if (eq == std::string::npos) {
+        return InvalidArgumentError(
+            StrCat("--data expects REL=FILE, got '", spec, "'"));
+      }
+      flags.data.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+      continue;
+    }
+    if (arg == "--strategy" && i + 1 < argc) {
+      std::string name = argv[++i];
+      if (name == "auto") flags.strategy = Strategy::kAuto;
+      else if (name == "separable") flags.strategy = Strategy::kSeparable;
+      else if (name == "magic") flags.strategy = Strategy::kMagic;
+      else if (name == "counting") flags.strategy = Strategy::kCounting;
+      else if (name == "qsqr") flags.strategy = Strategy::kQsqr;
+      else if (name == "seminaive") flags.strategy = Strategy::kSemiNaive;
+      else if (name == "naive") flags.strategy = Strategy::kNaive;
+      else {
+        return InvalidArgumentError(StrCat("unknown strategy '", name, "'"));
+      }
+      continue;
+    }
+    return InvalidArgumentError(StrCat("unknown flag '", arg, "'"));
+  }
+  return flags;
+}
+
+Status LoadData(const CommonFlags& flags, Database* db) {
+  for (const auto& [rel, path] : flags.data) {
+    SEPREC_ASSIGN_OR_RETURN(size_t added, LoadRelationTsvFile(db, rel, path));
+    std::printf("loaded %zu tuple(s) into %s from %s\n", added, rel.c_str(),
+                path.c_str());
+  }
+  return Status::OK();
+}
+
+int RunCommand(const std::string& path, const CommonFlags& flags) {
+  StatusOr<ParsedUnit> unit = LoadUnit(path);
+  if (!unit.ok()) return Fail(unit.status().ToString());
+  StatusOr<QueryProcessor> qp = QueryProcessor::Create(unit->program);
+  if (!qp.ok()) return Fail(qp.status().ToString());
+
+  Database db;
+  if (Status status = LoadData(flags, &db); !status.ok()) {
+    return Fail(status.ToString());
+  }
+  if (unit->queries.empty()) {
+    std::printf("(no queries in %s)\n", path.c_str());
+  }
+  for (const Atom& query : unit->queries) {
+    Strategy strategy = flags.strategy.value_or(Strategy::kAuto);
+    StatusOr<QueryResult> result = qp->Answer(query, &db, strategy);
+    if (!result.ok()) {
+      return Fail(StrCat(query.ToString(), ": ",
+                         result.status().ToString()));
+    }
+    std::printf("?- %s.\n", query.ToString().c_str());
+    for (const std::string& t : result->answer.ToStrings(db.symbols())) {
+      std::printf("%s\n", t.c_str());
+    }
+    std::printf("%% %zu answer(s) via %s\n", result->answer.size(),
+                std::string(StrategyToString(result->strategy)).c_str());
+    if (flags.stats) {
+      std::printf("%s", result->stats.ToString().c_str());
+    }
+  }
+  return 0;
+}
+
+int CheckCommand(const std::string& path) {
+  StatusOr<ParsedUnit> unit = LoadUnit(path);
+  if (!unit.ok()) return Fail(unit.status().ToString());
+  StatusOr<ProgramInfo> info = ProgramInfo::Analyze(unit->program);
+  if (!info.ok()) return Fail(info.status().ToString());
+
+  std::printf("%zu rule(s), %zu querie(s)\n", unit->program.rules.size(),
+              unit->queries.size());
+  std::printf("\nstrata (bottom-up):\n");
+  for (size_t s = 0; s < info->strata().size(); ++s) {
+    std::string line = StrCat("  ", s, ":");
+    for (const std::string& pred : info->strata()[s]) {
+      line += " " + pred;
+    }
+    std::puts(line.c_str());
+  }
+  std::printf("\npredicates:\n");
+  for (const auto& [name, pred] : info->predicates()) {
+    std::string kind = pred.is_idb ? "IDB" : "EDB";
+    if (pred.is_recursive) {
+      kind += info->IsLinearRecursive(name) ? ", linear recursive"
+                                            : ", recursive (non-linear)";
+    }
+    std::printf("  %s/%zu  [%s]\n", name.c_str(), pred.arity, kind.c_str());
+    if (!pred.is_recursive) continue;
+    auto sep = AnalyzeSeparable(unit->program, name);
+    if (sep.ok()) {
+      std::string describe = DescribeSeparable(*sep);
+      std::istringstream lines(describe);
+      std::string line;
+      while (std::getline(lines, line)) {
+        std::printf("    %s\n", line.c_str());
+      }
+    } else {
+      std::printf("    not separable: %s\n",
+                  sep.status().message().c_str());
+    }
+  }
+  return 0;
+}
+
+int ExplainCommand(const std::string& path, const std::string& query_text) {
+  StatusOr<ParsedUnit> unit = LoadUnit(path);
+  if (!unit.ok()) return Fail(unit.status().ToString());
+  StatusOr<Atom> query = ParseAtom(query_text);
+  if (!query.ok()) return Fail(query.status().ToString());
+  StatusOr<QueryProcessor> qp = QueryProcessor::Create(unit->program);
+  if (!qp.ok()) return Fail(qp.status().ToString());
+  StatusOr<std::string> text = qp->Explain(*query);
+  if (!text.ok()) return Fail(text.status().ToString());
+  std::printf("%s", text->c_str());
+  return 0;
+}
+
+int WhyCommand(const std::string& path, const std::string& fact_text,
+               const CommonFlags& flags) {
+  StatusOr<ParsedUnit> unit = LoadUnit(path);
+  if (!unit.ok()) return Fail(unit.status().ToString());
+  StatusOr<Atom> fact = ParseAtom(fact_text);
+  if (!fact.ok()) return Fail(fact.status().ToString());
+  Database db;
+  if (Status status = LoadData(flags, &db); !status.ok()) {
+    return Fail(status.ToString());
+  }
+  if (Status status = EvaluateSemiNaive(unit->program, &db); !status.ok()) {
+    return Fail(status.ToString());
+  }
+  StatusOr<DerivationNode> node = ExplainTuple(unit->program, &db, *fact);
+  if (!node.ok()) return Fail(node.status().ToString());
+  std::printf("%s", node->ToString().c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string command = argv[1];
+  std::string path = argv[2];
+  if (command == "run") {
+    StatusOr<CommonFlags> flags = ParseFlags(argc, argv, 3);
+    if (!flags.ok()) return Fail(flags.status().ToString());
+    return RunCommand(path, *flags);
+  }
+  if (command == "check") {
+    return CheckCommand(path);
+  }
+  if (command == "explain") {
+    if (argc < 4) return Usage();
+    return ExplainCommand(path, argv[3]);
+  }
+  if (command == "why") {
+    if (argc < 4) return Usage();
+    StatusOr<CommonFlags> flags = ParseFlags(argc, argv, 4);
+    if (!flags.ok()) return Fail(flags.status().ToString());
+    return WhyCommand(path, argv[3], *flags);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace seprec
+
+int main(int argc, char** argv) { return seprec::Main(argc, argv); }
