@@ -29,12 +29,14 @@ StatusOr<QueryProcessor> QueryProcessor::Create(
   SEPREC_ASSIGN_OR_RETURN(qp.info_, ProgramInfo::Analyze(program));
   for (const auto& [name, pred] : qp.info_.predicates()) {
     if (!pred.is_idb || !pred.is_recursive) continue;
-    StatusOr<SeparableRecursion> sep =
-        AnalyzeSeparable(qp.info_.program(), name, options.separability);
+    DiagnosticSink sink;
+    StatusOr<SeparableRecursion> sep = AnalyzeSeparable(
+        qp.info_.program(), name, options.separability, &sink);
     if (sep.ok()) {
       qp.separable_.emplace(name, std::move(sep).value());
     } else {
       qp.not_separable_reason_.emplace(name, sep.status().message());
+      qp.separability_diagnostics_.emplace(name, sink.diagnostics());
     }
   }
   return qp;
@@ -50,6 +52,12 @@ std::string QueryProcessor::SeparabilityFailure(
     std::string_view predicate) const {
   auto it = not_separable_reason_.find(std::string(predicate));
   return it == not_separable_reason_.end() ? "" : it->second;
+}
+
+const std::vector<Diagnostic>* QueryProcessor::SeparabilityDiagnostics(
+    std::string_view predicate) const {
+  auto it = separability_diagnostics_.find(std::string(predicate));
+  return it == separability_diagnostics_.end() ? nullptr : &it->second;
 }
 
 QueryProcessor::Decision QueryProcessor::Decide(const Atom& query) const {
@@ -99,7 +107,19 @@ StatusOr<std::string> QueryProcessor::Explain(const Atom& query) const {
   std::string out =
       StrCat("query    : ", query.ToString(), "\n",
              "strategy : ", StrategyToString(decision.strategy), "\n",
-             "reason   : ", decision.reason, "\n\n");
+             "reason   : ", decision.reason, "\n");
+  // When the Separable strategy was considered and rejected, spell out
+  // every Definition 2.4 violation the detector recorded.
+  const std::vector<Diagnostic>* rejected =
+      SeparabilityDiagnostics(query.predicate);
+  if (decision.strategy != Strategy::kSeparable && rejected != nullptr) {
+    out += StrCat("rejected : separable — ", rejected->size(),
+                  " detection diagnostic(s):\n");
+    for (const Diagnostic& d : *rejected) {
+      out += StrCat("  ", d.ToText(), "\n");
+    }
+  }
+  out += "\n";
   switch (decision.strategy) {
     case Strategy::kSeparable: {
       const SeparableRecursion* sep = FindSeparable(query.predicate);

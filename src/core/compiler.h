@@ -18,10 +18,12 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/answer.h"
 #include "datalog/analysis.h"
 #include "datalog/ast.h"
+#include "datalog/diagnostics.h"
 #include "eval/fixpoint.h"
 #include "separable/detection.h"
 #include "storage/database.h"
@@ -89,12 +91,21 @@ class QueryProcessor {
   // The detection failure reason for a non-separable recursive predicate.
   std::string SeparabilityFailure(std::string_view predicate) const;
 
+  // The full structured detection record for a non-separable recursive
+  // predicate: every Definition 2.4 condition it violates (S1xx codes with
+  // source spans), not just the first. nullptr when `predicate` is
+  // separable or not a recursive IDB predicate. Explain() renders these as
+  // the rejected-strategy section.
+  const std::vector<Diagnostic>* SeparabilityDiagnostics(
+      std::string_view predicate) const;
+
  private:
   QueryProcessor() = default;
 
   ProgramInfo info_;
   std::map<std::string, SeparableRecursion> separable_;
   std::map<std::string, std::string> not_separable_reason_;
+  std::map<std::string, std::vector<Diagnostic>> separability_diagnostics_;
 };
 
 }  // namespace seprec

@@ -74,8 +74,9 @@ class SccFinder {
   int next_index_ = 0;
 };
 
-// Safety check for a single rule; see CheckSafety.
-Status CheckRuleSafety(const Rule& rule) {
+}  // namespace
+
+std::set<std::string> UnrestrictedVars(const Rule& rule) {
   std::set<std::string> bound;
   // Positive relational atoms bind all their variables; negated atoms
   // bind nothing (their variables must be bound elsewhere).
@@ -121,12 +122,22 @@ Status CheckRuleSafety(const Rule& rule) {
   }
   std::set<std::string> needed;
   CollectVars(rule, &needed);
+  std::set<std::string> unrestricted;
   for (const std::string& v : needed) {
-    if (!bound.count(v)) {
-      return InvalidArgumentError(StrCat("unsafe rule, variable '", v,
-                                         "' is not range restricted: ",
-                                         rule.ToString()));
-    }
+    if (!bound.count(v)) unrestricted.insert(v);
+  }
+  return unrestricted;
+}
+
+namespace {
+
+// Safety check for a single rule; see CheckSafety.
+Status CheckRuleSafety(const Rule& rule) {
+  std::set<std::string> unrestricted = UnrestrictedVars(rule);
+  if (!unrestricted.empty()) {
+    return InvalidArgumentError(
+        StrCat("unsafe rule, variable '", *unrestricted.begin(),
+               "' is not range restricted: ", rule.ToString()));
   }
   return Status::OK();
 }
@@ -305,6 +316,21 @@ Status CheckSafety(const Program& program) {
   return Status::OK();
 }
 
+std::vector<std::vector<std::string>> PredicateSccs(const Program& program) {
+  std::map<std::string, std::set<std::string>> deps;
+  std::set<std::string> seen;
+  for (const Rule& rule : program.rules) {
+    deps[rule.head.predicate];
+    seen.insert(rule.head.predicate);
+    for (const Atom* atom : rule.BodyAtoms()) {
+      deps[rule.head.predicate].insert(atom->predicate);
+      seen.insert(atom->predicate);
+    }
+  }
+  SccFinder finder(deps);
+  return finder.Run(std::vector<std::string>(seen.begin(), seen.end()));
+}
+
 bool IsLinearRecursiveRule(const Rule& rule, std::string_view predicate) {
   if (rule.head.predicate != predicate) return false;
   return rule.BodyAtomsOf(predicate).size() == 1;
@@ -466,9 +492,12 @@ StatusOr<LinearRecursion> ExtractLinearRecursion(const Program& program,
     rec.head_vars.push_back(StrCat("V", i));
   }
 
+  // Rectify preserves rule order 1:1, so index r in `rectified` is the
+  // origin index into the caller's program.rules.
   Program rectified = Rectify(program);
   size_t rule_counter = 0;
-  for (const Rule& rule : rectified.rules) {
+  for (size_t origin = 0; origin < rectified.rules.size(); ++origin) {
+    const Rule& rule = rectified.rules[origin];
     if (rule.head.predicate != predicate) continue;
     if (rule.aggregate.has_value()) {
       return FailedPreconditionError(
@@ -503,6 +532,7 @@ StatusOr<LinearRecursion> ExtractLinearRecursion(const Program& program,
 
     if (occurrences == 0) {
       rec.exit_rules.push_back(std::move(canonical));
+      rec.exit_rule_origin.push_back(origin);
     } else {
       // Find the recursive atom's body index.
       size_t index = canonical.body.size();
@@ -523,6 +553,7 @@ StatusOr<LinearRecursion> ExtractLinearRecursion(const Program& program,
       }
       rec.recursive_rules.push_back(std::move(canonical));
       rec.recursive_atom_index.push_back(index);
+      rec.recursive_rule_origin.push_back(origin);
     }
     ++rule_counter;
   }
@@ -547,8 +578,10 @@ Program Rectify(const Program& program) {
       std::string fresh = FreshVar(StrCat("R", i), &used);
       Term original = arg;
       arg = Term::Var(fresh);
-      fixed.body.push_back(
-          Literal::MakeCompare(CmpOp::kEq, Term::Var(fresh), original));
+      Literal eq = Literal::MakeCompare(CmpOp::kEq, Term::Var(fresh),
+                                        original);
+      eq.span = fixed.head.span;  // synthesized: point at the head
+      fixed.body.push_back(std::move(eq));
       seen_in_head.insert(fresh);
       // Keep the aggregate invariant: args[head_position] names over_var.
       if (fixed.aggregate.has_value() &&

@@ -83,6 +83,17 @@ class ProgramInfo {
 // constant.
 Status CheckSafety(const Program& program);
 
+// The variables of `rule` that are NOT range restricted (empty iff the
+// rule is safe). The structured counterpart of CheckSafety, used by the
+// E001 lint to name every offending variable.
+std::set<std::string> UnrestrictedVars(const Rule& rule);
+
+// SCCs of the predicate dependency graph in bottom-up (dependencies-first)
+// order, computed without the safety/stratification validation that
+// ProgramInfo::Analyze performs — so it works on broken programs too,
+// which is what the lint passes need to spell out negation cycles.
+std::vector<std::vector<std::string>> PredicateSccs(const Program& program);
+
 // True if `rule` is linear recursive in `predicate`: exactly one body atom
 // has that predicate, and the head does too.
 bool IsLinearRecursiveRule(const Rule& rule, std::string_view predicate);
@@ -111,11 +122,18 @@ struct LinearRecursion {
   // Canonicalized rules. Each recursive rule has exactly one body atom of
   // `predicate`; exit rules have none. Variables other than head variables
   // are named "Q<rule>_<i>" so rules never share non-head variables.
+  // Canonicalization preserves each rule's SourceSpan.
   std::vector<Rule> recursive_rules;
   std::vector<Rule> exit_rules;
 
   // Index (into each recursive rule's body) of the recursive atom.
   std::vector<size_t> recursive_atom_index;
+
+  // Origin back-maps: recursive_rules[i] / exit_rules[i] was canonicalized
+  // from program.rules[...origin[i]] of the analyzed program. Diagnostics
+  // use these to point at the rule the user wrote.
+  std::vector<size_t> recursive_rule_origin;
+  std::vector<size_t> exit_rule_origin;
 
   const Atom& RecursiveBodyAtom(size_t rule_index) const {
     return recursive_rules[rule_index]

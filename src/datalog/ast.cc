@@ -307,28 +307,34 @@ Expr Substitute(const Expr& expr, const Substitution& sub) {
 }
 
 Literal Substitute(const Literal& literal, const Substitution& sub) {
+  // Renaming does not move a literal: keep its source span.
+  Literal out;
   switch (literal.kind) {
     case Literal::Kind::kAtom: {
-      Literal out = Literal::MakeAtom(Substitute(literal.atom, sub));
+      out = Literal::MakeAtom(Substitute(literal.atom, sub));
       out.negated = literal.negated;
-      return out;
+      break;
     }
     case Literal::Kind::kCompare:
-      return Literal::MakeCompare(literal.cmp_op,
-                                  Substitute(literal.cmp_lhs, sub),
-                                  Substitute(literal.cmp_rhs, sub));
+      out = Literal::MakeCompare(literal.cmp_op,
+                                 Substitute(literal.cmp_lhs, sub),
+                                 Substitute(literal.cmp_rhs, sub));
+      break;
     case Literal::Kind::kAssign: {
       Term var = Substitute(Term::Var(literal.assign_var), sub);
       // Substituting an assignment target must produce another variable.
       SEPREC_CHECK(var.IsVar());
-      return Literal::MakeAssign(var.name, Substitute(literal.expr, sub));
+      out = Literal::MakeAssign(var.name, Substitute(literal.expr, sub));
+      break;
     }
   }
-  SEPREC_CHECK(false);
+  out.span = literal.span;
+  return out;
 }
 
 Rule Substitute(const Rule& rule, const Substitution& sub) {
   Rule out;
+  out.span = rule.span;
   out.head = Substitute(rule.head, sub);
   out.body.reserve(rule.body.size());
   for (const Literal& lit : rule.body) {

@@ -22,6 +22,8 @@
 #include <string_view>
 #include <vector>
 
+#include "datalog/source_span.h"
+
 namespace seprec {
 
 // A variable, symbol constant, or integer constant.
@@ -50,6 +52,7 @@ struct Term {
 struct Atom {
   std::string predicate;
   std::vector<Term> args;
+  SourceSpan span;  // where this atom was parsed; ignored by operator==
 
   size_t arity() const { return args.size(); }
   bool IsGround() const;
@@ -97,6 +100,8 @@ struct Literal {
   std::string assign_var;  // kAssign: assign_var is expr
   Expr expr;
 
+  SourceSpan span;  // where this literal was parsed; ignored by comparisons
+
   static Literal MakeAtom(Atom atom);
   static Literal MakeNegatedAtom(Atom atom);
   static Literal MakeCompare(CmpOp op, Term lhs, Term rhs);
@@ -133,6 +138,7 @@ struct Rule {
   Atom head;
   std::vector<Literal> body;
   std::optional<AggregateSpec> aggregate;
+  SourceSpan span;  // head-to-period extent in the source, if parsed
 
   std::string ToString() const;
 

@@ -1,0 +1,239 @@
+#include "datalog/diagnostics.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace seprec {
+
+std::string SourceSpan::ToString() const {
+  if (!IsKnown()) return "<unknown>";
+  return StrCat("line ", line, ", col ", col);
+}
+
+SourceSpan CoverSpans(const SourceSpan& a, const SourceSpan& b) {
+  if (!a.IsKnown()) return b;
+  if (!b.IsKnown()) return a;
+  SourceSpan out = a;
+  if (b.line < out.line || (b.line == out.line && b.col < out.col)) {
+    out.line = b.line;
+    out.col = b.col;
+  }
+  if (b.end_line > out.end_line ||
+      (b.end_line == out.end_line && b.end_col > out.end_col)) {
+    out.end_line = b.end_line;
+    out.end_col = b.end_col;
+  }
+  return out;
+}
+
+std::string_view SeverityToString(Severity severity) {
+  switch (severity) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string LocationPrefix(std::string_view path, const SourceSpan& span) {
+  std::string out;
+  if (!path.empty()) out += StrCat(path, ":");
+  if (span.IsKnown()) out += StrCat(span.line, ":", span.col, ":");
+  if (!out.empty()) out += " ";
+  return out;
+}
+
+}  // namespace
+
+std::string Diagnostic::ToText(std::string_view path) const {
+  std::string out = StrCat(LocationPrefix(path, span),
+                           SeverityToString(severity), ": ", message, " [",
+                           code, "]");
+  for (const DiagnosticNote& note : notes) {
+    out += StrCat("\n  ", LocationPrefix(path, note.span), "note: ",
+                  note.message);
+  }
+  if (!fixit.empty()) {
+    out += StrCat("\n  fix-it: ", fixit);
+  }
+  return out;
+}
+
+void DiagnosticSink::Add(Diagnostic diagnostic) {
+  diagnostics_.push_back(std::move(diagnostic));
+}
+
+void DiagnosticSink::Report(std::string code, Severity severity,
+                            SourceSpan span, std::string message,
+                            std::string fixit) {
+  Diagnostic d;
+  d.code = std::move(code);
+  d.severity = severity;
+  d.span = span;
+  d.message = std::move(message);
+  d.fixit = std::move(fixit);
+  Add(std::move(d));
+}
+
+size_t DiagnosticSink::CountAtLeast(Severity severity) const {
+  size_t count = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity >= severity) ++count;
+  }
+  return count;
+}
+
+void DiagnosticSink::Absorb(const DiagnosticSink& other) {
+  diagnostics_.insert(diagnostics_.end(), other.diagnostics_.begin(),
+                      other.diagnostics_.end());
+}
+
+void DiagnosticSink::SortBySpan() {
+  std::stable_sort(diagnostics_.begin(), diagnostics_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     // Unknown locations order after every known one.
+                     if (a.span.IsKnown() != b.span.IsKnown()) {
+                       return a.span.IsKnown();
+                     }
+                     if (a.span.line != b.span.line) {
+                       return a.span.line < b.span.line;
+                     }
+                     if (a.span.col != b.span.col) {
+                       return a.span.col < b.span.col;
+                     }
+                     return a.code < b.code;
+                   });
+}
+
+std::string RenderText(const std::vector<Diagnostic>& diagnostics,
+                       std::string_view path) {
+  if (diagnostics.empty()) return "no findings.\n";
+  std::string out;
+  size_t notes = 0, warnings = 0, errors = 0;
+  for (const Diagnostic& d : diagnostics) {
+    out += d.ToText(path);
+    out += '\n';
+    switch (d.severity) {
+      case Severity::kNote: ++notes; break;
+      case Severity::kWarning: ++warnings; break;
+      case Severity::kError: ++errors; break;
+    }
+  }
+  std::vector<std::string> parts;
+  if (errors > 0) parts.push_back(StrCat(errors, " error(s)"));
+  if (warnings > 0) parts.push_back(StrCat(warnings, " warning(s)"));
+  if (notes > 0) parts.push_back(StrCat(notes, " note(s)"));
+  out += StrCat(StrJoin(parts, ", "), ".\n");
+  return out;
+}
+
+std::string JsonEscape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void AppendSpanJson(const SourceSpan& span, std::string* out) {
+  *out += StrCat("\"line\": ", span.line, ", \"col\": ", span.col,
+                 ", \"endLine\": ", span.end_line, ", \"endCol\": ",
+                 span.end_col);
+}
+
+void AppendDiagnosticJson(const Diagnostic& d, std::string* out) {
+  *out += StrCat("{\"code\": \"", JsonEscape(d.code), "\", \"severity\": \"",
+                 SeverityToString(d.severity), "\", ");
+  AppendSpanJson(d.span, out);
+  *out += StrCat(", \"message\": \"", JsonEscape(d.message), "\"");
+  *out += ", \"notes\": [";
+  for (size_t i = 0; i < d.notes.size(); ++i) {
+    if (i > 0) *out += ", ";
+    *out += "{";
+    AppendSpanJson(d.notes[i].span, out);
+    *out += StrCat(", \"message\": \"", JsonEscape(d.notes[i].message),
+                   "\"}");
+  }
+  *out += "]";
+  if (!d.fixit.empty()) {
+    *out += StrCat(", \"fixit\": \"", JsonEscape(d.fixit), "\"");
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+std::string RenderJson(const std::vector<Diagnostic>& diagnostics,
+                       std::string_view path) {
+  std::string out = StrCat("{\"path\": \"", JsonEscape(path),
+                           "\", \"diagnostics\": [");
+  for (size_t i = 0; i < diagnostics.size(); ++i) {
+    if (i > 0) out += ", ";
+    AppendDiagnosticJson(diagnostics[i], &out);
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string RenderSarif(const std::vector<Diagnostic>& diagnostics,
+                        std::string_view path) {
+  std::string out =
+      "{\"$schema\": "
+      "\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+      "Schemata/sarif-schema-2.1.0.json\", \"version\": \"2.1.0\", "
+      "\"runs\": [{\"tool\": {\"driver\": {\"name\": \"seprec-lint\", "
+      "\"rules\": [";
+  // One reportingDescriptor per distinct code, in first-seen order.
+  std::vector<std::string> codes;
+  for (const Diagnostic& d : diagnostics) {
+    if (std::find(codes.begin(), codes.end(), d.code) == codes.end()) {
+      codes.push_back(d.code);
+    }
+  }
+  for (size_t i = 0; i < codes.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += StrCat("{\"id\": \"", JsonEscape(codes[i]), "\"}");
+  }
+  out += "]}}, \"results\": [";
+  for (size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    if (i > 0) out += ", ";
+    // SARIF levels: note | warning | error.
+    out += StrCat("{\"ruleId\": \"", JsonEscape(d.code), "\", \"level\": \"",
+                  SeverityToString(d.severity), "\", \"message\": {\"text\": "
+                  "\"", JsonEscape(d.message), "\"}");
+    if (d.span.IsKnown()) {
+      out += StrCat(
+          ", \"locations\": [{\"physicalLocation\": {\"artifactLocation\": "
+          "{\"uri\": \"", JsonEscape(path), "\"}, \"region\": {\"startLine\": ",
+          d.span.line, ", \"startColumn\": ", d.span.col, ", \"endLine\": ",
+          d.span.end_line, ", \"endColumn\": ", d.span.end_col, "}}}]");
+    }
+    out += "}";
+  }
+  out += "]}]}\n";
+  return out;
+}
+
+}  // namespace seprec

@@ -1,0 +1,112 @@
+// Structured diagnostics: the compiler-as-linter surface.
+//
+// Every analysis that used to collapse its findings into one prose Status
+// message now also emits Diagnostic records into a DiagnosticSink: a stable
+// code, a severity, a source span pointing at the offending rule/literal,
+// a one-line message, optional secondary notes (each with its own span),
+// and an optional fix-it hint. Sinks render to three formats:
+//
+//   text   path:line:col: severity: message [CODE]   (clang style)
+//   json   {"diagnostics": [...]} — stable keys, round-trippable
+//   sarif  SARIF 2.1.0 minimal profile for code-scanning UIs
+//
+// Diagnostic codes (see DESIGN.md for the full contract):
+//   P001       parse/lex error
+//   W001-W004  general lints: unused predicate, singleton variable,
+//              unreachable rule, tautological rule
+//   E001-E003  unsafe rule, unstratified negation/aggregation, arity
+//              mismatch
+//   S100-S107  separability explainer: one code per way a recursion can
+//              miss Definition 2.4 (S101..S104 are its four conditions)
+#ifndef SEPREC_DATALOG_DIAGNOSTICS_H_
+#define SEPREC_DATALOG_DIAGNOSTICS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "datalog/source_span.h"
+
+namespace seprec {
+
+enum class Severity {
+  kNote,     // informational (e.g. strategy-selection context)
+  kWarning,  // suspicious but evaluable program
+  kError,    // the program cannot be evaluated as written
+};
+
+std::string_view SeverityToString(Severity severity);
+
+// A secondary location attached to a primary diagnostic, e.g. "the other
+// rule of the overlapping pair" for S103.
+struct DiagnosticNote {
+  SourceSpan span;
+  std::string message;
+};
+
+struct Diagnostic {
+  std::string code;  // stable identifier, e.g. "S104"
+  Severity severity = Severity::kWarning;
+  SourceSpan span;
+  std::string message;
+  std::vector<DiagnosticNote> notes;
+  std::string fixit;  // actionable hint; empty if none
+
+  // One clang-style line per diagnostic + indented note/fixit lines.
+  // `path` may be empty (omitted from the prefix).
+  std::string ToText(std::string_view path = "") const;
+};
+
+// An append-only collector. Analyses take a `DiagnosticSink*` (nullable —
+// passing nullptr keeps the legacy Status-only behaviour at zero cost).
+class DiagnosticSink {
+ public:
+  void Add(Diagnostic diagnostic);
+
+  // Convenience for the common one-liner.
+  void Report(std::string code, Severity severity, SourceSpan span,
+              std::string message, std::string fixit = "");
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  bool empty() const { return diagnostics_.empty(); }
+  size_t size() const { return diagnostics_.size(); }
+
+  size_t CountAtLeast(Severity severity) const;
+  bool HasErrors() const { return CountAtLeast(Severity::kError) > 0; }
+
+  // Appends everything in `other` (used to merge a per-pass sink into the
+  // program-wide one).
+  void Absorb(const DiagnosticSink& other);
+
+  // Stable sort by (line, col, code); unknown-location diagnostics sink to
+  // the end. Call once before rendering.
+  void SortBySpan();
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+// ---- Renderers ---------------------------------------------------------
+
+// Text report: one block per diagnostic plus a trailing summary line
+// ("3 warnings, 1 error."). Empty sinks render "no findings.".
+std::string RenderText(const std::vector<Diagnostic>& diagnostics,
+                       std::string_view path);
+
+// {"path": ..., "diagnostics": [{"code", "severity", "line", "col",
+// "endLine", "endCol", "message", "notes": [...], "fixit"?}]}
+std::string RenderJson(const std::vector<Diagnostic>& diagnostics,
+                       std::string_view path);
+
+// SARIF 2.1.0: version/schema, one run, tool.driver "seprec-lint", one
+// result per diagnostic with ruleId / level / message / region.
+std::string RenderSarif(const std::vector<Diagnostic>& diagnostics,
+                        std::string_view path);
+
+// JSON string escaping (shared by the JSON and SARIF writers; exposed for
+// tests).
+std::string JsonEscape(std::string_view raw);
+
+}  // namespace seprec
+
+#endif  // SEPREC_DATALOG_DIAGNOSTICS_H_

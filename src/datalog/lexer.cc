@@ -45,16 +45,30 @@ StatusOr<std::vector<Token>> Tokenize(std::string_view source) {
   std::vector<Token> tokens;
   int line = 1;
   size_t i = 0;
+  size_t line_start = 0;  // offset of the current line's first character
   const size_t n = source.size();
 
-  auto push = [&tokens, &line](TokenKind kind, std::string text = "",
-                               int64_t value = 0) {
+  // 1-based column of offset `at` on the current line.
+  auto col_of = [&line_start](size_t at) {
+    return static_cast<int>(at - line_start) + 1;
+  };
+
+  // Pushes a token spanning source offsets [start, end).
+  auto push = [&](TokenKind kind, size_t start, size_t end,
+                  std::string text = "", int64_t value = 0) {
     Token t;
     t.kind = kind;
     t.text = std::move(text);
     t.int_value = value;
     t.line = line;
+    t.col = col_of(start);
+    t.end_col = col_of(end);
     tokens.push_back(std::move(t));
+  };
+
+  auto error_here = [&](std::string_view message) {
+    return InvalidArgumentError(
+        StrCat("line ", line, ", col ", col_of(i), ": ", message));
   };
 
   while (i < n) {
@@ -62,6 +76,7 @@ StatusOr<std::vector<Token>> Tokenize(std::string_view source) {
     if (c == '\n') {
       ++line;
       ++i;
+      line_start = i;
       continue;
     }
     if (std::isspace(static_cast<unsigned char>(c))) {
@@ -82,10 +97,12 @@ StatusOr<std::vector<Token>> Tokenize(std::string_view source) {
       char* end = nullptr;
       long long value = std::strtoll(digits.c_str(), &end, 10);
       if (errno != 0) {
-        return InvalidArgumentError(
-            StrCat("line ", line, ": integer literal out of range: ", digits));
+        return InvalidArgumentError(StrCat("line ", line, ", col ",
+                                           col_of(start),
+                                           ": integer literal out of range: ",
+                                           digits));
       }
-      push(TokenKind::kInt, digits, value);
+      push(TokenKind::kInt, start, i, digits, value);
       continue;
     }
     if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
@@ -93,87 +110,90 @@ StatusOr<std::vector<Token>> Tokenize(std::string_view source) {
       while (i < n && IsIdentChar(source[i])) ++i;
       std::string word(source.substr(start, i - start));
       if (std::isupper(static_cast<unsigned char>(c)) || c == '_') {
-        push(TokenKind::kVar, std::move(word));
+        push(TokenKind::kVar, start, i, std::move(word));
       } else {
-        push(TokenKind::kIdent, std::move(word));
+        push(TokenKind::kIdent, start, i, std::move(word));
       }
       continue;
     }
     if (c == '\'') {  // quoted symbol
+      size_t open = i;
       size_t start = ++i;
       while (i < n && source[i] != '\'') {
         if (source[i] == '\n') {
           return InvalidArgumentError(
-              StrCat("line ", line, ": newline in quoted symbol"));
+              StrCat("line ", line, ", col ", col_of(open),
+                     ": newline in quoted symbol"));
         }
         ++i;
       }
       if (i >= n) {
         return InvalidArgumentError(
-            StrCat("line ", line, ": unterminated quoted symbol"));
+            StrCat("line ", line, ", col ", col_of(open),
+                   ": unterminated quoted symbol"));
       }
-      push(TokenKind::kIdent, std::string(source.substr(start, i - start)));
       ++i;  // closing quote
+      push(TokenKind::kIdent, open, i,
+           std::string(source.substr(start, i - 1 - start)));
       continue;
     }
     switch (c) {
-      case '(': push(TokenKind::kLParen); ++i; continue;
-      case ')': push(TokenKind::kRParen); ++i; continue;
-      case ',': push(TokenKind::kComma); ++i; continue;
-      case '&': push(TokenKind::kComma); ++i; continue;  // paper syntax
-      case '.': push(TokenKind::kPeriod); ++i; continue;
-      case '+': push(TokenKind::kPlus); ++i; continue;
-      case '-': push(TokenKind::kMinus); ++i; continue;
-      case '*': push(TokenKind::kStar); ++i; continue;
-      case '/': push(TokenKind::kSlash); ++i; continue;
-      case '=': push(TokenKind::kEq); ++i; continue;
+      case '(': push(TokenKind::kLParen, i, i + 1); ++i; continue;
+      case ')': push(TokenKind::kRParen, i, i + 1); ++i; continue;
+      case ',': push(TokenKind::kComma, i, i + 1); ++i; continue;
+      case '&': push(TokenKind::kComma, i, i + 1); ++i; continue;  // paper
+      case '.': push(TokenKind::kPeriod, i, i + 1); ++i; continue;
+      case '+': push(TokenKind::kPlus, i, i + 1); ++i; continue;
+      case '-': push(TokenKind::kMinus, i, i + 1); ++i; continue;
+      case '*': push(TokenKind::kStar, i, i + 1); ++i; continue;
+      case '/': push(TokenKind::kSlash, i, i + 1); ++i; continue;
+      case '=': push(TokenKind::kEq, i, i + 1); ++i; continue;
       case ':':
         if (i + 1 < n && source[i + 1] == '-') {
-          push(TokenKind::kColonDash);
+          push(TokenKind::kColonDash, i, i + 2);
           i += 2;
           continue;
         }
-        return InvalidArgumentError(StrCat("line ", line, ": stray ':'"));
+        return error_here("stray ':'");
       case '?':
         if (i + 1 < n && source[i + 1] == '-') {
-          push(TokenKind::kQueryDash);
+          push(TokenKind::kQueryDash, i, i + 2);
           i += 2;
           continue;
         }
-        push(TokenKind::kQuestion);
+        push(TokenKind::kQuestion, i, i + 1);
         ++i;
         continue;
       case '!':
         if (i + 1 < n && source[i + 1] == '=') {
-          push(TokenKind::kNe);
+          push(TokenKind::kNe, i, i + 2);
           i += 2;
           continue;
         }
-        return InvalidArgumentError(StrCat("line ", line, ": stray '!'"));
+        return error_here("stray '!'");
       case '<':
         if (i + 1 < n && source[i + 1] == '=') {
-          push(TokenKind::kLe);
+          push(TokenKind::kLe, i, i + 2);
           i += 2;
         } else {
-          push(TokenKind::kLt);
+          push(TokenKind::kLt, i, i + 1);
           ++i;
         }
         continue;
       case '>':
         if (i + 1 < n && source[i + 1] == '=') {
-          push(TokenKind::kGe);
+          push(TokenKind::kGe, i, i + 2);
           i += 2;
         } else {
-          push(TokenKind::kGt);
+          push(TokenKind::kGt, i, i + 1);
           ++i;
         }
         continue;
       default:
-        return InvalidArgumentError(
-            StrCat("line ", line, ": unexpected character '", c, "'"));
+        return error_here(StrCat("unexpected character '", c, "'"));
     }
   }
-  push(TokenKind::kEnd);
+  push(TokenKind::kEnd, i, i);
   return tokens;
 }
 

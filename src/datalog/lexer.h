@@ -54,6 +54,8 @@ struct Token {
   std::string text;        // identifier / variable spelling
   int64_t int_value = 0;   // for kInt
   int line = 1;            // 1-based source line, for error messages
+  int col = 1;             // 1-based column of the token's first character
+  int end_col = 1;         // column one past the token's last character
 };
 
 // Tokenizes `source`; on success the result ends with a kEnd token.

@@ -1,0 +1,353 @@
+#include "datalog/lint.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "datalog/analysis.h"
+#include "util/string_util.h"
+
+namespace seprec {
+namespace {
+
+// Per-variable occurrence statistics within one rule: how often it occurs
+// and the span of its first occurrence (the enclosing literal / head).
+struct VarOccurrence {
+  int count = 0;
+  SourceSpan span;
+};
+
+void NoteVar(const Term& term, const SourceSpan& where,
+             std::map<std::string, VarOccurrence>* out) {
+  if (!term.IsVar()) return;
+  VarOccurrence& occ = (*out)[term.name];
+  if (occ.count == 0) occ.span = where;
+  ++occ.count;
+}
+
+void NoteVars(const Expr& expr, const SourceSpan& where,
+              std::map<std::string, VarOccurrence>* out) {
+  if (expr.op == Expr::Op::kTerm) {
+    NoteVar(expr.term, where, out);
+    return;
+  }
+  NoteVars(*expr.lhs, where, out);
+  NoteVars(*expr.rhs, where, out);
+}
+
+std::map<std::string, VarOccurrence> CountVarOccurrences(const Rule& rule) {
+  std::map<std::string, VarOccurrence> out;
+  for (const Term& arg : rule.head.args) {
+    NoteVar(arg, rule.head.span, &out);
+  }
+  for (const Literal& lit : rule.body) {
+    switch (lit.kind) {
+      case Literal::Kind::kAtom:
+        for (const Term& arg : lit.atom.args) NoteVar(arg, lit.span, &out);
+        break;
+      case Literal::Kind::kCompare:
+        NoteVar(lit.cmp_lhs, lit.span, &out);
+        NoteVar(lit.cmp_rhs, lit.span, &out);
+        break;
+      case Literal::Kind::kAssign:
+        NoteVar(Term::Var(lit.assign_var), lit.span, &out);
+        NoteVars(lit.expr, lit.span, &out);
+        break;
+    }
+  }
+  return out;
+}
+
+// Decides whether a comparison literal can never hold. Conservative: only
+// claims falsity for ground comparisons it can fully evaluate and for
+// irreflexive comparisons of a variable with itself.
+bool ComparisonNeverHolds(const Literal& lit) {
+  if (lit.kind != Literal::Kind::kCompare) return false;
+  const Term& a = lit.cmp_lhs;
+  const Term& b = lit.cmp_rhs;
+  if (a.IsVar() && b.IsVar() && a.name == b.name) {
+    return lit.cmp_op == CmpOp::kNe || lit.cmp_op == CmpOp::kLt ||
+           lit.cmp_op == CmpOp::kGt;
+  }
+  if (a.IsVar() || b.IsVar()) return false;
+  if (a.kind == Term::Kind::kInt && b.kind == Term::Kind::kInt) {
+    switch (lit.cmp_op) {
+      case CmpOp::kEq: return a.int_value != b.int_value;
+      case CmpOp::kNe: return a.int_value == b.int_value;
+      case CmpOp::kLt: return a.int_value >= b.int_value;
+      case CmpOp::kLe: return a.int_value > b.int_value;
+      case CmpOp::kGt: return a.int_value <= b.int_value;
+      case CmpOp::kGe: return a.int_value < b.int_value;
+    }
+    return false;
+  }
+  if (a.kind == Term::Kind::kSymbol && b.kind == Term::Kind::kSymbol) {
+    // Only equality structure is certain for symbols.
+    if (lit.cmp_op == CmpOp::kEq) return a.name != b.name;
+    if (lit.cmp_op == CmpOp::kNe) return a.name == b.name;
+    return false;
+  }
+  // Mixed int/symbol: never equal.
+  return lit.cmp_op == CmpOp::kEq;
+}
+
+// First-seen SCC machinery shared by LintStratification.
+struct DependencyGraph {
+  std::map<std::string, std::set<std::string>> deps;
+  std::map<std::string, int> scc_of;
+  std::vector<std::vector<std::string>> sccs;
+
+  explicit DependencyGraph(const Program& program) {
+    for (const Rule& rule : program.rules) {
+      deps[rule.head.predicate];
+      for (const Atom* atom : rule.BodyAtoms()) {
+        deps[rule.head.predicate].insert(atom->predicate);
+      }
+    }
+    sccs = PredicateSccs(program);
+    for (size_t i = 0; i < sccs.size(); ++i) {
+      for (const std::string& name : sccs[i]) {
+        scc_of[name] = static_cast<int>(i);
+      }
+    }
+  }
+
+  bool SccIsRecursive(int id) const {
+    if (sccs[id].size() > 1) return true;
+    const std::string& only = sccs[id].front();
+    auto it = deps.find(only);
+    return it != deps.end() && it->second.count(only) > 0;
+  }
+
+  // Shortest dependency path from `from` to `to` inside one SCC (both ends
+  // included). Empty when unreachable — cannot happen for two members of
+  // the same nontrivial SCC.
+  std::vector<std::string> PathWithinScc(const std::string& from,
+                                         const std::string& to) const {
+    std::map<std::string, std::string> parent;
+    std::vector<std::string> frontier{from};
+    parent[from] = from;
+    int scc = scc_of.at(from);
+    while (!frontier.empty()) {
+      std::vector<std::string> next;
+      for (const std::string& node : frontier) {
+        if (node == to && node != from) break;
+        auto it = deps.find(node);
+        if (it == deps.end()) continue;
+        for (const std::string& succ : it->second) {
+          auto scc_it = scc_of.find(succ);
+          if (scc_it == scc_of.end() || scc_it->second != scc) continue;
+          if (parent.emplace(succ, node).second) next.push_back(succ);
+        }
+      }
+      frontier = std::move(next);
+      if (parent.count(to)) break;
+    }
+    std::vector<std::string> path;
+    if (!parent.count(to)) return path;
+    for (std::string node = to;; node = parent[node]) {
+      path.push_back(node);
+      if (node == from) break;
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+  }
+};
+
+}  // namespace
+
+void LintUnusedPredicates(const Program& program,
+                          const std::vector<Atom>& queries,
+                          DiagnosticSink* sink) {
+  // Without queries there is no notion of a root, so nothing is "unused".
+  if (queries.empty()) return;
+  std::set<std::string> used;
+  for (const Rule& rule : program.rules) {
+    for (const Atom* atom : rule.BodyAtoms()) used.insert(atom->predicate);
+  }
+  for (const Atom& query : queries) used.insert(query.predicate);
+  std::set<std::string> reported;
+  for (const Rule& rule : program.rules) {
+    const std::string& name = rule.head.predicate;
+    if (used.count(name) || !reported.insert(name).second) continue;
+    sink->Report(
+        "W001", Severity::kWarning, rule.head.span,
+        StrCat("predicate '", name, "' is defined but never used by a rule "
+               "body or query"),
+        StrCat("delete the rules for '", name, "' or add a query for it"));
+  }
+}
+
+void LintSingletonVariables(const Program& program, DiagnosticSink* sink) {
+  for (const Rule& rule : program.rules) {
+    for (const auto& [name, occ] : CountVarOccurrences(rule)) {
+      if (occ.count != 1) continue;
+      if (!name.empty() && name[0] == '_') continue;  // deliberate wildcard
+      sink->Report(
+          "W002", Severity::kWarning, occ.span,
+          StrCat("variable '", name, "' occurs only once in: ",
+                 rule.ToString()),
+          StrCat("rename it to '_", name, "' if the single occurrence is "
+                 "intentional"));
+    }
+  }
+}
+
+void LintUnreachableRules(const Program& program, DiagnosticSink* sink) {
+  for (const Rule& rule : program.rules) {
+    for (const Literal& lit : rule.body) {
+      if (!ComparisonNeverHolds(lit)) continue;
+      Diagnostic d;
+      d.code = "W003";
+      d.severity = Severity::kWarning;
+      d.span = lit.span.IsKnown() ? lit.span : rule.span;
+      d.message = StrCat("rule can never fire: comparison '", lit.ToString(),
+                         "' never holds in: ", rule.ToString());
+      d.notes.push_back({rule.span, "the whole rule is unreachable"});
+      sink->Add(std::move(d));
+      break;  // one report per rule
+    }
+  }
+}
+
+void LintTautologicalRules(const Program& program, DiagnosticSink* sink) {
+  for (const Rule& rule : program.rules) {
+    for (const Literal& lit : rule.body) {
+      if (!lit.IsPositiveAtom() || lit.atom != rule.head) continue;
+      sink->Report(
+          "W004", Severity::kWarning, rule.span,
+          StrCat("tautological rule: the head reappears as a positive body "
+                 "atom, so the rule derives nothing new: ", rule.ToString()),
+          "delete the rule");
+      break;
+    }
+  }
+}
+
+void LintSafety(const Program& program, DiagnosticSink* sink) {
+  for (const Rule& rule : program.rules) {
+    std::set<std::string> unrestricted = UnrestrictedVars(rule);
+    if (unrestricted.empty()) continue;
+    std::vector<std::string> names(unrestricted.begin(), unrestricted.end());
+    sink->Report(
+        "E001", Severity::kError, rule.span,
+        StrCat("unsafe rule: variable",
+               names.size() == 1 ? " " : "s ", "'", StrJoin(names, "', '"),
+               "' ", names.size() == 1 ? "is" : "are",
+               " not range restricted in: ", rule.ToString()),
+        "bind every variable in a positive body atom, an assignment with "
+        "bound inputs, or an equality with a bound side");
+  }
+}
+
+void LintStratification(const Program& program, DiagnosticSink* sink) {
+  DependencyGraph graph(program);
+  for (const Rule& rule : program.rules) {
+    const std::string& head = rule.head.predicate;
+    auto head_scc = graph.scc_of.find(head);
+    if (head_scc == graph.scc_of.end()) continue;
+    for (const Literal& lit : rule.body) {
+      if (lit.kind != Literal::Kind::kAtom) continue;
+      bool via_aggregate = !lit.negated && rule.aggregate.has_value();
+      if (!lit.negated && !via_aggregate) continue;
+      const std::string& target = lit.atom.predicate;
+      auto target_scc = graph.scc_of.find(target);
+      if (target_scc == graph.scc_of.end() ||
+          target_scc->second != head_scc->second) {
+        continue;
+      }
+      if (!graph.SccIsRecursive(head_scc->second) && head != target) {
+        continue;
+      }
+      // Spell the cycle out: head -> (not) target -> ... -> head.
+      std::vector<std::string> path = graph.PathWithinScc(target, head);
+      std::string cycle = StrCat(head, lit.negated ? " -> not " : " -> ",
+                                 StrJoin(path, " -> "));
+      Diagnostic d;
+      d.code = "E002";
+      d.severity = Severity::kError;
+      d.span = lit.span.IsKnown() ? lit.span : rule.span;
+      d.message = StrCat(
+          "program is not stratified: '", head, "' ",
+          lit.negated ? "negates" : "aggregates over", " '", target,
+          "' inside its own recursive component (cycle: ", cycle, ")");
+      d.notes.push_back({rule.span, StrCat("in rule: ", rule.ToString())});
+      sink->Add(std::move(d));
+    }
+  }
+}
+
+void LintArityConsistency(const Program& program, DiagnosticSink* sink) {
+  struct FirstUse {
+    size_t arity = 0;
+    SourceSpan span;
+  };
+  std::map<std::string, FirstUse> first;
+  auto check = [&first, sink](const Atom& atom, const SourceSpan& where) {
+    auto [it, inserted] =
+        first.emplace(atom.predicate, FirstUse{atom.arity(), where});
+    if (inserted || it->second.arity == atom.arity()) return;
+    Diagnostic d;
+    d.code = "E003";
+    d.severity = Severity::kError;
+    d.span = where;
+    d.message = StrCat("predicate '", atom.predicate, "' used with arity ",
+                       atom.arity(), " but first used with arity ",
+                       it->second.arity);
+    d.notes.push_back({it->second.span,
+                       StrCat("first use of '", atom.predicate, "' here")});
+    sink->Add(std::move(d));
+  };
+  for (const Rule& rule : program.rules) {
+    check(rule.head, rule.head.span);
+    for (const Literal& lit : rule.body) {
+      if (lit.kind == Literal::Kind::kAtom) {
+        check(lit.atom, lit.span.IsKnown() ? lit.span : rule.span);
+      }
+    }
+  }
+}
+
+void LintSeparability(const Program& program,
+                      const SeparabilityOptions& options,
+                      DiagnosticSink* sink) {
+  StatusOr<ProgramInfo> info = ProgramInfo::Analyze(program);
+  if (!info.ok()) return;  // broken programs are covered by E001-E003
+  for (const auto& [name, pred] : info->predicates()) {
+    if (!pred.is_idb || !pred.is_recursive) continue;
+    StatusOr<SeparableRecursion> sep =
+        AnalyzeSeparable(program, name, options, sink);
+    if (!sep.ok()) continue;  // the sink already holds the S1xx details
+    std::vector<std::string> columns;
+    for (uint32_t p : sep->persistent_positions) {
+      columns.push_back(StrCat(p));
+    }
+    sink->Report(
+        "S001", Severity::kNote,
+        sep->recursion.recursive_rules.empty()
+            ? SourceSpan{}
+            : sep->recursion.recursive_rules.front().span,
+        StrCat("'", name, "' is a separable recursion: ",
+               sep->classes.size(), " equivalence class(es), persistent "
+               "columns {", StrJoin(columns, ", "), "} — eligible for the "
+               "O(n) Separable strategy"));
+  }
+}
+
+void LintProgram(const ParsedUnit& unit, const LintOptions& options,
+                 DiagnosticSink* sink) {
+  LintArityConsistency(unit.program, sink);
+  LintSafety(unit.program, sink);
+  LintStratification(unit.program, sink);
+  LintUnusedPredicates(unit.program, unit.queries, sink);
+  LintSingletonVariables(unit.program, sink);
+  LintUnreachableRules(unit.program, sink);
+  LintTautologicalRules(unit.program, sink);
+  if (options.include_separability) {
+    LintSeparability(unit.program, options.separability, sink);
+  }
+  sink->SortBySpan();
+}
+
+}  // namespace seprec

@@ -1,0 +1,66 @@
+// General Datalog lints: the database-independent pass family behind
+// `seprec_cli lint`.
+//
+// Every pass is polynomial in the rule set (most are linear in the number
+// of literals; stratification is linear in the dependency graph) and never
+// touches a Database — the same Section 3.1 property the separability
+// detector has, verified alongside it in bench/tab_detection.
+//
+// Codes produced here:
+//   W001  unused predicate: defined but never read by a body or query
+//   W002  singleton variable: occurs exactly once in its rule (likely a
+//         typo; prefix with '_' to silence)
+//   W003  unreachable rule: a body comparison can never hold
+//   W004  tautological rule: the head reappears as a positive body atom
+//   E001  unsafe rule: names every variable that is not range restricted
+//   E002  unstratified negation/aggregation, with the offending dependency
+//         cycle spelled out
+//   E003  predicate used with inconsistent arities
+// The separability explainer (S001 note / S100..S107, see
+// separable/detection.h) also runs under LintProgram.
+#ifndef SEPREC_DATALOG_LINT_H_
+#define SEPREC_DATALOG_LINT_H_
+
+#include <vector>
+
+#include "datalog/ast.h"
+#include "datalog/diagnostics.h"
+#include "datalog/parser.h"
+#include "separable/detection.h"
+
+namespace seprec {
+
+struct LintOptions {
+  // Forwarded to AnalyzeSeparable for the S-code passes.
+  SeparabilityOptions separability;
+  // Run the separability explainer over every recursive IDB predicate.
+  bool include_separability = true;
+};
+
+// Runs every pass over the parsed unit and appends findings to `sink`
+// (sorted by source position). Works on programs that fail
+// ProgramInfo::Analyze — each pass validates only what it needs.
+void LintProgram(const ParsedUnit& unit, const LintOptions& options,
+                 DiagnosticSink* sink);
+
+// Individual passes (exposed for targeted tests).
+void LintUnusedPredicates(const Program& program,
+                          const std::vector<Atom>& queries,
+                          DiagnosticSink* sink);
+void LintSingletonVariables(const Program& program, DiagnosticSink* sink);
+void LintUnreachableRules(const Program& program, DiagnosticSink* sink);
+void LintTautologicalRules(const Program& program, DiagnosticSink* sink);
+void LintSafety(const Program& program, DiagnosticSink* sink);
+void LintStratification(const Program& program, DiagnosticSink* sink);
+void LintArityConsistency(const Program& program, DiagnosticSink* sink);
+
+// The separability explainer: for every linear-recursive IDB predicate,
+// either an S001 note describing the detected classes or the S1xx
+// diagnostics explaining exactly which Definition 2.4 condition failed.
+void LintSeparability(const Program& program,
+                      const SeparabilityOptions& options,
+                      DiagnosticSink* sink);
+
+}  // namespace seprec
+
+#endif  // SEPREC_DATALOG_LINT_H_

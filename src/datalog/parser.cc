@@ -22,14 +22,13 @@ class Parser {
         unit.queries.push_back(std::move(atom));
         continue;
       }
+      const Token& first = Peek();
       Rule rule;
       SEPREC_RETURN_IF_ERROR(ParseHead(&rule.head, &rule.aggregate));
       if (At(TokenKind::kQuestion)) {
         Advance();
         if (rule.aggregate.has_value()) {
-          return InvalidArgumentError(
-              StrCat("line ", Peek().line, ": aggregates are not allowed "
-                     "in queries"));
+          return Error("aggregates are not allowed in queries");
         }
         // Optional trailing period after "atom?".
         if (At(TokenKind::kPeriod)) Advance();
@@ -40,11 +39,10 @@ class Parser {
         Advance();
         SEPREC_ASSIGN_OR_RETURN(rule.body, ParseBody());
       } else if (rule.aggregate.has_value()) {
-        return InvalidArgumentError(
-            StrCat("line ", Peek().line, ": an aggregate head needs a "
-                   "rule body"));
+        return Error("an aggregate head needs a rule body");
       }
       SEPREC_RETURN_IF_ERROR(Expect(TokenKind::kPeriod));
+      rule.span = SpanFrom(first);
       unit.program.rules.push_back(std::move(rule));
     }
     return unit;
@@ -55,11 +53,26 @@ class Parser {
   bool At(TokenKind kind) const { return Peek().kind == kind; }
   const Token& Advance() { return tokens_[pos_++]; }
 
+  // The extent from `start` through the most recently consumed token.
+  SourceSpan SpanFrom(const Token& start) const {
+    SourceSpan span;
+    span.line = start.line;
+    span.col = start.col;
+    const Token& last = pos_ > 0 ? tokens_[pos_ - 1] : start;
+    span.end_line = last.line;
+    span.end_col = last.end_col;
+    return span;
+  }
+
+  Status Error(std::string_view message) const {
+    return InvalidArgumentError(StrCat("line ", Peek().line, ", col ",
+                                       Peek().col, ": ", message));
+  }
+
   Status Expect(TokenKind kind) {
     if (!At(kind)) {
-      return InvalidArgumentError(
-          StrCat("line ", Peek().line, ": expected ", TokenKindToString(kind),
-                 ", found ", TokenKindToString(Peek().kind)));
+      return Error(StrCat("expected ", TokenKindToString(kind), ", found ",
+                          TokenKindToString(Peek().kind)));
     }
     Advance();
     return Status::OK();
@@ -79,6 +92,7 @@ class Parser {
   }
 
   StatusOr<Literal> ParseLiteral() {
+    const Token& first = Peek();
     // 'not atom' — stratified negation ('not' is a reserved word in rule
     // bodies when followed by a predicate name).
     if (At(TokenKind::kIdent) && Peek().text == "not" &&
@@ -86,7 +100,9 @@ class Parser {
         tokens_[pos_ + 1].kind == TokenKind::kIdent) {
       Advance();
       SEPREC_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
-      return Literal::MakeNegatedAtom(std::move(atom));
+      Literal lit = Literal::MakeNegatedAtom(std::move(atom));
+      lit.span = SpanFrom(first);
+      return lit;
     }
     // 'X is expr' assignment?
     if (At(TokenKind::kVar) && pos_ + 1 < tokens_.size() &&
@@ -95,7 +111,9 @@ class Parser {
       std::string var = Advance().text;
       Advance();  // 'is'
       SEPREC_ASSIGN_OR_RETURN(Expr expr, ParseExpr());
-      return Literal::MakeAssign(std::move(var), std::move(expr));
+      Literal lit = Literal::MakeAssign(std::move(var), std::move(expr));
+      lit.span = SpanFrom(first);
+      return lit;
     }
     // Relational atom: identifier followed by '(' or standing alone in a
     // comparison-free position.
@@ -104,18 +122,21 @@ class Parser {
          tokens_[pos_ + 1].kind == TokenKind::kLParen ||
          !IsCmpToken(tokens_[pos_ + 1].kind))) {
       SEPREC_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
-      return Literal::MakeAtom(std::move(atom));
+      Literal lit = Literal::MakeAtom(std::move(atom));
+      lit.span = SpanFrom(first);
+      return lit;
     }
     // Comparison: term cmpop term.
     SEPREC_ASSIGN_OR_RETURN(Term lhs, ParseTerm());
     if (!IsCmpToken(Peek().kind)) {
-      return InvalidArgumentError(
-          StrCat("line ", Peek().line, ": expected comparison operator after ",
-                 lhs.ToString()));
+      return Error(StrCat("expected comparison operator after ",
+                          lhs.ToString()));
     }
     CmpOp op = TokenToCmpOp(Advance().kind);
     SEPREC_ASSIGN_OR_RETURN(Term rhs, ParseTerm());
-    return Literal::MakeCompare(op, std::move(lhs), std::move(rhs));
+    Literal lit = Literal::MakeCompare(op, std::move(lhs), std::move(rhs));
+    lit.span = SpanFrom(first);
+    return lit;
   }
 
   static bool IsCmpToken(TokenKind kind) {
@@ -147,13 +168,16 @@ class Parser {
   // Parses a rule head: an atom whose arguments may include one aggregate
   // `count(V)` / `sum(V)` / `min(V)` / `max(V)`.
   Status ParseHead(Atom* head, std::optional<AggregateSpec>* aggregate) {
+    const Token& first = Peek();
     if (!At(TokenKind::kIdent)) {
-      return InvalidArgumentError(
-          StrCat("line ", Peek().line, ": expected predicate name, found ",
-                 TokenKindToString(Peek().kind)));
+      return Error(StrCat("expected predicate name, found ",
+                          TokenKindToString(Peek().kind)));
     }
     head->predicate = Advance().text;
-    if (!At(TokenKind::kLParen)) return Status::OK();
+    if (!At(TokenKind::kLParen)) {
+      head->span = SpanFrom(first);
+      return Status::OK();
+    }
     Advance();
     while (true) {
       std::optional<AggregateSpec::Op> op;
@@ -167,17 +191,19 @@ class Parser {
       }
       if (op.has_value()) {
         int line = Peek().line;
+        int col = Peek().col;
         Advance();  // op word
         Advance();  // '('
         if (!At(TokenKind::kVar)) {
-          return InvalidArgumentError(
-              StrCat("line ", line, ": aggregate needs a variable"));
+          return InvalidArgumentError(StrCat("line ", line, ", col ", col,
+                                             ": aggregate needs a variable"));
         }
         std::string var = Advance().text;
         SEPREC_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
         if (aggregate->has_value()) {
           return InvalidArgumentError(
-              StrCat("line ", line, ": at most one aggregate per head"));
+              StrCat("line ", line, ", col ", col,
+                     ": at most one aggregate per head"));
         }
         AggregateSpec spec;
         spec.op = *op;
@@ -194,19 +220,21 @@ class Parser {
         continue;
       }
       SEPREC_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      head->span = SpanFrom(first);
       return Status::OK();
     }
   }
 
   StatusOr<Atom> ParseAtom() {
+    const Token& first = Peek();
     if (!At(TokenKind::kIdent)) {
-      return InvalidArgumentError(
-          StrCat("line ", Peek().line, ": expected predicate name, found ",
-                 TokenKindToString(Peek().kind)));
+      return Error(StrCat("expected predicate name, found ",
+                          TokenKindToString(Peek().kind)));
     }
     Atom atom;
     atom.predicate = Advance().text;
     if (!At(TokenKind::kLParen)) {
+      atom.span = SpanFrom(first);
       return atom;  // propositional atom
     }
     Advance();
@@ -218,6 +246,7 @@ class Parser {
         continue;
       }
       SEPREC_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      atom.span = SpanFrom(first);
       return atom;
     }
   }
@@ -237,9 +266,8 @@ class Parser {
       Advance();
       return Term::Int(-Advance().int_value);
     }
-    return InvalidArgumentError(StrCat("line ", Peek().line,
-                                       ": expected term, found ",
-                                       TokenKindToString(Peek().kind)));
+    return Error(StrCat("expected term, found ",
+                        TokenKindToString(Peek().kind)));
   }
 
   StatusOr<Expr> ParseExpr() {
@@ -287,12 +315,43 @@ class Parser {
   size_t pos_ = 0;
 };
 
+// "line N, col M: message" -> a P001 diagnostic at N:M. Falls back to an
+// unknown location if the status message carries none.
+Diagnostic StatusToParseDiagnostic(const Status& status) {
+  Diagnostic d;
+  d.code = "P001";
+  d.severity = Severity::kError;
+  d.message = status.message();
+  int line = 0, col = 0;
+  if (std::sscanf(status.message().c_str(), "line %d, col %d", &line, &col) ==
+      2) {
+    d.span.line = line;
+    d.span.col = col;
+    d.span.end_line = line;
+    d.span.end_col = col + 1;
+    // Strip the redundant location prefix from the message.
+    size_t colon = status.message().find(": ");
+    if (colon != std::string::npos) {
+      d.message = status.message().substr(colon + 2);
+    }
+  }
+  return d;
+}
+
 }  // namespace
 
 StatusOr<ParsedUnit> ParseUnit(std::string_view source) {
   SEPREC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
   Parser parser(std::move(tokens));
   return parser.ParseUnit();
+}
+
+StatusOr<ParsedUnit> ParseUnit(std::string_view source, DiagnosticSink* sink) {
+  StatusOr<ParsedUnit> unit = ParseUnit(source);
+  if (!unit.ok() && sink != nullptr) {
+    sink->Add(StatusToParseDiagnostic(unit.status()));
+  }
+  return unit;
 }
 
 StatusOr<Program> ParseProgram(std::string_view source) {

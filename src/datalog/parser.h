@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "datalog/ast.h"
+#include "datalog/diagnostics.h"
 #include "util/status.h"
 
 namespace seprec {
@@ -32,8 +33,13 @@ struct ParsedUnit {
   std::vector<Atom> queries; // query atoms, in source order
 };
 
-// Parses a whole source text.
+// Parses a whole source text. Every AST node carries its SourceSpan.
 StatusOr<ParsedUnit> ParseUnit(std::string_view source);
+
+// Same, but a parse/lex failure additionally lands in `sink` as a P001
+// error diagnostic with the failure's span (for the lint pipeline, which
+// must report even unparseable programs structurally).
+StatusOr<ParsedUnit> ParseUnit(std::string_view source, DiagnosticSink* sink);
 
 // Parses a source text that must contain only facts/rules (no queries).
 StatusOr<Program> ParseProgram(std::string_view source);

@@ -1,0 +1,40 @@
+// Source locations for diagnostics.
+//
+// A SourceSpan is a half-open [start, end) range of characters in the
+// program text, tracked as 1-based line/column pairs. Line 0 means "no
+// location" (e.g. a synthesized AST node built programmatically rather
+// than parsed). Spans survive Rectify / canonicalization so every
+// diagnostic can point back at the rule the user actually wrote.
+#ifndef SEPREC_DATALOG_SOURCE_SPAN_H_
+#define SEPREC_DATALOG_SOURCE_SPAN_H_
+
+#include <string>
+
+namespace seprec {
+
+struct SourceSpan {
+  int line = 0;      // 1-based start line; 0 = unknown location
+  int col = 0;       // 1-based start column
+  int end_line = 0;  // 1-based line of the last character
+  int end_col = 0;   // 1-based column one past the last character
+
+  bool IsKnown() const { return line > 0; }
+
+  // "line 3, col 7" (or "<unknown>" for a synthesized node).
+  std::string ToString() const;
+
+  friend bool operator==(const SourceSpan& a, const SourceSpan& b) {
+    return a.line == b.line && a.col == b.col && a.end_line == b.end_line &&
+           a.end_col == b.end_col;
+  }
+  friend bool operator!=(const SourceSpan& a, const SourceSpan& b) {
+    return !(a == b);
+  }
+};
+
+// Smallest span covering both inputs (unknown spans are ignored).
+SourceSpan CoverSpans(const SourceSpan& a, const SourceSpan& b);
+
+}  // namespace seprec
+
+#endif  // SEPREC_DATALOG_SOURCE_SPAN_H_

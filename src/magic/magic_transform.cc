@@ -225,7 +225,8 @@ StatusOr<MagicRewrite> MagicTransform(const Program& program,
 
       // The SIP prefix starts with the magic guard.
       Literal guard = Literal::MakeAtom(
-          Atom{magic_name(pred, adornment), BoundArgs(rule.head, adornment)});
+          Atom{magic_name(pred, adornment), BoundArgs(rule.head, adornment),
+               SourceSpan{}});
       std::vector<Literal> prefix = {guard};
       std::vector<Literal> new_body = {guard};
 

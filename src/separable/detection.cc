@@ -20,29 +20,80 @@ std::vector<Literal> NonRecursiveLiterals(const LinearRecursion& rec,
   return out;
 }
 
+std::string PositionSetToString(const std::set<uint32_t>& positions) {
+  std::string out = "{";
+  bool first = true;
+  for (uint32_t p : positions) {
+    if (!first) out += ", ";
+    out += StrCat(p);
+    first = false;
+  }
+  return out + "}";
+}
+
+// Span of the best rule to blame for a whole-recursion failure: the first
+// rule defining `predicate` (or an unknown span for programs built
+// programmatically).
+SourceSpan PredicateSpan(const Program& program, std::string_view predicate) {
+  for (const Rule& rule : program.rules) {
+    if (rule.head.predicate == predicate) return rule.span;
+  }
+  return SourceSpan{};
+}
+
 }  // namespace
 
 StatusOr<SeparableRecursion> AnalyzeSeparable(
     const Program& program, std::string_view predicate,
-    const SeparabilityOptions& options) {
-  SEPREC_ASSIGN_OR_RETURN(LinearRecursion rec,
-                          ExtractLinearRecursion(program, predicate));
+    const SeparabilityOptions& options, DiagnosticSink* sink) {
+  // Local sink so the caller's sink only sees this predicate's findings
+  // once, in emission order, even if we bail out mid-way.
+  DiagnosticSink local;
+  auto finish_failed = [&]() -> Status {
+    SEPREC_CHECK(!local.empty());
+    Status status =
+        FailedPreconditionError(local.diagnostics().front().message);
+    if (sink != nullptr) sink->Absorb(local);
+    return status;
+  };
+
+  StatusOr<LinearRecursion> extracted =
+      ExtractLinearRecursion(program, predicate);
+  if (!extracted.ok()) {
+    if (sink != nullptr) {
+      sink->Report("S100", Severity::kWarning,
+                   PredicateSpan(program, predicate),
+                   StrCat("'", predicate, "' is not a linear recursion in "
+                          "normal form: ", extracted.status().message()));
+    }
+    return extracted.status();
+  }
+  LinearRecursion rec = std::move(extracted).value();
   if (rec.recursive_rules.empty()) {
-    return FailedPreconditionError(
-        StrCat("'", predicate, "' has no (non-trivial) recursive rule"));
+    local.Report("S106", Severity::kWarning,
+                 PredicateSpan(program, predicate),
+                 StrCat("'", predicate,
+                        "' has no (non-trivial) recursive rule"));
+    return finish_failed();
   }
   if (rec.exit_rules.empty()) {
-    return FailedPreconditionError(
-        StrCat("'", predicate, "' has no nonrecursive exit rule"));
+    local.Report("S107", Severity::kWarning,
+                 PredicateSpan(program, predicate),
+                 StrCat("'", predicate, "' has no nonrecursive exit rule"),
+                 StrCat("add a nonrecursive rule or fact for '", predicate,
+                        "' so the recursion has a base case"));
+    return finish_failed();
   }
 
   SeparableRecursion sep;
   const size_t n = rec.recursive_rules.size();
   const size_t k = rec.arity;
 
-  // Per rule: the t_i^h / t_i^b position sets.
+  // Per rule: the t_i^h / t_i^b position sets, and whether the rule passed
+  // the shape checks that make those sets meaningful.
   std::vector<std::set<uint32_t>> head_positions(n);
   std::vector<std::set<uint32_t>> body_positions(n);
+  std::vector<bool> shape_ok(n, true);
 
   for (size_t i = 0; i < n; ++i) {
     const Rule& rule = rec.recursive_rules[i];
@@ -53,16 +104,18 @@ StatusOr<SeparableRecursion> AnalyzeSeparable(
     std::set<std::string> seen;
     for (const Term& arg : body_t.args) {
       if (!arg.IsVar()) {
-        return FailedPreconditionError(
-            StrCat("recursive atom has a constant argument: ",
-                   rule.ToString()));
-      }
-      if (!seen.insert(arg.name).second) {
-        return FailedPreconditionError(
-            StrCat("recursive atom repeats variable '", arg.name,
-                   "': ", rule.ToString()));
+        local.Report("S105", Severity::kWarning, body_t.span,
+                     StrCat("recursive atom has a constant argument: ",
+                            rule.ToString()));
+        shape_ok[i] = false;
+      } else if (!seen.insert(arg.name).second) {
+        local.Report("S105", Severity::kWarning, body_t.span,
+                     StrCat("recursive atom repeats variable '", arg.name,
+                            "': ", rule.ToString()));
+        shape_ok[i] = false;
       }
     }
+    if (!shape_ok[i]) continue;  // position sets are not meaningful
 
     // Condition 1: no shifting variables. Head variables are V0..Vk-1, so
     // any head variable inside the body instance must sit at its own
@@ -71,9 +124,19 @@ StatusOr<SeparableRecursion> AnalyzeSeparable(
       const std::string& v = body_t.args[p].name;
       for (size_t q = 0; q < k; ++q) {
         if (v == rec.head_vars[q] && q != p) {
-          return FailedPreconditionError(StrCat(
-              "condition 1 (shifting variables): '", v, "' moves from "
-              "position ", q, " to ", p, " in: ", rule.ToString()));
+          Diagnostic d;
+          d.code = "S101";
+          d.severity = Severity::kWarning;
+          d.span = body_t.span.IsKnown() ? body_t.span : rule.span;
+          d.message = StrCat(
+              "condition 1 (shifting variables): '", v,
+              "' moves from head position ", q, " to body position ", p,
+              " in: ", rule.ToString());
+          d.notes.push_back(
+              {rule.head.span,
+               StrCat("head instance binds '", v, "' at position ", q)});
+          local.Add(std::move(d));
+          shape_ok[i] = false;
         }
       }
     }
@@ -92,41 +155,91 @@ StatusOr<SeparableRecursion> AnalyzeSeparable(
 
     // Condition 2: t_i^h == t_i^b.
     if (head_positions[i] != body_positions[i]) {
-      return FailedPreconditionError(
-          StrCat("condition 2 (t^h != t^b) fails for: ", rule.ToString()));
+      local.Report(
+          "S102", Severity::kWarning, rule.span,
+          StrCat("condition 2 (t^h != t^b): head positions sharing "
+                 "variables with the nonrecursive body t^h = ",
+                 PositionSetToString(head_positions[i]),
+                 " differ from body-instance positions t^b = ",
+                 PositionSetToString(body_positions[i]), " in: ",
+                 rule.ToString()));
+      shape_ok[i] = false;
     }
 
     // Condition 4: the nonrecursive literals form one maximal connected
     // set. (A rule whose entire body is the recursive atom was either
     // dropped as tautological or rejected above.)
     size_t num_components = 0;
+    std::vector<size_t> component_of;
     if (!others.empty()) {
-      ConnectedComponents(others, &num_components);
+      component_of = ConnectedComponents(others, &num_components);
     }
-    if (options.require_connected_bodies && num_components != 1) {
-      return FailedPreconditionError(StrCat(
+    if (options.require_connected_bodies && num_components > 1) {
+      Diagnostic d;
+      d.code = "S104";
+      d.severity = Severity::kWarning;
+      d.span = rule.span;
+      d.message = StrCat(
           "condition 4 (maximal connected set): the nonrecursive body of ",
           rule.ToString(), " has ", num_components,
-          " connected components"));
+          " connected components");
+      // Spell out each stray component (everything beyond the first).
+      for (size_t c = 1; c < num_components; ++c) {
+        std::vector<std::string> lits;
+        SourceSpan where;
+        for (size_t j = 0; j < others.size(); ++j) {
+          if (component_of[j] != c) continue;
+          lits.push_back(others[j].ToString());
+          where = CoverSpans(where, others[j].span);
+        }
+        d.notes.push_back(
+            {where, StrCat("stray component: ", StrJoin(lits, ", "),
+                           " shares no variable with the rest of the "
+                           "body")});
+      }
+      d.fixit =
+          "run with --relaxed (SeparabilityOptions.require_connected_bodies "
+          "= false): Section 5 keeps the algorithm correct but evaluates "
+          "stray components without selection bindings";
+      local.Add(std::move(d));
+      shape_ok[i] = false;
     }
   }
 
   // Condition 3: position sets pairwise equal or disjoint; group rules
-  // into equivalence classes.
-  std::map<std::vector<uint32_t>, size_t> class_of_positions;
-  sep.class_of_rule.resize(n);
+  // into equivalence classes. Only meaningful between rules whose sets
+  // were computable.
   for (size_t i = 0; i < n; ++i) {
+    if (!shape_ok[i]) continue;
     for (size_t j = i + 1; j < n; ++j) {
+      if (!shape_ok[j]) continue;
       if (body_positions[i] == body_positions[j]) continue;
       for (uint32_t p : body_positions[i]) {
         if (body_positions[j].count(p)) {
-          return FailedPreconditionError(StrCat(
+          Diagnostic d;
+          d.code = "S103";
+          d.severity = Severity::kWarning;
+          d.span = rec.recursive_rules[i].span;
+          d.message = StrCat(
               "condition 3 (equal or disjoint): rules ", i, " and ", j,
-              " overlap on column ", p, " without being equal"));
+              " overlap on column ", p, " without being equal (",
+              PositionSetToString(body_positions[i]), " vs ",
+              PositionSetToString(body_positions[j]), ")");
+          d.notes.push_back(
+              {rec.recursive_rules[j].span,
+               StrCat("the other rule of the pair: ",
+                      rec.recursive_rules[j].ToString())});
+          local.Add(std::move(d));
+          break;  // one overlap report per rule pair
         }
       }
     }
   }
+
+  if (!local.empty()) return finish_failed();
+
+  std::map<std::vector<uint32_t>, size_t> class_of_positions;
+  sep.class_of_rule.resize(n);
   for (size_t i = 0; i < n; ++i) {
     std::vector<uint32_t> key(body_positions[i].begin(),
                               body_positions[i].end());
@@ -165,6 +278,7 @@ SeparableRecursion RemoveClass(const SeparableRecursion& sep,
   out.recursion.arity = sep.recursion.arity;
   out.recursion.head_vars = sep.recursion.head_vars;
   out.recursion.exit_rules = sep.recursion.exit_rules;
+  out.recursion.exit_rule_origin = sep.recursion.exit_rule_origin;
 
   std::map<size_t, size_t> new_rule_index;  // old -> new
   for (size_t i = 0; i < sep.recursion.recursive_rules.size(); ++i) {
@@ -173,6 +287,10 @@ SeparableRecursion RemoveClass(const SeparableRecursion& sep,
     out.recursion.recursive_rules.push_back(sep.recursion.recursive_rules[i]);
     out.recursion.recursive_atom_index.push_back(
         sep.recursion.recursive_atom_index[i]);
+    if (i < sep.recursion.recursive_rule_origin.size()) {
+      out.recursion.recursive_rule_origin.push_back(
+          sep.recursion.recursive_rule_origin[i]);
+    }
   }
   for (size_t c = 0; c < sep.classes.size(); ++c) {
     if (c == class_index) continue;

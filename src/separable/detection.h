@@ -25,6 +25,7 @@
 
 #include "datalog/analysis.h"
 #include "datalog/ast.h"
+#include "datalog/diagnostics.h"
 #include "util/status.h"
 
 namespace seprec {
@@ -59,10 +60,32 @@ struct SeparabilityOptions {
 // FAILED_PRECONDITION with a human-readable reason when the recursion is
 // not separable (which exact condition failed), INVALID_ARGUMENT on
 // malformed input.
+//
+// When `sink` is non-null the analysis additionally reports EVERY
+// violation (not just the first) as a structured diagnostic with a source
+// span pointing at the offending rule — one stable code per way a
+// recursion can miss Definition 2.4:
+//
+//   S100  not a linear recursion in normal form (non-linear rule, mutual
+//         recursion, aggregate rule, or a body predicate depending on t)
+//   S101  condition 1: a shifting variable, naming the variable and its
+//         head/body positions
+//   S102  condition 2: t_i^h != t_i^b, listing both position sets
+//   S103  condition 3: two rules' position sets overlap without being
+//         equal (the second rule attached as a note)
+//   S104  condition 4: the nonrecursive body is disconnected, each stray
+//         component listed; fix-it points at the Section 5 --relaxed mode
+//   S105  the recursive body atom carries a constant or repeated variable
+//   S106  no (non-trivial) recursive rule
+//   S107  no nonrecursive exit rule
+//
+// The returned error's message is the first diagnostic's message, so the
+// legacy prose behaviour is unchanged when sink == nullptr.
 StatusOr<SeparableRecursion> AnalyzeSeparable(const Program& program,
                                               std::string_view predicate,
                                               const SeparabilityOptions&
-                                                  options = {});
+                                                  options = {},
+                                              DiagnosticSink* sink = nullptr);
 
 // Convenience: true iff AnalyzeSeparable succeeds.
 bool IsSeparable(const Program& program, std::string_view predicate);

@@ -152,8 +152,7 @@ class SchemaRunner {
   }
 
   ~SchemaRunner() {
-    for (const std::string& suffix :
-         {"carry1", "seen1", "carry2", "seen2"}) {
+    for (const char* suffix : {"carry1", "seen1", "carry2", "seen2"}) {
       db_->Drop(prefix_ + suffix);
     }
   }
@@ -561,14 +560,6 @@ StatusOr<std::string> ExplainSchema(const SeparableRecursion& sep,
         "partial selection: rewrite with Lemma 2.1 first");
   }
 
-  auto args_csv = [](const std::vector<Term>& args) {
-    std::string out;
-    for (size_t i = 0; i < args.size(); ++i) {
-      if (i > 0) out += ", ";
-      out += args[i].ToString();
-    }
-    return out;
-  };
   auto rule_rhs = [](const Rule& rule) {
     std::string out;
     for (size_t i = 0; i < rule.body.size(); ++i) {

@@ -2,8 +2,13 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cctype>
 #include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "util/string_util.h"
 
@@ -127,6 +132,259 @@ TEST(Cli, ExamplePrograms) {
       << blocked.output;
   EXPECT_NE(blocked.output.find("(a, d)"), std::string::npos);
   EXPECT_EQ(blocked.output.find("(a, c)"), std::string::npos);
+}
+
+// ---- minimal JSON parser (for round-tripping `lint --format json`) ------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> items;
+  std::map<std::string, JsonValue> fields;
+
+  const JsonValue& at(const std::string& key) const {
+    static const JsonValue kNullValue;
+    auto it = fields.find(key);
+    return it == fields.end() ? kNullValue : it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    bool ok = Value(out);
+    SkipSpace();
+    return ok && pos_ == text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(
+        static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool Value(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '{') return Object(out);
+    if (c == '[') return Array(out);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return String(&out->str);
+    }
+    if (c == 't' || c == 'f') {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = c == 't';
+      const char* word = c == 't' ? "true" : "false";
+      size_t len = c == 't' ? 4 : 5;
+      if (text_.compare(pos_, len, word) != 0) return false;
+      pos_ += len;
+      return true;
+    }
+    if (c == 'n') {
+      if (text_.compare(pos_, 4, "null") != 0) return false;
+      pos_ += 4;
+      return true;
+    }
+    return Number(out);
+  }
+
+  bool Number(JsonValue* out) {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::stod(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  bool String(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'u':
+            if (pos_ + 4 > text_.size()) return false;
+            out->push_back(static_cast<char>(
+                std::stoi(text_.substr(pos_, 4), nullptr, 16)));
+            pos_ += 4;
+            break;
+          default: out->push_back(esc);
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return pos_ < text_.size() && text_[pos_++] == '"';
+  }
+
+  bool Array(JsonValue* out) {
+    if (!Consume('[')) return false;
+    out->kind = JsonValue::Kind::kArray;
+    SkipSpace();
+    if (Consume(']')) return true;
+    do {
+      JsonValue item;
+      if (!Value(&item)) return false;
+      out->items.push_back(std::move(item));
+    } while (Consume(','));
+    return Consume(']');
+  }
+
+  bool Object(JsonValue* out) {
+    if (!Consume('{')) return false;
+    out->kind = JsonValue::Kind::kObject;
+    SkipSpace();
+    if (Consume('}')) return true;
+    do {
+      SkipSpace();
+      std::string key;
+      if (!String(&key) || !Consume(':')) return false;
+      JsonValue value;
+      if (!Value(&value)) return false;
+      out->fields.emplace(std::move(key), std::move(value));
+    } while (Consume(','));
+    return Consume('}');
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// ---- lint subcommand ----------------------------------------------------
+
+TEST(Cli, LintTextReport) {
+  CliResult r = RunCli(StrCat("lint ", Data("lint_demo.dl")));
+  EXPECT_EQ(r.exit_code, 1) << r.output;  // warnings present
+  // The separable recursion gets its success note with a span.
+  EXPECT_NE(r.output.find("note: 't' is a separable recursion"),
+            std::string::npos)
+      << r.output;
+  // The disconnected recursion is explained via condition 4 at line 7.
+  EXPECT_NE(r.output.find(":7:1: warning: condition 4"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("[S104]"), std::string::npos);
+  EXPECT_NE(r.output.find("fix-it: run with --relaxed"), std::string::npos);
+  // The unused predicate and singleton variable lints fire with spans.
+  EXPECT_NE(r.output.find(":8:1: warning: predicate 'dead'"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("'Solo' occurs only once"), std::string::npos);
+  // Summary line.
+  EXPECT_NE(r.output.find("warning(s)"), std::string::npos);
+}
+
+TEST(Cli, LintRelaxedAcceptsDisconnectedBodies) {
+  CliResult r = RunCli(StrCat("lint ", Data("lint_demo.dl"), " --relaxed"));
+  EXPECT_EQ(r.output.find("[S104]"), std::string::npos) << r.output;
+  // 'bad' now gets its own separability note.
+  EXPECT_NE(r.output.find("'bad' is a separable recursion"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(Cli, LintJsonRoundTrips) {
+  CliResult r = RunCli(StrCat("lint ", Data("lint_demo.dl"),
+                              " --format json"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(r.output).Parse(&root)) << r.output;
+  ASSERT_EQ(root.kind, JsonValue::Kind::kObject);
+  EXPECT_NE(root.at("path").str.find("lint_demo.dl"), std::string::npos);
+  const JsonValue& diags = root.at("diagnostics");
+  ASSERT_EQ(diags.kind, JsonValue::Kind::kArray);
+  ASSERT_FALSE(diags.items.empty());
+  bool saw_s104 = false;
+  for (const JsonValue& d : diags.items) {
+    ASSERT_EQ(d.kind, JsonValue::Kind::kObject);
+    EXPECT_FALSE(d.at("code").str.empty());
+    EXPECT_FALSE(d.at("message").str.empty());
+    EXPECT_GT(d.at("line").number, 0);  // every finding has a span
+    EXPECT_GT(d.at("col").number, 0);
+    if (d.at("code").str == "S104") {
+      saw_s104 = true;
+      EXPECT_EQ(d.at("severity").str, "warning");
+      EXPECT_EQ(d.at("line").number, 7);
+      EXPECT_NE(d.at("fixit").str.find("--relaxed"), std::string::npos);
+      ASSERT_EQ(d.at("notes").kind, JsonValue::Kind::kArray);
+      ASSERT_FALSE(d.at("notes").items.empty());
+      EXPECT_NE(d.at("notes").items[0].at("message").str.find(
+                    "stray component"),
+                std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_s104) << r.output;
+}
+
+TEST(Cli, LintSarifIsWellFormedJson) {
+  CliResult r = RunCli(StrCat("lint ", Data("lint_demo.dl"),
+                              " --format sarif"));
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(r.output).Parse(&root)) << r.output;
+  EXPECT_EQ(root.at("version").str, "2.1.0");
+  const JsonValue& runs = root.at("runs");
+  ASSERT_EQ(runs.kind, JsonValue::Kind::kArray);
+  ASSERT_EQ(runs.items.size(), 1u);
+  EXPECT_EQ(runs.items[0].at("tool").at("driver").at("name").str,
+            "seprec-lint");
+  EXPECT_FALSE(runs.items[0].at("results").items.empty());
+}
+
+TEST(Cli, LintCleanProgramExitsZero) {
+  const std::string path = "/tmp/seprec_lint_clean.dl";
+  {
+    std::ofstream out(path);
+    out << "e(a, b).\np(X, Y) :- e(X, Y).\n?- p(a, Q).\n";
+  }
+  CliResult r = RunCli(StrCat("lint ", path));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("no findings."), std::string::npos) << r.output;
+}
+
+TEST(Cli, LintParseErrorIsStructured) {
+  const std::string path = "/tmp/seprec_lint_broken.dl";
+  {
+    std::ofstream out(path);
+    out << "p(a).\nq(X :- r(X).\n";
+  }
+  CliResult r = RunCli(StrCat("lint ", path));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find(":2:5: error:"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("[P001]"), std::string::npos);
+}
+
+TEST(Cli, LintUsageErrors) {
+  EXPECT_EQ(RunCli("lint /no/such/file.dl").exit_code, 2);
+  EXPECT_EQ(RunCli(StrCat("lint ", Data("lint_demo.dl"),
+                          " --format yaml")).exit_code, 2);
+  EXPECT_EQ(RunCli(StrCat("lint ", Data("lint_demo.dl"),
+                          " --bogus")).exit_code, 2);
 }
 
 TEST(Cli, ErrorsAreClean) {

@@ -1,0 +1,439 @@
+// Diagnostics engine tests: one test per diagnostic code, each triggering
+// exactly that finding (the separability codes violate one Definition 2.4
+// condition in isolation), plus span-preservation, rendering, and
+// origin-map coverage.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/compiler.h"
+#include "datalog/analysis.h"
+#include "datalog/diagnostics.h"
+#include "datalog/lint.h"
+#include "datalog/parser.h"
+#include "separable/detection.h"
+
+namespace seprec {
+namespace {
+
+std::vector<std::string> Codes(const DiagnosticSink& sink) {
+  std::vector<std::string> codes;
+  for (const Diagnostic& d : sink.diagnostics()) codes.push_back(d.code);
+  return codes;
+}
+
+const Diagnostic* FindCode(const DiagnosticSink& sink,
+                           const std::string& code) {
+  for (const Diagnostic& d : sink.diagnostics()) {
+    if (d.code == code) return &d;
+  }
+  return nullptr;
+}
+
+DiagnosticSink Lint(std::string_view source) {
+  auto unit = ParseUnit(source);
+  EXPECT_TRUE(unit.ok()) << unit.status().message();
+  DiagnosticSink sink;
+  LintProgram(*unit, LintOptions{}, &sink);
+  return sink;
+}
+
+DiagnosticSink Detect(std::string_view source, std::string_view predicate,
+                      const SeparabilityOptions& options = {}) {
+  auto program = ParseProgram(source);
+  EXPECT_TRUE(program.ok()) << program.status().message();
+  DiagnosticSink sink;
+  auto sep = AnalyzeSeparable(*program, predicate, options, &sink);
+  (void)sep;
+  return sink;
+}
+
+// ---- parse --------------------------------------------------------------
+
+TEST(Diagnostics, P001ParseError) {
+  DiagnosticSink sink;
+  auto unit = ParseUnit("p(a).\nq(X :- r(X).", &sink);
+  EXPECT_FALSE(unit.ok());
+  ASSERT_EQ(sink.size(), 1u);
+  const Diagnostic& d = sink.diagnostics()[0];
+  EXPECT_EQ(d.code, "P001");
+  EXPECT_EQ(d.severity, Severity::kError);
+  EXPECT_EQ(d.span.line, 2);
+  EXPECT_EQ(d.span.col, 5);
+  // The location prefix is stripped from the message (it lives in the span).
+  EXPECT_EQ(d.message.find("line 2"), std::string::npos) << d.message;
+}
+
+// ---- general lints ------------------------------------------------------
+
+TEST(Diagnostics, W001UnusedPredicate) {
+  DiagnosticSink sink = Lint(
+      "e(a, b).\n"
+      "dead(X) :- e(X, Y).\n"
+      "live(X) :- e(X, Y).\n"
+      "?- live(Q).");
+  const Diagnostic* d = FindCode(sink, "W001");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("'dead'"), std::string::npos);
+  EXPECT_EQ(d->span.line, 2);
+  EXPECT_EQ(d->span.col, 1);
+  // 'live' is queried, 'e' is read: neither is flagged.
+  std::vector<std::string> codes = Codes(sink);
+  EXPECT_EQ(std::count(codes.begin(), codes.end(), "W001"), 1);
+}
+
+TEST(Diagnostics, W001SilentWithoutQueries) {
+  DiagnosticSink sink;
+  auto unit = ParseUnit("e(a, b).\ndead(X) :- e(X, Y).");
+  ASSERT_TRUE(unit.ok());
+  LintUnusedPredicates(unit->program, unit->queries, &sink);
+  EXPECT_TRUE(sink.empty());
+}
+
+TEST(Diagnostics, W002SingletonVariable) {
+  DiagnosticSink sink = Lint("p(X) :- e(X, Extra).\n?- p(Q).");
+  const Diagnostic* d = FindCode(sink, "W002");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("'Extra'"), std::string::npos);
+  EXPECT_EQ(d->span.line, 1);
+  EXPECT_EQ(d->span.col, 9);  // the literal e(X, Extra)
+  // Underscore-prefixed wildcards are deliberate: not flagged.
+  DiagnosticSink quiet = Lint("p(X) :- e(X, _Extra).\n?- p(Q).");
+  EXPECT_EQ(FindCode(quiet, "W002"), nullptr);
+}
+
+TEST(Diagnostics, W003UnreachableRule) {
+  DiagnosticSink sink = Lint("p(X) :- e(X, Y), 1 = 2.\n?- p(Q).");
+  const Diagnostic* d = FindCode(sink, "W003");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->span.line, 1);
+  EXPECT_EQ(d->span.col, 18);  // the comparison literal
+  // X != X never holds either.
+  EXPECT_NE(FindCode(Lint("p(X) :- e(X, Y), X != X.\n?- p(Q)."), "W003"),
+            nullptr);
+  // A satisfiable comparison is fine.
+  EXPECT_EQ(FindCode(Lint("p(X) :- e(X, Y), 1 = 1.\n?- p(Q)."), "W003"),
+            nullptr);
+}
+
+TEST(Diagnostics, W004TautologicalRule) {
+  DiagnosticSink sink = Lint(
+      "p(a, b).\n"
+      "p(X, Y) :- p(X, Y).\n"
+      "?- p(Q, R).");
+  const Diagnostic* d = FindCode(sink, "W004");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->span.line, 2);
+}
+
+TEST(Diagnostics, E001UnsafeRule) {
+  DiagnosticSink sink = Lint("p(X, Y) :- e(X, Z).\n?- p(Q, R).");
+  const Diagnostic* d = FindCode(sink, "E001");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_NE(d->message.find("'Y'"), std::string::npos) << d->message;
+  EXPECT_EQ(d->span.line, 1);
+}
+
+TEST(Diagnostics, E002UnstratifiedNegationSpellsCycle) {
+  DiagnosticSink sink = Lint(
+      "win(X) :- move(X, Y), not win(Y).\n"
+      "?- win(Q).");
+  const Diagnostic* d = FindCode(sink, "E002");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_NE(d->message.find("not stratified"), std::string::npos);
+  EXPECT_NE(d->message.find("cycle: win -> not win"), std::string::npos)
+      << d->message;
+  EXPECT_EQ(d->span.line, 1);
+  EXPECT_EQ(d->span.col, 23);  // the 'not win(Y)' literal
+}
+
+TEST(Diagnostics, E002CycleThroughIntermediary) {
+  DiagnosticSink sink = Lint(
+      "p(X) :- e(X, Y), not q(Y).\n"
+      "q(X) :- p(X).\n"
+      "?- p(Q).");
+  const Diagnostic* d = FindCode(sink, "E002");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("p -> not q -> p"), std::string::npos)
+      << d->message;
+}
+
+TEST(Diagnostics, E003ArityMismatch) {
+  DiagnosticSink sink = Lint(
+      "e(a, b).\n"
+      "p(X) :- e(X).\n"
+      "?- p(Q).");
+  const Diagnostic* d = FindCode(sink, "E003");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->span.line, 2);
+  EXPECT_EQ(d->span.col, 9);  // the bad use e(X)
+  ASSERT_EQ(d->notes.size(), 1u);
+  EXPECT_EQ(d->notes[0].span.line, 1);  // first use e(a, b)
+}
+
+// ---- separability explainer: each condition in isolation ----------------
+
+TEST(Diagnostics, S100NotNormalForm) {
+  // Non-linear recursion cannot be put in the paper's normal form.
+  DiagnosticSink sink = Detect(
+      "t(X, Y) :- e(X, Y).\n"
+      "t(X, Y) :- t(X, W), t(W, Y).\n",
+      "t");
+  ASSERT_EQ(Codes(sink), std::vector<std::string>{"S100"});
+  EXPECT_EQ(sink.diagnostics()[0].span.line, 1);
+}
+
+TEST(Diagnostics, S101ShiftingVariableInIsolation) {
+  // X and Y swap positions in the body instance, but the position sets
+  // still match (t^h = t^b = {0, 1}), so only condition 1 fails.
+  DiagnosticSink sink = Detect(
+      "t(X, Y) :- e(X, Y).\n"
+      "t(X, Y) :- a(X, Y, W) & t(Y, X).\n",
+      "t");
+  std::vector<std::string> codes = Codes(sink);
+  ASSERT_FALSE(codes.empty());
+  for (const std::string& code : codes) EXPECT_EQ(code, "S101");
+  const Diagnostic& d = sink.diagnostics()[0];
+  EXPECT_NE(d.message.find("condition 1"), std::string::npos);
+  EXPECT_NE(d.message.find("head position"), std::string::npos);
+  EXPECT_NE(d.message.find("body position"), std::string::npos);
+  EXPECT_EQ(d.span.line, 2);
+  EXPECT_EQ(d.span.col, 25);  // the recursive body atom t(Y, X)
+  ASSERT_FALSE(d.notes.empty());
+  EXPECT_EQ(d.notes[0].span.col, 1);  // the head
+}
+
+TEST(Diagnostics, S102PositionSetMismatchInIsolation) {
+  // No variable shifts (X stays at 0; W only occurs in the body), but
+  // t^h = {0, 1} while t^b = {0}.
+  DiagnosticSink sink = Detect(
+      "t(X, Y) :- e(X, Y).\n"
+      "t(X, Y) :- a(X, Y) & t(X, W).\n",
+      "t");
+  ASSERT_EQ(Codes(sink), std::vector<std::string>{"S102"});
+  const Diagnostic& d = sink.diagnostics()[0];
+  EXPECT_NE(d.message.find("condition 2"), std::string::npos);
+  EXPECT_NE(d.message.find("{0}"), std::string::npos) << d.message;
+  EXPECT_NE(d.message.find("{0, 1}"), std::string::npos) << d.message;
+  EXPECT_EQ(d.span.line, 2);
+}
+
+TEST(Diagnostics, S103ClassOverlapInIsolation) {
+  // Each rule individually satisfies conditions 1, 2, 4, but their
+  // position sets {0, 1} and {1, 2} overlap without being equal.
+  DiagnosticSink sink = Detect(
+      "t(X, Y, Z) :- e(X, Y, Z).\n"
+      "t(X, Y, Z) :- a(X, Y) & t(X, Y, Z).\n"
+      "t(X, Y, Z) :- b(Y, Z) & t(X, Y, Z).\n",
+      "t");
+  ASSERT_EQ(Codes(sink), std::vector<std::string>{"S103"});
+  const Diagnostic& d = sink.diagnostics()[0];
+  EXPECT_NE(d.message.find("condition 3"), std::string::npos);
+  EXPECT_EQ(d.span.line, 2);
+  ASSERT_FALSE(d.notes.empty());
+  EXPECT_EQ(d.notes[0].span.line, 3);  // the other rule of the pair
+}
+
+TEST(Diagnostics, S104DisconnectedBodyInIsolation) {
+  // Conditions 1-3 hold; the nonrecursive body {a(X, W), b(Z, Y)} is two
+  // components.
+  DiagnosticSink sink = Detect(
+      "t(X, Y) :- e(X, Y).\n"
+      "t(X, Y) :- a(X, W) & t(W, Z) & b(Z, Y).\n",
+      "t");
+  ASSERT_EQ(Codes(sink), std::vector<std::string>{"S104"});
+  const Diagnostic& d = sink.diagnostics()[0];
+  EXPECT_NE(d.message.find("condition 4"), std::string::npos);
+  EXPECT_EQ(d.span.line, 2);
+  ASSERT_FALSE(d.notes.empty());
+  EXPECT_NE(d.notes[0].message.find("stray component"), std::string::npos);
+  EXPECT_NE(d.fixit.find("--relaxed"), std::string::npos);
+  // Section 5: the relaxation accepts exactly this shape.
+  DiagnosticSink relaxed = Detect(
+      "t(X, Y) :- e(X, Y).\n"
+      "t(X, Y) :- a(X, W) & t(W, Z) & b(Z, Y).\n",
+      "t", SeparabilityOptions{false});
+  EXPECT_TRUE(relaxed.empty());
+}
+
+TEST(Diagnostics, S105ConstantInRecursiveAtom) {
+  DiagnosticSink sink = Detect(
+      "t(X, Y) :- e(X, Y).\n"
+      "t(X, Y) :- a(X, W, Y) & t(W, c).\n",
+      "t");
+  ASSERT_EQ(Codes(sink), std::vector<std::string>{"S105"});
+  EXPECT_EQ(sink.diagnostics()[0].span.line, 2);
+}
+
+TEST(Diagnostics, S106NoRecursiveRule) {
+  DiagnosticSink sink = Detect("t(X) :- e(X).\n", "t");
+  ASSERT_EQ(Codes(sink), std::vector<std::string>{"S106"});
+}
+
+TEST(Diagnostics, S107NoExitRule) {
+  DiagnosticSink sink = Detect("t(X, Y) :- a(X, W) & t(W, Y).\n", "t");
+  ASSERT_EQ(Codes(sink), std::vector<std::string>{"S107"});
+  EXPECT_FALSE(sink.diagnostics()[0].fixit.empty());
+}
+
+TEST(Diagnostics, SeparableEmitsNoFailureCodes) {
+  DiagnosticSink sink = Detect(
+      "t(X, Y) :- e(X, Y).\n"
+      "t(X, Y) :- a(X, W) & t(W, Y).\n",
+      "t");
+  EXPECT_TRUE(sink.empty());
+}
+
+TEST(Diagnostics, CollectAllReportsEveryViolation) {
+  // Two independently broken rules: both are reported, not just the first.
+  DiagnosticSink sink = Detect(
+      "t(X, Y) :- e(X, Y).\n"
+      "t(X, Y) :- a(X, Y) & t(X, W).\n"
+      "t(X, Y) :- a(X, W) & t(W, Z) & b(Z, Y).\n",
+      "t");
+  EXPECT_NE(FindCode(sink, "S102"), nullptr);
+  EXPECT_NE(FindCode(sink, "S104"), nullptr);
+}
+
+TEST(Diagnostics, S001NoteForSeparableRecursion) {
+  DiagnosticSink sink = Lint(
+      "e(a, b).\n"
+      "t(X, Y) :- e(X, Y).\n"
+      "t(X, Y) :- e(X, W) & t(W, Y).\n"
+      "?- t(a, Q).");
+  const Diagnostic* d = FindCode(sink, "S001");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kNote);
+  EXPECT_NE(d->message.find("'t' is a separable recursion"),
+            std::string::npos);
+  EXPECT_EQ(sink.CountAtLeast(Severity::kWarning), 0u);
+}
+
+// ---- span plumbing ------------------------------------------------------
+
+TEST(Diagnostics, ExtractLinearRecursionKeepsOriginsAndSpans) {
+  auto program = ParseProgram(
+      "t(X, Y) :- e(X, Y).\n"
+      "t(X, Y) :- a(X, W) & t(W, Y).\n"
+      "t(X, Y) :- b(X, W) & t(W, Y).\n");
+  ASSERT_TRUE(program.ok());
+  auto rec = ExtractLinearRecursion(*program, "t");
+  ASSERT_TRUE(rec.ok()) << rec.status().message();
+  ASSERT_EQ(rec->exit_rule_origin, std::vector<size_t>{0});
+  ASSERT_EQ(rec->recursive_rule_origin, (std::vector<size_t>{1, 2}));
+  // Canonicalization renames variables but keeps the source extent.
+  EXPECT_EQ(rec->exit_rules[0].span.line, 1);
+  EXPECT_EQ(rec->recursive_rules[0].span.line, 2);
+  EXPECT_EQ(rec->recursive_rules[1].span.line, 3);
+  EXPECT_EQ(rec->recursive_rules[1].span.col, 1);
+}
+
+TEST(Diagnostics, SubstituteAndRectifyPreserveSpans) {
+  auto program = ParseProgram("t(X, X) :- e(X).\n");
+  ASSERT_TRUE(program.ok());
+  Program rectified = Rectify(*program);
+  ASSERT_EQ(rectified.rules.size(), 1u);
+  EXPECT_EQ(rectified.rules[0].span.line, 1);
+  // The synthesized equality literal points at the head it came from.
+  bool found_eq = false;
+  for (const Literal& lit : rectified.rules[0].body) {
+    if (lit.kind == Literal::Kind::kCompare) {
+      found_eq = true;
+      EXPECT_EQ(lit.span.line, 1);
+      EXPECT_EQ(lit.span.col, 1);
+    }
+  }
+  EXPECT_TRUE(found_eq);
+}
+
+TEST(Diagnostics, CoverSpansTakesTheHull) {
+  SourceSpan a{2, 5, 2, 9};
+  SourceSpan b{2, 12, 3, 4};
+  SourceSpan hull = CoverSpans(a, b);
+  EXPECT_EQ(hull.line, 2);
+  EXPECT_EQ(hull.col, 5);
+  EXPECT_EQ(hull.end_line, 3);
+  EXPECT_EQ(hull.end_col, 4);
+  EXPECT_EQ(CoverSpans(SourceSpan{}, b), b);
+}
+
+// ---- compiler integration ----------------------------------------------
+
+TEST(Diagnostics, QueryProcessorRecordsRejectionDiagnostics) {
+  auto program = ParseProgram(
+      "t(X, Y) :- e(X, Y).\n"
+      "t(X, Y) :- a(X, W) & t(Y, W).\n");
+  ASSERT_TRUE(program.ok());
+  auto qp = QueryProcessor::Create(*program);
+  ASSERT_TRUE(qp.ok());
+  const std::vector<Diagnostic>* diags = qp->SeparabilityDiagnostics("t");
+  ASSERT_NE(diags, nullptr);
+  EXPECT_FALSE(diags->empty());
+  EXPECT_FALSE(qp->SeparabilityFailure("t").empty());
+  // The legacy prose reason is the first structured diagnostic's message.
+  EXPECT_EQ(qp->SeparabilityFailure("t"), diags->front().message);
+
+  Atom query = ParseAtomOrDie("t(a, Q)");
+  auto text = qp->Explain(query);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("rejected : separable"), std::string::npos) << *text;
+  EXPECT_NE(text->find("[S10"), std::string::npos) << *text;
+}
+
+// ---- rendering ----------------------------------------------------------
+
+TEST(Diagnostics, JsonEscaping) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("x\ny\tz"), "x\\ny\\tz");
+  EXPECT_EQ(JsonEscape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(Diagnostics, TextRenderingContract) {
+  Diagnostic d;
+  d.code = "S104";
+  d.severity = Severity::kWarning;
+  d.span = SourceSpan{3, 7, 3, 20};
+  d.message = "disconnected body";
+  d.notes.push_back({SourceSpan{3, 12, 3, 18}, "stray component"});
+  d.fixit = "use --relaxed";
+  EXPECT_EQ(d.ToText("p.dl"),
+            "p.dl:3:7: warning: disconnected body [S104]\n"
+            "  p.dl:3:12: note: stray component\n"
+            "  fix-it: use --relaxed");
+  std::string report = RenderText({d}, "p.dl");
+  EXPECT_NE(report.find("1 warning(s)."), std::string::npos);
+  EXPECT_EQ(RenderText({}, "p.dl"), "no findings.\n");
+}
+
+TEST(Diagnostics, JsonAndSarifContainTheFinding) {
+  Diagnostic d;
+  d.code = "E001";
+  d.severity = Severity::kError;
+  d.span = SourceSpan{1, 1, 1, 10};
+  d.message = "unsafe \"rule\"";
+  std::string json = RenderJson({d}, "x.dl");
+  EXPECT_NE(json.find("\"code\": \"E001\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"rule\\\""), std::string::npos);
+  std::string sarif = RenderSarif({d}, "x.dl");
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"E001\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 1"), std::string::npos);
+}
+
+TEST(Diagnostics, SortBySpanOrdersByPosition) {
+  DiagnosticSink sink;
+  sink.Report("B", Severity::kWarning, SourceSpan{5, 1, 5, 2}, "later");
+  sink.Report("A", Severity::kWarning, SourceSpan{}, "unknown");
+  sink.Report("C", Severity::kWarning, SourceSpan{2, 3, 2, 4}, "earlier");
+  sink.SortBySpan();
+  EXPECT_EQ(Codes(sink), (std::vector<std::string>{"C", "B", "A"}));
+}
+
+}  // namespace
+}  // namespace seprec

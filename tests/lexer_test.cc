@@ -100,6 +100,28 @@ TEST(Lexer, LineNumbersTracked) {
   EXPECT_EQ((*tokens)[4].line, 4);
 }
 
+TEST(Lexer, ColumnsTracked) {
+  auto tokens = Tokenize("ab(X).\n  cd(Y).");
+  ASSERT_TRUE(tokens.ok());
+  // ab ( X ) . cd ( Y ) .
+  EXPECT_EQ((*tokens)[0].col, 1);      // ab
+  EXPECT_EQ((*tokens)[0].end_col, 3);  // one past 'b'
+  EXPECT_EQ((*tokens)[1].col, 3);      // (
+  EXPECT_EQ((*tokens)[2].col, 4);      // X
+  EXPECT_EQ((*tokens)[4].col, 6);      // .
+  EXPECT_EQ((*tokens)[5].line, 2);
+  EXPECT_EQ((*tokens)[5].col, 3);      // cd after two spaces
+  EXPECT_EQ((*tokens)[5].end_col, 5);
+}
+
+TEST(Lexer, ErrorsCarryLineAndColumn) {
+  auto tokens = Tokenize("p(a).\n  q # r.");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_NE(tokens.status().message().find("line 2, col 5"),
+            std::string::npos)
+      << tokens.status().message();
+}
+
 TEST(Lexer, ArithmeticTokens) {
   auto tokens = Tokenize("X is Y * 2 + 1");
   ASSERT_TRUE(tokens.ok());

@@ -118,6 +118,29 @@ TEST(Parser, ParseAtomRejectsRule) {
   EXPECT_FALSE(ParseAtom("p(X) :- q(X)").ok());
 }
 
+TEST(Parser, ErrorsCarryLineAndColumn) {
+  auto bad = ParseProgram("p(a).\nq(X :- r(X).");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 2, col 5"), std::string::npos)
+      << bad.status().message();
+}
+
+TEST(Parser, AstCarriesSourceSpans) {
+  auto unit = ParseUnit("p(a).\n  tc(X, Y) :- e(X, Z), not bad(Z), tc(Z, Y).");
+  ASSERT_TRUE(unit.ok());
+  const Rule& rule = unit->program.rules[1];
+  EXPECT_EQ(rule.span.line, 2);
+  EXPECT_EQ(rule.span.col, 3);
+  EXPECT_EQ(rule.span.end_col, 45);  // one past the final '.'
+  EXPECT_EQ(rule.head.span.col, 3);
+  EXPECT_EQ(rule.head.span.end_col, 11);  // one past "tc(X, Y)"
+  ASSERT_EQ(rule.body.size(), 3u);
+  EXPECT_EQ(rule.body[0].span.col, 15);            // e(X, Z)
+  EXPECT_EQ(rule.body[1].span.col, 24);            // spans the 'not'
+  EXPECT_EQ(rule.body[1].atom.span.col, 28);       // bad(Z) itself
+  EXPECT_EQ(rule.body[2].span.col, 36);            // tc(Z, Y)
+}
+
 TEST(Parser, ToStringRoundTrip) {
   const std::string text =
       "buys(X, Y) :- friend(X, W), buys(W, Y).\n"

@@ -18,9 +18,18 @@
 //   seprec_cli why <program.dl> "<fact>" [--data REL=FILE.tsv]...
 //       Materialise the program and print a derivation tree for the fact.
 //
+//   seprec_cli lint <program.dl> [--format text|json|sarif] [--relaxed]
+//       Run every static diagnostic pass (parse, safety, stratification,
+//       style lints, and the Definition 2.4 separability explainer) and
+//       report findings with source spans. --relaxed forwards the Section 5
+//       condition-4 relaxation to the separability passes. Exit codes:
+//       0 = no warnings or errors (notes allowed), 1 = findings,
+//       2 = usage error or unreadable file.
+//
 // Strategies: auto separable magic counting qsqr seminaive naive.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <optional>
 #include <sstream>
@@ -30,6 +39,8 @@
 #include "core/compiler.h"
 #include "core/provenance.h"
 #include "datalog/analysis.h"
+#include "datalog/diagnostics.h"
+#include "datalog/lint.h"
 #include "datalog/parser.h"
 #include "eval/fixpoint.h"
 #include "separable/detection.h"
@@ -51,7 +62,9 @@ int Usage() {
                "       seprec_cli check <program.dl>\n"
                "       seprec_cli explain <program.dl> \"<query>\"\n"
                "       seprec_cli why <program.dl> \"<fact>\" "
-               "[--data REL=FILE]...\n");
+               "[--data REL=FILE]...\n"
+               "       seprec_cli lint <program.dl> "
+               "[--format text|json|sarif] [--relaxed]\n");
   return 2;
 }
 
@@ -223,6 +236,49 @@ int WhyCommand(const std::string& path, const std::string& fact_text,
   return 0;
 }
 
+int LintCommand(const std::string& path, int argc, char** argv, int first) {
+  std::string format = "text";
+  LintOptions options;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--format" && i + 1 < argc) {
+      format = argv[++i];
+      if (format != "text" && format != "json" && format != "sarif") {
+        std::fprintf(stderr, "seprec_cli: unknown lint format '%s'\n",
+                     format.c_str());
+        return 2;
+      }
+      continue;
+    }
+    if (arg == "--relaxed") {
+      options.separability.require_connected_bodies = false;
+      continue;
+    }
+    std::fprintf(stderr, "seprec_cli: unknown lint flag '%s'\n", arg.c_str());
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in || std::filesystem::is_directory(path)) {
+    std::fprintf(stderr, "seprec_cli: cannot open '%s'\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  DiagnosticSink sink;
+  StatusOr<ParsedUnit> unit = ParseUnit(text.str(), &sink);
+  if (unit.ok()) {
+    LintProgram(*unit, options, &sink);
+  }
+  const std::vector<Diagnostic>& found = sink.diagnostics();
+  std::string rendered = format == "json"    ? RenderJson(found, path)
+                         : format == "sarif" ? RenderSarif(found, path)
+                                             : RenderText(found, path);
+  std::printf("%s", rendered.c_str());
+  return sink.CountAtLeast(Severity::kWarning) > 0 ? 1 : 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 3) return Usage();
   std::string command = argv[1];
@@ -238,6 +294,9 @@ int Main(int argc, char** argv) {
   if (command == "explain") {
     if (argc < 4) return Usage();
     return ExplainCommand(path, argv[3]);
+  }
+  if (command == "lint") {
+    return LintCommand(path, argc, argv, 3);
   }
   if (command == "why") {
     if (argc < 4) return Usage();
