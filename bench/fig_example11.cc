@@ -35,7 +35,7 @@ void Run() {
   std::vector<double> count_sizes;
 
   FixpointOptions budget;
-  budget.max_tuples = 4'000'000;
+  budget.limits.max_tuples = 4'000'000;
 
   for (size_t n : {4, 6, 8, 10, 12, 14, 16, 18}) {
     Database sep_db;

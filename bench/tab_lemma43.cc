@@ -23,7 +23,7 @@ void Run() {
                       "magic max|rel|", "count time", "sep time"});
 
   FixpointOptions budget;
-  budget.max_tuples = 4'000'000;
+  budget.limits.max_tuples = 4'000'000;
 
   for (size_t p : {1, 2, 3}) {
     Program program = SpkProgram(p, 2);

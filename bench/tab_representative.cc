@@ -61,8 +61,8 @@ void Run() {
   bench::Table table({"scenario", "engine", "answers", "max|rel|",
                       "tuples", "time"});
   FixpointOptions budget;
-  budget.max_iterations = 100000;
-  budget.max_tuples = 10'000'000;
+  budget.limits.max_iterations = 100000;
+  budget.limits.max_tuples = 10'000'000;
 
   for (const Scenario& s : scenarios) {
     StatusOr<QueryProcessor> qp = QueryProcessor::Create(s.program);

@@ -6,6 +6,7 @@
 #include "magic/engine.h"
 #include "separable/engine.h"
 #include "separable/rewrite.h"
+#include "util/failpoint.h"
 #include "util/string_util.h"
 
 namespace seprec {
@@ -173,29 +174,32 @@ StatusOr<std::string> QueryProcessor::Explain(const Atom& query) const {
   }
 }
 
-StatusOr<QueryResult> QueryProcessor::Answer(
-    const Atom& query, Database* db, Strategy strategy,
-    const FixpointOptions& options) const {
-  const PredicateInfo* pred = info_.Find(query.predicate);
-  if (pred != nullptr && pred->arity != query.arity()) {
-    return InvalidArgumentError(
-        StrCat("query arity ", query.arity(), " does not match '",
-               query.predicate, "'/", pred->arity));
-  }
+namespace {
 
-  QueryResult result;
-  result.answer = seprec::Answer(query.arity());
-  if (strategy == Strategy::kAuto) {
-    Decision decision = Decide(query);
-    result.strategy = decision.strategy;
-    result.reason = decision.reason;
-  } else {
-    result.strategy = strategy;
-    result.reason = "forced by caller";
+// The kAuto degradation ladder: when a strategy fails for a non-budget
+// reason, the next entry answers the same query with a more general (if
+// less focused) algorithm — mirroring the paper's stance that Separable
+// supplements Magic Sets, which in turn supplements plain semi-naive.
+std::vector<Strategy> FallbackChain(Strategy first) {
+  switch (first) {
+    case Strategy::kSeparable:
+      return {Strategy::kSeparable, Strategy::kMagic, Strategy::kSemiNaive};
+    case Strategy::kMagic:
+      return {Strategy::kMagic, Strategy::kSemiNaive};
+    default:
+      return {first};
   }
+}
 
-  switch (result.strategy) {
+}  // namespace
+
+Status QueryProcessor::RunStrategy(Strategy strategy, const Atom& query,
+                                   Database* db,
+                                   const FixpointOptions& options,
+                                   QueryResult* result) const {
+  switch (strategy) {
     case Strategy::kSeparable: {
+      SEPREC_RETURN_IF_ERROR(Failpoints::Check("compiler.separable"));
       const SeparableRecursion* sep = FindSeparable(query.predicate);
       if (sep == nullptr) {
         return FailedPreconditionError(
@@ -205,40 +209,42 @@ StatusOr<QueryResult> QueryProcessor::Answer(
       SEPREC_ASSIGN_OR_RETURN(
           SeparableRunResult run,
           EvaluateWithSeparable(info_.program(), *sep, query, db, options));
-      result.answer = std::move(run.answer);
-      result.stats = std::move(run.stats);
-      return result;
+      result->answer = std::move(run.answer);
+      result->stats = std::move(run.stats);
+      return Status::OK();
     }
     case Strategy::kMagic: {
+      SEPREC_RETURN_IF_ERROR(Failpoints::Check("compiler.magic"));
       SEPREC_ASSIGN_OR_RETURN(
           MagicRunResult run,
           EvaluateWithMagic(info_.program(), query, db, options));
-      result.answer = std::move(run.answer);
-      result.stats = std::move(run.stats);
-      return result;
+      result->answer = std::move(run.answer);
+      result->stats = std::move(run.stats);
+      return Status::OK();
     }
     case Strategy::kCounting: {
       SEPREC_ASSIGN_OR_RETURN(
           CountingRunResult run,
           EvaluateWithCounting(info_.program(), query, db, options));
-      result.answer = std::move(run.answer);
-      result.stats = std::move(run.stats);
-      return result;
+      result->answer = std::move(run.answer);
+      result->stats = std::move(run.stats);
+      return Status::OK();
     }
     case Strategy::kQsqr: {
       SEPREC_ASSIGN_OR_RETURN(
           QsqrRunResult run,
           EvaluateWithQsqr(info_.program(), query, db, options));
-      result.answer = std::move(run.answer);
-      result.stats = std::move(run.stats);
-      return result;
+      result->answer = std::move(run.answer);
+      result->stats = std::move(run.stats);
+      return Status::OK();
     }
     case Strategy::kSemiNaive:
     case Strategy::kNaive: {
       // Materialise the query predicate (and only what it depends on),
       // then select.
-      const bool seminaive = result.strategy == Strategy::kSemiNaive;
-      result.stats.algorithm = seminaive ? "seminaive" : "naive";
+      const PredicateInfo* pred = info_.Find(query.predicate);
+      const bool seminaive = strategy == Strategy::kSemiNaive;
+      result->stats.algorithm = seminaive ? "seminaive" : "naive";
       if (pred != nullptr && pred->is_idb) {
         std::set<std::string> wanted =
             info_.DependenciesOf(query.predicate);
@@ -251,20 +257,97 @@ StatusOr<QueryResult> QueryProcessor::Answer(
         }
         Status status =
             seminaive
-                ? EvaluateSemiNaive(focused, db, options, &result.stats)
-                : EvaluateNaive(focused, db, options, &result.stats);
+                ? EvaluateSemiNaive(focused, db, options, &result->stats)
+                : EvaluateNaive(focused, db, options, &result->stats);
         SEPREC_RETURN_IF_ERROR(status);
       }
       const Relation* rel = db->Find(query.predicate);
       if (rel != nullptr) {
-        result.answer = SelectMatching(*rel, query, db->symbols());
+        result->answer = SelectMatching(*rel, query, db->symbols());
       }
-      return result;
+      return Status::OK();
     }
     case Strategy::kAuto:
       break;
   }
   return InternalError("unreachable strategy dispatch");
+}
+
+StatusOr<QueryResult> QueryProcessor::Answer(
+    const Atom& query, Database* db, Strategy strategy,
+    const FixpointOptions& options) const {
+  const PredicateInfo* pred = info_.Find(query.predicate);
+  if (pred != nullptr && pred->arity != query.arity()) {
+    return InvalidArgumentError(
+        StrCat("query arity ", query.arity(), " does not match '",
+               query.predicate, "'/", pred->arity));
+  }
+
+  QueryResult result;
+  result.answer = seprec::Answer(query.arity());
+  std::vector<Strategy> chain;
+  if (strategy == Strategy::kAuto) {
+    Decision decision = Decide(query);
+    result.strategy = decision.strategy;
+    result.reason = decision.reason;
+    chain = FallbackChain(decision.strategy);
+  } else {
+    result.strategy = strategy;
+    result.reason = "forced by caller";
+    chain = {strategy};
+  }
+
+  // One governor context spans every attempt, so the budgets bound the
+  // whole query (fallback hops included), not each attempt separately.
+  GovernorScope governor(options.limits, options.cancel, options.context);
+  governor.ctx()->TrackMemory(&db->accountant());
+  FixpointOptions governed = options;
+  governed.context = governor.ctx();
+
+  Status last_error = InternalError("unreachable strategy dispatch");
+  for (size_t i = 0; i < chain.size(); ++i) {
+    result.strategy = chain[i];
+    result.answer = seprec::Answer(query.arity());
+    result.stats = EvalStats();
+
+    DatabaseCheckpoint checkpoint(db);
+    Status status = RunStrategy(chain[i], query, db, governed, &result);
+    if (!status.ok()) {
+      // Budget trips never trigger a fallback: a retry would burn the same
+      // budget again and mask the limit the caller asked for.
+      if (status.code() == StatusCode::kResourceExhausted ||
+          status.code() == StatusCode::kCancelled) {
+        return status;
+      }
+      last_error = status;
+      if (i + 1 < chain.size()) {
+        // Leave the failed attempt rolled back (checkpoint destructor) and
+        // record the hop for the caller and its diagnostics stream.
+        Diagnostic note;
+        note.code = "G001";
+        note.severity = Severity::kNote;
+        note.message =
+            StrCat(StrategyToString(chain[i]), " strategy failed (",
+                   status.message(), "); falling back to ",
+                   StrategyToString(chain[i + 1]));
+        result.diagnostics.push_back(std::move(note));
+        result.reason +=
+            StrCat("; ", StrategyToString(chain[i]), " failed, fell back to ",
+                   StrategyToString(chain[i + 1]));
+      }
+      continue;
+    }
+    if (governor.ctx()->stopped()) {
+      // Partial answer: keep the harvested (sound) tuples, restore the
+      // database so no half-materialised IDB outlives the query.
+      result.partial = true;
+      result.degradation = governor.ctx()->degradation();
+      return result;  // checkpoint destructor rolls back
+    }
+    checkpoint.Commit();
+    return result;
+  }
+  return last_error;
 }
 
 }  // namespace seprec

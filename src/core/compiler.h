@@ -48,6 +48,17 @@ struct QueryResult {
   EvalStats stats;
   Strategy strategy = Strategy::kAuto;  // the strategy actually used
   std::string reason;                   // why it was chosen
+
+  // True when a resource limit (deadline, cancellation, or a budget from
+  // FixpointOptions::limits) stopped the evaluation early. The answer then
+  // holds a sound subset of the full answer (stratified evaluation is
+  // monotone within a stratum, so a truncated run only emits true tuples)
+  // and the database has been rolled back to its pre-query extent.
+  bool partial = false;
+  // Which limit tripped, when `partial` is true.
+  std::optional<DegradationInfo> degradation;
+  // Execution-time notes, e.g. a G001 record for each strategy fallback.
+  std::vector<Diagnostic> diagnostics;
 };
 
 struct ProcessorOptions {
@@ -80,6 +91,14 @@ class QueryProcessor {
 
   // Answers `query` against `db`. `strategy` kAuto defers to Decide; a
   // forced strategy fails with FAILED_PRECONDITION when inapplicable.
+  //
+  // Resource governance: the query runs under one ExecutionContext built
+  // from `options` (or adopts options.context). When a limit trips, the
+  // database is rolled back to its pre-query extent and the call returns
+  // OK with QueryResult::partial set — never an half-materialised IDB.
+  // In kAuto mode a strategy that fails for a NON-budget reason falls back
+  // along separable -> magic -> semi-naive; each hop is recorded in
+  // QueryResult::reason and as a G001 diagnostic.
   StatusOr<QueryResult> Answer(const Atom& query, Database* db,
                                Strategy strategy = Strategy::kAuto,
                                const FixpointOptions& options = {}) const;
@@ -101,6 +120,12 @@ class QueryProcessor {
 
  private:
   QueryProcessor() = default;
+
+  // Executes one concrete (non-kAuto) strategy, filling result->answer and
+  // result->stats. `options.context` must be set by the caller.
+  Status RunStrategy(Strategy strategy, const Atom& query, Database* db,
+                     const FixpointOptions& options,
+                     QueryResult* result) const;
 
   ProgramInfo info_;
   std::map<std::string, SeparableRecursion> separable_;

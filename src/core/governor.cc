@@ -1,0 +1,123 @@
+#include "core/governor.h"
+
+#include <algorithm>
+
+#include "util/failpoint.h"
+#include "util/string_util.h"
+
+namespace seprec {
+
+std::string_view StopCauseToString(StopCause cause) {
+  switch (cause) {
+    case StopCause::kNone: return "none";
+    case StopCause::kDeadline: return "deadline exceeded";
+    case StopCause::kCancelled: return "cancelled";
+    case StopCause::kIterations: return "iteration budget exhausted";
+    case StopCause::kTuples: return "tuple budget exhausted";
+    case StopCause::kBytes: return "memory budget exhausted";
+  }
+  return "?";
+}
+
+ExecutionContext::ExecutionContext(const ExecutionLimits& limits,
+                                   CancellationToken* cancel)
+    : limits_(limits),
+      cancel_(cancel),
+      deadline_(limits.timeout_ms < 0
+                    ? Deadline::Infinite()
+                    : Deadline::AfterMillis(limits.timeout_ms)) {}
+
+void ExecutionContext::TrackMemory(const MemoryAccountant* accountant) {
+  if (accountant_ != nullptr || accountant == nullptr) return;
+  accountant_ = accountant;
+  baseline_bytes_ = accountant->bytes();
+}
+
+size_t ExecutionContext::BytesUsed() const {
+  if (accountant_ == nullptr) return 0;
+  size_t now = accountant_->bytes();
+  return now > baseline_bytes_ ? now - baseline_bytes_ : 0;
+}
+
+bool ExecutionContext::Latch(StopCause cause, std::string message) {
+  if (cause_ == StopCause::kNone) {
+    cause_ = cause;
+    message_ = std::move(message);
+  }
+  return true;
+}
+
+bool ExecutionContext::ShouldStop() {
+  if (cause_ != StopCause::kNone) return true;
+  if (cancel_ != nullptr && cancel_->cancelled()) {
+    return Latch(StopCause::kCancelled, "evaluation cancelled by caller");
+  }
+  if (Failpoints::Hit("governor.poll")) {
+    return Latch(StopCause::kCancelled,
+                 "evaluation cancelled (injected at governor.poll)");
+  }
+  if (deadline_.expired()) {
+    return Latch(StopCause::kDeadline,
+                 StrCat("deadline of ", limits_.timeout_ms, " ms exceeded"));
+  }
+  if (tuples_ > limits_.max_tuples) {
+    return Latch(StopCause::kTuples,
+                 StrCat("evaluation exceeded ", limits_.max_tuples,
+                        " tuples"));
+  }
+  if (limits_.max_bytes != ExecutionLimits::kUnlimited &&
+      BytesUsed() > limits_.max_bytes) {
+    return Latch(StopCause::kBytes,
+                 StrCat("evaluation exceeded ", limits_.max_bytes,
+                        " bytes (used ", BytesUsed(), ")"));
+  }
+  return false;
+}
+
+bool ExecutionContext::NoteIterationAndCheck() {
+  ++iterations_;
+  if (cause_ == StopCause::kNone && iterations_ > limits_.max_iterations) {
+    Latch(StopCause::kIterations,
+          StrCat("evaluation exceeded ", limits_.max_iterations,
+                 " iterations"));
+  }
+  return ShouldStop();
+}
+
+Status ExecutionContext::ToStatus() const {
+  switch (cause_) {
+    case StopCause::kNone:
+      return Status::OK();
+    case StopCause::kCancelled:
+      return CancelledError(message_);
+    default:
+      return ResourceExhaustedError(message_);
+  }
+}
+
+DatabaseCheckpoint::DatabaseCheckpoint(Database* db) : db_(db) {
+  for (const std::string& name : db_->RelationNames()) {
+    slots_.emplace_back(name, db_->Find(name)->slots());
+  }
+}
+
+DatabaseCheckpoint::~DatabaseCheckpoint() {
+  if (active_) Rollback();
+}
+
+void DatabaseCheckpoint::Rollback() {
+  if (!active_) return;
+  active_ = false;
+  for (const std::string& name : db_->RelationNames()) {
+    auto it = std::find_if(
+        slots_.begin(), slots_.end(),
+        [&name](const auto& entry) { return entry.first == name; });
+    if (it == slots_.end()) {
+      db_->Drop(name);
+    } else {
+      db_->Find(name)->TruncateToSlots(it->second);
+    }
+  }
+}
+
+}  // namespace seprec

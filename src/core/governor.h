@@ -1,0 +1,190 @@
+// The execution governor: one ExecutionLimits/ExecutionContext pair
+// carries every resource bound a query evaluation honours — wall-clock
+// deadline, cooperative cancellation, iteration and tuple budgets, and
+// byte-level memory accounting — and every engine polls it at its loop
+// boundaries instead of rolling its own checks.
+//
+// Two calling conventions, decided by FixpointOptions::context:
+//
+//   * Direct engine calls (context == nullptr) run a private context and
+//     convert a tripped limit into RESOURCE_EXHAUSTED / CANCELLED at the
+//     entry point, leaving partially materialised relations in the
+//     database — the historical contract the engine tests rely on.
+//   * QueryProcessor::Answer owns a context, snapshots the database with
+//     DatabaseCheckpoint, and on a trip rolls the database back and
+//     returns OK with QueryResult::partial set — the caller's Database is
+//     never left half-materialised. Because evaluation is stratified and
+//     monotone within a stratum, every tuple a truncated run produced is a
+//     true tuple, so a partial answer is always a subset of the full one.
+#ifndef SEPREC_CORE_GOVERNOR_H_
+#define SEPREC_CORE_GOVERNOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "storage/database.h"
+#include "util/deadline.h"
+#include "util/status.h"
+
+namespace seprec {
+
+struct ExecutionLimits {
+  static constexpr size_t kUnlimited = std::numeric_limits<size_t>::max();
+
+  // Stop once this many fixpoint rounds / search expansions ran, summed
+  // across strata and sub-evaluations of the query.
+  size_t max_iterations = kUnlimited;
+  // Stop once this many tuples were inserted into governed relations.
+  size_t max_tuples = kUnlimited;
+  // Stop once the database's memory accountant grew by this many bytes
+  // beyond its level when the context started tracking.
+  size_t max_bytes = kUnlimited;
+  // Wall-clock deadline in milliseconds; negative means none.
+  int64_t timeout_ms = -1;
+
+  bool Unlimited() const {
+    return max_iterations == kUnlimited && max_tuples == kUnlimited &&
+           max_bytes == kUnlimited && timeout_ms < 0;
+  }
+};
+
+// Cooperative cancellation: any thread may Cancel(); the evaluating thread
+// observes it at the next governor poll. This is the only governor state
+// shared across threads.
+class CancellationToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+enum class StopCause {
+  kNone,
+  kDeadline,
+  kCancelled,
+  kIterations,
+  kTuples,
+  kBytes,
+};
+
+// Human-readable phrase, e.g. "deadline exceeded" — used in CLI banners.
+std::string_view StopCauseToString(StopCause cause);
+
+// Why a result is partial: the tripped limit plus a one-line message.
+struct DegradationInfo {
+  StopCause cause = StopCause::kNone;
+  std::string message;
+};
+
+// The per-evaluation governor state. Engines call ShouldStop() /
+// NoteIterationAndCheck() at loop boundaries and break out cleanly when it
+// returns true; the first tripped limit latches and every later poll keeps
+// reporting it. Single-threaded apart from the CancellationToken.
+class ExecutionContext {
+ public:
+  explicit ExecutionContext(const ExecutionLimits& limits,
+                            CancellationToken* cancel = nullptr);
+
+  // Starts charging `accountant` against max_bytes, from its current level
+  // (the delta is what the evaluation itself allocates). First call wins;
+  // later calls with the same or another accountant are ignored.
+  void TrackMemory(const MemoryAccountant* accountant);
+
+  // Polls deadline, cancellation, and the tuple/byte budgets. Returns true
+  // (and latches the cause) when the evaluation must stop. Carries the
+  // "governor.poll" failpoint, which injects a mid-fixpoint cancellation.
+  bool ShouldStop();
+
+  // Counts one loop iteration against max_iterations, then polls.
+  bool NoteIterationAndCheck();
+
+  // Counts `n` tuple insertions against max_tuples (checked at the next
+  // poll, keeping the hot insert path free of clock reads).
+  void NoteTuples(size_t n) { tuples_ += n; }
+
+  bool stopped() const { return cause_ != StopCause::kNone; }
+  StopCause cause() const { return cause_; }
+  const std::string& message() const { return message_; }
+
+  size_t iterations() const { return iterations_; }
+  size_t tuples() const { return tuples_; }
+  // Bytes the tracked accountant grew since TrackMemory.
+  size_t BytesUsed() const;
+
+  // OK when nothing tripped; CANCELLED or RESOURCE_EXHAUSTED otherwise.
+  Status ToStatus() const;
+  DegradationInfo degradation() const { return {cause_, message_}; }
+
+ private:
+  bool Latch(StopCause cause, std::string message);
+
+  ExecutionLimits limits_;
+  CancellationToken* cancel_;  // not owned; may be null
+  Deadline deadline_;
+  const MemoryAccountant* accountant_ = nullptr;  // not owned; may be null
+  size_t baseline_bytes_ = 0;
+  size_t iterations_ = 0;
+  size_t tuples_ = 0;
+  StopCause cause_ = StopCause::kNone;
+  std::string message_;
+};
+
+// Adopt-or-own helper used by every engine entry point: adopt the caller's
+// context when one was supplied (the caller handles stops and rollback),
+// else run a private context and convert a trip into an error Status when
+// the entry point returns.
+class GovernorScope {
+ public:
+  GovernorScope(const ExecutionLimits& limits, CancellationToken* cancel,
+                ExecutionContext* caller)
+      : local_(limits, cancel), caller_(caller) {}
+
+  ExecutionContext* ctx() { return caller_ != nullptr ? caller_ : &local_; }
+  bool owned() const { return caller_ == nullptr; }
+
+  // Non-OK only when this scope owns the context and a limit tripped.
+  Status ExitStatus() {
+    return owned() && ctx()->stopped() ? ctx()->ToStatus() : Status::OK();
+  }
+
+ private:
+  ExecutionContext local_;
+  ExecutionContext* caller_;
+};
+
+// Snapshot of a database's extent, as relation-name -> slot-count pairs.
+// Because the evaluators only append (never erase) during a run, rolling
+// back means dropping relations created since the checkpoint and
+// truncating pre-existing ones to their recorded slot counts — restoring
+// the caller's database exactly. Rolls back on destruction unless
+// committed. Not valid across EraseRows (DRed incremental maintenance),
+// which the governed engines never call.
+class DatabaseCheckpoint {
+ public:
+  explicit DatabaseCheckpoint(Database* db);
+  ~DatabaseCheckpoint();
+  DatabaseCheckpoint(const DatabaseCheckpoint&) = delete;
+  DatabaseCheckpoint& operator=(const DatabaseCheckpoint&) = delete;
+
+  // Keeps everything written since the checkpoint.
+  void Commit() { active_ = false; }
+  // Restores the checkpointed extent now (idempotent).
+  void Rollback();
+
+ private:
+  Database* db_;
+  bool active_ = true;
+  std::vector<std::pair<std::string, size_t>> slots_;
+};
+
+}  // namespace seprec
+
+#endif  // SEPREC_CORE_GOVERNOR_H_

@@ -53,7 +53,7 @@ class ProvenanceSearch {
   ProvenanceSearch(const Program& program, const ProgramInfo& info,
                    Database* db, const ProvenanceOptions& options)
       : rectified_(Rectify(program)), info_(info), db_(db),
-        options_(options) {}
+        ctx_(LimitsOf(options), options.cancel) {}
 
   StatusOr<DerivationNode> Derive(const std::string& predicate,
                                   const std::vector<Value>& values) {
@@ -93,6 +93,15 @@ class ProvenanceSearch {
   }
 
  private:
+  // Expansions count against the governor's iteration budget; deadline and
+  // cancellation ride along in the same context.
+  static ExecutionLimits LimitsOf(const ProvenanceOptions& options) {
+    ExecutionLimits limits;
+    limits.max_iterations = options.max_expansions;
+    limits.timeout_ms = options.timeout_ms;
+    return limits;
+  }
+
   static std::string KeyOf(const std::string& predicate,
                            const std::vector<Value>& values) {
     std::string key = predicate;
@@ -178,10 +187,9 @@ class ProvenanceSearch {
     plan->ExecuteInto(&rows);
 
     for (size_t r = 0; r < rows.size(); ++r) {
-      if (++expansions_ > options_.max_expansions) {
-        return ResourceExhaustedError(
-            StrCat("provenance search exceeded ", options_.max_expansions,
-                   " expansions"));
+      if (ctx_.NoteIterationAndCheck()) {
+        return Status(ctx_.ToStatus().code(),
+                      StrCat("provenance search: ", ctx_.message()));
       }
       Row row = rows.row(r);
       DerivationNode node = base_node;
@@ -221,8 +229,7 @@ class ProvenanceSearch {
   Program rectified_;
   const ProgramInfo& info_;
   Database* db_;
-  ProvenanceOptions options_;
-  size_t expansions_ = 0;
+  ExecutionContext ctx_;
   std::set<std::string> in_progress_;
   std::map<std::string, DerivationNode> memo_;
 };

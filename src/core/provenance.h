@@ -12,10 +12,12 @@
 #ifndef SEPREC_CORE_PROVENANCE_H_
 #define SEPREC_CORE_PROVENANCE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/governor.h"
 #include "datalog/ast.h"
 #include "storage/database.h"
 #include "util/status.h"
@@ -44,6 +46,10 @@ struct DerivationNode {
 struct ProvenanceOptions {
   // Abort the witness search after this many rule-instance expansions.
   size_t max_expansions = 100000;
+  // Wall-clock deadline in milliseconds; negative means none.
+  int64_t timeout_ms = -1;
+  // Optional cooperative cancellation, observed per expansion.
+  CancellationToken* cancel = nullptr;
 };
 
 // Explains why `ground_atom` (every argument a constant) is in the

@@ -15,10 +15,19 @@ StatusOr<CountingRunResult> EvaluateWithCounting(
   result.answer = Answer(query.arity());
   result.stats.algorithm = "counting";
   SEPREC_ASSIGN_OR_RETURN(result.rewrite, CountingTransform(program, query));
+
+  GovernorScope governor(options.limits, options.cancel, options.context);
+  governor.ctx()->TrackMemory(&db->accountant());
+  FixpointOptions governed = options;
+  governed.context = governor.ctx();
+
   SEPREC_RETURN_IF_ERROR(MaterializeSupport(program, query.predicate, db,
-                                            options, &result.stats));
+                                            governed, &result.stats));
   SEPREC_RETURN_IF_ERROR(EvaluateSemiNaive(result.rewrite.program, db,
-                                           options, &result.stats));
+                                           governed, &result.stats));
+  // Legacy (ungoverned) callers see a trip as an error here, before any
+  // answer reconstruction; governed callers get the partial answer back.
+  SEPREC_RETURN_IF_ERROR(governor.ExitStatus());
 
   // Reconstruct full-arity answers: query constants at bound positions,
   // ans-relation values at free positions.

@@ -163,6 +163,7 @@ class Parser {
       case TokenKind::kGe: return CmpOp::kGe;
       default: SEPREC_CHECK(false);
     }
+    __builtin_unreachable();  // GCC drops [[noreturn]] info under -fsanitize=thread
   }
 
   // Parses a rule head: an atom whose arguments may include one aggregate

@@ -35,8 +35,12 @@ struct StratumRuntime {
 class FixpointEngine {
  public:
   FixpointEngine(Database* db, const FixpointOptions& options,
-                 EvalStats* stats, bool seminaive)
-      : db_(db), options_(options), stats_(stats), seminaive_(seminaive) {}
+                 ExecutionContext* ctx, EvalStats* stats, bool seminaive)
+      : db_(db),
+        options_(options),
+        ctx_(ctx),
+        stats_(stats),
+        seminaive_(seminaive) {}
 
   Status Run(const Program& program) {
     WallTimer timer;
@@ -55,6 +59,8 @@ class FixpointEngine {
                               PrepareStratum(info, s));
       result = EvaluateStratum(info, stratum);
       if (!result.ok()) break;
+      // A tripped limit stops the whole fixpoint, not just this stratum.
+      if (ctx_->stopped()) break;
     }
 
     // Record final sizes even on resource exhaustion.
@@ -166,7 +172,7 @@ class FixpointEngine {
         sc->Clear();
       }
       if (stats_ != nullptr) stats_->tuples_inserted += new_tuples;
-      total_inserted_ += new_tuples;
+      ctx_->NoteTuples(new_tuples);
       return new_tuples;
     };
 
@@ -180,37 +186,25 @@ class FixpointEngine {
       plan.ExecuteInto(scratch_for(plan.rule().head.predicate), &overflow);
     }
     size_t new_tuples = fold();
-    size_t rounds = 1;
     if (stats_ != nullptr) stats_->iterations += 1;
+    ctx_->NoteIterationAndCheck();
 
     if (stratum.recursive) {
       const std::vector<RulePlan>& plans =
           seminaive_ ? stratum.delta_plans : stratum.base_plans;
       while (new_tuples > 0) {
-        if (rounds >= options_.max_iterations) {
-          return ResourceExhaustedError(
-              StrCat("fixpoint exceeded ", options_.max_iterations,
-                     " iterations"));
-        }
-        if (total_inserted_ > options_.max_tuples) {
-          return ResourceExhaustedError(
-              StrCat("fixpoint exceeded ", options_.max_tuples, " tuples"));
-        }
+        if (ctx_->ShouldStop()) break;
         for (const RulePlan& plan : plans) {
           plan.ExecuteInto(scratch_for(plan.rule().head.predicate),
                            &overflow);
         }
         new_tuples = fold();
-        ++rounds;
         if (stats_ != nullptr) stats_->iterations += 1;
+        ctx_->NoteIterationAndCheck();
       }
     }
     if (overflow) {
       return OutOfRangeError("arithmetic overflow during evaluation");
-    }
-    if (total_inserted_ > options_.max_tuples) {
-      return ResourceExhaustedError(
-          StrCat("fixpoint exceeded ", options_.max_tuples, " tuples"));
     }
     return Status::OK();
   }
@@ -291,9 +285,9 @@ class FixpointEngine {
 
   Database* db_;
   FixpointOptions options_;
+  ExecutionContext* ctx_;
   EvalStats* stats_;
   bool seminaive_;
-  size_t total_inserted_ = 0;
   std::set<std::string> delta_names_;
 };
 
@@ -301,14 +295,22 @@ class FixpointEngine {
 
 Status EvaluateSemiNaive(const Program& program, Database* db,
                          const FixpointOptions& options, EvalStats* stats) {
-  FixpointEngine engine(db, options, stats, /*seminaive=*/true);
-  return engine.Run(program);
+  GovernorScope governor(options.limits, options.cancel, options.context);
+  governor.ctx()->TrackMemory(&db->accountant());
+  FixpointEngine engine(db, options, governor.ctx(), stats,
+                        /*seminaive=*/true);
+  SEPREC_RETURN_IF_ERROR(engine.Run(program));
+  return governor.ExitStatus();
 }
 
 Status EvaluateNaive(const Program& program, Database* db,
                      const FixpointOptions& options, EvalStats* stats) {
-  FixpointEngine engine(db, options, stats, /*seminaive=*/false);
-  return engine.Run(program);
+  GovernorScope governor(options.limits, options.cancel, options.context);
+  governor.ctx()->TrackMemory(&db->accountant());
+  FixpointEngine engine(db, options, governor.ctx(), stats,
+                        /*seminaive=*/false);
+  SEPREC_RETURN_IF_ERROR(engine.Run(program));
+  return governor.ExitStatus();
 }
 
 }  // namespace seprec

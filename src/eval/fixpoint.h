@@ -10,8 +10,8 @@
 #define SEPREC_EVAL_FIXPOINT_H_
 
 #include <cstddef>
-#include <limits>
 
+#include "core/governor.h"
 #include "datalog/ast.h"
 #include "eval/eval_stats.h"
 #include "storage/database.h"
@@ -20,13 +20,23 @@
 namespace seprec {
 
 struct FixpointOptions {
-  // Abort with RESOURCE_EXHAUSTED once a stratum exceeds this many rounds.
+  // Resource bounds (iterations, tuples, bytes, wall clock) enforced at
+  // every loop boundary; see core/governor.h. Iteration and tuple counts
+  // are summed across strata and sub-evaluations of one entry-point call.
   // Guards non-terminating rewrites (e.g. Counting over cyclic data).
-  size_t max_iterations = std::numeric_limits<size_t>::max();
+  ExecutionLimits limits;
 
-  // Abort with RESOURCE_EXHAUSTED once this many tuples were inserted into
-  // IDB relations in total.
-  size_t max_tuples = std::numeric_limits<size_t>::max();
+  // Optional cooperative cancellation, observed between rounds.
+  CancellationToken* cancel = nullptr;
+
+  // When set, the caller owns stop handling: the engine polls this context,
+  // stops cleanly at the first tripped limit, and returns OK with whatever
+  // it materialised so far (the caller inspects context->stopped() and
+  // rolls back or reports a partial result — see QueryProcessor::Answer).
+  // When null, the engine runs a private context and converts a trip into
+  // RESOURCE_EXHAUSTED / CANCELLED, leaving the partially materialised
+  // relations in `db` — the historical contract for direct engine calls.
+  ExecutionContext* context = nullptr;
 
   // Ablation: compile rule plans without index probes (full scans with
   // post-filters). See PlanOptions::disable_indexes.

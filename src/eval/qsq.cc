@@ -64,8 +64,7 @@ class QsqrEngine {
     return Status::OK();
   }
 
-  Status Run(const Atom& query, const FixpointOptions& options,
-             EvalStats* stats) {
+  void Run(const Atom& query, ExecutionContext* ctx, EvalStats* stats) {
     // Scratch per tracked relation.
     std::map<std::string, std::unique_ptr<Relation>> scratch;
     for (const std::string& name : tracked_) {
@@ -86,16 +85,14 @@ class QsqrEngine {
     db_->Find(root.input_relation)->Insert(Row(seed.data(), seed.size()));
     db_->Find(DeltaName(root.input_relation))
         ->Insert(Row(seed.data(), seed.size()));
+    ctx->NoteTuples(1);
 
     size_t total = 1;
     size_t passes = 0;
     bool changed = true;
     while (changed) {
       ++passes;
-      if (passes > options.max_iterations) {
-        return ResourceExhaustedError(
-            StrCat("QSQR exceeded ", options.max_iterations, " passes"));
-      }
+      if (ctx->NoteIterationAndCheck()) break;
       for (RuleSweep& sweep : sweeps_) {
         for (SweepStep& step : sweep.steps) {
           Relation* sup_scratch = scratch.at(step.sup_relation).get();
@@ -112,6 +109,7 @@ class QsqrEngine {
       }
       // Fold: additions become the next pass's deltas.
       changed = false;
+      size_t pass_new = 0;
       for (const std::string& name : tracked_) {
         Relation* full = db_->Find(name);
         Relation* delta = db_->Find(DeltaName(name));
@@ -120,16 +118,15 @@ class QsqrEngine {
         sc->ForEachRow([&](Row row) {
           if (full->Insert(row)) {
             delta->Insert(row);
-            ++total;
+            ++pass_new;
             changed = true;
           }
         });
         sc->Clear();
       }
-      if (total > options.max_tuples) {
-        return ResourceExhaustedError(
-            StrCat("QSQR exceeded ", options.max_tuples, " tuples"));
-      }
+      total += pass_new;
+      ctx->NoteTuples(pass_new);
+      if (ctx->ShouldStop()) break;
     }
 
     if (stats != nullptr) {
@@ -142,7 +139,6 @@ class QsqrEngine {
                             db_->Find(ap.ans_relation)->size());
       }
     }
-    return Status::OK();
   }
 
   const std::string& query_ans_relation() const {
@@ -384,15 +380,21 @@ StatusOr<QsqrRunResult> EvaluateWithQsqr(const Program& program,
         StrCat("query predicate '", query.predicate,
                "' is aggregate/negation-defined; use semi-naive"));
   }
+  GovernorScope governor(options.limits, options.cancel, options.context);
+  governor.ctx()->TrackMemory(&db->accountant());
+
   if (!base_like.empty()) {
+    FixpointOptions governed = options;
+    governed.context = governor.ctx();
     SEPREC_RETURN_IF_ERROR(MaterializePredicates(program, base_like, db,
-                                                 options, &result.stats));
+                                                 governed, &result.stats));
   }
 
   Program rectified = Rectify(program);
   QsqrEngine engine(rectified, info, db, base_like);
   SEPREC_RETURN_IF_ERROR(engine.Setup(query));
-  SEPREC_RETURN_IF_ERROR(engine.Run(query, options, &result.stats));
+  engine.Run(query, governor.ctx(), &result.stats);
+  SEPREC_RETURN_IF_ERROR(governor.ExitStatus());
   result.adorned = engine.AdornedKeys();
 
   const Relation* ans = db->Find(engine.query_ans_relation());

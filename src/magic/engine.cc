@@ -20,12 +20,20 @@ StatusOr<MagicRunResult> EvaluateWithMagic(const Program& program,
   for (const std::string& pred : AggregatePredicates(program)) {
     base_like.insert(pred);
   }
+  GovernorScope governor(options.limits, options.cancel, options.context);
+  governor.ctx()->TrackMemory(&db->accountant());
+  FixpointOptions governed = options;
+  governed.context = governor.ctx();
+
   if (!base_like.empty()) {
     SEPREC_RETURN_IF_ERROR(MaterializePredicates(program, base_like, db,
-                                                 options, &result.stats));
+                                                 governed, &result.stats));
   }
   SEPREC_RETURN_IF_ERROR(EvaluateSemiNaive(result.rewrite.program, db,
-                                           options, &result.stats));
+                                           governed, &result.stats));
+  // Legacy (ungoverned) callers see a trip as an error here, before the
+  // answer harvest; governed callers get the partial answer back.
+  SEPREC_RETURN_IF_ERROR(governor.ExitStatus());
   const Relation* answers = db->Find(result.rewrite.answer_predicate);
   if (answers != nullptr) {
     result.answer = SelectMatching(*answers, result.rewrite.rewritten_query,

@@ -208,10 +208,13 @@ class SchemaRunner {
   }
 
   // Runs the schema from `seeds` (each of width |anchor_positions|) and
-  // appends the seen_2 rows (rest-position values) to `rest_rows`.
-  Status Run(const std::vector<std::vector<Value>>& seeds,
-             const FixpointOptions& options, EvalStats* stats,
-             std::vector<std::vector<Value>>* rest_rows) {
+  // appends the seen_2 rows (rest-position values) to `rest_rows`. Polls
+  // `ctx` at every carry/seen round boundary; on a trip the phases stop
+  // early and the seen_2 rows harvested so far are still emitted — every
+  // one is a true tuple, so a truncated run yields a sound partial answer.
+  void Run(const std::vector<std::vector<Value>>& seeds,
+           ExecutionContext* ctx, EvalStats* stats,
+           std::vector<std::vector<Value>>* rest_rows) {
     carry1_->Clear();
     seen1_->Clear();
     carry2_->Clear();
@@ -229,38 +232,28 @@ class SchemaRunner {
       carry1_->Insert(row);
       if (seen1_->Insert(row)) ++inserted;
     }
+    ctx->NoteTuples(inserted);
     max_carry1 = carry1_->size();
-
-    auto budget_check = [&]() -> Status {
-      if (iterations > options.max_iterations) {
-        return ResourceExhaustedError(
-            StrCat("separable schema exceeded ", options.max_iterations,
-                   " iterations"));
-      }
-      if (inserted > options.max_tuples) {
-        return ResourceExhaustedError(
-            StrCat("separable schema exceeded ", options.max_tuples,
-                   " tuples"));
-      }
-      return Status::OK();
-    };
 
     // Phase 1 (skipped for a persistent-column anchor).
     if (anchor_.anchor_class.has_value()) {
       while (!carry1_->empty()) {
         ++iterations;
-        SEPREC_RETURN_IF_ERROR(budget_check());
+        if (ctx->NoteIterationAndCheck()) break;
         scratch1_->Clear();
         for (const RulePlan& plan : phase1_plans_) {
           plan.ExecuteInto(scratch1_.get());
         }
         carry1_->Clear();
+        size_t round = 0;
         for (size_t i = 0; i < scratch1_->size(); ++i) {
           if (seen1_->Insert(scratch1_->row(i))) {
-            ++inserted;
+            ++round;
             carry1_->Insert(scratch1_->row(i));
           }
         }
+        inserted += round;
+        ctx->NoteTuples(round);
         max_carry1 = std::max(max_carry1, carry1_->size());
       }
     }
@@ -271,29 +264,35 @@ class SchemaRunner {
       plan.ExecuteInto(scratch2_.get());
     }
     carry2_->Clear();
+    size_t init2 = 0;
     for (size_t i = 0; i < scratch2_->size(); ++i) {
       if (seen2_->Insert(scratch2_->row(i))) {
-        ++inserted;
+        ++init2;
         carry2_->Insert(scratch2_->row(i));
       }
     }
+    inserted += init2;
+    ctx->NoteTuples(init2);
     max_carry2 = carry2_->size();
 
     if (!phase2_plans_.empty()) {
       while (!carry2_->empty()) {
         ++iterations;
-        SEPREC_RETURN_IF_ERROR(budget_check());
+        if (ctx->NoteIterationAndCheck()) break;
         scratch2_->Clear();
         for (const RulePlan& plan : phase2_plans_) {
           plan.ExecuteInto(scratch2_.get());
         }
         carry2_->Clear();
+        size_t round = 0;
         for (size_t i = 0; i < scratch2_->size(); ++i) {
           if (seen2_->Insert(scratch2_->row(i))) {
-            ++inserted;
+            ++round;
             carry2_->Insert(scratch2_->row(i));
           }
         }
+        inserted += round;
+        ctx->NoteTuples(round);
         max_carry2 = std::max(max_carry2, carry2_->size());
       }
     }
@@ -312,7 +311,6 @@ class SchemaRunner {
       stats->NoteRelationMax("seen_2", seen2_->size());
       stats->NoteRelationMax("ans", seen2_->size());
     }
-    return Status::OK();
   }
 
   const AnchorInfo& anchor() const { return anchor_; }
@@ -357,13 +355,11 @@ void EmitAnswer(const AnchorInfo& anchor, Row anchor_values, Row rest_values,
 // t_part branch is itself a full selection on a reduced recursion).
 Status EvaluateSelection(const Program& program, const SeparableRecursion& sep,
                          const Atom& query, Database* db,
-                         const FixpointOptions& options,
-                         SeparableRunResult* result);
+                         ExecutionContext* ctx, SeparableRunResult* result);
 
 // Lemma 2.1: evaluate a partial selection as a union of full selections.
 Status EvaluatePartial(const Program& program, const SeparableRecursion& sep,
-                       const Atom& query, Database* db,
-                       const FixpointOptions& options,
+                       const Atom& query, Database* db, ExecutionContext* ctx,
                        SeparableRunResult* result) {
   result->used_partial_rewrite = true;
   std::vector<bool> bound = BoundPositions(query);
@@ -383,7 +379,7 @@ Status EvaluatePartial(const Program& program, const SeparableRecursion& sep,
   // now sit in persistent columns, a full selection.
   SeparableRecursion part = RemoveClass(sep, *e1);
   SEPREC_RETURN_IF_ERROR(
-      EvaluateSelection(program, part, query, db, options, result));
+      EvaluateSelection(program, part, query, db, ctx, result));
 
   // Branch B: t :- t_full & a_1j for each rule of e1 — sideways
   // information passing through a_1j binds all of e1's columns, yielding
@@ -442,11 +438,13 @@ Status EvaluatePartial(const Program& program, const SeparableRecursion& sep,
     }
   }
 
-  // One full-selection schema run per distinct seed.
+  // One full-selection schema run per distinct seed. Rows already harvested
+  // stay in the answer when a limit trips mid-union — each branch emits
+  // only true tuples, so stopping between branches keeps the answer sound.
   for (const auto& [seed, heads] : seeds_to_heads) {
+    if (ctx->ShouldStop()) break;
     std::vector<std::vector<Value>> rest_rows;
-    SEPREC_RETURN_IF_ERROR(runner.Run({seed}, options, &result->stats,
-                                      &rest_rows));
+    runner.Run({seed}, ctx, &result->stats, &rest_rows);
     ++result->schema_runs;
     for (const std::vector<Value>& head_vals : heads) {
       for (const std::vector<Value>& rest : rest_rows) {
@@ -461,12 +459,11 @@ Status EvaluatePartial(const Program& program, const SeparableRecursion& sep,
 
 Status EvaluateSelection(const Program& program, const SeparableRecursion& sep,
                          const Atom& query, Database* db,
-                         const FixpointOptions& options,
-                         SeparableRunResult* result) {
+                         ExecutionContext* ctx, SeparableRunResult* result) {
   std::vector<bool> bound = BoundPositions(query);
   std::optional<AnchorInfo> anchor = FindAnchor(sep, bound);
   if (!anchor.has_value()) {
-    return EvaluatePartial(program, sep, query, db, options, result);
+    return EvaluatePartial(program, sep, query, db, ctx, result);
   }
 
   bool resolvable = false;
@@ -482,8 +479,7 @@ Status EvaluateSelection(const Program& program, const SeparableRecursion& sep,
   SchemaRunner runner(sep, *anchor, db);
   SEPREC_RETURN_IF_ERROR(runner.Compile());
   std::vector<std::vector<Value>> rest_rows;
-  SEPREC_RETURN_IF_ERROR(
-      runner.Run({seed}, options, &result->stats, &rest_rows));
+  runner.Run({seed}, ctx, &result->stats, &rest_rows);
   ++result->schema_runs;
   for (const std::vector<Value>& rest : rest_rows) {
     EmitAnswer(*anchor, Row(seed.data(), seed.size()),
@@ -523,18 +519,24 @@ StatusOr<SeparableRunResult> EvaluateWithSeparable(
   result.stats.algorithm = "separable";
   WallTimer timer;
 
+  GovernorScope governor(options.limits, options.cancel, options.context);
+  governor.ctx()->TrackMemory(&db->accountant());
+
   // Intern the query constants so seeds have concrete Values (a fresh
   // symbol simply matches nothing).
   for (const Term& arg : query.args) {
     if (arg.kind == Term::Kind::kSymbol) db->symbols().Intern(arg.name);
   }
 
+  FixpointOptions governed = options;
+  governed.context = governor.ctx();
   SEPREC_RETURN_IF_ERROR(MaterializeSupport(program, sep.predicate(), db,
-                                            options, &result.stats));
+                                            governed, &result.stats));
   Status status =
-      EvaluateSelection(program, sep, query, db, options, &result);
+      EvaluateSelection(program, sep, query, db, governor.ctx(), &result);
   result.stats.seconds = timer.Seconds();
   if (!status.ok()) return status;
+  SEPREC_RETURN_IF_ERROR(governor.ExitStatus());
   return result;
 }
 

@@ -50,8 +50,16 @@ class Database {
   // Total number of stored tuples across all relations.
   size_t TotalTuples() const;
 
+  // The shared byte accountant every relation of this database charges.
+  // The execution governor reads it to enforce max_bytes limits.
+  MemoryAccountant& accountant() { return accountant_; }
+  const MemoryAccountant& accountant() const { return accountant_; }
+
  private:
   SymbolTable symbols_;
+  // Declared before relations_ so it outlives them during destruction
+  // (relations release their footprint from their destructor).
+  MemoryAccountant accountant_;
   std::unordered_map<std::string, std::unique_ptr<Relation>> relations_;
 };
 

@@ -7,32 +7,46 @@
 #include <string>
 #include <vector>
 
+#include "util/failpoint.h"
 #include "util/string_util.h"
 
 namespace seprec {
 namespace {
 
-// True if `token` is a decimal integer within the Value range.
-bool ParseInteger(const std::string& token, int64_t* value) {
-  if (token.empty()) return false;
+enum class TokenKind {
+  kInt,     // a decimal integer within the Value range
+  kSymbol,  // anything not integer-shaped
+  kBadInt,  // integer-shaped but outside the Value range
+};
+
+// Integer-shaped tokens either parse within the Value range or are
+// rejected outright — silently interning "99999999999999999999" as a
+// symbol would make the row unjoinable with every in-range integer.
+TokenKind ClassifyToken(const std::string& token, int64_t* value) {
+  if (token.empty()) return TokenKind::kSymbol;
   size_t start = token[0] == '-' ? 1 : 0;
-  if (start == token.size()) return false;
+  if (start == token.size()) return TokenKind::kSymbol;
   for (size_t i = start; i < token.size(); ++i) {
-    if (!std::isdigit(static_cast<unsigned char>(token[i]))) return false;
+    if (!std::isdigit(static_cast<unsigned char>(token[i]))) {
+      return TokenKind::kSymbol;
+    }
   }
   errno = 0;
   char* end = nullptr;
   long long v = std::strtoll(token.c_str(), &end, 10);
-  if (errno != 0 || end != token.c_str() + token.size()) return false;
-  if (v > Value::kMaxInt || v < Value::kMinInt) return false;
+  if (errno != 0 || end != token.c_str() + token.size() ||
+      v > Value::kMaxInt || v < Value::kMinInt) {
+    return TokenKind::kBadInt;
+  }
   *value = v;
-  return true;
+  return TokenKind::kInt;
 }
 
 }  // namespace
 
 StatusOr<size_t> LoadRelationTsv(Database* db, std::string_view name,
                                  std::istream& in) {
+  SEPREC_RETURN_IF_ERROR(Failpoints::Check("io.load_tsv"));
   Relation* rel = db->Find(name);
   size_t added = 0;
   std::string line;
@@ -54,10 +68,17 @@ StatusOr<size_t> LoadRelationTsv(Database* db, std::string_view name,
     row.reserve(columns.size());
     for (const std::string& column : columns) {
       int64_t v = 0;
-      if (ParseInteger(column, &v)) {
-        row.push_back(Value::Int(v));
-      } else {
-        row.push_back(db->symbols().Intern(column));
+      switch (ClassifyToken(column, &v)) {
+        case TokenKind::kInt:
+          row.push_back(Value::Int(v));
+          break;
+        case TokenKind::kSymbol:
+          row.push_back(db->symbols().Intern(column));
+          break;
+        case TokenKind::kBadInt:
+          return InvalidArgumentError(
+              StrCat("line ", line_number, ": integer '", column,
+                     "' out of range for relation '", name, "'"));
       }
     }
     if (rel->Insert(Row(row.data(), row.size()))) ++added;
@@ -81,6 +102,7 @@ StatusOr<size_t> LoadRelationTsvFile(Database* db, std::string_view name,
 
 Status SaveRelationTsv(const Database& db, std::string_view name,
                        std::ostream& out) {
+  SEPREC_RETURN_IF_ERROR(Failpoints::Check("io.save_tsv"));
   const Relation* rel = db.Find(name);
   if (rel == nullptr) {
     return NotFoundError(StrCat("no relation '", name, "'"));

@@ -2,7 +2,18 @@
 
 #include <algorithm>
 
+#include "util/failpoint.h"
+
 namespace seprec {
+
+void MemoryAccountant::Charge(size_t bytes) {
+  if (Failpoints::Hit("governor.charge")) {
+    // Simulated allocation spike: large enough to trip any realistic
+    // max_bytes limit at the next governor poll.
+    bytes_ += size_t{1} << 40;
+  }
+  bytes_ += bytes;
+}
 
 Index::Index(const Relation* relation, ColumnList columns)
     : relation_(relation), columns_(std::move(columns)) {
@@ -45,6 +56,19 @@ Relation::Relation(std::string name, size_t arity)
       arity_(arity),
       row_set_(/*bucket_count=*/16, RowIdHash{this}, RowIdEq{this}) {}
 
+Relation::~Relation() { SetAccountant(nullptr); }
+
+void Relation::SetAccountant(MemoryAccountant* accountant) {
+  if (accountant_ == accountant) return;
+  if (accountant_ != nullptr && num_slots_ > 0) {
+    accountant_->Release(num_slots_ * RowBytes());
+  }
+  accountant_ = accountant;
+  if (accountant_ != nullptr && num_slots_ > 0) {
+    accountant_->Charge(num_slots_ * RowBytes());
+  }
+}
+
 bool Relation::Insert(Row row) {
   SEPREC_CHECK(row.size() == arity_);
   // Tentatively append so the row-set functors (which hash by slot) can
@@ -62,6 +86,7 @@ bool Relation::Insert(Row row) {
     return false;
   }
   ++num_rows_;
+  if (accountant_ != nullptr) accountant_->Charge(RowBytes());
   for (auto& [cols, index] : indexes_) {
     index->Add(slot);
   }
@@ -94,6 +119,9 @@ const Index& Relation::GetIndex(const ColumnList& columns) const {
 }
 
 void Relation::Clear() {
+  if (accountant_ != nullptr && num_slots_ > 0) {
+    accountant_->Release(num_slots_ * RowBytes());
+  }
   data_.clear();
   dead_.clear();
   num_rows_ = 0;
@@ -144,6 +172,26 @@ size_t Relation::EraseRows(const Relation& to_remove) {
     }
   });
   return removed;
+}
+
+void Relation::TruncateToSlots(size_t slots) {
+  SEPREC_CHECK(slots <= num_slots_);
+  if (slots == num_slots_) return;
+  // Unregister the dropped slots while their data is still addressable
+  // (the row-set hashes by slot id into data_).
+  for (size_t slot = slots; slot < num_slots_; ++slot) {
+    if (!dead_[slot]) {
+      row_set_.erase(static_cast<uint32_t>(slot));
+      --num_rows_;
+    }
+  }
+  size_t removed = num_slots_ - slots;
+  data_.resize(slots * arity_);
+  dead_.resize(slots);
+  num_slots_ = slots;
+  // Indexes hold stale slot ids; drop them and rebuild lazily.
+  indexes_.clear();
+  if (accountant_ != nullptr) accountant_->Release(removed * RowBytes());
 }
 
 std::string Relation::DebugString(const SymbolTable& symbols) const {

@@ -37,6 +37,32 @@ using ColumnList = std::vector<uint32_t>;
 
 class Relation;
 
+// Byte-level accounting of relation storage. A Database shares one
+// accountant across all of its relations (and the engines attach it to
+// their scratch relations), so the execution governor can enforce
+// ExecutionLimits::max_bytes by reading one running total. Charges are
+// approximate — Value payload plus a flat per-row overhead standing in for
+// the dedup-set and index entries — the goal being a cheap measure that
+// moves with real allocation, not malloc-accurate bytes. Not thread-safe,
+// matching Relation.
+class MemoryAccountant {
+ public:
+  // Flat per-row overhead charged on top of the Value payload.
+  static constexpr size_t kRowOverheadBytes = 48;
+
+  // Adds `bytes` to the running total. Carries the "governor.charge"
+  // failpoint, which injects a simulated allocation spike so tests can
+  // trip the byte budget deterministically.
+  void Charge(size_t bytes);
+
+  void Release(size_t bytes) { bytes_ -= bytes < bytes_ ? bytes : bytes_; }
+
+  size_t bytes() const { return bytes_; }
+
+ private:
+  size_t bytes_ = 0;
+};
+
 // Hash index over a subset of a relation's columns. Owned by the relation;
 // kept up to date as rows are inserted.
 class Index {
@@ -70,8 +96,15 @@ class Index {
 class Relation {
  public:
   Relation(std::string name, size_t arity);
+  ~Relation();
   Relation(const Relation&) = delete;
   Relation& operator=(const Relation&) = delete;
+
+  // Attaches (or, with nullptr, detaches) a memory accountant. The current
+  // footprint transfers: released from the old accountant, charged to the
+  // new one. The accountant must outlive the relation (Database guarantees
+  // this by declaring its accountant before the relation map).
+  void SetAccountant(MemoryAccountant* accountant);
 
   const std::string& name() const { return name_; }
   size_t arity() const { return arity_; }
@@ -126,6 +159,13 @@ class Relation {
   // of rows removed.
   size_t EraseRows(const Relation& to_remove);
 
+  // Discards every slot with id >= `slots`, live or tombstoned, restoring
+  // the relation to an earlier append point. This is the rollback primitive
+  // of DatabaseCheckpoint: the evaluators only ever append, so truncating
+  // to the checkpointed slot count undoes their writes exactly. Indexes are
+  // dropped (rebuilt lazily). `slots` must not exceed slots().
+  void TruncateToSlots(size_t slots);
+
   // One line per row, rows sorted, for tests and diagnostics.
   std::string DebugString(const SymbolTable& symbols) const;
 
@@ -159,9 +199,15 @@ class Relation {
   size_t num_slots_ = 0;  // live + tombstoned
   std::vector<Value> data_;  // row-major, num_slots_ * arity_ values
   std::vector<bool> dead_;   // per slot
+  // Approximate bytes a stored row costs, for the accountant.
+  size_t RowBytes() const {
+    return arity_ * sizeof(Value) + MemoryAccountant::kRowOverheadBytes;
+  }
+
   std::unordered_set<uint32_t, RowIdHash, RowIdEq> row_set_;  // live slots
   // std::map: ColumnList has operator< for free; index count is tiny.
   mutable std::map<ColumnList, std::unique_ptr<Index>> indexes_;
+  MemoryAccountant* accountant_ = nullptr;  // not owned; may be null
 };
 
 template <typename Fn>

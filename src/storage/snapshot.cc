@@ -5,6 +5,7 @@
 #include <ostream>
 #include <vector>
 
+#include "util/failpoint.h"
 #include "util/string_util.h"
 
 namespace seprec {
@@ -77,6 +78,7 @@ StatusOr<Value> DecodeValue(const std::string& field, Database* db,
 }  // namespace
 
 Status SaveSnapshot(const Database& db, std::ostream& out) {
+  SEPREC_RETURN_IF_ERROR(Failpoints::Check("snapshot.save"));
   out << kHeader << '\n';
   for (const std::string& name : db.RelationNames()) {
     const Relation* rel = db.Find(name);
@@ -92,6 +94,9 @@ Status SaveSnapshot(const Database& db, std::ostream& out) {
       }
       out << '\n';
     });
+    // Row-count trailer: lets the loader detect silently truncated files
+    // (a stream cut between two rows still parses line-by-line).
+    out << "tuples " << rel->size() << '\n';
   }
   out << "end\n";
   if (!out) return InternalError("write failed");
@@ -105,6 +110,7 @@ Status SaveSnapshotFile(const Database& db, const std::string& path) {
 }
 
 Status LoadSnapshot(Database* db, std::istream& in) {
+  SEPREC_RETURN_IF_ERROR(Failpoints::Check("snapshot.load"));
   std::string line;
   size_t line_number = 0;
   if (!std::getline(in, line) || line != kHeader) {
@@ -112,6 +118,8 @@ Status LoadSnapshot(Database* db, std::istream& in) {
   }
   ++line_number;
   Relation* current = nullptr;
+  std::string current_name;
+  size_t rows_in_section = 0;
   bool saw_end = false;
   while (std::getline(in, line)) {
     ++line_number;
@@ -137,6 +145,35 @@ Status LoadSnapshot(Database* db, std::istream& in) {
       SEPREC_ASSIGN_OR_RETURN(
           current, db->CreateRelation(parts[1],
                                       static_cast<size_t>(arity)));
+      current_name = parts[1];
+      rows_in_section = 0;
+      continue;
+    }
+    if (StartsWith(line, "tuples ")) {
+      // Optional row-count trailer (v1 files without it still load):
+      // a mismatch means the stream lost rows between header and trailer.
+      if (current == nullptr) {
+        return InvalidArgumentError(
+            StrCat("line ", line_number,
+                   ": 'tuples' trailer before relation header"));
+      }
+      const std::string count_text = line.substr(7);
+      errno = 0;
+      char* end = nullptr;
+      long long declared = std::strtoll(count_text.c_str(), &end, 10);
+      if (errno != 0 || end != count_text.c_str() + count_text.size() ||
+          declared < 0) {
+        return InvalidArgumentError(
+            StrCat("line ", line_number, ": bad tuple count '", count_text,
+                   "'"));
+      }
+      if (static_cast<size_t>(declared) != rows_in_section) {
+        return InvalidArgumentError(
+            StrCat("line ", line_number, ": relation '", current_name,
+                   "' declares ", declared, " tuples, found ",
+                   rows_in_section));
+      }
+      current = nullptr;  // rows after a verified trailer are malformed
       continue;
     }
     if (current == nullptr) {
@@ -145,6 +182,7 @@ Status LoadSnapshot(Database* db, std::istream& in) {
     }
     if (line == "()" && current->arity() == 0) {
       current->Insert(Row{});
+      ++rows_in_section;
       continue;
     }
     std::vector<std::string> fields = StrSplit(line, '\t');
@@ -160,9 +198,21 @@ Status LoadSnapshot(Database* db, std::istream& in) {
       row.push_back(v);
     }
     current->Insert(Row(row.data(), row.size()));
+    ++rows_in_section;
   }
   if (!saw_end) {
-    return InvalidArgumentError("snapshot truncated (no 'end' marker)");
+    return InvalidArgumentError(
+        StrCat("snapshot truncated at line ", line_number,
+               " (no 'end' marker)"));
+  }
+  // Anything after `end` is not ours: a concatenated or corrupted stream
+  // should fail loudly instead of being half-read.
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty()) {
+      return InvalidArgumentError(
+          StrCat("line ", line_number, ": trailing garbage after 'end'"));
+    }
   }
   return Status::OK();
 }

@@ -1,0 +1,40 @@
+// Wall-clock deadlines on the steady clock, for the execution governor.
+#ifndef SEPREC_UTIL_DEADLINE_H_
+#define SEPREC_UTIL_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace seprec {
+
+// A point on the steady clock after which governed work must stop.
+// Infinite() never expires. AfterMillis(0) is expired from the first
+// check, which tests use to drive the deadline path deterministically.
+class Deadline {
+ public:
+  Deadline() = default;  // infinite
+
+  static Deadline Infinite() { return Deadline(); }
+
+  static Deadline AfterMillis(int64_t millis) {
+    Deadline deadline;
+    deadline.infinite_ = false;
+    deadline.when_ =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(millis);
+    return deadline;
+  }
+
+  bool infinite() const { return infinite_; }
+
+  bool expired() const {
+    return !infinite_ && std::chrono::steady_clock::now() >= when_;
+  }
+
+ private:
+  bool infinite_ = true;
+  std::chrono::steady_clock::time_point when_{};
+};
+
+}  // namespace seprec
+
+#endif  // SEPREC_UTIL_DEADLINE_H_

@@ -1,0 +1,86 @@
+// Failpoints: a LevelDB/CockroachDB-style fault-injection registry.
+//
+// Production code declares *sites* — named points where an induced failure
+// is interesting (stream I/O, snapshot parsing, the governor's memory
+// accountant, the compiler's strategy dispatch). Tests arm a site with a
+// FailpointSpec; matching passes through the site then report the injected
+// failure. The disarmed fast path is a single relaxed atomic load, so the
+// sites are compiled into release builds too.
+//
+// Sites come in two shapes:
+//
+//   Status-shaped: SEPREC_RETURN_IF_ERROR(Failpoints::Check("io.save_tsv"));
+//   bool-shaped:   if (Failpoints::Hit("governor.poll")) { /* cancel */ }
+//
+// Environment control (read once, at first use):
+//
+//   SEPREC_FAILPOINTS=ON                 keep the registry's slow path
+//                                        active (CI soak under sanitizers)
+//   SEPREC_FAILPOINTS=site[:skip[:count]][,...]
+//                                        arm sites at process start
+//
+// The registry is guarded by a mutex and safe to use across threads; the
+// sites themselves fire on whichever thread evaluates them.
+#ifndef SEPREC_UTIL_FAILPOINT_H_
+#define SEPREC_UTIL_FAILPOINT_H_
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace seprec {
+
+struct FailpointSpec {
+  // Let this many evaluations pass before the first injected failure.
+  size_t skip = 0;
+  // Stop firing after this many injected failures (the site stays armed
+  // but inert; Disarm to reset).
+  size_t count = std::numeric_limits<size_t>::max();
+  // Status code reported by Status-shaped sites.
+  StatusCode code = StatusCode::kInternal;
+  // Optional message override; empty uses "injected failure at <site>".
+  std::string message;
+};
+
+class Failpoints {
+ public:
+  // Arms `site` (must be registered — see Sites()); resets its counters.
+  static void Arm(std::string_view site, FailpointSpec spec = {});
+  static void Disarm(std::string_view site);
+  static void DisarmAll();
+
+  // Number of failures `site` has injected since it was last armed.
+  static size_t FireCount(std::string_view site);
+
+  // All registered sites, for enumeration tests and tooling.
+  static const std::vector<std::string_view>& Sites();
+  static bool IsRegistered(std::string_view site);
+
+  // Status-shaped evaluation: OK unless the site is armed and due.
+  static Status Check(std::string_view site);
+  // Bool-shaped evaluation: true when the site is armed and due.
+  static bool Hit(std::string_view site);
+};
+
+// Arms a site for the enclosing scope; disarms on destruction.
+class ScopedFailpoint {
+ public:
+  explicit ScopedFailpoint(std::string_view site, FailpointSpec spec = {})
+      : site_(site) {
+    Failpoints::Arm(site_, std::move(spec));
+  }
+  ~ScopedFailpoint() { Failpoints::Disarm(site_); }
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+ private:
+  std::string site_;
+};
+
+}  // namespace seprec
+
+#endif  // SEPREC_UTIL_FAILPOINT_H_

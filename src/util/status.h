@@ -25,6 +25,7 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kResourceExhausted,
+  kCancelled,
   kInternal,
 };
 
@@ -80,6 +81,9 @@ inline Status UnimplementedError(std::string message) {
 }
 inline Status ResourceExhaustedError(std::string message) {
   return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+inline Status CancelledError(std::string message) {
+  return Status(StatusCode::kCancelled, std::move(message));
 }
 inline Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));

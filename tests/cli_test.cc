@@ -73,6 +73,42 @@ TEST(Cli, RunWithTsvData) {
   EXPECT_NE(r.output.find("3 answer(s)"), std::string::npos);
 }
 
+TEST(Cli, RunWithExpiredDeadlineExitsThreeWithPartialBanner) {
+  CliResult r = RunCli(StrCat("run ", Data("tc.dl"), " --data edge=",
+                              Data("edges.tsv"), " --timeout-ms 0"));
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+  EXPECT_NE(r.output.find("%% partial result (deadline exceeded)"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(Cli, RunWithTupleBudgetExitsThree) {
+  CliResult r = RunCli(StrCat("run ", Data("tc.dl"), " --data edge=",
+                              Data("edges.tsv"), " --max-tuples 1"));
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+  EXPECT_NE(r.output.find("%% partial result (tuple budget exhausted)"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(Cli, RunWithGenerousLimitsStillSucceeds) {
+  CliResult r = RunCli(StrCat("run ", Data("tc.dl"), " --data edge=",
+                              Data("edges.tsv"),
+                              " --timeout-ms 60000 --max-tuples 100000"
+                              " --max-bytes 100000000"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("3 answer(s)"), std::string::npos);
+  EXPECT_EQ(r.output.find("%% partial"), std::string::npos) << r.output;
+}
+
+TEST(Cli, BadLimitFlagIsUsageError) {
+  CliResult r = RunCli(StrCat("run ", Data("tc.dl"), " --timeout-ms soon"));
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("non-negative integer"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
 TEST(Cli, RunWithForcedStrategyAndStats) {
   CliResult r = RunCli(StrCat("run ", Data("social.dl"),
                               " --strategy magic --stats"));
@@ -389,14 +425,15 @@ TEST(Cli, LintUsageErrors) {
 
 TEST(Cli, ErrorsAreClean) {
   EXPECT_EQ(RunCli("run /no/such/file.dl").exit_code, 1);
-  EXPECT_EQ(RunCli(StrCat("run ", Data("social.dl"),
-                          " --strategy bogus")).exit_code, 1);
   EXPECT_EQ(RunCli(StrCat("explain ", Data("social.dl"), " \"((\"")).exit_code,
             1);
   EXPECT_EQ(RunCli(StrCat("why ", Data("social.dl"),
                           " \"buys(nobody, nothing)\"")).exit_code, 1);
+  // Malformed flags are usage errors, matching lint's convention.
   EXPECT_EQ(RunCli(StrCat("run ", Data("social.dl"),
-                          " --data bad-spec")).exit_code, 1);
+                          " --strategy bogus")).exit_code, 2);
+  EXPECT_EQ(RunCli(StrCat("run ", Data("social.dl"),
+                          " --data bad-spec")).exit_code, 2);
 }
 
 }  // namespace

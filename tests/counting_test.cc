@@ -138,7 +138,7 @@ TEST(CountingEngine, CyclicDataExhaustsBudget) {
   Database db;
   MakeCycle(&db, "edge", "v", 4);
   FixpointOptions options;
-  options.max_iterations = 40;  // below the ~60 levels where K overflows
+  options.limits.max_iterations = 40;  // below the ~60 levels where K overflows
   auto run = EvaluateWithCounting(TransitiveClosureProgram(),
                                   ParseAtomOrDie("tc(v0, Y)"), &db, options);
   ASSERT_FALSE(run.ok());
@@ -156,7 +156,7 @@ TEST(CountingEngine, CyclicDataWithPathIndexExhaustsTupleBudget) {
   MakeCycle(&db, "a2", "v", 4);
   MakeFact(&db, "t0", {"v0", "w"});
   FixpointOptions options;
-  options.max_tuples = 50000;
+  options.limits.max_tuples = 50000;
   auto run = EvaluateWithCounting(program, FirstColumnQuery("t", 2, "v0"),
                                   &db, options);
   ASSERT_FALSE(run.ok());

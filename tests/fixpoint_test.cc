@@ -104,7 +104,7 @@ TEST(SemiNaive, MaxIterationsBudget) {
       "n(Y) :- n(X), Y is X + 1.");  // diverges
   Database db;
   FixpointOptions options;
-  options.max_iterations = 50;
+  options.limits.max_iterations = 50;
   EvalStats stats;
   Status status = EvaluateSemiNaive(p, &db, options, &stats);
   EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
@@ -119,7 +119,7 @@ TEST(SemiNaive, MaxTuplesBudget) {
       "n(Y) :- n(X), Y is X + 1.");
   Database db;
   FixpointOptions options;
-  options.max_tuples = 100;
+  options.limits.max_tuples = 100;
   Status status = EvaluateSemiNaive(p, &db, options);
   EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
 }

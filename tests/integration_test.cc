@@ -117,11 +117,19 @@ TEST(Integration, BudgetsPropagateThroughProcessor) {
   Database db;
   MakeChain(&db, "edge", "v", 300);
   FixpointOptions options;
-  options.max_iterations = 5;
+  options.limits.max_iterations = 5;
   auto result = qp->Answer(ParseAtomOrDie("tc(v0, Y)"), &db,
                            Strategy::kSeparable, options);
-  EXPECT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  // The processor owns stop handling: a tripped budget yields OK with a
+  // partial (sound, truncated) answer and a rolled-back database.
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->partial);
+  ASSERT_TRUE(result->degradation.has_value());
+  EXPECT_EQ(result->degradation->cause, StopCause::kIterations);
+  EXPECT_LT(result->answer.size(), 300u);
+  EXPECT_GT(result->answer.size(), 0u);
+  // Rollback: the scratch/IDB relations of the attempt are gone.
+  EXPECT_EQ(db.Find("tc"), nullptr);
 }
 
 TEST(Integration, QuotedAndNumericConstantsEndToEnd) {

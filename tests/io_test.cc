@@ -52,6 +52,32 @@ TEST(Io, ArityMismatchRejected) {
   EXPECT_EQ(added.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(Io, ArityMismatchReportsLineNumber) {
+  Database db;
+  // Comments and blank lines still count towards the reported line number.
+  std::istringstream in("a\tb\n# comment\n\nc\n");
+  auto added = LoadRelationTsv(&db, "edge", in);
+  ASSERT_FALSE(added.ok());
+  EXPECT_NE(added.status().message().find("line 4"), std::string::npos)
+      << added.status().ToString();
+}
+
+TEST(Io, OutOfRangeIntegerRejectedWithLineNumber) {
+  Database db;
+  std::istringstream in("alice\t42\nbob\t99999999999999999999\n");
+  auto added = LoadRelationTsv(&db, "age", in);
+  ASSERT_FALSE(added.ok());
+  EXPECT_EQ(added.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(added.status().message().find("line 2"), std::string::npos)
+      << added.status().ToString();
+  EXPECT_NE(added.status().message().find("out of range"), std::string::npos);
+  // An in-range 62-bit integer is still accepted as an int.
+  Database db2;
+  std::istringstream ok_in("x\t2305843009213693951\n");
+  ASSERT_TRUE(LoadRelationTsv(&db2, "age", ok_in).ok());
+  EXPECT_TRUE(db2.Find("age")->row(0)[1].is_int());
+}
+
 TEST(Io, AppendToExistingRelation) {
   Database db;
   ASSERT_TRUE(db.AddFact("edge", {"x", "y"}).ok());

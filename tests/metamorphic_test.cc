@@ -169,5 +169,48 @@ TEST(Metamorphic, ExitRuleSplitPreservesAnswers) {
   }
 }
 
+TEST(Metamorphic, PartialAnswersAreSubsetsOfFullAnswers) {
+  // Sound degradation: for a positive (monotone) program, a budget-limited
+  // run may return fewer tuples but never a wrong one, and it must leave
+  // the database exactly as it found it.
+  auto qp = QueryProcessor::Create(TransitiveClosureProgram());
+  ASSERT_TRUE(qp.ok());
+  Atom query = ParseAtomOrDie("tc(v0, Y)");
+
+  Database full_db;
+  MakeChain(&full_db, "edge", "v", 80);
+  auto full = qp->Answer(query, &full_db);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  ASSERT_FALSE(full->partial);
+  std::vector<std::string> full_strings =
+      full->answer.ToStrings(full_db.symbols());
+  std::sort(full_strings.begin(), full_strings.end());
+  ASSERT_EQ(full_strings.size(), 79u);
+
+  bool saw_partial = false;
+  for (size_t budget : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    Database db;
+    MakeChain(&db, "edge", "v", 80);
+    const std::vector<std::string> names_before = db.RelationNames();
+    FixpointOptions options;
+    options.limits.max_iterations = budget;
+    auto limited = qp->Answer(query, &db, Strategy::kAuto, options);
+    ASSERT_TRUE(limited.ok()) << limited.status().ToString();
+    std::vector<std::string> subset =
+        limited->answer.ToStrings(db.symbols());
+    std::sort(subset.begin(), subset.end());
+    EXPECT_TRUE(std::includes(full_strings.begin(), full_strings.end(),
+                              subset.begin(), subset.end()))
+        << "budget " << budget;
+    if (limited->partial) {
+      saw_partial = true;
+      EXPECT_LT(subset.size(), full_strings.size()) << "budget " << budget;
+      // Rollback left no trace of the truncated attempt.
+      EXPECT_EQ(db.RelationNames(), names_before) << "budget " << budget;
+    }
+  }
+  EXPECT_TRUE(saw_partial);
+}
+
 }  // namespace
 }  // namespace seprec

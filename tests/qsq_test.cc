@@ -173,7 +173,7 @@ TEST(Qsqr, BudgetRespected) {
   Database db;
   MakeChain(&db, "edge", "v", 500);
   FixpointOptions options;
-  options.max_tuples = 50;
+  options.limits.max_tuples = 50;
   auto run = EvaluateWithQsqr(TransitiveClosureProgram(),
                               ParseAtomOrDie("tc(v0, Y)"), &db, options);
   ASSERT_FALSE(run.ok());

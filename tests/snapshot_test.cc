@@ -81,6 +81,69 @@ TEST(Snapshot, RejectsGarbage) {
   EXPECT_FALSE(LoadSnapshot(&db, bad5).ok());  // arity mismatch
 }
 
+TEST(Snapshot, TupleCountTrailerWrittenAndVerified) {
+  Database db;
+  MakeChain(&db, "edge", "v", 4);
+  std::ostringstream out;
+  ASSERT_TRUE(SaveSnapshot(db, out).ok());
+  // The writer declares the tuple count after each relation's rows so the
+  // reader can detect silent truncation.
+  EXPECT_NE(out.str().find("tuples 3"), std::string::npos) << out.str();
+  Database restored;
+  std::istringstream in(out.str());
+  ASSERT_TRUE(LoadSnapshot(&restored, in).ok());
+  EXPECT_EQ(restored.Find("edge")->size(), 3u);
+}
+
+TEST(Snapshot, LegacyFormatWithoutTrailerStillLoads) {
+  std::istringstream in(
+      "seprec-snapshot v1\nrelation r 1\ns:x\ns:y\nend\n");
+  Database db;
+  ASSERT_TRUE(LoadSnapshot(&db, in).ok());
+  EXPECT_EQ(db.Find("r")->size(), 2u);
+}
+
+TEST(Snapshot, TupleCountMismatchRejected) {
+  // A declared count that disagrees with the rows present means rows were
+  // lost (or injected) in transit.
+  std::istringstream in(
+      "seprec-snapshot v1\nrelation r 1\ns:x\ntuples 5\nend\n");
+  Database db;
+  Status status = LoadSnapshot(&db, in);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("declares 5 tuples, found 1"),
+            std::string::npos)
+      << status.ToString();
+  // Trailer before any relation header is also malformed.
+  std::istringstream orphan("seprec-snapshot v1\ntuples 0\nend\n");
+  EXPECT_FALSE(LoadSnapshot(&db, orphan).ok());
+  // Non-numeric count is malformed.
+  std::istringstream bad_count(
+      "seprec-snapshot v1\nrelation r 1\ns:x\ntuples lots\nend\n");
+  EXPECT_FALSE(LoadSnapshot(&db, bad_count).ok());
+}
+
+TEST(Snapshot, MissingEndTrailerReportsLineNumber) {
+  std::istringstream in("seprec-snapshot v1\nrelation r 1\ns:x\n");
+  Database db;
+  Status status = LoadSnapshot(&db, in);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("truncated at line 3"), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find("no 'end' marker"), std::string::npos);
+}
+
+TEST(Snapshot, TrailingGarbageAfterEndRejected) {
+  std::istringstream in(
+      "seprec-snapshot v1\nrelation r 1\ns:x\nend\ns:stowaway\n");
+  Database db;
+  Status status = LoadSnapshot(&db, in);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("line 5"), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find("trailing garbage"), std::string::npos);
+}
+
 TEST(Snapshot, FileRoundTrip) {
   Database db;
   MakeChain(&db, "edge", "v", 10);

@@ -68,7 +68,7 @@ TEST_P(SpkSweepTest, EnginesAgree) {
     Database db;
     LoadData(&db, p, k, data_kind);
     FixpointOptions budget;
-    budget.max_tuples = 2'000'000;
+    budget.limits.max_tuples = 2'000'000;
     auto result = qp->Answer(query, &db, s, budget);
     ASSERT_TRUE(result.ok())
         << StrategyToString(s) << ": " << result.status().ToString();

@@ -2,9 +2,13 @@
 // compiler.
 //
 //   seprec_cli run <program.dl> [--data REL=FILE.tsv]... [--strategy S]
-//                  [--stats]
+//                  [--stats] [--timeout-ms N] [--max-tuples N]
+//                  [--max-bytes N]
 //       Load the program, load any TSV data files, execute every query in
 //       the file (?- q. or q?), print answers (and stats with --stats).
+//       The --timeout-ms / --max-tuples / --max-bytes limits govern each
+//       query; a query stopped by a limit prints the sound partial answer
+//       with a "%% partial result (...)" banner and the process exits 3.
 //
 //   seprec_cli check <program.dl>
 //       Static report: predicates, strata, recursion/linearity, and for
@@ -25,6 +29,10 @@
 //       condition-4 relaxation to the separability passes. Exit codes:
 //       0 = no warnings or errors (notes allowed), 1 = findings,
 //       2 = usage error or unreadable file.
+//
+// Process exit codes: 0 = success, 1 = failure, 2 = usage error,
+// 3 = a resource limit stopped the evaluation (partial result or
+// RESOURCE_EXHAUSTED / CANCELLED).
 //
 // Strategies: auto separable magic counting qsqr seminaive naive.
 #include <cstdio>
@@ -55,10 +63,21 @@ int Fail(const std::string& message) {
   return 1;
 }
 
+// Limit trips exit 3 so scripts can tell "wrong" (1) from "truncated".
+int FailStatus(const Status& status) {
+  Fail(status.ToString());
+  return status.code() == StatusCode::kResourceExhausted ||
+                 status.code() == StatusCode::kCancelled
+             ? 3
+             : 1;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: seprec_cli run <program.dl> [--data REL=FILE]... "
                "[--strategy S] [--stats]\n"
+               "                  [--timeout-ms N] [--max-tuples N] "
+               "[--max-bytes N]\n"
                "       seprec_cli check <program.dl>\n"
                "       seprec_cli explain <program.dl> \"<query>\"\n"
                "       seprec_cli why <program.dl> \"<fact>\" "
@@ -82,7 +101,21 @@ struct CommonFlags {
   std::vector<std::pair<std::string, std::string>> data;  // rel -> path
   std::optional<Strategy> strategy;
   bool stats = false;
+  FixpointOptions options;  // resource limits forwarded to the governor
 };
+
+StatusOr<int64_t> ParseCount(const std::string& flag,
+                             const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(text.c_str(), &end, 10);
+  if (text.empty() || errno != 0 || end != text.c_str() + text.size() ||
+      v < 0) {
+    return InvalidArgumentError(
+        StrCat(flag, " expects a non-negative integer, got '", text, "'"));
+  }
+  return static_cast<int64_t>(v);
+}
 
 StatusOr<CommonFlags> ParseFlags(int argc, char** argv, int first) {
   CommonFlags flags;
@@ -90,6 +123,21 @@ StatusOr<CommonFlags> ParseFlags(int argc, char** argv, int first) {
     std::string arg = argv[i];
     if (arg == "--stats") {
       flags.stats = true;
+      continue;
+    }
+    if (arg == "--timeout-ms" && i + 1 < argc) {
+      SEPREC_ASSIGN_OR_RETURN(int64_t v, ParseCount(arg, argv[++i]));
+      flags.options.limits.timeout_ms = v;
+      continue;
+    }
+    if (arg == "--max-tuples" && i + 1 < argc) {
+      SEPREC_ASSIGN_OR_RETURN(int64_t v, ParseCount(arg, argv[++i]));
+      flags.options.limits.max_tuples = static_cast<size_t>(v);
+      continue;
+    }
+    if (arg == "--max-bytes" && i + 1 < argc) {
+      SEPREC_ASSIGN_OR_RETURN(int64_t v, ParseCount(arg, argv[++i]));
+      flags.options.limits.max_bytes = static_cast<size_t>(v);
       continue;
     }
     if (arg == "--data" && i + 1 < argc) {
@@ -143,12 +191,16 @@ int RunCommand(const std::string& path, const CommonFlags& flags) {
   if (unit->queries.empty()) {
     std::printf("(no queries in %s)\n", path.c_str());
   }
+  int exit_code = 0;
   for (const Atom& query : unit->queries) {
     Strategy strategy = flags.strategy.value_or(Strategy::kAuto);
-    StatusOr<QueryResult> result = qp->Answer(query, &db, strategy);
+    StatusOr<QueryResult> result =
+        qp->Answer(query, &db, strategy, flags.options);
     if (!result.ok()) {
-      return Fail(StrCat(query.ToString(), ": ",
-                         result.status().ToString()));
+      int code = FailStatus(result.status());
+      std::fprintf(stderr, "seprec_cli: while answering %s\n",
+                   query.ToString().c_str());
+      return code;
     }
     std::printf("?- %s.\n", query.ToString().c_str());
     for (const std::string& t : result->answer.ToStrings(db.symbols())) {
@@ -156,11 +208,22 @@ int RunCommand(const std::string& path, const CommonFlags& flags) {
     }
     std::printf("%% %zu answer(s) via %s\n", result->answer.size(),
                 std::string(StrategyToString(result->strategy)).c_str());
+    for (const Diagnostic& d : result->diagnostics) {
+      std::printf("%%%% note[%s]: %s\n", d.code.c_str(), d.message.c_str());
+    }
+    if (result->partial) {
+      StopCause cause = result->degradation.has_value()
+                            ? result->degradation->cause
+                            : StopCause::kNone;
+      std::printf("%%%% partial result (%s)\n",
+                  std::string(StopCauseToString(cause)).c_str());
+      exit_code = 3;
+    }
     if (flags.stats) {
       std::printf("%s", result->stats.ToString().c_str());
     }
   }
-  return 0;
+  return exit_code;
 }
 
 int CheckCommand(const std::string& path) {
@@ -227,11 +290,15 @@ int WhyCommand(const std::string& path, const std::string& fact_text,
   if (Status status = LoadData(flags, &db); !status.ok()) {
     return Fail(status.ToString());
   }
-  if (Status status = EvaluateSemiNaive(unit->program, &db); !status.ok()) {
-    return Fail(status.ToString());
+  if (Status status = EvaluateSemiNaive(unit->program, &db, flags.options);
+      !status.ok()) {
+    return FailStatus(status);
   }
-  StatusOr<DerivationNode> node = ExplainTuple(unit->program, &db, *fact);
-  if (!node.ok()) return Fail(node.status().ToString());
+  ProvenanceOptions prov;
+  prov.timeout_ms = flags.options.limits.timeout_ms;
+  StatusOr<DerivationNode> node =
+      ExplainTuple(unit->program, &db, *fact, prov);
+  if (!node.ok()) return FailStatus(node.status());
   std::printf("%s", node->ToString().c_str());
   return 0;
 }
@@ -285,7 +352,10 @@ int Main(int argc, char** argv) {
   std::string path = argv[2];
   if (command == "run") {
     StatusOr<CommonFlags> flags = ParseFlags(argc, argv, 3);
-    if (!flags.ok()) return Fail(flags.status().ToString());
+    if (!flags.ok()) {
+      Fail(flags.status().ToString());
+      return Usage();
+    }
     return RunCommand(path, *flags);
   }
   if (command == "check") {
@@ -301,7 +371,10 @@ int Main(int argc, char** argv) {
   if (command == "why") {
     if (argc < 4) return Usage();
     StatusOr<CommonFlags> flags = ParseFlags(argc, argv, 4);
-    if (!flags.ok()) return Fail(flags.status().ToString());
+    if (!flags.ok()) {
+      Fail(flags.status().ToString());
+      return Usage();
+    }
     return WhyCommand(path, argv[3], *flags);
   }
   return Usage();
