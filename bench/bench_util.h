@@ -11,6 +11,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -20,6 +22,96 @@
 
 namespace seprec {
 namespace bench {
+
+// ---- Session: flags + machine-readable results ---------------------------
+//
+// Every table/figure bench calls Session::Get().Init(argc, argv) first
+// thing in main. Recognised flags:
+//
+//   --json <out.json>   after the run, write every recorded measurement
+//                       (name, wall_ns, tuples_per_s, peak_bytes) as JSON —
+//                       the input of tools/bench_compare.py and the CI
+//                       benchmark-regression job
+//   --threads <N>       forward a parallel policy to every RunStrategy call
+//
+// Measurements are recorded automatically by RunStrategy; names are
+// "<bench>/<seq>/<strategy>", stable across runs because the benches are
+// deterministic.
+class Session {
+ public:
+  static Session& Get() {
+    static Session session;
+    return session;
+  }
+
+  void Init(int argc, char** argv) {
+    if (argc > 0) {
+      const char* slash = std::strrchr(argv[0], '/');
+      bench_name_ = slash != nullptr ? slash + 1 : argv[0];
+    }
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        json_path_ = argv[++i];
+      } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+        threads_ = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+      } else {
+        std::fprintf(stderr, "%s: unknown flag '%s'\n", bench_name_.c_str(),
+                     argv[i]);
+        std::exit(2);
+      }
+    }
+  }
+
+  size_t threads() const { return threads_; }
+
+  void Record(const std::string& strategy, double seconds, size_t tuples,
+              size_t peak_bytes) {
+    Entry e;
+    e.name = StrCat(bench_name_, "/", entries_.size(), "/", strategy);
+    e.wall_ns = static_cast<uint64_t>(seconds * 1e9);
+    e.tuples_per_s =
+        seconds > 0 ? static_cast<double>(tuples) / seconds : 0.0;
+    e.peak_bytes = peak_bytes;
+    entries_.push_back(std::move(e));
+  }
+
+  ~Session() {
+    if (json_path_.empty()) return;
+    std::FILE* f = std::fopen(json_path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "%s: cannot write '%s'\n", bench_name_.c_str(),
+                   json_path_.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"entries\": [\n",
+                 bench_name_.c_str());
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"wall_ns\": %llu, "
+                   "\"tuples_per_s\": %.1f, \"peak_bytes\": %zu}%s\n",
+                   e.name.c_str(),
+                   static_cast<unsigned long long>(e.wall_ns),
+                   e.tuples_per_s, e.peak_bytes,
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    uint64_t wall_ns = 0;
+    double tuples_per_s = 0;
+    size_t peak_bytes = 0;
+  };
+
+  std::string bench_name_ = "bench";
+  std::string json_path_;
+  size_t threads_ = 0;
+  std::vector<Entry> entries_;
+};
 
 // ---- Table printing -------------------------------------------------------
 
@@ -153,12 +245,18 @@ struct RunOutcome {
 
 // Runs `strategy` on (program, query, db) with an optional budget, timing
 // the whole call. The database is consumed (engines materialise into it).
+// The measurement lands in the Session (for --json emission); a --threads
+// flag overrides the options' parallel policy.
 inline RunOutcome RunStrategy(const QueryProcessor& qp, const Atom& query,
                               Database* db, Strategy strategy,
                               const FixpointOptions& options = {}) {
   RunOutcome out;
+  FixpointOptions opts = options;
+  if (Session::Get().threads() > 0) {
+    opts.limits.parallel.num_threads = Session::Get().threads();
+  }
   WallTimer timer;
-  StatusOr<QueryResult> result = qp.Answer(query, db, strategy, options);
+  StatusOr<QueryResult> result = qp.Answer(query, db, strategy, opts);
   out.seconds = timer.Seconds();
   if (!result.ok()) {
     out.failure = std::string(StatusCodeToString(result.status().code()));
@@ -170,6 +268,9 @@ inline RunOutcome RunStrategy(const QueryProcessor& qp, const Atom& query,
   out.total_tuples = result->stats.TotalRelationSize();
   out.iterations = result->stats.iterations;
   out.stats = result->stats;
+  Session::Get().Record(std::string(StrategyToString(result->strategy)),
+                        out.seconds, out.total_tuples,
+                        db->accountant().bytes());
   return out;
 }
 

@@ -103,7 +103,8 @@ void Run() {
 }  // namespace
 }  // namespace seprec
 
-int main() {
+int main(int argc, char** argv) {
+  seprec::bench::Session::Get().Init(argc, argv);
   seprec::Run();
   return 0;
 }

@@ -85,7 +85,8 @@ void Run() {
 }  // namespace
 }  // namespace seprec
 
-int main() {
+int main(int argc, char** argv) {
+  seprec::bench::Session::Get().Init(argc, argv);
   seprec::Run();
   return 0;
 }

@@ -4,8 +4,13 @@
 
 #include "util/failpoint.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace seprec {
+
+size_t ParallelPolicy::ResolvedThreads() const {
+  return num_threads > 0 ? num_threads : DefaultThreadCount();
+}
 
 std::string_view StopCauseToString(StopCause cause) {
   switch (cause) {
@@ -39,16 +44,23 @@ size_t ExecutionContext::BytesUsed() const {
   return now > baseline_bytes_ ? now - baseline_bytes_ : 0;
 }
 
+std::string ExecutionContext::message() const {
+  std::lock_guard<std::mutex> lock(latch_mu_);
+  return message_;
+}
+
 bool ExecutionContext::Latch(StopCause cause, std::string message) {
-  if (cause_ == StopCause::kNone) {
-    cause_ = cause;
+  std::lock_guard<std::mutex> lock(latch_mu_);
+  if (cause_.load(std::memory_order_relaxed) == StopCause::kNone) {
     message_ = std::move(message);
+    // Release: a thread observing the cause also sees the message.
+    cause_.store(cause, std::memory_order_release);
   }
   return true;
 }
 
 bool ExecutionContext::ShouldStop() {
-  if (cause_ != StopCause::kNone) return true;
+  if (stopped()) return true;
   if (cancel_ != nullptr && cancel_->cancelled()) {
     return Latch(StopCause::kCancelled, "evaluation cancelled by caller");
   }
@@ -60,7 +72,7 @@ bool ExecutionContext::ShouldStop() {
     return Latch(StopCause::kDeadline,
                  StrCat("deadline of ", limits_.timeout_ms, " ms exceeded"));
   }
-  if (tuples_ > limits_.max_tuples) {
+  if (tuples() > limits_.max_tuples) {
     return Latch(StopCause::kTuples,
                  StrCat("evaluation exceeded ", limits_.max_tuples,
                         " tuples"));
@@ -76,7 +88,7 @@ bool ExecutionContext::ShouldStop() {
 
 bool ExecutionContext::NoteIterationAndCheck() {
   ++iterations_;
-  if (cause_ == StopCause::kNone && iterations_ > limits_.max_iterations) {
+  if (!stopped() && iterations_ > limits_.max_iterations) {
     Latch(StopCause::kIterations,
           StrCat("evaluation exceeded ", limits_.max_iterations,
                  " iterations"));
@@ -85,13 +97,13 @@ bool ExecutionContext::NoteIterationAndCheck() {
 }
 
 Status ExecutionContext::ToStatus() const {
-  switch (cause_) {
+  switch (cause()) {
     case StopCause::kNone:
       return Status::OK();
     case StopCause::kCancelled:
-      return CancelledError(message_);
+      return CancelledError(message());
     default:
-      return ResourceExhaustedError(message_);
+      return ResourceExhaustedError(message());
   }
 }
 

@@ -22,6 +22,7 @@
 #include <atomic>
 #include <cstdint>
 #include <limits>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -31,6 +32,27 @@
 #include "util/status.h"
 
 namespace seprec {
+
+// How much intra-query parallelism an evaluation may use. Not a resource
+// *limit* (it never trips the governor); it rides on ExecutionLimits so
+// every engine entry point receives it through the same FixpointOptions
+// plumbing the budgets use.
+struct ParallelPolicy {
+  // Worker threads for the parallel evaluation paths (partitioned
+  // semi-naive deltas, separable phase-2 classes). 0 means "auto": the
+  // SEPREC_THREADS environment variable, else 1. 1 disables the thread
+  // pool entirely; results are identical for every value (see DESIGN.md
+  // "Parallel execution model").
+  size_t num_threads = 0;
+
+  // Rounds with fewer staged delta rows than this run serially — the
+  // partition/merge overhead would dominate the join work.
+  size_t min_rows_per_task = 128;
+
+  // The concrete thread count this policy resolves to (>= 1).
+  size_t ResolvedThreads() const;
+  bool Enabled() const { return ResolvedThreads() > 1; }
+};
 
 struct ExecutionLimits {
   static constexpr size_t kUnlimited = std::numeric_limits<size_t>::max();
@@ -45,6 +67,9 @@ struct ExecutionLimits {
   size_t max_bytes = kUnlimited;
   // Wall-clock deadline in milliseconds; negative means none.
   int64_t timeout_ms = -1;
+
+  // Intra-query parallelism (not a limit; excluded from Unlimited()).
+  ParallelPolicy parallel;
 
   bool Unlimited() const {
     return max_iterations == kUnlimited && max_tuples == kUnlimited &&
@@ -87,7 +112,16 @@ struct DegradationInfo {
 // The per-evaluation governor state. Engines call ShouldStop() /
 // NoteIterationAndCheck() at loop boundaries and break out cleanly when it
 // returns true; the first tripped limit latches and every later poll keeps
-// reporting it. Single-threaded apart from the CancellationToken.
+// reporting it.
+//
+// Thread model: TrackMemory and NoteIterationAndCheck belong to the
+// evaluation's driving thread; ShouldStop, NoteTuples, stopped(), and
+// cause() are safe from pool workers too (the counters are relaxed
+// atomics, the latch is guarded by a mutex, and the deadline/accountant
+// reads are plain loads of values that only the driving thread writes
+// before the parallel region starts). Workers poll ShouldStop between
+// task units so deadlines, cancellation, and byte budgets are honored
+// mid-round, not just at the next round boundary.
 class ExecutionContext {
  public:
   explicit ExecutionContext(const ExecutionLimits& limits,
@@ -107,21 +141,29 @@ class ExecutionContext {
   bool NoteIterationAndCheck();
 
   // Counts `n` tuple insertions against max_tuples (checked at the next
-  // poll, keeping the hot insert path free of clock reads).
-  void NoteTuples(size_t n) { tuples_ += n; }
+  // poll, keeping the hot insert path free of clock reads). Safe from
+  // worker threads.
+  void NoteTuples(size_t n) { tuples_.fetch_add(n, std::memory_order_relaxed); }
 
-  bool stopped() const { return cause_ != StopCause::kNone; }
-  StopCause cause() const { return cause_; }
-  const std::string& message() const { return message_; }
+  bool stopped() const {
+    return cause_.load(std::memory_order_acquire) != StopCause::kNone;
+  }
+  StopCause cause() const { return cause_.load(std::memory_order_acquire); }
+  std::string message() const;
+
+  // The limits this context enforces — engines also read the parallel
+  // policy (limits().parallel) from here, so a caller-supplied context
+  // carries its policy into every nested engine call.
+  const ExecutionLimits& limits() const { return limits_; }
 
   size_t iterations() const { return iterations_; }
-  size_t tuples() const { return tuples_; }
+  size_t tuples() const { return tuples_.load(std::memory_order_relaxed); }
   // Bytes the tracked accountant grew since TrackMemory.
   size_t BytesUsed() const;
 
   // OK when nothing tripped; CANCELLED or RESOURCE_EXHAUSTED otherwise.
   Status ToStatus() const;
-  DegradationInfo degradation() const { return {cause_, message_}; }
+  DegradationInfo degradation() const { return {cause(), message()}; }
 
  private:
   bool Latch(StopCause cause, std::string message);
@@ -131,10 +173,14 @@ class ExecutionContext {
   Deadline deadline_;
   const MemoryAccountant* accountant_ = nullptr;  // not owned; may be null
   size_t baseline_bytes_ = 0;
-  size_t iterations_ = 0;
-  size_t tuples_ = 0;
-  StopCause cause_ = StopCause::kNone;
-  std::string message_;
+  size_t iterations_ = 0;  // driving thread only
+  std::atomic<size_t> tuples_{0};
+  // First tripped limit. cause_ is the cross-thread flag; message_ is
+  // written once under latch_mu_ before cause_ is published (release) and
+  // read under latch_mu_.
+  std::atomic<StopCause> cause_{StopCause::kNone};
+  mutable std::mutex latch_mu_;
+  std::string message_;  // guarded by latch_mu_
 };
 
 // Adopt-or-own helper used by every engine entry point: adopt the caller's

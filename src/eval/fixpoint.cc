@@ -1,6 +1,7 @@
 #include "eval/fixpoint.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <memory>
 #include <set>
@@ -10,12 +11,25 @@
 #include "datalog/analysis.h"
 #include "eval/join_plan.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace seprec {
 namespace {
 
 constexpr char kDeltaPrefix[] = "$delta_";
+
+// Name of partition k of a predicate's delta relation (see the parallel
+// round in EvaluateStratum). '$' keeps it out of the user namespace.
+std::string PartName(size_t k, const std::string& pred) {
+  return StrCat("$part", k, "_", pred);
+}
+
+uint64_t RowHashBits(Row r) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (Value v : r) h = HashCombine(h, v.bits());
+  return h;
+}
 
 struct AggregateRuntime {
   RulePlan plan;  // emits (head args with over_var at the aggregate slot)
@@ -30,6 +44,15 @@ struct StratumRuntime {
   std::vector<RulePlan> delta_plans;    // one per (rule, SCC occurrence)
   std::vector<AggregateRuntime> aggregate_plans;  // run once, first
   bool recursive = false;
+
+  // Parallel round machinery (empty when the parallel policy is off or the
+  // stratum is not recursive): partition_plans[k] holds, for every delta
+  // plan, a variant whose overridden literal scans partition k of the
+  // delta instead of the whole delta. The partition relations are
+  // hash-refilled from the deltas each round, so running all variants of
+  // all partitions derives exactly what the delta plans derive.
+  size_t num_partitions = 0;
+  std::vector<std::vector<RulePlan>> partition_plans;
 };
 
 class FixpointEngine {
@@ -102,6 +125,25 @@ class FixpointEngine {
       }
     }
 
+    // Parallel rounds need the delta partition relations to exist before
+    // the plan variants below can bind to them.
+    const ParallelPolicy& policy = ctx_->limits().parallel;
+    const bool partitioned =
+        seminaive_ && stratum.recursive && policy.Enabled();
+    if (partitioned) {
+      stratum.num_partitions = policy.ResolvedThreads();
+      stratum.partition_plans.resize(stratum.num_partitions);
+      for (const std::string& pred : stratum.idb_preds) {
+        const PredicateInfo* pi = info.Find(pred);
+        for (size_t k = 0; k < stratum.num_partitions; ++k) {
+          std::string part = PartName(k, pred);
+          SEPREC_RETURN_IF_ERROR(
+              db_->CreateRelation(part, pi->arity).status());
+          delta_names_.insert(part);
+        }
+      }
+    }
+
     for (const Rule* rule : info.RulesOfStratum(s)) {
       PlanOptions base_opts;
       base_opts.disable_indexes = options_.disable_indexes;
@@ -133,6 +175,15 @@ class FixpointEngine {
         SEPREC_ASSIGN_OR_RETURN(RulePlan delta,
                                 RulePlan::Compile(*rule, db_, opts));
         stratum.delta_plans.push_back(std::move(delta));
+        if (!partitioned) continue;
+        for (size_t k = 0; k < stratum.num_partitions; ++k) {
+          PlanOptions part_opts;
+          part_opts.disable_indexes = options_.disable_indexes;
+          part_opts.relation_overrides[i] = PartName(k, lit.atom.predicate);
+          SEPREC_ASSIGN_OR_RETURN(RulePlan part,
+                                  RulePlan::Compile(*rule, db_, part_opts));
+          stratum.partition_plans[k].push_back(std::move(part));
+        }
       }
     }
     return stratum;
@@ -140,50 +191,79 @@ class FixpointEngine {
 
   Status EvaluateStratum(const ProgramInfo& info,
                          const StratumRuntime& stratum) {
-    // Per-predicate scratch relations (write-only, engine-local).
-    std::map<std::string, std::unique_ptr<Relation>> scratch;
+    // Per-predicate staging sinks (engine-local). Serial and parallel
+    // rounds both emit here and fold through the sink's canonical sorted
+    // merge, so the materialised relations end up with the same slot
+    // order whatever the thread count — including 1.
+    std::map<std::string, std::unique_ptr<ShardedSink>> sinks;
     for (const std::string& pred : stratum.idb_preds) {
       const PredicateInfo* pi = info.Find(pred);
-      scratch.emplace(pred, std::make_unique<Relation>(
-                                StrCat("$scratch_", pred), pi->arity));
+      auto sink = std::make_unique<ShardedSink>(pi->arity);
+      sink->SetAccountant(&db_->accountant());
+      sinks.emplace(pred, std::move(sink));
     }
-    auto scratch_for = [&scratch](const std::string& pred) {
-      return scratch.at(pred).get();
+    auto sink_for = [&sinks](const std::string& pred) {
+      return sinks.at(pred).get();
     };
 
     bool overflow = false;
 
-    // Fold scratch into the materialised relations (and deltas); returns
+    // Fold the sinks into the materialised relations (and deltas); returns
     // the number of genuinely new tuples.
-    auto fold = [this, &scratch, &stratum]() -> size_t {
+    auto fold = [this, &sinks, &stratum]() -> size_t {
       size_t new_tuples = 0;
       for (const std::string& pred : stratum.idb_preds) {
         Relation* full = db_->Find(pred);
         Relation* delta =
             seminaive_ ? db_->Find(StrCat(kDeltaPrefix, pred)) : nullptr;
         if (delta != nullptr) delta->Clear();
-        Relation* sc = scratch.at(pred).get();
-        for (size_t i = 0; i < sc->size(); ++i) {
-          if (full->Insert(sc->row(i))) {
-            ++new_tuples;
-            if (delta != nullptr) delta->Insert(sc->row(i));
-          }
-        }
-        sc->Clear();
+        new_tuples += sinks.at(pred)->MergeInto(full, delta);
       }
       if (stats_ != nullptr) stats_->tuples_inserted += new_tuples;
       ctx_->NoteTuples(new_tuples);
       return new_tuples;
     };
 
+    // One parallel round: hash-partition every delta across the stratum's
+    // partition relations, then run each partition's plan variants as an
+    // independent worker task. Workers poll the governor between plans, so
+    // deadlines / cancellation / byte budgets trip mid-round.
+    auto parallel_round = [this, &stratum, &sink_for, &overflow]() {
+      const size_t P = stratum.num_partitions;
+      for (const std::string& pred : stratum.idb_preds) {
+        Relation* delta = db_->Find(StrCat(kDeltaPrefix, pred));
+        std::vector<Relation*> parts(P);
+        for (size_t k = 0; k < P; ++k) {
+          parts[k] = db_->Find(PartName(k, pred));
+          parts[k]->Clear();
+        }
+        delta->ForEachRow(
+            [&parts, P](Row r) { parts[RowHashBits(r) % P]->Insert(r); });
+      }
+      std::atomic<bool> par_overflow{false};
+      ThreadPool::Shared()->ParallelFor(
+          P, P, [this, &stratum, &sink_for, &par_overflow](size_t k) {
+            bool local_overflow = false;
+            for (const RulePlan& plan : stratum.partition_plans[k]) {
+              if (ctx_->ShouldStop()) break;
+              plan.ExecuteInto(sink_for(plan.rule().head.predicate),
+                               &local_overflow);
+            }
+            if (local_overflow) {
+              par_overflow.store(true, std::memory_order_relaxed);
+            }
+          });
+      if (par_overflow.load(std::memory_order_relaxed)) overflow = true;
+    };
+
     // Aggregate rules first (their bodies live in lower strata).
     for (const AggregateRuntime& agg : stratum.aggregate_plans) {
       SEPREC_RETURN_IF_ERROR(
-          RunAggregate(agg, scratch_for(agg.head_predicate), &overflow));
+          RunAggregate(agg, sink_for(agg.head_predicate), &overflow));
     }
     // Round 0: all rules against full (initially possibly empty) relations.
     for (const RulePlan& plan : stratum.base_plans) {
-      plan.ExecuteInto(scratch_for(plan.rule().head.predicate), &overflow);
+      plan.ExecuteInto(sink_for(plan.rule().head.predicate), &overflow);
     }
     size_t new_tuples = fold();
     if (stats_ != nullptr) stats_->iterations += 1;
@@ -192,11 +272,18 @@ class FixpointEngine {
     if (stratum.recursive) {
       const std::vector<RulePlan>& plans =
           seminaive_ ? stratum.delta_plans : stratum.base_plans;
+      const size_t min_rows = ctx_->limits().parallel.min_rows_per_task;
       while (new_tuples > 0) {
         if (ctx_->ShouldStop()) break;
-        for (const RulePlan& plan : plans) {
-          plan.ExecuteInto(scratch_for(plan.rule().head.predicate),
-                           &overflow);
+        // Small rounds run serially: below min_rows_per_task staged delta
+        // rows the partition/merge overhead dominates the join work.
+        if (stratum.num_partitions > 1 && new_tuples >= min_rows) {
+          parallel_round();
+        } else {
+          for (const RulePlan& plan : plans) {
+            plan.ExecuteInto(sink_for(plan.rule().head.predicate),
+                             &overflow);
+          }
         }
         new_tuples = fold();
         if (stats_ != nullptr) stats_->iterations += 1;
@@ -212,7 +299,7 @@ class FixpointEngine {
   // Collects the (group, value) rows of an aggregate rule, folds each
   // group with the aggregate operator, and emits one row per group into
   // `out` (the value replacing the over-variable slot).
-  Status RunAggregate(const AggregateRuntime& agg, Relation* out,
+  Status RunAggregate(const AggregateRuntime& agg, ShardedSink* out,
                       bool* overflow) {
     Relation collected("$agg_collect", agg.arity);
     agg.plan.ExecuteInto(&collected, overflow);

@@ -514,6 +514,14 @@ size_t RulePlan::ExecuteInto(Relation* out, bool* overflow) const {
   return inserted;
 }
 
+size_t RulePlan::ExecuteInto(ShardedSink* out, bool* overflow) const {
+  SEPREC_CHECK(out->arity() == head_sources_.size());
+  size_t inserted = 0;
+  Run([out, &inserted](Row row) { inserted += out->Insert(row) ? 1 : 0; },
+      overflow);
+  return inserted;
+}
+
 size_t RulePlan::CountDerivations() const {
   size_t count = 0;
   Run([&count](Row) { ++count; }, nullptr);

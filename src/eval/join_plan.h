@@ -71,6 +71,13 @@ class RulePlan {
   // derivations are dropped).
   size_t ExecuteInto(Relation* out, bool* overflow = nullptr) const;
 
+  // Same pipeline, emitting into a concurrent staging sink instead of a
+  // relation. Safe to run from several pool workers at once as long as
+  // the scanned relations are not mutated meanwhile (const here; the
+  // lazy index build is internally serialised). Returns the number of
+  // rows new in `out`.
+  size_t ExecuteInto(ShardedSink* out, bool* overflow = nullptr) const;
+
   // Number of head emissions without materialising (counts duplicates).
   size_t CountDerivations() const;
 

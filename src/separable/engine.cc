@@ -9,10 +9,17 @@
 #include "core/support.h"
 #include "eval/join_plan.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace seprec {
 namespace {
+
+uint64_t RowHashBits(Row r) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (Value v : r) h = HashCombine(h, v.bits());
+  return h;
+}
 
 // Which columns anchor the evaluation: a fully bound class (phase 1 walks
 // it) or bound persistent columns (the dummy equivalence class — phase 1
@@ -145,8 +152,12 @@ Rule MakePhase2Rule(const SeparableRecursion& sep, const AnchorInfo& anchor,
 class SchemaRunner {
  public:
   SchemaRunner(const SeparableRecursion& sep, AnchorInfo anchor,
-               Database* db)
-      : sep_(sep), anchor_(std::move(anchor)), db_(db) {
+               Database* db, const ParallelPolicy& policy)
+      : sep_(sep),
+        anchor_(std::move(anchor)),
+        db_(db),
+        num_partitions_(policy.Enabled() ? policy.ResolvedThreads() : 1),
+        min_rows_per_task_(policy.min_rows_per_task) {
     static int counter = 0;
     prefix_ = StrCat("$sep", counter++, "_");
   }
@@ -154,6 +165,11 @@ class SchemaRunner {
   ~SchemaRunner() {
     for (const char* suffix : {"carry1", "seen1", "carry2", "seen2"}) {
       db_->Drop(prefix_ + suffix);
+    }
+    if (num_partitions_ > 1) {
+      for (size_t k = 0; k < num_partitions_; ++k) {
+        db_->Drop(PartName(k));
+      }
     }
   }
 
@@ -171,8 +187,18 @@ class SchemaRunner {
                             db_->CreateRelation(prefix_ + "carry2", rest));
     SEPREC_ASSIGN_OR_RETURN(seen2_,
                             db_->CreateRelation(prefix_ + "seen2", rest));
-    scratch1_ = std::make_unique<Relation>(prefix_ + "scratch1", w);
-    scratch2_ = std::make_unique<Relation>(prefix_ + "scratch2", rest);
+    sink1_ = std::make_unique<ShardedSink>(w);
+    sink2_ = std::make_unique<ShardedSink>(rest);
+    sink1_->SetAccountant(&db_->accountant());
+    sink2_->SetAccountant(&db_->accountant());
+    if (num_partitions_ > 1) {
+      for (size_t k = 0; k < num_partitions_; ++k) {
+        SEPREC_ASSIGN_OR_RETURN(Relation * part,
+                                db_->CreateRelation(PartName(k), rest));
+        carry2_parts_.push_back(part);
+      }
+      phase2_part_plans_.resize(num_partitions_);
+    }
 
     if (anchor_.anchor_class.has_value()) {
       const EquivalenceClass& ec = sep_.classes[*anchor_.anchor_class];
@@ -203,6 +229,15 @@ class SchemaRunner {
               MakePhase2Rule(sep_, anchor_, r, carry2_->name(), "$new2"),
               db_));
       phase2_plans_.push_back(std::move(plan));
+      // Partition variants: the same rule reading partition k of carry_2.
+      for (size_t k = 0; k < num_partitions_ && num_partitions_ > 1; ++k) {
+        SEPREC_ASSIGN_OR_RETURN(
+            RulePlan part_plan,
+            RulePlan::Compile(
+                MakePhase2Rule(sep_, anchor_, r, PartName(k), "$new2"),
+                db_));
+        phase2_part_plans_[k].push_back(std::move(part_plan));
+      }
     }
     return Status::OK();
   }
@@ -219,8 +254,8 @@ class SchemaRunner {
     seen1_->Clear();
     carry2_->Clear();
     seen2_->Clear();
-    scratch1_->Clear();
-    scratch2_->Clear();
+    sink1_->Clear();
+    sink2_->Clear();
 
     size_t inserted = 0;
     size_t max_carry1 = 0;
@@ -235,23 +270,17 @@ class SchemaRunner {
     ctx->NoteTuples(inserted);
     max_carry1 = carry1_->size();
 
-    // Phase 1 (skipped for a persistent-column anchor).
+    // Phase 1 (skipped for a persistent-column anchor). The sink's
+    // canonical merge gives seen_1/carry_1 a deterministic slot order.
     if (anchor_.anchor_class.has_value()) {
       while (!carry1_->empty()) {
         ++iterations;
         if (ctx->NoteIterationAndCheck()) break;
-        scratch1_->Clear();
         for (const RulePlan& plan : phase1_plans_) {
-          plan.ExecuteInto(scratch1_.get());
+          plan.ExecuteInto(sink1_.get());
         }
         carry1_->Clear();
-        size_t round = 0;
-        for (size_t i = 0; i < scratch1_->size(); ++i) {
-          if (seen1_->Insert(scratch1_->row(i))) {
-            ++round;
-            carry1_->Insert(scratch1_->row(i));
-          }
-        }
+        size_t round = sink1_->MergeInto(seen1_, carry1_);
         inserted += round;
         ctx->NoteTuples(round);
         max_carry1 = std::max(max_carry1, carry1_->size());
@@ -259,18 +288,11 @@ class SchemaRunner {
     }
 
     // Phase 2 initialisation: carry_2 := g_2(seen_1).
-    scratch2_->Clear();
     for (const RulePlan& plan : exit_plans_) {
-      plan.ExecuteInto(scratch2_.get());
+      plan.ExecuteInto(sink2_.get());
     }
     carry2_->Clear();
-    size_t init2 = 0;
-    for (size_t i = 0; i < scratch2_->size(); ++i) {
-      if (seen2_->Insert(scratch2_->row(i))) {
-        ++init2;
-        carry2_->Insert(scratch2_->row(i));
-      }
-    }
+    size_t init2 = sink2_->MergeInto(seen2_, carry2_);
     inserted += init2;
     ctx->NoteTuples(init2);
     max_carry2 = carry2_->size();
@@ -279,18 +301,30 @@ class SchemaRunner {
       while (!carry2_->empty()) {
         ++iterations;
         if (ctx->NoteIterationAndCheck()) break;
-        scratch2_->Clear();
-        for (const RulePlan& plan : phase2_plans_) {
-          plan.ExecuteInto(scratch2_.get());
-        }
-        carry2_->Clear();
-        size_t round = 0;
-        for (size_t i = 0; i < scratch2_->size(); ++i) {
-          if (seen2_->Insert(scratch2_->row(i))) {
-            ++round;
-            carry2_->Insert(scratch2_->row(i));
+        if (num_partitions_ > 1 && carry2_->size() >= min_rows_per_task_) {
+          // Parallel round: split carry_2 over the partition relations by
+          // row hash and run each partition's plan variants as one worker
+          // task. Workers poll the governor between plans, so deadlines,
+          // cancellation, and byte budgets trip mid-round; whatever was
+          // staged is still merged — a sound partial answer.
+          for (Relation* part : carry2_parts_) part->Clear();
+          const size_t P = num_partitions_;
+          carry2_->ForEachRow([this, P](Row r) {
+            carry2_parts_[RowHashBits(r) % P]->Insert(r);
+          });
+          ThreadPool::Shared()->ParallelFor(P, P, [this, ctx](size_t k) {
+            for (const RulePlan& plan : phase2_part_plans_[k]) {
+              if (ctx->ShouldStop()) break;
+              plan.ExecuteInto(sink2_.get());
+            }
+          });
+        } else {
+          for (const RulePlan& plan : phase2_plans_) {
+            plan.ExecuteInto(sink2_.get());
           }
         }
+        carry2_->Clear();
+        size_t round = sink2_->MergeInto(seen2_, carry2_);
         inserted += round;
         ctx->NoteTuples(round);
         max_carry2 = std::max(max_carry2, carry2_->size());
@@ -324,11 +358,22 @@ class SchemaRunner {
   Relation* seen1_ = nullptr;
   Relation* carry2_ = nullptr;
   Relation* seen2_ = nullptr;
-  std::unique_ptr<Relation> scratch1_;
-  std::unique_ptr<Relation> scratch2_;
+  std::unique_ptr<ShardedSink> sink1_;
+  std::unique_ptr<ShardedSink> sink2_;
   std::vector<RulePlan> phase1_plans_;
   std::vector<RulePlan> exit_plans_;
   std::vector<RulePlan> phase2_plans_;
+  // Parallel phase 2 (only when num_partitions_ > 1): partition k of
+  // carry_2 plus, for every phase-2 rule, a plan variant whose carry atom
+  // reads that partition. Each partition runs as an independent worker
+  // task — Theorem 2.1 makes the phase-2 classes independent, so tasks
+  // share only read-only relations and the concurrent sink.
+  size_t num_partitions_;
+  size_t min_rows_per_task_;
+  std::vector<Relation*> carry2_parts_;
+  std::vector<std::vector<RulePlan>> phase2_part_plans_;
+
+  std::string PartName(size_t k) const { return StrCat(prefix_, "part", k); }
 };
 
 // Assembles a full-arity answer row from anchor values and rest values and
@@ -399,7 +444,7 @@ Status EvaluatePartial(const Program& program, const SeparableRecursion& sep,
       full_anchor.rest_positions.push_back(p);
     }
   }
-  SchemaRunner runner(sep, full_anchor, db);
+  SchemaRunner runner(sep, full_anchor, db, ctx->limits().parallel);
   SEPREC_RETURN_IF_ERROR(runner.Compile());
 
   // Seed bindings: evaluate each e1 rule's nonrecursive body with the
@@ -476,7 +521,7 @@ Status EvaluateSelection(const Program& program, const SeparableRecursion& sep,
     seed.push_back(*query_constants[p]);
   }
 
-  SchemaRunner runner(sep, *anchor, db);
+  SchemaRunner runner(sep, *anchor, db, ctx->limits().parallel);
   SEPREC_RETURN_IF_ERROR(runner.Compile());
   std::vector<std::vector<Value>> rest_rows;
   runner.Run({seed}, ctx, &result->stats, &rest_rows);

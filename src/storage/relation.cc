@@ -10,9 +10,18 @@ void MemoryAccountant::Charge(size_t bytes) {
   if (Failpoints::Hit("governor.charge")) {
     // Simulated allocation spike: large enough to trip any realistic
     // max_bytes limit at the next governor poll.
-    bytes_ += size_t{1} << 40;
+    bytes_.fetch_add(size_t{1} << 40, std::memory_order_relaxed);
   }
-  bytes_ += bytes;
+  bytes_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void MemoryAccountant::Release(size_t bytes) {
+  // CAS loop so concurrent releases clamp at zero instead of wrapping.
+  size_t current = bytes_.load(std::memory_order_relaxed);
+  while (!bytes_.compare_exchange_weak(
+      current, current > bytes ? current - bytes : 0,
+      std::memory_order_relaxed)) {
+  }
 }
 
 Index::Index(const Relation* relation, ColumnList columns)
@@ -110,6 +119,10 @@ bool Relation::Contains(Row row) const {
 }
 
 const Index& Relation::GetIndex(const ColumnList& columns) const {
+  // Concurrent readers may race to build the same index; the lock makes
+  // one of them win and the rest wait for the finished build. Map nodes
+  // are stable, so the returned reference outlives the lock.
+  std::lock_guard<std::mutex> lock(index_mu_);
   auto it = indexes_.find(columns);
   if (it == indexes_.end()) {
     it = indexes_.emplace(columns, std::make_unique<Index>(this, columns))
@@ -192,6 +205,99 @@ void Relation::TruncateToSlots(size_t slots) {
   // Indexes hold stale slot ids; drop them and rebuild lazily.
   indexes_.clear();
   if (accountant_ != nullptr) accountant_->Release(removed * RowBytes());
+}
+
+ShardedSink::ShardedSink(size_t arity, size_t num_shards) : arity_(arity) {
+  if (num_shards == 0) num_shards = 1;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(&arity_));
+  }
+}
+
+void ShardedSink::SetAccountant(MemoryAccountant* accountant) {
+  accountant_ = accountant;
+}
+
+bool ShardedSink::Insert(Row row) {
+  SEPREC_DCHECK(row.size() == arity_);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (Value v : row) h = HashCombine(h, v.bits());
+  Shard& shard = *shards_[h % shards_.size()];
+
+  std::lock_guard<std::mutex> lock(shard.mu);
+  // Tentative append so the set's functors can address the candidate row;
+  // rolled back on duplicate (same scheme as Relation::Insert — and like
+  // there, the accountant is charged only for NOVEL rows, after dedupe).
+  uint32_t id = static_cast<uint32_t>(shard.rows.size());
+  shard.data.insert(shard.data.end(), row.begin(), row.end());
+  auto [it, inserted] = shard.rows.insert(id);
+  (void)it;
+  if (!inserted) {
+    shard.data.resize(shard.data.size() - arity_);
+    return false;
+  }
+  if (accountant_ != nullptr) accountant_->Charge(RowBytes());
+  return true;
+}
+
+size_t ShardedSink::size() const {
+  size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->rows.size();
+  }
+  return total;
+}
+
+size_t ShardedSink::MergeInto(Relation* out, Relation* delta) {
+  SEPREC_CHECK(out->arity() == arity_);
+  // Collect every staged row, then sort lexicographically by Value bits:
+  // the canonical merge order that makes the target's slot sequence
+  // independent of how workers and shards interleaved.
+  std::vector<std::vector<Value>> staged;
+  size_t released = 0;
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    const size_t rows = shard->rows.size();
+    staged.reserve(staged.size() + rows);
+    for (size_t r = 0; r < rows; ++r) {
+      staged.emplace_back(shard->data.begin() + r * arity_,
+                          shard->data.begin() + (r + 1) * arity_);
+    }
+    released += shard->rows.size();
+    shard->data.clear();
+    shard->rows.clear();
+  }
+  std::sort(staged.begin(), staged.end(),
+            [](const std::vector<Value>& a, const std::vector<Value>& b) {
+              for (size_t i = 0; i < a.size(); ++i) {
+                if (a[i].bits() != b[i].bits()) {
+                  return a[i].bits() < b[i].bits();
+                }
+              }
+              return false;
+            });
+  size_t new_rows = 0;
+  for (const std::vector<Value>& row : staged) {
+    if (out->Insert(Row(row.data(), row.size()))) {
+      ++new_rows;
+      if (delta != nullptr) delta->Insert(Row(row.data(), row.size()));
+    }
+  }
+  if (accountant_ != nullptr) accountant_->Release(released * RowBytes());
+  return new_rows;
+}
+
+void ShardedSink::Clear() {
+  size_t released = 0;
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    released += shard->rows.size();
+    shard->data.clear();
+    shard->rows.clear();
+  }
+  if (accountant_ != nullptr) accountant_->Release(released * RowBytes());
 }
 
 std::string Relation::DebugString(const SymbolTable& symbols) const {

@@ -10,14 +10,21 @@
 // maintained incrementally, which is what the fixpoint engines need: they
 // interleave index lookups with inserts every iteration.
 //
-// Not thread-safe: the evaluators are single-threaded, matching the paper's
-// cost model (relation sizes, not parallelism).
+// Thread model: mutation (Insert/Clear/EraseRows/Truncate) is
+// single-threaded, but concurrent READ access — including the lazy index
+// build in GetIndex, which is serialised by an internal mutex — is safe
+// while no mutator runs. The parallel evaluation paths rely on exactly
+// this split: pool workers share read-only relations for the duration of
+// a fixpoint round and stage their output through a ShardedSink; the
+// driving thread is the only mutator, between rounds.
 #ifndef SEPREC_STORAGE_RELATION_H_
 #define SEPREC_STORAGE_RELATION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -43,8 +50,12 @@ class Relation;
 // ExecutionLimits::max_bytes by reading one running total. Charges are
 // approximate — Value payload plus a flat per-row overhead standing in for
 // the dedup-set and index entries — the goal being a cheap measure that
-// moves with real allocation, not malloc-accurate bytes. Not thread-safe,
-// matching Relation.
+// moves with real allocation, not malloc-accurate bytes. The running total
+// is a relaxed atomic so pool workers can charge their staged rows and the
+// governor can read one number from any thread; charges are only ever
+// counted for NOVEL rows (dedup rejects never charge — see
+// Relation::Insert and ShardedSink::Insert), so duplicate derivations
+// cannot inflate the byte budget.
 class MemoryAccountant {
  public:
   // Flat per-row overhead charged on top of the Value payload.
@@ -55,12 +66,13 @@ class MemoryAccountant {
   // trip the byte budget deterministically.
   void Charge(size_t bytes);
 
-  void Release(size_t bytes) { bytes_ -= bytes < bytes_ ? bytes : bytes_; }
+  // Subtracts `bytes`, clamping at zero rather than wrapping.
+  void Release(size_t bytes);
 
-  size_t bytes() const { return bytes_; }
+  size_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
 
  private:
-  size_t bytes_ = 0;
+  std::atomic<size_t> bytes_{0};
 };
 
 // Hash index over a subset of a relation's columns. Owned by the relation;
@@ -143,7 +155,9 @@ class Relation {
   }
 
   // Returns an index on `columns`, building it on first request. The result
-  // stays valid (and current) for the relation's lifetime.
+  // stays valid (and current) for the relation's lifetime. Safe to call
+  // from concurrent readers: the lazy build is serialised by an internal
+  // mutex (pool workers probing the same relation may race to be first).
   const Index& GetIndex(const ColumnList& columns) const;
 
   // Removes all rows (indexes are dropped too).
@@ -206,7 +220,103 @@ class Relation {
 
   std::unordered_set<uint32_t, RowIdHash, RowIdEq> row_set_;  // live slots
   // std::map: ColumnList has operator< for free; index count is tiny.
+  // Node pointers are stable, so a built Index& survives later GetIndex
+  // calls inserting new entries. Guarded by index_mu_ for concurrent
+  // readers; mutators run single-threaded and also take the lock for
+  // uniformity.
   mutable std::map<ColumnList, std::unique_ptr<Index>> indexes_;
+  mutable std::mutex index_mu_;
+  MemoryAccountant* accountant_ = nullptr;  // not owned; may be null
+};
+
+// ShardedSink: the concurrent-insert staging area the parallel engines
+// emit into. Rows are deduplicated into S shards, each an independent
+// (mutex, hash set, row buffer) triple selected by row hash, so workers
+// contend only when they derive rows landing in the same shard —
+// "per-relation shard lock" granularity rather than one big lock.
+//
+// Drain(MergeInto) runs on the driving thread between rounds. It merges
+// the staged rows in CANONICAL order — sorted lexicographically by Value
+// bits — which is the determinism keystone of the parallel evaluator:
+// however rows were distributed over workers and shards, the target
+// relation receives them in one thread-count-independent order, so a
+// --threads 8 run is bit-identical (same slots, same iteration counts) to
+// a --threads 1 run that merges through the same sink.
+class ShardedSink {
+ public:
+  static constexpr size_t kDefaultShards = 16;
+
+  explicit ShardedSink(size_t arity, size_t num_shards = kDefaultShards);
+
+  // Attach an accountant so staged rows count against the byte budget
+  // while they sit in the sink (MergeInto releases the staging charge;
+  // the target relation re-charges what it keeps).
+  void SetAccountant(MemoryAccountant* accountant);
+
+  size_t arity() const { return arity_; }
+
+  // Stages `row` unless this sink already holds it. Returns true when the
+  // row was new to the sink. Thread-safe.
+  bool Insert(Row row);
+
+  // Rows staged so far (exact only while no Insert runs concurrently).
+  size_t size() const;
+
+  // Moves every staged row into `out` (and, for the rows genuinely new in
+  // `out`, into `delta` when non-null) in canonical sorted order, then
+  // clears the sink. Returns the number of rows new in `out`. Driving
+  // thread only.
+  size_t MergeInto(Relation* out, Relation* delta = nullptr);
+
+  // Discards staged rows (releasing their accountant charge).
+  void Clear();
+
+ private:
+  // One shard: a row buffer plus a dedupe set of row ids hashing into the
+  // buffer (the same slot-id scheme Relation uses, minus tombstones).
+  // Non-movable because the set's functors capture `this`.
+  struct Shard {
+    explicit Shard(const size_t* arity)
+        : arity(arity), rows(16, RowHash{this}, RowEq{this}) {}
+    Shard(const Shard&) = delete;
+    Shard& operator=(const Shard&) = delete;
+
+    Row row(uint32_t id) const {
+      return Row(data.data() + size_t{id} * *arity, *arity);
+    }
+
+    struct RowHash {
+      const Shard* shard;
+      size_t operator()(uint32_t id) const {
+        uint64_t h = 0xcbf29ce484222325ULL;
+        for (Value v : shard->row(id)) h = HashCombine(h, v.bits());
+        return static_cast<size_t>(h);
+      }
+    };
+    struct RowEq {
+      const Shard* shard;
+      bool operator()(uint32_t a, uint32_t b) const {
+        Row ra = shard->row(a);
+        Row rb = shard->row(b);
+        for (size_t i = 0; i < ra.size(); ++i) {
+          if (ra[i] != rb[i]) return false;
+        }
+        return true;
+      }
+    };
+
+    const size_t* arity;
+    std::mutex mu;
+    std::vector<Value> data;  // staged rows, arity Values each
+    std::unordered_set<uint32_t, RowHash, RowEq> rows;
+  };
+
+  size_t RowBytes() const {
+    return arity_ * sizeof(Value) + MemoryAccountant::kRowOverheadBytes;
+  }
+
+  size_t arity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   MemoryAccountant* accountant_ = nullptr;  // not owned; may be null
 };
 

@@ -1,0 +1,122 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+namespace seprec {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Schedule(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t parallelism,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (parallelism <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Shared loop state. Helpers claim indexes from `next`; the last index
+  // to finish signals the condition variable. The state (and the copied
+  // fn) outlive the call via shared_ptr because a scheduled helper may be
+  // dequeued after the loop is already complete — it then sees
+  // next >= n and exits without touching fn.
+  struct LoopState {
+    explicit LoopState(size_t n_, std::function<void(size_t)> fn_)
+        : n(n_), fn(std::move(fn_)) {}
+    const size_t n;
+    const std::function<void(size_t)> fn;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<LoopState>(n, fn);
+
+  auto drain = [](const std::shared_ptr<LoopState>& s) {
+    for (;;) {
+      size_t i = s->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= s->n) return;
+      s->fn(i);
+      if (s->done.fetch_add(1, std::memory_order_acq_rel) + 1 == s->n) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        s->cv.notify_all();
+      }
+    }
+  };
+
+  // The calling thread is one executor; schedule up to parallelism - 1
+  // helpers (never more than there are indexes to hand out).
+  size_t helpers = std::min(parallelism - 1, n - 1);
+  helpers = std::min(helpers, size());
+  for (size_t h = 0; h < helpers; ++h) {
+    Schedule([state, drain] { drain(state); });
+  }
+  drain(state);
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&state] {
+    return state->done.load(std::memory_order_acquire) == state->n;
+  });
+}
+
+ThreadPool* ThreadPool::Shared() {
+  static ThreadPool* pool = [] {
+    size_t hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 1;
+    return new ThreadPool(std::min<size_t>(hw, 64));
+  }();
+  return pool;
+}
+
+size_t DefaultThreadCount() {
+  static const size_t count = [] {
+    const char* env = std::getenv("SEPREC_THREADS");
+    if (env == nullptr || *env == '\0') return size_t{1};
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || v < 1) return size_t{1};
+    return std::min<size_t>(static_cast<size_t>(v), 64);
+  }();
+  return count;
+}
+
+}  // namespace seprec

@@ -1,0 +1,75 @@
+// ThreadPool: a fixed-size worker pool for the parallel evaluation paths.
+//
+// Deliberately work-stealing-free: tasks go into one mutex-guarded FIFO and
+// workers pull from it. The engines' parallel regions are coarse (one task
+// per delta partition or per equivalence class, re-issued every fixpoint
+// round), so a single queue is never the bottleneck and the simple design
+// keeps the ThreadSanitizer surface small.
+//
+// The pool is created lazily the first time a parallel region actually
+// runs with more than one thread; a serial evaluation (--threads 1, the
+// default) never spawns a thread. ParallelFor is the only primitive the
+// engines use: the calling thread participates in the loop, so progress is
+// guaranteed even when every pool worker is busy, and the call returns
+// only when every index has been processed.
+#ifndef SEPREC_UTIL_THREAD_POOL_H_
+#define SEPREC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace seprec {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  // Drains the queue and joins every worker.
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return threads_.size(); }
+
+  // Enqueues `fn` for execution on some worker. `fn` must not throw.
+  void Schedule(std::function<void()> fn);
+
+  // Invokes fn(i) exactly once for every i in [0, n), using at most
+  // `parallelism` concurrent executors (pool workers plus the calling
+  // thread, which always participates). Blocks until every index has
+  // completed. With parallelism <= 1 or n <= 1 the loop runs inline
+  // without touching the pool. Concurrent ParallelFor calls are safe but
+  // fn(i) must not itself call ParallelFor on the same pool.
+  void ParallelFor(size_t n, size_t parallelism,
+                   const std::function<void(size_t)>& fn);
+
+  // The process-wide pool, created on first use with one worker per
+  // hardware thread. Engines share it; per-evaluation parallelism is
+  // bounded by the `parallelism` argument of ParallelFor, not by pool
+  // construction.
+  static ThreadPool* Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;  // guarded by mu_
+  bool shutdown_ = false;                    // guarded by mu_
+  std::vector<std::thread> threads_;
+};
+
+// The thread count a ParallelPolicy with num_threads == 0 resolves to:
+// the SEPREC_THREADS environment variable (parsed once, clamped to
+// [1, 64]) or 1 when unset/invalid. Lets CI matrices run every existing
+// test through the pool without touching call sites.
+size_t DefaultThreadCount();
+
+}  // namespace seprec
+
+#endif  // SEPREC_UTIL_THREAD_POOL_H_

@@ -136,6 +136,41 @@ TEST(MemoryAccountant, RelationInsertChargesOnlyNewRows) {
   EXPECT_EQ(db.accountant().bytes(), after_one + (after_one - before));
 }
 
+TEST(MemoryAccountant, InsertAllChargesOnlyRowsNewToTarget) {
+  Database db;
+  Relation* a = *db.CreateRelation("a", 2);
+  Relation* b = *db.CreateRelation("b", 2);
+  a->Insert({Value::Int(1), Value::Int(2)});
+  a->Insert({Value::Int(3), Value::Int(4)});
+  b->Insert({Value::Int(1), Value::Int(2)});  // overlaps a
+  const size_t before = db.accountant().bytes();
+  // Only (3, 4) is new in b; the overlap must not be charged twice.
+  EXPECT_EQ(b->InsertAll(*a), 1u);
+  const size_t per_row = 2 * sizeof(Value) + MemoryAccountant::kRowOverheadBytes;
+  EXPECT_EQ(db.accountant().bytes(), before + per_row);
+}
+
+TEST(MemoryAccountant, ConcurrentChargeAndReleaseBalance) {
+  // Pool workers charge staged rows from many threads at once; the total
+  // must be exact, not merely approximate, or max_bytes trips drift.
+  MemoryAccountant accountant;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&accountant] {
+      for (int i = 0; i < kPerThread; ++i) {
+        accountant.Charge(3);
+        accountant.Release(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(accountant.bytes(),
+            static_cast<size_t>(kThreads) * kPerThread * 2);
+}
+
 TEST(MemoryAccountant, DroppingRelationReleasesBytes) {
   Database db;
   Relation* r = *db.CreateRelation("r", 2);

@@ -1,0 +1,227 @@
+// ThreadPool / ParallelFor semantics, the SEPREC_THREADS-backed parallel
+// policy, and the ShardedSink staging area the parallel engines emit into.
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/governor.h"
+#include "storage/relation.h"
+
+namespace seprec {
+namespace {
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, 8, [&hits](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForSerialWhenParallelismIsOne) {
+  ThreadPool pool(4);
+  std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(16);
+  pool.ParallelFor(seen.size(), 1, [&seen](size_t i) {
+    seen[i] = std::this_thread::get_id();
+  });
+  for (std::thread::id id : seen) {
+    EXPECT_EQ(id, caller);  // inline fast path, no pool involvement
+  }
+}
+
+TEST(ThreadPool, ParallelForHandlesEdgeSizes) {
+  ThreadPool pool(2);
+  size_t calls = 0;
+  pool.ParallelFor(0, 4, [&calls](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0u);
+  pool.ParallelFor(1, 4, [&calls](size_t) { ++calls; });
+  EXPECT_EQ(calls, 1u);  // n == 1 also runs inline on the caller
+}
+
+TEST(ThreadPool, ParallelForMoreTasksThanThreads) {
+  ThreadPool pool(2);
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(100, 64, [&sum](size_t i) {
+    sum.fetch_add(i + 1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 5050u);
+}
+
+TEST(ThreadPool, ScheduleRunsDetachedTasks) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  int done = 0;
+  for (int i = 0; i < 8; ++i) {
+    pool.Schedule([&mu, &cv, &done] {
+      std::lock_guard<std::mutex> lock(mu);
+      ++done;
+      cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&done] { return done == 8; });
+  EXPECT_EQ(done, 8);
+}
+
+TEST(ThreadPool, SharedPoolIsAProcessSingleton) {
+  ThreadPool* a = ThreadPool::Shared();
+  ThreadPool* b = ThreadPool::Shared();
+  EXPECT_EQ(a, b);
+  EXPECT_GE(a->size(), 1u);
+}
+
+TEST(ParallelPolicy, ExplicitThreadCountWins) {
+  ParallelPolicy policy;
+  policy.num_threads = 4;
+  EXPECT_EQ(policy.ResolvedThreads(), 4u);
+  EXPECT_TRUE(policy.Enabled());
+  policy.num_threads = 1;
+  EXPECT_EQ(policy.ResolvedThreads(), 1u);
+  EXPECT_FALSE(policy.Enabled());
+}
+
+TEST(ParallelPolicy, AutoResolvesToAtLeastOne) {
+  // num_threads == 0 defers to SEPREC_THREADS (set by the CI TSan matrix);
+  // whatever the environment says, the result is a sane worker count.
+  ParallelPolicy policy;
+  EXPECT_GE(policy.ResolvedThreads(), 1u);
+  EXPECT_LE(policy.ResolvedThreads(), 64u);
+  EXPECT_EQ(policy.ResolvedThreads(), DefaultThreadCount());
+}
+
+// ---- ShardedSink ---------------------------------------------------------
+
+Row MakeRow(const std::vector<Value>& v) { return Row(v.data(), v.size()); }
+
+TEST(ShardedSink, DedupesWithinAndAcrossShards) {
+  ShardedSink sink(2);
+  std::vector<Value> a{Value::Int(1), Value::Int(2)};
+  std::vector<Value> b{Value::Int(3), Value::Int(4)};
+  EXPECT_TRUE(sink.Insert(MakeRow(a)));
+  EXPECT_FALSE(sink.Insert(MakeRow(a)));
+  EXPECT_TRUE(sink.Insert(MakeRow(b)));
+  EXPECT_EQ(sink.size(), 2u);
+}
+
+TEST(ShardedSink, MergeIsCanonicalAndThreadCountInvariant) {
+  // However many workers race to stage the same row set, MergeInto must
+  // hand the target relation the same rows in the same slot order — the
+  // bit-identical-results keystone of the parallel engines.
+  auto staged_rows = [](size_t workers) {
+    ShardedSink sink(2);
+    ThreadPool pool(workers);
+    // Workers split the index space [0, 1200) round-robin and each also
+    // re-derives its successor's row, so neighbouring workers race on
+    // duplicates. The UNION of staged rows is the same for any worker
+    // count — only the interleaving differs.
+    pool.ParallelFor(workers, workers, [&sink, workers](size_t w) {
+      for (size_t j = w; j < 1200; j += workers) {
+        for (size_t d = 0; d < 2; ++d) {
+          const size_t v = j + d;
+          std::vector<Value> row{Value::Int(static_cast<int64_t>(v % 97)),
+                                 Value::Int(static_cast<int64_t>(v % 53))};
+          sink.Insert(Row(row.data(), row.size()));
+        }
+      }
+    });
+    Relation out("out", 2);
+    sink.MergeInto(&out);
+    std::vector<std::vector<Value>> rows;
+    out.ForEachRow([&rows](Row r) {
+      rows.emplace_back(r.begin(), r.end());
+    });
+    return rows;
+  };
+
+  auto serial = staged_rows(1);
+  ASSERT_FALSE(serial.empty());
+  // Canonical: sorted by Value bits.
+  for (size_t i = 1; i < serial.size(); ++i) {
+    bool less = false;
+    for (size_t c = 0; c < 2 && !less; ++c) {
+      if (serial[i - 1][c].bits() != serial[i][c].bits()) {
+        EXPECT_LT(serial[i - 1][c].bits(), serial[i][c].bits());
+        less = true;
+      }
+    }
+  }
+  for (size_t workers : {2u, 4u, 8u}) {
+    auto rows = staged_rows(workers);
+    ASSERT_EQ(rows.size(), serial.size()) << workers << " workers";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_EQ(rows[i], serial[i]) << "slot " << i << " with " << workers
+                                    << " workers";
+    }
+  }
+}
+
+TEST(ShardedSink, MergeIntoReportsOnlyRowsNewInTarget) {
+  Relation out("out", 1);
+  Relation delta("delta", 1);
+  std::vector<Value> a{Value::Int(1)};
+  std::vector<Value> b{Value::Int(2)};
+  out.Insert(MakeRow(a));  // pre-existing
+
+  ShardedSink sink(1);
+  sink.Insert(MakeRow(a));
+  sink.Insert(MakeRow(b));
+  EXPECT_EQ(sink.MergeInto(&out, &delta), 1u);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(delta.size(), 1u);  // only the genuinely new row
+  EXPECT_EQ(sink.size(), 0u);   // drained
+}
+
+TEST(ShardedSink, AccountsStagedBytesAndReleasesOnMerge) {
+  MemoryAccountant accountant;
+  ShardedSink sink(2);
+  sink.SetAccountant(&accountant);
+  std::vector<Value> a{Value::Int(1), Value::Int(2)};
+  sink.Insert(MakeRow(a));
+  sink.Insert(MakeRow(a));  // duplicate: must not double-charge
+  const size_t staged = accountant.bytes();
+  EXPECT_GT(staged, 0u);
+
+  Relation out("out", 2);
+  out.SetAccountant(&accountant);
+  sink.MergeInto(&out);
+  // Staging charge released; the relation now carries the row.
+  EXPECT_EQ(accountant.bytes(), staged);
+  out.SetAccountant(nullptr);
+  EXPECT_EQ(accountant.bytes(), 0u);
+}
+
+TEST(ShardedSink, ClearReleasesStagedCharge) {
+  MemoryAccountant accountant;
+  ShardedSink sink(2);
+  sink.SetAccountant(&accountant);
+  std::vector<Value> a{Value::Int(7), Value::Int(8)};
+  sink.Insert(MakeRow(a));
+  EXPECT_GT(accountant.bytes(), 0u);
+  sink.Clear();
+  EXPECT_EQ(accountant.bytes(), 0u);
+  EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST(ShardedSink, HandlesZeroArity) {
+  ShardedSink sink(0);
+  EXPECT_TRUE(sink.Insert(Row()));
+  EXPECT_FALSE(sink.Insert(Row()));
+  Relation out("out", 0);
+  EXPECT_EQ(sink.MergeInto(&out), 1u);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+}  // namespace
+}  // namespace seprec

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Compare bench --json results against a committed baseline.
+
+Usage:
+  tools/bench_compare.py --baseline bench/baseline.json --current DIR \
+      [--tolerance 0.15] [--update]
+
+DIR holds one <bench>.json per bench binary (written via --json; see
+tools/run_benches.sh). Each file looks like:
+
+  {"bench": "tab_lemma41",
+   "entries": [{"name": "...", "wall_ns": 1, "tuples_per_s": 2.0,
+                "peak_bytes": 3}, ...]}
+
+The baseline is one merged map, entry name -> measurement. A run regresses
+when its wall_ns exceeds baseline * (1 + tolerance); wall-clock noise on
+shared CI runners is why the default tolerance is a generous 15% and why
+only sustained regressions (not one-off spikes) should lead to a baseline
+update. peak_bytes is checked with the same tolerance — it is deterministic,
+so real growth shows up immediately. tuples_per_s is informational only
+(it moves inversely with wall time).
+
+Entries present on only one side are reported but do not fail the run
+(benches come and go); pass --update to rewrite the baseline from the
+current results instead of comparing.
+
+Exit codes: 0 = within tolerance, 1 = regression, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_current(current_dir):
+    merged = {}
+    files = sorted(pathlib.Path(current_dir).glob("*.json"))
+    if not files:
+        print(f"bench_compare: no .json files in {current_dir}",
+              file=sys.stderr)
+        sys.exit(2)
+    for path in files:
+        with open(path) as f:
+            doc = json.load(f)
+        for entry in doc.get("entries", []):
+            merged[entry["name"]] = {
+                "wall_ns": entry["wall_ns"],
+                "tuples_per_s": entry["tuples_per_s"],
+                "peak_bytes": entry["peak_bytes"],
+            }
+    return merged
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True,
+                    help="directory of per-bench --json outputs")
+    ap.add_argument("--tolerance", type=float, default=0.15)
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from the current results")
+    args = ap.parse_args()
+
+    current = load_current(args.current)
+
+    if args.update:
+        with open(args.baseline, "w") as f:
+            json.dump(current, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"bench_compare: wrote {len(current)} entries to "
+              f"{args.baseline}")
+        return 0
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except OSError as e:
+        print(f"bench_compare: cannot read baseline: {e}", file=sys.stderr)
+        return 2
+
+    regressions = []
+    improvements = []
+    for name in sorted(set(baseline) | set(current)):
+        if name not in current:
+            print(f"  MISSING  {name} (in baseline, not in current run)")
+            continue
+        if name not in baseline:
+            print(f"  NEW      {name} (not in baseline; run with --update)")
+            continue
+        base, cur = baseline[name], current[name]
+        for metric in ("wall_ns", "peak_bytes"):
+            b, c = base[metric], cur[metric]
+            if b <= 0:
+                continue
+            ratio = c / b
+            if ratio > 1 + args.tolerance:
+                regressions.append((name, metric, b, c, ratio))
+            elif ratio < 1 - args.tolerance:
+                improvements.append((name, metric, b, c, ratio))
+
+    for name, metric, b, c, ratio in improvements:
+        print(f"  FASTER   {name} {metric}: {b} -> {c} ({ratio:.2f}x)")
+    for name, metric, b, c, ratio in regressions:
+        print(f"  REGRESSED {name} {metric}: {b} -> {c} ({ratio:.2f}x, "
+              f"tolerance {args.tolerance:.0%})")
+
+    checked = len(set(baseline) & set(current))
+    print(f"bench_compare: {checked} entries checked, "
+          f"{len(regressions)} regression(s), "
+          f"{len(improvements)} improvement(s)")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Fail-fast runner for the reproduction benches.
+#
+# usage: tools/run_benches.sh <bench-bin-dir> [json-out-dir]
+#
+# Runs every bench binary by explicit name — a binary that is missing
+# (dropped from the build) or that exits non-zero fails the run
+# immediately, unlike a `for b in dir/*` glob which silently skips
+# missing binaries. With a json-out-dir, each table/figure bench also
+# writes its measurements there as <bench>.json for
+# tools/bench_compare.py.
+set -euo pipefail
+
+BENCH_DIR=${1:?usage: run_benches.sh <bench-bin-dir> [json-out-dir]}
+OUT_DIR=${2:-}
+
+# The table/figure benches (take --json); micro_engine is handled below.
+BENCHES=(
+  fig_example11
+  fig_example12
+  fig_schema_instantiation
+  tab_ablation
+  tab_detection
+  tab_lemma41
+  tab_lemma42
+  tab_lemma43
+  tab_partial_selection
+  tab_representative
+  tab_section5_relaxed
+)
+
+for b in "${BENCHES[@]}"; do
+  bin="$BENCH_DIR/$b"
+  if [[ ! -x "$bin" ]]; then
+    echo "run_benches: missing bench binary: $bin" >&2
+    exit 1
+  fi
+  if [[ -n "$OUT_DIR" ]]; then
+    mkdir -p "$OUT_DIR"
+    timeout 600 "$bin" --json "$OUT_DIR/$b.json"
+  else
+    timeout 600 "$bin"
+  fi
+done
+
+# google-benchmark micro suite: its own flag set, no --json.
+if [[ ! -x "$BENCH_DIR/micro_engine" ]]; then
+  echo "run_benches: missing bench binary: $BENCH_DIR/micro_engine" >&2
+  exit 1
+fi
+timeout 600 "$BENCH_DIR/micro_engine"

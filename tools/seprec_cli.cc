@@ -3,12 +3,15 @@
 //
 //   seprec_cli run <program.dl> [--data REL=FILE.tsv]... [--strategy S]
 //                  [--stats] [--timeout-ms N] [--max-tuples N]
-//                  [--max-bytes N]
+//                  [--max-bytes N] [--threads N]
 //       Load the program, load any TSV data files, execute every query in
 //       the file (?- q. or q?), print answers (and stats with --stats).
 //       The --timeout-ms / --max-tuples / --max-bytes limits govern each
 //       query; a query stopped by a limit prints the sound partial answer
 //       with a "%% partial result (...)" banner and the process exits 3.
+//       --threads N (default 1; also settable via SEPREC_THREADS) runs the
+//       parallel evaluation paths on N pool workers — answers are
+//       bit-identical for every N.
 //
 //   seprec_cli check <program.dl>
 //       Static report: predicates, strata, recursion/linearity, and for
@@ -77,7 +80,7 @@ int Usage() {
                "usage: seprec_cli run <program.dl> [--data REL=FILE]... "
                "[--strategy S] [--stats]\n"
                "                  [--timeout-ms N] [--max-tuples N] "
-               "[--max-bytes N]\n"
+               "[--max-bytes N] [--threads N]\n"
                "       seprec_cli check <program.dl>\n"
                "       seprec_cli explain <program.dl> \"<query>\"\n"
                "       seprec_cli why <program.dl> \"<fact>\" "
@@ -138,6 +141,14 @@ StatusOr<CommonFlags> ParseFlags(int argc, char** argv, int first) {
     if (arg == "--max-bytes" && i + 1 < argc) {
       SEPREC_ASSIGN_OR_RETURN(int64_t v, ParseCount(arg, argv[++i]));
       flags.options.limits.max_bytes = static_cast<size_t>(v);
+      continue;
+    }
+    if (arg == "--threads" && i + 1 < argc) {
+      SEPREC_ASSIGN_OR_RETURN(int64_t v, ParseCount(arg, argv[++i]));
+      if (v < 1) {
+        return InvalidArgumentError("--threads expects a positive integer");
+      }
+      flags.options.limits.parallel.num_threads = static_cast<size_t>(v);
       continue;
     }
     if (arg == "--data" && i + 1 < argc) {
