@@ -13,10 +13,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/compiler.h"
+#include "eval/trace.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -33,6 +36,10 @@ namespace bench {
 //                       the input of tools/bench_compare.py and the CI
 //                       benchmark-regression job
 //   --threads <N>       forward a parallel policy to every RunStrategy call
+//   --trace <out.jsonl> attach a JSON-lines trace sink to every RunStrategy
+//                       call (events from all engines, appended in run
+//                       order). Tracing adds bookkeeping: do not compare a
+//                       traced run against an untraced baseline.
 //
 // Measurements are recorded automatically by RunStrategy; names are
 // "<bench>/<seq>/<strategy>", stable across runs because the benches are
@@ -54,6 +61,14 @@ class Session {
         json_path_ = argv[++i];
       } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
         threads_ = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+      } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+        trace_out_ = std::make_unique<std::ofstream>(argv[++i]);
+        if (!*trace_out_) {
+          std::fprintf(stderr, "%s: cannot write trace file '%s'\n",
+                       bench_name_.c_str(), argv[i]);
+          std::exit(2);
+        }
+        trace_sink_ = std::make_unique<JsonTraceSink>(trace_out_.get());
       } else {
         std::fprintf(stderr, "%s: unknown flag '%s'\n", bench_name_.c_str(),
                      argv[i]);
@@ -63,6 +78,7 @@ class Session {
   }
 
   size_t threads() const { return threads_; }
+  TraceSink* trace() const { return trace_sink_.get(); }
 
   void Record(const std::string& strategy, double seconds, size_t tuples,
               size_t peak_bytes) {
@@ -110,6 +126,8 @@ class Session {
   std::string bench_name_ = "bench";
   std::string json_path_;
   size_t threads_ = 0;
+  std::unique_ptr<std::ofstream> trace_out_;
+  std::unique_ptr<JsonTraceSink> trace_sink_;
   std::vector<Entry> entries_;
 };
 
@@ -254,6 +272,9 @@ inline RunOutcome RunStrategy(const QueryProcessor& qp, const Atom& query,
   FixpointOptions opts = options;
   if (Session::Get().threads() > 0) {
     opts.limits.parallel.num_threads = Session::Get().threads();
+  }
+  if (Session::Get().trace() != nullptr) {
+    opts.trace = Session::Get().trace();
   }
   WallTimer timer;
   StatusOr<QueryResult> result = qp.Answer(query, db, strategy, opts);

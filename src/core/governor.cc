@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "eval/trace.h"
 #include "util/failpoint.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -50,16 +51,30 @@ std::string ExecutionContext::message() const {
 }
 
 bool ExecutionContext::Latch(StopCause cause, std::string message) {
-  std::lock_guard<std::mutex> lock(latch_mu_);
-  if (cause_.load(std::memory_order_relaxed) == StopCause::kNone) {
-    message_ = std::move(message);
-    // Release: a thread observing the cause also sees the message.
-    cause_.store(cause, std::memory_order_release);
+  bool latched = false;
+  TraceEvent event;
+  {
+    std::lock_guard<std::mutex> lock(latch_mu_);
+    if (cause_.load(std::memory_order_relaxed) == StopCause::kNone) {
+      if (trace_ != nullptr) {
+        event.kind = TraceEventKind::kGovernorTrip;
+        event.cause = std::string(StopCauseToString(cause));
+        event.detail = message;
+        latched = true;
+      }
+      message_ = std::move(message);
+      // Release: a thread observing the cause also sees the message.
+      cause_.store(cause, std::memory_order_release);
+    }
   }
+  // Emit outside latch_mu_: the sink has its own lock, and message()
+  // readers must not wait on serialisation.
+  if (latched) trace_->Emit(event);
   return true;
 }
 
 bool ExecutionContext::ShouldStop() {
+  if (trace_ != nullptr) polls_.fetch_add(1, std::memory_order_relaxed);
   if (stopped()) return true;
   if (cancel_ != nullptr && cancel_->cancelled()) {
     return Latch(StopCause::kCancelled, "evaluation cancelled by caller");

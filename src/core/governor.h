@@ -33,6 +33,8 @@
 
 namespace seprec {
 
+class TraceSink;
+
 // How much intra-query parallelism an evaluation may use. Not a resource
 // *limit* (it never trips the governor); it rides on ExecutionLimits so
 // every engine entry point receives it through the same FixpointOptions
@@ -132,6 +134,17 @@ class ExecutionContext {
   // later calls with the same or another accountant are ignored.
   void TrackMemory(const MemoryAccountant* accountant);
 
+  // Attaches a trace sink: every poll is counted and the first tripped
+  // limit emits a governor_trip event. First call wins, mirroring
+  // TrackMemory — the outermost engine's sink observes the whole run.
+  void SetTrace(TraceSink* trace) {
+    if (trace_ == nullptr && trace != nullptr) trace_ = trace;
+  }
+  TraceSink* trace() const { return trace_; }
+
+  // Governor polls observed so far (ShouldStop calls, any thread).
+  uint64_t polls() const { return polls_.load(std::memory_order_relaxed); }
+
   // Polls deadline, cancellation, and the tuple/byte budgets. Returns true
   // (and latches the cause) when the evaluation must stop. Carries the
   // "governor.poll" failpoint, which injects a mid-fixpoint cancellation.
@@ -175,6 +188,10 @@ class ExecutionContext {
   size_t baseline_bytes_ = 0;
   size_t iterations_ = 0;  // driving thread only
   std::atomic<size_t> tuples_{0};
+  std::atomic<uint64_t> polls_{0};
+  // Set once before evaluation starts (SetTrace first-wins), then only
+  // read — same publication discipline as accountant_.
+  TraceSink* trace_ = nullptr;  // not owned; may be null
   // First tripped limit. cause_ is the cross-thread flag; message_ is
   // written once under latch_mu_ before cause_ is published (release) and
   // read under latch_mu_.

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "datalog/analysis.h"
+#include "util/string_util.h"
 
 namespace seprec {
 
@@ -20,8 +21,15 @@ Status EvaluateRulesFor(const Program& program,
   }
   if (support.rules.empty()) return Status::OK();
 
+  // Support rounds carry a distinct phase prefix so a trace separates them
+  // from the main fixpoint of the engine that requested them.
+  FixpointOptions support_options = options;
+  support_options.trace_phase_prefix =
+      StrCat(options.trace_phase_prefix, "support/");
+
   EvalStats support_stats;
-  Status status = EvaluateSemiNaive(support, db, options, &support_stats);
+  Status status =
+      EvaluateSemiNaive(support, db, support_options, &support_stats);
   if (stats != nullptr) {
     stats->iterations += support_stats.iterations;
     stats->tuples_inserted += support_stats.tuples_inserted;

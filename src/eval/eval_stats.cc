@@ -13,6 +13,20 @@ std::string EvalStats::ToString() const {
   for (const auto& [name, size] : relation_sizes) {
     out += StrCat("  |", name, "| = ", size, "\n");
   }
+  if (!rounds.empty()) {
+    out += StrCat("rounds: ", rounds.size(), "\n");
+    for (const RoundStats& r : rounds) {
+      out += StrCat("  [", r.phase, " #", r.round, "] emitted ", r.emitted,
+                    ", new ", r.new_tuples, "\n");
+    }
+  }
+  if (!rule_stats.empty()) {
+    out += StrCat("rules: ", rule_stats.size(), "\n");
+    for (const auto& [rule, rs] : rule_stats) {
+      out += StrCat("  ", rule, "  fired ", rs.fired, ", emitted ", rs.emitted,
+                    ", inserted ", rs.inserted, ", probes ", rs.probes, "\n");
+    }
+  }
   return out;
 }
 

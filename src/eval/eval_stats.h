@@ -11,10 +11,32 @@
 #include <cstddef>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace seprec {
 
 struct EvalStats {
+  // One fixpoint round of one phase. `emitted` counts head tuples produced
+  // by rule bodies (duplicates included; deterministic for any thread
+  // count); `new_tuples` counts tuples that survived deduplication and feed
+  // the next round.
+  struct RoundStats {
+    std::string phase;  // "stratum0", "phase1", "exit", "insert", ...
+    size_t round = 0;
+    size_t emitted = 0;
+    size_t new_tuples = 0;
+  };
+
+  // Work attributed to one rule (keyed by its source text), summed over all
+  // rounds and partitions. `probes` counts candidate rows examined by the
+  // rule's join steps.
+  struct RuleStats {
+    size_t fired = 0;  // plan executions (rounds x delta occurrences)
+    size_t emitted = 0;
+    size_t inserted = 0;
+    size_t probes = 0;
+  };
+
   std::string algorithm;
 
   // Fixpoint rounds summed over all strata / loops.
@@ -31,6 +53,28 @@ struct EvalStats {
   size_t max_relation_size = 0;
 
   double seconds = 0.0;
+
+  // Per-round breakdown in execution order, and per-rule totals. Filled by
+  // the engines whenever a stats object is supplied; both stay empty for
+  // engines that have no rule plans of their own.
+  std::vector<RoundStats> rounds;
+  std::map<std::string, RuleStats> rule_stats;
+
+  // Appends one round record (convenience for the engines' round loops).
+  void NoteRound(std::string phase, size_t round, size_t emitted,
+                 size_t new_tuples) {
+    rounds.push_back(RoundStats{std::move(phase), round, emitted, new_tuples});
+  }
+
+  // Accumulates one plan execution into the rule's running totals.
+  void NoteRule(const std::string& rule, size_t emitted, size_t inserted,
+                size_t probes) {
+    RuleStats& slot = rule_stats[rule];
+    slot.fired += 1;
+    slot.emitted += emitted;
+    slot.inserted += inserted;
+    slot.probes += probes;
+  }
 
   // Records `size` for `name`, updating the maximum.
   void NoteRelation(const std::string& name, size_t size) {

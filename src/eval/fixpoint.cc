@@ -10,6 +10,7 @@
 
 #include "datalog/analysis.h"
 #include "eval/join_plan.h"
+#include "eval/trace.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -43,6 +44,11 @@ struct StratumRuntime {
   std::vector<RulePlan> base_plans;     // all body literals read full rels
   std::vector<RulePlan> delta_plans;    // one per (rule, SCC occurrence)
   std::vector<AggregateRuntime> aggregate_plans;  // run once, first
+  // Rule source text, parallel to base_plans/delta_plans — the stable keys
+  // of EvalStats::rule_stats and trace rule events (precomputed so the
+  // round loops never re-render rules).
+  std::vector<std::string> base_labels;
+  std::vector<std::string> delta_labels;
   bool recursive = false;
 
   // Parallel round machinery (empty when the parallel policy is off or the
@@ -63,10 +69,27 @@ class FixpointEngine {
         options_(options),
         ctx_(ctx),
         stats_(stats),
+        trace_(options.trace),
         seminaive_(seminaive) {}
 
   Status Run(const Program& program) {
     WallTimer timer;
+    uint64_t polls_before = 0;
+    uint64_t attempts_before = 0;
+    uint64_t novel_before = 0;
+    if (trace_ != nullptr) {
+      // First-wins: nested engines sharing the caller's context no-op.
+      ctx_->SetTrace(trace_);
+      db_->counters().active = true;
+      polls_before = ctx_->polls();
+      attempts_before =
+          db_->counters().attempts.load(std::memory_order_relaxed);
+      novel_before = db_->counters().novel.load(std::memory_order_relaxed);
+      TraceEvent e;
+      e.kind = TraceEventKind::kEngineStart;
+      e.engine = engine_name();
+      trace_->Emit(e);
+    }
     SEPREC_ASSIGN_OR_RETURN(ProgramInfo info, ProgramInfo::Analyze(program));
 
     Status result = Status::OK();
@@ -80,7 +103,8 @@ class FixpointEngine {
 
       SEPREC_ASSIGN_OR_RETURN(StratumRuntime stratum,
                               PrepareStratum(info, s));
-      result = EvaluateStratum(info, stratum);
+      result = EvaluateStratum(
+          info, stratum, StrCat(options_.trace_phase_prefix, "stratum", s));
       if (!result.ok()) break;
       // A tripped limit stops the whole fixpoint, not just this stratum.
       if (ctx_->stopped()) break;
@@ -97,6 +121,21 @@ class FixpointEngine {
       if (stats_->algorithm.empty()) {
         stats_->algorithm = seminaive_ ? "seminaive" : "naive";
       }
+    }
+    if (trace_ != nullptr) {
+      TraceEvent e;
+      e.kind = TraceEventKind::kEngineFinish;
+      e.engine = engine_name();
+      e.seconds = timer.Seconds();
+      e.iterations = run_iterations_;
+      e.tuples = run_tuples_;
+      e.polls = ctx_->polls() - polls_before;
+      e.insert_attempts =
+          db_->counters().attempts.load(std::memory_order_relaxed) -
+          attempts_before;
+      e.insert_new = db_->counters().novel.load(std::memory_order_relaxed) -
+                     novel_before;
+      trace_->Emit(e);
     }
     // Drop the internal delta relations.
     for (const std::string& name : delta_names_) {
@@ -161,6 +200,7 @@ class FixpointEngine {
       SEPREC_ASSIGN_OR_RETURN(RulePlan base,
                               RulePlan::Compile(*rule, db_, base_opts));
       stratum.base_plans.push_back(std::move(base));
+      stratum.base_labels.push_back(rule->ToString());
       if (!seminaive_ || !stratum.recursive) continue;
       // One delta variant per body occurrence of a same-stratum predicate.
       for (size_t i = 0; i < rule->body.size(); ++i) {
@@ -175,6 +215,7 @@ class FixpointEngine {
         SEPREC_ASSIGN_OR_RETURN(RulePlan delta,
                                 RulePlan::Compile(*rule, db_, opts));
         stratum.delta_plans.push_back(std::move(delta));
+        stratum.delta_labels.push_back(rule->ToString());
         if (!partitioned) continue;
         for (size_t k = 0; k < stratum.num_partitions; ++k) {
           PlanOptions part_opts;
@@ -189,8 +230,33 @@ class FixpointEngine {
     return stratum;
   }
 
+  const char* engine_name() const { return seminaive_ ? "seminaive" : "naive"; }
+
+  // Folds one plan execution's counters into EvalStats::rule_stats and,
+  // when tracing, emits a rule event (skipped for no-op executions so idle
+  // rules do not flood the trace).
+  void NoteRuleMetrics(const std::string& phase, size_t round,
+                       const std::string& label, const RuleExecMetrics& m) {
+    if (stats_ != nullptr) {
+      stats_->NoteRule(label, m.emitted, m.inserted, m.probes);
+    }
+    if (trace_ != nullptr && (m.emitted > 0 || m.probes > 0)) {
+      TraceEvent e;
+      e.kind = TraceEventKind::kRule;
+      e.engine = engine_name();
+      e.phase = phase;
+      e.round = round;
+      e.rule = label;
+      e.emitted = m.emitted;
+      e.inserted = m.inserted;
+      e.probes = m.probes;
+      trace_->Emit(e);
+    }
+  }
+
   Status EvaluateStratum(const ProgramInfo& info,
-                         const StratumRuntime& stratum) {
+                         const StratumRuntime& stratum,
+                         const std::string& phase) {
     // Per-predicate staging sinks (engine-local). Serial and parallel
     // rounds both emit here and fold through the sink's canonical sorted
     // merge, so the materialised relations end up with the same slot
@@ -207,28 +273,61 @@ class FixpointEngine {
     };
 
     bool overflow = false;
+    // Per-round/per-rule bookkeeping is live whenever anyone collects it;
+    // with neither a stats object nor a sink, the round loops skip all of
+    // it (the bench default).
+    const bool measuring = stats_ != nullptr || trace_ != nullptr;
+    size_t round = 0;
 
     // Fold the sinks into the materialised relations (and deltas); returns
-    // the number of genuinely new tuples.
-    auto fold = [this, &sinks, &stratum]() -> size_t {
+    // the number of genuinely new tuples. `staged` (optional) accumulates
+    // how many rows the sinks held before the merge dedupe.
+    auto fold = [this, &sinks, &stratum](size_t* staged) -> size_t {
       size_t new_tuples = 0;
       for (const std::string& pred : stratum.idb_preds) {
         Relation* full = db_->Find(pred);
         Relation* delta =
             seminaive_ ? db_->Find(StrCat(kDeltaPrefix, pred)) : nullptr;
         if (delta != nullptr) delta->Clear();
-        new_tuples += sinks.at(pred)->MergeInto(full, delta);
+        new_tuples += sinks.at(pred)->MergeInto(full, delta, staged);
       }
       if (stats_ != nullptr) stats_->tuples_inserted += new_tuples;
+      run_tuples_ += new_tuples;
       ctx_->NoteTuples(new_tuples);
       return new_tuples;
+    };
+
+    // Runs every plan against the current deltas/relations on the driving
+    // thread; returns head tuples emitted (0 when not measuring).
+    auto run_plans_serial = [this, &sink_for, &overflow, measuring, &phase,
+                             &round](const std::vector<RulePlan>& plans,
+                                     const std::vector<std::string>& labels)
+        -> size_t {
+      size_t emitted = 0;
+      for (size_t j = 0; j < plans.size(); ++j) {
+        if (!measuring) {
+          plans[j].ExecuteInto(sink_for(plans[j].rule().head.predicate),
+                               &overflow);
+          continue;
+        }
+        RuleExecMetrics m;
+        plans[j].ExecuteInto(sink_for(plans[j].rule().head.predicate),
+                             &overflow, &m);
+        emitted += m.emitted;
+        NoteRuleMetrics(phase, round, labels[j], m);
+      }
+      return emitted;
     };
 
     // One parallel round: hash-partition every delta across the stratum's
     // partition relations, then run each partition's plan variants as an
     // independent worker task. Workers poll the governor between plans, so
-    // deadlines / cancellation / byte budgets trip mid-round.
-    auto parallel_round = [this, &stratum, &sink_for, &overflow]() {
+    // deadlines / cancellation / byte budgets trip mid-round. Returns head
+    // tuples emitted across all partitions (0 when not measuring); per-plan
+    // metrics land in worker-private slots and are summed afterwards, so
+    // the per-rule emitted totals match a serial round exactly.
+    auto parallel_round = [this, &stratum, &sink_for, &overflow, measuring,
+                           &phase, &round]() -> size_t {
       const size_t P = stratum.num_partitions;
       for (const std::string& pred : stratum.idb_preds) {
         Relation* delta = db_->Find(StrCat(kDeltaPrefix, pred));
@@ -240,53 +339,130 @@ class FixpointEngine {
         delta->ForEachRow(
             [&parts, P](Row r) { parts[RowHashBits(r) % P]->Insert(r); });
       }
+      if (trace_ != nullptr) {
+        TraceEvent e;
+        e.kind = TraceEventKind::kParallelRound;
+        e.engine = engine_name();
+        e.phase = phase;
+        e.round = round;
+        e.partitions = P;
+        e.threads = P;
+        e.queue_depth = ThreadPool::Shared()->QueueDepth();
+        trace_->Emit(e);
+      }
+      const size_t num_plans = stratum.delta_plans.size();
+      std::vector<std::vector<RuleExecMetrics>> part_metrics;
+      if (measuring) {
+        part_metrics.assign(P, std::vector<RuleExecMetrics>(num_plans));
+      }
       std::atomic<bool> par_overflow{false};
       ThreadPool::Shared()->ParallelFor(
-          P, P, [this, &stratum, &sink_for, &par_overflow](size_t k) {
+          P, P,
+          [this, &stratum, &sink_for, &par_overflow, measuring,
+           &part_metrics](size_t k) {
             bool local_overflow = false;
-            for (const RulePlan& plan : stratum.partition_plans[k]) {
+            const std::vector<RulePlan>& plans = stratum.partition_plans[k];
+            for (size_t j = 0; j < plans.size(); ++j) {
               if (ctx_->ShouldStop()) break;
-              plan.ExecuteInto(sink_for(plan.rule().head.predicate),
-                               &local_overflow);
+              plans[j].ExecuteInto(
+                  sink_for(plans[j].rule().head.predicate), &local_overflow,
+                  measuring ? &part_metrics[k][j] : nullptr);
             }
             if (local_overflow) {
               par_overflow.store(true, std::memory_order_relaxed);
             }
           });
       if (par_overflow.load(std::memory_order_relaxed)) overflow = true;
+      size_t emitted = 0;
+      if (measuring) {
+        for (size_t j = 0; j < num_plans; ++j) {
+          RuleExecMetrics sum;
+          for (size_t k = 0; k < P; ++k) {
+            sum.emitted += part_metrics[k][j].emitted;
+            sum.inserted += part_metrics[k][j].inserted;
+            sum.probes += part_metrics[k][j].probes;
+          }
+          emitted += sum.emitted;
+          NoteRuleMetrics(phase, round, stratum.delta_labels[j], sum);
+        }
+      }
+      return emitted;
+    };
+
+    auto round_begin = [this, &phase, &round](size_t delta_rows) {
+      if (trace_ == nullptr) return;
+      TraceEvent e;
+      e.kind = TraceEventKind::kRoundStart;
+      e.engine = engine_name();
+      e.phase = phase;
+      e.round = round;
+      e.delta = delta_rows;
+      trace_->Emit(e);
+    };
+    auto round_finish = [this, &phase, &round](size_t emitted, size_t staged,
+                                               size_t new_rows) {
+      if (stats_ != nullptr) {
+        stats_->NoteRound(phase, round, emitted, new_rows);
+      }
+      if (trace_ != nullptr) {
+        TraceEvent merge;
+        merge.kind = TraceEventKind::kMerge;
+        merge.engine = engine_name();
+        merge.phase = phase;
+        merge.round = round;
+        merge.staged = staged;
+        merge.inserted = new_rows;
+        trace_->Emit(merge);
+        TraceEvent e;
+        e.kind = TraceEventKind::kRoundEnd;
+        e.engine = engine_name();
+        e.phase = phase;
+        e.round = round;
+        e.emitted = emitted;
+        e.inserted = new_rows;
+        e.delta = new_rows;
+        trace_->Emit(e);
+      }
+      ++round;
     };
 
     // Aggregate rules first (their bodies live in lower strata).
+    round_begin(0);
     for (const AggregateRuntime& agg : stratum.aggregate_plans) {
       SEPREC_RETURN_IF_ERROR(
           RunAggregate(agg, sink_for(agg.head_predicate), &overflow));
     }
     // Round 0: all rules against full (initially possibly empty) relations.
-    for (const RulePlan& plan : stratum.base_plans) {
-      plan.ExecuteInto(sink_for(plan.rule().head.predicate), &overflow);
-    }
-    size_t new_tuples = fold();
+    size_t emitted =
+        run_plans_serial(stratum.base_plans, stratum.base_labels);
+    size_t staged = 0;
+    size_t new_tuples = fold(measuring ? &staged : nullptr);
+    round_finish(emitted, staged, new_tuples);
     if (stats_ != nullptr) stats_->iterations += 1;
+    run_iterations_ += 1;
     ctx_->NoteIterationAndCheck();
 
     if (stratum.recursive) {
       const std::vector<RulePlan>& plans =
           seminaive_ ? stratum.delta_plans : stratum.base_plans;
+      const std::vector<std::string>& labels =
+          seminaive_ ? stratum.delta_labels : stratum.base_labels;
       const size_t min_rows = ctx_->limits().parallel.min_rows_per_task;
       while (new_tuples > 0) {
         if (ctx_->ShouldStop()) break;
+        round_begin(new_tuples);
         // Small rounds run serially: below min_rows_per_task staged delta
         // rows the partition/merge overhead dominates the join work.
         if (stratum.num_partitions > 1 && new_tuples >= min_rows) {
-          parallel_round();
+          emitted = parallel_round();
         } else {
-          for (const RulePlan& plan : plans) {
-            plan.ExecuteInto(sink_for(plan.rule().head.predicate),
-                             &overflow);
-          }
+          emitted = run_plans_serial(plans, labels);
         }
-        new_tuples = fold();
+        staged = 0;
+        new_tuples = fold(measuring ? &staged : nullptr);
+        round_finish(emitted, staged, new_tuples);
         if (stats_ != nullptr) stats_->iterations += 1;
+        run_iterations_ += 1;
         ctx_->NoteIterationAndCheck();
       }
     }
@@ -374,7 +550,11 @@ class FixpointEngine {
   FixpointOptions options_;
   ExecutionContext* ctx_;
   EvalStats* stats_;
+  TraceSink* trace_;
   bool seminaive_;
+  // This run's own totals (stats_ may be shared across nested engines).
+  size_t run_iterations_ = 0;
+  size_t run_tuples_ = 0;
   std::set<std::string> delta_names_;
 };
 

@@ -10,6 +10,7 @@
 #define SEPREC_EVAL_FIXPOINT_H_
 
 #include <cstddef>
+#include <string>
 
 #include "core/governor.h"
 #include "datalog/ast.h"
@@ -18,6 +19,8 @@
 #include "util/status.h"
 
 namespace seprec {
+
+class TraceSink;
 
 struct FixpointOptions {
   // Resource bounds (iterations, tuples, bytes, wall clock) enforced at
@@ -41,6 +44,17 @@ struct FixpointOptions {
   // Ablation: compile rule plans without index probes (full scans with
   // post-filters). See PlanOptions::disable_indexes.
   bool disable_indexes = false;
+
+  // Optional event sink (see eval/trace.h). Engines copy options when
+  // delegating to sub-evaluations, so one sink observes the whole query.
+  // Null (the default) disables tracing; the enabled path adds per-round
+  // and per-rule bookkeeping, the disabled path a branch per round.
+  TraceSink* trace = nullptr;
+
+  // Prefixed onto the phase label of nested fixpoint rounds so rewrite
+  // engines ("magic/", "counting/", "support/") stay distinguishable in a
+  // combined trace.
+  std::string trace_phase_prefix;
 };
 
 // Evaluates `program` to fixpoint with semi-naive (delta) iteration.

@@ -1,14 +1,92 @@
 #include "eval/incremental.h"
 
 #include "eval/fixpoint.h"
+#include "eval/trace.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace seprec {
 
 std::string UpdateStats::ToString() const {
   return StrCat("inserted: ", inserted, ", overdeleted: ", overdeleted,
-                ", rederived: ", rederived, ", iterations: ", iterations);
+                ", rederived: ", rederived, ", iterations: ", iterations,
+                ", seconds: ", seconds);
 }
+
+namespace {
+
+// RAII pair of engine_start/engine_finish events around one update call.
+// Seconds and the counter totals are read at destruction time, after the
+// caller has finished filling `update`.
+class EngineTraceScope {
+ public:
+  EngineTraceScope(TraceSink* trace, Database* db, const WallTimer* timer,
+                   const UpdateStats* update)
+      : trace_(trace), db_(db), timer_(timer), update_(update) {
+    if (trace_ == nullptr) return;
+    db_->counters().active = true;
+    attempts_before_ =
+        db_->counters().attempts.load(std::memory_order_relaxed);
+    novel_before_ = db_->counters().novel.load(std::memory_order_relaxed);
+    TraceEvent e;
+    e.kind = TraceEventKind::kEngineStart;
+    e.engine = "incremental";
+    trace_->Emit(e);
+  }
+
+  ~EngineTraceScope() {
+    if (trace_ == nullptr) return;
+    TraceEvent e;
+    e.kind = TraceEventKind::kEngineFinish;
+    e.engine = "incremental";
+    e.seconds = timer_->Seconds();
+    e.iterations = update_->iterations;
+    e.tuples = update_->inserted + update_->rederived;
+    e.insert_attempts =
+        db_->counters().attempts.load(std::memory_order_relaxed) -
+        attempts_before_;
+    e.insert_new =
+        db_->counters().novel.load(std::memory_order_relaxed) -
+        novel_before_;
+    trace_->Emit(e);
+  }
+
+ private:
+  TraceSink* trace_;
+  Database* db_;
+  const WallTimer* timer_;
+  const UpdateStats* update_;
+  uint64_t attempts_before_ = 0;
+  uint64_t novel_before_ = 0;
+};
+
+void EmitRoundStart(TraceSink* trace, const char* phase, size_t round,
+                    uint64_t delta) {
+  if (trace == nullptr) return;
+  TraceEvent e;
+  e.kind = TraceEventKind::kRoundStart;
+  e.engine = "incremental";
+  e.phase = phase;
+  e.round = round;
+  e.delta = delta;
+  trace->Emit(e);
+}
+
+void EmitRoundEnd(TraceSink* trace, const char* phase, size_t round,
+                  uint64_t emitted, uint64_t inserted, uint64_t delta) {
+  if (trace == nullptr) return;
+  TraceEvent e;
+  e.kind = TraceEventKind::kRoundEnd;
+  e.engine = "incremental";
+  e.phase = phase;
+  e.round = round;
+  e.emitted = emitted;
+  e.inserted = inserted;
+  e.delta = delta;
+  trace->Emit(e);
+}
+
+}  // namespace
 
 std::string IncrementalEngine::NewDeltaName(std::string_view pred) const {
   return StrCat("$inc_new_", pred);
@@ -89,8 +167,11 @@ StatusOr<IncrementalEngine> IncrementalEngine::Create(Program program,
   return engine;
 }
 
-Status IncrementalEngine::Initialize() {
-  return EvaluateSemiNaive(info_.program(), db_);
+Status IncrementalEngine::Initialize(EvalStats* stats) {
+  FixpointOptions options;
+  options.trace = trace_;
+  options.trace_phase_prefix = "init/";
+  return EvaluateSemiNaive(info_.program(), db_, options, stats);
 }
 
 Status IncrementalEngine::SeedRows(
@@ -133,16 +214,28 @@ Status IncrementalEngine::PropagateInsertions() {
   }
 
   bool any_delta = true;
+  size_t round = 0;
   while (any_delta) {
     ++last_update_.iterations;
+    ++round;
+    uint64_t delta_rows = 0;
+    if (trace_ != nullptr) {
+      for (const std::string& pred : predicates_) {
+        delta_rows += db_->Find(NewDeltaName(pred))->size();
+      }
+    }
+    EmitRoundStart(trace_, "insert", round, delta_rows);
+    RuleExecMetrics round_metrics;
+    RuleExecMetrics* rm = trace_ != nullptr ? &round_metrics : nullptr;
     for (const VariantPlan& vp : insert_plans_) {
-      vp.plan.ExecuteInto(scratch.at(vp.head).get());
+      vp.plan.ExecuteInto(scratch.at(vp.head).get(), nullptr, rm);
     }
     // Clear all deltas, then fold scratch: new tuples become next deltas.
     for (const std::string& pred : predicates_) {
       db_->Find(NewDeltaName(pred))->Clear();
     }
     any_delta = false;
+    size_t round_new = 0;
     for (const std::string& pred : idb_) {
       Relation* full = db_->Find(pred);
       Relation* delta = db_->Find(NewDeltaName(pred));
@@ -150,19 +243,24 @@ Status IncrementalEngine::PropagateInsertions() {
       for (size_t i = 0; i < sc->size(); ++i) {
         if (full->Insert(sc->row(i))) {
           ++last_update_.inserted;
+          ++round_new;
           delta->Insert(sc->row(i));
           any_delta = true;
         }
       }
       sc->Clear();
     }
+    EmitRoundEnd(trace_, "insert", round, round_metrics.emitted, round_new,
+                 delta_rows);
   }
   return Status::OK();
 }
 
 Status IncrementalEngine::AddFacts(
     std::string_view relation, const std::vector<std::vector<Value>>& rows) {
+  WallTimer timer;
   last_update_ = UpdateStats();
+  EngineTraceScope scope(trace_, db_, &timer, &last_update_);
   Relation* edb = nullptr;
   Relation* seed = nullptr;
   SEPREC_RETURN_IF_ERROR(
@@ -176,8 +274,10 @@ Status IncrementalEngine::AddFacts(
       seed->Insert(Row(row.data(), row.size()));
     }
   }
-  if (seed->empty()) return Status::OK();
-  return PropagateInsertions();
+  Status status = Status::OK();
+  if (!seed->empty()) status = PropagateInsertions();
+  last_update_.seconds = timer.Seconds();
+  return status;
 }
 
 Status IncrementalEngine::AddFact(std::string_view relation,
@@ -192,7 +292,9 @@ Status IncrementalEngine::AddFact(std::string_view relation,
 
 Status IncrementalEngine::RemoveFacts(
     std::string_view relation, const std::vector<std::vector<Value>>& rows) {
+  WallTimer timer;
   last_update_ = UpdateStats();
+  EngineTraceScope scope(trace_, db_, &timer, &last_update_);
   Relation* edb = nullptr;
   Relation* seed = nullptr;
   SEPREC_RETURN_IF_ERROR(
@@ -209,7 +311,10 @@ Status IncrementalEngine::RemoveFacts(
       seed->Insert(Row(row.data(), row.size()));
     }
   }
-  if (seed->empty()) return Status::OK();
+  if (seed->empty()) {
+    last_update_.seconds = timer.Seconds();
+    return Status::OK();
+  }
 
   // The $inc_del_* relations play two roles: the accumulated overdelete
   // set AND the per-round delta. Keep a separate per-round delta by
@@ -227,15 +332,27 @@ Status IncrementalEngine::RemoveFacts(
   total_del.at(std::string(relation))->InsertAll(*seed);
 
   bool any_delta = true;
+  size_t round = 0;
   while (any_delta) {
     ++last_update_.iterations;
+    ++round;
+    uint64_t delta_rows = 0;
+    if (trace_ != nullptr) {
+      for (const std::string& pred : predicates_) {
+        delta_rows += db_->Find(DelDeltaName(pred))->size();
+      }
+    }
+    EmitRoundStart(trace_, "overdelete", round, delta_rows);
+    RuleExecMetrics round_metrics;
+    RuleExecMetrics* rm = trace_ != nullptr ? &round_metrics : nullptr;
     for (const VariantPlan& vp : overdelete_plans_) {
-      vp.plan.ExecuteInto(scratch.at(vp.head).get());
+      vp.plan.ExecuteInto(scratch.at(vp.head).get(), nullptr, rm);
     }
     for (const std::string& pred : predicates_) {
       db_->Find(DelDeltaName(pred))->Clear();
     }
     any_delta = false;
+    size_t round_new = 0;
     for (const std::string& pred : idb_) {
       Relation* full = db_->Find(pred);
       Relation* delta = db_->Find(DelDeltaName(pred));
@@ -247,11 +364,14 @@ Status IncrementalEngine::RemoveFacts(
         // each enters the overdelete set once.
         if (full->Contains(r) && total->Insert(r)) {
           delta->Insert(r);
+          ++round_new;
           any_delta = true;
         }
       }
       sc->Clear();
     }
+    EmitRoundEnd(trace_, "overdelete", round, round_metrics.emitted,
+                 round_new, delta_rows);
   }
 
   // Erase the overdeleted tuples (and load $inc_del_* with the full sets
@@ -274,9 +394,19 @@ Status IncrementalEngine::RemoveFacts(
   for (const std::string& pred : predicates_) {
     db_->Find(NewDeltaName(pred))->Clear();
   }
+  uint64_t candidate_rows = 0;
+  if (trace_ != nullptr) {
+    for (const std::string& pred : predicates_) {
+      candidate_rows += db_->Find(DelDeltaName(pred))->size();
+    }
+  }
+  EmitRoundStart(trace_, "rederive", 1, candidate_rows);
   bool any_rederived = false;
+  size_t rederive_new = 0;
+  RuleExecMetrics rederive_metrics;
+  RuleExecMetrics* rm = trace_ != nullptr ? &rederive_metrics : nullptr;
   for (const VariantPlan& vp : rederive_plans_) {
-    vp.plan.ExecuteInto(scratch.at(vp.head).get());
+    vp.plan.ExecuteInto(scratch.at(vp.head).get(), nullptr, rm);
   }
   for (const std::string& pred : idb_) {
     Relation* full = db_->Find(pred);
@@ -285,12 +415,15 @@ Status IncrementalEngine::RemoveFacts(
     for (size_t i = 0; i < sc->size(); ++i) {
       if (full->Insert(sc->row(i))) {
         ++last_update_.rederived;
+        ++rederive_new;
         delta->Insert(sc->row(i));
         any_rederived = true;
       }
     }
     sc->Clear();
   }
+  EmitRoundEnd(trace_, "rederive", 1, rederive_metrics.emitted,
+               rederive_new, candidate_rows);
   if (any_rederived) {
     size_t before = last_update_.inserted;
     SEPREC_RETURN_IF_ERROR(PropagateInsertions());
@@ -300,6 +433,7 @@ Status IncrementalEngine::RemoveFacts(
   for (const std::string& pred : predicates_) {
     db_->Find(DelDeltaName(pred))->Clear();
   }
+  last_update_.seconds = timer.Seconds();
   return Status::OK();
 }
 

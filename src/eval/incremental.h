@@ -29,6 +29,7 @@
 
 #include "datalog/analysis.h"
 #include "datalog/ast.h"
+#include "eval/eval_stats.h"
 #include "eval/join_plan.h"
 #include "storage/database.h"
 #include "util/status.h"
@@ -40,9 +41,12 @@ struct UpdateStats {
   size_t overdeleted = 0;  // tuples provisionally deleted
   size_t rederived = 0;    // overdeleted tuples that came back
   size_t iterations = 0;   // delta rounds
+  double seconds = 0.0;    // wall time of the whole update call
 
   std::string ToString() const;
 };
+
+class TraceSink;
 
 class IncrementalEngine {
  public:
@@ -54,8 +58,14 @@ class IncrementalEngine {
   IncrementalEngine& operator=(IncrementalEngine&&) = default;
 
   // Full semi-naive evaluation establishing the fixpoint. Call once
-  // before the first update (also callable later to re-sync).
-  Status Initialize();
+  // before the first update (also callable later to re-sync). Fills
+  // `stats` (including wall time) when non-null.
+  Status Initialize(EvalStats* stats = nullptr);
+
+  // Attaches a trace sink; subsequent Initialize/AddFacts/RemoveFacts
+  // calls emit engine and per-round events (engine "incremental", phases
+  // "insert", "overdelete", "rederive"). Pass nullptr to detach.
+  void set_trace(TraceSink* trace) { trace_ = trace; }
 
   // Inserts rows into the EDB relation `relation` and propagates.
   Status AddFacts(std::string_view relation,
@@ -102,6 +112,7 @@ class IncrementalEngine {
   std::vector<VariantPlan> overdelete_plans_; // occurrence -> $inc_del_*
   std::vector<VariantPlan> rederive_plans_;   // body + del-filter on head
   UpdateStats last_update_;
+  TraceSink* trace_ = nullptr;
 };
 
 }  // namespace seprec

@@ -291,15 +291,17 @@ StatusOr<RulePlan> RulePlan::Compile(const Rule& rule, Database* db,
 
 struct RulePlan::ExecContext {
   std::vector<Value> slots;
+  size_t probes = 0;  // candidate rows examined by scan steps
   bool overflow = false;
 };
 
 template <typename Sink>
-void RulePlan::Run(Sink&& sink, bool* overflow) const {
+void RulePlan::Run(Sink&& sink, bool* overflow, size_t* probes) const {
   ExecContext ctx;
   ctx.slots.resize(num_slots_);
   RunStep(0, &ctx, sink);
   if (overflow != nullptr && ctx.overflow) *overflow = true;
+  if (probes != nullptr) *probes += ctx.probes;
 }
 
 bool RulePlan::EvalCompare(CmpOp op, Value a, Value b) {
@@ -415,6 +417,7 @@ void RulePlan::RunStep(size_t step_index, ExecContext* ctx,
         bool found = false;
         auto check_row = [&](uint32_t row_id) {
           if (found) return;
+          ++ctx->probes;
           Row r = step.relation->row(row_id);
           for (const Step::RowAction& action : step.actions) {
             if (action.kind == Step::RowAction::Kind::kCheckSlot) {
@@ -444,6 +447,7 @@ void RulePlan::RunStep(size_t step_index, ExecContext* ctx,
         return;
       }
       auto try_row = [&](uint32_t row_id) {
+        ++ctx->probes;
         Row r = step.relation->row(row_id);
         for (const Step::RowAction& action : step.actions) {
           switch (action.kind) {
@@ -503,22 +507,42 @@ void RulePlan::RunStep(size_t step_index, ExecContext* ctx,
   }
 }
 
-size_t RulePlan::ExecuteInto(Relation* out, bool* overflow) const {
+size_t RulePlan::ExecuteInto(Relation* out, bool* overflow,
+                             RuleExecMetrics* metrics) const {
   SEPREC_CHECK(out->arity() == head_sources_.size());
   for (const Relation* scanned : scanned_) {
     SEPREC_CHECK(scanned != out);
   }
   size_t inserted = 0;
-  Run([out, &inserted](Row row) { inserted += out->Insert(row) ? 1 : 0; },
-      overflow);
+  size_t emitted = 0;
+  Run(
+      [out, &inserted, &emitted](Row row) {
+        ++emitted;
+        inserted += out->Insert(row) ? 1 : 0;
+      },
+      overflow, metrics != nullptr ? &metrics->probes : nullptr);
+  if (metrics != nullptr) {
+    metrics->emitted += emitted;
+    metrics->inserted += inserted;
+  }
   return inserted;
 }
 
-size_t RulePlan::ExecuteInto(ShardedSink* out, bool* overflow) const {
+size_t RulePlan::ExecuteInto(ShardedSink* out, bool* overflow,
+                             RuleExecMetrics* metrics) const {
   SEPREC_CHECK(out->arity() == head_sources_.size());
   size_t inserted = 0;
-  Run([out, &inserted](Row row) { inserted += out->Insert(row) ? 1 : 0; },
-      overflow);
+  size_t emitted = 0;
+  Run(
+      [out, &inserted, &emitted](Row row) {
+        ++emitted;
+        inserted += out->Insert(row) ? 1 : 0;
+      },
+      overflow, metrics != nullptr ? &metrics->probes : nullptr);
+  if (metrics != nullptr) {
+    metrics->emitted += emitted;
+    metrics->inserted += inserted;
+  }
   return inserted;
 }
 

@@ -33,6 +33,17 @@ struct PlanOptions {
   bool disable_indexes = false;
 };
 
+// Work counters for plan executions, accumulated (+=) so one object can
+// sum a plan across rounds or delta partitions. `probes` counts candidate
+// rows examined by scan steps (index hits plus full-scan rows), `emitted`
+// head tuples produced (duplicates included), `inserted` rows new in the
+// target.
+struct RuleExecMetrics {
+  size_t emitted = 0;
+  size_t inserted = 0;
+  size_t probes = 0;
+};
+
 // Where a runtime value comes from: a constant or a variable slot.
 struct ValueSource {
   bool is_const = false;
@@ -68,15 +79,18 @@ class RulePlan {
   // match the head; `out` must not be one of the scanned relations).
   // Returns the number of rows that were new in `out`.
   // Sets *overflow if an arithmetic evaluation overflowed (those
-  // derivations are dropped).
-  size_t ExecuteInto(Relation* out, bool* overflow = nullptr) const;
+  // derivations are dropped). When `metrics` is non-null, this execution's
+  // work counters are accumulated into it.
+  size_t ExecuteInto(Relation* out, bool* overflow = nullptr,
+                     RuleExecMetrics* metrics = nullptr) const;
 
   // Same pipeline, emitting into a concurrent staging sink instead of a
   // relation. Safe to run from several pool workers at once as long as
   // the scanned relations are not mutated meanwhile (const here; the
   // lazy index build is internally serialised). Returns the number of
   // rows new in `out`.
-  size_t ExecuteInto(ShardedSink* out, bool* overflow = nullptr) const;
+  size_t ExecuteInto(ShardedSink* out, bool* overflow = nullptr,
+                     RuleExecMetrics* metrics = nullptr) const;
 
   // Number of head emissions without materialising (counts duplicates).
   size_t CountDerivations() const;
@@ -127,7 +141,7 @@ class RulePlan {
   RulePlan() = default;
 
   template <typename Sink>
-  void Run(Sink&& sink, bool* overflow) const;
+  void Run(Sink&& sink, bool* overflow, size_t* probes = nullptr) const;
   template <typename Sink>
   void RunStep(size_t step_index, ExecContext* ctx, Sink&& sink) const;
 

@@ -9,6 +9,7 @@
 #include "core/support.h"
 #include "datalog/analysis.h"
 #include "eval/join_plan.h"
+#include "eval/trace.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -64,7 +65,10 @@ class QsqrEngine {
     return Status::OK();
   }
 
-  void Run(const Atom& query, ExecutionContext* ctx, EvalStats* stats) {
+  void Run(const Atom& query, ExecutionContext* ctx, EvalStats* stats,
+           const std::string& phase) {
+    TraceSink* trace = ctx->trace();
+    const bool measuring = stats != nullptr || trace != nullptr;
     // Scratch per tracked relation.
     std::map<std::string, std::unique_ptr<Relation>> scratch;
     for (const std::string& name : tracked_) {
@@ -93,19 +97,35 @@ class QsqrEngine {
     while (changed) {
       ++passes;
       if (ctx->NoteIterationAndCheck()) break;
+      uint64_t delta_rows = 0;
+      if (trace != nullptr) {
+        for (const std::string& name : tracked_) {
+          delta_rows += db_->Find(DeltaName(name))->size();
+        }
+        TraceEvent e;
+        e.kind = TraceEventKind::kRoundStart;
+        e.engine = "qsqr";
+        e.phase = phase;
+        e.round = passes;
+        e.delta = delta_rows;
+        trace->Emit(e);
+      }
+      RuleExecMetrics pass_metrics;
+      RuleExecMetrics* pm = measuring ? &pass_metrics : nullptr;
       for (RuleSweep& sweep : sweeps_) {
         for (SweepStep& step : sweep.steps) {
           Relation* sup_scratch = scratch.at(step.sup_relation).get();
-          step.delta_prev_plan.ExecuteInto(sup_scratch);
+          step.delta_prev_plan.ExecuteInto(sup_scratch, nullptr, pm);
           if (step.delta_lit_plan != nullptr) {
-            step.delta_lit_plan->ExecuteInto(sup_scratch);
+            step.delta_lit_plan->ExecuteInto(sup_scratch, nullptr, pm);
           }
           if (step.need_plan != nullptr) {
-            step.need_plan->ExecuteInto(
-                scratch.at(step.input_relation).get());
+            step.need_plan->ExecuteInto(scratch.at(step.input_relation).get(),
+                                        nullptr, pm);
           }
         }
-        sweep.head_plan.ExecuteInto(scratch.at(sweep.ans_relation).get());
+        sweep.head_plan.ExecuteInto(scratch.at(sweep.ans_relation).get(),
+                                    nullptr, pm);
       }
       // Fold: additions become the next pass's deltas.
       changed = false;
@@ -126,6 +146,20 @@ class QsqrEngine {
       }
       total += pass_new;
       ctx->NoteTuples(pass_new);
+      if (stats != nullptr) {
+        stats->NoteRound(phase, passes, pass_metrics.emitted, pass_new);
+      }
+      if (trace != nullptr) {
+        TraceEvent e;
+        e.kind = TraceEventKind::kRoundEnd;
+        e.engine = "qsqr";
+        e.phase = phase;
+        e.round = passes;
+        e.emitted = pass_metrics.emitted;
+        e.inserted = pass_new;
+        e.delta = delta_rows;
+        trace->Emit(e);
+      }
       if (ctx->ShouldStop()) break;
     }
 
@@ -383,18 +417,62 @@ StatusOr<QsqrRunResult> EvaluateWithQsqr(const Program& program,
   GovernorScope governor(options.limits, options.cancel, options.context);
   governor.ctx()->TrackMemory(&db->accountant());
 
+  uint64_t polls_before = 0;
+  uint64_t attempts_before = 0;
+  uint64_t novel_before = 0;
+  if (options.trace != nullptr) {
+    governor.ctx()->SetTrace(options.trace);
+    db->counters().active = true;
+    polls_before = governor.ctx()->polls();
+    attempts_before = db->counters().attempts.load(std::memory_order_relaxed);
+    novel_before = db->counters().novel.load(std::memory_order_relaxed);
+    TraceEvent e;
+    e.kind = TraceEventKind::kEngineStart;
+    e.engine = "qsqr";
+    options.trace->Emit(e);
+  }
+  auto finish_trace = [&] {
+    if (options.trace == nullptr) return;
+    TraceEvent e;
+    e.kind = TraceEventKind::kEngineFinish;
+    e.engine = "qsqr";
+    e.seconds = timer.Seconds();
+    e.iterations = result.stats.iterations;
+    e.tuples = result.stats.tuples_inserted;
+    e.polls = governor.ctx()->polls() - polls_before;
+    e.insert_attempts =
+        db->counters().attempts.load(std::memory_order_relaxed) -
+        attempts_before;
+    e.insert_new =
+        db->counters().novel.load(std::memory_order_relaxed) - novel_before;
+    options.trace->Emit(e);
+  };
+
   if (!base_like.empty()) {
     FixpointOptions governed = options;
     governed.context = governor.ctx();
-    SEPREC_RETURN_IF_ERROR(MaterializePredicates(program, base_like, db,
-                                                 governed, &result.stats));
+    Status status = MaterializePredicates(program, base_like, db, governed,
+                                          &result.stats);
+    if (!status.ok()) {
+      finish_trace();
+      return status;
+    }
   }
 
   Program rectified = Rectify(program);
   QsqrEngine engine(rectified, info, db, base_like);
-  SEPREC_RETURN_IF_ERROR(engine.Setup(query));
-  engine.Run(query, governor.ctx(), &result.stats);
-  SEPREC_RETURN_IF_ERROR(governor.ExitStatus());
+  Status status = engine.Setup(query);
+  if (!status.ok()) {
+    finish_trace();
+    return status;
+  }
+  engine.Run(query, governor.ctx(), &result.stats,
+             StrCat(options.trace_phase_prefix, "pass"));
+  status = governor.ExitStatus();
+  if (!status.ok()) {
+    finish_trace();
+    return status;
+  }
   result.adorned = engine.AdornedKeys();
 
   const Relation* ans = db->Find(engine.query_ans_relation());
@@ -402,6 +480,7 @@ StatusOr<QsqrRunResult> EvaluateWithQsqr(const Program& program,
     result.answer = SelectMatching(*ans, query, db->symbols());
   }
   result.stats.seconds = timer.Seconds();
+  finish_trace();
   return result;
 }
 

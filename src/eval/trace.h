@@ -1,0 +1,134 @@
+// Structured evaluation tracing: typed events emitted by every engine.
+//
+// The paper's cost model (Definition 4.2) is stated in terms of the sizes
+// of constructed relations and per-phase work. EvalStats reports the final
+// sizes; the trace layer reports how they got there: per-round deltas,
+// per-rule probe/emit counts, sharded-merge statistics, governor activity,
+// and thread-pool pressure. Engines hold a `TraceSink*` (default null) and
+// guard every emission with a null check, so the disabled path costs one
+// branch per round — cheap enough that the bench-regression gate holds
+// with tracing off.
+//
+// Event schema (one JSON object per line from JsonTraceSink; all events
+// carry "v" (schema version), "seq" (global order), "t" (seconds since the
+// sink was created) and "ev"):
+//
+//   engine_start   engine
+//   engine_finish  engine, seconds, iterations, tuples, polls,
+//                  insert_attempts, insert_new
+//   round_start    engine, phase, round, delta
+//   round_end      engine, phase, round, emitted, inserted, delta
+//   rule           engine, phase, round, rule, emitted, inserted, probes
+//   merge          engine, phase, round, staged, inserted
+//   parallel_round engine, phase, round, partitions, threads, queue_depth
+//   governor_trip  cause, detail
+//   note           detail
+//
+// Semantics: `emitted` counts head tuples produced by rule bodies,
+// duplicates included — it is deterministic for a given program and
+// database, independent of thread count. `inserted` counts tuples that
+// were new in the target relation; per-round totals are thread-invariant
+// (the canonical ShardedSink merge dedupes identically), but per-rule
+// inserted counts under parallel rounds depend on which worker staged a
+// duplicate first, so cross-run comparisons should use `emitted`.
+#ifndef SEPREC_EVAL_TRACE_H_
+#define SEPREC_EVAL_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace seprec {
+
+enum class TraceEventKind {
+  kEngineStart,
+  kEngineFinish,
+  kRoundStart,
+  kRoundEnd,
+  kRule,
+  kMerge,
+  kParallelRound,
+  kGovernorTrip,
+  kNote,
+};
+
+const char* TraceEventKindName(TraceEventKind kind);
+
+// One typed event. Which fields are meaningful depends on `kind` (see the
+// schema above); sinks serialise only the fields the kind defines.
+struct TraceEvent {
+  TraceEventKind kind = TraceEventKind::kNote;
+  std::string engine;  // "seminaive", "naive", "separable", "magic", ...
+  std::string phase;   // "stratum0", "phase1", "exit", "insert", ...
+  std::string rule;    // source text of the rule (kRule)
+  std::string cause;   // stop cause (kGovernorTrip)
+  std::string detail;  // free-form context (kGovernorTrip, kNote)
+  uint64_t round = 0;
+  uint64_t emitted = 0;         // head tuples produced, duplicates included
+  uint64_t inserted = 0;        // tuples new in the target relation
+  uint64_t probes = 0;          // candidate rows examined by join steps
+  uint64_t staged = 0;          // rows staged into a ShardedSink pre-dedupe
+  uint64_t delta = 0;           // rows feeding the next round
+  uint64_t partitions = 0;      // hash partitions of a parallel round
+  uint64_t threads = 0;         // resolved worker count
+  uint64_t queue_depth = 0;     // thread-pool backlog when scheduling began
+  uint64_t iterations = 0;      // kEngineFinish: total fixpoint rounds
+  uint64_t tuples = 0;          // kEngineFinish: distinct tuples inserted
+  uint64_t polls = 0;           // kEngineFinish: governor polls observed
+  uint64_t insert_attempts = 0; // kEngineFinish: Relation::Insert calls
+  uint64_t insert_new = 0;      // kEngineFinish: inserts that were new rows
+  double seconds = 0.0;
+};
+
+// Receives events from engines. Implementations must be safe to call from
+// multiple threads concurrently: parallel workers do not emit directly, but
+// nested engines can interleave with governor trips observed from workers.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void Emit(const TraceEvent& event) = 0;
+};
+
+// Serialises events as JSON lines ("\n"-terminated objects) to an ostream.
+// Events are stamped with a global sequence number and seconds since the
+// sink was constructed; emission is serialised by an internal mutex.
+class JsonTraceSink : public TraceSink {
+ public:
+  explicit JsonTraceSink(std::ostream* out) : out_(out) {}
+  void Emit(const TraceEvent& event) override;
+
+  static constexpr int kSchemaVersion = 1;
+
+ private:
+  std::ostream* out_;
+  std::mutex mu_;
+  uint64_t seq_ = 0;
+  WallTimer timer_;
+};
+
+// Buffers events in memory; the test-side sink.
+class CollectingTraceSink : public TraceSink {
+ public:
+  void Emit(const TraceEvent& event) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(event);
+  }
+
+  // Copies out the events observed so far.
+  std::vector<TraceEvent> Events() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace seprec
+
+#endif  // SEPREC_EVAL_TRACE_H_

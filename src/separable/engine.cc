@@ -8,6 +8,7 @@
 #include "core/query.h"
 #include "core/support.h"
 #include "eval/join_plan.h"
+#include "eval/trace.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -203,19 +204,16 @@ class SchemaRunner {
     if (anchor_.anchor_class.has_value()) {
       const EquivalenceClass& ec = sep_.classes[*anchor_.anchor_class];
       for (size_t r : ec.rule_indices) {
-        SEPREC_ASSIGN_OR_RETURN(
-            RulePlan plan,
-            RulePlan::Compile(
-                MakePhase1Rule(sep_, anchor_, r, carry1_->name(), "$new1"),
-                db_));
+        Rule rule = MakePhase1Rule(sep_, anchor_, r, carry1_->name(), "$new1");
+        phase1_labels_.push_back(rule.ToString());
+        SEPREC_ASSIGN_OR_RETURN(RulePlan plan, RulePlan::Compile(rule, db_));
         phase1_plans_.push_back(std::move(plan));
       }
     }
     for (size_t e = 0; e < sep_.recursion.exit_rules.size(); ++e) {
-      SEPREC_ASSIGN_OR_RETURN(
-          RulePlan plan,
-          RulePlan::Compile(
-              MakeExitRule(sep_, anchor_, e, seen1_->name(), "$init2"), db_));
+      Rule rule = MakeExitRule(sep_, anchor_, e, seen1_->name(), "$init2");
+      exit_labels_.push_back(rule.ToString());
+      SEPREC_ASSIGN_OR_RETURN(RulePlan plan, RulePlan::Compile(rule, db_));
       exit_plans_.push_back(std::move(plan));
     }
     for (size_t r = 0; r < sep_.recursion.recursive_rules.size(); ++r) {
@@ -223,11 +221,9 @@ class SchemaRunner {
           sep_.class_of_rule[r] == *anchor_.anchor_class) {
         continue;
       }
-      SEPREC_ASSIGN_OR_RETURN(
-          RulePlan plan,
-          RulePlan::Compile(
-              MakePhase2Rule(sep_, anchor_, r, carry2_->name(), "$new2"),
-              db_));
+      Rule rule = MakePhase2Rule(sep_, anchor_, r, carry2_->name(), "$new2");
+      phase2_labels_.push_back(rule.ToString());
+      SEPREC_ASSIGN_OR_RETURN(RulePlan plan, RulePlan::Compile(rule, db_));
       phase2_plans_.push_back(std::move(plan));
       // Partition variants: the same rule reading partition k of carry_2.
       for (size_t k = 0; k < num_partitions_ && num_partitions_ > 1; ++k) {
@@ -262,6 +258,67 @@ class SchemaRunner {
     size_t max_carry2 = 0;
     size_t iterations = 0;
 
+    // The sink attached to the governing context (one sink observes every
+    // schema run of a query; round numbering restarts per run).
+    TraceSink* trace = ctx->trace();
+    const bool measuring = stats != nullptr || trace != nullptr;
+
+    auto trace_round_start = [trace](const char* phase, size_t round,
+                                     size_t delta) {
+      if (trace == nullptr) return;
+      TraceEvent e;
+      e.kind = TraceEventKind::kRoundStart;
+      e.engine = "separable";
+      e.phase = phase;
+      e.round = round;
+      e.delta = delta;
+      trace->Emit(e);
+    };
+    auto note_rule = [trace, stats](const char* phase, size_t round,
+                                    const std::string& label,
+                                    const RuleExecMetrics& m) {
+      if (stats != nullptr) {
+        stats->NoteRule(label, m.emitted, m.inserted, m.probes);
+      }
+      if (trace != nullptr && (m.emitted > 0 || m.probes > 0)) {
+        TraceEvent e;
+        e.kind = TraceEventKind::kRule;
+        e.engine = "separable";
+        e.phase = phase;
+        e.round = round;
+        e.rule = label;
+        e.emitted = m.emitted;
+        e.inserted = m.inserted;
+        e.probes = m.probes;
+        trace->Emit(e);
+      }
+    };
+    auto round_finish = [trace, stats](const char* phase, size_t round,
+                                       size_t emitted, size_t staged,
+                                       size_t new_rows) {
+      if (stats != nullptr) {
+        stats->NoteRound(phase, round, emitted, new_rows);
+      }
+      if (trace == nullptr) return;
+      TraceEvent merge;
+      merge.kind = TraceEventKind::kMerge;
+      merge.engine = "separable";
+      merge.phase = phase;
+      merge.round = round;
+      merge.staged = staged;
+      merge.inserted = new_rows;
+      trace->Emit(merge);
+      TraceEvent e;
+      e.kind = TraceEventKind::kRoundEnd;
+      e.engine = "separable";
+      e.phase = phase;
+      e.round = round;
+      e.emitted = emitted;
+      e.inserted = new_rows;
+      e.delta = new_rows;
+      trace->Emit(e);
+    };
+
     for (const std::vector<Value>& seed : seeds) {
       Row row(seed.data(), seed.size());
       carry1_->Insert(row);
@@ -273,34 +330,61 @@ class SchemaRunner {
     // Phase 1 (skipped for a persistent-column anchor). The sink's
     // canonical merge gives seen_1/carry_1 a deterministic slot order.
     if (anchor_.anchor_class.has_value()) {
+      size_t round1 = 0;
       while (!carry1_->empty()) {
         ++iterations;
         if (ctx->NoteIterationAndCheck()) break;
-        for (const RulePlan& plan : phase1_plans_) {
-          plan.ExecuteInto(sink1_.get());
+        trace_round_start("phase1", round1, carry1_->size());
+        size_t emitted = 0;
+        for (size_t j = 0; j < phase1_plans_.size(); ++j) {
+          RuleExecMetrics m;
+          phase1_plans_[j].ExecuteInto(sink1_.get(), nullptr,
+                                       measuring ? &m : nullptr);
+          if (measuring) {
+            emitted += m.emitted;
+            note_rule("phase1", round1, phase1_labels_[j], m);
+          }
         }
         carry1_->Clear();
-        size_t round = sink1_->MergeInto(seen1_, carry1_);
+        size_t staged = 0;
+        size_t round = sink1_->MergeInto(seen1_, carry1_,
+                                         measuring ? &staged : nullptr);
         inserted += round;
         ctx->NoteTuples(round);
         max_carry1 = std::max(max_carry1, carry1_->size());
+        round_finish("phase1", round1, emitted, staged, round);
+        ++round1;
       }
     }
 
     // Phase 2 initialisation: carry_2 := g_2(seen_1).
-    for (const RulePlan& plan : exit_plans_) {
-      plan.ExecuteInto(sink2_.get());
+    trace_round_start("exit", 0, seen1_->size());
+    size_t exit_emitted = 0;
+    for (size_t j = 0; j < exit_plans_.size(); ++j) {
+      RuleExecMetrics m;
+      exit_plans_[j].ExecuteInto(sink2_.get(), nullptr,
+                                 measuring ? &m : nullptr);
+      if (measuring) {
+        exit_emitted += m.emitted;
+        note_rule("exit", 0, exit_labels_[j], m);
+      }
     }
     carry2_->Clear();
-    size_t init2 = sink2_->MergeInto(seen2_, carry2_);
+    size_t exit_staged = 0;
+    size_t init2 =
+        sink2_->MergeInto(seen2_, carry2_, measuring ? &exit_staged : nullptr);
     inserted += init2;
     ctx->NoteTuples(init2);
     max_carry2 = carry2_->size();
+    round_finish("exit", 0, exit_emitted, exit_staged, init2);
 
     if (!phase2_plans_.empty()) {
+      size_t round2 = 0;
       while (!carry2_->empty()) {
         ++iterations;
         if (ctx->NoteIterationAndCheck()) break;
+        trace_round_start("phase2", round2, carry2_->size());
+        size_t emitted = 0;
         if (num_partitions_ > 1 && carry2_->size() >= min_rows_per_task_) {
           // Parallel round: split carry_2 over the partition relations by
           // row hash and run each partition's plan variants as one worker
@@ -312,22 +396,66 @@ class SchemaRunner {
           carry2_->ForEachRow([this, P](Row r) {
             carry2_parts_[RowHashBits(r) % P]->Insert(r);
           });
-          ThreadPool::Shared()->ParallelFor(P, P, [this, ctx](size_t k) {
-            for (const RulePlan& plan : phase2_part_plans_[k]) {
-              if (ctx->ShouldStop()) break;
-              plan.ExecuteInto(sink2_.get());
+          if (trace != nullptr) {
+            TraceEvent e;
+            e.kind = TraceEventKind::kParallelRound;
+            e.engine = "separable";
+            e.phase = "phase2";
+            e.round = round2;
+            e.partitions = P;
+            e.threads = P;
+            e.queue_depth = ThreadPool::Shared()->QueueDepth();
+            trace->Emit(e);
+          }
+          // Worker-private metric slots, summed after the join so per-rule
+          // emitted totals match a serial round exactly.
+          const size_t num_plans = phase2_plans_.size();
+          std::vector<std::vector<RuleExecMetrics>> part_metrics;
+          if (measuring) {
+            part_metrics.assign(P, std::vector<RuleExecMetrics>(num_plans));
+          }
+          ThreadPool::Shared()->ParallelFor(
+              P, P, [this, ctx, measuring, &part_metrics](size_t k) {
+                const std::vector<RulePlan>& plans = phase2_part_plans_[k];
+                for (size_t j = 0; j < plans.size(); ++j) {
+                  if (ctx->ShouldStop()) break;
+                  plans[j].ExecuteInto(
+                      sink2_.get(), nullptr,
+                      measuring ? &part_metrics[k][j] : nullptr);
+                }
+              });
+          if (measuring) {
+            for (size_t j = 0; j < num_plans; ++j) {
+              RuleExecMetrics sum;
+              for (size_t k = 0; k < P; ++k) {
+                sum.emitted += part_metrics[k][j].emitted;
+                sum.inserted += part_metrics[k][j].inserted;
+                sum.probes += part_metrics[k][j].probes;
+              }
+              emitted += sum.emitted;
+              note_rule("phase2", round2, phase2_labels_[j], sum);
             }
-          });
+          }
         } else {
-          for (const RulePlan& plan : phase2_plans_) {
-            plan.ExecuteInto(sink2_.get());
+          for (size_t j = 0; j < phase2_plans_.size(); ++j) {
+            RuleExecMetrics m;
+            phase2_plans_[j].ExecuteInto(sink2_.get(), nullptr,
+                                         measuring ? &m : nullptr);
+            if (measuring) {
+              emitted += m.emitted;
+              note_rule("phase2", round2, phase2_labels_[j], m);
+            }
           }
         }
         carry2_->Clear();
-        size_t round = sink2_->MergeInto(seen2_, carry2_);
+        size_t staged = 0;
+        size_t round = sink2_->MergeInto(seen2_, carry2_,
+                                         measuring ? &staged : nullptr);
         inserted += round;
         ctx->NoteTuples(round);
         max_carry2 = std::max(max_carry2, carry2_->size());
+        round_finish("phase2", round2, emitted, staged, round);
+        ++round2;
       }
     }
 
@@ -363,6 +491,11 @@ class SchemaRunner {
   std::vector<RulePlan> phase1_plans_;
   std::vector<RulePlan> exit_plans_;
   std::vector<RulePlan> phase2_plans_;
+  // Synthetic-rule source text, parallel to the plan vectors — the stable
+  // keys of EvalStats::rule_stats and trace rule events.
+  std::vector<std::string> phase1_labels_;
+  std::vector<std::string> exit_labels_;
+  std::vector<std::string> phase2_labels_;
   // Parallel phase 2 (only when num_partitions_ > 1): partition k of
   // carry_2 plus, for every phase-2 rule, a plan variant whose carry atom
   // reads that partition. Each partition runs as an independent worker
@@ -567,6 +700,21 @@ StatusOr<SeparableRunResult> EvaluateWithSeparable(
   GovernorScope governor(options.limits, options.cancel, options.context);
   governor.ctx()->TrackMemory(&db->accountant());
 
+  uint64_t polls_before = 0;
+  uint64_t attempts_before = 0;
+  uint64_t novel_before = 0;
+  if (options.trace != nullptr) {
+    governor.ctx()->SetTrace(options.trace);
+    db->counters().active = true;
+    polls_before = governor.ctx()->polls();
+    attempts_before = db->counters().attempts.load(std::memory_order_relaxed);
+    novel_before = db->counters().novel.load(std::memory_order_relaxed);
+    TraceEvent e;
+    e.kind = TraceEventKind::kEngineStart;
+    e.engine = "separable";
+    options.trace->Emit(e);
+  }
+
   // Intern the query constants so seeds have concrete Values (a fresh
   // symbol simply matches nothing).
   for (const Term& arg : query.args) {
@@ -580,6 +728,21 @@ StatusOr<SeparableRunResult> EvaluateWithSeparable(
   Status status =
       EvaluateSelection(program, sep, query, db, governor.ctx(), &result);
   result.stats.seconds = timer.Seconds();
+  if (options.trace != nullptr) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kEngineFinish;
+    e.engine = "separable";
+    e.seconds = result.stats.seconds;
+    e.iterations = result.stats.iterations;
+    e.tuples = result.stats.tuples_inserted;
+    e.polls = governor.ctx()->polls() - polls_before;
+    e.insert_attempts =
+        db->counters().attempts.load(std::memory_order_relaxed) -
+        attempts_before;
+    e.insert_new =
+        db->counters().novel.load(std::memory_order_relaxed) - novel_before;
+    options.trace->Emit(e);
+  }
   if (!status.ok()) return status;
   SEPREC_RETURN_IF_ERROR(governor.ExitStatus());
   return result;

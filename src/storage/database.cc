@@ -20,6 +20,7 @@ StatusOr<Relation*> Database::CreateRelation(std::string_view name,
   auto relation = std::make_unique<Relation>(std::string(name), arity);
   Relation* ptr = relation.get();
   ptr->SetAccountant(&accountant_);
+  ptr->SetCounters(&counters_);
   relations_.emplace(std::string(name), std::move(relation));
   return ptr;
 }

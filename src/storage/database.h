@@ -55,11 +55,17 @@ class Database {
   MemoryAccountant& accountant() { return accountant_; }
   const MemoryAccountant& accountant() const { return accountant_; }
 
+  // Shared insert counters every relation of this database feeds; the
+  // trace layer snapshots them around engine runs.
+  StorageCounters& counters() { return counters_; }
+  const StorageCounters& counters() const { return counters_; }
+
  private:
   SymbolTable symbols_;
   // Declared before relations_ so it outlives them during destruction
   // (relations release their footprint from their destructor).
   MemoryAccountant accountant_;
+  StorageCounters counters_;
   std::unordered_map<std::string, std::unique_ptr<Relation>> relations_;
 };
 

@@ -80,6 +80,10 @@ void Relation::SetAccountant(MemoryAccountant* accountant) {
 
 bool Relation::Insert(Row row) {
   SEPREC_CHECK(row.size() == arity_);
+  const bool counting = counters_ != nullptr && counters_->active;
+  if (counting) {
+    counters_->attempts.fetch_add(1, std::memory_order_relaxed);
+  }
   // Tentatively append so the row-set functors (which hash by slot) can
   // see the candidate row; roll back on duplicate.
   data_.insert(data_.end(), row.begin(), row.end());
@@ -95,6 +99,9 @@ bool Relation::Insert(Row row) {
     return false;
   }
   ++num_rows_;
+  if (counting) {
+    counters_->novel.fetch_add(1, std::memory_order_relaxed);
+  }
   if (accountant_ != nullptr) accountant_->Charge(RowBytes());
   for (auto& [cols, index] : indexes_) {
     index->Add(slot);
@@ -250,7 +257,8 @@ size_t ShardedSink::size() const {
   return total;
 }
 
-size_t ShardedSink::MergeInto(Relation* out, Relation* delta) {
+size_t ShardedSink::MergeInto(Relation* out, Relation* delta,
+                              size_t* staged_count) {
   SEPREC_CHECK(out->arity() == arity_);
   // Collect every staged row, then sort lexicographically by Value bits:
   // the canonical merge order that makes the target's slot sequence
@@ -286,6 +294,7 @@ size_t ShardedSink::MergeInto(Relation* out, Relation* delta) {
     }
   }
   if (accountant_ != nullptr) accountant_->Release(released * RowBytes());
+  if (staged_count != nullptr) *staged_count += released;
   return new_rows;
 }
 

@@ -75,6 +75,24 @@ class MemoryAccountant {
   std::atomic<size_t> bytes_{0};
 };
 
+// Running insert counters shared across a database's relations, read by
+// the trace layer (engine_finish events report the delta over an engine
+// run). `attempts` counts Relation::Insert calls, `novel` the ones that
+// stored a new row; the gap is duplicate derivations rejected by dedup.
+// Relaxed atomics: pool workers never insert into counted relations
+// directly (they stage through ShardedSink), but the governor's observers
+// may read from other threads.
+//
+// Counting costs two atomic adds per insert, so it stays off until an
+// engine attaches a trace sink (the counters' only consumer). `active` is
+// flipped on the driver thread before any worker is handed tasks; workers
+// only read it, so plain bool is safe.
+struct StorageCounters {
+  std::atomic<uint64_t> attempts{0};
+  std::atomic<uint64_t> novel{0};
+  bool active = false;
+};
+
 // Hash index over a subset of a relation's columns. Owned by the relation;
 // kept up to date as rows are inserted.
 class Index {
@@ -117,6 +135,11 @@ class Relation {
   // new one. The accountant must outlive the relation (Database guarantees
   // this by declaring its accountant before the relation map).
   void SetAccountant(MemoryAccountant* accountant);
+
+  // Attaches (or detaches) shared insert counters; unlike the accountant
+  // there is no footprint to transfer, only future inserts are counted.
+  // The counters must outlive the relation.
+  void SetCounters(StorageCounters* counters) { counters_ = counters; }
 
   const std::string& name() const { return name_; }
   size_t arity() const { return arity_; }
@@ -227,6 +250,7 @@ class Relation {
   mutable std::map<ColumnList, std::unique_ptr<Index>> indexes_;
   mutable std::mutex index_mu_;
   MemoryAccountant* accountant_ = nullptr;  // not owned; may be null
+  StorageCounters* counters_ = nullptr;     // not owned; may be null
 };
 
 // ShardedSink: the concurrent-insert staging area the parallel engines
@@ -264,9 +288,12 @@ class ShardedSink {
 
   // Moves every staged row into `out` (and, for the rows genuinely new in
   // `out`, into `delta` when non-null) in canonical sorted order, then
-  // clears the sink. Returns the number of rows new in `out`. Driving
-  // thread only.
-  size_t MergeInto(Relation* out, Relation* delta = nullptr);
+  // clears the sink. Returns the number of rows new in `out`; when
+  // `staged` is non-null it receives the number of rows the sink held
+  // (post worker-side dedup, pre merge dedup — the trace layer's merge
+  // statistic). Driving thread only.
+  size_t MergeInto(Relation* out, Relation* delta = nullptr,
+                   size_t* staged = nullptr);
 
   // Discards staged rows (releasing their accountant charge).
   void Clear();

@@ -28,7 +28,11 @@ void ThreadPool::Schedule(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(fn));
+    if (queue_.size() > peak_queue_depth_.load(std::memory_order_relaxed)) {
+      peak_queue_depth_.store(queue_.size(), std::memory_order_relaxed);
+    }
   }
+  tasks_scheduled_.fetch_add(1, std::memory_order_relaxed);
   cv_.notify_one();
 }
 

@@ -15,8 +15,10 @@
 #ifndef SEPREC_UTIL_THREAD_POOL_H_
 #define SEPREC_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -48,6 +50,23 @@ class ThreadPool {
   void ParallelFor(size_t n, size_t parallelism,
                    const std::function<void(size_t)>& fn);
 
+  // Tasks currently waiting in the FIFO (a point-in-time sample; the
+  // trace layer records it when a parallel round begins, showing backlog
+  // from other concurrent work).
+  size_t QueueDepth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+  // High-water mark of the queue length, and total tasks ever scheduled,
+  // since pool construction. Monotonic, informational.
+  size_t peak_queue_depth() const {
+    return peak_queue_depth_.load(std::memory_order_relaxed);
+  }
+  uint64_t tasks_scheduled() const {
+    return tasks_scheduled_.load(std::memory_order_relaxed);
+  }
+
   // The process-wide pool, created on first use with one worker per
   // hardware thread. Engines share it; per-evaluation parallelism is
   // bounded by the `parallelism` argument of ParallelFor, not by pool
@@ -57,10 +76,12 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;  // guarded by mu_
   bool shutdown_ = false;                    // guarded by mu_
+  std::atomic<size_t> peak_queue_depth_{0};
+  std::atomic<uint64_t> tasks_scheduled_{0};
   std::vector<std::thread> threads_;
 };
 

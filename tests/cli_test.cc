@@ -73,6 +73,52 @@ TEST(Cli, RunWithTsvData) {
   EXPECT_NE(r.output.find("3 answer(s)"), std::string::npos);
 }
 
+TEST(Cli, RunWithTraceWritesJsonLines) {
+  std::string trace_path =
+      StrCat(::testing::TempDir(), "/cli_trace_test.jsonl");
+  std::remove(trace_path.c_str());
+  CliResult r = RunCli(StrCat("run ", Data("tc.dl"), " --data edge=",
+                              Data("edges.tsv"), " --trace ", trace_path));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+
+  std::ifstream trace(trace_path);
+  ASSERT_TRUE(trace.is_open()) << trace_path;
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(trace, line)) lines.push_back(line);
+  ASSERT_GE(lines.size(), 3u);
+  bool saw_start = false;
+  bool saw_finish = false;
+  bool saw_round = false;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    // Envelope on every line, in emission order.
+    EXPECT_EQ(lines[i].rfind(StrCat("{\"v\":1,\"seq\":", i, ",\"t\":"), 0),
+              0u)
+        << lines[i];
+    if (lines[i].find("\"ev\":\"engine_start\"") != std::string::npos) {
+      saw_start = true;
+    }
+    if (lines[i].find("\"ev\":\"engine_finish\"") != std::string::npos) {
+      saw_finish = true;
+    }
+    if (lines[i].find("\"ev\":\"round_end\"") != std::string::npos) {
+      saw_round = true;
+    }
+  }
+  EXPECT_TRUE(saw_start);
+  EXPECT_TRUE(saw_finish);
+  EXPECT_TRUE(saw_round);
+  std::remove(trace_path.c_str());
+}
+
+TEST(Cli, TraceToUnwritablePathFails) {
+  CliResult r = RunCli(StrCat("run ", Data("tc.dl"),
+                              " --trace /nonexistent-dir/trace.jsonl"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("cannot open trace file"), std::string::npos)
+      << r.output;
+}
+
 TEST(Cli, RunWithExpiredDeadlineExitsThreeWithPartialBanner) {
   CliResult r = RunCli(StrCat("run ", Data("tc.dl"), " --data edge=",
                               Data("edges.tsv"), " --timeout-ms 0"));

@@ -72,6 +72,21 @@ TEST(Incremental, DuplicateInsertIsNoOp) {
   EXPECT_EQ(db.Find("tc")->size(), 1u);
 }
 
+TEST(Incremental, UpdateAndInitializeReportWallTime) {
+  Database db;
+  MakeChain(&db, "edge", "v", 5);
+  auto engine = IncrementalEngine::Create(TransitiveClosureProgram(), &db);
+  ASSERT_TRUE(engine.ok());
+  EvalStats init_stats;
+  ASSERT_TRUE(engine->Initialize(&init_stats).ok());
+  EXPECT_GT(init_stats.seconds, 0.0);
+
+  ASSERT_TRUE(engine->AddFact("edge", {"v4", "v0"}).ok());
+  EXPECT_GT(engine->last_update().seconds, 0.0);
+  ASSERT_TRUE(engine->RemoveFact("edge", {"v4", "v0"}).ok());
+  EXPECT_GT(engine->last_update().seconds, 0.0);
+}
+
 TEST(Incremental, SimpleDeletionBreaksPath) {
   Database db;
   MakeChain(&db, "edge", "v", 5);

@@ -20,9 +20,12 @@ update. peak_bytes is checked with the same tolerance — it is deterministic,
 so real growth shows up immediately. tuples_per_s is informational only
 (it moves inversely with wall time).
 
-Entries present on only one side are reported but do not fail the run
-(benches come and go); pass --update to rewrite the baseline from the
-current results instead of comparing.
+A baseline entry absent from the current run is a regression: a bench that
+silently stopped running (renamed, crashed before --json, dropped from the
+runner script) must not pass the gate. Retire a bench by updating the
+baseline. Entries only in the current run are informational (NEW); pass
+--update to rewrite the baseline from the current results instead of
+comparing.
 
 Exit codes: 0 = within tolerance, 1 = regression, 2 = usage/IO error.
 """
@@ -84,6 +87,7 @@ def main():
     for name in sorted(set(baseline) | set(current)):
         if name not in current:
             print(f"  MISSING  {name} (in baseline, not in current run)")
+            regressions.append((name, "missing", 1, 0, 0.0))
             continue
         if name not in baseline:
             print(f"  NEW      {name} (not in baseline; run with --update)")
@@ -102,6 +106,8 @@ def main():
     for name, metric, b, c, ratio in improvements:
         print(f"  FASTER   {name} {metric}: {b} -> {c} ({ratio:.2f}x)")
     for name, metric, b, c, ratio in regressions:
+        if metric == "missing":
+            continue  # already printed as MISSING above
         print(f"  REGRESSED {name} {metric}: {b} -> {c} ({ratio:.2f}x, "
               f"tolerance {args.tolerance:.0%})")
 

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_compare.py (run directly or via ctest).
+
+Each test materialises a baseline file and a current-results directory in a
+temp dir and runs bench_compare.main() with patched argv, asserting on the
+exit code. The MISSING case is the regression this suite exists for: a
+bench present in the baseline but absent from the current run must fail
+the gate, not just print a note.
+"""
+
+import importlib.util
+import json
+import pathlib
+import sys
+import tempfile
+import unittest
+
+_TOOLS_DIR = pathlib.Path(__file__).resolve().parent
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_compare", _TOOLS_DIR / "bench_compare.py")
+bench_compare = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_compare)
+
+
+def entry(wall_ns, peak_bytes=100):
+    return {"wall_ns": wall_ns, "tuples_per_s": 1.0,
+            "peak_bytes": peak_bytes}
+
+
+class BenchCompareTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = pathlib.Path(self._tmp.name)
+        self.baseline_path = self.root / "baseline.json"
+        self.current_dir = self.root / "current"
+        self.current_dir.mkdir()
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def write_baseline(self, entries):
+        self.baseline_path.write_text(json.dumps(entries))
+
+    def write_current(self, bench, entries):
+        doc = {"bench": bench,
+               "entries": [dict(e, name=name) for name, e in entries.items()]}
+        (self.current_dir / f"{bench}.json").write_text(json.dumps(doc))
+
+    def run_compare(self, *extra):
+        argv = ["bench_compare.py",
+                "--baseline", str(self.baseline_path),
+                "--current", str(self.current_dir)] + list(extra)
+        old = sys.argv
+        sys.argv = argv
+        try:
+            return bench_compare.main()
+        finally:
+            sys.argv = old
+
+    def test_within_tolerance_passes(self):
+        self.write_baseline({"b/0/seminaive": entry(1000)})
+        self.write_current("b", {"b/0/seminaive": entry(1100)})
+        self.assertEqual(self.run_compare("--tolerance", "0.15"), 0)
+
+    def test_wall_regression_fails(self):
+        self.write_baseline({"b/0/seminaive": entry(1000)})
+        self.write_current("b", {"b/0/seminaive": entry(2000)})
+        self.assertEqual(self.run_compare("--tolerance", "0.15"), 1)
+
+    def test_peak_bytes_regression_fails(self):
+        self.write_baseline({"b/0/seminaive": entry(1000, peak_bytes=100)})
+        self.write_current("b", {"b/0/seminaive": entry(1000, peak_bytes=200)})
+        self.assertEqual(self.run_compare("--tolerance", "0.15"), 1)
+
+    def test_missing_baseline_entry_fails(self):
+        # The bug this PR fixes: a baseline-only entry used to print
+        # "MISSING" and exit 0, letting a silently-dropped bench pass CI.
+        self.write_baseline({"b/0/seminaive": entry(1000),
+                             "b/1/separable": entry(1000)})
+        self.write_current("b", {"b/0/seminaive": entry(1000)})
+        self.assertEqual(self.run_compare(), 1)
+
+    def test_new_entry_is_informational(self):
+        self.write_baseline({"b/0/seminaive": entry(1000)})
+        self.write_current("b", {"b/0/seminaive": entry(1000),
+                                 "b/1/separable": entry(999)})
+        self.assertEqual(self.run_compare(), 0)
+
+    def test_update_rewrites_baseline(self):
+        self.write_baseline({"stale/0/naive": entry(1)})
+        self.write_current("b", {"b/0/seminaive": entry(1000)})
+        self.assertEqual(self.run_compare("--update"), 0)
+        rewritten = json.loads(self.baseline_path.read_text())
+        self.assertEqual(sorted(rewritten), ["b/0/seminaive"])
+        # A subsequent compare against the fresh baseline passes.
+        self.assertEqual(self.run_compare(), 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -3,7 +3,7 @@
 //
 //   seprec_cli run <program.dl> [--data REL=FILE.tsv]... [--strategy S]
 //                  [--stats] [--timeout-ms N] [--max-tuples N]
-//                  [--max-bytes N] [--threads N]
+//                  [--max-bytes N] [--threads N] [--trace FILE]
 //       Load the program, load any TSV data files, execute every query in
 //       the file (?- q. or q?), print answers (and stats with --stats).
 //       The --timeout-ms / --max-tuples / --max-bytes limits govern each
@@ -11,7 +11,9 @@
 //       with a "%% partial result (...)" banner and the process exits 3.
 //       --threads N (default 1; also settable via SEPREC_THREADS) runs the
 //       parallel evaluation paths on N pool workers — answers are
-//       bit-identical for every N.
+//       bit-identical for every N. --trace FILE appends one JSON object
+//       per line to FILE describing the evaluation (engine, round, rule,
+//       merge, and governor events; see DESIGN.md "Evaluation tracing").
 //
 //   seprec_cli check <program.dl>
 //       Static report: predicates, strata, recursion/linearity, and for
@@ -54,6 +56,7 @@
 #include "datalog/lint.h"
 #include "datalog/parser.h"
 #include "eval/fixpoint.h"
+#include "eval/trace.h"
 #include "separable/detection.h"
 #include "storage/io.h"
 #include "util/string_util.h"
@@ -81,6 +84,7 @@ int Usage() {
                "[--strategy S] [--stats]\n"
                "                  [--timeout-ms N] [--max-tuples N] "
                "[--max-bytes N] [--threads N]\n"
+               "                  [--trace FILE]\n"
                "       seprec_cli check <program.dl>\n"
                "       seprec_cli explain <program.dl> \"<query>\"\n"
                "       seprec_cli why <program.dl> \"<fact>\" "
@@ -104,7 +108,26 @@ struct CommonFlags {
   std::vector<std::pair<std::string, std::string>> data;  // rel -> path
   std::optional<Strategy> strategy;
   bool stats = false;
+  std::string trace_path;   // --trace FILE: JSON-lines event log
   FixpointOptions options;  // resource limits forwarded to the governor
+};
+
+// Owns the --trace output file and the sink wired into FixpointOptions.
+// Must outlive every query answered with those options.
+struct TraceFile {
+  std::ofstream out;
+  std::optional<JsonTraceSink> sink;
+
+  Status Open(const std::string& path, FixpointOptions* options) {
+    out.open(path, std::ios::out | std::ios::trunc);
+    if (!out) {
+      return InvalidArgumentError(
+          StrCat("cannot open trace file '", path, "'"));
+    }
+    sink.emplace(&out);
+    options->trace = &*sink;
+    return Status::OK();
+  }
 };
 
 StatusOr<int64_t> ParseCount(const std::string& flag,
@@ -149,6 +172,10 @@ StatusOr<CommonFlags> ParseFlags(int argc, char** argv, int first) {
         return InvalidArgumentError("--threads expects a positive integer");
       }
       flags.options.limits.parallel.num_threads = static_cast<size_t>(v);
+      continue;
+    }
+    if (arg == "--trace" && i + 1 < argc) {
+      flags.trace_path = argv[++i];
       continue;
     }
     if (arg == "--data" && i + 1 < argc) {
@@ -199,6 +226,14 @@ int RunCommand(const std::string& path, const CommonFlags& flags) {
   if (Status status = LoadData(flags, &db); !status.ok()) {
     return Fail(status.ToString());
   }
+  FixpointOptions options = flags.options;
+  TraceFile trace_file;
+  if (!flags.trace_path.empty()) {
+    if (Status status = trace_file.Open(flags.trace_path, &options);
+        !status.ok()) {
+      return Fail(status.ToString());
+    }
+  }
   if (unit->queries.empty()) {
     std::printf("(no queries in %s)\n", path.c_str());
   }
@@ -206,7 +241,7 @@ int RunCommand(const std::string& path, const CommonFlags& flags) {
   for (const Atom& query : unit->queries) {
     Strategy strategy = flags.strategy.value_or(Strategy::kAuto);
     StatusOr<QueryResult> result =
-        qp->Answer(query, &db, strategy, flags.options);
+        qp->Answer(query, &db, strategy, options);
     if (!result.ok()) {
       int code = FailStatus(result.status());
       std::fprintf(stderr, "seprec_cli: while answering %s\n",
