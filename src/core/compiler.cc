@@ -196,7 +196,10 @@ std::vector<Strategy> FallbackChain(Strategy first) {
 Status QueryProcessor::RunStrategy(Strategy strategy, const Atom& query,
                                    Database* db,
                                    const FixpointOptions& options,
-                                   QueryResult* result) const {
+                                   QueryResult* result,
+                                   PreparedSeparable* schema,
+                                   const Phase1Closure* reuse,
+                                   Phase1Closure* capture) const {
   switch (strategy) {
     case Strategy::kSeparable: {
       SEPREC_RETURN_IF_ERROR(Failpoints::Check("compiler.separable"));
@@ -206,9 +209,15 @@ Status QueryProcessor::RunStrategy(Strategy strategy, const Atom& query,
             StrCat("'", query.predicate, "' is not a separable recursion: ",
                    SeparabilityFailure(query.predicate)));
       }
-      SEPREC_ASSIGN_OR_RETURN(
-          SeparableRunResult run,
-          EvaluateWithSeparable(info_.program(), *sep, query, db, options));
+      SeparableRunResult run;
+      if (schema != nullptr && schema->Matches(query)) {
+        SEPREC_ASSIGN_OR_RETURN(run,
+                                schema->Execute(query, options, reuse, capture));
+      } else {
+        SEPREC_ASSIGN_OR_RETURN(
+            run,
+            EvaluateWithSeparable(info_.program(), *sep, query, db, options));
+      }
       result->answer = std::move(run.answer);
       result->stats = std::move(run.stats);
       return Status::OK();
@@ -273,29 +282,15 @@ Status QueryProcessor::RunStrategy(Strategy strategy, const Atom& query,
   return InternalError("unreachable strategy dispatch");
 }
 
-StatusOr<QueryResult> QueryProcessor::Answer(
-    const Atom& query, Database* db, Strategy strategy,
-    const FixpointOptions& options) const {
-  const PredicateInfo* pred = info_.Find(query.predicate);
-  if (pred != nullptr && pred->arity != query.arity()) {
-    return InvalidArgumentError(
-        StrCat("query arity ", query.arity(), " does not match '",
-               query.predicate, "'/", pred->arity));
-  }
-
+StatusOr<QueryResult> QueryProcessor::RunChain(
+    const Atom& query, Database* db, const std::vector<Strategy>& chain,
+    Strategy decided, std::string reason, const FixpointOptions& options,
+    PreparedSeparable* schema, const Phase1Closure* reuse,
+    Phase1Closure* capture, bool commit) const {
   QueryResult result;
   result.answer = seprec::Answer(query.arity());
-  std::vector<Strategy> chain;
-  if (strategy == Strategy::kAuto) {
-    Decision decision = Decide(query);
-    result.strategy = decision.strategy;
-    result.reason = decision.reason;
-    chain = FallbackChain(decision.strategy);
-  } else {
-    result.strategy = strategy;
-    result.reason = "forced by caller";
-    chain = {strategy};
-  }
+  result.strategy = decided;
+  result.reason = std::move(reason);
 
   // One governor context spans every attempt, so the budgets bound the
   // whole query (fallback hops included), not each attempt separately.
@@ -310,8 +305,19 @@ StatusOr<QueryResult> QueryProcessor::Answer(
     result.answer = seprec::Answer(query.arity());
     result.stats = EvalStats();
 
+    const bool use_schema =
+        schema != nullptr && chain[i] == Strategy::kSeparable;
+    if (use_schema) {
+      // The schema's scratch relations pre-date the checkpoint below;
+      // emptying them first means the checkpoint records them at zero
+      // slots, so rollback restores a clean slate whatever this run (or a
+      // previous one) left behind.
+      schema->ClearScratch();
+    }
     DatabaseCheckpoint checkpoint(db);
-    Status status = RunStrategy(chain[i], query, db, governed, &result);
+    Status status =
+        RunStrategy(chain[i], query, db, governed, &result,
+                    use_schema ? schema : nullptr, reuse, capture);
     if (!status.ok()) {
       // Budget trips never trigger a fallback: a retry would burn the same
       // budget again and mask the limit the caller asked for.
@@ -344,10 +350,116 @@ StatusOr<QueryResult> QueryProcessor::Answer(
       result.degradation = governor.ctx()->degradation();
       return result;  // checkpoint destructor rolls back
     }
-    checkpoint.Commit();
+    if (commit) {
+      checkpoint.Commit();
+    } else {
+      // Per-request isolation: the answer is already harvested (plain
+      // Values, independent of the relations), so restore the database to
+      // its pre-query extent. Rollback does not bump the generation — the
+      // stored data is unchanged.
+      checkpoint.Rollback();
+    }
     return result;
   }
   return last_error;
+}
+
+StatusOr<QueryResult> QueryProcessor::Answer(
+    const Atom& query, Database* db, Strategy strategy,
+    const FixpointOptions& options) const {
+  const PredicateInfo* pred = info_.Find(query.predicate);
+  if (pred != nullptr && pred->arity != query.arity()) {
+    return InvalidArgumentError(
+        StrCat("query arity ", query.arity(), " does not match '",
+               query.predicate, "'/", pred->arity));
+  }
+
+  std::vector<Strategy> chain;
+  Strategy decided;
+  std::string reason;
+  if (strategy == Strategy::kAuto) {
+    Decision decision = Decide(query);
+    decided = decision.strategy;
+    reason = std::move(decision.reason);
+    chain = FallbackChain(decided);
+  } else {
+    decided = strategy;
+    reason = "forced by caller";
+    chain = {strategy};
+  }
+  return RunChain(query, db, chain, decided, std::move(reason), options,
+                  /*schema=*/nullptr, /*reuse=*/nullptr, /*capture=*/nullptr,
+                  /*commit=*/true);
+}
+
+StatusOr<PreparedQuery> QueryProcessor::Prepare(
+    const Atom& query, Database* db, Strategy strategy,
+    const ParallelPolicy& policy) const {
+  const PredicateInfo* pred = info_.Find(query.predicate);
+  if (pred != nullptr && pred->arity != query.arity()) {
+    return InvalidArgumentError(
+        StrCat("query arity ", query.arity(), " does not match '",
+               query.predicate, "'/", pred->arity));
+  }
+
+  PreparedQuery prepared;
+  prepared.qp_ = this;
+  prepared.predicate_ = query.predicate;
+  prepared.bound_ = BoundPositions(query);
+  if (strategy == Strategy::kAuto) {
+    Decision decision = Decide(query);
+    prepared.decided_ = decision.strategy;
+    prepared.reason_ = std::move(decision.reason);
+    prepared.chain_ = FallbackChain(prepared.decided_);
+  } else {
+    prepared.decided_ = strategy;
+    prepared.reason_ = "forced by caller";
+    prepared.chain_ = {strategy};
+  }
+
+  if (prepared.chain_.front() == Strategy::kSeparable) {
+    const SeparableRecursion* sep = FindSeparable(query.predicate);
+    if (sep != nullptr &&
+        ClassifySelection(*sep, query) == SelectionKind::kFull) {
+      // Rule plans bind concrete relations, so the program's IDB
+      // predicates must exist in the catalog before compilation — empty is
+      // fine, Execute re-materialises them per run. CreateRelation is
+      // idempotent and does not bump the generation.
+      for (const auto& [name, info] : info_.predicates()) {
+        if (!info.is_idb) continue;
+        SEPREC_RETURN_IF_ERROR(
+            db->CreateRelation(name, info.arity).status());
+      }
+      StatusOr<std::unique_ptr<PreparedSeparable>> schema =
+          PreparedSeparable::Compile(info_.program(), *sep, query, db,
+                                     policy);
+      // A compile failure degrades softly: Execute then runs the exact
+      // one-shot path Answer uses (and fails or falls back identically).
+      if (schema.ok()) {
+        prepared.schema_ = std::move(schema).value();
+      }
+    }
+  }
+  return prepared;
+}
+
+bool PreparedQuery::Matches(const Atom& query) const {
+  return query.predicate == predicate_ && BoundPositions(query) == bound_;
+}
+
+StatusOr<QueryResult> PreparedQuery::Execute(
+    const Atom& query, Database* db, const FixpointOptions& options,
+    const Phase1Closure* reuse, Phase1Closure* capture, bool commit) const {
+  if (qp_ == nullptr) {
+    return FailedPreconditionError("PreparedQuery is moved-from or empty");
+  }
+  if (!Matches(query)) {
+    return InvalidArgumentError(
+        StrCat("query ", query.ToString(),
+               " does not match the prepared shape for '", predicate_, "'"));
+  }
+  return qp_->RunChain(query, db, chain_, decided_, reason_, options,
+                       schema_.get(), reuse, capture, commit);
 }
 
 }  // namespace seprec

@@ -16,6 +16,7 @@
 #define SEPREC_CORE_COMPILER_H_
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -26,10 +27,13 @@
 #include "datalog/diagnostics.h"
 #include "eval/fixpoint.h"
 #include "separable/detection.h"
+#include "separable/engine.h"
 #include "storage/database.h"
 #include "util/status.h"
 
 namespace seprec {
+
+class PreparedQuery;
 
 enum class Strategy {
   kAuto,
@@ -103,6 +107,28 @@ class QueryProcessor {
                                Strategy strategy = Strategy::kAuto,
                                const FixpointOptions& options = {}) const;
 
+  // The prepare half of Answer: performs the per-query-SHAPE work — the
+  // strategy decision, the fallback chain, and (for a full selection on a
+  // separable predicate) the compiled Figure-2 schema — once, so the
+  // returned PreparedQuery re-executes concrete selections of that shape
+  // (same predicate, same bound-position set, any constants) without
+  // re-deciding or re-compiling. This is the paper's compile/evaluate
+  // split as an API: Prepare is the database-independent per-program cost,
+  // Execute the per-selection cost.
+  //
+  // Schema compilation binds rule plans against `db` (pre-creating the
+  // program's IDB relations, empty, so the plans have something to bind);
+  // the PreparedQuery must be destroyed before `db` and is invalidated by
+  // Drop of any relation it binds. A schema-compile failure degrades
+  // softly: the PreparedQuery is still returned, and Execute runs the
+  // exact one-shot path Answer uses.
+  //
+  // `policy` fixes the parallel-partition count baked into the compiled
+  // plans; the processor must outlive the returned PreparedQuery.
+  StatusOr<PreparedQuery> Prepare(const Atom& query, Database* db,
+                                  Strategy strategy = Strategy::kAuto,
+                                  const ParallelPolicy& policy = {}) const;
+
   const Program& program() const { return info_.program(); }
 
   // The separability analysis for `predicate`, if it is separable.
@@ -119,18 +145,85 @@ class QueryProcessor {
       std::string_view predicate) const;
 
  private:
+  friend class PreparedQuery;
+
   QueryProcessor() = default;
 
   // Executes one concrete (non-kAuto) strategy, filling result->answer and
-  // result->stats. `options.context` must be set by the caller.
+  // result->stats. `options.context` must be set by the caller. When
+  // `schema` is non-null and the strategy is Separable, the pre-compiled
+  // schema executes instead of a fresh one-shot compilation, with the
+  // optional phase-1 closure reuse/capture handles forwarded.
   Status RunStrategy(Strategy strategy, const Atom& query, Database* db,
-                     const FixpointOptions& options,
-                     QueryResult* result) const;
+                     const FixpointOptions& options, QueryResult* result,
+                     PreparedSeparable* schema = nullptr,
+                     const Phase1Closure* reuse = nullptr,
+                     Phase1Closure* capture = nullptr) const;
+
+  // The execute half shared by Answer and PreparedQuery::Execute: runs the
+  // fallback chain under one governor context with per-attempt checkpoint
+  // rollback. With `commit` false the database is rolled back even on
+  // success, after the answer is harvested — the query service's
+  // per-request isolation (result tuples are plain Values, valid across
+  // the rollback).
+  StatusOr<QueryResult> RunChain(const Atom& query, Database* db,
+                                 const std::vector<Strategy>& chain,
+                                 Strategy decided, std::string reason,
+                                 const FixpointOptions& options,
+                                 PreparedSeparable* schema,
+                                 const Phase1Closure* reuse,
+                                 Phase1Closure* capture, bool commit) const;
 
   ProgramInfo info_;
   std::map<std::string, SeparableRecursion> separable_;
   std::map<std::string, std::string> not_separable_reason_;
   std::map<std::string, std::vector<Diagnostic>> separability_diagnostics_;
+};
+
+// The compiled artifact QueryProcessor::Prepare returns: the strategy
+// decision and fallback chain for one selection shape, plus (when the
+// decision is a full-selection Separable run) the compiled schema. Execute
+// mirrors Answer exactly — same chain, same checkpoint/partial semantics,
+// same G001 fallback notes — and adds the service's two knobs: phase-1
+// closure reuse/capture and commit-or-rollback. Movable, not copyable (it
+// owns the compiled schema's scratch relations via PreparedSeparable).
+class PreparedQuery {
+ public:
+  PreparedQuery(PreparedQuery&&) = default;
+  PreparedQuery& operator=(PreparedQuery&&) = default;
+
+  Strategy strategy() const { return decided_; }
+  const std::string& reason() const { return reason_; }
+  // True when a compiled Figure-2 schema is attached (full-selection
+  // separable shape); such executions support closure reuse/capture.
+  bool has_compiled_schema() const { return schema_ != nullptr; }
+
+  // True when `query` has this prepared shape: same predicate and the same
+  // bound-position set (constants are free to differ).
+  bool Matches(const Atom& query) const;
+
+  // Answers `query` (which must match the prepared shape) against `db` —
+  // the database Prepare compiled against. `reuse`/`capture` forward to
+  // the compiled schema (ignored without one, or on fallback attempts).
+  // With `commit` false every attempt rolls back, success included; the
+  // returned answer is harvested first.
+  StatusOr<QueryResult> Execute(const Atom& query, Database* db,
+                                const FixpointOptions& options = {},
+                                const Phase1Closure* reuse = nullptr,
+                                Phase1Closure* capture = nullptr,
+                                bool commit = true) const;
+
+ private:
+  friend class QueryProcessor;
+  PreparedQuery() = default;
+
+  const QueryProcessor* qp_ = nullptr;  // must outlive this object
+  std::string predicate_;
+  std::vector<bool> bound_;  // the prepared selection shape
+  Strategy decided_ = Strategy::kSemiNaive;
+  std::string reason_;
+  std::vector<Strategy> chain_;
+  std::shared_ptr<PreparedSeparable> schema_;  // null unless full+separable
 };
 
 }  // namespace seprec

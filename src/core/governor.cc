@@ -140,7 +140,9 @@ void DatabaseCheckpoint::Rollback() {
         slots_.begin(), slots_.end(),
         [&name](const auto& entry) { return entry.first == name; });
     if (it == slots_.end()) {
-      db_->Drop(name);
+      // Restoring the checkpointed catalog, not mutating it: don't bump
+      // the data generation (closure caches stay valid across rollbacks).
+      db_->Drop(name, /*bump_generation=*/false);
     } else {
       db_->Find(name)->TruncateToSlots(it->second);
     }

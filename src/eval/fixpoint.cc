@@ -11,6 +11,7 @@
 #include "datalog/analysis.h"
 #include "eval/join_plan.h"
 #include "eval/trace.h"
+#include "util/hash.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -24,12 +25,6 @@ constexpr char kDeltaPrefix[] = "$delta_";
 // round in EvaluateStratum). '$' keeps it out of the user namespace.
 std::string PartName(size_t k, const std::string& pred) {
   return StrCat("$part", k, "_", pred);
-}
-
-uint64_t RowHashBits(Row r) {
-  uint64_t h = 0xcbf29ce484222325ULL;
-  for (Value v : r) h = HashCombine(h, v.bits());
-  return h;
 }
 
 struct AggregateRuntime {
@@ -337,7 +332,7 @@ class FixpointEngine {
           parts[k]->Clear();
         }
         delta->ForEachRow(
-            [&parts, P](Row r) { parts[RowHashBits(r) % P]->Insert(r); });
+            [&parts, P](Row r) { parts[HashRow(r) % P]->Insert(r); });
       }
       if (trace_ != nullptr) {
         TraceEvent e;

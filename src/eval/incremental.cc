@@ -275,7 +275,10 @@ Status IncrementalEngine::AddFacts(
     }
   }
   Status status = Status::OK();
-  if (!seed->empty()) status = PropagateInsertions();
+  if (!seed->empty()) {
+    db_->BumpGeneration();
+    status = PropagateInsertions();
+  }
   last_update_.seconds = timer.Seconds();
   return status;
 }
@@ -315,6 +318,7 @@ Status IncrementalEngine::RemoveFacts(
     last_update_.seconds = timer.Seconds();
     return Status::OK();
   }
+  db_->BumpGeneration();
 
   // The $inc_del_* relations play two roles: the accumulated overdelete
   // set AND the per-round delta. Keep a separate per-round delta by

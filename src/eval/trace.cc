@@ -22,6 +22,10 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "parallel_round";
     case TraceEventKind::kGovernorTrip:
       return "governor_trip";
+    case TraceEventKind::kCache:
+      return "cache";
+    case TraceEventKind::kSession:
+      return "session";
     case TraceEventKind::kNote:
       return "note";
   }
@@ -152,6 +156,15 @@ void JsonTraceSink::Emit(const TraceEvent& e) {
       AppendNum(&line, "queue_depth", e.queue_depth);
       break;
     case TraceEventKind::kGovernorTrip:
+      AppendStr(&line, "cause", e.cause);
+      AppendStr(&line, "detail", e.detail);
+      break;
+    case TraceEventKind::kCache:
+      AppendStr(&line, "phase", e.phase);
+      AppendStr(&line, "cause", e.cause);
+      AppendStr(&line, "detail", e.detail);
+      break;
+    case TraceEventKind::kSession:
       AppendStr(&line, "cause", e.cause);
       AppendStr(&line, "detail", e.detail);
       break;

@@ -22,6 +22,9 @@
 //   merge          engine, phase, round, staged, inserted
 //   parallel_round engine, phase, round, partitions, threads, queue_depth
 //   governor_trip  cause, detail
+//   cache          phase (cache layer: "processor"/"plan"/"closure"/"all"),
+//                  cause ("hit"/"miss"/"store"/"evict"/"purge"), detail (key)
+//   session        cause ("open"/"close"/"request"), detail
 //   note           detail
 //
 // Semantics: `emitted` counts head tuples produced by rule bodies,
@@ -53,6 +56,8 @@ enum class TraceEventKind {
   kMerge,
   kParallelRound,
   kGovernorTrip,
+  kCache,    // query-service cache activity (hit/miss/store/evict/purge)
+  kSession,  // query-service session lifecycle (open/request/close)
   kNote,
 };
 

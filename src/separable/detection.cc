@@ -1,12 +1,23 @@
 #include "separable/detection.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <set>
 
 #include "util/string_util.h"
 
 namespace seprec {
+namespace {
+
+std::atomic<uint64_t> g_detection_passes{0};
+
+}  // namespace
+
+uint64_t DetectionPassCount() {
+  return g_detection_passes.load(std::memory_order_relaxed);
+}
+
 namespace {
 
 // The nonrecursive body literals of recursive rule `i`.
@@ -46,6 +57,7 @@ SourceSpan PredicateSpan(const Program& program, std::string_view predicate) {
 StatusOr<SeparableRecursion> AnalyzeSeparable(
     const Program& program, std::string_view predicate,
     const SeparabilityOptions& options, DiagnosticSink* sink) {
+  g_detection_passes.fetch_add(1, std::memory_order_relaxed);
   // Local sink so the caller's sink only sees this predicate's findings
   // once, in emission order, even if we bail out mid-way.
   DiagnosticSink local;

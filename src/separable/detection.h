@@ -90,6 +90,15 @@ StatusOr<SeparableRecursion> AnalyzeSeparable(const Program& program,
 // Convenience: true iff AnalyzeSeparable succeeds.
 bool IsSeparable(const Program& program, std::string_view predicate);
 
+// Process-wide count of AnalyzeSeparable runs (each is a full
+// detection pass over one predicate's recursion). Detection is the
+// expensive per-program cost the paper's compile-once/evaluate-many split
+// amortizes; the query service's plan cache reports the delta of this
+// counter per request, and tests assert a cache hit re-runs nothing.
+// Monotonic, relaxed atomic — deltas observed around a call sequence on
+// one thread are exact when no other thread analyzes concurrently.
+uint64_t DetectionPassCount();
+
 // Builds the sub-recursion obtained by deleting the rules of class
 // `class_index` (the paper's t_part construction in Lemma 2.1): the deleted
 // class's positions become persistent. Exit rules are kept.

@@ -1,6 +1,7 @@
 #include "separable/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <optional>
 #include <set>
@@ -9,27 +10,25 @@
 #include "core/support.h"
 #include "eval/join_plan.h"
 #include "eval/trace.h"
+#include "util/hash.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace seprec {
-namespace {
-
-uint64_t RowHashBits(Row r) {
-  uint64_t h = 0xcbf29ce484222325ULL;
-  for (Value v : r) h = HashCombine(h, v.bits());
-  return h;
-}
 
 // Which columns anchor the evaluation: a fully bound class (phase 1 walks
 // it) or bound persistent columns (the dummy equivalence class — phase 1
-// degenerates to seen_1 := {constants}).
+// degenerates to seen_1 := {constants}). File-local, but at namespace
+// scope (not anonymous) so PreparedSeparable::Impl can hold one without
+// giving an exported type internal-linkage members.
 struct AnchorInfo {
   std::optional<size_t> anchor_class;
   std::vector<uint32_t> anchor_positions;  // ascending
   std::vector<uint32_t> rest_positions;    // ascending complement
 };
+
+namespace {
 
 std::optional<AnchorInfo> FindAnchor(const SeparableRecursion& sep,
                                      const std::vector<bool>& bound) {
@@ -148,7 +147,11 @@ Rule MakePhase2Rule(const SeparableRecursion& sep, const AnchorInfo& anchor,
   return rule;
 }
 
+}  // namespace
+
 // ---- Schema runner -------------------------------------------------------
+// At namespace scope (not anonymous) for the same reason as AnchorInfo:
+// PreparedSeparable::Impl owns one across executions.
 
 class SchemaRunner {
  public:
@@ -159,8 +162,10 @@ class SchemaRunner {
         db_(db),
         num_partitions_(policy.Enabled() ? policy.ResolvedThreads() : 1),
         min_rows_per_task_(policy.min_rows_per_task) {
-    static int counter = 0;
-    prefix_ = StrCat("$sep", counter++, "_");
+    // Atomic: the query service compiles prepared schemas from concurrent
+    // session threads.
+    static std::atomic<int> counter{0};
+    prefix_ = StrCat("$sep", counter.fetch_add(1), "_");
   }
 
   ~SchemaRunner() {
@@ -238,20 +243,37 @@ class SchemaRunner {
     return Status::OK();
   }
 
-  // Runs the schema from `seeds` (each of width |anchor_positions|) and
-  // appends the seen_2 rows (rest-position values) to `rest_rows`. Polls
-  // `ctx` at every carry/seen round boundary; on a trip the phases stop
-  // early and the seen_2 rows harvested so far are still emitted — every
-  // one is a true tuple, so a truncated run yields a sound partial answer.
-  void Run(const std::vector<std::vector<Value>>& seeds,
-           ExecutionContext* ctx, EvalStats* stats,
-           std::vector<std::vector<Value>>* rest_rows) {
+  // Empties the scratch relations and staging sinks. Run does this itself
+  // on entry; callers that snapshot the database with DatabaseCheckpoint
+  // between runs call it first so the checkpoint records the scratch empty
+  // (truncate-to-zero rollback is then valid whatever a run left behind).
+  void ClearScratch() {
     carry1_->Clear();
     seen1_->Clear();
     carry2_->Clear();
     seen2_->Clear();
     sink1_->Clear();
     sink2_->Clear();
+    for (Relation* part : carry2_parts_) part->Clear();
+  }
+
+  // Runs the schema from `seeds` (each of width |anchor_positions|) and
+  // appends the seen_2 rows (rest-position values) to `rest_rows`. Polls
+  // `ctx` at every carry/seen round boundary; on a trip the phases stop
+  // early and the seen_2 rows harvested so far are still emitted — every
+  // one is a true tuple, so a truncated run yields a sound partial answer.
+  //
+  // `reuse`/`capture` implement the resumable phase 2 behind the closure
+  // cache: with `reuse`, seen_1 is seeded from the cached closure instead
+  // of the seeds and the phase-1 loop never runs (carry_1 stays empty);
+  // with `capture`, a run whose phase-1 loop completed (drained carry_1
+  // without a governor trip) copies seen_1 out for caching.
+  void Run(const std::vector<std::vector<Value>>& seeds,
+           ExecutionContext* ctx, EvalStats* stats,
+           std::vector<std::vector<Value>>* rest_rows,
+           const Phase1Closure* reuse = nullptr,
+           Phase1Closure* capture = nullptr) {
+    ClearScratch();
 
     size_t inserted = 0;
     size_t max_carry1 = 0;
@@ -319,10 +341,21 @@ class SchemaRunner {
       trace->Emit(e);
     };
 
-    for (const std::vector<Value>& seed : seeds) {
-      Row row(seed.data(), seed.size());
-      carry1_->Insert(row);
-      if (seen1_->Insert(row)) ++inserted;
+    if (reuse != nullptr) {
+      // Resume from the cached closure: seen_1 is already complete, so
+      // carry_1 stays empty and the phase-1 loop below is a no-op. The
+      // closure rows still count as insertions (tuple budget included) —
+      // a closure-hit run reports the work of materialising seen_1, just
+      // not of deriving it.
+      for (const std::vector<Value>& row : reuse->rows) {
+        if (seen1_->Insert(Row(row.data(), row.size()))) ++inserted;
+      }
+    } else {
+      for (const std::vector<Value>& seed : seeds) {
+        Row row(seed.data(), seed.size());
+        carry1_->Insert(row);
+        if (seen1_->Insert(row)) ++inserted;
+      }
     }
     ctx->NoteTuples(inserted);
     max_carry1 = carry1_->size();
@@ -355,6 +388,24 @@ class SchemaRunner {
         round_finish("phase1", round1, emitted, staged, round);
         ++round1;
       }
+    }
+
+    // A persistent-column anchor has no phase-1 loop at all, so its seed
+    // rows legitimately remain in carry_1; only a class anchor's loop must
+    // have drained for seen_1 to be complete.
+    const bool phase1_complete =
+        anchor_.anchor_class.has_value() ? carry1_->empty() : true;
+    if (capture != nullptr && phase1_complete && !ctx->stopped()) {
+      // Phase 1 completed without a trip: seen_1 is the complete closure
+      // of the anchor class under the selection (trivially {seeds} for a
+      // persistent-column anchor). An interrupted loop leaves carry_1
+      // non-empty or a latched stop cause, so incomplete closures are
+      // never handed out for caching.
+      capture->rows.clear();
+      capture->rows.reserve(seen1_->size());
+      seen1_->ForEachRow([capture](Row row) {
+        capture->rows.emplace_back(row.begin(), row.end());
+      });
     }
 
     // Phase 2 initialisation: carry_2 := g_2(seen_1).
@@ -394,7 +445,7 @@ class SchemaRunner {
           for (Relation* part : carry2_parts_) part->Clear();
           const size_t P = num_partitions_;
           carry2_->ForEachRow([this, P](Row r) {
-            carry2_parts_[RowHashBits(r) % P]->Insert(r);
+            carry2_parts_[HashRow(r) % P]->Insert(r);
           });
           if (trace != nullptr) {
             TraceEvent e;
@@ -508,6 +559,8 @@ class SchemaRunner {
 
   std::string PartName(size_t k) const { return StrCat(prefix_, "part", k); }
 };
+
+namespace {
 
 // Assembles a full-arity answer row from anchor values and rest values and
 // adds it to `answer` if it matches the query (extra constants outside the
@@ -754,6 +807,152 @@ StatusOr<SeparableRunResult> EvaluateWithSeparable(
   SEPREC_ASSIGN_OR_RETURN(SeparableRecursion sep,
                           AnalyzeSeparable(program, query.predicate));
   return EvaluateWithSeparable(program, sep, query, db, options);
+}
+
+// ---- PreparedSeparable ---------------------------------------------------
+
+struct PreparedSeparable::Impl {
+  // Own copies: a prepared query outlives the request (and possibly the
+  // QueryProcessor) that compiled it.
+  Program program;
+  SeparableRecursion sep;
+  std::vector<bool> bound;  // the compiled selection shape
+  Database* db = nullptr;
+  std::unique_ptr<SchemaRunner> runner;
+};
+
+PreparedSeparable::PreparedSeparable(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+
+PreparedSeparable::~PreparedSeparable() = default;
+
+StatusOr<std::unique_ptr<PreparedSeparable>> PreparedSeparable::Compile(
+    const Program& program, const SeparableRecursion& sep, const Atom& query,
+    Database* db, const ParallelPolicy& policy) {
+  if (query.arity() != sep.arity() || query.predicate != sep.predicate()) {
+    return InvalidArgumentError(
+        StrCat("query ", query.ToString(), " does not match recursion '",
+               sep.predicate(), "'/", sep.arity()));
+  }
+  std::vector<bool> bound = BoundPositions(query);
+  std::optional<AnchorInfo> anchor = FindAnchor(sep, bound);
+  if (!anchor.has_value()) {
+    return InvalidArgumentError(
+        StrCat("selection ", query.ToString(),
+               " is not full: only full selections compile to a reusable "
+               "schema (partial selections re-derive their Lemma 2.1 "
+               "branches per request)"));
+  }
+  auto impl = std::make_unique<Impl>();
+  impl->program = program;
+  impl->sep = sep;
+  impl->bound = std::move(bound);
+  impl->db = db;
+  // The runner references impl->sep (not the caller's `sep`), which lives
+  // exactly as long as the runner does.
+  impl->runner = std::make_unique<SchemaRunner>(impl->sep, *std::move(anchor),
+                                                db, policy);
+  SEPREC_RETURN_IF_ERROR(impl->runner->Compile());
+  return std::unique_ptr<PreparedSeparable>(
+      new PreparedSeparable(std::move(impl)));
+}
+
+void PreparedSeparable::ClearScratch() { impl_->runner->ClearScratch(); }
+
+bool PreparedSeparable::Matches(const Atom& query) const {
+  if (query.predicate != impl_->sep.predicate() ||
+      query.arity() != impl_->sep.arity()) {
+    return false;
+  }
+  return BoundPositions(query) == impl_->bound;
+}
+
+StatusOr<SeparableRunResult> PreparedSeparable::Execute(
+    const Atom& query, const FixpointOptions& options,
+    const Phase1Closure* reuse, Phase1Closure* capture) {
+  if (!Matches(query)) {
+    return InvalidArgumentError(
+        StrCat("query ", query.ToString(),
+               " does not match the prepared selection shape"));
+  }
+  Database* db = impl_->db;
+
+  SeparableRunResult result;
+  result.answer = Answer(query.arity());
+  result.stats.algorithm = "separable";
+  WallTimer timer;
+
+  GovernorScope governor(options.limits, options.cancel, options.context);
+  governor.ctx()->TrackMemory(&db->accountant());
+
+  uint64_t polls_before = 0;
+  uint64_t attempts_before = 0;
+  uint64_t novel_before = 0;
+  if (options.trace != nullptr) {
+    governor.ctx()->SetTrace(options.trace);
+    db->counters().active = true;
+    polls_before = governor.ctx()->polls();
+    attempts_before = db->counters().attempts.load(std::memory_order_relaxed);
+    novel_before = db->counters().novel.load(std::memory_order_relaxed);
+    TraceEvent e;
+    e.kind = TraceEventKind::kEngineStart;
+    e.engine = "separable";
+    options.trace->Emit(e);
+  }
+
+  // Intern the query constants so seeds have concrete Values (a fresh
+  // symbol simply matches nothing).
+  for (const Term& arg : query.args) {
+    if (arg.kind == Term::Kind::kSymbol) db->symbols().Intern(arg.name);
+  }
+
+  FixpointOptions governed = options;
+  governed.context = governor.ctx();
+  Status status = MaterializeSupport(impl_->program, impl_->sep.predicate(),
+                                     db, governed, &result.stats);
+  if (status.ok()) {
+    bool resolvable = false;
+    std::vector<std::optional<Value>> query_constants =
+        ResolveConstants(query, db->symbols(), &resolvable);
+    SEPREC_CHECK(resolvable);  // all constants interned above
+
+    const AnchorInfo& anchor = impl_->runner->anchor();
+    std::vector<Value> seed;
+    seed.reserve(anchor.anchor_positions.size());
+    for (uint32_t p : anchor.anchor_positions) {
+      seed.push_back(*query_constants[p]);
+    }
+
+    std::vector<std::vector<Value>> rest_rows;
+    impl_->runner->Run({seed}, governor.ctx(), &result.stats, &rest_rows,
+                       reuse, capture);
+    result.schema_runs = 1;
+    for (const std::vector<Value>& rest : rest_rows) {
+      EmitAnswer(anchor, Row(seed.data(), seed.size()),
+                 Row(rest.data(), rest.size()), query, query_constants,
+                 &result.answer);
+    }
+  }
+
+  result.stats.seconds = timer.Seconds();
+  if (options.trace != nullptr) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kEngineFinish;
+    e.engine = "separable";
+    e.seconds = result.stats.seconds;
+    e.iterations = result.stats.iterations;
+    e.tuples = result.stats.tuples_inserted;
+    e.polls = governor.ctx()->polls() - polls_before;
+    e.insert_attempts =
+        db->counters().attempts.load(std::memory_order_relaxed) -
+        attempts_before;
+    e.insert_new =
+        db->counters().novel.load(std::memory_order_relaxed) - novel_before;
+    options.trace->Emit(e);
+  }
+  if (!status.ok()) return status;
+  SEPREC_RETURN_IF_ERROR(governor.ExitStatus());
+  return result;
 }
 
 StatusOr<std::string> ExplainSchema(const SeparableRecursion& sep,

@@ -23,6 +23,9 @@
 #ifndef SEPREC_SEPARABLE_ENGINE_H_
 #define SEPREC_SEPARABLE_ENGINE_H_
 
+#include <memory>
+#include <vector>
+
 #include "core/answer.h"
 #include "datalog/ast.h"
 #include "eval/fixpoint.h"
@@ -70,6 +73,73 @@ SelectionKind ClassifySelection(const SeparableRecursion& sep,
 // the paper's Figures 3 and 4 (init/while/endwhile pseudo-code).
 StatusOr<std::string> ExplainSchema(const SeparableRecursion& sep,
                                     const Atom& query);
+
+// The phase-1 closure of one full-selection run: every seen_1 row (anchor-
+// column values, width |anchor positions|) reachable from the selection
+// constants. Phase 1 is the only part of a full-selection run that depends
+// on BOTH the selection constants and the stored data, so caching its
+// closure lets a repeated selection skip straight to phase 2. A closure is
+// valid for (same program, same bound positions, same constants, same
+// database generation); the query service keys its closure cache exactly
+// so. The rows hold interned Values — symbol ids are never reassigned, so
+// they stay meaningful for the owning SymbolTable's lifetime.
+struct Phase1Closure {
+  std::vector<std::vector<Value>> rows;
+};
+
+// A full-selection Figure-2 schema compiled once and executed many times —
+// the evaluate-many half of the paper's compile/evaluate split, packaged
+// for the query service's prepared-query cache.
+//
+// Compile instantiates the schema for the selection SHAPE of `query` (its
+// predicate and bound-position set; the constants are ignored) and binds
+// the synthetic rules' plans against `db`, creating persistent
+// '$sep*'-scratch relations there. The object is therefore tied to `db`:
+// it must be destroyed before the database, and the relations its plans
+// bind (EDB, support IDB, scratch) must not be Dropped while it lives —
+// truncation/append are fine, which is what checkpoint rollback does.
+//
+// Execute answers one concrete selection of that shape. With `reuse`, the
+// phase-1 loop is skipped entirely and seen_1 is seeded from the cached
+// closure; with `capture`, a run whose phase 1 completed (no governor trip
+// during the loop) writes the closure out for caching. Callers that
+// checkpoint the database must call ClearScratch() BEFORE taking the
+// checkpoint: the scratch relations pre-date the checkpoint, so recording
+// them empty makes truncate-to-checkpoint rollback valid whatever the run
+// left behind.
+//
+// Not thread-safe; the service serialises Execute with every other
+// database writer.
+class PreparedSeparable {
+ public:
+  // `policy` fixes the parallel-partition count the compiled plans bake
+  // in; per-request limits cannot change it later.
+  static StatusOr<std::unique_ptr<PreparedSeparable>> Compile(
+      const Program& program, const SeparableRecursion& sep,
+      const Atom& query, Database* db, const ParallelPolicy& policy);
+  ~PreparedSeparable();
+  PreparedSeparable(const PreparedSeparable&) = delete;
+  PreparedSeparable& operator=(const PreparedSeparable&) = delete;
+
+  // `query` must have the predicate and bound-position set given at
+  // Compile time. Support predicates are re-materialised first (the
+  // service rolls them back after every request).
+  StatusOr<SeparableRunResult> Execute(const Atom& query,
+                                       const FixpointOptions& options = {},
+                                       const Phase1Closure* reuse = nullptr,
+                                       Phase1Closure* capture = nullptr);
+
+  // Empties the persistent scratch relations (and staging sinks).
+  void ClearScratch();
+
+  // True when `query` matches the compiled shape.
+  bool Matches(const Atom& query) const;
+
+ private:
+  struct Impl;
+  explicit PreparedSeparable(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace seprec
 

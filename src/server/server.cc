@@ -1,0 +1,421 @@
+#include "server/server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "server/json.h"
+#include "util/string_util.h"
+
+namespace seprec {
+
+namespace {
+
+// Full-line write with MSG_NOSIGNAL: a client that hung up mid-stream must
+// surface as an error on this session's thread, not kill the process.
+bool WriteAll(int fd, const std::string& line) {
+  size_t off = 0;
+  while (off < line.size()) {
+    ssize_t n =
+        ::send(fd, line.data() + off, line.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool SendJson(int fd, json::Object obj) {
+  std::string line = json::Serialize(json::Value(std::move(obj)));
+  line.push_back('\n');
+  return WriteAll(fd, line);
+}
+
+bool SendError(int fd, int64_t id, const Status& status) {
+  json::Object obj;
+  obj.emplace("id", json::Value(id));
+  obj.emplace("ev", json::Value("error"));
+  obj.emplace("code",
+              json::Value(std::string(StatusCodeToString(status.code()))));
+  obj.emplace("message", json::Value(status.message()));
+  return SendJson(fd, std::move(obj));
+}
+
+StatusOr<Strategy> ParseStrategyName(const std::string& name) {
+  if (name.empty() || name == "auto") return Strategy::kAuto;
+  if (name == "separable") return Strategy::kSeparable;
+  if (name == "magic") return Strategy::kMagic;
+  if (name == "counting") return Strategy::kCounting;
+  if (name == "qsqr") return Strategy::kQsqr;
+  if (name == "seminaive") return Strategy::kSemiNaive;
+  if (name == "naive") return Strategy::kNaive;
+  return InvalidArgumentError(StrCat("unknown strategy '", name, "'"));
+}
+
+StatusOr<ExecutionLimits> ParseLimits(const json::Value& limits) {
+  ExecutionLimits out;
+  if (limits.is_null()) return out;
+  if (!limits.is_object()) {
+    return InvalidArgumentError("'limits' must be an object");
+  }
+  for (const auto& [key, value] : limits.as_object()) {
+    int64_t n = value.as_int(-1);
+    if (!value.is_number() || n < 0) {
+      return InvalidArgumentError(
+          StrCat("limit '", key, "' must be a non-negative number"));
+    }
+    if (key == "timeout_ms") out.timeout_ms = n;
+    else if (key == "max_tuples") out.max_tuples = static_cast<size_t>(n);
+    else if (key == "max_bytes") out.max_bytes = static_cast<size_t>(n);
+    else if (key == "max_iterations") {
+      out.max_iterations = static_cast<size_t>(n);
+    } else {
+      return InvalidArgumentError(StrCat("unknown limit '", key, "'"));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(QueryService* service) : service_(service) {}
+
+SocketServer::~SocketServer() { Stop(); }
+
+Status SocketServer::Start(const std::string& socket_path) {
+  socket_path_ = socket_path;
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return InternalError(StrCat("socket(): ", std::strerror(errno)));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return InvalidArgumentError(
+        StrCat("socket path too long (", socket_path.size(), " bytes): ",
+               socket_path));
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  ::unlink(socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    Status status = InternalError(
+        StrCat("bind(", socket_path, "): ", std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    Status status =
+        InternalError(StrCat("listen(): ", std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void SocketServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by Stop()
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    session_fds_.push_back(fd);
+    sessions_.emplace_back([this, fd] { Session(fd); });
+  }
+}
+
+void SocketServer::Session(int fd) {
+  if (service_->trace() != nullptr) {
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kSession;
+    ev.cause = "open";
+    ev.detail = StrCat("fd", fd);
+    service_->trace()->Emit(ev);
+  }
+  std::string buffer;
+  char chunk[4096];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // client hung up (or Stop() shut the socket down)
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t pos;
+    while ((pos = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      if (line.empty()) continue;
+      HandleLine(fd, line);
+    }
+  }
+  if (service_->trace() != nullptr) {
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kSession;
+    ev.cause = "close";
+    ev.detail = StrCat("fd", fd);
+    service_->trace()->Emit(ev);
+  }
+  {
+    // Deregister before closing so Stop() never shutdown()s a recycled
+    // descriptor number.
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = std::find(session_fds_.begin(), session_fds_.end(), fd);
+    if (it != session_fds_.end()) session_fds_.erase(it);
+  }
+  ::close(fd);
+}
+
+void SocketServer::HandleLine(int fd, const std::string& line) {
+  StatusOr<json::Value> parsed = json::Parse(line);
+  if (!parsed.ok()) {
+    SendError(fd, -1, parsed.status());
+    return;
+  }
+  const json::Value& req = *parsed;
+  int64_t id = req.Get("id").as_int(-1);
+  const std::string& op = req.Get("op").as_string();
+
+  if (op == "ping") {
+    json::Object obj;
+    obj.emplace("id", json::Value(id));
+    obj.emplace("ev", json::Value("done"));
+    obj.emplace("ok", json::Value(true));
+    SendJson(fd, std::move(obj));
+    return;
+  }
+
+  if (op == "shutdown") {
+    json::Object obj;
+    obj.emplace("id", json::Value(id));
+    obj.emplace("ev", json::Value("done"));
+    obj.emplace("ok", json::Value(true));
+    SendJson(fd, std::move(obj));
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_requested_ = true;
+    shutdown_cv_.notify_all();
+    return;
+  }
+
+  if (op == "stats") {
+    ServiceStats s = service_->stats();
+    json::Object stats;
+    stats.emplace("requests", json::Value(s.requests));
+    stats.emplace("processor_hits", json::Value(s.processor_hits));
+    stats.emplace("processor_misses", json::Value(s.processor_misses));
+    stats.emplace("plan_hits", json::Value(s.plan_hits));
+    stats.emplace("plan_misses", json::Value(s.plan_misses));
+    stats.emplace("closure_hits", json::Value(s.closure_hits));
+    stats.emplace("closure_misses", json::Value(s.closure_misses));
+    stats.emplace("closure_stores", json::Value(s.closure_stores));
+    stats.emplace("processors", json::Value(s.processors));
+    stats.emplace("plans", json::Value(s.plans));
+    stats.emplace("closures", json::Value(s.closures));
+    stats.emplace("generation", json::Value(s.generation));
+    json::Object obj;
+    obj.emplace("id", json::Value(id));
+    obj.emplace("ev", json::Value("done"));
+    obj.emplace("ok", json::Value(true));
+    obj.emplace("stats", json::Value(std::move(stats)));
+    SendJson(fd, std::move(obj));
+    return;
+  }
+
+  if (op == "load") {
+    const std::string& relation = req.Get("relation").as_string();
+    if (relation.empty()) {
+      SendError(fd, id,
+                InvalidArgumentError("'load' needs a 'relation' name"));
+      return;
+    }
+    StatusOr<size_t> added = InternalError("unreachable");
+    if (req.Has("path")) {
+      added = service_->LoadTsvFile(relation, req.Get("path").as_string());
+    } else if (req.Get("rows").is_array()) {
+      // Inline rows round-trip through the TSV reader so typing (integer
+      // vs symbol columns) matches file loads exactly.
+      std::ostringstream tsv;
+      for (const json::Value& row : req.Get("rows").as_array()) {
+        bool first = true;
+        for (const json::Value& cell : row.as_array()) {
+          if (!first) tsv << '\t';
+          first = false;
+          if (cell.is_string()) {
+            tsv << cell.as_string();
+          } else {
+            tsv << cell.as_int();
+          }
+        }
+        tsv << '\n';
+      }
+      std::istringstream in(tsv.str());
+      added = service_->LoadTsv(relation, in);
+    } else {
+      SendError(fd, id,
+                InvalidArgumentError("'load' needs 'path' or 'rows'"));
+      return;
+    }
+    if (!added.ok()) {
+      SendError(fd, id, added.status());
+      return;
+    }
+    json::Object obj;
+    obj.emplace("id", json::Value(id));
+    obj.emplace("ev", json::Value("done"));
+    obj.emplace("ok", json::Value(true));
+    obj.emplace("added", json::Value(*added));
+    obj.emplace("generation", json::Value(service_->db()->generation()));
+    SendJson(fd, std::move(obj));
+    return;
+  }
+
+  if (op == "query") {
+    ServiceRequest request;
+    request.program = req.Get("program").as_string();
+    request.query = req.Get("query").as_string();
+    if (request.program.empty()) {
+      SendError(fd, id, InvalidArgumentError("'query' needs a 'program'"));
+      return;
+    }
+    StatusOr<Strategy> strategy =
+        ParseStrategyName(req.Get("strategy").as_string());
+    if (!strategy.ok()) {
+      SendError(fd, id, strategy.status());
+      return;
+    }
+    request.strategy = *strategy;
+    StatusOr<ExecutionLimits> limits = ParseLimits(req.Get("limits"));
+    if (!limits.ok()) {
+      SendError(fd, id, limits.status());
+      return;
+    }
+    request.limits = *limits;
+    if (req.Has("cache")) request.use_cache = req.Get("cache").as_bool(true);
+
+    StatusOr<std::vector<QueryOutcome>> outcomes =
+        service_->Execute(request);
+    if (!outcomes.ok()) {
+      SendError(fd, id, outcomes.status());
+      return;
+    }
+    for (const QueryOutcome& out : *outcomes) {
+      {
+        json::Object obj;
+        obj.emplace("id", json::Value(id));
+        obj.emplace("ev", json::Value("begin"));
+        obj.emplace("query", json::Value(out.query_text));
+        if (!SendJson(fd, std::move(obj))) return;
+      }
+      for (const std::string& tuple : out.tuples) {
+        json::Object obj;
+        obj.emplace("id", json::Value(id));
+        obj.emplace("ev", json::Value("result"));
+        obj.emplace("tuple", json::Value(tuple));
+        if (!SendJson(fd, std::move(obj))) return;
+      }
+      json::Object obj;
+      obj.emplace("id", json::Value(id));
+      obj.emplace("ev", json::Value("answer"));
+      obj.emplace("answers", json::Value(out.result.answer.size()));
+      obj.emplace("strategy",
+                  json::Value(std::string(
+                      StrategyToString(out.result.strategy))));
+      obj.emplace("reason", json::Value(out.result.reason));
+      obj.emplace("plan_cache",
+                  json::Value(out.plan_cache_hit ? "hit" : "miss"));
+      obj.emplace("closure_cache",
+                  json::Value(out.closure_cache_hit ? "hit" : "miss"));
+      obj.emplace("closure_stored", json::Value(out.closure_stored));
+      obj.emplace("detections", json::Value(out.detection_passes));
+      obj.emplace("generation", json::Value(out.generation));
+      obj.emplace("partial", json::Value(out.result.partial));
+      if (out.result.partial && out.result.degradation.has_value()) {
+        obj.emplace("cause",
+                    json::Value(std::string(StopCauseToString(
+                        out.result.degradation->cause))));
+      }
+      json::Array notes;
+      for (const Diagnostic& d : out.result.diagnostics) {
+        json::Object note;
+        note.emplace("code", json::Value(d.code));
+        note.emplace("message", json::Value(d.message));
+        notes.emplace_back(std::move(note));
+      }
+      if (!notes.empty()) {
+        obj.emplace("notes", json::Value(std::move(notes)));
+      }
+      obj.emplace("seconds", json::Value(out.seconds));
+      if (!SendJson(fd, std::move(obj))) return;
+    }
+    json::Object obj;
+    obj.emplace("id", json::Value(id));
+    obj.emplace("ev", json::Value("done"));
+    obj.emplace("ok", json::Value(true));
+    SendJson(fd, std::move(obj));
+    return;
+  }
+
+  SendError(fd, id,
+            InvalidArgumentError(StrCat("unknown op '", op, "'")));
+}
+
+void SocketServer::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  shutdown_cv_.wait(lock, [this] { return shutdown_requested_; });
+}
+
+bool SocketServer::WaitFor(int ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return shutdown_cv_.wait_for(lock, std::chrono::milliseconds(ms),
+                               [this] { return shutdown_requested_; });
+}
+
+void SocketServer::Stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (stopped_) return;
+  stopped_ = true;
+  stopping_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_requested_ = true;
+    shutdown_cv_.notify_all();
+    // Sessions deregister their fd before closing it, so everything here
+    // is still open; shutdown() unblocks their recv() without racing the
+    // close.
+    for (int fd : session_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (listen_fd_ >= 0) {
+    // shutdown() unblocks accept(); close() alone does not on Linux.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> sessions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions.swap(sessions_);
+  }
+  for (std::thread& t : sessions) {
+    if (t.joinable()) t.join();
+  }
+  if (!socket_path_.empty()) ::unlink(socket_path_.c_str());
+}
+
+}  // namespace seprec

@@ -1,0 +1,105 @@
+// SocketServer: JSON-lines front end to a QueryService over a Unix-domain
+// stream socket.
+//
+// Wire protocol (DESIGN.md section 10): the client writes one JSON object
+// per '\n'-terminated line; the server answers each with one or more
+// '\n'-terminated JSON lines, all carrying the request's "id" back.
+//
+//   request:  {"op":"query","id":1,"program":"<datalog>","query":"t(1,X)",
+//              "strategy":"auto","cache":true,
+//              "limits":{"timeout_ms":N,"max_tuples":N,"max_bytes":N,
+//                        "max_iterations":N}}
+//             "query" is optional — omitted, every '?- q.' in the program
+//             runs. "limits" members are each optional.
+//   response: {"id":1,"ev":"begin","query":"t(1, X)"}
+//             {"id":1,"ev":"result","tuple":"(a, b)"}         (per tuple)
+//             {"id":1,"ev":"answer","answers":2,"strategy":"separable",
+//              "plan_cache":"hit","closure_cache":"miss",
+//              "closure_stored":true,"detections":0,"generation":3,
+//              "partial":false,"reason":"...","seconds":0.0012,
+//              "notes":["..."]}          (one per query; "cause" appears
+//                                         when partial is true)
+//             {"id":1,"ev":"done","ok":true}
+//
+//   other ops (each answered with a single "done" or "error" line):
+//     {"op":"load","id":2,"relation":"edge","path":"edge.tsv"}
+//     {"op":"load","id":3,"relation":"edge","rows":[["a","b"],["b","c"]]}
+//         -> {"id":...,"ev":"done","ok":true,"added":N,"generation":G}
+//     {"op":"stats","id":4}
+//         -> {"id":4,"ev":"done","ok":true,"stats":{...}}
+//     {"op":"ping","id":5}   -> {"id":5,"ev":"done","ok":true}
+//     {"op":"shutdown","id":6} -> {"id":6,"ev":"done","ok":true}, then the
+//         server stops accepting and Wait() returns.
+//
+//   errors:   {"id":1,"ev":"error","code":"INVALID_ARGUMENT",
+//              "message":"..."} — the connection stays usable; malformed
+//              JSON (no id recoverable) answers with id -1.
+//
+// Concurrency: one accept thread plus one thread per connection. Each
+// connection's responses are written only by its own thread, so lines are
+// never interleaved; cross-request consistency is the QueryService's
+// problem (which see). Per-request limits isolate budgets: a request
+// tripping its deadline degrades only its own reply.
+#ifndef SEPREC_SERVER_SERVER_H_
+#define SEPREC_SERVER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/service.h"
+#include "util/status.h"
+
+namespace seprec {
+
+class SocketServer {
+ public:
+  // `service` is borrowed and must outlive the server.
+  explicit SocketServer(QueryService* service);
+  ~SocketServer();
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  // Binds and listens on `socket_path` (unlinking a stale file first) and
+  // starts the accept thread.
+  Status Start(const std::string& socket_path);
+
+  // Blocks until Stop() is called or a client sends {"op":"shutdown"}.
+  void Wait();
+
+  // As Wait() but gives up after `ms` milliseconds; returns true when a
+  // shutdown was requested. Lets a driver loop interleave signal checks.
+  bool WaitFor(int ms);
+
+  // Stops accepting, disconnects every session, joins all threads, and
+  // unlinks the socket file. Idempotent.
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  void Session(int fd);
+  void HandleLine(int fd, const std::string& line);
+
+  QueryService* service_;
+  std::string socket_path_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+  std::thread accept_thread_;
+  std::vector<std::thread> sessions_;   // guarded by mu_
+  std::vector<int> session_fds_;        // guarded by mu_; open fds only
+
+  std::mutex stop_mu_;  // serialises Stop(); never held with mu_ waits
+  bool stopped_ = false;
+};
+
+}  // namespace seprec
+
+#endif  // SEPREC_SERVER_SERVER_H_

@@ -1,0 +1,374 @@
+#include "server/service.h"
+
+#include <fstream>
+#include <istream>
+#include <utility>
+
+#include "core/query.h"
+#include "datalog/parser.h"
+#include "separable/detection.h"
+#include "storage/io.h"
+#include "util/hash.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace seprec {
+
+namespace {
+
+// FNV-1a over the raw program text: the program fingerprint. The entry
+// stores the full text and compares it on every hit, so a hash collision
+// costs a false miss-path, never a wrong answer.
+uint64_t FingerprintText(std::string_view text) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string BoundMaskString(const std::vector<bool>& bound) {
+  std::string s;
+  s.reserve(bound.size());
+  for (bool b : bound) s.push_back(b ? 'b' : 'f');
+  return s;
+}
+
+// The selection constants in canonical form: every bound argument's
+// spelling, position-ordered. Variable NAMES are deliberately excluded —
+// t(1, X) and t(1, Y) are the same selection.
+std::string ConstantsString(const Atom& query) {
+  std::string s;
+  for (const Term& t : query.args) {
+    if (t.IsConstant()) {
+      s += t.ToString();
+    }
+    s.push_back('|');
+  }
+  return s;
+}
+
+}  // namespace
+
+struct QueryService::ProcessorEntry {
+  std::string text;             // exact program source (collision check)
+  QueryProcessor qp;
+  std::vector<Atom> queries;    // the ?- queries of the unit
+  uint64_t detections = 0;      // detection passes spent building this
+  uint64_t tick = 0;            // LRU
+
+  ProcessorEntry(std::string t, QueryProcessor p, std::vector<Atom> q)
+      : text(std::move(t)), qp(std::move(p)), queries(std::move(q)) {}
+};
+
+struct QueryService::PlanEntry {
+  // Keeps the processor alive while this plan exists: PreparedQuery holds
+  // a raw pointer into it.
+  std::shared_ptr<ProcessorEntry> owner;
+  PreparedQuery prepared;
+  uint64_t tick = 0;
+
+  PlanEntry(std::shared_ptr<ProcessorEntry> o, PreparedQuery p)
+      : owner(std::move(o)), prepared(std::move(p)) {}
+};
+
+struct QueryService::ClosureEntry {
+  Phase1Closure closure;
+  uint64_t tick = 0;
+};
+
+QueryService::QueryService(Database* db, ServiceOptions options)
+    : db_(db), options_(std::move(options)) {}
+
+QueryService::~QueryService() {
+  // Plan entries drop their compiled schemas' scratch relations from the
+  // database on destruction; serialise that with any straggler.
+  std::lock_guard<std::mutex> db_lock(db_mu_);
+  std::unique_lock<std::shared_mutex> cache_lock(cache_mu_);
+  closures_.clear();
+  plans_.clear();
+  processors_.clear();
+}
+
+void QueryService::TraceCache(std::string_view cache, std::string_view what,
+                              std::string_view key) {
+  if (options_.trace == nullptr) return;
+  TraceEvent ev;
+  ev.kind = TraceEventKind::kCache;
+  ev.phase = std::string(cache);
+  ev.cause = std::string(what);
+  ev.detail = std::string(key);
+  options_.trace->Emit(ev);
+}
+
+StatusOr<std::shared_ptr<QueryService::ProcessorEntry>>
+QueryService::GetProcessor(std::string_view program_text) {
+  uint64_t fp = FingerprintText(program_text);
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    auto it = processors_.find(fp);
+    if (it != processors_.end() && it->second->text == program_text) {
+      return it->second;
+    }
+  }
+
+  // Miss: parse and analyse outside every lock (pure computation).
+  uint64_t detect_before = DetectionPassCount();
+  SEPREC_ASSIGN_OR_RETURN(ParsedUnit unit,
+                          ParseUnit(std::string(program_text)));
+  SEPREC_ASSIGN_OR_RETURN(QueryProcessor qp,
+                          QueryProcessor::Create(unit.program));
+  auto entry = std::make_shared<ProcessorEntry>(
+      std::string(program_text), std::move(qp), std::move(unit.queries));
+  entry->detections = DetectionPassCount() - detect_before;
+
+  std::unique_lock<std::shared_mutex> lock(cache_mu_);
+  ++stats_.processor_misses;
+  entry->tick = ++lru_tick_;
+  if (options_.max_processors == 0) return entry;  // layer disabled
+  while (processors_.size() >= options_.max_processors) {
+    auto victim = processors_.begin();
+    for (auto it = processors_.begin(); it != processors_.end(); ++it) {
+      if (it->second->tick < victim->second->tick) victim = it;
+    }
+    // Plan entries keep their processor alive via shared_ptr; eviction
+    // only stops NEW requests from finding it.
+    processors_.erase(victim);
+  }
+  processors_[fp] = entry;
+  return entry;
+}
+
+StatusOr<std::vector<QueryOutcome>> QueryService::Execute(
+    const ServiceRequest& request) {
+  if (options_.trace != nullptr) {
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kSession;
+    ev.cause = "request";
+    ev.detail = request.query.empty() ? "(program queries)" : request.query;
+    options_.trace->Emit(ev);
+  }
+  {
+    std::unique_lock<std::shared_mutex> lock(cache_mu_);
+    ++stats_.requests;
+  }
+
+  uint64_t fp = FingerprintText(request.program);
+  bool processor_was_cached;
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    auto it = processors_.find(fp);
+    processor_was_cached =
+        it != processors_.end() && it->second->text == request.program;
+  }
+  SEPREC_ASSIGN_OR_RETURN(std::shared_ptr<ProcessorEntry> entry,
+                          GetProcessor(request.program));
+  if (processor_was_cached) {
+    std::unique_lock<std::shared_mutex> lock(cache_mu_);
+    ++stats_.processor_hits;
+  }
+  TraceCache("processor", processor_was_cached ? "hit" : "miss",
+             StrCat("fp", fp));
+
+  std::vector<Atom> queries;
+  if (!request.query.empty()) {
+    SEPREC_ASSIGN_OR_RETURN(Atom q, ParseAtom(request.query));
+    queries.push_back(std::move(q));
+  } else {
+    queries = entry->queries;
+  }
+  if (queries.empty()) {
+    return InvalidArgumentError(
+        "request has no query: pass one explicitly or include '?- q.' "
+        "lines in the program");
+  }
+
+  ExecutionLimits limits =
+      request.limits.Unlimited() && request.limits.parallel.num_threads == 0
+          ? options_.default_limits
+          : request.limits;
+  // The parallel policy is baked into compiled plans at Prepare time; a
+  // request cannot change it without poisoning the shared plan cache.
+  limits.parallel = options_.parallel;
+
+  std::vector<QueryOutcome> outcomes;
+  outcomes.reserve(queries.size());
+  for (const Atom& query : queries) {
+    WallTimer timer;
+    QueryOutcome out;
+    out.query_text = query.ToString();
+    out.detection_passes = processor_was_cached ? 0 : entry->detections;
+    processor_was_cached = true;  // later queries reuse the same entry
+
+    const std::string plan_key =
+        StrCat("fp", fp, "|", query.predicate, "|",
+               BoundMaskString(BoundPositions(query)), "|",
+               StrategyToString(request.strategy));
+
+    // Plan-cache probe.
+    std::shared_ptr<PlanEntry> plan;
+    if (request.use_cache && options_.max_prepared > 0) {
+      std::unique_lock<std::shared_mutex> lock(cache_mu_);
+      auto it = plans_.find(plan_key);
+      if (it != plans_.end()) {
+        plan = it->second;
+        plan->tick = ++lru_tick_;
+        out.plan_cache_hit = true;
+        ++stats_.plan_hits;
+      } else {
+        ++stats_.plan_misses;
+      }
+    }
+    TraceCache("plan", out.plan_cache_hit ? "hit" : "miss", plan_key);
+
+    Phase1Closure captured;
+    bool try_capture = false;
+    std::shared_ptr<ClosureEntry> reuse_entry;
+    {
+      std::lock_guard<std::mutex> db_lock(db_mu_);
+      if (plan == nullptr) {
+        // Compile: the per-shape cost. Prepare touches the database
+        // (pre-creates IDB relations, compiles and binds rule plans), so
+        // it runs under the database mutex.
+        StatusOr<PreparedQuery> prepared = entry->qp.Prepare(
+            query, db_, request.strategy, options_.parallel);
+        if (!prepared.ok()) return prepared.status();
+        plan = std::make_shared<PlanEntry>(entry, std::move(prepared).value());
+        if (request.use_cache && options_.max_prepared > 0) {
+          std::unique_lock<std::shared_mutex> lock(cache_mu_);
+          plan->tick = ++lru_tick_;
+          while (plans_.size() >= options_.max_prepared) {
+            auto victim = plans_.begin();
+            for (auto it = plans_.begin(); it != plans_.end(); ++it) {
+              if (it->second->tick < victim->second->tick) victim = it;
+            }
+            TraceCache("plan", "evict", victim->first);
+            plans_.erase(victim);  // schema scratch drops under db_mu_
+          }
+          plans_[plan_key] = plan;
+        }
+      }
+
+      out.generation = db_->generation();
+      const std::string closure_key =
+          StrCat(plan_key, "|", ConstantsString(query), "|g",
+                 out.generation);
+      const bool closure_layer = request.use_cache &&
+                                 options_.max_closures > 0 &&
+                                 plan->prepared.has_compiled_schema();
+      if (closure_layer) {
+        std::unique_lock<std::shared_mutex> lock(cache_mu_);
+        auto it = closures_.find(closure_key);
+        if (it != closures_.end()) {
+          reuse_entry = it->second;
+          reuse_entry->tick = ++lru_tick_;
+          out.closure_cache_hit = true;
+          ++stats_.closure_hits;
+        } else {
+          ++stats_.closure_misses;
+          try_capture = true;
+        }
+      }
+      if (plan->prepared.has_compiled_schema()) {
+        TraceCache("closure", out.closure_cache_hit ? "hit" : "miss",
+                   closure_key);
+      }
+
+      FixpointOptions fo;
+      fo.limits = limits;
+      fo.trace = options_.trace;
+      StatusOr<QueryResult> result = plan->prepared.Execute(
+          query, db_, fo,
+          reuse_entry != nullptr ? &reuse_entry->closure : nullptr,
+          try_capture ? &captured : nullptr,
+          /*commit=*/false);
+      if (!result.ok()) return result.status();
+      out.result = std::move(result).value();
+
+      // A closure is cacheable only when it is provably the FULL phase-1
+      // result: the separable strategy itself answered (no fallback), the
+      // run was not truncated, and the engine actually captured (it only
+      // does when the phase-1 loop drained without a governor stop).
+      if (try_capture && !captured.rows.empty() && !out.result.partial &&
+          out.result.strategy == Strategy::kSeparable) {
+        auto centry = std::make_shared<ClosureEntry>();
+        centry->closure = std::move(captured);
+        captured = Phase1Closure();
+        std::unique_lock<std::shared_mutex> lock(cache_mu_);
+        centry->tick = ++lru_tick_;
+        while (closures_.size() >= options_.max_closures) {
+          auto victim = closures_.begin();
+          for (auto it = closures_.begin(); it != closures_.end(); ++it) {
+            if (it->second->tick < victim->second->tick) victim = it;
+          }
+          TraceCache("closure", "evict", victim->first);
+          closures_.erase(victim);
+        }
+        closures_[closure_key] = centry;
+        ++stats_.closure_stores;
+        out.closure_stored = true;
+        TraceCache("closure", "store", closure_key);
+      }
+    }  // db_mu_ released
+
+    // Rendering reads only the answer's Values and the symbol table (its
+    // own reader/writer guard) — deliberately outside db_mu_ so result
+    // streaming of one session overlaps evaluation of another.
+    out.tuples = out.result.answer.ToStrings(db_->symbols());
+    out.seconds = timer.Seconds();
+    outcomes.push_back(std::move(out));
+  }
+  return outcomes;
+}
+
+StatusOr<size_t> QueryService::LoadTsv(std::string_view relation,
+                                       std::istream& in) {
+  std::lock_guard<std::mutex> db_lock(db_mu_);
+  SEPREC_ASSIGN_OR_RETURN(size_t added, LoadRelationTsv(db_, relation, in));
+  // The loader bumps the generation when it added rows, which already
+  // invalidates every cached closure (their keys embed the old value);
+  // sweep the dead entries eagerly so the map does not pin stale rows.
+  if (added > 0) {
+    std::unique_lock<std::shared_mutex> lock(cache_mu_);
+    closures_.clear();
+    TraceCache("closure", "purge", StrCat("load:", relation));
+  }
+  return added;
+}
+
+StatusOr<size_t> QueryService::LoadTsvFile(std::string_view relation,
+                                           const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return NotFoundError(StrCat("cannot open '", path, "'"));
+  }
+  return LoadTsv(relation, in);
+}
+
+ServiceStats QueryService::stats() const {
+  std::shared_lock<std::shared_mutex> lock(cache_mu_);
+  ServiceStats s = stats_;
+  s.processors = processors_.size();
+  s.plans = plans_.size();
+  s.closures = closures_.size();
+  s.generation = db_->generation();
+  return s;
+}
+
+void QueryService::PurgeClosures() {
+  std::unique_lock<std::shared_mutex> lock(cache_mu_);
+  closures_.clear();
+  TraceCache("closure", "purge", "explicit");
+}
+
+void QueryService::PurgeAll() {
+  std::lock_guard<std::mutex> db_lock(db_mu_);
+  std::unique_lock<std::shared_mutex> lock(cache_mu_);
+  closures_.clear();
+  plans_.clear();  // compiled schemas drop their scratch under db_mu_
+  processors_.clear();
+  TraceCache("all", "purge", "explicit");
+}
+
+}  // namespace seprec

@@ -45,6 +45,7 @@ Status Database::AddFact(std::string_view relation,
     row.push_back(symbols_.Intern(s));
   }
   rel->Insert(Row(row.data(), row.size()));
+  BumpGeneration();
   return Status::OK();
 }
 
@@ -58,11 +59,18 @@ Status Database::AddFact(std::string_view relation,
     row.push_back(symbols_.Intern(s));
   }
   rel->Insert(Row(row.data(), row.size()));
+  BumpGeneration();
   return Status::OK();
 }
 
-void Database::Drop(std::string_view name) {
-  relations_.erase(std::string(name));
+void Database::Drop(std::string_view name, bool bump_generation) {
+  if (relations_.erase(std::string(name)) > 0 && bump_generation &&
+      !name.starts_with("$")) {
+    // Dropping user-visible data invalidates derived caches; scratch
+    // relations ('$'-prefixed) come and go with every evaluation and
+    // never feed a cache key.
+    BumpGeneration();
+  }
 }
 
 std::vector<std::string> Database::RelationNames() const {

@@ -2,6 +2,8 @@
 #ifndef SEPREC_STORAGE_DATABASE_H_
 #define SEPREC_STORAGE_DATABASE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <initializer_list>
 #include <memory>
 #include <string>
@@ -41,8 +43,11 @@ class Database {
 
   // Removes a relation if present (used to drop $-prefixed scratch
   // relations created during evaluation). Any Relation*/Index references
-  // become invalid.
-  void Drop(std::string_view name);
+  // become invalid. Dropping a non-scratch relation bumps the data
+  // generation unless `bump_generation` is false — DatabaseCheckpoint
+  // rollback passes false because its drops restore the pre-run catalog
+  // rather than mutate it.
+  void Drop(std::string_view name, bool bump_generation = true);
 
   // Names of all relations, sorted (stable output for tests / tools).
   std::vector<std::string> RelationNames() const;
@@ -60,12 +65,29 @@ class Database {
   StorageCounters& counters() { return counters_; }
   const StorageCounters& counters() const { return counters_; }
 
+  // Data generation: a counter bumped by every EDB mutation (AddFact, the
+  // TSV/snapshot loaders, incremental updates, dropping a non-scratch
+  // relation). Caches of evaluation artifacts derived from the stored data
+  // — notably the query service's phase-1 closure cache — key their entries
+  // by this value, so a mutation invalidates them without bookkeeping.
+  // Evaluation-internal writes deliberately do NOT bump it: engines append
+  // derived tuples and drop '$'-prefixed scratch constantly, and a
+  // checkpoint rollback restores the exact pre-run extent, so none of
+  // those change what a cached artifact was computed from.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+  void BumpGeneration() {
+    generation_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
  private:
   SymbolTable symbols_;
   // Declared before relations_ so it outlives them during destruction
   // (relations release their footprint from their destructor).
   MemoryAccountant accountant_;
   StorageCounters counters_;
+  std::atomic<uint64_t> generation_{0};
   std::unordered_map<std::string, std::unique_ptr<Relation>> relations_;
 };
 

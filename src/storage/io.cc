@@ -88,6 +88,7 @@ StatusOr<size_t> LoadRelationTsv(Database* db, std::string_view name,
         StrCat("no data lines for relation '", name,
                "' and the relation does not already exist"));
   }
+  if (added > 0) db->BumpGeneration();
   return added;
 }
 

@@ -40,6 +40,9 @@ void Index::Add(uint32_t row_id) {
 }
 
 uint64_t Index::KeyHashOfRow(uint32_t row_id) const {
+  // The indexed columns are non-contiguous, so this can't span a Row into
+  // HashRow; the seed and combine step must stay identical to HashRow so
+  // bucket hashes match the ForEach probe's HashRow(key).
   Row r = relation_->row(row_id);
   uint64_t h = 0xcbf29ce484222325ULL;
   for (uint32_t c : columns_) h = HashCombine(h, r[c].bits());
@@ -228,9 +231,7 @@ void ShardedSink::SetAccountant(MemoryAccountant* accountant) {
 
 bool ShardedSink::Insert(Row row) {
   SEPREC_DCHECK(row.size() == arity_);
-  uint64_t h = 0xcbf29ce484222325ULL;
-  for (Value v : row) h = HashCombine(h, v.bits());
-  Shard& shard = *shards_[h % shards_.size()];
+  Shard& shard = *shards_[HashRow(row) % shards_.size()];
 
   std::lock_guard<std::mutex> lock(shard.mu);
   // Tentative append so the set's functors can address the candidate row;

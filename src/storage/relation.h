@@ -212,10 +212,7 @@ class Relation {
   struct RowIdHash {
     const Relation* rel;
     size_t operator()(uint32_t row_id) const {
-      Row r = rel->row(row_id);
-      uint64_t h = 0xcbf29ce484222325ULL;
-      for (Value v : r) h = HashCombine(h, v.bits());
-      return static_cast<size_t>(h);
+      return static_cast<size_t>(HashRow(rel->row(row_id)));
     }
   };
   struct RowIdEq {
@@ -315,9 +312,7 @@ class ShardedSink {
     struct RowHash {
       const Shard* shard;
       size_t operator()(uint32_t id) const {
-        uint64_t h = 0xcbf29ce484222325ULL;
-        for (Value v : shard->row(id)) h = HashCombine(h, v.bits());
-        return static_cast<size_t>(h);
+        return static_cast<size_t>(HashRow(shard->row(id)));
       }
     };
     struct RowEq {
@@ -350,9 +345,7 @@ class ShardedSink {
 template <typename Fn>
 void Index::ForEach(Row key, Fn&& fn) const {
   SEPREC_DCHECK(key.size() == columns_.size());
-  uint64_t h = 0xcbf29ce484222325ULL;
-  for (Value v : key) h = HashCombine(h, v.bits());
-  auto [begin, end] = buckets_.equal_range(h);
+  auto [begin, end] = buckets_.equal_range(HashRow(key));
   for (auto it = begin; it != end; ++it) {
     if (relation_->IsLive(it->second) && RowMatchesKey(it->second, key)) {
       fn(it->second);

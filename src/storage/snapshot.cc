@@ -214,6 +214,7 @@ Status LoadSnapshot(Database* db, std::istream& in) {
           StrCat("line ", line_number, ": trailing garbage after 'end'"));
     }
   }
+  db->BumpGeneration();
   return Status::OK();
 }
 

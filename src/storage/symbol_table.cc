@@ -1,6 +1,7 @@
 #include "storage/symbol_table.h"
 
 #include <limits>
+#include <mutex>
 
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -8,6 +9,16 @@
 namespace seprec {
 
 Value SymbolTable::Intern(std::string_view name) {
+  {
+    // Fast path: almost every Intern after warm-up finds an existing id.
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = ids_.find(name);
+    if (it != ids_.end()) {
+      return Value::Symbol(it->second);
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Re-check: another thread may have interned `name` between the locks.
   auto it = ids_.find(name);
   if (it != ids_.end()) {
     return Value::Symbol(it->second);
@@ -20,6 +31,7 @@ Value SymbolTable::Intern(std::string_view name) {
 }
 
 bool SymbolTable::TryFind(std::string_view name, Value* value) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = ids_.find(name);
   if (it == ids_.end()) {
     return false;
@@ -29,7 +41,10 @@ bool SymbolTable::TryFind(std::string_view name, Value* value) const {
 }
 
 const std::string& SymbolTable::NameOf(uint32_t id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   SEPREC_CHECK(id < names_.size());
+  // Safe to return after unlocking: ids are never reassigned and the deque
+  // never moves stored strings.
   return names_[id];
 }
 
@@ -38,6 +53,11 @@ std::string SymbolTable::ToString(Value v) const {
     return StrCat(v.as_int());
   }
   return NameOf(v.symbol_id());
+}
+
+size_t SymbolTable::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return names_.size();
 }
 
 }  // namespace seprec

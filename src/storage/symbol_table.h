@@ -2,11 +2,26 @@
 //
 // All string constants in a Database share one SymbolTable, so symbol
 // equality is id equality and tuples store fixed-width Values.
+//
+// Thread model: unlike Relation (single mutator, readers only while no
+// mutator runs), the symbol table is fully thread-safe. The query service
+// renders result tuples to strings on session threads while another
+// request's evaluation interns new constants, so lookups and interning
+// genuinely overlap; a reader/writer lock covers that. Two properties make
+// the locking cheap and the returned references safe:
+//   - ids are assigned once and never reassigned, so a Value obtained from
+//     Intern stays valid for the table's lifetime, and
+//   - the deque keeps element addresses stable, so NameOf's reference (and
+//     the map's string_view keys, which point into stored names including
+//     short-string buffers) never dangles as the table grows.
+// Hot evaluation paths compare Values, not strings, so the lock is only
+// taken at the edges (parsing constants in, rendering answers out).
 #ifndef SEPREC_STORAGE_SYMBOL_TABLE_H_
 #define SEPREC_STORAGE_SYMBOL_TABLE_H_
 
 #include <cstdint>
 #include <deque>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -28,13 +43,14 @@ class SymbolTable {
   // behaviour via `found`.
   bool TryFind(std::string_view name, Value* value) const;
 
-  // Returns the spelling of an interned symbol. `id` must be valid.
+  // Returns the spelling of an interned symbol. `id` must be valid. The
+  // reference stays valid for the table's lifetime (deque stability).
   const std::string& NameOf(uint32_t id) const;
 
   // Renders any Value: symbol spelling or decimal integer.
   std::string ToString(Value v) const;
 
-  size_t size() const { return names_.size(); }
+  size_t size() const;
 
  private:
   // Deque keeps element addresses stable, so the map's string_view keys
@@ -42,6 +58,7 @@ class SymbolTable {
   // dangle as the table grows.
   std::deque<std::string> names_;
   std::unordered_map<std::string_view, uint32_t> ids_;
+  mutable std::shared_mutex mu_;
 };
 
 }  // namespace seprec

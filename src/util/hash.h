@@ -4,6 +4,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
+
+#include "storage/value.h"
 
 namespace seprec {
 
@@ -21,6 +24,17 @@ inline uint64_t HashWords(const uint64_t* data, size_t n) {
   for (size_t i = 0; i < n; ++i) {
     h = HashCombine(h, data[i]);
   }
+  return h;
+}
+
+// Canonical FNV-1a-seeded hash of a tuple of Values, column by column.
+// Every row-level dedup structure (Relation's row set, ShardedSink shards,
+// Index probes, the partitioned engines' row routing) hashes through this
+// one function, so a row's hash — and therefore shard/partition routing —
+// is identical everywhere.
+inline uint64_t HashRow(std::span<const Value> row) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (Value v : row) h = HashCombine(h, v.bits());
   return h;
 }
 

@@ -1,0 +1,562 @@
+// Tests for the query service layer: the JSON value/parser, the
+// QueryService cache stack (plan, closure, generation invalidation,
+// per-request budgets, concurrent sessions), and the socket server's
+// JSON-lines protocol end to end.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datalog/parser.h"
+#include "server/json.h"
+#include "server/server.h"
+#include "server/service.h"
+#include "storage/database.h"
+#include "util/string_util.h"
+
+namespace seprec {
+namespace {
+
+// ---- JSON ------------------------------------------------------------------
+
+TEST(Json, ParsePrimitives) {
+  EXPECT_TRUE(json::Parse("null")->is_null());
+  EXPECT_EQ(json::Parse("true")->as_bool(), true);
+  EXPECT_EQ(json::Parse("false")->as_bool(), false);
+  EXPECT_EQ(json::Parse("42")->as_int(), 42);
+  EXPECT_EQ(json::Parse("-7")->as_int(), -7);
+  EXPECT_DOUBLE_EQ(json::Parse("2.5")->as_double(), 2.5);
+  EXPECT_EQ(json::Parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(Json, ParseNestedAndRoundTrip) {
+  const std::string text =
+      R"({"a":[1,2,{"b":true}],"c":null,"d":"x\ny","e":-3})";
+  auto v = json::Parse(text);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Get("a").as_array().size(), 3u);
+  EXPECT_EQ(v->Get("a").as_array()[2].Get("b").as_bool(), true);
+  EXPECT_TRUE(v->Get("c").is_null());
+  EXPECT_EQ(v->Get("d").as_string(), "x\ny");
+  // Serialize is canonical (sorted keys, no spaces): reparsing preserves
+  // the value.
+  auto again = json::Parse(json::Serialize(*v));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(json::Serialize(*again), json::Serialize(*v));
+}
+
+TEST(Json, ParseEscapes) {
+  auto v = json::Parse(R"("A\t\\\"é")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->as_string(), "A\t\\\"\xc3\xa9");
+  // Surrogate pair.
+  auto pair = json::Parse(R"("😀")");
+  ASSERT_TRUE(pair.ok());
+  EXPECT_EQ(pair->as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_FALSE(json::Parse("").ok());
+  EXPECT_FALSE(json::Parse("{").ok());
+  EXPECT_FALSE(json::Parse("[1,]").ok());
+  EXPECT_FALSE(json::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(json::Parse("tru").ok());
+  EXPECT_FALSE(json::Parse("1 2").ok());
+  // Depth bomb trips the recursion limit instead of the stack.
+  EXPECT_FALSE(json::Parse(std::string(300, '[')).ok());
+}
+
+TEST(Json, GetOnMissingKeyIsNull) {
+  auto v = json::Parse("{}");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->Get("absent").is_null());
+  EXPECT_FALSE(v->Has("absent"));
+}
+
+// ---- QueryService ----------------------------------------------------------
+
+constexpr const char* kTcProgram =
+    "edge(a, b).\n"
+    "edge(b, c).\n"
+    "edge(c, d).\n"
+    "tc(X, Y) :- edge(X, Y).\n"
+    "tc(X, Y) :- tc(X, Z), edge(Z, Y).\n";
+
+ServiceRequest TcRequest(const std::string& query) {
+  ServiceRequest req;
+  req.program = kTcProgram;
+  req.query = query;
+  return req;
+}
+
+TEST(QueryService, AnswersMatchOneShot) {
+  Database db;
+  QueryService service(&db);
+  auto outcomes = service.Execute(TcRequest("tc(a, X)"));
+  ASSERT_TRUE(outcomes.ok());
+  ASSERT_EQ(outcomes->size(), 1u);
+  const QueryOutcome& out = (*outcomes)[0];
+  EXPECT_EQ(out.result.strategy, Strategy::kSeparable);
+  EXPECT_EQ(out.tuples,
+            (std::vector<std::string>{"(a, b)", "(a, c)", "(a, d)"}));
+  // The service always rolls its checkpoint back: derived tuples must not
+  // persist into the shared database. (The relation itself survives —
+  // Prepare pre-creates IDB relations for plan binding — but empty.)
+  const Relation* tc = db.Find("tc");
+  ASSERT_NE(tc, nullptr);
+  EXPECT_TRUE(tc->empty());
+}
+
+TEST(QueryService, PlanCacheHitSkipsDetectionAndCompile) {
+  Database db;
+  QueryService service(&db);
+  auto first = service.Execute(TcRequest("tc(a, X)"));
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE((*first)[0].plan_cache_hit);
+  EXPECT_GT((*first)[0].detection_passes, 0u);
+
+  auto second = service.Execute(TcRequest("tc(a, X)"));
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE((*second)[0].plan_cache_hit);
+  // The detection pass delta on a plan-cache hit is zero: the cached
+  // processor and prepared plan carry all database-independent work.
+  EXPECT_EQ((*second)[0].detection_passes, 0u);
+  EXPECT_EQ((*second)[0].tuples, (*first)[0].tuples);
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.plan_hits, 1u);
+  EXPECT_EQ(stats.plan_misses, 1u);
+  EXPECT_EQ(stats.processor_hits, 1u);
+}
+
+TEST(QueryService, ClosureCacheHitSkipsPhase1) {
+  Database db;
+  QueryService service(&db);
+  // tc(X, d) anchors on a moving class: phase 1 genuinely iterates.
+  auto cold = service.Execute(TcRequest("tc(X, d)"));
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE((*cold)[0].closure_cache_hit);
+  EXPECT_TRUE((*cold)[0].closure_stored);
+  size_t cold_phase1 = 0;
+  for (const auto& r : (*cold)[0].result.stats.rounds) {
+    if (r.phase == "phase1") ++cold_phase1;
+  }
+  EXPECT_GT(cold_phase1, 0u);
+
+  auto warm = service.Execute(TcRequest("tc(X, d)"));
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE((*warm)[0].closure_cache_hit);
+  EXPECT_FALSE((*warm)[0].closure_stored);
+  EXPECT_EQ((*warm)[0].tuples, (*cold)[0].tuples);
+  // Phase 1 ran zero rounds: seen_1 was seeded from the cached closure.
+  for (const auto& r : (*warm)[0].result.stats.rounds) {
+    EXPECT_NE(r.phase, "phase1");
+  }
+}
+
+TEST(QueryService, SelectionConstantsKeyTheClosure) {
+  Database db;
+  QueryService service(&db);
+  ASSERT_TRUE(service.Execute(TcRequest("tc(a, X)")).ok());
+  // Same shape, different constant: plan hits, closure misses.
+  auto other = service.Execute(TcRequest("tc(b, X)"));
+  ASSERT_TRUE(other.ok());
+  EXPECT_TRUE((*other)[0].plan_cache_hit);
+  EXPECT_FALSE((*other)[0].closure_cache_hit);
+  EXPECT_EQ((*other)[0].tuples,
+            (std::vector<std::string>{"(b, c)", "(b, d)"}));
+  // Different variable NAME is the same selection: closure hits.
+  auto renamed = service.Execute(TcRequest("tc(a, Q)"));
+  ASSERT_TRUE(renamed.ok());
+  EXPECT_TRUE((*renamed)[0].closure_cache_hit);
+}
+
+TEST(QueryService, GenerationBumpInvalidatesClosures) {
+  Database db;
+  QueryService service(&db);
+  auto before = service.Execute(TcRequest("tc(a, X)"));
+  ASSERT_TRUE(before.ok());
+  EXPECT_TRUE((*before)[0].closure_stored);
+  const uint64_t gen_before = (*before)[0].generation;
+
+  std::istringstream rows("d\te\n");
+  auto added = service.LoadTsv("edge", rows);
+  ASSERT_TRUE(added.ok());
+  EXPECT_EQ(*added, 1u);
+
+  auto after = service.Execute(TcRequest("tc(a, X)"));
+  ASSERT_TRUE(after.ok());
+  // Plan survives (database-independent); closure misses (generation is
+  // part of its key) and the answer reflects the new tuple.
+  EXPECT_TRUE((*after)[0].plan_cache_hit);
+  EXPECT_FALSE((*after)[0].closure_cache_hit);
+  EXPECT_GT((*after)[0].generation, gen_before);
+  EXPECT_EQ((*after)[0].tuples,
+            (std::vector<std::string>{"(a, b)", "(a, c)", "(a, d)",
+                                      "(a, e)"}));
+}
+
+TEST(QueryService, NoCacheBypassesPlanAndClosureLayers) {
+  Database db;
+  QueryService service(&db);
+  ASSERT_TRUE(service.Execute(TcRequest("tc(a, X)")).ok());
+  ServiceRequest req = TcRequest("tc(a, X)");
+  req.use_cache = false;
+  auto out = service.Execute(req);
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE((*out)[0].plan_cache_hit);
+  EXPECT_FALSE((*out)[0].closure_cache_hit);
+  EXPECT_FALSE((*out)[0].closure_stored);
+}
+
+TEST(QueryService, EmptyQueryRunsEveryQueryInProgram) {
+  Database db;
+  QueryService service(&db);
+  ServiceRequest req;
+  req.program = StrCat(kTcProgram, "?- tc(a, X).\n?- tc(b, X).\n");
+  auto out = service.Execute(req);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 2u);
+  EXPECT_EQ((*out)[0].query_text, "tc(a, X)");
+  EXPECT_EQ((*out)[1].query_text, "tc(b, X)");
+  // A program with no ?- line and no explicit query is an error.
+  ServiceRequest bare;
+  bare.program = kTcProgram;
+  EXPECT_FALSE(service.Execute(bare).ok());
+}
+
+TEST(QueryService, ParseErrorFailsRequest) {
+  Database db;
+  QueryService service(&db);
+  ServiceRequest req;
+  req.program = "p(X :- q(X).";
+  req.query = "p(X)";
+  EXPECT_FALSE(service.Execute(req).ok());
+}
+
+TEST(QueryService, PerRequestLimitsIsolate) {
+  Database db;
+  QueryService service(&db);
+  // A budget-starved request degrades (partial), and its incomplete
+  // closure must NOT enter the cache.
+  ServiceRequest starved = TcRequest("tc(X, d)");
+  starved.limits.max_tuples = 1;
+  auto partial = service.Execute(starved);
+  ASSERT_TRUE(partial.ok());
+  EXPECT_TRUE((*partial)[0].result.partial);
+  EXPECT_FALSE((*partial)[0].closure_stored);
+
+  // The next (unlimited) request is unaffected by the starved one.
+  auto full = service.Execute(TcRequest("tc(X, d)"));
+  ASSERT_TRUE(full.ok());
+  EXPECT_FALSE((*full)[0].result.partial);
+  EXPECT_FALSE((*full)[0].closure_cache_hit);
+  EXPECT_TRUE((*full)[0].closure_stored);
+  EXPECT_EQ((*full)[0].tuples,
+            (std::vector<std::string>{"(a, d)", "(b, d)", "(c, d)"}));
+}
+
+TEST(QueryService, ZeroCapacityDisablesLayers) {
+  Database db;
+  ServiceOptions options;
+  options.max_prepared = 0;
+  options.max_closures = 0;
+  QueryService service(&db, options);
+  ASSERT_TRUE(service.Execute(TcRequest("tc(a, X)")).ok());
+  auto out = service.Execute(TcRequest("tc(a, X)"));
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE((*out)[0].plan_cache_hit);
+  EXPECT_FALSE((*out)[0].closure_stored);
+  EXPECT_EQ(service.stats().plans, 0u);
+  EXPECT_EQ(service.stats().closures, 0u);
+}
+
+TEST(QueryService, LruEvictsOldestPlan) {
+  Database db;
+  ServiceOptions options;
+  options.max_prepared = 1;
+  QueryService service(&db, options);
+  ASSERT_TRUE(service.Execute(TcRequest("tc(a, X)")).ok());
+  // A different shape displaces the only slot.
+  ASSERT_TRUE(service.Execute(TcRequest("tc(X, d)")).ok());
+  EXPECT_EQ(service.stats().plans, 1u);
+  auto again = service.Execute(TcRequest("tc(a, X)"));
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE((*again)[0].plan_cache_hit);
+}
+
+TEST(QueryService, PurgeDropsCachedArtifacts) {
+  Database db;
+  QueryService service(&db);
+  ASSERT_TRUE(service.Execute(TcRequest("tc(a, X)")).ok());
+  EXPECT_GT(service.stats().closures, 0u);
+  service.PurgeClosures();
+  EXPECT_EQ(service.stats().closures, 0u);
+  EXPECT_GT(service.stats().plans, 0u);
+  service.PurgeAll();
+  EXPECT_EQ(service.stats().plans, 0u);
+  EXPECT_EQ(service.stats().processors, 0u);
+}
+
+TEST(QueryService, ConcurrentSessionsBitIdentical) {
+  Database db;
+  QueryService service(&db);
+  constexpr int kThreads = 8;
+  // The expected answers, computed sequentially first.
+  auto expect_ax = service.Execute(TcRequest("tc(a, X)"));
+  auto expect_xd = service.Execute(TcRequest("tc(X, d)"));
+  ASSERT_TRUE(expect_ax.ok());
+  ASSERT_TRUE(expect_xd.ok());
+  service.PurgeAll();
+
+  std::vector<std::vector<std::string>> got(kThreads);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      // Half the sessions run one query, half the other, so cache fills
+      // race with probes across distinct keys as well as identical ones.
+      const bool ax = i % 2 == 0;
+      auto out = service.Execute(TcRequest(ax ? "tc(a, X)" : "tc(X, d)"));
+      if (!out.ok() || out->size() != 1) {
+        ++failures;
+        return;
+      }
+      got[i] = (*out)[0].tuples;
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_EQ(failures.load(), 0);
+  for (int i = 0; i < kThreads; ++i) {
+    const auto& want =
+        i % 2 == 0 ? (*expect_ax)[0].tuples : (*expect_xd)[0].tuples;
+    EXPECT_EQ(got[i], want) << "session " << i;
+  }
+  EXPECT_EQ(service.stats().requests, 2u + kThreads);
+}
+
+// ---- SocketServer ----------------------------------------------------------
+
+class SocketClient {
+ public:
+  explicit SocketClient(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    connected_ = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~SocketClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool connected() const { return connected_; }
+
+  void Send(const std::string& line) {
+    std::string framed = line + "\n";
+    ASSERT_EQ(::send(fd_, framed.data(), framed.size(), 0),
+              static_cast<ssize_t>(framed.size()));
+  }
+
+  // Reads one '\n'-terminated JSON line.
+  json::Value ReadLine() {
+    while (true) {
+      auto pos = buffer_.find('\n');
+      if (pos != std::string::npos) {
+        std::string line = buffer_.substr(0, pos);
+        buffer_.erase(0, pos + 1);
+        auto v = json::Parse(line);
+        EXPECT_TRUE(v.ok()) << line;
+        return v.ok() ? *std::move(v) : json::Value();
+      }
+      char chunk[4096];
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        ADD_FAILURE() << "connection closed mid-read";
+        return json::Value();
+      }
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  // Reads until a "done" or "error" event, returning every line.
+  std::vector<json::Value> ReadToDone() {
+    std::vector<json::Value> lines;
+    while (true) {
+      lines.push_back(ReadLine());
+      const std::string& ev = lines.back().Get("ev").as_string();
+      if (ev == "done" || ev == "error" || ev.empty()) return lines;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+class SocketServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    socket_path_ = StrCat(::testing::TempDir(), "/seprec_srv_",
+                          static_cast<unsigned long>(::getpid()), ".s");
+    service_ = std::make_unique<QueryService>(&db_);
+    server_ = std::make_unique<SocketServer>(service_.get());
+    ASSERT_TRUE(server_->Start(socket_path_).ok());
+  }
+  void TearDown() override { server_->Stop(); }
+
+  Database db_;
+  std::unique_ptr<QueryService> service_;
+  std::unique_ptr<SocketServer> server_;
+  std::string socket_path_;
+};
+
+TEST_F(SocketServerTest, PingAndStats) {
+  SocketClient client(socket_path_);
+  ASSERT_TRUE(client.connected());
+  client.Send(R"({"op":"ping","id":7})");
+  json::Value pong = client.ReadLine();
+  EXPECT_EQ(pong.Get("id").as_int(), 7);
+  EXPECT_TRUE(pong.Get("ok").as_bool());
+
+  client.Send(R"({"op":"stats","id":8})");
+  json::Value stats = client.ReadLine();
+  EXPECT_EQ(stats.Get("id").as_int(), 8);
+  EXPECT_TRUE(stats.Get("stats").Has("requests"));
+}
+
+TEST_F(SocketServerTest, QueryStreamsResults) {
+  SocketClient client(socket_path_);
+  ASSERT_TRUE(client.connected());
+  json::Object req;
+  req["op"] = json::Value("query");
+  req["id"] = json::Value(int64_t{1});
+  req["program"] = json::Value(std::string(kTcProgram));
+  req["query"] = json::Value("tc(a, X)");
+  client.Send(json::Serialize(json::Value(req)));
+
+  std::vector<json::Value> lines = client.ReadToDone();
+  ASSERT_GE(lines.size(), 6u);  // begin, 3 results, answer, done
+  EXPECT_EQ(lines[0].Get("ev").as_string(), "begin");
+  EXPECT_EQ(lines[0].Get("query").as_string(), "tc(a, X)");
+  std::vector<std::string> tuples;
+  for (const auto& line : lines) {
+    if (line.Get("ev").as_string() == "result") {
+      tuples.push_back(line.Get("tuple").as_string());
+    }
+  }
+  EXPECT_EQ(tuples,
+            (std::vector<std::string>{"(a, b)", "(a, c)", "(a, d)"}));
+  const json::Value& answer = lines[lines.size() - 2];
+  EXPECT_EQ(answer.Get("ev").as_string(), "answer");
+  EXPECT_EQ(answer.Get("answers").as_int(), 3);
+  EXPECT_EQ(answer.Get("strategy").as_string(), "separable");
+  EXPECT_FALSE(answer.Get("partial").as_bool());
+  EXPECT_EQ(lines.back().Get("ev").as_string(), "done");
+  EXPECT_TRUE(lines.back().Get("ok").as_bool());
+}
+
+TEST_F(SocketServerTest, LoadBumpsGenerationAndQueriesSeeIt) {
+  SocketClient client(socket_path_);
+  ASSERT_TRUE(client.connected());
+  client.Send(
+      R"({"op":"load","id":1,"relation":"edge","rows":[["d","e"]]})");
+  json::Value loaded = client.ReadLine();
+  EXPECT_TRUE(loaded.Get("ok").as_bool());
+  EXPECT_EQ(loaded.Get("added").as_int(), 1);
+  EXPECT_GE(loaded.Get("generation").as_int(), 1);
+
+  json::Object req;
+  req["op"] = json::Value("query");
+  req["id"] = json::Value(int64_t{2});
+  req["program"] = json::Value(std::string(kTcProgram));
+  req["query"] = json::Value("tc(d, X)");
+  client.Send(json::Serialize(json::Value(req)));
+  std::vector<json::Value> lines = client.ReadToDone();
+  const json::Value& answer = lines[lines.size() - 2];
+  EXPECT_EQ(answer.Get("answers").as_int(), 1);  // (d, e) via the load
+}
+
+TEST_F(SocketServerTest, MalformedAndUnknownRequestsAnswerErrors) {
+  SocketClient client(socket_path_);
+  ASSERT_TRUE(client.connected());
+  client.Send("this is not json");
+  json::Value err = client.ReadLine();
+  EXPECT_EQ(err.Get("ev").as_string(), "error");
+  EXPECT_EQ(err.Get("id").as_int(), -1);
+
+  // The connection survives an error: the next request still works.
+  client.Send(R"({"op":"no-such-op","id":3})");
+  json::Value unknown = client.ReadLine();
+  EXPECT_EQ(unknown.Get("ev").as_string(), "error");
+  EXPECT_EQ(unknown.Get("id").as_int(), 3);
+  client.Send(R"({"op":"ping","id":4})");
+  EXPECT_TRUE(client.ReadLine().Get("ok").as_bool());
+}
+
+TEST_F(SocketServerTest, ConcurrentSocketSessionsBitIdentical) {
+  constexpr int kSessions = 8;
+  json::Object req;
+  req["op"] = json::Value("query");
+  req["id"] = json::Value(int64_t{1});
+  req["program"] = json::Value(std::string(kTcProgram));
+  req["query"] = json::Value("tc(a, X)");
+  const std::string request = json::Serialize(json::Value(req));
+
+  std::vector<std::string> transcripts(kSessions);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kSessions);
+  for (int i = 0; i < kSessions; ++i) {
+    threads.emplace_back([&, i] {
+      SocketClient client(socket_path_);
+      if (!client.connected()) {
+        ++failures;
+        return;
+      }
+      client.Send(request);
+      std::string rendered;
+      for (const json::Value& line : client.ReadToDone()) {
+        const std::string& ev = line.Get("ev").as_string();
+        if (ev == "result") {
+          rendered += line.Get("tuple").as_string() + "\n";
+        } else if (ev == "answer") {
+          rendered += StrCat("answers=", line.Get("answers").as_int(),
+                             " via ", line.Get("strategy").as_string(),
+                             "\n");
+        } else if (ev == "error") {
+          ++failures;
+        }
+      }
+      transcripts[i] = rendered;
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_EQ(failures.load(), 0);
+  for (int i = 1; i < kSessions; ++i) {
+    EXPECT_EQ(transcripts[i], transcripts[0]) << "session " << i;
+  }
+  EXPECT_EQ(transcripts[0],
+            "(a, b)\n(a, c)\n(a, d)\nanswers=3 via separable\n");
+}
+
+TEST_F(SocketServerTest, ShutdownOpStopsTheServer) {
+  SocketClient client(socket_path_);
+  ASSERT_TRUE(client.connected());
+  client.Send(R"({"op":"shutdown","id":1})");
+  EXPECT_TRUE(client.ReadLine().Get("ok").as_bool());
+  EXPECT_TRUE(server_->WaitFor(5000));
+}
+
+}  // namespace
+}  // namespace seprec

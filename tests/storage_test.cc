@@ -3,6 +3,7 @@
 
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "storage/database.h"
@@ -328,6 +329,123 @@ TEST(Database, RelationNamesSortedAndTotals) {
   ASSERT_TRUE(db.AddFact("a", {"y", "z"}).ok());
   EXPECT_EQ(db.RelationNames(), (std::vector<std::string>{"a", "b"}));
   EXPECT_EQ(db.TotalTuples(), 3u);
+}
+
+// ---- Concurrency and rollback primitives ---------------------------------
+
+TEST(SymbolTable, ConcurrentInterningIsConsistent) {
+  // Session threads intern overlapping symbol sets while readers resolve
+  // names — the service layer's exact access pattern. Run under TSan (CI
+  // thread-sanitize job) this exercises the table's reader/writer guard.
+  SymbolTable table;
+  constexpr int kThreads = 8;
+  constexpr int kSymbols = 200;
+  std::vector<std::vector<Value>> seen(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      seen[t].reserve(kSymbols);
+      for (int i = 0; i < kSymbols; ++i) {
+        // All threads intern the same names in different orders.
+        int idx = (i * 7 + t * 13) % kSymbols;
+        Value v = table.Intern(StrCat("sym", idx));
+        seen[t].push_back(v);
+        // Interleave reads: NameOf must already resolve.
+        EXPECT_EQ(table.NameOf(v.symbol_id()), StrCat("sym", idx));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Every thread resolved each name to the same id.
+  for (int i = 0; i < kSymbols; ++i) {
+    int idx = (i * 7) % kSymbols;
+    Value expect = table.Intern(StrCat("sym", idx));
+    for (int t = 0; t < kThreads; ++t) {
+      int their_idx = (i * 7 + t * 13) % kSymbols;
+      EXPECT_EQ(seen[t][i], table.Intern(StrCat("sym", their_idx)));
+    }
+    (void)expect;
+  }
+}
+
+TEST(ShardedSink, ClearReleasesAccountantCharge) {
+  MemoryAccountant accountant;
+  ShardedSink sink(2);
+  sink.SetAccountant(&accountant);
+  ASSERT_EQ(accountant.bytes(), 0u);
+  for (int i = 0; i < 100; ++i) {
+    Value row[2] = {Value::Int(i), Value::Int(i + 1)};
+    ASSERT_TRUE(sink.Insert(Row(row, 2)));
+  }
+  EXPECT_EQ(sink.size(), 100u);
+  const size_t charged = accountant.bytes();
+  EXPECT_GT(charged, 0u);
+  // Duplicate inserts are rejected and must not charge again.
+  Value dup[2] = {Value::Int(0), Value::Int(1)};
+  EXPECT_FALSE(sink.Insert(Row(dup, 2)));
+  EXPECT_EQ(accountant.bytes(), charged);
+
+  sink.Clear();
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(accountant.bytes(), 0u);
+
+  // The sink stays usable after Clear, and re-staged rows re-charge.
+  EXPECT_TRUE(sink.Insert(Row(dup, 2)));
+  EXPECT_GT(accountant.bytes(), 0u);
+  sink.Clear();
+  EXPECT_EQ(accountant.bytes(), 0u);
+}
+
+TEST(Relation, TruncateToSlotsRebuildsIndexes) {
+  SymbolTable symbols;
+  Relation rel("r", 2);
+  Value a = symbols.Intern("a");
+  Value b = symbols.Intern("b");
+  Value c = symbols.Intern("c");
+  rel.Insert({a, b});
+  rel.Insert({b, c});
+  // Build an index before the truncation point moves.
+  const Index& index = rel.GetIndex({0});
+  EXPECT_EQ(index.CountMatches(Row(&a, 1)), 1u);
+  const size_t checkpoint = rel.slots();
+
+  rel.Insert({a, c});
+  rel.Insert({c, c});
+  EXPECT_EQ(rel.GetIndex({0}).CountMatches(Row(&a, 1)), 2u);
+
+  rel.TruncateToSlots(checkpoint);
+  EXPECT_EQ(rel.size(), 2u);
+  EXPECT_EQ(rel.slots(), checkpoint);
+  // Indexes were dropped with the truncated slots; the lazy rebuild must
+  // not resurrect rows past the truncation point.
+  EXPECT_EQ(rel.GetIndex({0}).CountMatches(Row(&a, 1)), 1u);
+  EXPECT_EQ(rel.GetIndex({0}).CountMatches(Row(&c, 1)), 0u);
+  EXPECT_FALSE(rel.Contains(Row(std::vector<Value>{a, c}.data(), 2)));
+
+  // Reinserting a truncated row works and the index tracks it again.
+  EXPECT_TRUE(rel.Insert({a, c}));
+  EXPECT_EQ(rel.GetIndex({0}).CountMatches(Row(&a, 1)), 2u);
+}
+
+TEST(Relation, TruncateToSlotsDropsTombstoneState) {
+  SymbolTable symbols;
+  Relation rel("r", 1);
+  Value a = symbols.Intern("a");
+  Value b = symbols.Intern("b");
+  rel.Insert({a});
+  const size_t checkpoint = rel.slots();
+  rel.Insert({b});
+  // Tombstone `a`, then truncate past the erase: the checkpointed slot
+  // stays tombstoned (truncation only removes slots, it does not revive
+  // them) but the later insert goes away.
+  Relation dead("dead", 1);
+  dead.Insert({a});
+  EXPECT_EQ(rel.EraseRows(dead), 1u);
+  rel.TruncateToSlots(checkpoint);
+  EXPECT_EQ(rel.slots(), checkpoint);
+  EXPECT_EQ(rel.size(), 0u);
+  EXPECT_FALSE(rel.Contains(Row(&b, 1)));
 }
 
 }  // namespace

@@ -35,11 +35,32 @@
 //       0 = no warnings or errors (notes allowed), 1 = findings,
 //       2 = usage error or unreadable file.
 //
+//   seprec_cli serve <socket> [--data REL=FILE.tsv]... [--threads N]
+//                    [--trace FILE] [--max-prepared N] [--max-closures N]
+//       Start the query service on a Unix-domain socket speaking the
+//       JSON-lines protocol (see src/server/server.h). Runs until a client
+//       sends {"op":"shutdown"} or the process receives SIGINT/SIGTERM.
+//       --threads fixes the parallel policy baked into cached plans.
+//
+//   seprec_cli client <socket> <program.dl> [--query "<atom>"]
+//                     [--strategy S] [--no-cache] [--stats]
+//                     [--timeout-ms N] [--max-tuples N] [--max-bytes N]
+//       Send the program to a running server and print the streamed
+//       answers in the same format as `run` (so outputs diff cleanly
+//       against one-shot runs). Exit codes match `run`: 3 when the
+//       server reports a partial (limit-tripped) result.
+//
 // Process exit codes: 0 = success, 1 = failure, 2 = usage error,
 // 3 = a resource limit stopped the evaluation (partial result or
 // RESOURCE_EXHAUSTED / CANCELLED).
 //
 // Strategies: auto separable magic counting qsqr seminaive naive.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -50,6 +71,9 @@
 #include <vector>
 
 #include "core/compiler.h"
+#include "server/json.h"
+#include "server/server.h"
+#include "server/service.h"
 #include "core/provenance.h"
 #include "datalog/analysis.h"
 #include "datalog/diagnostics.h"
@@ -90,7 +114,14 @@ int Usage() {
                "       seprec_cli why <program.dl> \"<fact>\" "
                "[--data REL=FILE]...\n"
                "       seprec_cli lint <program.dl> "
-               "[--format text|json|sarif] [--relaxed]\n");
+               "[--format text|json|sarif] [--relaxed]\n"
+               "       seprec_cli serve <socket> [--data REL=FILE]... "
+               "[--threads N] [--trace FILE]\n"
+               "                  [--max-prepared N] [--max-closures N]\n"
+               "       seprec_cli client <socket> <program.dl> "
+               "[--query \"<atom>\"] [--strategy S]\n"
+               "                  [--no-cache] [--stats] [--timeout-ms N] "
+               "[--max-tuples N] [--max-bytes N]\n");
   return 2;
 }
 
@@ -392,6 +423,238 @@ int LintCommand(const std::string& path, int argc, char** argv, int first) {
   return sink.CountAtLeast(Severity::kWarning) > 0 ? 1 : 0;
 }
 
+volatile std::sig_atomic_t g_signalled = 0;
+void OnSignal(int) { g_signalled = 1; }
+
+int ServeCommand(const std::string& socket_path, int argc, char** argv,
+                 int first) {
+  ServiceOptions service_options;
+  std::vector<std::pair<std::string, std::string>> data;
+  std::string trace_path;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--data" && i + 1 < argc) {
+      std::string spec = argv[++i];
+      size_t eq = spec.find('=');
+      if (eq == std::string::npos) {
+        return Fail(StrCat("--data expects REL=FILE, got '", spec, "'"));
+      }
+      data.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+      continue;
+    }
+    if (arg == "--threads" && i + 1 < argc) {
+      StatusOr<int64_t> v = ParseCount(arg, argv[++i]);
+      if (!v.ok() || *v < 1) {
+        return Fail("--threads expects a positive integer");
+      }
+      service_options.parallel.num_threads = static_cast<size_t>(*v);
+      continue;
+    }
+    if (arg == "--max-prepared" && i + 1 < argc) {
+      StatusOr<int64_t> v = ParseCount(arg, argv[++i]);
+      if (!v.ok()) return Fail(v.status().ToString());
+      service_options.max_prepared = static_cast<size_t>(*v);
+      continue;
+    }
+    if (arg == "--max-closures" && i + 1 < argc) {
+      StatusOr<int64_t> v = ParseCount(arg, argv[++i]);
+      if (!v.ok()) return Fail(v.status().ToString());
+      service_options.max_closures = static_cast<size_t>(*v);
+      continue;
+    }
+    if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+      continue;
+    }
+    return Fail(StrCat("unknown serve flag '", arg, "'"));
+  }
+
+  Database db;
+  for (const auto& [rel, path] : data) {
+    StatusOr<size_t> added = LoadRelationTsvFile(&db, rel, path);
+    if (!added.ok()) return Fail(added.status().ToString());
+    std::fprintf(stderr, "loaded %zu tuple(s) into %s from %s\n", *added,
+                 rel.c_str(), path.c_str());
+  }
+  std::ofstream trace_out;
+  std::optional<JsonTraceSink> trace_sink;
+  if (!trace_path.empty()) {
+    trace_out.open(trace_path, std::ios::out | std::ios::trunc);
+    if (!trace_out) {
+      return Fail(StrCat("cannot open trace file '", trace_path, "'"));
+    }
+    trace_sink.emplace(&trace_out);
+    service_options.trace = &*trace_sink;
+  }
+
+  QueryService service(&db, service_options);
+  SocketServer server(&service);
+  if (Status status = server.Start(socket_path); !status.ok()) {
+    return Fail(status.ToString());
+  }
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  std::fprintf(stderr, "seprec_cli: serving on %s\n", socket_path.c_str());
+  while (g_signalled == 0 && !server.WaitFor(200)) {
+  }
+  server.Stop();
+  return 0;
+}
+
+// The client half of the smoke loop: sends one query request and renders
+// the streamed reply in exactly `run`'s output format, so the two paths
+// diff cleanly.
+int ClientCommand(const std::string& socket_path, const std::string& path,
+                  int argc, char** argv, int first) {
+  std::string query_text;
+  std::string strategy = "auto";
+  bool use_cache = true;
+  bool stats = false;
+  json::Object limits;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--query" && i + 1 < argc) {
+      query_text = argv[++i];
+      continue;
+    }
+    if (arg == "--strategy" && i + 1 < argc) {
+      strategy = argv[++i];
+      continue;
+    }
+    if (arg == "--no-cache") {
+      use_cache = false;
+      continue;
+    }
+    if (arg == "--stats") {
+      stats = true;
+      continue;
+    }
+    if ((arg == "--timeout-ms" || arg == "--max-tuples" ||
+         arg == "--max-bytes" || arg == "--max-iterations") &&
+        i + 1 < argc) {
+      StatusOr<int64_t> v = ParseCount(arg, argv[++i]);
+      if (!v.ok()) return Fail(v.status().ToString());
+      std::string key = arg.substr(2);  // "--timeout-ms" -> "timeout_ms"
+      for (char& c : key) {
+        if (c == '-') c = '_';
+      }
+      limits.insert_or_assign(std::move(key), json::Value(*v));
+      continue;
+    }
+    return Fail(StrCat("unknown client flag '", arg, "'"));
+  }
+
+  std::ifstream in(path);
+  if (!in) return Fail(StrCat("cannot open '", path, "'"));
+  std::ostringstream program;
+  program << in.rdbuf();
+
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Fail(StrCat("socket(): ", std::strerror(errno)));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return Fail("socket path too long");
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Fail(StrCat("connect(", socket_path, "): ",
+                       std::strerror(errno)));
+  }
+
+  json::Object req;
+  req.emplace("op", json::Value("query"));
+  req.emplace("id", json::Value(int64_t{1}));
+  req.emplace("program", json::Value(program.str()));
+  if (!query_text.empty()) req.emplace("query", json::Value(query_text));
+  req.emplace("strategy", json::Value(strategy));
+  req.emplace("cache", json::Value(use_cache));
+  if (!limits.empty()) {
+    req.emplace("limits", json::Value(std::move(limits)));
+  }
+  std::string line = json::Serialize(json::Value(std::move(req)));
+  line.push_back('\n');
+  size_t off = 0;
+  while (off < line.size()) {
+    ssize_t n = ::send(fd, line.data() + off, line.size() - off, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Fail(StrCat("send(): ", std::strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+  }
+
+  int exit_code = 0;
+  std::string buffer;
+  char chunk[4096];
+  bool done = false;
+  while (!done) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      ::close(fd);
+      return Fail("server closed the connection mid-reply");
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t pos;
+    while ((pos = buffer.find('\n')) != std::string::npos) {
+      std::string reply = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      StatusOr<json::Value> msg = json::Parse(reply);
+      if (!msg.ok()) {
+        ::close(fd);
+        return Fail(StrCat("bad reply line: ", msg.status().ToString()));
+      }
+      const std::string& ev = msg->Get("ev").as_string();
+      if (ev == "begin") {
+        std::printf("?- %s.\n", msg->Get("query").as_string().c_str());
+      } else if (ev == "result") {
+        std::printf("%s\n", msg->Get("tuple").as_string().c_str());
+      } else if (ev == "answer") {
+        std::printf("%% %lld answer(s) via %s\n",
+                    static_cast<long long>(msg->Get("answers").as_int()),
+                    msg->Get("strategy").as_string().c_str());
+        for (const json::Value& note : msg->Get("notes").as_array()) {
+          std::printf("%%%% note[%s]: %s\n",
+                      note.Get("code").as_string().c_str(),
+                      note.Get("message").as_string().c_str());
+        }
+        if (msg->Get("partial").as_bool()) {
+          std::printf("%%%% partial result (%s)\n",
+                      msg->Get("cause").as_string().c_str());
+          exit_code = 3;
+        }
+        if (stats) {
+          std::printf("%%%% cache: plan=%s closure=%s stored=%s "
+                      "detections=%lld generation=%lld\n",
+                      msg->Get("plan_cache").as_string().c_str(),
+                      msg->Get("closure_cache").as_string().c_str(),
+                      msg->Get("closure_stored").as_bool() ? "yes" : "no",
+                      static_cast<long long>(
+                          msg->Get("detections").as_int()),
+                      static_cast<long long>(
+                          msg->Get("generation").as_int()));
+        }
+      } else if (ev == "error") {
+        std::fprintf(stderr, "seprec_cli: server error %s: %s\n",
+                     msg->Get("code").as_string().c_str(),
+                     msg->Get("message").as_string().c_str());
+        const std::string& code = msg->Get("code").as_string();
+        ::close(fd);
+        return code == "RESOURCE_EXHAUSTED" || code == "CANCELLED" ? 3 : 1;
+      } else if (ev == "done") {
+        done = true;
+        break;
+      }
+    }
+  }
+  ::close(fd);
+  return exit_code;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 3) return Usage();
   std::string command = argv[1];
@@ -422,6 +685,13 @@ int Main(int argc, char** argv) {
       return Usage();
     }
     return WhyCommand(path, argv[3], *flags);
+  }
+  if (command == "serve") {
+    return ServeCommand(path, argc, argv, 3);
+  }
+  if (command == "client") {
+    if (argc < 4) return Usage();
+    return ClientCommand(path, argv[3], argc, argv, 4);
   }
   return Usage();
 }

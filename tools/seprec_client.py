@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""JSON-lines client for `seprec_cli serve` (DESIGN.md section 10).
+
+Connects to the Unix-domain socket, sends one query request per
+connection, and renders the streamed reply exactly like
+`seprec_cli run` / `seprec_cli client` render theirs — so CI can diff
+server answers against one-shot CLI answers byte for byte.
+
+Usage:
+  tools/seprec_client.py SOCKET PROGRAM.dl [--query 'q(a, X)']
+      [--strategy auto|separable|magic|counting|qsqr|seminaive|naive]
+      [--no-cache] [--stats] [--parallel N]
+      [--timeout-ms N] [--max-tuples N] [--max-bytes N]
+      [--max-iterations N]
+
+With --parallel N the same request is fired over N concurrent
+connections; the rendered outputs must be bit-identical (exit 1 when any
+pair differs — the concurrency smoke check) and the first is printed.
+
+Exit codes mirror the CLI: 0 success, 1 failure (or parallel mismatch),
+2 usage, 3 partial result / resource limit.
+"""
+
+import argparse
+import json
+import socket
+import sys
+import threading
+
+
+def build_request(args):
+    req = {"op": "query", "id": 1, "program": args.program_text}
+    if args.query:
+        req["query"] = args.query
+    if args.strategy:
+        req["strategy"] = args.strategy
+    if args.no_cache:
+        req["cache"] = False
+    limits = {}
+    for key in ("timeout_ms", "max_tuples", "max_bytes", "max_iterations"):
+        val = getattr(args, key)
+        if val is not None:
+            limits[key] = val
+    if limits:
+        req["limits"] = limits
+    return req
+
+
+def run_request(sock_path, request, want_stats):
+    """Returns (rendered_text, exit_code)."""
+    out = []
+    code = 0
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as s:
+        s.connect(sock_path)
+        f = s.makefile("rw", encoding="utf-8", newline="\n")
+        f.write(json.dumps(request) + "\n")
+        f.flush()
+        for line in f:
+            msg = json.loads(line)
+            ev = msg.get("ev")
+            if ev == "begin":
+                out.append("?- %s.\n" % msg["query"])
+            elif ev == "result":
+                out.append("%s\n" % msg["tuple"])
+            elif ev == "answer":
+                out.append("%% %d answer(s) via %s\n"
+                           % (msg["answers"], msg["strategy"]))
+                for note in msg.get("notes", []):
+                    out.append("%%%% note[%s]: %s\n"
+                               % (note["code"], note["message"]))
+                if msg.get("partial"):
+                    out.append("%%%% partial result (%s)\n"
+                               % msg.get("cause", "unknown"))
+                    code = 3
+                if want_stats:
+                    out.append(
+                        "%%%% cache: plan=%s closure=%s stored=%s "
+                        "detections=%d generation=%d\n"
+                        % (msg["plan_cache"], msg["closure_cache"],
+                           "yes" if msg["closure_stored"] else "no",
+                           msg["detections"], msg["generation"]))
+            elif ev == "error":
+                sys.stderr.write("seprec_client: [%s] %s\n"
+                                 % (msg.get("code", "?"),
+                                    msg.get("message", "")))
+                bad = msg.get("code") in ("RESOURCE_EXHAUSTED", "CANCELLED")
+                return "".join(out), 3 if bad else 1
+            elif ev == "done":
+                break
+    return "".join(out), code
+
+
+def main():
+    ap = argparse.ArgumentParser(add_help=True)
+    ap.add_argument("socket")
+    ap.add_argument("program")
+    ap.add_argument("--query")
+    ap.add_argument("--strategy")
+    ap.add_argument("--no-cache", action="store_true")
+    ap.add_argument("--stats", action="store_true")
+    ap.add_argument("--parallel", type=int, default=1)
+    ap.add_argument("--timeout-ms", type=int, dest="timeout_ms")
+    ap.add_argument("--max-tuples", type=int, dest="max_tuples")
+    ap.add_argument("--max-bytes", type=int, dest="max_bytes")
+    ap.add_argument("--max-iterations", type=int, dest="max_iterations")
+    args = ap.parse_args()
+    if args.parallel < 1:
+        ap.error("--parallel must be >= 1")
+
+    try:
+        with open(args.program, encoding="utf-8") as f:
+            args.program_text = f.read()
+    except OSError as e:
+        sys.stderr.write("seprec_client: cannot open '%s': %s\n"
+                         % (args.program, e.strerror))
+        return 2
+
+    request = build_request(args)
+
+    if args.parallel == 1:
+        text, code = run_request(args.socket, request, args.stats)
+        sys.stdout.write(text)
+        return code
+
+    # Concurrency smoke: N identical requests, outputs must agree. Cache
+    # counters naturally differ between the racing requests, so the
+    # parallel comparison always renders without --stats.
+    results = [None] * args.parallel
+
+    def worker(i):
+        try:
+            results[i] = run_request(args.socket, request, False)
+        except OSError as e:
+            results[i] = ("", "connect error: %s" % e)
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(args.parallel)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    text0, code0 = results[0]
+    for i, (text, code) in enumerate(results):
+        if isinstance(code, str):
+            sys.stderr.write("seprec_client: request %d failed: %s\n"
+                             % (i, code))
+            return 1
+        if text != text0 or code != code0:
+            sys.stderr.write(
+                "seprec_client: request %d output differs from request 0\n"
+                "--- request 0 ---\n%s--- request %d ---\n%s"
+                % (i, text0, i, text))
+            return 1
+    sys.stdout.write(text0)
+    return code0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

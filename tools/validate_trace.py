@@ -36,6 +36,8 @@ EVENT_FIELDS = {
                        "partitions": int, "threads": int,
                        "queue_depth": int},
     "governor_trip": {"cause": str, "detail": str},
+    "cache": {"phase": str, "cause": str, "detail": str},
+    "session": {"cause": str, "detail": str},
     "note": {"detail": str},
 }
 
