@@ -132,13 +132,22 @@ void SocketServer::AcceptLoop() {
       if (errno == EINTR) continue;
       break;  // listener closed by Stop()
     }
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_.load(std::memory_order_acquire)) {
-      ::close(fd);
-      break;
+    std::vector<std::thread> finished;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_.load(std::memory_order_acquire)) {
+        ::close(fd);
+        break;
+      }
+      session_fds_.push_back(fd);
+      sessions_.emplace_back([this, fd] { Session(fd); });
+      finished.swap(finished_);
     }
-    session_fds_.push_back(fd);
-    sessions_.emplace_back([this, fd] { Session(fd); });
+    // Reap exited sessions: each handle in finished_ was parked there by
+    // its own thread on the way out, so these joins return promptly. A
+    // long-lived server must not accumulate one unjoined thread (and its
+    // kernel resources) per connection ever served.
+    for (std::thread& t : finished) t.join();
   }
 }
 
@@ -164,6 +173,15 @@ void SocketServer::Session(int fd) {
       if (line.empty()) continue;
       HandleLine(fd, line);
     }
+    if (buffer.size() > max_line_bytes_) {
+      // A client streaming bytes with no '\n' would otherwise grow this
+      // buffer without bound; fail the connection before it can exhaust
+      // server memory.
+      SendError(fd, -1,
+                ResourceExhaustedError(StrCat(
+                    "request line exceeds ", max_line_bytes_, " bytes")));
+      break;
+    }
   }
   if (service_->trace() != nullptr) {
     TraceEvent ev;
@@ -178,6 +196,17 @@ void SocketServer::Session(int fd) {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = std::find(session_fds_.begin(), session_fds_.end(), fd);
     if (it != session_fds_.end()) session_fds_.erase(it);
+    // Park this thread's own handle on the reap list for the accept loop
+    // (or Stop()) to join; absent under Stop(), which already swapped
+    // sessions_ out and joins the handle itself.
+    const std::thread::id self = std::this_thread::get_id();
+    for (auto ts = sessions_.begin(); ts != sessions_.end(); ++ts) {
+      if (ts->get_id() == self) {
+        finished_.push_back(std::move(*ts));
+        sessions_.erase(ts);
+        break;
+      }
+    }
   }
   ::close(fd);
 }
@@ -401,16 +430,23 @@ void SocketServer::Stop() {
     for (int fd : session_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   if (listen_fd_ >= 0) {
-    // shutdown() unblocks accept(); close() alone does not on Linux.
+    // shutdown() unblocks accept(); close() alone does not on Linux. The
+    // close and the listen_fd_ = -1 write wait for the join: the accept
+    // loop re-reads listen_fd_ on every iteration, and closing early
+    // could hand accept() a recycled descriptor number.
     ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::thread> sessions;
   {
     std::lock_guard<std::mutex> lock(mu_);
     sessions.swap(sessions_);
+    for (std::thread& t : finished_) sessions.push_back(std::move(t));
+    finished_.clear();
   }
   for (std::thread& t : sessions) {
     if (t.joinable()) t.join();

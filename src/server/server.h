@@ -33,7 +33,9 @@
 //
 //   errors:   {"id":1,"ev":"error","code":"INVALID_ARGUMENT",
 //              "message":"..."} — the connection stays usable; malformed
-//              JSON (no id recoverable) answers with id -1.
+//              JSON (no id recoverable) answers with id -1. A request
+//              line longer than max_line_bytes (default 16 MiB) answers
+//              RESOURCE_EXHAUSTED and closes the connection.
 //
 // Concurrency: one accept thread plus one thread per connection. Each
 // connection's responses are written only by its own thread, so lines are
@@ -79,6 +81,11 @@ class SocketServer {
   // unlinks the socket file. Idempotent.
   void Stop();
 
+  // Maximum bytes buffered for one request line; a client exceeding it
+  // (bytes with no '\n') gets a RESOURCE_EXHAUSTED error and is
+  // disconnected. Call before Start().
+  void set_max_line_bytes(size_t n) { max_line_bytes_ = n; }
+
  private:
   void AcceptLoop();
   void Session(int fd);
@@ -93,8 +100,12 @@ class SocketServer {
   std::condition_variable shutdown_cv_;
   bool shutdown_requested_ = false;
   std::thread accept_thread_;
-  std::vector<std::thread> sessions_;   // guarded by mu_
+  std::vector<std::thread> sessions_;   // guarded by mu_; running sessions
+  std::vector<std::thread> finished_;   // guarded by mu_; exited sessions
+                                        // awaiting a join (reaped by the
+                                        // accept loop and by Stop())
   std::vector<int> session_fds_;        // guarded by mu_; open fds only
+  size_t max_line_bytes_ = 16u << 20;   // per-connection line-length cap
 
   std::mutex stop_mu_;  // serialises Stop(); never held with mu_ waits
   bool stopped_ = false;

@@ -62,6 +62,9 @@ struct QueryService::ProcessorEntry {
       : text(std::move(t)), qp(std::move(p)), queries(std::move(q)) {}
 };
 
+// INVARIANT: destruction mutates the Database (the PreparedQuery's
+// SchemaRunner drops its $sep scratch relations), so every
+// shared_ptr<PlanEntry> must release its reference while holding db_mu_.
 struct QueryService::PlanEntry {
   // Keeps the processor alive while this plan exists: PreparedQuery holds
   // a raw pointer into it.
@@ -103,15 +106,22 @@ void QueryService::TraceCache(std::string_view cache, std::string_view what,
 }
 
 StatusOr<std::shared_ptr<QueryService::ProcessorEntry>>
-QueryService::GetProcessor(std::string_view program_text) {
+QueryService::GetProcessor(std::string_view program_text, bool* was_cached) {
   uint64_t fp = FingerprintText(program_text);
   {
-    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    // Unique (not shared) lock: a hit refreshes the entry's LRU tick and
+    // the hit counter — without the tick bump eviction degenerates to
+    // FIFO and a continuously-hot program gets evicted.
+    std::unique_lock<std::shared_mutex> lock(cache_mu_);
     auto it = processors_.find(fp);
     if (it != processors_.end() && it->second->text == program_text) {
+      it->second->tick = ++lru_tick_;
+      ++stats_.processor_hits;
+      *was_cached = true;
       return it->second;
     }
   }
+  *was_cached = false;
 
   // Miss: parse and analyse outside every lock (pure computation).
   uint64_t detect_before = DetectionPassCount();
@@ -155,19 +165,10 @@ StatusOr<std::vector<QueryOutcome>> QueryService::Execute(
   }
 
   uint64_t fp = FingerprintText(request.program);
-  bool processor_was_cached;
-  {
-    std::shared_lock<std::shared_mutex> lock(cache_mu_);
-    auto it = processors_.find(fp);
-    processor_was_cached =
-        it != processors_.end() && it->second->text == request.program;
-  }
+  bool processor_was_cached = false;
   SEPREC_ASSIGN_OR_RETURN(std::shared_ptr<ProcessorEntry> entry,
-                          GetProcessor(request.program));
-  if (processor_was_cached) {
-    std::unique_lock<std::shared_mutex> lock(cache_mu_);
-    ++stats_.processor_hits;
-  }
+                          GetProcessor(request.program,
+                                       &processor_was_cached));
   TraceCache("processor", processor_was_cached ? "hit" : "miss",
              StrCat("fp", fp));
 
@@ -227,89 +228,103 @@ StatusOr<std::vector<QueryOutcome>> QueryService::Execute(
     std::shared_ptr<ClosureEntry> reuse_entry;
     {
       std::lock_guard<std::mutex> db_lock(db_mu_);
-      if (plan == nullptr) {
-        // Compile: the per-shape cost. Prepare touches the database
-        // (pre-creates IDB relations, compiles and binds rule plans), so
-        // it runs under the database mutex.
-        StatusOr<PreparedQuery> prepared = entry->qp.Prepare(
-            query, db_, request.strategy, options_.parallel);
-        if (!prepared.ok()) return prepared.status();
-        plan = std::make_shared<PlanEntry>(entry, std::move(prepared).value());
-        if (request.use_cache && options_.max_prepared > 0) {
+      Status run = [&]() -> Status {
+        if (plan == nullptr) {
+          // Compile: the per-shape cost. Prepare touches the database
+          // (pre-creates IDB relations, compiles and binds rule plans), so
+          // it runs under the database mutex.
+          StatusOr<PreparedQuery> prepared = entry->qp.Prepare(
+              query, db_, request.strategy, options_.parallel);
+          if (!prepared.ok()) return prepared.status();
+          plan =
+              std::make_shared<PlanEntry>(entry, std::move(prepared).value());
+          if (request.use_cache && options_.max_prepared > 0) {
+            std::unique_lock<std::shared_mutex> lock(cache_mu_);
+            plan->tick = ++lru_tick_;
+            while (plans_.size() >= options_.max_prepared) {
+              auto victim = plans_.begin();
+              for (auto it = plans_.begin(); it != plans_.end(); ++it) {
+                if (it->second->tick < victim->second->tick) victim = it;
+              }
+              TraceCache("plan", "evict", victim->first);
+              plans_.erase(victim);  // schema scratch drops under db_mu_
+            }
+            plans_[plan_key] = plan;
+          }
+        }
+
+        out.generation = db_->generation();
+        const std::string closure_key =
+            StrCat(plan_key, "|", ConstantsString(query), "|g",
+                   out.generation);
+        const bool closure_layer = request.use_cache &&
+                                   options_.max_closures > 0 &&
+                                   plan->prepared.has_compiled_schema();
+        if (closure_layer) {
           std::unique_lock<std::shared_mutex> lock(cache_mu_);
-          plan->tick = ++lru_tick_;
-          while (plans_.size() >= options_.max_prepared) {
-            auto victim = plans_.begin();
-            for (auto it = plans_.begin(); it != plans_.end(); ++it) {
+          auto it = closures_.find(closure_key);
+          if (it != closures_.end()) {
+            reuse_entry = it->second;
+            reuse_entry->tick = ++lru_tick_;
+            out.closure_cache_hit = true;
+            ++stats_.closure_hits;
+          } else {
+            ++stats_.closure_misses;
+            try_capture = true;
+          }
+        }
+        if (plan->prepared.has_compiled_schema()) {
+          TraceCache("closure", out.closure_cache_hit ? "hit" : "miss",
+                     closure_key);
+        }
+
+        FixpointOptions fo;
+        fo.limits = limits;
+        fo.trace = options_.trace;
+        StatusOr<QueryResult> result = plan->prepared.Execute(
+            query, db_, fo,
+            reuse_entry != nullptr ? &reuse_entry->closure : nullptr,
+            try_capture ? &captured : nullptr,
+            /*commit=*/false);
+        if (!result.ok()) return result.status();
+        out.result = std::move(result).value();
+
+        // A closure is cacheable only when it is provably the FULL phase-1
+        // result: the separable strategy itself answered (no fallback), the
+        // run was not truncated, and the engine actually captured (it only
+        // does when the phase-1 loop drained without a governor stop).
+        if (try_capture && !captured.rows.empty() && !out.result.partial &&
+            out.result.strategy == Strategy::kSeparable) {
+          auto centry = std::make_shared<ClosureEntry>();
+          centry->closure = std::move(captured);
+          captured = Phase1Closure();
+          std::unique_lock<std::shared_mutex> lock(cache_mu_);
+          centry->tick = ++lru_tick_;
+          while (closures_.size() >= options_.max_closures) {
+            auto victim = closures_.begin();
+            for (auto it = closures_.begin(); it != closures_.end(); ++it) {
               if (it->second->tick < victim->second->tick) victim = it;
             }
-            TraceCache("plan", "evict", victim->first);
-            plans_.erase(victim);  // schema scratch drops under db_mu_
+            TraceCache("closure", "evict", victim->first);
+            closures_.erase(victim);
           }
-          plans_[plan_key] = plan;
+          closures_[closure_key] = centry;
+          ++stats_.closure_stores;
+          out.closure_stored = true;
+          TraceCache("closure", "store", closure_key);
         }
-      }
-
-      out.generation = db_->generation();
-      const std::string closure_key =
-          StrCat(plan_key, "|", ConstantsString(query), "|g",
-                 out.generation);
-      const bool closure_layer = request.use_cache &&
-                                 options_.max_closures > 0 &&
-                                 plan->prepared.has_compiled_schema();
-      if (closure_layer) {
-        std::unique_lock<std::shared_mutex> lock(cache_mu_);
-        auto it = closures_.find(closure_key);
-        if (it != closures_.end()) {
-          reuse_entry = it->second;
-          reuse_entry->tick = ++lru_tick_;
-          out.closure_cache_hit = true;
-          ++stats_.closure_hits;
-        } else {
-          ++stats_.closure_misses;
-          try_capture = true;
-        }
-      }
-      if (plan->prepared.has_compiled_schema()) {
-        TraceCache("closure", out.closure_cache_hit ? "hit" : "miss",
-                   closure_key);
-      }
-
-      FixpointOptions fo;
-      fo.limits = limits;
-      fo.trace = options_.trace;
-      StatusOr<QueryResult> result = plan->prepared.Execute(
-          query, db_, fo,
-          reuse_entry != nullptr ? &reuse_entry->closure : nullptr,
-          try_capture ? &captured : nullptr,
-          /*commit=*/false);
-      if (!result.ok()) return result.status();
-      out.result = std::move(result).value();
-
-      // A closure is cacheable only when it is provably the FULL phase-1
-      // result: the separable strategy itself answered (no fallback), the
-      // run was not truncated, and the engine actually captured (it only
-      // does when the phase-1 loop drained without a governor stop).
-      if (try_capture && !captured.rows.empty() && !out.result.partial &&
-          out.result.strategy == Strategy::kSeparable) {
-        auto centry = std::make_shared<ClosureEntry>();
-        centry->closure = std::move(captured);
-        captured = Phase1Closure();
-        std::unique_lock<std::shared_mutex> lock(cache_mu_);
-        centry->tick = ++lru_tick_;
-        while (closures_.size() >= options_.max_closures) {
-          auto victim = closures_.begin();
-          for (auto it = closures_.begin(); it != closures_.end(); ++it) {
-            if (it->second->tick < victim->second->tick) victim = it;
-          }
-          TraceCache("closure", "evict", victim->first);
-          closures_.erase(victim);
-        }
-        closures_[closure_key] = centry;
-        ++stats_.closure_stores;
-        out.closure_stored = true;
-        TraceCache("closure", "store", closure_key);
-      }
+        return Status::OK();
+      }();
+      // ~PlanEntry -> ~PreparedQuery -> ~SchemaRunner drops the compiled
+      // schema's $sep scratch relations from the Database, so the LAST
+      // shared_ptr<PlanEntry> release must happen under db_mu_. Every
+      // cache-side release (evict, overwrite, purge, ~QueryService) holds
+      // it; this reset covers the local reference, which is the last one
+      // whenever the plan never entered the cache ("cache":false,
+      // max_prepared == 0, an error return above) or was displaced while
+      // this query ran.
+      plan.reset();
+      if (!run.ok()) return run;
     }  // db_mu_ released
 
     // Rendering reads only the answer's Values and the symbol table (its

@@ -151,8 +151,11 @@ class QueryService {
   struct PlanEntry;
   struct ClosureEntry;
 
+  // Returns the cached (or freshly parsed + analysed) processor for
+  // `program_text`, setting *was_cached; a hit refreshes the LRU tick and
+  // the hit/miss counters so callers need no second racy probe.
   StatusOr<std::shared_ptr<ProcessorEntry>> GetProcessor(
-      std::string_view program_text);
+      std::string_view program_text, bool* was_cached);
   void TraceCache(std::string_view cache, std::string_view what,
                   std::string_view key);
 

@@ -306,6 +306,68 @@ TEST(QueryService, PurgeDropsCachedArtifacts) {
   EXPECT_EQ(service.stats().processors, 0u);
 }
 
+TEST(QueryService, ProcessorCacheIsLruNotFifo) {
+  Database db;
+  ServiceOptions options;
+  options.max_processors = 2;
+  QueryService service(&db, options);
+  const std::string a = kTcProgram;
+  const std::string b = StrCat(kTcProgram, "edge(p, q).\n");
+  const std::string c = StrCat(kTcProgram, "edge(r, s).\n");
+  // Runs `program` and reports its detection-pass cost: zero exactly when
+  // the processor (and plan) came from cache.
+  auto detections = [&](const std::string& program) -> uint64_t {
+    ServiceRequest req;
+    req.program = program;
+    req.query = "tc(a, X)";
+    auto out = service.Execute(req);
+    EXPECT_TRUE(out.ok());
+    return out.ok() ? (*out)[0].detection_passes : ~uint64_t{0};
+  };
+  EXPECT_GT(detections(a), 0u);  // miss: A analysed        cache {A}
+  EXPECT_GT(detections(b), 0u);  // miss: B analysed        cache {A, B}
+  EXPECT_EQ(detections(a), 0u);  // hit refreshes A's tick
+  EXPECT_GT(detections(c), 0u);  // miss: evicts B (LRU)    cache {A, C}
+  // Under FIFO this would evict A (the oldest insertion) instead, and the
+  // continuously-hot program would pay a re-parse + detection pass here.
+  EXPECT_EQ(detections(a), 0u);
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.processor_hits, 2u);
+  EXPECT_EQ(stats.processor_misses, 3u);
+}
+
+TEST(QueryService, UncachedAndEvictedPlansDropDuringConcurrentEvaluation) {
+  // Regression for a release-order race: ~PlanEntry drops the compiled
+  // schema's scratch relations from the Database, so the last reference
+  // must be released under the database mutex. Uncached requests
+  // ("cache":false) and a one-slot plan cache (constant eviction /
+  // overwrite churn between two shapes) exercise every release path while
+  // other sessions evaluate; TSan flags any drop outside the lock.
+  Database db;
+  ServiceOptions options;
+  options.max_prepared = 1;
+  QueryService service(&db, options);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 4;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      for (int j = 0; j < kIters; ++j) {
+        ServiceRequest req = TcRequest(i % 2 == 0 ? "tc(a, X)" : "tc(X, d)");
+        req.use_cache = i % 4 < 2;
+        auto out = service.Execute(req);
+        if (!out.ok() || out->size() != 1 || (*out)[0].tuples.empty()) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
 TEST(QueryService, ConcurrentSessionsBitIdentical) {
   Database db;
   QueryService service(&db);
@@ -361,10 +423,18 @@ class SocketClient {
   }
   bool connected() const { return connected_; }
 
-  void Send(const std::string& line) {
-    std::string framed = line + "\n";
-    ASSERT_EQ(::send(fd_, framed.data(), framed.size(), 0),
-              static_cast<ssize_t>(framed.size()));
+  void Send(const std::string& line) { SendRaw(line + "\n"); }
+
+  // Sends bytes as-is, without the '\n' framing.
+  void SendRaw(const std::string& bytes) {
+    ASSERT_EQ(::send(fd_, bytes.data(), bytes.size(), 0),
+              static_cast<ssize_t>(bytes.size()));
+  }
+
+  // True when the server has closed the connection (clean EOF).
+  bool ReadEof() {
+    char c;
+    return ::recv(fd_, &c, 1, 0) == 0;
   }
 
   // Reads one '\n'-terminated JSON line.
@@ -548,6 +618,34 @@ TEST_F(SocketServerTest, ConcurrentSocketSessionsBitIdentical) {
   }
   EXPECT_EQ(transcripts[0],
             "(a, b)\n(a, c)\n(a, d)\nanswers=3 via separable\n");
+}
+
+TEST(SocketServerLimits, OverlongLineAnswersErrorAndDisconnects) {
+  Database db;
+  QueryService service(&db);
+  SocketServer server(&service);
+  server.set_max_line_bytes(1024);
+  const std::string path =
+      StrCat(::testing::TempDir(), "/seprec_cap_",
+             static_cast<unsigned long>(::getpid()), ".s");
+  ASSERT_TRUE(server.Start(path).ok());
+  {
+    SocketClient client(path);
+    ASSERT_TRUE(client.connected());
+    // 4 KiB with no '\n': over the cap before any line completes. The
+    // server must answer with an error and close, not buffer forever.
+    client.SendRaw(std::string(4096, 'x'));
+    json::Value err = client.ReadLine();
+    EXPECT_EQ(err.Get("ev").as_string(), "error");
+    EXPECT_EQ(err.Get("code").as_string(), "RESOURCE_EXHAUSTED");
+    EXPECT_TRUE(client.ReadEof());
+  }
+  // A well-behaved client under the cap is unaffected.
+  SocketClient ok_client(path);
+  ASSERT_TRUE(ok_client.connected());
+  ok_client.Send(R"({"op":"ping","id":1})");
+  EXPECT_TRUE(ok_client.ReadLine().Get("ok").as_bool());
+  server.Stop();
 }
 
 TEST_F(SocketServerTest, ShutdownOpStopsTheServer) {
