@@ -4,6 +4,8 @@
 #include "counting/engine.h"
 #include "eval/qsq.h"
 #include "magic/engine.h"
+#include "opt/nonrecursive.h"
+#include "opt/pass_manager.h"
 #include "separable/engine.h"
 #include "separable/rewrite.h"
 #include "util/failpoint.h"
@@ -18,6 +20,7 @@ std::string_view StrategyToString(Strategy strategy) {
     case Strategy::kMagic: return "magic";
     case Strategy::kCounting: return "counting";
     case Strategy::kQsqr: return "qsqr";
+    case Strategy::kNonRecursive: return "nonrecursive";
     case Strategy::kSemiNaive: return "seminaive";
     case Strategy::kNaive: return "naive";
   }
@@ -27,6 +30,7 @@ std::string_view StrategyToString(Strategy strategy) {
 StatusOr<QueryProcessor> QueryProcessor::Create(
     Program program, const ProcessorOptions& options) {
   QueryProcessor qp;
+  qp.options_ = options;
   SEPREC_ASSIGN_OR_RETURN(qp.info_, ProgramInfo::Analyze(program));
   for (const auto& [name, pred] : qp.info_.predicates()) {
     if (!pred.is_idb || !pred.is_recursive) continue;
@@ -186,6 +190,10 @@ std::vector<Strategy> FallbackChain(Strategy first) {
       return {Strategy::kSeparable, Strategy::kMagic, Strategy::kSemiNaive};
     case Strategy::kMagic:
       return {Strategy::kMagic, Strategy::kSemiNaive};
+    case Strategy::kNonRecursive:
+      // The single-pass plan refuses recursion/aggregates it was not
+      // promised; semi-naive answers anything.
+      return {Strategy::kNonRecursive, Strategy::kSemiNaive};
     default:
       return {first};
   }
@@ -247,13 +255,16 @@ Status QueryProcessor::RunStrategy(Strategy strategy, const Atom& query,
       result->stats = std::move(run.stats);
       return Status::OK();
     }
+    case Strategy::kNonRecursive:
     case Strategy::kSemiNaive:
     case Strategy::kNaive: {
       // Materialise the query predicate (and only what it depends on),
       // then select.
       const PredicateInfo* pred = info_.Find(query.predicate);
       const bool seminaive = strategy == Strategy::kSemiNaive;
-      result->stats.algorithm = seminaive ? "seminaive" : "naive";
+      result->stats.algorithm = strategy == Strategy::kNonRecursive
+                                    ? "nonrecursive"
+                                    : (seminaive ? "seminaive" : "naive");
       if (pred != nullptr && pred->is_idb) {
         std::set<std::string> wanted =
             info_.DependenciesOf(query.predicate);
@@ -265,9 +276,13 @@ Status QueryProcessor::RunStrategy(Strategy strategy, const Atom& query,
           }
         }
         Status status =
-            seminaive
-                ? EvaluateSemiNaive(focused, db, options, &result->stats)
-                : EvaluateNaive(focused, db, options, &result->stats);
+            strategy == Strategy::kNonRecursive
+                ? EvaluateNonRecursive(focused, db, options, &result->stats)
+                : (seminaive
+                       ? EvaluateSemiNaive(focused, db, options,
+                                           &result->stats)
+                       : EvaluateNaive(focused, db, options,
+                                       &result->stats));
         SEPREC_RETURN_IF_ERROR(status);
       }
       const Relation* rel = db->Find(query.predicate);
@@ -392,9 +407,76 @@ StatusOr<QueryResult> QueryProcessor::Answer(
                   /*commit=*/true);
 }
 
+StatusOr<QueryProcessor::PipelinePrep> QueryProcessor::RunPipeline(
+    const Atom& query) const {
+  DiagnosticSink sink;
+  PassPipelineOptions pipeline_options;
+  pipeline_options.separability = options_.separability;
+  pipeline_options.max_bound = options_.pass_max_bound;
+  PassManager manager = PassManager::Standard(pipeline_options);
+  PipelineResult pipeline = manager.Run(info_.program(), query, &sink);
+
+  PipelinePrep prep;
+  prep.report.outcomes = std::move(pipeline.outcomes);
+  prep.report.rewritten = pipeline.rewritten;
+  prep.report.derecursed = pipeline.derecursed;
+
+  if (pipeline.rewritten) {
+    // The rewritten program executes from its own processor; the pipeline
+    // is disabled there so rewrites never recurse.
+    ProcessorOptions inner_options = options_;
+    inner_options.enable_pass_pipeline = false;
+    StatusOr<QueryProcessor> inner =
+        Create(std::move(pipeline.program), inner_options);
+    if (inner.ok()) {
+      prep.optimized =
+          std::make_shared<const QueryProcessor>(std::move(inner).value());
+    } else {
+      // A rewrite that fails re-analysis would be a pass bug; degrade to
+      // the original program rather than failing the query.
+      prep.report.rewritten = false;
+      prep.report.derecursed = false;
+      sink.Report("S203", Severity::kNote, query.span,
+                  StrCat("pipeline rewrite abandoned (re-analysis failed: ",
+                         inner.status().message(),
+                         "); compiling the original program"));
+    }
+  }
+
+  const QueryProcessor* effective =
+      prep.optimized != nullptr ? prep.optimized.get() : this;
+  if (prep.report.derecursed) {
+    prep.report.strategy = Strategy::kNonRecursive;
+    prep.report.reason =
+        "bounded recursion eliminated; single-pass non-recursive plan";
+  } else {
+    Decision decision = effective->Decide(query);
+    prep.report.strategy = decision.strategy;
+    prep.report.reason = std::move(decision.reason);
+  }
+  sink.Report("S200", Severity::kNote, query.span,
+              StrCat("strategy for ", query.ToString(), ": ",
+                     StrategyToString(prep.report.strategy), " (",
+                     prep.report.reason,
+                     "); passes: ", prep.report.Summary()));
+  prep.report.diagnostics = sink.diagnostics();
+  return prep;
+}
+
+StatusOr<PassReport> QueryProcessor::AnalyzeQuery(const Atom& query) const {
+  const PredicateInfo* pred = info_.Find(query.predicate);
+  if (pred != nullptr && pred->arity != query.arity()) {
+    return InvalidArgumentError(
+        StrCat("query arity ", query.arity(), " does not match '",
+               query.predicate, "'/", pred->arity));
+  }
+  SEPREC_ASSIGN_OR_RETURN(PipelinePrep prep, RunPipeline(query));
+  return std::move(prep.report);
+}
+
 StatusOr<PreparedQuery> QueryProcessor::Prepare(
     const Atom& query, Database* db, Strategy strategy,
-    const ParallelPolicy& policy) const {
+    const ParallelPolicy& policy, bool run_pipeline) const {
   const PredicateInfo* pred = info_.Find(query.predicate);
   if (pred != nullptr && pred->arity != query.arity()) {
     return InvalidArgumentError(
@@ -406,7 +488,18 @@ StatusOr<PreparedQuery> QueryProcessor::Prepare(
   prepared.qp_ = this;
   prepared.predicate_ = query.predicate;
   prepared.bound_ = BoundPositions(query);
-  if (strategy == Strategy::kAuto) {
+  if (strategy == Strategy::kAuto && run_pipeline &&
+      options_.enable_pass_pipeline) {
+    SEPREC_ASSIGN_OR_RETURN(PipelinePrep prep, RunPipeline(query));
+    prepared.owned_qp_ = std::move(prep.optimized);
+    if (prepared.owned_qp_ != nullptr) {
+      prepared.qp_ = prepared.owned_qp_.get();
+    }
+    prepared.decided_ = prep.report.strategy;
+    prepared.reason_ = prep.report.reason;
+    prepared.chain_ = FallbackChain(prepared.decided_);
+    prepared.pass_report_ = std::move(prep.report);
+  } else if (strategy == Strategy::kAuto) {
     Decision decision = Decide(query);
     prepared.decided_ = decision.strategy;
     prepared.reason_ = std::move(decision.reason);
@@ -417,22 +510,25 @@ StatusOr<PreparedQuery> QueryProcessor::Prepare(
     prepared.chain_ = {strategy};
   }
 
+  // From here on everything compiles against the program the plan will
+  // execute — the rewritten one when the pipeline produced it.
+  const QueryProcessor* effective = prepared.qp_;
   if (prepared.chain_.front() == Strategy::kSeparable) {
-    const SeparableRecursion* sep = FindSeparable(query.predicate);
+    const SeparableRecursion* sep = effective->FindSeparable(query.predicate);
     if (sep != nullptr &&
         ClassifySelection(*sep, query) == SelectionKind::kFull) {
       // Rule plans bind concrete relations, so the program's IDB
       // predicates must exist in the catalog before compilation — empty is
       // fine, Execute re-materialises them per run. CreateRelation is
       // idempotent and does not bump the generation.
-      for (const auto& [name, info] : info_.predicates()) {
+      for (const auto& [name, info] : effective->info_.predicates()) {
         if (!info.is_idb) continue;
         SEPREC_RETURN_IF_ERROR(
             db->CreateRelation(name, info.arity).status());
       }
       StatusOr<std::unique_ptr<PreparedSeparable>> schema =
-          PreparedSeparable::Compile(info_.program(), *sep, query, db,
-                                     policy);
+          PreparedSeparable::Compile(effective->info_.program(), *sep, query,
+                                     db, policy);
       // A compile failure degrades softly: Execute then runs the exact
       // one-shot path Answer uses (and fails or falls back identically).
       if (schema.ok()) {

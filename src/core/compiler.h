@@ -26,6 +26,7 @@
 #include "datalog/ast.h"
 #include "datalog/diagnostics.h"
 #include "eval/fixpoint.h"
+#include "opt/pass_manager.h"
 #include "separable/detection.h"
 #include "separable/engine.h"
 #include "storage/database.h"
@@ -40,7 +41,9 @@ enum class Strategy {
   kSeparable,
   kMagic,
   kCounting,
-  kQsqr,       // top-down Query-SubQuery (forced strategy / comparator)
+  kQsqr,          // top-down Query-SubQuery (forced strategy / comparator)
+  kNonRecursive,  // single-pass plan for recursion-free (e.g. de-recursed)
+                  // programs: zero fixpoint rounds
   kSemiNaive,
   kNaive,
 };
@@ -70,6 +73,32 @@ struct ProcessorOptions {
   // separability.require_connected_bodies = false to accept the Section 5
   // condition-4 relaxation (correct but unfocused evaluation).
   SeparabilityOptions separability;
+
+  // Run the static pass pipeline (src/opt) in Prepare for kAuto queries.
+  // The ablation flag: with false, Prepare decides exactly as it did
+  // before the pipeline existed — answers are bit-identical either way,
+  // only the plan (and its cost) may differ.
+  bool enable_pass_pipeline = true;
+
+  // Largest recursion bound the boundedness pass tries to prove.
+  size_t pass_max_bound = 3;
+};
+
+// What the pass pipeline concluded for one query: the per-pass verdicts,
+// the diagnostics they reported (S2xx notes plus absorbed explainer
+// output), and the strategy decided on the post-pipeline program. Recorded
+// in the PreparedQuery — and thus in the service's compiled-plan cache —
+// and rendered by `seprec_cli analyze`.
+struct PassReport {
+  std::vector<PassOutcome> outcomes;
+  std::vector<Diagnostic> diagnostics;
+  Strategy strategy = Strategy::kSemiNaive;
+  std::string reason;
+  bool rewritten = false;   // some pass changed the program
+  bool derecursed = false;  // the query predicate left recursion
+
+  // "dead-rules=proved,bounded=rewritten,separability=abstained"
+  std::string Summary() const { return SummarizeOutcomes(outcomes); }
 };
 
 class QueryProcessor {
@@ -125,9 +154,23 @@ class QueryProcessor {
   //
   // `policy` fixes the parallel-partition count baked into the compiled
   // plans; the processor must outlive the returned PreparedQuery.
+  //
+  // With `run_pipeline` true (and options.enable_pass_pipeline set, and
+  // kAuto strategy) Prepare first runs the static pass pipeline: the
+  // decision is then made on the rewritten program, the PreparedQuery
+  // carries the PassReport, and a rewrite (e.g. a de-recursed bounded
+  // recursion) is executed from an internally owned processor for the
+  // rewritten program. `run_pipeline` false is the per-request ablation
+  // knob the query service exposes.
   StatusOr<PreparedQuery> Prepare(const Atom& query, Database* db,
                                   Strategy strategy = Strategy::kAuto,
-                                  const ParallelPolicy& policy = {}) const;
+                                  const ParallelPolicy& policy = {},
+                                  bool run_pipeline = true) const;
+
+  // Runs the pass pipeline for `query` and decides the strategy on the
+  // resulting program, without compiling anything against a database —
+  // the static half of Prepare, used by `seprec_cli analyze`.
+  StatusOr<PassReport> AnalyzeQuery(const Atom& query) const;
 
   const Program& program() const { return info_.program(); }
 
@@ -148,6 +191,15 @@ class QueryProcessor {
   friend class PreparedQuery;
 
   QueryProcessor() = default;
+
+  // The pipeline half shared by Prepare and AnalyzeQuery: the report plus,
+  // when a pass rewrote the program, a processor for the rewritten program
+  // (created with the pipeline disabled, so rewrites never recurse).
+  struct PipelinePrep {
+    PassReport report;
+    std::shared_ptr<const QueryProcessor> optimized;  // null unless rewritten
+  };
+  StatusOr<PipelinePrep> RunPipeline(const Atom& query) const;
 
   // Executes one concrete (non-kAuto) strategy, filling result->answer and
   // result->stats. `options.context` must be set by the caller. When
@@ -175,6 +227,7 @@ class QueryProcessor {
                                  Phase1Closure* capture, bool commit) const;
 
   ProgramInfo info_;
+  ProcessorOptions options_;
   std::map<std::string, SeparableRecursion> separable_;
   std::map<std::string, std::string> not_separable_reason_;
   std::map<std::string, std::vector<Diagnostic>> separability_diagnostics_;
@@ -198,6 +251,16 @@ class PreparedQuery {
   // separable shape); such executions support closure reuse/capture.
   bool has_compiled_schema() const { return schema_ != nullptr; }
 
+  // The pass pipeline's record for this prepared shape — the strategy
+  // decision plus every per-pass verdict. Null when the pipeline did not
+  // run (forced strategy, or the ablation flag off).
+  const PassReport* pass_report() const {
+    return pass_report_.has_value() ? &*pass_report_ : nullptr;
+  }
+  // True when the pipeline rewrote the program and this plan executes the
+  // rewritten form (from an internally owned processor).
+  bool pipeline_rewrote() const { return owned_qp_ != nullptr; }
+
   // True when `query` has this prepared shape: same predicate and the same
   // bound-position set (constants are free to differ).
   bool Matches(const Atom& query) const;
@@ -218,6 +281,11 @@ class PreparedQuery {
   PreparedQuery() = default;
 
   const QueryProcessor* qp_ = nullptr;  // must outlive this object
+  // When the pipeline rewrote the program, qp_ points at this owned
+  // processor for the rewritten form (kept alive with the plan; the outer
+  // processor's lifetime requirement is unchanged).
+  std::shared_ptr<const QueryProcessor> owned_qp_;
+  std::optional<PassReport> pass_report_;
   std::string predicate_;
   std::vector<bool> bound_;  // the prepared selection shape
   Strategy decided_ = Strategy::kSemiNaive;

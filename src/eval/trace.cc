@@ -26,6 +26,8 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "cache";
     case TraceEventKind::kSession:
       return "session";
+    case TraceEventKind::kPass:
+      return "pass";
     case TraceEventKind::kNote:
       return "note";
   }
@@ -166,6 +168,11 @@ void JsonTraceSink::Emit(const TraceEvent& e) {
       break;
     case TraceEventKind::kSession:
       AppendStr(&line, "cause", e.cause);
+      AppendStr(&line, "detail", e.detail);
+      break;
+    case TraceEventKind::kPass:
+      AppendStr(&line, "pass", e.phase);
+      AppendStr(&line, "verdict", e.cause);
       AppendStr(&line, "detail", e.detail);
       break;
     case TraceEventKind::kNote:

@@ -25,6 +25,9 @@
 //   cache          phase (cache layer: "processor"/"plan"/"closure"/"all"),
 //                  cause ("hit"/"miss"/"store"/"evict"/"purge"), detail (key)
 //   session        cause ("open"/"close"/"request"), detail
+//   pass           pass (pipeline pass name, or "strategy" for the final
+//                  selection), verdict ("proved"/"rewritten"/"abstained",
+//                  or the strategy name), detail — schema v2 only
 //   note           detail
 //
 // Semantics: `emitted` counts head tuples produced by rule bodies,
@@ -58,6 +61,7 @@ enum class TraceEventKind {
   kGovernorTrip,
   kCache,    // query-service cache activity (hit/miss/store/evict/purge)
   kSession,  // query-service session lifecycle (open/request/close)
+  kPass,     // static-analysis pipeline verdicts and strategy selection
   kNote,
 };
 
@@ -70,7 +74,7 @@ struct TraceEvent {
   std::string engine;  // "seminaive", "naive", "separable", "magic", ...
   std::string phase;   // "stratum0", "phase1", "exit", "insert", ...
   std::string rule;    // source text of the rule (kRule)
-  std::string cause;   // stop cause (kGovernorTrip)
+  std::string cause;   // stop cause (kGovernorTrip); verdict (kPass)
   std::string detail;  // free-form context (kGovernorTrip, kNote)
   uint64_t round = 0;
   uint64_t emitted = 0;         // head tuples produced, duplicates included
@@ -106,7 +110,9 @@ class JsonTraceSink : public TraceSink {
   explicit JsonTraceSink(std::ostream* out) : out_(out) {}
   void Emit(const TraceEvent& event) override;
 
-  static constexpr int kSchemaVersion = 1;
+  // v2 added the "pass" event (static-analysis pipeline verdicts); every
+  // v1 event serialises identically under v2.
+  static constexpr int kSchemaVersion = 2;
 
  private:
   std::ostream* out_;

@@ -1,0 +1,38 @@
+// Boundedness detection and recursion elimination.
+//
+// A recursion is *bounded* when its fixpoint is reached after a constant
+// number of rounds on every database — equivalently, when the union of its
+// expansion strings (Figure 1 of the paper) up to some depth k already
+// contains every deeper string. Bounded recursions are exactly the ones
+// expressible without recursion (Naughton; Mazowiecki et al. survey the
+// decidability frontier — PAPERS.md), and for a LINEAR recursion the
+// Sagiv–Yannakakis union test makes the depth-k check sufficient:
+//
+//   every depth-(k+1) expansion string is contained in SOME string of
+//   depth <= k   =>   the recursion is bounded with bound k,
+//
+// because a CQ is contained in a union of CQs iff it is contained in one
+// disjunct, and containment is preserved by applying a further rule
+// context — so coverage of depth k+1 extends inductively to all depths.
+//
+// The pass enumerates expansion strings with Expand (datalog/expand.h) and
+// checks coverage with the Chandra–Merlin containment test
+// (datalog/containment.h) — every rewrite this pass performs is therefore
+// verified by the existing containment checker, never by ad-hoc syntactic
+// reasoning. On success the predicate's rules are replaced by the
+// non-recursive union of its depth <= k strings (S201); otherwise the pass
+// abstains (S202).
+#ifndef SEPREC_OPT_BOUNDED_H_
+#define SEPREC_OPT_BOUNDED_H_
+
+#include <memory>
+
+#include "opt/pass.h"
+
+namespace seprec {
+
+std::unique_ptr<Pass> MakeBoundedPass();
+
+}  // namespace seprec
+
+#endif  // SEPREC_OPT_BOUNDED_H_

@@ -1,0 +1,95 @@
+#include "opt/dead_rules.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace seprec {
+
+namespace {
+
+class DeadRulePass : public Pass {
+ public:
+  std::string_view name() const override { return "dead-rules"; }
+
+  PassOutcome Run(PassContext* ctx, DiagnosticSink* sink) const override {
+    PassOutcome outcome;
+    outcome.pass = std::string(name());
+
+    // Dependency edges head -> body predicates, straight from the syntax
+    // (no ProgramInfo needed, so the pass also works mid-pipeline on a
+    // program another pass just rewrote).
+    std::map<std::string, std::set<std::string>> deps;
+    for (const Rule& rule : ctx->program.rules) {
+      std::set<std::string>& out = deps[rule.head.predicate];
+      for (const Atom* atom : rule.BodyAtoms()) {
+        out.insert(atom->predicate);
+      }
+    }
+
+    // Everything the query predicate transitively reads.
+    std::set<std::string> reachable;
+    std::vector<std::string> frontier{ctx->query.predicate};
+    reachable.insert(ctx->query.predicate);
+    while (!frontier.empty()) {
+      std::string pred = std::move(frontier.back());
+      frontier.pop_back();
+      auto it = deps.find(pred);
+      if (it == deps.end()) continue;
+      for (const std::string& next : it->second) {
+        if (reachable.insert(next).second) frontier.push_back(next);
+      }
+    }
+
+    Program kept;
+    std::set<std::string> dropped_preds;
+    size_t dropped_rules = 0;
+    for (const Rule& rule : ctx->program.rules) {
+      if (reachable.count(rule.head.predicate)) {
+        kept.rules.push_back(rule);
+        continue;
+      }
+      ++dropped_rules;
+      dropped_preds.insert(rule.head.predicate);
+      sink->Report(
+          "S204", Severity::kNote, rule.span,
+          StrCat("dead rule: '", rule.head.predicate,
+                 "' is unreachable from the query predicate '",
+                 ctx->query.predicate, "'; removed from the compiled plan"));
+    }
+
+    if (dropped_rules == 0) {
+      outcome.verdict = PassVerdict::kProved;
+      outcome.detail =
+          StrCat("all ", ctx->program.rules.size(),
+                 " rule(s) reachable from '", ctx->query.predicate, "'");
+      return outcome;
+    }
+
+    std::string preds;
+    for (const std::string& p : dropped_preds) {
+      if (!preds.empty()) preds += ", ";
+      preds += StrCat("'", p, "'");
+    }
+    sink->Report("S205", Severity::kNote, ctx->query.span,
+                 StrCat("unreachable predicate(s) dropped: ", preds, " (",
+                        dropped_rules, " rule(s))"));
+    outcome.verdict = PassVerdict::kRewritten;
+    outcome.detail =
+        StrCat("removed ", dropped_rules, " dead rule(s) defining ",
+               dropped_preds.size(), " predicate(s)");
+    ctx->program = std::move(kept);
+    return outcome;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> MakeDeadRulePass() {
+  return std::make_unique<DeadRulePass>();
+}
+
+}  // namespace seprec

@@ -1,0 +1,27 @@
+// Dead-rule / unreachable-predicate elimination.
+//
+// A rule is dead for a query when its head predicate is not reachable from
+// the query predicate in the predicate dependency graph (negated and
+// aggregated body atoms count as dependencies, exactly as in
+// ProgramInfo::Analyze — a rule needed only to DISPROVE tuples is live).
+// Dead rules cannot influence the query's answer, so removing them shrinks
+// every downstream cost: the boundedness enumeration, detection, plan
+// compilation, and evaluation all see fewer rules.
+//
+// Emits one S204 note per removed rule and a single S205 summary naming
+// the dropped predicates. Verdict: kRewritten when anything was removed,
+// kProved ("every rule reachable") otherwise.
+#ifndef SEPREC_OPT_DEAD_RULES_H_
+#define SEPREC_OPT_DEAD_RULES_H_
+
+#include <memory>
+
+#include "opt/pass.h"
+
+namespace seprec {
+
+std::unique_ptr<Pass> MakeDeadRulePass();
+
+}  // namespace seprec
+
+#endif  // SEPREC_OPT_DEAD_RULES_H_

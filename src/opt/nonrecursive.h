@@ -1,0 +1,39 @@
+// Direct evaluation of non-recursive programs: zero fixpoint rounds.
+//
+// The fixpoint engines charge every IDB stratum at least one full
+// iteration (round 0 plus the empty-delta confirmation bookkeeping). For a
+// program with no recursion at all — in particular, the output of the
+// boundedness pass's recursion elimination — that machinery is pure
+// overhead: each stratum is a single non-recursive predicate whose rules
+// read only lower strata, so executing every rule's plan exactly once, in
+// stratum order, materialises the full IDB.
+//
+// This evaluator does exactly that. Its trace reports engine
+// "nonrecursive" with `iterations` 0 — the observable proof that a
+// de-recursed query ran without a single fixpoint round — and it refuses
+// (FAILED_PRECONDITION) programs with recursion or aggregates, so the
+// compiler's fallback chain degrades to semi-naive instead of computing a
+// wrong answer.
+#ifndef SEPREC_OPT_NONRECURSIVE_H_
+#define SEPREC_OPT_NONRECURSIVE_H_
+
+#include "datalog/ast.h"
+#include "eval/eval_stats.h"
+#include "eval/fixpoint.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace seprec {
+
+// Materialises every IDB predicate of the non-recursive `program` into
+// `db` with one plan execution per rule. Same governance contract as
+// EvaluateSemiNaive: with options.context set the caller owns stop
+// handling; otherwise a private governor converts trips into
+// RESOURCE_EXHAUSTED / CANCELLED.
+Status EvaluateNonRecursive(const Program& program, Database* db,
+                            const FixpointOptions& options = {},
+                            EvalStats* stats = nullptr);
+
+}  // namespace seprec
+
+#endif  // SEPREC_OPT_NONRECURSIVE_H_

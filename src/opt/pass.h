@@ -1,0 +1,93 @@
+// The static-analysis pass framework (DESIGN.md section 11).
+//
+// The paper's detection algorithm answers one static question — is this
+// recursion separable? — and the compiler falls back to magic/semi-naive
+// when the answer is no. The pass pipeline generalizes that shape: an
+// ordered list of database-independent analyses over the parsed program,
+// each of which either PROVES a property of the query's definition,
+// REWRITES the program to an equivalent cheaper one, or ABSTAINS. Every
+// decision is reported as a span-anchored S2xx diagnostic in the style of
+// the S100..S107 separability explainer, so `seprec_cli analyze` can render
+// the whole pipeline's reasoning as text, JSON, or SARIF.
+//
+// Codes produced by the standard pipeline (all kNote severity; the
+// separability stage additionally absorbs the S1xx explainer warnings):
+//
+//   S200  pipeline summary: the chosen strategy and every pass verdict
+//   S201  bounded recursion: rewritten to a non-recursive union of
+//         conjunctive queries (names the bound k and the rule counts)
+//   S202  boundedness not established (why the pass abstained)
+//   S203  pipeline rewrite abandoned (rewritten program failed re-analysis)
+//   S204  dead rule removed: its head cannot reach the query predicate
+//   S205  unreachable predicate dropped (summary of S204 removals)
+//   S206  separable recursion detected (classes and persistent columns)
+//   S207  not separable (first failing Definition 2.4 condition)
+//
+// Passes never touch a Database — like detection (Section 3.1) their cost
+// is polynomial in the rule set, which is what makes it affordable to run
+// the pipeline once per prepared query and cache the verdicts with the
+// compiled plan.
+#ifndef SEPREC_OPT_PASS_H_
+#define SEPREC_OPT_PASS_H_
+
+#include <string>
+#include <string_view>
+
+#include "datalog/ast.h"
+#include "datalog/diagnostics.h"
+#include "separable/detection.h"
+
+namespace seprec {
+
+// What one pass did. kProved: established a property without changing the
+// program (e.g. "every rule is reachable"). kRewritten: replaced the
+// program with an equivalent one. kAbstained: could not conclude; the
+// pipeline simply moves on.
+enum class PassVerdict {
+  kProved,
+  kRewritten,
+  kAbstained,
+};
+
+std::string_view PassVerdictToString(PassVerdict verdict);
+
+struct PassOutcome {
+  std::string pass;     // stable pass name ("dead-rules", "bounded", ...)
+  PassVerdict verdict = PassVerdict::kAbstained;
+  std::string detail;   // one-line human summary of the decision
+};
+
+// Mutable pipeline state threaded through the passes in order. A rewriting
+// pass replaces `program`; later passes see the rewritten form.
+struct PassContext {
+  Program program;
+  Atom query;  // the query shape driving the pipeline (constants allowed)
+
+  // Forwarded to the separability stage.
+  SeparabilityOptions separability;
+
+  // Largest recursion depth k the boundedness pass tries to prove; the
+  // check needs the expansion strings up to depth k+1, so this also bounds
+  // the (worst-case exponential) enumeration.
+  size_t max_bound = 3;
+
+  // Set by the boundedness pass when the QUERY predicate's recursion was
+  // eliminated: the compiler then knows a single non-recursive evaluation
+  // round suffices (Strategy::kNonRecursive).
+  bool derecursed = false;
+};
+
+class Pass {
+ public:
+  virtual ~Pass() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Runs over ctx->program, possibly replacing it; S2xx notes (and any
+  // absorbed explainer diagnostics) go to `sink`, which is never null.
+  virtual PassOutcome Run(PassContext* ctx, DiagnosticSink* sink) const = 0;
+};
+
+}  // namespace seprec
+
+#endif  // SEPREC_OPT_PASS_H_

@@ -1,0 +1,64 @@
+#include "opt/pass_manager.h"
+
+#include <utility>
+
+#include "opt/bounded.h"
+#include "opt/dead_rules.h"
+#include "opt/separability_pass.h"
+#include "util/string_util.h"
+
+namespace seprec {
+
+std::string_view PassVerdictToString(PassVerdict verdict) {
+  switch (verdict) {
+    case PassVerdict::kProved: return "proved";
+    case PassVerdict::kRewritten: return "rewritten";
+    case PassVerdict::kAbstained: return "abstained";
+  }
+  return "?";
+}
+
+std::string SummarizeOutcomes(const std::vector<PassOutcome>& outcomes) {
+  std::string out;
+  for (const PassOutcome& o : outcomes) {
+    if (!out.empty()) out += ',';
+    out += StrCat(o.pass, "=", PassVerdictToString(o.verdict));
+  }
+  return out;
+}
+
+PassManager PassManager::Standard(const PassPipelineOptions& options) {
+  PassManager pm(options);
+  pm.Add(MakeDeadRulePass());
+  pm.Add(MakeBoundedPass());
+  pm.Add(MakeSeparabilityPass());
+  return pm;
+}
+
+void PassManager::Add(std::unique_ptr<Pass> pass) {
+  passes_.push_back(std::move(pass));
+}
+
+PipelineResult PassManager::Run(const Program& program, const Atom& query,
+                                DiagnosticSink* sink) const {
+  PassContext ctx;
+  ctx.program = program;
+  ctx.query = query;
+  ctx.separability = options_.separability;
+  ctx.max_bound = options_.max_bound;
+
+  DiagnosticSink local;
+  DiagnosticSink* out = sink != nullptr ? sink : &local;
+
+  PipelineResult result;
+  for (const std::unique_ptr<Pass>& pass : passes_) {
+    PassOutcome outcome = pass->Run(&ctx, out);
+    result.rewritten |= outcome.verdict == PassVerdict::kRewritten;
+    result.outcomes.push_back(std::move(outcome));
+  }
+  result.program = std::move(ctx.program);
+  result.derecursed = ctx.derecursed;
+  return result;
+}
+
+}  // namespace seprec

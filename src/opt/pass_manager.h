@@ -1,0 +1,68 @@
+// PassManager: runs the ordered static-analysis pipeline over one query.
+//
+// The standard pipeline is
+//
+//   dead-rules     drop rules unreachable from the query predicate
+//   bounded        eliminate bounded recursions (union-of-CQs rewrite)
+//   separability   Definition 2.4 detection on the surviving program
+//
+// in that order: shrinking the rule set first keeps the (worst-case
+// exponential) boundedness enumeration small, and separability runs last
+// so it judges the program the query will actually compile against.
+// QueryProcessor::Prepare runs the pipeline once per prepared query and
+// records the outcomes with the compiled plan; `seprec_cli analyze`
+// renders them for humans.
+#ifndef SEPREC_OPT_PASS_MANAGER_H_
+#define SEPREC_OPT_PASS_MANAGER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "opt/pass.h"
+
+namespace seprec {
+
+struct PassPipelineOptions {
+  SeparabilityOptions separability;
+  // Largest bound k the boundedness pass tries (see PassContext).
+  size_t max_bound = 3;
+};
+
+struct PipelineResult {
+  Program program;                    // the post-pipeline program
+  std::vector<PassOutcome> outcomes;  // one per pass, pipeline order
+  bool rewritten = false;             // some pass changed the program
+  bool derecursed = false;            // query predicate left recursion
+};
+
+// Renders outcomes as "dead-rules=proved,bounded=rewritten,..." — the
+// compact form recorded in plan-cache metadata and the server's answer
+// event.
+std::string SummarizeOutcomes(const std::vector<PassOutcome>& outcomes);
+
+class PassManager {
+ public:
+  // The dead-rules / bounded / separability pipeline described above.
+  static PassManager Standard(const PassPipelineOptions& options = {});
+
+  // An empty manager; Add passes in execution order.
+  explicit PassManager(const PassPipelineOptions& options = {})
+      : options_(options) {}
+
+  void Add(std::unique_ptr<Pass> pass);
+
+  // Runs every pass over `program` for `query`. Diagnostics (S2xx notes
+  // plus anything a pass absorbs) accumulate in `sink`; `sink` may be null
+  // when the caller only wants the outcomes.
+  PipelineResult Run(const Program& program, const Atom& query,
+                     DiagnosticSink* sink) const;
+
+ private:
+  PassPipelineOptions options_;
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+}  // namespace seprec
+
+#endif  // SEPREC_OPT_PASS_MANAGER_H_

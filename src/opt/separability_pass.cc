@@ -1,0 +1,71 @@
+#include "opt/separability_pass.h"
+
+#include <string>
+
+#include "datalog/analysis.h"
+#include "separable/detection.h"
+#include "util/string_util.h"
+
+namespace seprec {
+
+namespace {
+
+class SeparabilityPass : public Pass {
+ public:
+  std::string_view name() const override { return "separability"; }
+
+  PassOutcome Run(PassContext* ctx, DiagnosticSink* sink) const override {
+    PassOutcome outcome;
+    outcome.pass = std::string(name());
+
+    StatusOr<ProgramInfo> info = ProgramInfo::Analyze(ctx->program);
+    if (!info.ok()) {
+      outcome.verdict = PassVerdict::kAbstained;
+      outcome.detail =
+          StrCat("program analysis failed: ", info.status().message());
+      return outcome;
+    }
+    if (!info->IsRecursive(ctx->query.predicate)) {
+      outcome.verdict = PassVerdict::kAbstained;
+      outcome.detail = StrCat(
+          "'", ctx->query.predicate,
+          "' is not recursive here; the Separable algorithm does not apply");
+      return outcome;
+    }
+
+    DiagnosticSink local;
+    StatusOr<SeparableRecursion> sep = AnalyzeSeparable(
+        ctx->program, ctx->query.predicate, ctx->separability, &local);
+    if (sep.ok()) {
+      outcome.verdict = PassVerdict::kProved;
+      outcome.detail = StrCat("separable: ", sep->classes.size(),
+                              " equivalence class(es), ",
+                              sep->persistent_positions.size(),
+                              " persistent column(s)");
+      const Rule* first =
+          ctx->program.RulesFor(ctx->query.predicate).front();
+      sink->Report("S206", Severity::kNote, first->span,
+                   StrCat("'", ctx->query.predicate, "' is a separable ",
+                          "recursion (Definition 2.4): ", outcome.detail));
+      return outcome;
+    }
+
+    // Keep the full explainer (S1xx warnings) in the report, then record
+    // the abstention with the detector's first reason.
+    sink->Absorb(local);
+    outcome.verdict = PassVerdict::kAbstained;
+    outcome.detail = std::string(sep.status().message());
+    sink->Report("S207", Severity::kNote, ctx->query.span,
+                 StrCat("'", ctx->query.predicate, "' is not separable: ",
+                        outcome.detail));
+    return outcome;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> MakeSeparabilityPass() {
+  return std::make_unique<SeparabilityPass>();
+}
+
+}  // namespace seprec

@@ -1,0 +1,23 @@
+// Separability detection as a pipeline stage.
+//
+// The Definition 2.4 detector (separable/detection.h) used to be the
+// compiler's one special-cased static analysis; here it is the final stage
+// of the standard pipeline, running on whatever program the earlier
+// rewriting passes left behind. A proved separability (S206) tells the
+// strategy decision that the Figure-2 schema applies; a miss (S207, with
+// the S1xx explainer warnings absorbed into the report) leaves the magic /
+// semi-naive ladder. The pass never rewrites — it only proves or abstains.
+#ifndef SEPREC_OPT_SEPARABILITY_PASS_H_
+#define SEPREC_OPT_SEPARABILITY_PASS_H_
+
+#include <memory>
+
+#include "opt/pass.h"
+
+namespace seprec {
+
+std::unique_ptr<Pass> MakeSeparabilityPass();
+
+}  // namespace seprec
+
+#endif  // SEPREC_OPT_SEPARABILITY_PASS_H_

@@ -54,6 +54,7 @@ StatusOr<Strategy> ParseStrategyName(const std::string& name) {
   if (name == "magic") return Strategy::kMagic;
   if (name == "counting") return Strategy::kCounting;
   if (name == "qsqr") return Strategy::kQsqr;
+  if (name == "nonrecursive") return Strategy::kNonRecursive;
   if (name == "seminaive") return Strategy::kSemiNaive;
   if (name == "naive") return Strategy::kNaive;
   return InvalidArgumentError(StrCat("unknown strategy '", name, "'"));
@@ -93,6 +94,8 @@ Status SocketServer::Start(const std::string& socket_path) {
   socket_path_ = socket_path;
   listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): Start() runs before any
+    // server thread exists, so the static strerror buffer is unshared.
     return InternalError(StrCat("socket(): ", std::strerror(errno)));
   }
   sockaddr_un addr{};
@@ -109,6 +112,7 @@ Status SocketServer::Start(const std::string& socket_path) {
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
              sizeof(addr)) != 0) {
     Status status = InternalError(
+        // NOLINTNEXTLINE(concurrency-mt-unsafe): pre-thread startup path.
         StrCat("bind(", socket_path, "): ", std::strerror(errno)));
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -116,6 +120,7 @@ Status SocketServer::Start(const std::string& socket_path) {
   }
   if (::listen(listen_fd_, 64) != 0) {
     Status status =
+        // NOLINTNEXTLINE(concurrency-mt-unsafe): pre-thread startup path.
         InternalError(StrCat("listen(): ", std::strerror(errno)));
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -336,6 +341,9 @@ void SocketServer::HandleLine(int fd, const std::string& line) {
     }
     request.limits = *limits;
     if (req.Has("cache")) request.use_cache = req.Get("cache").as_bool(true);
+    if (req.Has("optimize")) {
+      request.optimize = req.Get("optimize").as_bool(true);
+    }
 
     StatusOr<std::vector<QueryOutcome>> outcomes =
         service_->Execute(request);
@@ -372,6 +380,9 @@ void SocketServer::HandleLine(int fd, const std::string& line) {
                   json::Value(out.closure_cache_hit ? "hit" : "miss"));
       obj.emplace("closure_stored", json::Value(out.closure_stored));
       obj.emplace("detections", json::Value(out.detection_passes));
+      if (!out.pass_summary.empty()) {
+        obj.emplace("passes", json::Value(out.pass_summary));
+      }
       obj.emplace("generation", json::Value(out.generation));
       obj.emplace("partial", json::Value(out.result.partial));
       if (out.result.partial && out.result.degradation.has_value()) {
@@ -435,6 +446,24 @@ void SocketServer::Stop() {
     // loop re-reads listen_fd_ on every iteration, and closing early
     // could hand accept() a recycled descriptor number.
     ::shutdown(listen_fd_, SHUT_RDWR);
+    // Sandboxed kernels (gVisor-style) reject that shutdown with
+    // ENOTCONN and leave accept() blocked forever, so also wake the
+    // loop with a throwaway connection: accept() returns it, the loop
+    // sees stopping_ (already set above) and discards the fd. If the
+    // backlog is full a wake-up is already queued, so the non-blocking
+    // connect may fail freely; on mainline Linux the shut-down listener
+    // refuses the connect and the shutdown alone did the waking.
+    int wake = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    if (wake >= 0) {
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      if (socket_path_.size() < sizeof(addr.sun_path)) {
+        std::memcpy(addr.sun_path, socket_path_.c_str(),
+                    socket_path_.size() + 1);
+        ::connect(wake, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+      }
+      ::close(wake);
+    }
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   if (listen_fd_ >= 0) {

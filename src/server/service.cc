@@ -202,10 +202,13 @@ StatusOr<std::vector<QueryOutcome>> QueryService::Execute(
     out.detection_passes = processor_was_cached ? 0 : entry->detections;
     processor_was_cached = true;  // later queries reuse the same entry
 
+    // Optimized and unoptimized plans are distinct cache entries: an
+    // ablation control run must not serve (or poison) the optimized plan.
     const std::string plan_key =
         StrCat("fp", fp, "|", query.predicate, "|",
                BoundMaskString(BoundPositions(query)), "|",
-               StrategyToString(request.strategy));
+               StrategyToString(request.strategy),
+               request.optimize ? "" : "|no-opt");
 
     // Plan-cache probe.
     std::shared_ptr<PlanEntry> plan;
@@ -234,10 +237,32 @@ StatusOr<std::vector<QueryOutcome>> QueryService::Execute(
           // (pre-creates IDB relations, compiles and binds rule plans), so
           // it runs under the database mutex.
           StatusOr<PreparedQuery> prepared = entry->qp.Prepare(
-              query, db_, request.strategy, options_.parallel);
+              query, db_, request.strategy, options_.parallel,
+              /*run_pipeline=*/request.optimize);
           if (!prepared.ok()) return prepared.status();
           plan =
               std::make_shared<PlanEntry>(entry, std::move(prepared).value());
+          // The pipeline runs once per prepared plan; its verdicts and the
+          // recorded strategy selection trace here, at compile time, not on
+          // every cache hit.
+          if (options_.trace != nullptr &&
+              plan->prepared.pass_report() != nullptr) {
+            const PassReport& report = *plan->prepared.pass_report();
+            for (const PassOutcome& po : report.outcomes) {
+              TraceEvent ev;
+              ev.kind = TraceEventKind::kPass;
+              ev.phase = po.pass;
+              ev.cause = PassVerdictToString(po.verdict);
+              ev.detail = po.detail;
+              options_.trace->Emit(ev);
+            }
+            TraceEvent ev;
+            ev.kind = TraceEventKind::kPass;
+            ev.phase = "strategy";
+            ev.cause = std::string(StrategyToString(report.strategy));
+            ev.detail = report.reason;
+            options_.trace->Emit(ev);
+          }
           if (request.use_cache && options_.max_prepared > 0) {
             std::unique_lock<std::shared_mutex> lock(cache_mu_);
             plan->tick = ++lru_tick_;
@@ -251,6 +276,12 @@ StatusOr<std::vector<QueryOutcome>> QueryService::Execute(
             }
             plans_[plan_key] = plan;
           }
+        }
+
+        // Hit or miss, the cached plan remembers its pipeline verdicts —
+        // the strategy-recording contract is server-visible on every reuse.
+        if (plan->prepared.pass_report() != nullptr) {
+          out.pass_summary = plan->prepared.pass_report()->Summary();
         }
 
         out.generation = db_->generation();

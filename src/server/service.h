@@ -80,6 +80,10 @@ struct ServiceRequest {
   ExecutionLimits limits;         // per-request governor bounds
   bool use_cache = true;          // false bypasses prepared+closure caches
                                   // (control runs, benches)
+  bool optimize = true;           // false skips the static-analysis pass
+                                  // pipeline at Prepare time (ablation /
+                                  // bit-identity control runs); optimized
+                                  // and unoptimized plans cache separately
 };
 
 // The outcome of one query of a request.
@@ -93,6 +97,9 @@ struct QueryOutcome {
   uint64_t detection_passes = 0;  // AnalyzeSeparable runs this query cost
   uint64_t generation = 0;        // database generation it ran against
   double seconds = 0.0;           // wall time inside the service
+  std::string pass_summary;       // per-pass verdicts of the plan's pipeline
+                                  // run ("dead-rules=proved,..."), empty
+                                  // when the pipeline did not run
 };
 
 // Aggregate cache counters; monotonic over the service's lifetime except

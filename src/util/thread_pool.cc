@@ -113,6 +113,8 @@ ThreadPool* ThreadPool::Shared() {
 
 size_t DefaultThreadCount() {
   static const size_t count = [] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): evaluated once inside a
+    // function-local static initialiser; nothing in-process setenv()s.
     const char* env = std::getenv("SEPREC_THREADS");
     if (env == nullptr || *env == '\0') return size_t{1};
     char* end = nullptr;

@@ -243,6 +243,73 @@ TEST(ExtractLinearRecursion, NotIdb) {
   EXPECT_FALSE(ExtractLinearRecursion(p, "ghost").ok());
 }
 
+// ---- edge cases the pass pipeline leans on ------------------------------
+
+TEST(Analysis, MutualRecursionThroughNegationIsUnstratifiable) {
+  // p and q are in one SCC and each negates the other: no stratification
+  // exists, so Analyze must reject rather than classify.
+  Program p = ParseProgramOrDie(
+      "p(X) :- e(X), not q(X).\n"
+      "q(X) :- e(X), not p(X).");
+  EXPECT_FALSE(ProgramInfo::Analyze(p).ok());
+}
+
+TEST(Analysis, NegationAcrossStrataIsFine) {
+  // Mutual recursion AND negation, but the negated predicate sits in a
+  // strictly lower stratum — stratifiable, and the SCC classification
+  // must not be confused by the negated edge.
+  Program p = ParseProgramOrDie(
+      "base(X) :- e(X), not blocked(X).\n"
+      "even(X) :- base(X).\n"
+      "even(X) :- succ(Y, X), odd(Y).\n"
+      "odd(X) :- succ(Y, X), even(Y).");
+  auto info = ProgramInfo::Analyze(p);
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info->MutuallyRecursive("even", "odd"));
+  EXPECT_FALSE(info->IsRecursive("base"));
+}
+
+TEST(Analysis, ZeroArityPredicates) {
+  Program p = ParseProgramOrDie(
+      "flag :- e(X).\n"
+      "go(X) :- e(X), flag.");
+  auto info = ProgramInfo::Analyze(p);
+  ASSERT_TRUE(info.ok());
+  ASSERT_NE(info->Find("flag"), nullptr);
+  EXPECT_EQ(info->Find("flag")->arity, 0u);
+  EXPECT_TRUE(info->IsIdb("flag"));
+  EXPECT_FALSE(info->IsRecursive("flag"));
+  // flag's stratum precedes go's.
+  EXPECT_NE(info->DependenciesOf("go").count("flag"), 0u);
+}
+
+TEST(Analysis, ZeroArityRecursionClassified) {
+  Program p = ParseProgramOrDie(
+      "tick :- seed(X).\n"
+      "tick :- tick, pulse(X).");
+  auto info = ProgramInfo::Analyze(p);
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info->IsRecursive("tick"));
+}
+
+TEST(Analysis, HeadPredicateUnreachableFromQueryStillAnalyzed) {
+  // ProgramInfo is query-independent: rules whose heads no query can
+  // reach are still classified (the dead-rule PASS removes them; the
+  // analysis layer must not).
+  Program p = ParseProgramOrDie(
+      "t(X, Y) :- e(X, Y).\n"
+      "t(X, Y) :- e(X, W), t(W, Y).\n"
+      "island(X) :- island_base(X).\n"
+      "island(X) :- hop(X, W), island(W).");
+  auto info = ProgramInfo::Analyze(p);
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info->IsRecursive("island"));
+  EXPECT_TRUE(info->IsRecursive("t"));
+  // And the dependency sets are disjoint: island is not in t's cone.
+  EXPECT_EQ(info->DependenciesOf("t").count("island"), 0u);
+  EXPECT_EQ(info->DependenciesOf("island").count("t"), 0u);
+}
+
 TEST(FreshVar, AvoidsCollisions) {
   std::set<std::string> used = {"W", "W_0"};
   EXPECT_EQ(FreshVar("W", &used), "W_1");

@@ -92,7 +92,7 @@ TEST(Cli, RunWithTraceWritesJsonLines) {
   bool saw_round = false;
   for (size_t i = 0; i < lines.size(); ++i) {
     // Envelope on every line, in emission order.
-    EXPECT_EQ(lines[i].rfind(StrCat("{\"v\":1,\"seq\":", i, ",\"t\":"), 0),
+    EXPECT_EQ(lines[i].rfind(StrCat("{\"v\":2,\"seq\":", i, ",\"t\":"), 0),
               0u)
         << lines[i];
     if (lines[i].find("\"ev\":\"engine_start\"") != std::string::npos) {
@@ -467,6 +467,115 @@ TEST(Cli, LintUsageErrors) {
                           " --format yaml")).exit_code, 2);
   EXPECT_EQ(RunCli(StrCat("lint ", Data("lint_demo.dl"),
                           " --bogus")).exit_code, 2);
+}
+
+// ---- analyze subcommand -------------------------------------------------
+
+TEST(Cli, AnalyzeBoundedProgramIsFullyDerecursed) {
+  CliResult r = RunCli(StrCat("analyze ", Data("bounded.dl")));
+  EXPECT_EQ(r.exit_code, 0) << r.output;  // notes only
+  // The recursion is proven bounded and rewritten away...
+  EXPECT_NE(r.output.find("[S201]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("verified by containment"), std::string::npos);
+  // ...the orphan rule is eliminated as dead...
+  EXPECT_NE(r.output.find("[S204]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("[S205]"), std::string::npos) << r.output;
+  // ...and the recorded strategy selection is the non-recursive plan.
+  EXPECT_NE(r.output.find("strategy for t(a, Y): nonrecursive"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("dead-rules=rewritten,bounded=rewritten"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(Cli, AnalyzeNonlinearFallsThroughToSemiNaive) {
+  CliResult r = RunCli(StrCat("analyze ", Data("nonlinear.dl")));
+  EXPECT_EQ(r.exit_code, 1) << r.output;  // the S100 explainer is a warning
+  EXPECT_NE(r.output.find("[S100]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("[S202]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("[S207]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("strategy for path(X, Y): seminaive"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find(
+                "dead-rules=proved,bounded=abstained,separability=abstained"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(Cli, AnalyzeQueryOverride) {
+  // A bound selection on the nonlinear program records magic instead.
+  CliResult r = RunCli(StrCat("analyze ", Data("nonlinear.dl"),
+                              " --query \"path(a, Y)\""));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("strategy for path(a, Y): magic"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(Cli, AnalyzeJsonRoundTrips) {
+  CliResult r = RunCli(StrCat("analyze ", Data("bounded.dl"),
+                              " --format json"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(r.output).Parse(&root)) << r.output;
+  const JsonValue& diags = root.at("diagnostics");
+  ASSERT_EQ(diags.kind, JsonValue::Kind::kArray);
+  bool saw_s201 = false;
+  bool saw_s200 = false;
+  for (const JsonValue& d : diags.items) {
+    EXPECT_GT(d.at("line").number, 0);
+    if (d.at("code").str == "S201") {
+      saw_s201 = true;
+      EXPECT_EQ(d.at("severity").str, "note");
+    }
+    if (d.at("code").str == "S200") {
+      saw_s200 = true;
+      EXPECT_NE(d.at("message").str.find("nonrecursive"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_s201) << r.output;
+  EXPECT_TRUE(saw_s200) << r.output;
+}
+
+TEST(Cli, AnalyzeSarifIsWellFormedJson) {
+  CliResult r = RunCli(StrCat("analyze ", Data("bounded.dl"),
+                              " --format sarif"));
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(r.output).Parse(&root)) << r.output;
+  EXPECT_EQ(root.at("version").str, "2.1.0");
+  const JsonValue& runs = root.at("runs");
+  ASSERT_EQ(runs.kind, JsonValue::Kind::kArray);
+  ASSERT_EQ(runs.items.size(), 1u);
+  bool saw_pipeline_rule = false;
+  for (const JsonValue& result : runs.items[0].at("results").items) {
+    if (result.at("ruleId").str == "S200") saw_pipeline_rule = true;
+  }
+  EXPECT_TRUE(saw_pipeline_rule) << r.output;
+}
+
+TEST(Cli, AnalyzeBrokenProgramReportsESeries) {
+  const std::string path = "/tmp/seprec_analyze_unsafe.dl";
+  {
+    std::ofstream out(path);
+    // Head variable Y never bound in the body: unsafe (E001).
+    out << "e(a, b).\np(X, Y) :- e(X, Z).\n?- p(a, Q).\n";
+  }
+  CliResult r = RunCli(StrCat("analyze ", path));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("error:"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("[E001]"), std::string::npos) << r.output;
+}
+
+TEST(Cli, AnalyzeUsageErrors) {
+  EXPECT_EQ(RunCli("analyze /no/such/file.dl").exit_code, 2);
+  EXPECT_EQ(RunCli(StrCat("analyze ", Data("bounded.dl"),
+                          " --format yaml")).exit_code, 2);
+  EXPECT_EQ(RunCli(StrCat("analyze ", Data("bounded.dl"),
+                          " --bogus")).exit_code, 2);
+  EXPECT_EQ(RunCli(StrCat("analyze ", Data("bounded.dl"),
+                          " --max-bound many")).exit_code, 2);
 }
 
 TEST(Cli, ErrorsAreClean) {

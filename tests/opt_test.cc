@@ -1,0 +1,361 @@
+// The static-analysis pass pipeline: pass verdicts, the boundedness
+// rewrite's correctness, the non-recursive evaluator's zero-round
+// contract, strategy recording through Prepare, and the pipeline-on/off
+// bit-identity guarantee (the ablation the optimisation is gated on).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/compiler.h"
+#include "datalog/parser.h"
+#include "eval/fixpoint.h"
+#include "eval/trace.h"
+#include "opt/nonrecursive.h"
+#include "opt/pass_manager.h"
+#include "server/service.h"
+#include "storage/database.h"
+
+namespace seprec {
+namespace {
+
+// t's recursive rule can only re-derive tuples its exit rule already
+// produces (the p(X, Y) conjunct subsumes it), so t is bounded at 0; the
+// orphan rule is unreachable from the query.
+constexpr const char* kBoundedProgram =
+    "p(a, b).\n"
+    "p(b, c).\n"
+    "p(c, d).\n"
+    "q(a, b).\n"
+    "q(b, c).\n"
+    "t(X, Y) :- p(X, Y).\n"
+    "t(X, Y) :- q(X, Z) & t(Z, Y) & p(X, Y).\n"
+    "orphan(X) :- p(X, Y).\n";
+
+constexpr const char* kNonlinearProgram =
+    "e(a, b).\n"
+    "e(b, c).\n"
+    "path(X, Y) :- e(X, Y).\n"
+    "path(X, Y) :- path(X, W) & path(W, Y).\n";
+
+constexpr const char* kTcProgram =
+    "edge(a, b).\n"
+    "edge(b, c).\n"
+    "edge(c, d).\n"
+    "tc(X, Y) :- edge(X, Y).\n"
+    "tc(X, Y) :- tc(X, Z), edge(Z, Y).\n";
+
+std::string VerdictOf(const PipelineResult& result,
+                      const std::string& pass) {
+  for (const PassOutcome& outcome : result.outcomes) {
+    if (outcome.pass == pass) {
+      return std::string(PassVerdictToString(outcome.verdict));
+    }
+  }
+  return "(missing)";
+}
+
+// ---- PassManager ---------------------------------------------------------
+
+TEST(PassPipeline, BoundedProgramIsFullyDerecursed) {
+  DiagnosticSink sink;
+  PipelineResult result = PassManager::Standard({}).Run(
+      ParseProgramOrDie(kBoundedProgram), ParseAtomOrDie("t(a, Y)"), &sink);
+  EXPECT_EQ(VerdictOf(result, "dead-rules"), "rewritten");  // orphan dies
+  EXPECT_EQ(VerdictOf(result, "bounded"), "rewritten");
+  EXPECT_TRUE(result.rewritten);
+  EXPECT_TRUE(result.derecursed);
+
+  // The rewritten program has no rule for orphan and no recursive t.
+  auto info = ProgramInfo::Analyze(result.program);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->Find("orphan"), nullptr);
+  ASSERT_NE(info->Find("t"), nullptr);
+  EXPECT_FALSE(info->Find("t")->is_recursive);
+
+  bool saw_s201 = false;
+  bool saw_s204 = false;
+  for (const Diagnostic& d : sink.diagnostics()) {
+    if (d.code == "S201") saw_s201 = true;
+    if (d.code == "S204") saw_s204 = true;
+    EXPECT_EQ(d.severity, Severity::kNote) << d.code;
+  }
+  EXPECT_TRUE(saw_s201);
+  EXPECT_TRUE(saw_s204);
+}
+
+TEST(PassPipeline, NonlinearProgramAbstainsEverywhere) {
+  DiagnosticSink sink;
+  PipelineResult result = PassManager::Standard({}).Run(
+      ParseProgramOrDie(kNonlinearProgram), ParseAtomOrDie("path(a, Y)"),
+      &sink);
+  EXPECT_EQ(VerdictOf(result, "dead-rules"), "proved");
+  EXPECT_EQ(VerdictOf(result, "bounded"), "abstained");
+  EXPECT_EQ(VerdictOf(result, "separability"), "abstained");
+  EXPECT_FALSE(result.rewritten);
+  EXPECT_FALSE(result.derecursed);
+  // The separability explainer's S1xx warning is absorbed into the sink.
+  EXPECT_GT(sink.CountAtLeast(Severity::kWarning), 0u);
+}
+
+TEST(PassPipeline, SeparabilityPassProvesTransitiveClosure) {
+  DiagnosticSink sink;
+  PipelineResult result = PassManager::Standard({}).Run(
+      ParseProgramOrDie(kTcProgram), ParseAtomOrDie("tc(a, Y)"), &sink);
+  // tc is genuinely unbounded, so the bounded pass abstains; the
+  // separability pass proves Definition 2.4 (S206) without rewriting.
+  EXPECT_EQ(VerdictOf(result, "bounded"), "abstained");
+  EXPECT_EQ(VerdictOf(result, "separability"), "proved");
+  EXPECT_FALSE(result.rewritten);
+  bool saw_s206 = false;
+  for (const Diagnostic& d : sink.diagnostics()) {
+    if (d.code == "S206") saw_s206 = true;
+  }
+  EXPECT_TRUE(saw_s206);
+}
+
+TEST(PassPipeline, SummaryStringIsStable) {
+  PipelineResult result = PassManager::Standard({}).Run(
+      ParseProgramOrDie(kNonlinearProgram), ParseAtomOrDie("path(a, Y)"),
+      nullptr);
+  EXPECT_EQ(SummarizeOutcomes(result.outcomes),
+            "dead-rules=proved,bounded=abstained,separability=abstained");
+}
+
+// ---- EvaluateNonRecursive ------------------------------------------------
+
+TEST(NonRecursiveEval, MatchesSemiNaiveOnRecursionFreeProgram) {
+  Program program = ParseProgramOrDie(
+      "e(a, b).\n"
+      "e(b, c).\n"
+      "f(c, d).\n"
+      "one(X, Y) :- e(X, Y).\n"
+      "two(X, Y) :- one(X, Z) & f(Z, Y).\n"
+      "both(X, Y) :- one(X, Y).\n"
+      "both(X, Y) :- two(X, Y).\n");
+  Database direct;
+  ASSERT_TRUE(EvaluateNonRecursive(program, &direct).ok());
+  Database fixpoint;
+  ASSERT_TRUE(EvaluateSemiNaive(program, &fixpoint).ok());
+  for (const char* pred : {"one", "two", "both"}) {
+    const Relation* a = direct.Find(pred);
+    const Relation* b = fixpoint.Find(pred);
+    ASSERT_NE(a, nullptr) << pred;
+    ASSERT_NE(b, nullptr) << pred;
+    EXPECT_EQ(a->DebugString(direct.symbols()),
+              b->DebugString(fixpoint.symbols()))
+        << pred;
+  }
+}
+
+TEST(NonRecursiveEval, TraceReportsZeroIterations) {
+  Program program = ParseProgramOrDie(
+      "e(a, b).\n"
+      "one(X, Y) :- e(X, Y).\n");
+  CollectingTraceSink sink;
+  FixpointOptions options;
+  options.trace = &sink;
+  Database db;
+  ASSERT_TRUE(EvaluateNonRecursive(program, &db, options).ok());
+  bool saw_finish = false;
+  for (const TraceEvent& e : sink.Events()) {
+    if (e.kind == TraceEventKind::kEngineFinish) {
+      saw_finish = true;
+      EXPECT_EQ(e.engine, "nonrecursive");
+      EXPECT_EQ(e.iterations, 0u);  // the headline: no fixpoint rounds
+    }
+  }
+  EXPECT_TRUE(saw_finish);
+}
+
+TEST(NonRecursiveEval, RefusesRecursionAndAggregates) {
+  Database db;
+  Status recursive =
+      EvaluateNonRecursive(ParseProgramOrDie(kTcProgram), &db);
+  EXPECT_EQ(recursive.code(), StatusCode::kFailedPrecondition);
+  Status aggregate = EvaluateNonRecursive(
+      ParseProgramOrDie("e(a, b).\nn(count(Y)) :- e(X, Y)."), &db);
+  EXPECT_EQ(aggregate.code(), StatusCode::kFailedPrecondition);
+}
+
+// ---- Prepare integration -------------------------------------------------
+
+TEST(PreparePipeline, BoundedQueryCompilesToNonRecursivePlan) {
+  auto qp = QueryProcessor::Create(ParseProgramOrDie(kBoundedProgram));
+  ASSERT_TRUE(qp.ok());
+  Database db;
+  auto prepared = qp->Prepare(ParseAtomOrDie("t(a, Y)"), &db);
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_EQ(prepared->strategy(), Strategy::kNonRecursive);
+  EXPECT_TRUE(prepared->pipeline_rewrote());
+  ASSERT_NE(prepared->pass_report(), nullptr);
+  EXPECT_EQ(prepared->pass_report()->strategy, Strategy::kNonRecursive);
+  EXPECT_TRUE(prepared->pass_report()->derecursed);
+  EXPECT_EQ(prepared->pass_report()->Summary(),
+            "dead-rules=rewritten,bounded=rewritten,separability=abstained");
+
+  CollectingTraceSink sink;
+  FixpointOptions options;
+  options.trace = &sink;
+  auto result = prepared->Execute(ParseAtomOrDie("t(a, Y)"), &db, options,
+                                  nullptr, nullptr, /*commit=*/false);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->strategy, Strategy::kNonRecursive);
+  EXPECT_EQ(result->answer.ToStrings(db.symbols()),
+            (std::vector<std::string>{"(a, b)"}));
+  bool saw_zero_round_finish = false;
+  for (const TraceEvent& e : sink.Events()) {
+    if (e.kind == TraceEventKind::kEngineFinish &&
+        e.engine == "nonrecursive") {
+      saw_zero_round_finish = true;
+      EXPECT_EQ(e.iterations, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_zero_round_finish);
+}
+
+TEST(PreparePipeline, ResultsAreBitIdenticalWithPipelineOff) {
+  auto qp = QueryProcessor::Create(ParseProgramOrDie(kBoundedProgram));
+  ASSERT_TRUE(qp.ok());
+  for (const char* query : {"t(a, Y)", "t(X, Y)", "t(X, d)"}) {
+    Database db_on;
+    auto on = qp->Prepare(ParseAtomOrDie(query), &db_on);
+    ASSERT_TRUE(on.ok());
+    auto result_on = on->Execute(ParseAtomOrDie(query), &db_on, {}, nullptr,
+                                 nullptr, /*commit=*/false);
+    ASSERT_TRUE(result_on.ok());
+
+    Database db_off;
+    auto off = qp->Prepare(ParseAtomOrDie(query), &db_off, Strategy::kAuto,
+                           {}, /*run_pipeline=*/false);
+    ASSERT_TRUE(off.ok());
+    EXPECT_EQ(off->pass_report(), nullptr);
+    auto result_off = off->Execute(ParseAtomOrDie(query), &db_off, {},
+                                   nullptr, nullptr, /*commit=*/false);
+    ASSERT_TRUE(result_off.ok());
+
+    auto rows_on = result_on->answer.ToStrings(db_on.symbols());
+    auto rows_off = result_off->answer.ToStrings(db_off.symbols());
+    std::sort(rows_on.begin(), rows_on.end());
+    std::sort(rows_off.begin(), rows_off.end());
+    EXPECT_EQ(rows_on, rows_off) << query;
+  }
+}
+
+TEST(PreparePipeline, ForcedStrategySkipsPipeline) {
+  auto qp = QueryProcessor::Create(ParseProgramOrDie(kBoundedProgram));
+  ASSERT_TRUE(qp.ok());
+  Database db;
+  auto prepared =
+      qp->Prepare(ParseAtomOrDie("t(a, Y)"), &db, Strategy::kSemiNaive);
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_EQ(prepared->pass_report(), nullptr);
+  EXPECT_FALSE(prepared->pipeline_rewrote());
+  EXPECT_EQ(prepared->strategy(), Strategy::kSemiNaive);
+}
+
+TEST(PreparePipeline, AnalyzeQueryReportsWithoutDatabase) {
+  auto qp = QueryProcessor::Create(ParseProgramOrDie(kTcProgram));
+  ASSERT_TRUE(qp.ok());
+  auto report = qp->AnalyzeQuery(ParseAtomOrDie("tc(a, Y)"));
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->strategy, Strategy::kSeparable);
+  EXPECT_FALSE(report->derecursed);
+  bool saw_s200 = false;
+  for (const Diagnostic& d : report->diagnostics) {
+    if (d.code == "S200") saw_s200 = true;
+  }
+  EXPECT_TRUE(saw_s200);
+}
+
+TEST(PreparePipeline, UnboundedRecursionStillUsesFixpointStrategies) {
+  auto qp = QueryProcessor::Create(ParseProgramOrDie(kTcProgram));
+  ASSERT_TRUE(qp.ok());
+  Database db;
+  auto prepared = qp->Prepare(ParseAtomOrDie("tc(a, Y)"), &db);
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_EQ(prepared->strategy(), Strategy::kSeparable);
+  EXPECT_FALSE(prepared->pipeline_rewrote());
+  ASSERT_NE(prepared->pass_report(), nullptr);
+  auto result = prepared->Execute(ParseAtomOrDie("tc(a, Y)"), &db, {},
+                                  nullptr, nullptr, /*commit=*/false);
+  ASSERT_TRUE(result.ok());
+  auto rows = result->answer.ToStrings(db.symbols());
+  std::sort(rows.begin(), rows.end());
+  EXPECT_EQ(rows,
+            (std::vector<std::string>{"(a, b)", "(a, c)", "(a, d)"}));
+}
+
+// ---- QueryService integration -------------------------------------------
+
+TEST(ServicePipeline, RecordsPassSummaryAndEmitsPassEvents) {
+  CollectingTraceSink sink;
+  ServiceOptions options;
+  options.trace = &sink;
+  Database db;
+  QueryService service(&db, options);
+
+  ServiceRequest req;
+  req.program = kBoundedProgram;
+  req.query = "t(a, Y)";
+  auto outcomes = service.Execute(req);
+  ASSERT_TRUE(outcomes.ok());
+  ASSERT_EQ(outcomes->size(), 1u);
+  EXPECT_EQ((*outcomes)[0].result.strategy, Strategy::kNonRecursive);
+  EXPECT_EQ((*outcomes)[0].tuples, (std::vector<std::string>{"(a, b)"}));
+  EXPECT_EQ((*outcomes)[0].pass_summary,
+            "dead-rules=rewritten,bounded=rewritten,separability=abstained");
+
+  size_t pass_events = 0;
+  bool saw_strategy = false;
+  for (const TraceEvent& e : sink.Events()) {
+    if (e.kind != TraceEventKind::kPass) continue;
+    ++pass_events;
+    if (e.phase == "strategy") {
+      saw_strategy = true;
+      EXPECT_EQ(e.cause, "nonrecursive");
+    }
+  }
+  EXPECT_EQ(pass_events, 4u);  // three passes + the strategy record
+  EXPECT_TRUE(saw_strategy);
+
+  // A plan-cache hit re-reports the recorded summary without re-running
+  // the pipeline (no new pass events).
+  auto again = service.Execute(req);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE((*again)[0].plan_cache_hit);
+  EXPECT_EQ((*again)[0].pass_summary, (*outcomes)[0].pass_summary);
+  size_t pass_events_after = 0;
+  for (const TraceEvent& e : sink.Events()) {
+    if (e.kind == TraceEventKind::kPass) ++pass_events_after;
+  }
+  EXPECT_EQ(pass_events_after, pass_events);
+}
+
+TEST(ServicePipeline, OptimizeOffIsBitIdenticalAndCachedSeparately) {
+  Database db;
+  QueryService service(&db);
+  ServiceRequest req;
+  req.program = kBoundedProgram;
+  req.query = "t(X, Y)";
+
+  auto optimized = service.Execute(req);
+  ASSERT_TRUE(optimized.ok());
+  EXPECT_FALSE((*optimized)[0].plan_cache_hit);
+
+  req.optimize = false;
+  auto control = service.Execute(req);
+  ASSERT_TRUE(control.ok());
+  // Distinct plan-cache entry: the control run compiles its own plan.
+  EXPECT_FALSE((*control)[0].plan_cache_hit);
+  EXPECT_TRUE((*control)[0].pass_summary.empty());
+  EXPECT_EQ((*control)[0].tuples, (*optimized)[0].tuples);
+
+  auto control_again = service.Execute(req);
+  ASSERT_TRUE(control_again.ok());
+  EXPECT_TRUE((*control_again)[0].plan_cache_hit);
+}
+
+}  // namespace
+}  // namespace seprec

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Validate the shape of a SARIF 2.1.0 log and gate on error-level results.
+
+Used by CI after `seprec_cli analyze --format sarif`: the analyzer exits 1
+whenever any warning-severity diagnostic fires (the lint contract), but the
+CI corpus gate only fails on E-series diagnostics, which render as
+level "error" results. This script separates the two concerns: it always
+checks the log is structurally well-formed SARIF, and exits non-zero only
+when an error-level result is present (or the shape itself is broken).
+
+Usage:
+    check_sarif.py LOG.sarif [LOG2.sarif ...]
+
+Exit codes:
+    0  every log well-formed, no error-level results
+    1  an error-level result found (E-series diagnostic in the corpus)
+    2  malformed SARIF (missing fields, wrong types, unreadable file)
+"""
+
+import json
+import sys
+
+SARIF_VERSION = "2.1.0"
+
+
+def check_shape(log, errors):
+    """Append shape problems to errors; return the list of results."""
+    if not isinstance(log, dict):
+        errors.append("top level is not an object")
+        return []
+    if log.get("version") != SARIF_VERSION:
+        errors.append(f"version is {log.get('version')!r}, want {SARIF_VERSION!r}")
+    runs = log.get("runs")
+    if not isinstance(runs, list) or not runs:
+        errors.append("runs missing or empty")
+        return []
+    results = []
+    for i, run in enumerate(runs):
+        driver = run.get("tool", {}).get("driver", {})
+        if not isinstance(driver.get("name"), str) or not driver["name"]:
+            errors.append(f"runs[{i}].tool.driver.name missing")
+        rule_ids = {
+            r.get("id") for r in driver.get("rules", []) if isinstance(r, dict)
+        }
+        run_results = run.get("results")
+        if not isinstance(run_results, list):
+            errors.append(f"runs[{i}].results missing")
+            continue
+        for j, res in enumerate(run_results):
+            where = f"runs[{i}].results[{j}]"
+            rule = res.get("ruleId")
+            if not isinstance(rule, str) or not rule:
+                errors.append(f"{where}.ruleId missing")
+            elif rule_ids and rule not in rule_ids:
+                errors.append(f"{where}.ruleId {rule!r} not declared in driver.rules")
+            if res.get("level") not in ("error", "warning", "note"):
+                errors.append(f"{where}.level is {res.get('level')!r}")
+            text = res.get("message", {}).get("text")
+            if not isinstance(text, str) or not text:
+                errors.append(f"{where}.message.text missing")
+            for k, loc in enumerate(res.get("locations", [])):
+                phys = loc.get("physicalLocation", {})
+                if not phys.get("artifactLocation", {}).get("uri"):
+                    errors.append(f"{where}.locations[{k}] has no artifact uri")
+                region = phys.get("region", {})
+                if not isinstance(region.get("startLine"), int):
+                    errors.append(f"{where}.locations[{k}] has no startLine")
+            results.append(res)
+    return results
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    shape_errors = []
+    error_results = []
+    for path in argv[1:]:
+        try:
+            with open(path, encoding="utf-8") as f:
+                log = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            shape_errors.append(f"{path}: {e}")
+            continue
+        errors = []
+        for res in check_shape(log, errors):
+            if res.get("level") == "error":
+                uri = "?"
+                locs = res.get("locations", [])
+                if locs:
+                    uri = (
+                        locs[0]
+                        .get("physicalLocation", {})
+                        .get("artifactLocation", {})
+                        .get("uri", "?")
+                    )
+                error_results.append(
+                    f"{uri}: {res.get('ruleId')}: "
+                    f"{res.get('message', {}).get('text', '')}"
+                )
+        shape_errors.extend(f"{path}: {e}" for e in errors)
+    for e in shape_errors:
+        print(f"check_sarif: malformed: {e}", file=sys.stderr)
+    for e in error_results:
+        print(f"check_sarif: error-level result: {e}", file=sys.stderr)
+    if shape_errors:
+        return 2
+    if error_results:
+        return 1
+    print(f"check_sarif: {len(argv) - 1} log(s) well-formed, no error-level results")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -35,6 +35,13 @@
 //       0 = no warnings or errors (notes allowed), 1 = findings,
 //       2 = usage error or unreadable file.
 //
+//   seprec_cli analyze <program.dl> [--format text|json|sarif] [--relaxed]
+//                      [--query "<atom>"] [--max-bound N]
+//       Run the compiler's static-analysis pass pipeline (dead-rule
+//       elimination, boundedness detection, separability detection) for
+//       each query and report every verdict plus the recorded strategy
+//       selection as S2xx diagnostics. Same exit contract as lint.
+//
 //   seprec_cli serve <socket> [--data REL=FILE.tsv]... [--threads N]
 //                    [--trace FILE] [--max-prepared N] [--max-closures N]
 //       Start the query service on a Unix-domain socket speaking the
@@ -43,7 +50,7 @@
 //       --threads fixes the parallel policy baked into cached plans.
 //
 //   seprec_cli client <socket> <program.dl> [--query "<atom>"]
-//                     [--strategy S] [--no-cache] [--stats]
+//                     [--strategy S] [--no-cache] [--no-opt] [--stats]
 //                     [--timeout-ms N] [--max-tuples N] [--max-bytes N]
 //       Send the program to a running server and print the streamed
 //       answers in the same format as `run` (so outputs diff cleanly
@@ -115,6 +122,9 @@ int Usage() {
                "[--data REL=FILE]...\n"
                "       seprec_cli lint <program.dl> "
                "[--format text|json|sarif] [--relaxed]\n"
+               "       seprec_cli analyze <program.dl> "
+               "[--format text|json|sarif] [--relaxed]\n"
+               "                  [--query \"<atom>\"] [--max-bound N]\n"
                "       seprec_cli serve <socket> [--data REL=FILE]... "
                "[--threads N] [--trace FILE]\n"
                "                  [--max-prepared N] [--max-closures N]\n"
@@ -226,6 +236,7 @@ StatusOr<CommonFlags> ParseFlags(int argc, char** argv, int first) {
       else if (name == "magic") flags.strategy = Strategy::kMagic;
       else if (name == "counting") flags.strategy = Strategy::kCounting;
       else if (name == "qsqr") flags.strategy = Strategy::kQsqr;
+      else if (name == "nonrecursive") flags.strategy = Strategy::kNonRecursive;
       else if (name == "seminaive") flags.strategy = Strategy::kSemiNaive;
       else if (name == "naive") flags.strategy = Strategy::kNaive;
       else {
@@ -423,6 +434,116 @@ int LintCommand(const std::string& path, int argc, char** argv, int first) {
   return sink.CountAtLeast(Severity::kWarning) > 0 ? 1 : 0;
 }
 
+// `analyze` runs the static-analysis pass pipeline the compiler itself
+// uses at Prepare time and renders every verdict as a diagnostic: S2xx
+// notes for the pipeline, S1xx warnings when the separability explainer
+// had to reject, and the E-series lints when the program cannot be
+// analysed at all. Exit contract matches lint: 0 clean, 1 findings at
+// warning-or-worse, 2 usage/IO error.
+int AnalyzeCommand(const std::string& path, int argc, char** argv,
+                   int first) {
+  std::string format = "text";
+  std::string query_text;
+  ProcessorOptions options;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--format" && i + 1 < argc) {
+      format = argv[++i];
+      if (format != "text" && format != "json" && format != "sarif") {
+        std::fprintf(stderr, "seprec_cli: unknown analyze format '%s'\n",
+                     format.c_str());
+        return 2;
+      }
+      continue;
+    }
+    if (arg == "--relaxed") {
+      options.separability.require_connected_bodies = false;
+      continue;
+    }
+    if (arg == "--query" && i + 1 < argc) {
+      query_text = argv[++i];
+      continue;
+    }
+    if (arg == "--max-bound" && i + 1 < argc) {
+      StatusOr<int64_t> v = ParseCount(arg, argv[++i]);
+      if (!v.ok()) {
+        std::fprintf(stderr, "seprec_cli: %s\n",
+                     v.status().ToString().c_str());
+        return 2;
+      }
+      options.pass_max_bound = static_cast<size_t>(*v);
+      continue;
+    }
+    std::fprintf(stderr, "seprec_cli: unknown analyze flag '%s'\n",
+                 arg.c_str());
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in || std::filesystem::is_directory(path)) {
+    std::fprintf(stderr, "seprec_cli: cannot open '%s'\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  DiagnosticSink sink;
+  StatusOr<ParsedUnit> unit = ParseUnit(text.str(), &sink);
+  if (unit.ok()) {
+    std::vector<Atom> queries;
+    if (!query_text.empty()) {
+      StatusOr<Atom> q = ParseAtom(query_text);
+      if (!q.ok()) {
+        std::fprintf(stderr, "seprec_cli: bad --query: %s\n",
+                     q.status().ToString().c_str());
+        return 2;
+      }
+      queries.push_back(std::move(q).value());
+    } else {
+      queries = unit->queries;
+    }
+
+    StatusOr<QueryProcessor> qp =
+        QueryProcessor::Create(unit->program, options);
+    if (qp.ok()) {
+      if (queries.empty()) {
+        sink.Report("S200", Severity::kNote, SourceSpan{},
+                    "no query to analyze: pass --query or add a '?- q.' "
+                    "line to the program");
+      }
+      for (const Atom& query : queries) {
+        StatusOr<PassReport> report = qp->AnalyzeQuery(query);
+        if (!report.ok()) {
+          std::fprintf(stderr, "seprec_cli: %s\n",
+                       report.status().ToString().c_str());
+          return 2;
+        }
+        for (const Diagnostic& d : report->diagnostics) {
+          sink.Add(d);
+        }
+      }
+    } else {
+      // The program does not analyse (unsafe rule, unstratified negation,
+      // arity clash, ...): surface the cause as E-series diagnostics
+      // rather than a bare status.
+      LintArityConsistency(unit->program, &sink);
+      LintSafety(unit->program, &sink);
+      LintStratification(unit->program, &sink);
+      if (!sink.HasErrors()) {
+        sink.Report("E002", Severity::kError, SourceSpan{},
+                    qp.status().ToString());
+      }
+    }
+  }
+  sink.SortBySpan();
+  const std::vector<Diagnostic>& found = sink.diagnostics();
+  std::string rendered = format == "json"    ? RenderJson(found, path)
+                         : format == "sarif" ? RenderSarif(found, path)
+                                             : RenderText(found, path);
+  std::printf("%s", rendered.c_str());
+  return sink.CountAtLeast(Severity::kWarning) > 0 ? 1 : 0;
+}
+
 volatile std::sig_atomic_t g_signalled = 0;
 void OnSignal(int) { g_signalled = 1; }
 
@@ -509,6 +630,7 @@ int ClientCommand(const std::string& socket_path, const std::string& path,
   std::string query_text;
   std::string strategy = "auto";
   bool use_cache = true;
+  bool optimize = true;
   bool stats = false;
   json::Object limits;
   for (int i = first; i < argc; ++i) {
@@ -523,6 +645,10 @@ int ClientCommand(const std::string& socket_path, const std::string& path,
     }
     if (arg == "--no-cache") {
       use_cache = false;
+      continue;
+    }
+    if (arg == "--no-opt") {
+      optimize = false;
       continue;
     }
     if (arg == "--stats") {
@@ -571,6 +697,7 @@ int ClientCommand(const std::string& socket_path, const std::string& path,
   if (!query_text.empty()) req.emplace("query", json::Value(query_text));
   req.emplace("strategy", json::Value(strategy));
   req.emplace("cache", json::Value(use_cache));
+  req.emplace("optimize", json::Value(optimize));
   if (!limits.empty()) {
     req.emplace("limits", json::Value(std::move(limits)));
   }
@@ -628,6 +755,10 @@ int ClientCommand(const std::string& socket_path, const std::string& path,
           exit_code = 3;
         }
         if (stats) {
+          if (msg->Has("passes")) {
+            std::printf("%%%% passes: %s\n",
+                        msg->Get("passes").as_string().c_str());
+          }
           std::printf("%%%% cache: plan=%s closure=%s stored=%s "
                       "detections=%lld generation=%lld\n",
                       msg->Get("plan_cache").as_string().c_str(),
@@ -676,6 +807,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "lint") {
     return LintCommand(path, argc, argv, 3);
+  }
+  if (command == "analyze") {
+    return AnalyzeCommand(path, argc, argv, 3);
   }
   if (command == "why") {
     if (argc < 4) return Usage();

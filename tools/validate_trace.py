@@ -1,12 +1,13 @@
 #!/usr/bin/env python3
-"""Validate a --trace JSON-lines file against the v1 event schema.
+"""Validate a --trace JSON-lines file against the trace event schema.
 
 Usage: tools/validate_trace.py trace.jsonl [--require-engine NAME]...
 
 Checks, per line: parses as a JSON object, carries the envelope fields
-(v == 1, monotonically increasing seq, non-decreasing numeric t, known ev),
-and carries exactly the fields its event kind requires with the right JSON
-types. With --require-engine the file must additionally contain an
+(v in {1, 2}, monotonically increasing seq, non-decreasing numeric t, known
+ev), and carries exactly the fields its event kind requires with the right
+JSON types. The "pass" event (static-analysis pipeline verdicts) was added
+in schema v2; a v1 line claiming it is a violation. With --require-engine the file must additionally contain an
 engine_start, an engine_finish, and at least one round_end for that engine
 (the CI smoke query uses this to prove the traced path actually ran).
 
@@ -38,8 +39,14 @@ EVENT_FIELDS = {
     "governor_trip": {"cause": str, "detail": str},
     "cache": {"phase": str, "cause": str, "detail": str},
     "session": {"cause": str, "detail": str},
+    "pass": {"pass": str, "verdict": str, "detail": str},
     "note": {"detail": str},
 }
+
+KNOWN_VERSIONS = (1, 2)
+
+# ev -> version that introduced it (events absent here are v1).
+MIN_VERSION = {"pass": 2}
 
 
 def check_fields(obj, spec, lineno, errors):
@@ -96,7 +103,7 @@ def main():
         if not all(f in obj and isinstance(obj[f], ENVELOPE[f])
                    for f in ENVELOPE):
             continue
-        if obj["v"] != 1:
+        if obj["v"] not in KNOWN_VERSIONS:
             errors.append(f"line {lineno}: unknown schema version {obj['v']}")
         if obj["seq"] != prev_seq + 1:
             errors.append(f"line {lineno}: seq {obj['seq']} after {prev_seq}")
@@ -108,6 +115,9 @@ def main():
         if ev not in EVENT_FIELDS:
             errors.append(f"line {lineno}: unknown event '{ev}'")
             continue
+        if obj["v"] < MIN_VERSION.get(ev, 1):
+            errors.append(f"line {lineno}: event '{ev}' requires schema "
+                          f"v{MIN_VERSION[ev]} but line claims v{obj['v']}")
         check_fields(obj, EVENT_FIELDS[ev], lineno, errors)
         engine = obj.get("engine")
         if isinstance(engine, str):

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Unit tests for validate_trace.py (run directly or via ctest).
+
+Each test materialises a trace file in a temp dir and runs
+validate_trace.main() with patched argv, asserting on the exit code. The
+versioning cases are the contract this suite pins down: v1 files stay
+valid (back-compat), v2 files may carry "pass" events, and a v1 line
+claiming a "pass" event is a violation.
+"""
+
+import importlib.util
+import json
+import pathlib
+import sys
+import tempfile
+import unittest
+
+_TOOLS_DIR = pathlib.Path(__file__).resolve().parent
+_SPEC = importlib.util.spec_from_file_location(
+    "validate_trace", _TOOLS_DIR / "validate_trace.py")
+validate_trace = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(validate_trace)
+
+
+def envelope(seq, ev, v=2, t=None):
+    return {"v": v, "seq": seq, "t": float(seq) if t is None else t,
+            "ev": ev}
+
+
+def engine_pair(v=2, engine="seminaive", seq0=0):
+    start = dict(envelope(seq0, "engine_start", v=v), engine=engine)
+    round_end = dict(envelope(seq0 + 1, "round_end", v=v), engine=engine,
+                     phase="stratum0", round=0, emitted=1, inserted=1,
+                     delta=0)
+    finish = dict(envelope(seq0 + 2, "engine_finish", v=v), engine=engine,
+                  seconds=0.5, iterations=1, tuples=1, polls=0,
+                  insert_attempts=1, insert_new=1)
+    return [start, round_end, finish]
+
+
+def pass_event(seq, v=2, name="bounded", verdict="rewritten"):
+    return dict(envelope(seq, "pass", v=v), **{"pass": name},
+                verdict=verdict, detail="t/2: bound 0")
+
+
+class ValidateTraceTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.trace_path = pathlib.Path(self._tmp.name) / "trace.jsonl"
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def write_trace(self, events):
+        lines = [json.dumps(e) for e in events]
+        self.trace_path.write_text("\n".join(lines) + "\n")
+
+    def run_validate(self, *extra):
+        argv = ["validate_trace.py", str(self.trace_path)] + list(extra)
+        old = sys.argv
+        sys.argv = argv
+        try:
+            return validate_trace.main()
+        finally:
+            sys.argv = old
+
+    def test_v1_trace_still_valid(self):
+        self.write_trace(engine_pair(v=1))
+        self.assertEqual(self.run_validate(), 0)
+
+    def test_v2_trace_valid(self):
+        self.write_trace(engine_pair(v=2))
+        self.assertEqual(self.run_validate(), 0)
+
+    def test_v2_pass_event_valid(self):
+        events = [pass_event(0)] + engine_pair(seq0=1)
+        self.write_trace(events)
+        self.assertEqual(self.run_validate(), 0)
+
+    def test_v1_pass_event_rejected(self):
+        events = [pass_event(0, v=1)] + engine_pair(v=1, seq0=1)
+        self.write_trace(events)
+        self.assertEqual(self.run_validate(), 1)
+
+    def test_unknown_version_rejected(self):
+        self.write_trace(engine_pair(v=3))
+        self.assertEqual(self.run_validate(), 1)
+
+    def test_pass_event_missing_verdict_rejected(self):
+        bad = pass_event(0)
+        del bad["verdict"]
+        self.write_trace([bad] + engine_pair(seq0=1))
+        self.assertEqual(self.run_validate(), 1)
+
+    def test_pass_event_unexpected_field_rejected(self):
+        bad = dict(pass_event(0), engine="seminaive")
+        self.write_trace([bad] + engine_pair(seq0=1))
+        self.assertEqual(self.run_validate(), 1)
+
+    def test_seq_gap_rejected(self):
+        events = engine_pair()
+        events[2]["seq"] = 7
+        self.write_trace(events)
+        self.assertEqual(self.run_validate(), 1)
+
+    def test_time_going_backwards_rejected(self):
+        events = engine_pair()
+        events[2]["t"] = 0.0
+        events[1]["t"] = 5.0
+        self.write_trace(events)
+        self.assertEqual(self.run_validate(), 1)
+
+    def test_require_engine_enforced(self):
+        self.write_trace(engine_pair(engine="seminaive"))
+        self.assertEqual(self.run_validate("--require-engine", "seminaive"),
+                         0)
+        self.assertEqual(self.run_validate("--require-engine", "separable"),
+                         1)
+
+    def test_empty_trace_rejected(self):
+        self.trace_path.write_text("")
+        self.assertEqual(self.run_validate(), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()
