@@ -271,6 +271,24 @@ void SocketServer::HandleLine(int fd, const std::string& line) {
     return;
   }
 
+  if (op == "checkpoint") {
+    StatusOr<CheckpointInfo> info = service_->Checkpoint();
+    if (!info.ok()) {
+      SendError(fd, id, info.status());
+      return;
+    }
+    json::Object obj;
+    obj.emplace("id", json::Value(id));
+    obj.emplace("ev", json::Value("done"));
+    obj.emplace("ok", json::Value(true));
+    obj.emplace("snapshot", json::Value(info->snapshot_file));
+    obj.emplace("generation", json::Value(info->generation));
+    obj.emplace("wal_bytes_truncated",
+                json::Value(info->wal_bytes_truncated));
+    SendJson(fd, std::move(obj));
+    return;
+  }
+
   if (op == "load") {
     const std::string& relation = req.Get("relation").as_string();
     if (relation.empty()) {

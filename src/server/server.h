@@ -27,6 +27,11 @@
 //         -> {"id":...,"ev":"done","ok":true,"added":N,"generation":G}
 //     {"op":"stats","id":4}
 //         -> {"id":4,"ev":"done","ok":true,"stats":{...}}
+//     {"op":"checkpoint","id":7}
+//         -> {"id":7,"ev":"done","ok":true,"snapshot":"snapshot-2.seprec",
+//             "generation":G,"wal_bytes_truncated":N}
+//         snapshots the database and truncates the WAL; answers
+//         FAILED_PRECONDITION when the server runs without --data-dir
 //     {"op":"ping","id":5}   -> {"id":5,"ev":"done","ok":true}
 //     {"op":"shutdown","id":6} -> {"id":6,"ev":"done","ok":true}, then the
 //         server stops accepting and Wait() returns.

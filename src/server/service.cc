@@ -371,14 +371,40 @@ StatusOr<std::vector<QueryOutcome>> QueryService::Execute(
 StatusOr<size_t> QueryService::LoadTsv(std::string_view relation,
                                        std::istream& in) {
   std::lock_guard<std::mutex> db_lock(db_mu_);
-  SEPREC_ASSIGN_OR_RETURN(size_t added, LoadRelationTsv(db_, relation, in));
-  // The loader bumps the generation when it added rows, which already
+  // Two-phase load: every line is validated before anything is applied,
+  // so a malformed middle line fails the whole request instead of leaving
+  // a silent partial prefix — and the WAL never holds a record whose
+  // apply could fail.
+  SEPREC_ASSIGN_OR_RETURN(TupleBatch batch,
+                          ParseRelationTsv(*db_, relation, in));
+  if (options_.storage != nullptr) {
+    // Write-ahead: the batch must be durable before any row lands in the
+    // database. Under fsync=always a client that sees this load
+    // acknowledged will see the same rows after kill -9 + recovery.
+    SEPREC_RETURN_IF_ERROR(options_.storage->LogBatch(batch));
+  }
+  SEPREC_ASSIGN_OR_RETURN(size_t added, ApplyTupleBatch(db_, batch));
+  // The apply bumps the generation when it added rows, which already
   // invalidates every cached closure (their keys embed the old value);
   // sweep the dead entries eagerly so the map does not pin stale rows.
   if (added > 0) {
     std::unique_lock<std::shared_mutex> lock(cache_mu_);
     closures_.clear();
     TraceCache("closure", "purge", StrCat("load:", relation));
+  }
+  if (options_.storage != nullptr && options_.storage->ShouldCheckpoint()) {
+    // Auto-checkpoint bounds WAL growth (and so recovery time). A failure
+    // here must not fail the load — the WAL still holds everything — but
+    // it is reported to the trace sink rather than swallowed.
+    if (StatusOr<CheckpointInfo> ck = CheckpointLocked(); !ck.ok()) {
+      if (options_.trace != nullptr) {
+        TraceEvent ev;
+        ev.kind = TraceEventKind::kSession;
+        ev.cause = "checkpoint-error";
+        ev.detail = ck.status().ToString();
+        options_.trace->Emit(ev);
+      }
+    }
   }
   return added;
 }
@@ -390,6 +416,28 @@ StatusOr<size_t> QueryService::LoadTsvFile(std::string_view relation,
     return NotFoundError(StrCat("cannot open '", path, "'"));
   }
   return LoadTsv(relation, in);
+}
+
+StatusOr<CheckpointInfo> QueryService::Checkpoint() {
+  std::lock_guard<std::mutex> db_lock(db_mu_);
+  return CheckpointLocked();
+}
+
+StatusOr<CheckpointInfo> QueryService::CheckpointLocked() {
+  if (options_.storage == nullptr) {
+    return FailedPreconditionError(
+        "no data directory attached (start the server with --data-dir)");
+  }
+  SEPREC_ASSIGN_OR_RETURN(CheckpointInfo info,
+                          options_.storage->Checkpoint(*db_));
+  if (options_.trace != nullptr) {
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kSession;
+    ev.cause = "checkpoint";
+    ev.detail = StrCat(info.snapshot_file, " g", info.generation);
+    options_.trace->Emit(ev);
+  }
+  return info;
 }
 
 ServiceStats QueryService::stats() const {

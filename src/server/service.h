@@ -48,6 +48,7 @@
 #include "core/compiler.h"
 #include "eval/trace.h"
 #include "storage/database.h"
+#include "storage/recovery.h"
 #include "util/status.h"
 
 namespace seprec {
@@ -68,6 +69,12 @@ struct ServiceOptions {
   // Optional sink observing every request: cache events, session events,
   // and the engines' own evaluation events. Must outlive the service.
   TraceSink* trace = nullptr;
+
+  // Optional durability layer (borrowed, must outlive the service). When
+  // set, LoadTsv appends each parsed batch to the WAL BEFORE applying it
+  // (write-ahead: an acknowledged load is durable), and a load that grows
+  // the WAL past its threshold triggers an automatic checkpoint.
+  DurableStorage* storage = nullptr;
 };
 
 // One query request: a program, one query atom (text), and per-request
@@ -142,6 +149,11 @@ class QueryService {
   StatusOr<size_t> LoadTsvFile(std::string_view relation,
                                const std::string& path);
 
+  // Snapshots the database and retires the WAL through the attached
+  // DurableStorage; FAILED_PRECONDITION when the service has none.
+  // Thread-safe (serialises with Execute/LoadTsv).
+  StatusOr<CheckpointInfo> Checkpoint();
+
   ServiceStats stats() const;
 
   // Drops every closure entry (bench hook: isolates plan-cache-hit cost
@@ -165,6 +177,8 @@ class QueryService {
       std::string_view program_text, bool* was_cached);
   void TraceCache(std::string_view cache, std::string_view what,
                   std::string_view key);
+  // Checkpoint body; caller holds db_mu_.
+  StatusOr<CheckpointInfo> CheckpointLocked();
 
   Database* db_;
   ServiceOptions options_;

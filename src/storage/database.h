@@ -80,6 +80,13 @@ class Database {
   void BumpGeneration() {
     generation_.fetch_add(1, std::memory_order_acq_rel);
   }
+  // Recovery only: re-seats the counter at the value the manifest recorded
+  // for the snapshot, so replaying the WAL's per-batch bumps reproduces the
+  // exact pre-crash generation (closure-cache keys embed it — a restarted
+  // server must not alias a stale cache line onto different data).
+  void SetGeneration(uint64_t g) {
+    generation_.store(g, std::memory_order_release);
+  }
 
  private:
   SymbolTable symbols_;

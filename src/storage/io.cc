@@ -44,36 +44,41 @@ TokenKind ClassifyToken(const std::string& token, int64_t* value) {
 
 }  // namespace
 
-StatusOr<size_t> LoadRelationTsv(Database* db, std::string_view name,
-                                 std::istream& in) {
+StatusOr<TupleBatch> ParseRelationTsv(const Database& db,
+                                      std::string_view name,
+                                      std::istream& in) {
   SEPREC_RETURN_IF_ERROR(Failpoints::Check("io.load_tsv"));
-  Relation* rel = db->Find(name);
-  size_t added = 0;
+  TupleBatch batch;
+  batch.relation = std::string(name);
+  const Relation* existing = db.Find(name);
+  bool have_arity = existing != nullptr;
+  if (have_arity) batch.arity = existing->arity();
   std::string line;
   size_t line_number = 0;
   while (std::getline(in, line)) {
     ++line_number;
     if (line.empty() || line[0] == '#') continue;
     std::vector<std::string> columns = StrSplit(line, '\t');
-    if (rel == nullptr) {
-      SEPREC_ASSIGN_OR_RETURN(rel, db->CreateRelation(name, columns.size()));
+    if (!have_arity) {
+      batch.arity = columns.size();
+      have_arity = true;
     }
-    if (columns.size() != rel->arity()) {
+    if (columns.size() != batch.arity) {
       return InvalidArgumentError(
-          StrCat("line ", line_number, ": expected ", rel->arity(),
+          StrCat("line ", line_number, ": expected ", batch.arity,
                  " columns for relation '", name, "', found ",
                  columns.size()));
     }
-    std::vector<Value> row;
+    std::vector<TypedCell> row;
     row.reserve(columns.size());
-    for (const std::string& column : columns) {
+    for (std::string& column : columns) {
       int64_t v = 0;
       switch (ClassifyToken(column, &v)) {
         case TokenKind::kInt:
-          row.push_back(Value::Int(v));
+          row.push_back(TypedCell::Int(v));
           break;
         case TokenKind::kSymbol:
-          row.push_back(db->symbols().Intern(column));
+          row.push_back(TypedCell::Symbol(std::move(column)));
           break;
         case TokenKind::kBadInt:
           return InvalidArgumentError(
@@ -81,15 +86,38 @@ StatusOr<size_t> LoadRelationTsv(Database* db, std::string_view name,
                      "' out of range for relation '", name, "'"));
       }
     }
-    if (rel->Insert(Row(row.data(), row.size()))) ++added;
+    batch.rows.push_back(std::move(row));
   }
-  if (rel == nullptr) {
+  if (!have_arity) {
     return InvalidArgumentError(
         StrCat("no data lines for relation '", name,
                "' and the relation does not already exist"));
   }
+  return batch;
+}
+
+StatusOr<size_t> ApplyTupleBatch(Database* db, const TupleBatch& batch) {
+  SEPREC_ASSIGN_OR_RETURN(Relation* rel,
+                          db->CreateRelation(batch.relation, batch.arity));
+  size_t added = 0;
+  std::vector<Value> row;
+  for (const std::vector<TypedCell>& cells : batch.rows) {
+    row.clear();
+    row.reserve(cells.size());
+    for (const TypedCell& cell : cells) {
+      row.push_back(cell.is_int ? Value::Int(cell.int_value)
+                                : db->symbols().Intern(cell.symbol));
+    }
+    if (rel->Insert(Row(row.data(), row.size()))) ++added;
+  }
   if (added > 0) db->BumpGeneration();
   return added;
+}
+
+StatusOr<size_t> LoadRelationTsv(Database* db, std::string_view name,
+                                 std::istream& in) {
+  SEPREC_ASSIGN_OR_RETURN(TupleBatch batch, ParseRelationTsv(*db, name, in));
+  return ApplyTupleBatch(db, batch);
 }
 
 StatusOr<size_t> LoadRelationTsvFile(Database* db, std::string_view name,

@@ -5,20 +5,73 @@
 // that parses entirely as a decimal integer becomes an integer Value,
 // anything else an interned symbol. Empty lines and lines starting with
 // '#' are skipped.
+//
+// Loads are two-phase: ParseRelationTsv reads and validates the whole
+// stream into a TupleBatch (catching every malformed line before anything
+// is applied), ApplyTupleBatch inserts it. The split is what makes the
+// server's load op atomic — a malformed middle line can no longer leave a
+// partial prefix applied — and gives the write-ahead log a unit whose
+// apply cannot fail after the record is durable.
 #ifndef SEPREC_STORAGE_IO_H_
 #define SEPREC_STORAGE_IO_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "storage/database.h"
 #include "util/status.h"
 
 namespace seprec {
 
-// Reads tuples from `in` into relation `name` (created with the arity of
-// the first data line if absent). Returns the number of NEW tuples.
+// One parsed cell with its typing decision (integer vs symbol) made at
+// parse time, so WAL replay never re-classifies text.
+struct TypedCell {
+  bool is_int = false;
+  int64_t int_value = 0;  // meaningful when is_int
+  std::string symbol;     // meaningful when !is_int
+
+  static TypedCell Int(int64_t v) {
+    TypedCell c;
+    c.is_int = true;
+    c.int_value = v;
+    return c;
+  }
+  static TypedCell Symbol(std::string s) {
+    TypedCell c;
+    c.symbol = std::move(s);
+    return c;
+  }
+  bool operator==(const TypedCell& o) const {
+    return is_int == o.is_int && int_value == o.int_value &&
+           symbol == o.symbol;
+  }
+};
+
+// A fully validated batch of tuples bound for one relation: the unit the
+// loaders apply and the WAL logs.
+struct TupleBatch {
+  std::string relation;
+  size_t arity = 0;
+  std::vector<std::vector<TypedCell>> rows;  // every row has `arity` cells
+};
+
+// Phase 1: reads `in` to completion, validating every line against the
+// arity of relation `name` (its existing arity, or the first data line's
+// if absent). Errors carry line numbers; nothing is written to `db`.
+StatusOr<TupleBatch> ParseRelationTsv(const Database& db,
+                                      std::string_view name,
+                                      std::istream& in);
+
+// Phase 2: creates the relation on demand (arity mismatch with an
+// existing relation is the only error), interns symbols, inserts rows,
+// and bumps the database generation when any row was new. Returns the
+// number of NEW tuples.
+StatusOr<size_t> ApplyTupleBatch(Database* db, const TupleBatch& batch);
+
+// ParseRelationTsv + ApplyTupleBatch. Returns the number of NEW tuples.
 StatusOr<size_t> LoadRelationTsv(Database* db, std::string_view name,
                                  std::istream& in);
 

@@ -1,17 +1,23 @@
 #include "storage/snapshot.h"
 
+#include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <set>
 #include <vector>
 
+#include "storage/wal.h"
+#include "util/crc32c.h"
 #include "util/failpoint.h"
 #include "util/string_util.h"
 
 namespace seprec {
 namespace {
 
-constexpr char kHeader[] = "seprec-snapshot v1";
+constexpr char kHeaderV1[] = "seprec-snapshot v1";
+constexpr char kHeaderV2[] = "seprec-snapshot v2";
 
 std::string EncodeValue(Value v, const SymbolTable& symbols) {
   if (v.is_int()) {
@@ -75,28 +81,41 @@ StatusOr<Value> DecodeValue(const std::string& field, Database* db,
   return db->symbols().Intern(symbol);
 }
 
+std::string CrcHex(uint32_t crc) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08x", crc);
+  return buf;
+}
+
 }  // namespace
 
 Status SaveSnapshot(const Database& db, std::ostream& out) {
   SEPREC_RETURN_IF_ERROR(Failpoints::Check("snapshot.save"));
-  out << kHeader << '\n';
+  out << kHeaderV2 << '\n';
   for (const std::string& name : db.RelationNames()) {
     const Relation* rel = db.Find(name);
     out << "relation " << name << ' ' << rel->arity() << '\n';
+    uint32_t crc = 0;
+    auto emit = [&](const std::string& line) {
+      out << line << '\n';
+      crc = ExtendCrc32c(crc, line.data(), line.size());
+      crc = ExtendCrc32c(crc, "\n", 1);
+    };
     rel->ForEachRow([&](Row row) {
       if (row.empty()) {
-        out << "()\n";  // 0-ary tuple marker (an empty line is skipped)
+        emit("()");  // 0-ary tuple marker (an empty line is skipped)
         return;
       }
+      std::string line;
       for (size_t c = 0; c < row.size(); ++c) {
-        if (c > 0) out << '\t';
-        out << EncodeValue(row[c], db.symbols());
+        if (c > 0) line.push_back('\t');
+        line += EncodeValue(row[c], db.symbols());
       }
-      out << '\n';
+      emit(line);
     });
-    // Row-count trailer: lets the loader detect silently truncated files
-    // (a stream cut between two rows still parses line-by-line).
-    out << "tuples " << rel->size() << '\n';
+    // Trailer: the row count catches silent truncation between rows, the
+    // CRC catches a flipped byte inside a row that still parses.
+    out << "tuples " << rel->size() << " crc " << CrcHex(crc) << '\n';
   }
   out << "end\n";
   if (!out) return InternalError("write failed");
@@ -104,22 +123,38 @@ Status SaveSnapshot(const Database& db, std::ostream& out) {
 }
 
 Status SaveSnapshotFile(const Database& db, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return InvalidArgumentError(StrCat("cannot write '", path, "'"));
-  return SaveSnapshot(db, out);
+  // Write-temp + durable rename: the previous snapshot at `path` stays
+  // intact until the replacement is fully on disk.
+  SEPREC_RETURN_IF_ERROR(Failpoints::Check("snapshot.write"));
+  const std::string tmp = StrCat(path, ".tmp");
+  {
+    std::ofstream out(tmp, std::ios::out | std::ios::trunc);
+    if (!out) {
+      return InvalidArgumentError(StrCat("cannot write '", tmp, "'"));
+    }
+    SEPREC_RETURN_IF_ERROR(SaveSnapshot(db, out));
+    out.flush();
+    if (!out) return InternalError(StrCat("write to '", tmp, "' failed"));
+  }
+  SEPREC_RETURN_IF_ERROR(FsyncPath(tmp));
+  SEPREC_RETURN_IF_ERROR(Failpoints::Check("snapshot.rename"));
+  return DurableRename(tmp, path);
 }
 
 Status LoadSnapshot(Database* db, std::istream& in) {
   SEPREC_RETURN_IF_ERROR(Failpoints::Check("snapshot.load"));
   std::string line;
   size_t line_number = 0;
-  if (!std::getline(in, line) || line != kHeader) {
+  if (!std::getline(in, line) ||
+      (line != kHeaderV1 && line != kHeaderV2)) {
     return InvalidArgumentError("missing snapshot header");
   }
   ++line_number;
   Relation* current = nullptr;
   std::string current_name;
   size_t rows_in_section = 0;
+  uint32_t section_crc = 0;
+  std::set<std::string> seen_relations;
   bool saw_end = false;
   while (std::getline(in, line)) {
     ++line_number;
@@ -142,29 +177,42 @@ Status LoadSnapshot(Database* db, std::istream& in) {
         return InvalidArgumentError(
             StrCat("line ", line_number, ": bad arity '", parts[2], "'"));
       }
+      if (!seen_relations.insert(parts[1]).second) {
+        // One section per relation: a second header for the same name is
+        // the signature of a spliced or double-written stream.
+        return InvalidArgumentError(
+            StrCat("line ", line_number, ": duplicate relation header '",
+                   parts[1], "'"));
+      }
       SEPREC_ASSIGN_OR_RETURN(
           current, db->CreateRelation(parts[1],
                                       static_cast<size_t>(arity)));
       current_name = parts[1];
       rows_in_section = 0;
+      section_crc = 0;
       continue;
     }
     if (StartsWith(line, "tuples ")) {
-      // Optional row-count trailer (v1 files without it still load):
-      // a mismatch means the stream lost rows between header and trailer.
+      // Row-count trailer, with a CRC in v2 (v1 files without either
+      // still load): a count mismatch means the stream lost whole rows, a
+      // CRC mismatch means bytes changed inside rows that still parse.
       if (current == nullptr) {
         return InvalidArgumentError(
             StrCat("line ", line_number,
                    ": 'tuples' trailer before relation header"));
       }
-      const std::string count_text = line.substr(7);
+      std::vector<std::string> parts = StrSplit(line, ' ');
+      if (parts.size() != 2 && !(parts.size() == 4 && parts[2] == "crc")) {
+        return InvalidArgumentError(
+            StrCat("line ", line_number, ": malformed 'tuples' trailer"));
+      }
       errno = 0;
       char* end = nullptr;
-      long long declared = std::strtoll(count_text.c_str(), &end, 10);
-      if (errno != 0 || end != count_text.c_str() + count_text.size() ||
+      long long declared = std::strtoll(parts[1].c_str(), &end, 10);
+      if (errno != 0 || end != parts[1].c_str() + parts[1].size() ||
           declared < 0) {
         return InvalidArgumentError(
-            StrCat("line ", line_number, ": bad tuple count '", count_text,
+            StrCat("line ", line_number, ": bad tuple count '", parts[1],
                    "'"));
       }
       if (static_cast<size_t>(declared) != rows_in_section) {
@@ -173,6 +221,22 @@ Status LoadSnapshot(Database* db, std::istream& in) {
                    "' declares ", declared, " tuples, found ",
                    rows_in_section));
       }
+      if (parts.size() == 4) {
+        errno = 0;
+        unsigned long long declared_crc =
+            std::strtoull(parts[3].c_str(), &end, 16);
+        if (errno != 0 || end != parts[3].c_str() + parts[3].size() ||
+            parts[3].empty() || declared_crc > 0xFFFFFFFFull) {
+          return InvalidArgumentError(
+              StrCat("line ", line_number, ": bad crc '", parts[3], "'"));
+        }
+        if (static_cast<uint32_t>(declared_crc) != section_crc) {
+          return InvalidArgumentError(StrCat(
+              "line ", line_number, ": relation '", current_name,
+              "' checksum mismatch (declared ", parts[3], ", computed ",
+              CrcHex(section_crc), ") — snapshot is corrupt"));
+        }
+      }
       current = nullptr;  // rows after a verified trailer are malformed
       continue;
     }
@@ -180,6 +244,8 @@ Status LoadSnapshot(Database* db, std::istream& in) {
       return InvalidArgumentError(
           StrCat("line ", line_number, ": tuple before relation header"));
     }
+    section_crc = ExtendCrc32c(section_crc, line.data(), line.size());
+    section_crc = ExtendCrc32c(section_crc, "\n", 1);
     if (line == "()" && current->arity() == 0) {
       current->Insert(Row{});
       ++rows_in_section;

@@ -2,14 +2,24 @@
 // relation (including which columns are integers vs symbols — plain TSV
 // cannot distinguish the symbol "42" from the integer 42).
 //
-// Format:
-//   seprec-snapshot v1
+// Format (v2; the writer always emits v2, the loader accepts v1 too):
+//   seprec-snapshot v2
 //   relation <name> <arity>
 //   <value>\t<value>...          one line per tuple
 //   ...
+//   tuples <n> crc <hex>         per-relation trailer; the CRC32C covers
+//                                the relation's tuple lines exactly as
+//                                written (v1 trailers carry no crc and
+//                                load without verification)
 //   end
 // Values are encoded as `s:<escaped symbol>` or `i:<decimal>`; symbols
-// escape backslash, tab, and newline as \\ \t \n.
+// escape backslash, tab, and newline as \\ \t \n. A relation name may
+// appear at most once per stream — a duplicate header is how a spliced
+// or double-written file presents, and is rejected.
+//
+// SaveSnapshotFile is atomic: it writes `<path>.tmp`, fsyncs, renames
+// over `path`, and fsyncs the directory, so a crash mid-save can never
+// destroy the previous snapshot.
 #ifndef SEPREC_STORAGE_SNAPSHOT_H_
 #define SEPREC_STORAGE_SNAPSHOT_H_
 

@@ -1,0 +1,61 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace seprec {
+namespace {
+
+// Slicing-by-8 lookup tables for the reflected Castagnoli polynomial,
+// built once at first use (cheap: 8 * 256 entries).
+struct Tables {
+  std::array<std::array<uint32_t, 256>, 8> t;
+
+  Tables() {
+    constexpr uint32_t kPoly = 0x82F63B78u;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1u) != 0 ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = t[0][i];
+      for (size_t slice = 1; slice < 8; ++slice) {
+        crc = t[0][crc & 0xFFu] ^ (crc >> 8);
+        t[slice][i] = crc;
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables* t = new Tables;  // leaked: process-lifetime constant
+  return *t;
+}
+
+}  // namespace
+
+uint32_t ExtendCrc32c(uint32_t crc, const void* data, size_t size) {
+  const auto& t = tables().t;
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  // Byte-at-a-time until the remaining length covers a full 8-byte slice.
+  while (size >= 8) {
+    uint32_t low = crc ^ (static_cast<uint32_t>(p[0]) |
+                          static_cast<uint32_t>(p[1]) << 8 |
+                          static_cast<uint32_t>(p[2]) << 16 |
+                          static_cast<uint32_t>(p[3]) << 24);
+    crc = t[7][low & 0xFFu] ^ t[6][(low >> 8) & 0xFFu] ^
+          t[5][(low >> 16) & 0xFFu] ^ t[4][low >> 24] ^ t[3][p[4]] ^
+          t[2][p[5]] ^ t[1][p[6]] ^ t[0][p[7]];
+    p += 8;
+    size -= 8;
+  }
+  while (size-- > 0) {
+    crc = t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace seprec

@@ -1,0 +1,29 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78): the
+// checksum the durability layer stamps on WAL records, snapshot relation
+// sections, and the manifest. Chosen over CRC32 (IEEE) for its better
+// error-detection properties on short records; computed in software with
+// a slicing-by-8 table so the WAL needs no SSE4.2 dependency.
+#ifndef SEPREC_UTIL_CRC32C_H_
+#define SEPREC_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace seprec {
+
+// Extends `crc` (a value previously returned by Crc32c/ExtendCrc32c, or 0
+// for a fresh stream) with `size` bytes at `data`.
+uint32_t ExtendCrc32c(uint32_t crc, const void* data, size_t size);
+
+inline uint32_t Crc32c(const void* data, size_t size) {
+  return ExtendCrc32c(0, data, size);
+}
+
+inline uint32_t Crc32c(std::string_view bytes) {
+  return ExtendCrc32c(0, bytes.data(), bytes.size());
+}
+
+}  // namespace seprec
+
+#endif  // SEPREC_UTIL_CRC32C_H_

@@ -19,6 +19,14 @@ const std::vector<std::string_view>& RegisteredSites() {
       "io.save_tsv",         // SaveRelationTsv, before writing
       "snapshot.load",       // LoadSnapshot, before parsing
       "snapshot.save",       // SaveSnapshot, before writing
+      "snapshot.write",      // SaveSnapshotFile, before writing the temp file
+      "snapshot.rename",     // SaveSnapshotFile, temp written, before rename
+      "wal.open",            // WalWriter::Open, before open/create
+      "wal.append",          // WalWriter::Append, before the record write
+      "wal.fsync",           // WalWriter sync, record written, before fsync
+      "wal.truncate",        // TruncateWal, before dropping the torn tail
+      "manifest.write",      // SaveManifest, before writing the temp file
+      "manifest.rename",     // SaveManifest, temp durable, before rename
       "governor.poll",       // ExecutionContext::ShouldStop -> cancellation
       "governor.charge",     // MemoryAccountant::Charge -> allocation spike
       "compiler.separable",  // QueryProcessor dispatch of the Separable engine
@@ -76,8 +84,17 @@ void LoadEnvironment() {
     std::vector<std::string> parts = StrSplit(entry, ':');
     if (!Failpoints::IsRegistered(parts[0])) continue;
     FailpointSpec spec;
-    if (parts.size() > 1) spec.skip = std::strtoull(parts[1].c_str(), nullptr, 10);
-    if (parts.size() > 2) spec.count = std::strtoull(parts[2].c_str(), nullptr, 10);
+    size_t next = 1;
+    if (parts.size() > next && parts[next] == "crash") {
+      spec.crash = true;
+      ++next;
+    }
+    if (parts.size() > next) {
+      spec.skip = std::strtoull(parts[next++].c_str(), nullptr, 10);
+    }
+    if (parts.size() > next) {
+      spec.count = std::strtoull(parts[next].c_str(), nullptr, 10);
+    }
     ArmLocked(r, parts[0], std::move(spec));
   }
 }
@@ -100,6 +117,12 @@ bool Evaluate(std::string_view site, FailpointSpec* spec_out) {
   if (state.fires >= state.spec.count) return false;
   ++state.fires;
   *spec_out = state.spec;
+  if (state.spec.crash) {
+    // kill -9 stand-in: no flushing, no destructors — user-space
+    // buffered bytes die with the process exactly as they would under a
+    // real SIGKILL at this boundary.
+    std::_Exit(kCrashExitCode);
+  }
   return true;
 }
 

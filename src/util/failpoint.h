@@ -18,6 +18,12 @@
 //                                        active (CI soak under sanitizers)
 //   SEPREC_FAILPOINTS=site[:skip[:count]][,...]
 //                                        arm sites at process start
+//   SEPREC_FAILPOINTS=site:crash[:skip[:count]][,...]
+//                                        crash the process (_Exit, no
+//                                        flushing — a kill -9 stand-in)
+//                                        when the site fires; the crash
+//                                        harness uses this to die at exact
+//                                        IO boundaries
 //
 // The registry is guarded by a mutex and safe to use across threads; the
 // sites themselves fire on whichever thread evaluates them.
@@ -44,7 +50,16 @@ struct FailpointSpec {
   StatusCode code = StatusCode::kInternal;
   // Optional message override; empty uses "injected failure at <site>".
   std::string message;
+  // When set, a firing site terminates the process with
+  // std::_Exit(kCrashExitCode) instead of reporting a failure: no stream
+  // flushing, no destructors, no atexit — the closest in-process stand-in
+  // for kill -9 at an exact instruction boundary.
+  bool crash = false;
 };
+
+// Exit code of a crash-action failpoint, distinctive enough for death
+// tests and the crash harness to tell an injected crash from a real abort.
+inline constexpr int kCrashExitCode = 42;
 
 class Failpoints {
  public:

@@ -27,6 +27,7 @@ enum class StatusCode {
   kResourceExhausted,
   kCancelled,
   kInternal,
+  kDataLoss,
 };
 
 // Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT",
@@ -87,6 +88,12 @@ inline Status CancelledError(std::string message) {
 }
 inline Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+// Unrecoverable corruption of persisted state (bad WAL/snapshot/manifest
+// bytes): distinct from kInternal so the CLI can map it to the recovery
+// exit code and the server can refuse to start.
+inline Status DataLossError(std::string message) {
+  return Status(StatusCode::kDataLoss, std::move(message));
 }
 
 // Holds either a value of type T or an error Status. Accessing the value of

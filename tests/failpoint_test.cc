@@ -29,12 +29,33 @@ TEST_F(FailpointTest, RegistryKnowsAllSites) {
   const std::vector<std::string> expected = {
       "io.load_tsv",    "io.save_tsv",        "snapshot.load",
       "snapshot.save",  "governor.poll",      "governor.charge",
-      "compiler.separable", "compiler.magic"};
+      "compiler.separable", "compiler.magic",
+      "snapshot.write", "snapshot.rename",    "wal.open",
+      "wal.append",     "wal.fsync",          "wal.truncate",
+      "manifest.write", "manifest.rename"};
   for (const std::string& site : expected) {
     EXPECT_TRUE(Failpoints::IsRegistered(site)) << site;
   }
   EXPECT_FALSE(Failpoints::IsRegistered("no.such.site"));
   EXPECT_EQ(Failpoints::Sites().size(), expected.size());
+}
+
+TEST_F(FailpointTest, CrashActionExitsWithCrashCode) {
+  FailpointSpec spec;
+  spec.crash = true;
+  Failpoints::Arm("wal.append", spec);
+  EXPECT_EXIT((void)Failpoints::Check("wal.append"),
+              ::testing::ExitedWithCode(kCrashExitCode), "");
+}
+
+TEST_F(FailpointTest, CrashActionHonoursSkip) {
+  FailpointSpec spec;
+  spec.crash = true;
+  spec.skip = 1;
+  Failpoints::Arm("wal.fsync", spec);
+  EXPECT_TRUE(Failpoints::Check("wal.fsync").ok());  // skipped
+  EXPECT_EXIT((void)Failpoints::Check("wal.fsync"),
+              ::testing::ExitedWithCode(kCrashExitCode), "");
 }
 
 TEST_F(FailpointTest, DisarmedSitesNeverFire) {

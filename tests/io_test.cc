@@ -93,6 +93,50 @@ TEST(Io, EmptyInputWithoutRelationFails) {
   EXPECT_FALSE(LoadRelationTsv(&db, "edge", in).ok());
 }
 
+TEST(Io, MalformedMiddleLineAppliesNothing) {
+  // Loads are parse-then-apply: a malformed line anywhere in the stream
+  // must leave the database byte-for-byte untouched, never a valid prefix.
+  Database db;
+  ASSERT_TRUE(db.AddFact("edge", {"x", "y"}).ok());
+  const uint64_t generation = db.generation();
+  std::istringstream in("a\tb\nbroken\nc\td\n");
+  EXPECT_FALSE(LoadRelationTsv(&db, "edge", in).ok());
+  EXPECT_EQ(db.Find("edge")->size(), 1u);
+  EXPECT_EQ(db.generation(), generation);
+  // Same for a relation that does not exist yet: it must not be created.
+  std::istringstream in2("a\tb\nbroken\n");
+  EXPECT_FALSE(LoadRelationTsv(&db, "fresh", in2).ok());
+  EXPECT_EQ(db.Find("fresh"), nullptr);
+}
+
+TEST(Io, ParseThenApplySplitRoundTrips) {
+  Database db;
+  std::istringstream in("alice\t42\nbob\t-7\n");
+  auto batch = ParseRelationTsv(db, "age", in);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(batch->relation, "age");
+  EXPECT_EQ(batch->arity, 2u);
+  ASSERT_EQ(batch->rows.size(), 2u);
+  // The typing decision is made at parse time, before any apply.
+  EXPECT_FALSE(batch->rows[0][0].is_int);
+  EXPECT_EQ(batch->rows[0][0].symbol, "alice");
+  EXPECT_TRUE(batch->rows[0][1].is_int);
+  EXPECT_EQ(batch->rows[0][1].int_value, 42);
+  EXPECT_EQ(db.Find("age"), nullptr);  // parse touched nothing
+
+  auto added = ApplyTupleBatch(&db, *batch);
+  ASSERT_TRUE(added.ok());
+  EXPECT_EQ(*added, 2u);
+  EXPECT_EQ(db.Find("age")->size(), 2u);
+  // Re-applying the same batch is idempotent and does not bump the
+  // generation (nothing new was added).
+  const uint64_t generation = db.generation();
+  auto again = ApplyTupleBatch(&db, *batch);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, 0u);
+  EXPECT_EQ(db.generation(), generation);
+}
+
 TEST(Io, SaveRoundTrip) {
   Database db;
   std::istringstream in("a\t1\nb\t2\n");

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstring>
+#include <filesystem>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -20,6 +21,7 @@
 #include "server/server.h"
 #include "server/service.h"
 #include "storage/database.h"
+#include "storage/recovery.h"
 #include "util/string_util.h"
 
 namespace seprec {
@@ -555,6 +557,95 @@ TEST_F(SocketServerTest, LoadBumpsGenerationAndQueriesSeeIt) {
   std::vector<json::Value> lines = client.ReadToDone();
   const json::Value& answer = lines[lines.size() - 2];
   EXPECT_EQ(answer.Get("answers").as_int(), 1);  // (d, e) via the load
+}
+
+TEST_F(SocketServerTest, MalformedMiddleRowFailsLoadWithoutPartialApply) {
+  SocketClient client(socket_path_);
+  ASSERT_TRUE(client.connected());
+  // Row 2 has one column where rows 1 and 3 have two: the load must fail
+  // with a structured, line-numbered error and apply NOTHING — a partial
+  // prefix would be silent corruption.
+  client.Send(
+      R"({"op":"load","id":1,"relation":"m",)"
+      R"("rows":[["a","b"],["c"],["d","e"]]})");
+  json::Value error = client.ReadLine();
+  EXPECT_EQ(error.Get("ev").as_string(), "error");
+  EXPECT_EQ(error.Get("code").as_string(), "INVALID_ARGUMENT");
+  EXPECT_NE(error.Get("message").as_string().find("line 2"),
+            std::string::npos)
+      << error.Get("message").as_string();
+  // Nothing was applied: the relation does not exist and the generation
+  // did not move.
+  EXPECT_EQ(db_.Find("m"), nullptr);
+  EXPECT_EQ(db_.generation(), 0u);
+}
+
+TEST_F(SocketServerTest, CheckpointWithoutDataDirIsFailedPrecondition) {
+  SocketClient client(socket_path_);
+  ASSERT_TRUE(client.connected());
+  client.Send(R"({"op":"checkpoint","id":9})");
+  json::Value error = client.ReadLine();
+  EXPECT_EQ(error.Get("ev").as_string(), "error");
+  EXPECT_EQ(error.Get("code").as_string(), "FAILED_PRECONDITION");
+  EXPECT_NE(error.Get("message").as_string().find("--data-dir"),
+            std::string::npos)
+      << error.Get("message").as_string();
+}
+
+TEST(SocketServerDurability, LoadsAreLoggedAndCheckpointOpSnapshots) {
+  const std::string dir =
+      StrCat(::testing::TempDir(), "/seprec_srv_durable_",
+             static_cast<unsigned long>(::getpid()));
+  std::filesystem::remove_all(dir);
+  const std::string socket_path = dir + ".sock";
+  uint64_t generation_after = 0;
+  {
+    Database db;
+    DurabilityOptions durability;
+    durability.fsync = FsyncPolicy::kOff;
+    auto storage = DurableStorage::Open(dir, &db, durability, nullptr);
+    ASSERT_TRUE(storage.ok()) << storage.status().ToString();
+    ServiceOptions options;
+    options.storage = storage->get();
+    QueryService service(&db, options);
+    SocketServer server(&service);
+    ASSERT_TRUE(server.Start(socket_path).ok());
+
+    SocketClient client(socket_path);
+    ASSERT_TRUE(client.connected());
+    client.Send(
+        R"({"op":"load","id":1,"relation":"edge","rows":[["a","b"]]})");
+    EXPECT_TRUE(client.ReadLine().Get("ok").as_bool());
+    EXPECT_GT((*storage)->wal_bytes(), 0u);  // the load was logged
+
+    client.Send(R"({"op":"checkpoint","id":2})");
+    json::Value done = client.ReadLine();
+    EXPECT_TRUE(done.Get("ok").as_bool());
+    EXPECT_EQ(done.Get("snapshot").as_string(), "snapshot-2.seprec");
+    EXPECT_GT(done.Get("wal_bytes_truncated").as_int(), 0);
+    EXPECT_EQ((*storage)->wal_bytes(), 0u);
+
+    client.Send(
+        R"({"op":"load","id":3,"relation":"edge","rows":[["b","c"]]})");
+    EXPECT_TRUE(client.ReadLine().Get("ok").as_bool());
+    generation_after = db.generation();
+    server.Stop();
+  }
+  // Recovery sees the snapshot plus the post-checkpoint WAL record.
+  Database restored;
+  RecoveryReport report;
+  DurabilityOptions durability;
+  durability.fsync = FsyncPolicy::kOff;
+  auto storage = DurableStorage::Open(dir, &restored, durability, &report);
+  ASSERT_TRUE(storage.ok()) << storage.status().ToString();
+  EXPECT_EQ(report.snapshot_file, "snapshot-2.seprec");
+  EXPECT_EQ(report.wal_records_replayed, 1u);
+  ASSERT_NE(restored.Find("edge"), nullptr);
+  EXPECT_EQ(restored.Find("edge")->size(), 2u);
+  EXPECT_EQ(restored.generation(), generation_after);
+  storage->reset();
+  std::filesystem::remove_all(dir);
+  std::filesystem::remove(socket_path);
 }
 
 TEST_F(SocketServerTest, MalformedAndUnknownRequestsAnswerErrors) {

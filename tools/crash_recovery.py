@@ -1,0 +1,454 @@
+#!/usr/bin/env python3
+"""Kill-9 / crash-fault injection harness for the durability layer.
+
+Each trial runs `seprec_cli serve --data-dir` against a fresh data
+directory and streams a deterministic schedule of load and checkpoint
+ops at it while one of three faults is armed:
+
+  kill         a harness thread SIGKILLs the server at a random moment
+  failpoint    SEPREC_FAILPOINTS=<site>:crash:<skip> makes the server
+               _exit(42) inside a random IO site (wal.append, wal.fsync,
+               snapshot.rename, manifest.write, ...), including sites
+               that only fire inside a checkpoint
+  fsync-error  SEPREC_FAILPOINTS=wal.fsync:<skip>:1 injects ONE fsync
+               error (the op fails, the server lives), then the server
+               is SIGKILLed anyway
+
+After every crash the harness may also append garbage bytes to the live
+WAL (simulating the torn tail a real power cut leaves — kill -9 alone
+cannot tear completed write()s out of the page cache), restarts the
+server, and retries every op the server never acknowledged. Loads are
+batches of distinct tuples, so retries are idempotent (at-least-once
+delivery, exactly-once effect).
+
+A trial passes when, after all ops are acknowledged:
+  * every query's streamed tuples are bit-identical to a crash-free
+    reference run over the same schedule;
+  * the database generation equals the reference (replay reproduces the
+    exact bump sequence);
+  * a clean restart reproduces both again from disk alone.
+
+Separately, the corruption matrix checks the recovery verdicts: a byte
+flipped mid-WAL must make strict recovery refuse with exit code 4 and
+tolerant recovery start while dropping only the damaged suffix.
+
+Usage:
+  tools/crash_recovery.py [--binary build/tools/seprec_cli]
+      [--trials 25] [--seed 1] [--fsync always|batch|off] [--keep]
+
+Exit code 0 when every trial and every corruption case passes.
+"""
+
+import argparse
+import json
+import os
+import random
+import shutil
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+PROGRAM = (
+    "tc(X, Y) :- edge(X, Y).\n"
+    "tc(X, Y) :- edge(X, Z) & tc(Z, Y).\n"
+)
+QUERIES = ["tc(v0, X)", "tc(X, v9)"]
+
+# Crash-able IO sites (util/failpoint.h registry). wal.* fire on every
+# load; snapshot.* / manifest.* only inside a checkpoint.
+CRASH_SITES = [
+    "wal.append", "wal.fsync", "wal.open", "wal.truncate",
+    "snapshot.write", "snapshot.rename",
+    "manifest.write", "manifest.rename",
+]
+
+
+def make_schedule(rng, num_loads=24):
+    """Deterministic op schedule: loads of distinct edges over v0..v14,
+    with checkpoints sprinkled in. Every batch adds at least one new
+    tuple, so the generation bump count is schedule-determined."""
+    edges = [(a, b) for a in range(15) for b in range(15) if a != b]
+    rng.shuffle(edges)
+    per_batch = max(1, len(edges) // num_loads)
+    ops = []
+    for i in range(num_loads):
+        batch = edges[i * per_batch:(i + 1) * per_batch]
+        if not batch:
+            break
+        rows = [["v%d" % a, "v%d" % b] for a, b in batch]
+        ops.append({"op": "load", "relation": "edge", "rows": rows})
+        if rng.random() < 0.25:
+            ops.append({"op": "checkpoint"})
+    return ops
+
+
+class Crashed(Exception):
+    """The server went away mid-conversation."""
+
+
+class Server:
+    def __init__(self, binary, data_dir, fsync, extra_env=None,
+                 recover="strict"):
+        self.sock_path = data_dir + ".sock"
+        if os.path.exists(self.sock_path):
+            os.unlink(self.sock_path)
+        env = dict(os.environ)
+        env.pop("SEPREC_FAILPOINTS", None)
+        if extra_env:
+            env.update(extra_env)
+        self.proc = subprocess.Popen(
+            [binary, "serve", self.sock_path, "--data-dir", data_dir,
+             "--fsync", fsync, "--recover", recover],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE)
+        self.sock = None
+        self.file = None
+
+    def wait_ready(self, timeout=10.0):
+        """Connects and pings; returns False (with .exit_code set) when
+        the process exited before ever serving."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.proc.poll() is not None:
+                self.exit_code = self.proc.returncode
+                self.stderr = self.proc.stderr.read().decode(
+                    "utf-8", "replace")
+                return False
+            try:
+                s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                s.settimeout(10.0)
+                s.connect(self.sock_path)
+                self.sock = s
+                self.file = s.makefile("rw", encoding="utf-8",
+                                       newline="\n")
+                self.request({"op": "ping"})
+                return True
+            except (OSError, Crashed):
+                if self.sock:
+                    self.sock.close()
+                    self.sock = None
+                time.sleep(0.05)
+        raise RuntimeError("server never became ready")
+
+    def request(self, obj):
+        """Sends one op, returns the reply lines through done/error.
+        Raises Crashed when the connection dies mid-conversation."""
+        obj = dict(obj)
+        obj.setdefault("id", 1)
+        try:
+            self.file.write(json.dumps(obj) + "\n")
+            self.file.flush()
+            lines = []
+            for line in self.file:
+                msg = json.loads(line)
+                lines.append(msg)
+                if msg.get("ev") in ("done", "error"):
+                    return lines
+            raise Crashed()
+        except (OSError, ValueError):
+            raise Crashed()
+
+    def kill(self):
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGKILL)
+        self.proc.wait()
+        self.close_client()
+
+    def shutdown(self):
+        try:
+            self.request({"op": "shutdown"})
+        except Crashed:
+            pass
+        self.proc.wait()
+        self.close_client()
+
+    def close_client(self):
+        if self.sock:
+            self.sock.close()
+            self.sock = None
+        if self.proc.stderr:
+            self.proc.stderr.close()
+
+
+def run_queries(server):
+    """Returns the comparable outcome: per-query sorted tuple lines and
+    the database generation."""
+    outcome = {}
+    for query in QUERIES:
+        lines = server.request(
+            {"op": "query", "program": PROGRAM, "query": query})
+        assert lines[-1].get("ok"), lines[-1]
+        outcome[query] = [m["tuple"] for m in lines
+                         if m.get("ev") == "result"]
+    stats = server.request({"op": "stats"})[0]["stats"]
+    outcome["generation"] = stats["generation"]
+    return outcome
+
+
+def live_wal_path(data_dir):
+    with open(os.path.join(data_dir, "MANIFEST")) as f:
+        for line in f:
+            parts = line.split()
+            if parts and parts[0] == "wal":
+                return os.path.join(data_dir, parts[1])
+    raise RuntimeError("MANIFEST names no WAL")
+
+
+def inject_torn_tail(data_dir, rng):
+    """Appends a partial record to the live WAL — what a power cut can
+    leave. Contains no acknowledged data, so recovery must drop it.
+    Either a cut-short header, or a full header declaring a plausible
+    length with most of the payload missing. (An over-cap length would
+    be diagnosed as corruption, which is a different test.)"""
+    path = live_wal_path(data_dir)
+    if rng.random() < 0.3:
+        garbage = bytes(rng.randrange(256)
+                        for _ in range(rng.randrange(1, 8)))
+    else:
+        declared = rng.randrange(24, 4096)
+        garbage = struct.pack("<II", declared, rng.randrange(1 << 32))
+        garbage += bytes(rng.randrange(256)
+                         for _ in range(rng.randrange(0, declared - 8)))
+    with open(path, "ab") as f:
+        f.write(garbage)
+    return len(garbage)
+
+
+def wal_record_spans(path):
+    """Parses the WAL's framing: [(header_off, payload_off, len), ...]."""
+    with open(path, "rb") as f:
+        blob = f.read()
+    assert blob[:8] == b"seprecW1", "not a seprec WAL: %s" % path
+    spans = []
+    off = 8
+    while off + 8 <= len(blob):
+        (length,) = struct.unpack_from("<I", blob, off)
+        if off + 8 + length > len(blob):
+            break
+        spans.append((off, off + 8, length))
+        off += 8 + length
+    return spans
+
+
+def reference_run(binary, fsync, schedule, tmp):
+    data_dir = os.path.join(tmp, "reference")
+    server = Server(binary, data_dir, fsync)
+    assert server.wait_ready()
+    for op in schedule:
+        lines = server.request(op)
+        assert lines[-1].get("ok"), lines[-1]
+    outcome = run_queries(server)
+    server.shutdown()
+    return outcome
+
+
+def run_trial(binary, fsync, schedule, tmp, trial, rng, verbose):
+    data_dir = os.path.join(tmp, "trial%03d" % trial)
+    mode = rng.choice(["kill", "kill", "failpoint", "failpoint",
+                       "fsync-error"])
+    extra_env = None
+    kill_at_op = None
+    if mode == "failpoint":
+        site = rng.choice(CRASH_SITES)
+        skip = rng.randrange(0, len(schedule))
+        extra_env = {"SEPREC_FAILPOINTS": "%s:crash:%d" % (site, skip)}
+        detail = extra_env["SEPREC_FAILPOINTS"]
+    elif mode == "fsync-error":
+        skip = rng.randrange(0, len(schedule))
+        extra_env = {"SEPREC_FAILPOINTS": "wal.fsync:%d:1" % skip}
+        kill_at_op = rng.randrange(0, len(schedule))
+        detail = ("%s then SIGKILL at op %d" %
+                  (extra_env["SEPREC_FAILPOINTS"], kill_at_op))
+    else:
+        kill_at_op = rng.randrange(0, len(schedule))
+        detail = "SIGKILL at op %d" % kill_at_op
+
+    server = Server(binary, data_dir, fsync, extra_env)
+    if not server.wait_ready():
+        # Crashed inside recovery/startup (e.g. wal.open:crash). Restart
+        # clean and carry on: a crash before serving loses nothing.
+        assert server.exit_code == 42, (server.exit_code, server.stderr)
+        server = Server(binary, data_dir, fsync)
+        assert server.wait_ready(), server.stderr
+
+    timer = None
+    crashes = 0
+    next_op = 0
+    while next_op < len(schedule):
+        if kill_at_op is not None and next_op == kill_at_op:
+            # Arm the SIGKILL with a tiny async delay so it sometimes
+            # lands mid-request (inside a write) and sometimes between
+            # ops — both are legitimate kill -9 timings.
+            kill_at_op = None
+            timer = threading.Timer(rng.uniform(0, 0.004), server.kill)
+            timer.start()
+        try:
+            lines = server.request(schedule[next_op])
+            if lines[-1].get("ev") == "error":
+                # Injected fsync error: the op is unacknowledged — the
+                # server survives, the op is retried on the spot.
+                assert mode == "fsync-error", lines[-1]
+                continue
+            next_op += 1
+        except Crashed:
+            crashes += 1
+            if timer:
+                timer.cancel()
+                timer = None
+            server.kill()
+            if rng.random() < 0.5:
+                inject_torn_tail(data_dir, rng)
+            # Restart WITHOUT the crash failpoint and retry everything
+            # unacknowledged (idempotent: distinct tuples per batch).
+            server = Server(binary, data_dir, fsync)
+            assert server.wait_ready(), getattr(server, "stderr", "")
+    if timer:
+        timer.cancel()
+        # The kill may have landed between the last ack and here; make
+        # sure the server is still with us before querying.
+        try:
+            server.request({"op": "ping"})
+        except Crashed:
+            server.kill()
+            server = Server(binary, data_dir, fsync)
+            assert server.wait_ready(), getattr(server, "stderr", "")
+
+    outcome = run_queries(server)
+    server.shutdown()
+
+    # The durability claim, part 2: a clean restart reproduces the same
+    # state from disk alone.
+    server = Server(binary, data_dir, fsync)
+    assert server.wait_ready(), getattr(server, "stderr", "")
+    reopened = run_queries(server)
+    server.shutdown()
+    if verbose:
+        print("  trial %2d: %-40s crashes=%d gen=%d" %
+              (trial, detail, crashes, outcome["generation"]))
+    return outcome, reopened, detail, crashes
+
+
+def corruption_matrix(binary, schedule, tmp, verbose):
+    """Mid-log corruption: strict recovery must refuse with exit 4,
+    tolerant recovery must start and drop only the damaged suffix."""
+    data_dir = os.path.join(tmp, "corrupt")
+    server = Server(binary, data_dir, "off")
+    assert server.wait_ready()
+    for op in schedule:
+        if op["op"] == "load":
+            assert server.request(op)[-1].get("ok")
+    server.shutdown()
+
+    # Flip a payload byte of a known non-final record. A checksum
+    # mismatch with later records behind it is unambiguous mid-log
+    # corruption; a blind flip could instead land in a length field and
+    # read as a torn tail, which strict recovery rightly truncates.
+    wal = live_wal_path(data_dir)
+    spans = wal_record_spans(wal)
+    assert len(spans) >= 2, "need >= 2 WAL records to corrupt mid-log"
+    _, payload_off, length = spans[len(spans) // 2 - 1]
+    assert length > 0, "cannot flip a byte of an empty payload"
+    with open(wal, "r+b") as f:
+        f.seek(payload_off + length // 2)
+        byte = f.read(1)
+        f.seek(payload_off + length // 2)
+        f.write(bytes([byte[0] ^ 0x40]))
+
+    strict = Server(binary, data_dir, "off")
+    ready = strict.wait_ready()
+    assert not ready, "strict recovery accepted a corrupt WAL"
+    assert strict.exit_code == 4, (strict.exit_code, strict.stderr)
+    assert "corrupt" in strict.stderr, strict.stderr
+    if verbose:
+        print("  corruption/strict: refused with exit 4")
+
+    tolerant = Server(binary, data_dir, "off", recover="tolerant")
+    assert tolerant.wait_ready(), getattr(tolerant, "stderr", "")
+    outcome = run_queries(tolerant)
+    tolerant.shutdown()
+    # Only a suffix may be missing: what remains is a subset of the
+    # crash-free tuples, and the relation is still queryable.
+    if verbose:
+        print("  corruption/tolerant: started, %d tuples for %s" %
+              (len(outcome[QUERIES[0]]), QUERIES[0]))
+    return outcome
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="crash-recovery harness for seprec_cli serve")
+    parser.add_argument("--binary", default="build/tools/seprec_cli")
+    parser.add_argument("--trials", type=int, default=25)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--fsync", default="always",
+                        choices=["always", "batch", "off"])
+    parser.add_argument("--keep", action="store_true",
+                        help="keep the scratch directory")
+    parser.add_argument("-q", "--quiet", action="store_true")
+    args = parser.parse_args()
+
+    if not os.path.exists(args.binary):
+        print("no such binary: %s" % args.binary, file=sys.stderr)
+        return 2
+    binary = os.path.abspath(args.binary)
+    verbose = not args.quiet
+
+    master = random.Random(args.seed)
+    schedule = make_schedule(master)
+    loads = sum(1 for op in schedule if op["op"] == "load")
+    print("crash_recovery: %d trials, schedule of %d ops (%d loads), "
+          "fsync=%s, seed=%d" %
+          (args.trials, len(schedule), loads, args.fsync, args.seed))
+
+    tmp = tempfile.mkdtemp(prefix="seprec_crash_")
+    failures = 0
+    try:
+        reference = reference_run(binary, args.fsync, schedule, tmp)
+        print("reference: generation=%d, %s" %
+              (reference["generation"],
+               ", ".join("%s -> %d tuple(s)" % (q, len(reference[q]))
+                         for q in QUERIES)))
+
+        total_crashes = 0
+        for trial in range(args.trials):
+            rng = random.Random(args.seed * 100003 + trial)
+            try:
+                outcome, reopened, detail, crashes = run_trial(
+                    binary, args.fsync, schedule, tmp, trial, rng,
+                    verbose)
+                total_crashes += crashes
+                if outcome != reference:
+                    raise AssertionError(
+                        "post-recovery state diverged: %r vs %r" %
+                        (outcome, reference))
+                if reopened != reference:
+                    raise AssertionError(
+                        "clean-restart state diverged: %r vs %r" %
+                        (reopened, reference))
+            except AssertionError as e:
+                failures += 1
+                print("  trial %2d FAILED: %s" % (trial, e),
+                      file=sys.stderr)
+        print("trials: %d/%d passed, %d injected crash(es) recovered" %
+              (args.trials - failures, args.trials, total_crashes))
+
+        try:
+            corruption_matrix(binary, schedule, tmp, verbose)
+            print("corruption matrix: passed")
+        except AssertionError as e:
+            failures += 1
+            print("corruption matrix FAILED: %s" % e, file=sys.stderr)
+    finally:
+        if args.keep:
+            print("scratch kept at %s" % tmp)
+        else:
+            shutil.rmtree(tmp, ignore_errors=True)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,7 @@ BENCHES=(
   fig_schema_instantiation
   micro_opt
   micro_server
+  micro_wal
   tab_ablation
   tab_detection
   tab_lemma41

@@ -44,10 +44,22 @@
 //
 //   seprec_cli serve <socket> [--data REL=FILE.tsv]... [--threads N]
 //                    [--trace FILE] [--max-prepared N] [--max-closures N]
+//                    [--data-dir DIR] [--fsync always|batch|off]
+//                    [--recover strict|tolerant] [--checkpoint-bytes N]
 //       Start the query service on a Unix-domain socket speaking the
 //       JSON-lines protocol (see src/server/server.h). Runs until a client
 //       sends {"op":"shutdown"} or the process receives SIGINT/SIGTERM.
 //       --threads fixes the parallel policy baked into cached plans.
+//       --data-dir opens (or initialises) a crash-safe data directory:
+//       the database is recovered from its snapshot + WAL before serving,
+//       every load op is write-ahead logged, and {"op":"checkpoint"}
+//       (or the WAL passing --checkpoint-bytes, default 64 MiB) snapshots
+//       and truncates the log. --fsync picks the WAL durability policy
+//       (default always: an acknowledged load survives kill -9).
+//       --recover tolerant truncates a corrupt WAL at the last valid
+//       record instead of refusing to start; either way the recovery
+//       report is printed to stderr. An unrecoverable data directory
+//       exits 4.
 //
 //   seprec_cli client <socket> <program.dl> [--query "<atom>"]
 //                     [--strategy S] [--no-cache] [--no-opt] [--stats]
@@ -59,7 +71,8 @@
 //
 // Process exit codes: 0 = success, 1 = failure, 2 = usage error,
 // 3 = a resource limit stopped the evaluation (partial result or
-// RESOURCE_EXHAUSTED / CANCELLED).
+// RESOURCE_EXHAUSTED / CANCELLED), 4 = a --data-dir failed to recover
+// (corrupt WAL/snapshot/manifest; see DESIGN.md section 12).
 //
 // Strategies: auto separable magic counting qsqr seminaive naive.
 #include <sys/socket.h>
@@ -72,6 +85,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -90,6 +104,7 @@
 #include "eval/trace.h"
 #include "separable/detection.h"
 #include "storage/io.h"
+#include "storage/recovery.h"
 #include "util/string_util.h"
 
 namespace seprec {
@@ -127,7 +142,11 @@ int Usage() {
                "                  [--query \"<atom>\"] [--max-bound N]\n"
                "       seprec_cli serve <socket> [--data REL=FILE]... "
                "[--threads N] [--trace FILE]\n"
-               "                  [--max-prepared N] [--max-closures N]\n"
+               "                  [--max-prepared N] [--max-closures N] "
+               "[--data-dir DIR]\n"
+               "                  [--fsync always|batch|off] "
+               "[--recover strict|tolerant]\n"
+               "                  [--checkpoint-bytes N]\n"
                "       seprec_cli client <socket> <program.dl> "
                "[--query \"<atom>\"] [--strategy S]\n"
                "                  [--no-cache] [--stats] [--timeout-ms N] "
@@ -550,8 +569,10 @@ void OnSignal(int) { g_signalled = 1; }
 int ServeCommand(const std::string& socket_path, int argc, char** argv,
                  int first) {
   ServiceOptions service_options;
+  DurabilityOptions durability;
   std::vector<std::pair<std::string, std::string>> data;
   std::string trace_path;
+  std::string data_dir;
   for (int i = first; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--data" && i + 1 < argc) {
@@ -587,15 +608,61 @@ int ServeCommand(const std::string& socket_path, int argc, char** argv,
       trace_path = argv[++i];
       continue;
     }
+    if (arg == "--data-dir" && i + 1 < argc) {
+      data_dir = argv[++i];
+      continue;
+    }
+    if (arg == "--fsync" && i + 1 < argc) {
+      StatusOr<FsyncPolicy> p = ParseFsyncPolicy(argv[++i]);
+      if (!p.ok()) return Fail(p.status().ToString());
+      durability.fsync = *p;
+      continue;
+    }
+    if (arg == "--recover" && i + 1 < argc) {
+      std::string mode = argv[++i];
+      if (mode == "strict") {
+        durability.tolerant = false;
+      } else if (mode == "tolerant") {
+        durability.tolerant = true;
+      } else {
+        return Fail(StrCat("--recover expects strict|tolerant, got '",
+                           mode, "'"));
+      }
+      continue;
+    }
+    if (arg == "--checkpoint-bytes" && i + 1 < argc) {
+      StatusOr<int64_t> v = ParseCount(arg, argv[++i]);
+      if (!v.ok()) return Fail(v.status().ToString());
+      durability.checkpoint_bytes = static_cast<uint64_t>(*v);
+      continue;
+    }
     return Fail(StrCat("unknown serve flag '", arg, "'"));
   }
 
   Database db;
-  for (const auto& [rel, path] : data) {
-    StatusOr<size_t> added = LoadRelationTsvFile(&db, rel, path);
-    if (!added.ok()) return Fail(added.status().ToString());
-    std::fprintf(stderr, "loaded %zu tuple(s) into %s from %s\n", *added,
-                 rel.c_str(), path.c_str());
+  std::unique_ptr<DurableStorage> storage;
+  if (!data_dir.empty()) {
+    RecoveryReport report;
+    StatusOr<std::unique_ptr<DurableStorage>> opened =
+        DurableStorage::Open(data_dir, &db, durability, &report);
+    if (!opened.ok()) {
+      Fail(opened.status().ToString());
+      return 4;  // recovery failure: distinct from plain failure (1)
+    }
+    storage = std::move(*opened);
+    std::fprintf(stderr,
+                 "recovery: %s generation=%llu snapshot=%s "
+                 "replayed=%llu record(s)\n",
+                 report.fresh ? "fresh data dir" : "recovered",
+                 static_cast<unsigned long long>(report.generation),
+                 report.snapshot_file.empty() ? "none"
+                                              : report.snapshot_file.c_str(),
+                 static_cast<unsigned long long>(
+                     report.wal_records_replayed));
+    for (const std::string& note : report.notes) {
+      std::fprintf(stderr, "recovery: %s\n", note.c_str());
+    }
+    service_options.storage = storage.get();
   }
   std::ofstream trace_out;
   std::optional<JsonTraceSink> trace_sink;
@@ -609,6 +676,14 @@ int ServeCommand(const std::string& socket_path, int argc, char** argv,
   }
 
   QueryService service(&db, service_options);
+  // --data loads go through the service so they are write-ahead logged
+  // exactly like a client's load op when a data dir is attached.
+  for (const auto& [rel, path] : data) {
+    StatusOr<size_t> added = service.LoadTsvFile(rel, path);
+    if (!added.ok()) return Fail(added.status().ToString());
+    std::fprintf(stderr, "loaded %zu tuple(s) into %s from %s\n", *added,
+                 rel.c_str(), path.c_str());
+  }
   SocketServer server(&service);
   if (Status status = server.Start(socket_path); !status.ok()) {
     return Fail(status.ToString());
