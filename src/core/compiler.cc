@@ -6,6 +6,7 @@
 #include "magic/engine.h"
 #include "opt/nonrecursive.h"
 #include "opt/pass_manager.h"
+#include "plan/planner.h"
 #include "separable/engine.h"
 #include "separable/rewrite.h"
 #include "util/failpoint.h"
@@ -513,6 +514,36 @@ StatusOr<PreparedQuery> QueryProcessor::Prepare(
   // From here on everything compiles against the program the plan will
   // execute — the rewritten one when the pipeline produced it.
   const QueryProcessor* effective = prepared.qp_;
+  if (prepared.pass_report_.has_value()) {
+    // Plan once per prepared query: the service's compiled-plan cache
+    // keeps the PreparedQuery (and with it this report), so repeat
+    // executions reuse the chosen orders without re-planning.
+    for (const auto& [name, info] : effective->info_.predicates()) {
+      if (!info.is_idb) continue;
+      SEPREC_RETURN_IF_ERROR(db->CreateRelation(name, info.arity).status());
+    }
+    for (const Rule& rule : effective->info_.program().rules) {
+      std::vector<const Relation*> relations(rule.body.size(), nullptr);
+      size_t positive = 0;
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        const Literal& lit = rule.body[i];
+        if (lit.kind != Literal::Kind::kAtom || lit.negated) continue;
+        relations[i] = db->Find(lit.atom.predicate);
+        ++positive;
+      }
+      if (positive == 0) continue;
+      PlannedBody planned =
+          PlanJoinOrder(rule, relations, &db->stats(),
+                        JoinOrderMode::kCostBased, /*indexed=*/true);
+      PlanNote note;
+      note.rule = rule.ToString();
+      note.order = planned.OrderString();
+      note.mode = planned.mode;
+      note.cost = planned.cost;
+      note.est_rows = static_cast<uint64_t>(planned.est_rows);
+      prepared.pass_report_->plans.push_back(std::move(note));
+    }
+  }
   if (prepared.chain_.front() == Strategy::kSeparable) {
     const SeparableRecursion* sep = effective->FindSeparable(query.predicate);
     if (sep != nullptr &&

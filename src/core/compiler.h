@@ -89,9 +89,21 @@ struct ProcessorOptions {
 // output), and the strategy decided on the post-pipeline program. Recorded
 // in the PreparedQuery — and thus in the service's compiled-plan cache —
 // and rendered by `seprec_cli analyze`.
+// The join order the cost-based planner chose for one rule of the
+// prepared program, recorded so `analyze` output and `plan` trace events
+// can show what the engines will execute without recompiling.
+struct PlanNote {
+  std::string rule;   // rule.ToString()
+  std::string order;  // "0,2,1" body indices; "" when greedy decides later
+  std::string mode;   // "cbo" | "cbo-fallback" | "textual"
+  double cost = 0.0;
+  uint64_t est_rows = 0;
+};
+
 struct PassReport {
   std::vector<PassOutcome> outcomes;
   std::vector<Diagnostic> diagnostics;
+  std::vector<PlanNote> plans;  // filled by Prepare (not AnalyzeQuery)
   Strategy strategy = Strategy::kSemiNaive;
   std::string reason;
   bool rewritten = false;   // some pass changed the program

@@ -181,6 +181,7 @@ class FixpointEngine {
     for (const Rule* rule : info.RulesOfStratum(s)) {
       PlanOptions base_opts;
       base_opts.disable_indexes = options_.disable_indexes;
+      base_opts.join_order = join_order();
       if (rule->aggregate.has_value()) {
         // Aggregate rules run once per stratum (stratification guarantees
         // their bodies are complete); the plan collects (group, value)
@@ -194,6 +195,7 @@ class FixpointEngine {
       }
       SEPREC_ASSIGN_OR_RETURN(RulePlan base,
                               RulePlan::Compile(*rule, db_, base_opts));
+      TracePlan(base, "compile/base");
       stratum.base_plans.push_back(std::move(base));
       stratum.base_labels.push_back(rule->ToString());
       if (!seminaive_ || !stratum.recursive) continue;
@@ -205,16 +207,19 @@ class FixpointEngine {
         if (!info.IsIdb(lit.atom.predicate)) continue;
         PlanOptions opts;
         opts.disable_indexes = options_.disable_indexes;
+        opts.join_order = join_order();
         opts.relation_overrides[i] =
             StrCat(kDeltaPrefix, lit.atom.predicate);
         SEPREC_ASSIGN_OR_RETURN(RulePlan delta,
                                 RulePlan::Compile(*rule, db_, opts));
+        TracePlan(delta, "compile/delta");
         stratum.delta_plans.push_back(std::move(delta));
         stratum.delta_labels.push_back(rule->ToString());
         if (!partitioned) continue;
         for (size_t k = 0; k < stratum.num_partitions; ++k) {
           PlanOptions part_opts;
           part_opts.disable_indexes = options_.disable_indexes;
+          part_opts.join_order = join_order();
           part_opts.relation_overrides[i] = PartName(k, lit.atom.predicate);
           SEPREC_ASSIGN_OR_RETURN(RulePlan part,
                                   RulePlan::Compile(*rule, db_, part_opts));
@@ -226,6 +231,28 @@ class FixpointEngine {
   }
 
   const char* engine_name() const { return seminaive_ ? "seminaive" : "naive"; }
+
+  JoinOrderMode join_order() const {
+    return options_.no_cbo ? JoinOrderMode::kTextual
+                           : JoinOrderMode::kCostBased;
+  }
+
+  // Emits a schema-v3 `plan` trace event for a freshly compiled rule plan
+  // (base and delta variants; partition variants share the delta's order).
+  void TracePlan(const RulePlan& plan, const std::string& phase) {
+    if (trace_ == nullptr) return;
+    const PlannedBody& info = plan.plan_info();
+    TraceEvent e;
+    e.kind = TraceEventKind::kPlan;
+    e.engine = engine_name();
+    e.phase = StrCat(options_.trace_phase_prefix, phase);
+    e.rule = plan.rule().ToString();
+    e.cause = info.mode;            // serialized as "mode"
+    e.detail = info.OrderString();  // serialized as "order"
+    e.cost = info.cost;
+    e.est_rows = static_cast<uint64_t>(info.est_rows);
+    trace_->Emit(e);
+  }
 
   // Folds one plan execution's counters into EvalStats::rule_stats and,
   // when tracing, emits a rule event (skipped for no-op executions so idle

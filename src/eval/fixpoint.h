@@ -45,6 +45,11 @@ struct FixpointOptions {
   // post-filters). See PlanOptions::disable_indexes.
   bool disable_indexes = false;
 
+  // Ablation: skip the cost-based planner and scan the positive body
+  // atoms in textual (source) order. See PlanOptions::join_order and the
+  // --no-cbo CLI flag.
+  bool no_cbo = false;
+
   // Optional event sink (see eval/trace.h). Engines copy options when
   // delegating to sub-evaluations, so one sink observes the whole query.
   // Null (the default) disables tracing; the enabled path adds per-round

@@ -87,6 +87,17 @@ StatusOr<RulePlan> RulePlan::Compile(const Rule& rule, Database* db,
     relations[i] = rel;
   }
 
+  // Ask the planner for an atom order. An empty order (greedy mode, or a
+  // DP fallback on very wide bodies) leaves the pick to the legacy
+  // heuristic below; a non-empty one is consumed front to back.
+  plan.plan_info_ = PlanJoinOrder(rule, relations, db == nullptr
+                                      ? nullptr
+                                      : &db->stats(),
+                                  options.join_order,
+                                  !options.disable_indexes);
+  const std::vector<size_t>& forced_order = plan.plan_info_.atom_order;
+  size_t forced_cursor = 0;
+
   std::vector<bool> scheduled(rule.body.size(), false);
   size_t num_scheduled = 0;
 
@@ -190,24 +201,30 @@ StatusOr<RulePlan> RulePlan::Compile(const Rule& rule, Database* db,
     }
     if (num_scheduled == rule.body.size()) break;
 
-    // 2) Pick the relational literal with the most bound argument
-    //    positions; tie-break on smaller relation, then source order.
+    // 2) Next relational literal: the planner's choice when one is
+    //    queued, otherwise the greedy pick (most bound argument
+    //    positions; tie-break on smaller relation, then source order).
     ptrdiff_t best = -1;
-    size_t best_bound = 0;
-    size_t best_size = 0;
-    for (size_t i = 0; i < rule.body.size(); ++i) {
-      if (scheduled[i] || !rule.body[i].IsPositiveAtom()) continue;
-      const Atom& atom = rule.body[i].atom;
-      size_t bound_positions = 0;
-      for (const Term& arg : atom.args) {
-        if (is_bound(arg)) ++bound_positions;
-      }
-      size_t size = relations[i]->size();
-      if (best < 0 || bound_positions > best_bound ||
-          (bound_positions == best_bound && size < best_size)) {
-        best = static_cast<ptrdiff_t>(i);
-        best_bound = bound_positions;
-        best_size = size;
+    if (forced_cursor < forced_order.size()) {
+      best = static_cast<ptrdiff_t>(forced_order[forced_cursor]);
+      ++forced_cursor;
+    } else {
+      size_t best_bound = 0;
+      size_t best_size = 0;
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        if (scheduled[i] || !rule.body[i].IsPositiveAtom()) continue;
+        const Atom& atom = rule.body[i].atom;
+        size_t bound_positions = 0;
+        for (const Term& arg : atom.args) {
+          if (is_bound(arg)) ++bound_positions;
+        }
+        size_t size = relations[i]->size();
+        if (best < 0 || bound_positions > best_bound ||
+            (bound_positions == best_bound && size < best_size)) {
+          best = static_cast<ptrdiff_t>(i);
+          best_bound = bound_positions;
+          best_size = size;
+        }
       }
     }
     if (best < 0) {

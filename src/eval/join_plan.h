@@ -1,10 +1,13 @@
 // RulePlan: a Datalog rule compiled into an index-join pipeline.
 //
-// Compilation picks a body ordering greedily (most-bound relational literal
-// first, built-ins as soon as their inputs are available), resolves
-// constants against the database symbol table, and binds each relational
-// literal to a concrete Relation. Execution enumerates all satisfying
-// bindings with nested index lookups and emits head tuples.
+// Compilation orders the positive body atoms with the cost-based DP
+// planner (plan/planner.h) by default, falling back to the legacy greedy
+// heuristic (most-bound relational literal first) for bodies the DP
+// declines; built-ins schedule as soon as their inputs are available
+// either way. Constants are resolved against the database symbol table
+// and each relational literal binds to a concrete Relation. Execution
+// enumerates all satisfying bindings with nested index lookups and emits
+// head tuples.
 //
 // Plans are compiled once and re-executed many times; the fixpoint engines
 // rely on `relation_overrides` to point individual body literals at delta /
@@ -17,6 +20,7 @@
 #include <vector>
 
 #include "datalog/ast.h"
+#include "plan/planner.h"
 #include "storage/database.h"
 #include "storage/relation.h"
 #include "util/status.h"
@@ -31,6 +35,11 @@ struct PlanOptions {
   // Ablation: compile every relational access as a full scan with
   // post-filters instead of an indexed probe (tab_ablation bench).
   bool disable_indexes = false;
+
+  // How to order the positive body atoms (see plan/planner.h). The
+  // default runs the DP planner against the database's StatsCatalog;
+  // kTextual is the --no-cbo ablation.
+  JoinOrderMode join_order = JoinOrderMode::kCostBased;
 };
 
 // Work counters for plan executions, accumulated (+=) so one object can
@@ -97,6 +106,11 @@ class RulePlan {
 
   const Rule& rule() const { return rule_; }
 
+  // The planner's verdict for this body: chosen atom order, estimated
+  // cost/cardinality, and which mode produced it ("cbo", "cbo-fallback",
+  // "greedy", "textual").
+  const PlannedBody& plan_info() const { return plan_info_; }
+
   // Human-readable step listing for EXPLAIN output and tests.
   std::string DebugString() const;
 
@@ -148,6 +162,7 @@ class RulePlan {
   static bool EvalCompare(CmpOp op, Value a, Value b);
 
   Rule rule_;
+  PlannedBody plan_info_;
   std::vector<Step> steps_;
   std::vector<ValueSource> head_sources_;
   uint32_t num_slots_ = 0;

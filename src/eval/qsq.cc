@@ -48,8 +48,13 @@ struct AdornedPredicate {
 class QsqrEngine {
  public:
   QsqrEngine(const Program& rectified, const ProgramInfo& info, Database* db,
-             const std::set<std::string>& base_like)
-      : rectified_(rectified), info_(info), db_(db), base_like_(base_like) {}
+             const std::set<std::string>& base_like,
+             JoinOrderMode join_order = JoinOrderMode::kCostBased)
+      : rectified_(rectified),
+        info_(info),
+        db_(db),
+        base_like_(base_like),
+        join_order_(join_order) {}
 
   Status Setup(const Atom& query) {
     query_key_ = AdornedKey(query.predicate, AdornmentOfAtom(query, {}));
@@ -312,6 +317,7 @@ class QsqrEngine {
           }
           need.body.push_back(prev_literal());
           PlanOptions delta_prev_opts;
+          delta_prev_opts.join_order = join_order_;
           delta_prev_opts.relation_overrides[0] = DeltaName(prev_relation);
           SEPREC_ASSIGN_OR_RETURN(
               RulePlan compiled_need,
@@ -330,6 +336,7 @@ class QsqrEngine {
         sup_rule.body.push_back(lit);
 
         PlanOptions delta_prev_opts;
+        delta_prev_opts.join_order = join_order_;
         delta_prev_opts.relation_overrides[0] = DeltaName(prev_relation);
         SEPREC_ASSIGN_OR_RETURN(
             RulePlan delta_prev_plan,
@@ -338,6 +345,7 @@ class QsqrEngine {
           // The ans relation grows during the run: also join the full
           // prefix against its delta.
           PlanOptions delta_lit_opts;
+          delta_lit_opts.join_order = join_order_;
           delta_lit_opts.relation_overrides[1] =
               DeltaName(lit.atom.predicate);
           SEPREC_ASSIGN_OR_RETURN(
@@ -363,6 +371,7 @@ class QsqrEngine {
       head_rule.head.predicate = "$ans";
       head_rule.body.push_back(prev_literal());
       PlanOptions delta_prev_opts;
+      delta_prev_opts.join_order = join_order_;
       delta_prev_opts.relation_overrides[0] = DeltaName(prev_relation);
       SEPREC_ASSIGN_OR_RETURN(
           RulePlan head_plan,
@@ -377,6 +386,7 @@ class QsqrEngine {
   const ProgramInfo& info_;
   Database* db_;
   std::set<std::string> base_like_;
+  JoinOrderMode join_order_;
   std::string query_key_;
   std::map<std::string, AdornedPredicate> adorned_;
   std::set<std::string> tracked_;
@@ -460,7 +470,9 @@ StatusOr<QsqrRunResult> EvaluateWithQsqr(const Program& program,
   }
 
   Program rectified = Rectify(program);
-  QsqrEngine engine(rectified, info, db, base_like);
+  QsqrEngine engine(rectified, info, db, base_like,
+                    options.no_cbo ? JoinOrderMode::kTextual
+                                   : JoinOrderMode::kCostBased);
   Status status = engine.Setup(query);
   if (!status.ok()) {
     finish_trace();

@@ -28,6 +28,8 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "session";
     case TraceEventKind::kPass:
       return "pass";
+    case TraceEventKind::kPlan:
+      return "plan";
     case TraceEventKind::kNote:
       return "note";
   }
@@ -174,6 +176,15 @@ void JsonTraceSink::Emit(const TraceEvent& e) {
       AppendStr(&line, "pass", e.phase);
       AppendStr(&line, "verdict", e.cause);
       AppendStr(&line, "detail", e.detail);
+      break;
+    case TraceEventKind::kPlan:
+      AppendStr(&line, "engine", e.engine);
+      AppendStr(&line, "phase", e.phase);
+      AppendStr(&line, "rule", e.rule);
+      AppendStr(&line, "mode", e.cause);
+      AppendStr(&line, "order", e.detail);
+      AppendSeconds(&line, "cost", e.cost);
+      AppendNum(&line, "est_rows", e.est_rows);
       break;
     case TraceEventKind::kNote:
       AppendStr(&line, "detail", e.detail);

@@ -27,7 +27,12 @@
 //   session        cause ("open"/"close"/"request"), detail
 //   pass           pass (pipeline pass name, or "strategy" for the final
 //                  selection), verdict ("proved"/"rewritten"/"abstained",
-//                  or the strategy name), detail — schema v2 only
+//                  or the strategy name), detail — schema v2+
+//   plan           engine, phase, rule, mode ("cbo"/"cbo-fallback"/
+//                  "greedy"/"textual"), order (comma-joined body indices
+//                  of the positive atoms in scan order), cost (estimated
+//                  row visits), est_rows (estimated output bindings) —
+//                  schema v3+
 //   note           detail
 //
 // Semantics: `emitted` counts head tuples produced by rule bodies,
@@ -62,6 +67,7 @@ enum class TraceEventKind {
   kCache,    // query-service cache activity (hit/miss/store/evict/purge)
   kSession,  // query-service session lifecycle (open/request/close)
   kPass,     // static-analysis pipeline verdicts and strategy selection
+  kPlan,     // cost-based planner verdict for one compiled rule body
   kNote,
 };
 
@@ -74,8 +80,10 @@ struct TraceEvent {
   std::string engine;  // "seminaive", "naive", "separable", "magic", ...
   std::string phase;   // "stratum0", "phase1", "exit", "insert", ...
   std::string rule;    // source text of the rule (kRule)
-  std::string cause;   // stop cause (kGovernorTrip); verdict (kPass)
-  std::string detail;  // free-form context (kGovernorTrip, kNote)
+  std::string cause;   // stop cause (kGovernorTrip); verdict (kPass);
+                       // planner mode (kPlan)
+  std::string detail;  // free-form context (kGovernorTrip, kNote); atom
+                       // order (kPlan)
   uint64_t round = 0;
   uint64_t emitted = 0;         // head tuples produced, duplicates included
   uint64_t inserted = 0;        // tuples new in the target relation
@@ -90,6 +98,8 @@ struct TraceEvent {
   uint64_t polls = 0;           // kEngineFinish: governor polls observed
   uint64_t insert_attempts = 0; // kEngineFinish: Relation::Insert calls
   uint64_t insert_new = 0;      // kEngineFinish: inserts that were new rows
+  uint64_t est_rows = 0;        // kPlan: estimated output bindings
+  double cost = 0.0;            // kPlan: estimated cost (row visits)
   double seconds = 0.0;
 };
 
@@ -110,9 +120,10 @@ class JsonTraceSink : public TraceSink {
   explicit JsonTraceSink(std::ostream* out) : out_(out) {}
   void Emit(const TraceEvent& event) override;
 
-  // v2 added the "pass" event (static-analysis pipeline verdicts); every
-  // v1 event serialises identically under v2.
-  static constexpr int kSchemaVersion = 2;
+  // v2 added the "pass" event (static-analysis pipeline verdicts); v3
+  // adds the "plan" event (cost-based planner verdicts). Every v1/v2
+  // event serialises identically under v3.
+  static constexpr int kSchemaVersion = 3;
 
  private:
   std::ostream* out_;

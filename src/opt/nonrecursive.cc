@@ -78,6 +78,8 @@ Status RunNonRecursive(const Program& program, Database* db,
     for (const Rule* rule : rules) {
       PlanOptions plan_opts;
       plan_opts.disable_indexes = options.disable_indexes;
+      plan_opts.join_order = options.no_cbo ? JoinOrderMode::kTextual
+                                            : JoinOrderMode::kCostBased;
       SEPREC_ASSIGN_OR_RETURN(RulePlan plan,
                               RulePlan::Compile(*rule, db, plan_opts));
       Relation* out = db->Find(rule->head.predicate);

@@ -1,0 +1,33 @@
+#include "plan/cost.h"
+
+#include <algorithm>
+
+namespace seprec {
+
+double CostModel::EffectiveRows(const RelationStats& stats) {
+  return stats.rows == 0 ? 1.0 : static_cast<double>(stats.rows);
+}
+
+double CostModel::EstimateMatches(const RelationStats& stats,
+                                  const std::vector<uint32_t>& bound_cols) {
+  double matches = EffectiveRows(stats);
+  for (uint32_t c : bound_cols) {
+    size_t distinct =
+        c < stats.distinct.size() ? std::max<size_t>(stats.distinct[c], 1) : 1;
+    matches /= static_cast<double>(distinct);
+  }
+  return std::max(matches, kMinMatches);
+}
+
+double CostModel::ScanCost(const RelationStats& stats,
+                           const std::vector<uint32_t>& bound_cols,
+                           double incoming_cardinality, bool indexed) {
+  double rows = EffectiveRows(stats);
+  if (!indexed || bound_cols.empty()) {
+    return incoming_cardinality * rows;
+  }
+  return incoming_cardinality *
+         (kProbeCost + EstimateMatches(stats, bound_cols));
+}
+
+}  // namespace seprec

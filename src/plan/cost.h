@@ -1,0 +1,56 @@
+// Cost model for the hash-join primitives RulePlan compiles to.
+//
+// Each scan step in a compiled plan either probes an index on the columns
+// already bound (one hash lookup plus the matching rows) or, with no bound
+// columns, walks the whole relation. The model charges:
+//
+//   unbound scan:  card * rows                    (every row examined)
+//   indexed probe: card * (kProbeCost + matches)  (lookup + candidates)
+//
+// where `card` is the estimated number of variable bindings flowing into
+// the step and `matches` is estimated from per-column distinct counts under
+// the usual independence assumption:
+//
+//   matches = rows / prod_{c in bound_cols} distinct[c]
+//
+// clamped to at least kMinMatches so a chain of selective probes never
+// rounds to exactly zero and erases downstream cost differences. Empty
+// relations are costed as one row: fixpoint engines compile delta variants
+// while the deltas are still empty, and a floor of 1 keeps the planner
+// scanning the (small) delta first instead of treating it as free.
+#ifndef SEPREC_PLAN_COST_H_
+#define SEPREC_PLAN_COST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "plan/stats.h"
+
+namespace seprec {
+
+struct CostModel {
+  // Hash-lookup overhead, in row-visit units.
+  static constexpr double kProbeCost = 1.0;
+  // Floor for the estimated matches of a probe.
+  static constexpr double kMinMatches = 1e-3;
+
+  // Effective row count: empty relations cost as one row (see above).
+  static double EffectiveRows(const RelationStats& stats);
+
+  // Estimated rows matching a probe of `stats` constrained on
+  // `bound_cols` (independence assumption; bound_cols empty = full scan).
+  static double EstimateMatches(const RelationStats& stats,
+                                const std::vector<uint32_t>& bound_cols);
+
+  // Cost of executing this scan once per incoming binding.
+  // `indexed` = false models the --disable-indexes ablation (always a
+  // full scan regardless of bound columns).
+  static double ScanCost(const RelationStats& stats,
+                         const std::vector<uint32_t>& bound_cols,
+                         double incoming_cardinality, bool indexed);
+};
+
+}  // namespace seprec
+
+#endif  // SEPREC_PLAN_COST_H_

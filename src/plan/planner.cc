@@ -1,0 +1,280 @@
+#include "plan/planner.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "plan/cost.h"
+#include "util/string_util.h"
+
+namespace seprec {
+namespace {
+
+using VarMask = uint64_t;
+
+// The body reduced to what the cost model needs: positive atoms with their
+// statistics and variable sets, plus, for each built-in, which variables
+// it needs and which it binds once ready (mirroring the scheduling rules
+// in RulePlan::Compile).
+struct BodyModel {
+  std::vector<size_t> atoms;              // body indices of positive atoms
+  std::vector<VarMask> atom_vars;         // parallel to atoms
+  std::vector<RelationStats> atom_stats;  // parallel to atoms
+  struct Builtin {
+    VarMask inputs = 0;
+    VarMask binds = 0;
+  };
+  std::vector<Builtin> builtins;
+  std::map<std::string, size_t> var_ids;
+  bool ok = true;  // false: too many variables for the mask width
+};
+
+size_t VarId(BodyModel* model, const std::string& name) {
+  auto [it, inserted] = model->var_ids.emplace(name, model->var_ids.size());
+  if (it->second >= 64) model->ok = false;
+  return it->second;
+}
+
+VarMask TermVars(BodyModel* model, const Term& t) {
+  if (!t.IsVar()) return 0;
+  size_t id = VarId(model, t.name);
+  return model->ok ? (VarMask{1} << id) : 0;
+}
+
+BodyModel BuildModel(const Rule& rule,
+                     const std::vector<const Relation*>& relations,
+                     StatsCatalog* stats) {
+  BodyModel model;
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    const Literal& lit = rule.body[i];
+    if (lit.IsPositiveAtom()) {
+      VarMask vars = 0;
+      for (const Term& arg : lit.atom.args) vars |= TermVars(&model, arg);
+      const Relation* rel = relations[i];
+      if (rel == nullptr) {
+        model.ok = false;
+        continue;
+      }
+      model.atoms.push_back(i);
+      model.atom_vars.push_back(vars);
+      model.atom_stats.push_back(stats != nullptr ? stats->Get(*rel)
+                                                  : ComputeRelationStats(*rel));
+      continue;
+    }
+    if (lit.kind == Literal::Kind::kCompare) {
+      VarMask lhs = TermVars(&model, lit.cmp_lhs);
+      VarMask rhs = TermVars(&model, lit.cmp_rhs);
+      if (lit.cmp_op == CmpOp::kEq) {
+        // X = Y binds whichever side is still free once the other is
+        // bound; a constant side makes the variable free immediately.
+        if (rhs != 0) model.builtins.push_back({lhs, rhs});
+        if (lhs != 0) model.builtins.push_back({rhs, lhs});
+      }
+      continue;
+    }
+    if (lit.kind == Literal::Kind::kAssign) {
+      std::set<std::string> inputs;
+      CollectVars(lit.expr, &inputs);
+      BodyModel::Builtin b;
+      for (const std::string& v : inputs) {
+        size_t id = VarId(&model, v);
+        if (model.ok) b.inputs |= VarMask{1} << id;
+      }
+      size_t target = VarId(&model, lit.assign_var);
+      if (model.ok) b.binds = VarMask{1} << target;
+      model.builtins.push_back(b);
+      continue;
+    }
+    // Negated atoms are pure filters; they bind nothing. Their variables
+    // still get ids so head/compare references resolve consistently.
+    if (lit.kind == Literal::Kind::kAtom) {
+      for (const Term& arg : lit.atom.args) TermVars(&model, arg);
+    }
+  }
+  return model;
+}
+
+// Variables derivable from `bound` through built-ins alone.
+VarMask Close(const BodyModel& model, VarMask bound) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const BodyModel::Builtin& b : model.builtins) {
+      if ((b.inputs & ~bound) != 0) continue;
+      if ((b.binds & ~bound) == 0) continue;
+      bound |= b.binds;
+      changed = true;
+    }
+  }
+  return bound;
+}
+
+// Columns of atom `pos` constrained (constant or bound variable) under
+// the given bound-variable set. Within-atom repeats are post-filters in
+// the compiled plan, so only the first occurrence of a free variable is
+// skipped here and later occurrences of it stay unbound too.
+std::vector<uint32_t> BoundCols(const BodyModel& model, const Rule& rule,
+                                size_t pos, VarMask bound) {
+  const Atom& atom = rule.body[model.atoms[pos]].atom;
+  std::vector<uint32_t> cols;
+  for (size_t c = 0; c < atom.args.size(); ++c) {
+    const Term& arg = atom.args[c];
+    if (!arg.IsVar()) {
+      cols.push_back(static_cast<uint32_t>(c));
+      continue;
+    }
+    auto it = model.var_ids.find(arg.name);
+    if (it != model.var_ids.end() && it->second < 64 &&
+        (bound & (VarMask{1} << it->second)) != 0) {
+      cols.push_back(static_cast<uint32_t>(c));
+    }
+  }
+  return cols;
+}
+
+// Cost and output cardinality of scanning the atoms in `order` (positions
+// into model.atoms).
+void WalkOrder(const BodyModel& model, const Rule& rule,
+               const std::vector<size_t>& order, bool indexed, double* cost,
+               double* card) {
+  VarMask bound = Close(model, 0);
+  *cost = 0.0;
+  *card = 1.0;
+  for (size_t pos : order) {
+    std::vector<uint32_t> cols = BoundCols(model, rule, pos, bound);
+    const RelationStats& stats = model.atom_stats[pos];
+    *cost += CostModel::ScanCost(stats, cols, *card, indexed);
+    *card *= CostModel::EstimateMatches(stats, cols);
+    bound = Close(model, bound | model.atom_vars[pos]);
+  }
+}
+
+struct Cand {
+  std::vector<uint8_t> order;  // positions into model.atoms
+  double cost = 0.0;
+  double card = 1.0;
+};
+
+// RDF-3X-style dominance insertion: keep `p` only if no existing plan is
+// at least as good on both cost and cardinality; evict plans `p`
+// dominates. Ties go to the incumbent, which makes the winner independent
+// of floating-point noise-free insertion order (itself deterministic).
+void AddPlan(std::vector<Cand>* list, Cand p) {
+  for (const Cand& q : *list) {
+    if (q.cost <= p.cost && q.card <= p.card) return;
+  }
+  list->erase(std::remove_if(list->begin(), list->end(),
+                             [&p](const Cand& q) {
+                               return p.cost <= q.cost && p.card <= q.card;
+                             }),
+              list->end());
+  list->push_back(std::move(p));
+}
+
+PlannedBody RunDp(const BodyModel& model, const Rule& rule, bool indexed) {
+  const size_t n = model.atoms.size();
+  const size_t full = (size_t{1} << n) - 1;
+
+  // Bound-variable set per subset (order-independent).
+  std::vector<VarMask> bound_of(full + 1);
+  bound_of[0] = Close(model, 0);
+  for (size_t mask = 1; mask <= full; ++mask) {
+    size_t low = mask & (mask - 1);
+    size_t bit = mask ^ low;
+    size_t pos = static_cast<size_t>(__builtin_ctzll(bit));
+    bound_of[mask] = Close(model, bound_of[low] | model.atom_vars[pos]);
+  }
+
+  std::vector<std::vector<Cand>> table(full + 1);
+  table[0].push_back(Cand{});
+  for (size_t mask = 0; mask < full; ++mask) {
+    if (table[mask].empty()) continue;
+    for (size_t pos = 0; pos < n; ++pos) {
+      if (mask & (size_t{1} << pos)) continue;
+      std::vector<uint32_t> cols =
+          BoundCols(model, rule, pos, bound_of[mask]);
+      const RelationStats& stats = model.atom_stats[pos];
+      double matches = CostModel::EstimateMatches(stats, cols);
+      size_t next = mask | (size_t{1} << pos);
+      for (const Cand& base : table[mask]) {
+        Cand ext;
+        ext.order = base.order;
+        ext.order.push_back(static_cast<uint8_t>(pos));
+        ext.cost =
+            base.cost + CostModel::ScanCost(stats, cols, base.card, indexed);
+        ext.card = base.card * matches;
+        AddPlan(&table[next], std::move(ext));
+      }
+    }
+  }
+
+  const Cand* best = nullptr;
+  for (const Cand& c : table[full]) {
+    if (best == nullptr || c.cost < best->cost) best = &c;
+  }
+  PlannedBody out;
+  out.mode = "cbo";
+  if (best == nullptr) return out;  // n == 0: nothing to order
+  for (uint8_t pos : best->order) out.atom_order.push_back(model.atoms[pos]);
+  out.cost = best->cost;
+  out.est_rows = best->card;
+  return out;
+}
+
+}  // namespace
+
+std::string PlannedBody::OrderString() const {
+  std::string s;
+  for (size_t i = 0; i < atom_order.size(); ++i) {
+    if (i > 0) s += ",";
+    s += std::to_string(atom_order[i]);
+  }
+  return s;
+}
+
+PlannedBody PlanJoinOrder(const Rule& rule,
+                          const std::vector<const Relation*>& relations,
+                          StatsCatalog* stats, JoinOrderMode mode,
+                          bool indexed) {
+  PlannedBody out;
+  if (mode == JoinOrderMode::kGreedy) {
+    out.mode = "greedy";
+    return out;
+  }
+  if (mode == JoinOrderMode::kCostBased) {
+    // Bodies with at most one positive atom have nothing to reorder:
+    // answer without touching statistics. Magic/counting rewrites emit
+    // many such rules, and this keeps their per-query compile cost flat.
+    size_t positive = 0;
+    size_t last = 0;
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (rule.body[i].IsPositiveAtom()) {
+        ++positive;
+        last = i;
+      }
+    }
+    if (positive <= 1) {
+      out.mode = "cbo";
+      if (positive == 1) out.atom_order.push_back(last);
+      return out;
+    }
+  }
+  BodyModel model = BuildModel(rule, relations, stats);
+  if (mode == JoinOrderMode::kTextual) {
+    out.mode = "textual";
+    out.atom_order = model.atoms;
+    if (model.ok) {
+      std::vector<size_t> positions(model.atoms.size());
+      for (size_t i = 0; i < positions.size(); ++i) positions[i] = i;
+      WalkOrder(model, rule, positions, indexed, &out.cost, &out.est_rows);
+    }
+    return out;
+  }
+  if (!model.ok || model.atoms.size() > kMaxDpAtoms) {
+    out.mode = "cbo-fallback";
+    return out;
+  }
+  return RunDp(model, rule, indexed);
+}
+
+}  // namespace seprec

@@ -1,0 +1,57 @@
+#include "plan/stats.h"
+
+#include <unordered_set>
+
+namespace seprec {
+
+RelationStats ComputeRelationStats(const Relation& rel) {
+  RelationStats stats;
+  stats.rows = rel.size();
+  const size_t arity = rel.arity();
+  stats.distinct.assign(arity, 0);
+  if (stats.rows == 0 || arity == 0) return stats;
+
+  std::vector<std::unordered_set<uint64_t>> seen(arity);
+  size_t scanned = 0;
+  rel.ForEachRow([&](Row row) {
+    if (scanned >= StatsCatalog::kSampleCap) return;
+    ++scanned;
+    for (size_t c = 0; c < arity; ++c) {
+      seen[c].insert(row[c].bits());
+    }
+  });
+  for (size_t c = 0; c < arity; ++c) {
+    stats.distinct[c] = seen[c].size();
+  }
+  return stats;
+}
+
+RelationStats StatsCatalog::Get(const Relation& rel) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = cache_[&rel];
+  if (entry.stats.distinct.size() != rel.arity() ||
+      entry.size != rel.size() || entry.slots != rel.slots()) {
+    entry.size = rel.size();
+    entry.slots = rel.slots();
+    entry.stats = ComputeRelationStats(rel);
+    ++recomputations_;
+  }
+  return entry.stats;
+}
+
+void StatsCatalog::Forget(const Relation* rel) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.erase(rel);
+}
+
+void StatsCatalog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+}
+
+uint64_t StatsCatalog::recomputations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recomputations_;
+}
+
+}  // namespace seprec

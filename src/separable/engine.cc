@@ -156,12 +156,14 @@ Rule MakePhase2Rule(const SeparableRecursion& sep, const AnchorInfo& anchor,
 class SchemaRunner {
  public:
   SchemaRunner(const SeparableRecursion& sep, AnchorInfo anchor,
-               Database* db, const ParallelPolicy& policy)
+               Database* db, const ParallelPolicy& policy,
+               JoinOrderMode join_order = JoinOrderMode::kCostBased)
       : sep_(sep),
         anchor_(std::move(anchor)),
         db_(db),
         num_partitions_(policy.Enabled() ? policy.ResolvedThreads() : 1),
-        min_rows_per_task_(policy.min_rows_per_task) {
+        min_rows_per_task_(policy.min_rows_per_task),
+        join_order_(join_order) {
     // Atomic: the query service compiles prepared schemas from concurrent
     // session threads.
     static std::atomic<int> counter{0};
@@ -206,19 +208,23 @@ class SchemaRunner {
       phase2_part_plans_.resize(num_partitions_);
     }
 
+    PlanOptions plan_opts;
+    plan_opts.join_order = join_order_;
     if (anchor_.anchor_class.has_value()) {
       const EquivalenceClass& ec = sep_.classes[*anchor_.anchor_class];
       for (size_t r : ec.rule_indices) {
         Rule rule = MakePhase1Rule(sep_, anchor_, r, carry1_->name(), "$new1");
         phase1_labels_.push_back(rule.ToString());
-        SEPREC_ASSIGN_OR_RETURN(RulePlan plan, RulePlan::Compile(rule, db_));
+        SEPREC_ASSIGN_OR_RETURN(RulePlan plan,
+                                RulePlan::Compile(rule, db_, plan_opts));
         phase1_plans_.push_back(std::move(plan));
       }
     }
     for (size_t e = 0; e < sep_.recursion.exit_rules.size(); ++e) {
       Rule rule = MakeExitRule(sep_, anchor_, e, seen1_->name(), "$init2");
       exit_labels_.push_back(rule.ToString());
-      SEPREC_ASSIGN_OR_RETURN(RulePlan plan, RulePlan::Compile(rule, db_));
+      SEPREC_ASSIGN_OR_RETURN(RulePlan plan,
+                              RulePlan::Compile(rule, db_, plan_opts));
       exit_plans_.push_back(std::move(plan));
     }
     for (size_t r = 0; r < sep_.recursion.recursive_rules.size(); ++r) {
@@ -228,7 +234,8 @@ class SchemaRunner {
       }
       Rule rule = MakePhase2Rule(sep_, anchor_, r, carry2_->name(), "$new2");
       phase2_labels_.push_back(rule.ToString());
-      SEPREC_ASSIGN_OR_RETURN(RulePlan plan, RulePlan::Compile(rule, db_));
+      SEPREC_ASSIGN_OR_RETURN(RulePlan plan,
+                              RulePlan::Compile(rule, db_, plan_opts));
       phase2_plans_.push_back(std::move(plan));
       // Partition variants: the same rule reading partition k of carry_2.
       for (size_t k = 0; k < num_partitions_ && num_partitions_ > 1; ++k) {
@@ -236,7 +243,7 @@ class SchemaRunner {
             RulePlan part_plan,
             RulePlan::Compile(
                 MakePhase2Rule(sep_, anchor_, r, PartName(k), "$new2"),
-                db_));
+                db_, plan_opts));
         phase2_part_plans_[k].push_back(std::move(part_plan));
       }
     }
@@ -554,6 +561,7 @@ class SchemaRunner {
   // share only read-only relations and the concurrent sink.
   size_t num_partitions_;
   size_t min_rows_per_task_;
+  JoinOrderMode join_order_;
   std::vector<Relation*> carry2_parts_;
   std::vector<std::vector<RulePlan>> phase2_part_plans_;
 
@@ -586,12 +594,13 @@ void EmitAnswer(const AnchorInfo& anchor, Row anchor_values, Row rest_values,
 // t_part branch is itself a full selection on a reduced recursion).
 Status EvaluateSelection(const Program& program, const SeparableRecursion& sep,
                          const Atom& query, Database* db,
-                         ExecutionContext* ctx, SeparableRunResult* result);
+                         ExecutionContext* ctx, JoinOrderMode join_order,
+                         SeparableRunResult* result);
 
 // Lemma 2.1: evaluate a partial selection as a union of full selections.
 Status EvaluatePartial(const Program& program, const SeparableRecursion& sep,
                        const Atom& query, Database* db, ExecutionContext* ctx,
-                       SeparableRunResult* result) {
+                       JoinOrderMode join_order, SeparableRunResult* result) {
   result->used_partial_rewrite = true;
   std::vector<bool> bound = BoundPositions(query);
 
@@ -610,7 +619,7 @@ Status EvaluatePartial(const Program& program, const SeparableRecursion& sep,
   // now sit in persistent columns, a full selection.
   SeparableRecursion part = RemoveClass(sep, *e1);
   SEPREC_RETURN_IF_ERROR(
-      EvaluateSelection(program, part, query, db, ctx, result));
+      EvaluateSelection(program, part, query, db, ctx, join_order, result));
 
   // Branch B: t :- t_full & a_1j for each rule of e1 — sideways
   // information passing through a_1j binds all of e1's columns, yielding
@@ -630,7 +639,8 @@ Status EvaluatePartial(const Program& program, const SeparableRecursion& sep,
       full_anchor.rest_positions.push_back(p);
     }
   }
-  SchemaRunner runner(sep, full_anchor, db, ctx->limits().parallel);
+  SchemaRunner runner(sep, full_anchor, db, ctx->limits().parallel,
+                      join_order);
   SEPREC_RETURN_IF_ERROR(runner.Compile());
 
   // Seed bindings: evaluate each e1 rule's nonrecursive body with the
@@ -656,8 +666,10 @@ Status EvaluatePartial(const Program& program, const SeparableRecursion& sep,
     }
     binding_rule.body = NonRecursiveLits(sep, r);
     binding_rule = Substitute(binding_rule, constant_sub);
+    PlanOptions binding_opts;
+    binding_opts.join_order = join_order;
     SEPREC_ASSIGN_OR_RETURN(RulePlan plan,
-                            RulePlan::Compile(binding_rule, db));
+                            RulePlan::Compile(binding_rule, db, binding_opts));
     Relation bindings("$bindings", 2 * w);
     plan.ExecuteInto(&bindings);
     result->stats.NoteRelationMax("bindings", bindings.size());
@@ -690,11 +702,12 @@ Status EvaluatePartial(const Program& program, const SeparableRecursion& sep,
 
 Status EvaluateSelection(const Program& program, const SeparableRecursion& sep,
                          const Atom& query, Database* db,
-                         ExecutionContext* ctx, SeparableRunResult* result) {
+                         ExecutionContext* ctx, JoinOrderMode join_order,
+                         SeparableRunResult* result) {
   std::vector<bool> bound = BoundPositions(query);
   std::optional<AnchorInfo> anchor = FindAnchor(sep, bound);
   if (!anchor.has_value()) {
-    return EvaluatePartial(program, sep, query, db, ctx, result);
+    return EvaluatePartial(program, sep, query, db, ctx, join_order, result);
   }
 
   bool resolvable = false;
@@ -707,7 +720,7 @@ Status EvaluateSelection(const Program& program, const SeparableRecursion& sep,
     seed.push_back(*query_constants[p]);
   }
 
-  SchemaRunner runner(sep, *anchor, db, ctx->limits().parallel);
+  SchemaRunner runner(sep, *anchor, db, ctx->limits().parallel, join_order);
   SEPREC_RETURN_IF_ERROR(runner.Compile());
   std::vector<std::vector<Value>> rest_rows;
   runner.Run({seed}, ctx, &result->stats, &rest_rows);
@@ -779,7 +792,10 @@ StatusOr<SeparableRunResult> EvaluateWithSeparable(
   SEPREC_RETURN_IF_ERROR(MaterializeSupport(program, sep.predicate(), db,
                                             governed, &result.stats));
   Status status =
-      EvaluateSelection(program, sep, query, db, governor.ctx(), &result);
+      EvaluateSelection(program, sep, query, db, governor.ctx(),
+                        options.no_cbo ? JoinOrderMode::kTextual
+                                       : JoinOrderMode::kCostBased,
+                        &result);
   result.stats.seconds = timer.Seconds();
   if (options.trace != nullptr) {
     TraceEvent e;

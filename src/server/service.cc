@@ -262,6 +262,17 @@ StatusOr<std::vector<QueryOutcome>> QueryService::Execute(
             ev.cause = std::string(StrategyToString(report.strategy));
             ev.detail = report.reason;
             options_.trace->Emit(ev);
+            for (const PlanNote& pn : report.plans) {
+              TraceEvent pe;
+              pe.kind = TraceEventKind::kPlan;
+              pe.phase = "prepare";
+              pe.rule = pn.rule;
+              pe.cause = pn.mode;
+              pe.detail = pn.order;
+              pe.cost = pn.cost;
+              pe.est_rows = pn.est_rows;
+              options_.trace->Emit(pe);
+            }
           }
           if (request.use_cache && options_.max_prepared > 0) {
             std::unique_lock<std::shared_mutex> lock(cache_mu_);

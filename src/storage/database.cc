@@ -2,9 +2,13 @@
 
 #include <algorithm>
 
+#include "plan/stats.h"
 #include "util/string_util.h"
 
 namespace seprec {
+
+Database::Database() = default;
+Database::~Database() = default;
 
 StatusOr<Relation*> Database::CreateRelation(std::string_view name,
                                              size_t arity) {
@@ -64,6 +68,11 @@ Status Database::AddFact(std::string_view relation,
 }
 
 void Database::Drop(std::string_view name, bool bump_generation) {
+  if (stats_ != nullptr) {
+    if (const Relation* rel = Find(name); rel != nullptr) {
+      stats_->Forget(rel);
+    }
+  }
   if (relations_.erase(std::string(name)) > 0 && bump_generation &&
       !name.starts_with("$")) {
     // Dropping user-visible data invalidates derived caches; scratch
@@ -81,6 +90,15 @@ std::vector<std::string> Database::RelationNames() const {
   }
   std::sort(names.begin(), names.end());
   return names;
+}
+
+StatsCatalog& Database::stats() {
+  // Lazy: most Database instances (tests, scratch) never plan anything.
+  // Callers that reach this from several threads do so under the owner's
+  // database lock (the query service's db_mu_), matching every other
+  // catalog mutation; the catalog's own operations are mutex-guarded.
+  if (stats_ == nullptr) stats_ = std::make_unique<StatsCatalog>();
+  return *stats_;
 }
 
 size_t Database::TotalTuples() const {

@@ -17,9 +17,14 @@
 
 namespace seprec {
 
+class StatsCatalog;
+
 class Database {
  public:
-  Database() = default;
+  // Out-of-line: stats_ holds a forward-declared type, so the compiler
+  // needs the .cc's complete view to generate construction/destruction.
+  Database();
+  ~Database();
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
@@ -88,6 +93,11 @@ class Database {
     generation_.store(g, std::memory_order_release);
   }
 
+  // Per-relation statistics for the cost-based planner (lazily created;
+  // entries refresh themselves when a relation's extent changes and are
+  // dropped when its relation is dropped). Thread-safe.
+  StatsCatalog& stats();
+
  private:
   SymbolTable symbols_;
   // Declared before relations_ so it outlives them during destruction
@@ -95,6 +105,10 @@ class Database {
   MemoryAccountant accountant_;
   StorageCounters counters_;
   std::atomic<uint64_t> generation_{0};
+  // unique_ptr: keeps storage/ headers free of a plan/ include; the
+  // catalog holds no Relation references across calls, only cache entries
+  // keyed by pointer that Drop() explicitly forgets.
+  std::unique_ptr<StatsCatalog> stats_;
   std::unordered_map<std::string, std::unique_ptr<Relation>> relations_;
 };
 

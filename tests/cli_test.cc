@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "eval/trace.h"
 #include "util/string_util.h"
 
 namespace seprec {
@@ -92,7 +93,9 @@ TEST(Cli, RunWithTraceWritesJsonLines) {
   bool saw_round = false;
   for (size_t i = 0; i < lines.size(); ++i) {
     // Envelope on every line, in emission order.
-    EXPECT_EQ(lines[i].rfind(StrCat("{\"v\":2,\"seq\":", i, ",\"t\":"), 0),
+    EXPECT_EQ(lines[i].rfind(StrCat("{\"v\":", JsonTraceSink::kSchemaVersion,
+                                    ",\"seq\":", i, ",\"t\":"),
+                             0),
               0u)
         << lines[i];
     if (lines[i].find("\"ev\":\"engine_start\"") != std::string::npos) {

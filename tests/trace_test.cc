@@ -72,8 +72,10 @@ TEST(TraceJson, EveryLineCarriesTheEnvelope) {
   ASSERT_GE(lines.size(), 3u);  // engine_start, rounds, engine_finish
   for (size_t i = 0; i < lines.size(); ++i) {
     const std::string& l = lines[i];
-    // Envelope: {"v":2,"seq":<i>,"t":<seconds>,"ev":"...
-    std::string prefix = "{\"v\":2,\"seq\":" + std::to_string(i) + ",\"t\":";
+    // Envelope: {"v":<schema>,"seq":<i>,"t":<seconds>,"ev":"...
+    std::string prefix = "{\"v\":" +
+                         std::to_string(JsonTraceSink::kSchemaVersion) +
+                         ",\"seq\":" + std::to_string(i) + ",\"t\":";
     EXPECT_EQ(l.rfind(prefix, 0), 0u) << l;
     EXPECT_NE(l.find("\"ev\":\""), std::string::npos) << l;
     EXPECT_EQ(l.back(), '}') << l;

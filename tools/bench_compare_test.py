@@ -63,8 +63,41 @@ class BenchCompareTest(unittest.TestCase):
         self.assertEqual(self.run_compare("--tolerance", "0.15"), 0)
 
     def test_wall_regression_fails(self):
+        # A single-entry suite: the geomean IS the entry's ratio.
         self.write_baseline({"b/0/seminaive": entry(1000)})
         self.write_current("b", {"b/0/seminaive": entry(2000)})
+        self.assertEqual(self.run_compare("--tolerance", "0.15"), 1)
+
+    def test_symmetric_noise_passes(self):
+        # One entry 2x slower, one 2x faster, two at parity: scheduler
+        # noise, not a regression. The geomean stays ~1 and nothing hits
+        # the blowup cap, so the gate passes.
+        self.write_baseline({f"b/{i}/seminaive": entry(1000)
+                             for i in range(4)})
+        self.write_current("b", {"b/0/seminaive": entry(2000),
+                                 "b/1/seminaive": entry(500),
+                                 "b/2/seminaive": entry(1000),
+                                 "b/3/seminaive": entry(1000)})
+        self.assertEqual(self.run_compare("--tolerance", "0.15"), 0)
+
+    def test_broad_drift_fails_via_geomean(self):
+        # Every entry 25% slower: inside the blowup cap, but the suite
+        # geomean (1.25x) is way outside noise.
+        self.write_baseline({f"b/{i}/seminaive": entry(1000)
+                             for i in range(4)})
+        self.write_current("b", {f"b/{i}/seminaive": entry(1250)
+                                 for i in range(4)})
+        self.assertEqual(self.run_compare("--tolerance", "0.15"), 1)
+
+    def test_single_entry_blowup_fails(self):
+        # One entry 4x slower while the rest are at parity: the geomean
+        # stays within tolerance but the blowup cap catches it (a bad
+        # join order on one query looks exactly like this).
+        self.write_baseline({f"b/{i}/seminaive": entry(1000)
+                             for i in range(8)})
+        current = {f"b/{i}/seminaive": entry(1000) for i in range(8)}
+        current["b/3/seminaive"] = entry(4000)
+        self.write_current("b", current)
         self.assertEqual(self.run_compare("--tolerance", "0.15"), 1)
 
     def test_peak_bytes_regression_fails(self):
@@ -79,6 +112,21 @@ class BenchCompareTest(unittest.TestCase):
                              "b/1/separable": entry(1000)})
         self.write_current("b", {"b/0/seminaive": entry(1000)})
         self.assertEqual(self.run_compare(), 1)
+
+    def test_improvement_prints_speedup_ratio(self):
+        # A 2x win must read "2.00x faster", not the inverted "0.50x" the
+        # FASTER line used to print.
+        import contextlib
+        import io
+        self.write_baseline({"b/0/seminaive": entry(2000)})
+        self.write_current("b", {"b/0/seminaive": entry(1000)})
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            self.assertEqual(self.run_compare("--tolerance", "0.15"), 0)
+        text = out.getvalue()
+        self.assertIn("FASTER", text)
+        self.assertIn("2.00x faster", text)
+        self.assertNotIn("0.50x", text)
 
     def test_new_entry_is_informational(self):
         self.write_baseline({"b/0/seminaive": entry(1000)})

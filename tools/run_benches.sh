@@ -20,6 +20,7 @@ BENCHES=(
   fig_example12
   fig_schema_instantiation
   micro_opt
+  micro_plan
   micro_server
   micro_wal
   tab_ablation

@@ -37,10 +37,16 @@
 //
 //   seprec_cli analyze <program.dl> [--format text|json|sarif] [--relaxed]
 //                      [--query "<atom>"] [--max-bound N]
+//                      [--explain-plan] [--data REL=FILE.tsv]...
 //       Run the compiler's static-analysis pass pipeline (dead-rule
 //       elimination, boundedness detection, separability detection) for
 //       each query and report every verdict plus the recorded strategy
 //       selection as S2xx diagnostics. Same exit contract as lint.
+//       --explain-plan additionally prepares each query (loading any
+//       --data TSVs first) and dumps the cost-based join order chosen for
+//       every rule: one "mode= cost= est_rows= order=[...]" line per rule
+//       (one JSON object per line under --format json). The CI plan-golden
+//       step diffs these dumps against tools/testdata/golden/.
 //
 //   seprec_cli serve <socket> [--data REL=FILE.tsv]... [--threads N]
 //                    [--trace FILE] [--max-prepared N] [--max-closures N]
@@ -130,7 +136,7 @@ int Usage() {
                "[--strategy S] [--stats]\n"
                "                  [--timeout-ms N] [--max-tuples N] "
                "[--max-bytes N] [--threads N]\n"
-               "                  [--trace FILE]\n"
+               "                  [--trace FILE] [--no-cbo]\n"
                "       seprec_cli check <program.dl>\n"
                "       seprec_cli explain <program.dl> \"<query>\"\n"
                "       seprec_cli why <program.dl> \"<fact>\" "
@@ -139,7 +145,8 @@ int Usage() {
                "[--format text|json|sarif] [--relaxed]\n"
                "       seprec_cli analyze <program.dl> "
                "[--format text|json|sarif] [--relaxed]\n"
-               "                  [--query \"<atom>\"] [--max-bound N]\n"
+               "                  [--query \"<atom>\"] [--max-bound N] "
+               "[--explain-plan] [--data REL=FILE]...\n"
                "       seprec_cli serve <socket> [--data REL=FILE]... "
                "[--threads N] [--trace FILE]\n"
                "                  [--max-prepared N] [--max-closures N] "
@@ -236,6 +243,12 @@ StatusOr<CommonFlags> ParseFlags(int argc, char** argv, int first) {
     }
     if (arg == "--trace" && i + 1 < argc) {
       flags.trace_path = argv[++i];
+      continue;
+    }
+    if (arg == "--no-cbo") {
+      // Ablation: keep each rule body's textual atom order instead of the
+      // cost-based join order (compare with bench/micro_plan.cc).
+      flags.options.no_cbo = true;
       continue;
     }
     if (arg == "--data" && i + 1 < argc) {
@@ -459,13 +472,60 @@ int LintCommand(const std::string& path, int argc, char** argv, int first) {
 // had to reject, and the E-series lints when the program cannot be
 // analysed at all. Exit contract matches lint: 0 clean, 1 findings at
 // warning-or-worse, 2 usage/IO error.
+// One line per planned rule, stable across runs for the same program and
+// data — the CI plan-golden step diffs this output against committed
+// dumps. Text: "  mode=cbo cost=42 est_rows=3 order=[1,0] rule: ...".
+// JSON: one object per line (easy to collect as a workflow artifact).
+std::string RenderPlanNotes(const Atom& query,
+                            const std::vector<PlanNote>& plans,
+                            const std::string& format) {
+  std::string out;
+  if (format != "json") {
+    out += StrCat("== plan for ", query.ToString(), " ==\n");
+  }
+  for (const PlanNote& pn : plans) {
+    char cost[32];
+    std::snprintf(cost, sizeof(cost), "%.6g", pn.cost);
+    if (format == "json") {
+      out += StrCat("{\"query\":\"", json::Escape(query.ToString()),
+                    "\",\"rule\":\"", json::Escape(pn.rule),
+                    "\",\"mode\":\"", json::Escape(pn.mode),
+                    "\",\"order\":\"", json::Escape(pn.order),
+                    "\",\"cost\":", cost,
+                    ",\"est_rows\":", pn.est_rows, "}\n");
+    } else {
+      out += StrCat("  mode=", pn.mode, " cost=", cost,
+                    " est_rows=", pn.est_rows, " order=[", pn.order,
+                    "] rule: ", pn.rule, "\n");
+    }
+  }
+  return out;
+}
+
 int AnalyzeCommand(const std::string& path, int argc, char** argv,
                    int first) {
   std::string format = "text";
   std::string query_text;
+  bool explain_plan = false;
+  std::vector<std::pair<std::string, std::string>> data;
   ProcessorOptions options;
   for (int i = first; i < argc; ++i) {
     std::string arg = argv[i];
+    if (arg == "--explain-plan") {
+      explain_plan = true;
+      continue;
+    }
+    if (arg == "--data" && i + 1 < argc) {
+      std::string spec = argv[++i];
+      size_t eq = spec.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "seprec_cli: --data expects REL=FILE, got '%s'\n",
+                     spec.c_str());
+        return 2;
+      }
+      data.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+      continue;
+    }
     if (arg == "--format" && i + 1 < argc) {
       format = argv[++i];
       if (format != "text" && format != "json" && format != "sarif") {
@@ -530,6 +590,17 @@ int AnalyzeCommand(const std::string& path, int argc, char** argv,
                     "no query to analyze: pass --query or add a '?- q.' "
                     "line to the program");
       }
+      Database db;
+      if (explain_plan) {
+        for (const auto& [rel, file] : data) {
+          StatusOr<size_t> added = LoadRelationTsvFile(&db, rel, file);
+          if (!added.ok()) {
+            std::fprintf(stderr, "seprec_cli: %s\n",
+                         added.status().ToString().c_str());
+            return 2;
+          }
+        }
+      }
       for (const Atom& query : queries) {
         StatusOr<PassReport> report = qp->AnalyzeQuery(query);
         if (!report.ok()) {
@@ -539,6 +610,22 @@ int AnalyzeCommand(const std::string& path, int argc, char** argv,
         }
         for (const Diagnostic& d : report->diagnostics) {
           sink.Add(d);
+        }
+        if (explain_plan) {
+          // Prepare runs the pipeline and the cost-based planner against
+          // the loaded extents; its PassReport carries the chosen orders.
+          StatusOr<PreparedQuery> prepared =
+              qp->Prepare(query, &db, Strategy::kAuto);
+          if (!prepared.ok()) {
+            std::fprintf(stderr, "seprec_cli: %s\n",
+                         prepared.status().ToString().c_str());
+            return 2;
+          }
+          const PassReport* pr = prepared->pass_report();
+          std::string dump = RenderPlanNotes(
+              query, pr == nullptr ? std::vector<PlanNote>{} : pr->plans,
+              format);
+          std::printf("%s", dump.c_str());
         }
       }
     } else {

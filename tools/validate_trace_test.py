@@ -4,8 +4,9 @@
 Each test materialises a trace file in a temp dir and runs
 validate_trace.main() with patched argv, asserting on the exit code. The
 versioning cases are the contract this suite pins down: v1 files stay
-valid (back-compat), v2 files may carry "pass" events, and a v1 line
-claiming a "pass" event is a violation.
+valid (back-compat), v2 files may carry "pass" events, v3 files may carry
+"plan" events, and a line claiming an event from a newer schema than its
+own version is a violation.
 """
 
 import importlib.util
@@ -41,6 +42,13 @@ def engine_pair(v=2, engine="seminaive", seq0=0):
 def pass_event(seq, v=2, name="bounded", verdict="rewritten"):
     return dict(envelope(seq, "pass", v=v), **{"pass": name},
                 verdict=verdict, detail="t/2: bound 0")
+
+
+def plan_event(seq, v=3):
+    return dict(envelope(seq, "plan", v=v), engine="seminaive",
+                phase="compile/base",
+                rule="tc(X, Y) :- edge(X, W), tc(W, Y).", mode="cbo",
+                order="1,0", cost=12.5, est_rows=3)
 
 
 class ValidateTraceTest(unittest.TestCase):
@@ -82,8 +90,23 @@ class ValidateTraceTest(unittest.TestCase):
         self.write_trace(events)
         self.assertEqual(self.run_validate(), 1)
 
+    def test_v3_plan_event_valid(self):
+        events = [plan_event(0)] + engine_pair(v=3, seq0=1)
+        self.write_trace(events)
+        self.assertEqual(self.run_validate(), 0)
+
+    def test_v2_plan_event_rejected(self):
+        events = [plan_event(0, v=2)] + engine_pair(seq0=1)
+        self.write_trace(events)
+        self.assertEqual(self.run_validate(), 1)
+
+    def test_plan_event_bad_cost_type_rejected(self):
+        bad = dict(plan_event(0), cost="cheap")
+        self.write_trace([bad] + engine_pair(v=3, seq0=1))
+        self.assertEqual(self.run_validate(), 1)
+
     def test_unknown_version_rejected(self):
-        self.write_trace(engine_pair(v=3))
+        self.write_trace(engine_pair(v=4))
         self.assertEqual(self.run_validate(), 1)
 
     def test_pass_event_missing_verdict_rejected(self):
