@@ -373,7 +373,7 @@ StatusOr<QueryResult> QueryProcessor::RunChain(
       // Values, independent of the relations), so restore the database to
       // its pre-query extent. Rollback does not bump the generation — the
       // stored data is unchanged.
-      checkpoint.Rollback();
+      SEPREC_RETURN_IF_ERROR(checkpoint.Rollback());
     }
     return result;
   }

@@ -262,6 +262,9 @@ class PreparedQuery {
   // True when a compiled Figure-2 schema is attached (full-selection
   // separable shape); such executions support closure reuse/capture.
   bool has_compiled_schema() const { return schema_ != nullptr; }
+  // The attached schema itself (null without one) — the query service
+  // asks it how a cached closure can be maintained incrementally.
+  const PreparedSeparable* compiled_schema() const { return schema_.get(); }
 
   // The pass pipeline's record for this prepared shape — the strategy
   // decision plus every per-pass verdict. Null when the pipeline did not

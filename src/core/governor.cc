@@ -124,29 +124,50 @@ Status ExecutionContext::ToStatus() const {
 
 DatabaseCheckpoint::DatabaseCheckpoint(Database* db) : db_(db) {
   for (const std::string& name : db_->RelationNames()) {
-    slots_.emplace_back(name, db_->Find(name)->slots());
+    const Relation* rel = db_->Find(name);
+    marks_.push_back(Mark{name, rel->slots(), rel->erase_epoch()});
   }
 }
 
 DatabaseCheckpoint::~DatabaseCheckpoint() {
-  if (active_) Rollback();
+  if (!active_) return;
+  Status status = Rollback();
+  if (!status.ok()) {
+    std::fprintf(stderr, "[seprec] DatabaseCheckpoint: %s\n",
+                 status.message().c_str());
+  }
+  SEPREC_CHECK(status.ok());
 }
 
-void DatabaseCheckpoint::Rollback() {
-  if (!active_) return;
+Status DatabaseCheckpoint::Rollback() {
+  if (!active_) return Status::OK();
   active_ = false;
+  // Refuse — before touching anything — if a checkpointed relation was
+  // erased from since construction: TruncateToSlots cannot resurrect
+  // tombstones, so "rollback" would silently lose rows instead of
+  // restoring the checkpointed extent.
+  for (const Mark& mark : marks_) {
+    const Relation* rel = db_->Find(mark.name);
+    if (rel != nullptr && rel->erase_epoch() != mark.erase_epoch) {
+      return FailedPreconditionError(
+          StrCat("checkpoint rollback across EraseRows on relation '",
+                 mark.name,
+                 "': tombstoned rows cannot be restored by truncation"));
+    }
+  }
   for (const std::string& name : db_->RelationNames()) {
     auto it = std::find_if(
-        slots_.begin(), slots_.end(),
-        [&name](const auto& entry) { return entry.first == name; });
-    if (it == slots_.end()) {
+        marks_.begin(), marks_.end(),
+        [&name](const Mark& mark) { return mark.name == name; });
+    if (it == marks_.end()) {
       // Restoring the checkpointed catalog, not mutating it: don't bump
       // the data generation (closure caches stay valid across rollbacks).
       db_->Drop(name, /*bump_generation=*/false);
     } else {
-      db_->Find(name)->TruncateToSlots(it->second);
+      db_->Find(name)->TruncateToSlots(it->slots);
     }
   }
+  return Status::OK();
 }
 
 }  // namespace seprec

@@ -228,24 +228,44 @@ class GovernorScope {
 // back means dropping relations created since the checkpoint and
 // truncating pre-existing ones to their recorded slot counts — restoring
 // the caller's database exactly. Rolls back on destruction unless
-// committed. Not valid across EraseRows (DRed incremental maintenance),
-// which the governed engines never call.
+// committed.
+//
+// NOT valid across EraseRows (the DRed incremental deletion path):
+// truncation cannot resurrect a tombstoned slot, so a rollback spanning
+// an erase would silently lose rows. This is enforced: each relation's
+// erase epoch is recorded at construction, and Rollback returns
+// FAILED_PRECONDITION — leaving the database untouched — if any
+// checkpointed relation was erased from in between. The governed engines
+// never erase, so the live query path cannot trip this; the query
+// service serialises incremental maintenance against query execution for
+// the same reason.
 class DatabaseCheckpoint {
  public:
   explicit DatabaseCheckpoint(Database* db);
+  // CHECK-fails if an un-committed checkpoint can no longer roll back
+  // (EraseRows ran in between); call Rollback() first to handle that as a
+  // recoverable error.
   ~DatabaseCheckpoint();
   DatabaseCheckpoint(const DatabaseCheckpoint&) = delete;
   DatabaseCheckpoint& operator=(const DatabaseCheckpoint&) = delete;
 
   // Keeps everything written since the checkpoint.
   void Commit() { active_ = false; }
-  // Restores the checkpointed extent now (idempotent).
-  void Rollback();
+  // Restores the checkpointed extent now (idempotent). Returns
+  // FAILED_PRECONDITION (database untouched, checkpoint deactivated) if a
+  // checkpointed relation saw EraseRows since construction.
+  Status Rollback();
 
  private:
+  struct Mark {
+    std::string name;
+    size_t slots = 0;
+    uint64_t erase_epoch = 0;
+  };
+
   Database* db_;
   bool active_ = true;
-  std::vector<std::pair<std::string, size_t>> slots_;
+  std::vector<Mark> marks_;
 };
 
 }  // namespace seprec

@@ -1,5 +1,7 @@
 #include "eval/incremental.h"
 
+#include <atomic>
+
 #include "eval/fixpoint.h"
 #include "eval/trace.h"
 #include "util/string_util.h"
@@ -89,17 +91,23 @@ void EmitRoundEnd(TraceSink* trace, const char* phase, size_t round,
 }  // namespace
 
 std::string IncrementalEngine::NewDeltaName(std::string_view pred) const {
-  return StrCat("$inc_new_", pred);
+  return StrCat(delta_prefix_, "_new_", pred);
 }
 
 std::string IncrementalEngine::DelDeltaName(std::string_view pred) const {
-  return StrCat("$inc_del_", pred);
+  return StrCat(delta_prefix_, "_del_", pred);
 }
 
 StatusOr<IncrementalEngine> IncrementalEngine::Create(Program program,
                                                       Database* db) {
+  // Engines share EDB relations but never deltas, so several maintained
+  // programs can watch the same database: each instance gets a unique
+  // process-wide prefix for its delta relations.
+  static std::atomic<uint64_t> next_engine_id{0};
   IncrementalEngine engine;
   engine.db_ = db;
+  engine.delta_prefix_ =
+      StrCat("$inc", next_engine_id.fetch_add(1, std::memory_order_relaxed));
   SEPREC_ASSIGN_OR_RETURN(engine.info_, ProgramInfo::Analyze(program));
 
   for (const Rule& rule : program.rules) {
@@ -293,36 +301,12 @@ Status IncrementalEngine::AddFact(std::string_view relation,
   return AddFacts(relation, {row});
 }
 
-Status IncrementalEngine::RemoveFacts(
-    std::string_view relation, const std::vector<std::vector<Value>>& rows) {
-  WallTimer timer;
-  last_update_ = UpdateStats();
-  EngineTraceScope scope(trace_, db_, &timer, &last_update_);
-  Relation* edb = nullptr;
-  Relation* seed = nullptr;
-  SEPREC_RETURN_IF_ERROR(
-      SeedRows(relation, rows, /*removing=*/true, &edb, &seed));
-
-  // Overdeletion is computed against the PRE-deletion relations: collect
-  // per-predicate overdelete sets in the $inc_del_* relations first.
-  for (const std::string& pred : predicates_) {
-    db_->Find(DelDeltaName(pred))->Clear();
-    db_->Find(NewDeltaName(pred))->Clear();
-  }
-  for (const std::vector<Value>& row : rows) {
-    if (edb->Contains(Row(row.data(), row.size()))) {
-      seed->Insert(Row(row.data(), row.size()));
-    }
-  }
-  if (seed->empty()) {
-    last_update_.seconds = timer.Seconds();
-    return Status::OK();
-  }
-  db_->BumpGeneration();
-
-  // The $inc_del_* relations play two roles: the accumulated overdelete
-  // set AND the per-round delta. Keep a separate per-round delta by
-  // double-buffering through scratch relations.
+Status IncrementalEngine::OverdeleteAndErase(std::string_view relation,
+                                             Relation* seed,
+                                             bool erase_edb) {
+  // The $inc<id>_del_* relations play two roles: the accumulated
+  // overdelete set AND the per-round delta. Keep a separate per-round
+  // delta by double-buffering through scratch relations.
   std::map<std::string, std::unique_ptr<Relation>> scratch;
   std::map<std::string, std::unique_ptr<Relation>> total_del;
   for (const std::string& pred : predicates_) {
@@ -378,23 +362,32 @@ Status IncrementalEngine::RemoveFacts(
                  round_new, delta_rows);
   }
 
-  // Erase the overdeleted tuples (and load $inc_del_* with the full sets
-  // for the rederive filter).
+  // Erase the overdeleted tuples (and load $inc<id>_del_* with the full
+  // sets for the rederive filter). The EDB seed erase belongs to the
+  // caller in split-phase mode — it runs through the WAL apply path.
   for (const std::string& pred : predicates_) {
     Relation* total = total_del.at(pred).get();
     Relation* delta = db_->Find(DelDeltaName(pred));
     delta->Clear();
     delta->InsertAll(*total);
     if (pred == relation) {
-      db_->Find(pred)->EraseRows(*total);
+      if (erase_edb) db_->Find(pred)->EraseRows(*total);
     } else if (idb_.count(pred)) {
       size_t removed = db_->Find(pred)->EraseRows(*total);
       last_update_.overdeleted += removed;
     }
   }
+  return Status::OK();
+}
 
+Status IncrementalEngine::RederiveAndCascade() {
   // Rederive: candidates still derivable from the remaining tuples come
   // back and cascade as insertions.
+  std::map<std::string, std::unique_ptr<Relation>> scratch;
+  for (const std::string& pred : idb_) {
+    scratch.emplace(pred, std::make_unique<Relation>(
+                              "$inc_scratch", db_->Find(pred)->arity()));
+  }
   for (const std::string& pred : predicates_) {
     db_->Find(NewDeltaName(pred))->Clear();
   }
@@ -437,8 +430,117 @@ Status IncrementalEngine::RemoveFacts(
   for (const std::string& pred : predicates_) {
     db_->Find(DelDeltaName(pred))->Clear();
   }
+  return Status::OK();
+}
+
+Status IncrementalEngine::RemoveFacts(
+    std::string_view relation, const std::vector<std::vector<Value>>& rows) {
+  WallTimer timer;
+  last_update_ = UpdateStats();
+  EngineTraceScope scope(trace_, db_, &timer, &last_update_);
+  Relation* edb = nullptr;
+  Relation* seed = nullptr;
+  SEPREC_RETURN_IF_ERROR(
+      SeedRows(relation, rows, /*removing=*/true, &edb, &seed));
+
+  // Overdeletion is computed against the PRE-deletion relations: collect
+  // per-predicate overdelete sets in the $inc<id>_del_* relations first.
+  for (const std::string& pred : predicates_) {
+    db_->Find(DelDeltaName(pred))->Clear();
+    db_->Find(NewDeltaName(pred))->Clear();
+  }
+  for (const std::vector<Value>& row : rows) {
+    if (edb->Contains(Row(row.data(), row.size()))) {
+      seed->Insert(Row(row.data(), row.size()));
+    }
+  }
+  if (seed->empty()) {
+    last_update_.seconds = timer.Seconds();
+    return Status::OK();
+  }
+  db_->BumpGeneration();
+  SEPREC_RETURN_IF_ERROR(
+      OverdeleteAndErase(relation, seed, /*erase_edb=*/true));
+  SEPREC_RETURN_IF_ERROR(RederiveAndCascade());
   last_update_.seconds = timer.Seconds();
   return Status::OK();
+}
+
+bool IncrementalEngine::Maintains(std::string_view relation) const {
+  std::string name(relation);
+  return predicates_.count(name) != 0 && idb_.count(name) == 0;
+}
+
+Status IncrementalEngine::PropagateInserted(
+    std::string_view relation, const std::vector<std::vector<Value>>& rows) {
+  WallTimer timer;
+  last_update_ = UpdateStats();
+  Relation* edb = nullptr;
+  Relation* seed = nullptr;
+  SEPREC_RETURN_IF_ERROR(
+      SeedRows(relation, rows, /*removing=*/false, &edb, &seed));
+  for (const std::string& pred : predicates_) {
+    db_->Find(NewDeltaName(pred))->Clear();
+  }
+  for (const std::vector<Value>& row : rows) {
+    seed->Insert(Row(row.data(), row.size()));
+  }
+  Status status = Status::OK();
+  if (!seed->empty()) status = PropagateInsertions();
+  last_update_.seconds = timer.Seconds();
+  return status;
+}
+
+Status IncrementalEngine::PrepareRemoval(
+    std::string_view relation, const std::vector<std::vector<Value>>& rows) {
+  if (pending_removal_) {
+    return FailedPreconditionError(
+        "PrepareRemoval called with a removal already pending");
+  }
+  WallTimer timer;
+  last_update_ = UpdateStats();
+  Relation* edb = nullptr;
+  Relation* seed = nullptr;
+  SEPREC_RETURN_IF_ERROR(
+      SeedRows(relation, rows, /*removing=*/true, &edb, &seed));
+  for (const std::string& pred : predicates_) {
+    db_->Find(DelDeltaName(pred))->Clear();
+    db_->Find(NewDeltaName(pred))->Clear();
+  }
+  for (const std::vector<Value>& row : rows) {
+    if (edb->Contains(Row(row.data(), row.size()))) {
+      seed->Insert(Row(row.data(), row.size()));
+    }
+  }
+  pending_removal_ = true;
+  Status status = seed->empty()
+                      ? Status::OK()
+                      : OverdeleteAndErase(relation, seed,
+                                           /*erase_edb=*/false);
+  last_update_.seconds = timer.Seconds();
+  return status;
+}
+
+Status IncrementalEngine::FinishRemoval() {
+  if (!pending_removal_) {
+    return FailedPreconditionError(
+        "FinishRemoval called without a pending PrepareRemoval");
+  }
+  pending_removal_ = false;
+  WallTimer timer;
+  Status status = RederiveAndCascade();
+  last_update_.seconds += timer.Seconds();
+  return status;
+}
+
+std::vector<std::string> IncrementalEngine::ScratchRelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(predicates_.size() * 2);
+  for (const std::string& pred : predicates_) {
+    names.push_back(NewDeltaName(pred));
+    names.push_back(DelDeltaName(pred));
+  }
+  return names;
 }
 
 Status IncrementalEngine::RemoveFact(

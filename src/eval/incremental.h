@@ -81,7 +81,53 @@ class IncrementalEngine {
   Status RemoveFact(std::string_view relation,
                     const std::vector<std::string>& symbols);
 
-  // Statistics of the most recent AddFacts/RemoveFacts call.
+  // --- Split-phase updates -------------------------------------------
+  //
+  // The query service owns the EDB mutation (it goes through the WAL and
+  // ApplyTupleBatch, shared with every other maintenance engine watching
+  // the same relation), so the engine also exposes each update as phases
+  // around a mutation the CALLER performs:
+  //
+  //   insert:  caller applies the batch, then PropagateInserted(rel, new)
+  //            with the rows that were genuinely new;
+  //   delete:  PrepareRemoval(rel, victims) BEFORE the erase (overdelete
+  //            closes against the pre-deletion state and the engine's own
+  //            IDB tuples are erased), then the caller erases the EDB
+  //            rows, then FinishRemoval() rederives and cascades.
+  //
+  // AddFacts/RemoveFacts remain the self-contained forms of the same
+  // phases for callers that own their database.
+
+  // True when `relation` is a base (non-IDB) relation of the maintained
+  // program — i.e. updates to it must be propagated through this engine.
+  bool Maintains(std::string_view relation) const;
+
+  // Seeds the insertion deltas with `rows` — which the caller has ALREADY
+  // inserted into `relation` — and runs the delta rules to fixpoint. Does
+  // not touch the EDB relation or the database generation.
+  Status PropagateInserted(std::string_view relation,
+                           const std::vector<std::vector<Value>>& rows);
+
+  // DRed phase 1 against the pre-deletion state: computes the overdelete
+  // closure of `rows` (which must still be present in `relation`), erases
+  // the overdeleted tuples from the engine's IDB relations, and loads the
+  // rederivation filters. The caller must erase `rows` from `relation`
+  // itself before calling FinishRemoval.
+  Status PrepareRemoval(std::string_view relation,
+                        const std::vector<std::vector<Value>>& rows);
+
+  // DRed phases 2-3: rederives every overdeleted tuple still derivable
+  // from the remaining tuples, cascades the re-insertions, and clears the
+  // filters. Requires a preceding PrepareRemoval.
+  Status FinishRemoval();
+
+  // The '$'-prefixed delta relations this engine created in the database
+  // (unique to this engine instance), so an owner tearing the engine down
+  // can Drop them.
+  std::vector<std::string> ScratchRelationNames() const;
+
+  // Statistics of the most recent update call (for the split-phase form,
+  // of the Prepare/Finish pair as a whole).
   const UpdateStats& last_update() const { return last_update_; }
 
   const Program& program() const { return info_.program(); }
@@ -97,20 +143,31 @@ class IncrementalEngine {
   Status SeedRows(std::string_view relation,
                   const std::vector<std::vector<Value>>& rows,
                   bool removing, Relation** edb, Relation** seed);
-  // Runs the insertion delta loop starting from the current $inc_new_*
+  // Runs the insertion delta loop starting from the current $inc<id>_new_*
   // contents. Adds newly derived tuples to the IDB relations.
   Status PropagateInsertions();
+  // Overdelete closure of the seeded $inc<id>_del_* deltas against the
+  // pre-deletion state; erases overdeleted IDB tuples, loads the rederive
+  // filters, and erases the EDB seed too when `erase_edb` is set.
+  Status OverdeleteAndErase(std::string_view relation, Relation* seed,
+                            bool erase_edb);
+  // Rederivation + cascade, then clears the filters.
+  Status RederiveAndCascade();
 
   std::string NewDeltaName(std::string_view pred) const;
   std::string DelDeltaName(std::string_view pred) const;
 
   ProgramInfo info_;
   Database* db_ = nullptr;
+  // Unique per engine instance ("$inc<id>"), so several engines can
+  // maintain programs over the same database without sharing deltas.
+  std::string delta_prefix_;
   std::set<std::string> predicates_;      // every predicate mentioned
   std::set<std::string> idb_;             // head predicates
-  std::vector<VariantPlan> insert_plans_;     // occurrence -> $inc_new_*
-  std::vector<VariantPlan> overdelete_plans_; // occurrence -> $inc_del_*
+  std::vector<VariantPlan> insert_plans_;     // occurrence -> $inc<id>_new_*
+  std::vector<VariantPlan> overdelete_plans_; // occurrence -> $inc<id>_del_*
   std::vector<VariantPlan> rederive_plans_;   // body + del-filter on head
+  bool pending_removal_ = false;  // PrepareRemoval ran, FinishRemoval due
   UpdateStats last_update_;
   TraceSink* trace_ = nullptr;
 };

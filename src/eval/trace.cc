@@ -30,6 +30,10 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "pass";
     case TraceEventKind::kPlan:
       return "plan";
+    case TraceEventKind::kDelta:
+      return "delta";
+    case TraceEventKind::kSubscription:
+      return "subscription";
     case TraceEventKind::kNote:
       return "note";
   }
@@ -185,6 +189,19 @@ void JsonTraceSink::Emit(const TraceEvent& e) {
       AppendStr(&line, "order", e.detail);
       AppendSeconds(&line, "cost", e.cost);
       AppendNum(&line, "est_rows", e.est_rows);
+      break;
+    case TraceEventKind::kDelta:
+      AppendStr(&line, "phase", e.phase);
+      AppendStr(&line, "detail", e.detail);
+      AppendNum(&line, "delta", e.delta);
+      AppendNum(&line, "inserted", e.inserted);
+      AppendNum(&line, "emitted", e.emitted);
+      AppendSeconds(&line, "seconds", e.seconds);
+      break;
+    case TraceEventKind::kSubscription:
+      AppendStr(&line, "cause", e.cause);
+      AppendStr(&line, "detail", e.detail);
+      AppendNum(&line, "delta", e.delta);
       break;
     case TraceEventKind::kNote:
       AppendStr(&line, "detail", e.detail);

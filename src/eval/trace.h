@@ -33,6 +33,13 @@
 //                  of the positive atoms in scan order), cost (estimated
 //                  row visits), est_rows (estimated output bindings) —
 //                  schema v3+
+//   delta          phase ("insert"/"delete"), detail (relation), delta
+//                  (rows that actually changed the relation), inserted
+//                  (cached closures patched in place), emitted (cached
+//                  closures invalidated), seconds — schema v4+
+//   subscription   cause ("subscribe"/"unsubscribe"/"notify"/"drop"),
+//                  detail (subscription id and query), delta (tuples
+//                  delivered by a notify) — schema v4+
 //   note           detail
 //
 // Semantics: `emitted` counts head tuples produced by rule bodies,
@@ -68,6 +75,8 @@ enum class TraceEventKind {
   kSession,  // query-service session lifecycle (open/request/close)
   kPass,     // static-analysis pipeline verdicts and strategy selection
   kPlan,     // cost-based planner verdict for one compiled rule body
+  kDelta,    // incremental mutation applied through the query service
+  kSubscription,  // server subscription lifecycle and delivery
   kNote,
 };
 
@@ -121,9 +130,11 @@ class JsonTraceSink : public TraceSink {
   void Emit(const TraceEvent& event) override;
 
   // v2 added the "pass" event (static-analysis pipeline verdicts); v3
-  // adds the "plan" event (cost-based planner verdicts). Every v1/v2
-  // event serialises identically under v3.
-  static constexpr int kSchemaVersion = 3;
+  // added the "plan" event (cost-based planner verdicts); v4 adds the
+  // "delta" and "subscription" events (incremental maintenance and the
+  // server's streaming subscriptions). Every v1/v2/v3 event serialises
+  // identically under v4.
+  static constexpr int kSchemaVersion = 4;
 
  private:
   std::ostream* out_;

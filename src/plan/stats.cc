@@ -30,9 +30,11 @@ RelationStats StatsCatalog::Get(const Relation& rel) {
   std::lock_guard<std::mutex> lock(mu_);
   Entry& entry = cache_[&rel];
   if (entry.stats.distinct.size() != rel.arity() ||
-      entry.size != rel.size() || entry.slots != rel.slots()) {
+      entry.size != rel.size() || entry.slots != rel.slots() ||
+      entry.mutation_epoch != rel.mutation_epoch()) {
     entry.size = rel.size();
     entry.slots = rel.slots();
+    entry.mutation_epoch = rel.mutation_epoch();
     entry.stats = ComputeRelationStats(rel);
     ++recomputations_;
   }

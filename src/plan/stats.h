@@ -2,12 +2,12 @@
 //
 // RelationStats carries the tuple count and a per-column distinct-value
 // estimate; StatsCatalog caches one entry per relation and refreshes it
-// lazily whenever the relation's (size, slots) fingerprint changes — every
-// insert, truncate, or clear moves at least one of the two, so readers
-// never need explicit invalidation hooks on the mutation paths. (The one
-// theoretical blind spot: an erase/re-insert sequence that restores the
-// exact same size *and* slot count with different contents. Stats are
-// estimates; the planner tolerates that.)
+// lazily whenever the relation's (size, slots, mutation_epoch)
+// fingerprint changes. Inserts and truncates move size or slots; erases
+// and clears — which can otherwise be followed by inserts restoring the
+// exact same extent with different contents — bump the relation's
+// mutation epoch, so readers never need explicit invalidation hooks on
+// the mutation paths.
 //
 // The catalog is owned by Database (see Database::stats()) so statistics
 // survive across plan compilations and the PreparedQuery cache amortizes
@@ -48,7 +48,8 @@ class StatsCatalog {
   StatsCatalog& operator=(const StatsCatalog&) = delete;
 
   // Returns (a copy of) current statistics for `rel`, recomputing if the
-  // cached entry's (size, slots) fingerprint is stale. Thread-safe.
+  // cached entry's (size, slots, mutation_epoch) fingerprint is stale.
+  // Thread-safe.
   RelationStats Get(const Relation& rel);
 
   // Drops the cached entry for a relation about to be destroyed, so a
@@ -65,6 +66,7 @@ class StatsCatalog {
   struct Entry {
     size_t size = 0;
     size_t slots = 0;
+    uint64_t mutation_epoch = 0;
     RelationStats stats;
   };
 

@@ -883,6 +883,74 @@ bool PreparedSeparable::Matches(const Atom& query) const {
   return BoundPositions(query) == impl_->bound;
 }
 
+ClosureMaintenance PreparedSeparable::MaintenanceFor(
+    const Atom& query, const std::string& prefix) const {
+  ClosureMaintenance out;
+  if (!Matches(query)) return out;  // kNone
+  const AnchorInfo& anchor = impl_->runner->anchor();
+  Database* db = impl_->db;
+  for (const Term& arg : query.args) {
+    if (arg.kind == Term::Kind::kSymbol) db->symbols().Intern(arg.name);
+  }
+  bool resolvable = false;
+  std::vector<std::optional<Value>> query_constants =
+      ResolveConstants(query, db->symbols(), &resolvable);
+  if (!resolvable) return out;
+  for (uint32_t p : anchor.anchor_positions) {
+    out.seed_row.push_back(*query_constants[p]);
+  }
+  out.closure_name = StrCat(prefix, "c");
+  out.seed_name = StrCat(prefix, "seed");
+  if (!anchor.anchor_class.has_value()) {
+    // Dummy equivalence class: seen_1 is exactly {seed_row}, whatever the
+    // data says.
+    out.kind = ClosureMaintainability::kConstant;
+    return out;
+  }
+
+  // IDB predicates of the program: a phase-1 body reading one of them (a
+  // materialised support predicate) sees derived tuples the closure
+  // program below would not maintain.
+  std::set<std::string> idb;
+  for (const Rule& rule : impl_->program.rules) {
+    idb.insert(rule.head.predicate);
+  }
+  const EquivalenceClass& ec = impl_->sep.classes[*anchor.anchor_class];
+  std::set<std::string> bases;
+  for (size_t r : ec.rule_indices) {
+    for (const Literal& lit : NonRecursiveLits(impl_->sep, r)) {
+      // Non-atom literals (comparisons) are data-independent filters.
+      if (lit.kind != Literal::Kind::kAtom) continue;
+      if (lit.negated || idb.count(lit.atom.predicate)) {
+        return out;  // kNone
+      }
+      bases.insert(lit.atom.predicate);
+    }
+  }
+
+  // seen_1 as a least fixpoint: seed rule plus one MakePhase1Rule per
+  // anchor-class rule with the closure relation as both carry and output.
+  const size_t w = anchor.anchor_positions.size();
+  Rule seed_rule;
+  seed_rule.head.predicate = out.closure_name;
+  Atom seed_atom;
+  seed_atom.predicate = out.seed_name;
+  for (size_t i = 0; i < w; ++i) {
+    Term v = Term::Var(StrCat("S", i));
+    seed_rule.head.args.push_back(v);
+    seed_atom.args.push_back(v);
+  }
+  seed_rule.body.push_back(Literal::MakeAtom(std::move(seed_atom)));
+  out.program.rules.push_back(std::move(seed_rule));
+  for (size_t r : ec.rule_indices) {
+    out.program.rules.push_back(MakePhase1Rule(
+        impl_->sep, anchor, r, out.closure_name, out.closure_name));
+  }
+  out.base_relations.assign(bases.begin(), bases.end());
+  out.kind = ClosureMaintainability::kMaintainable;
+  return out;
+}
+
 StatusOr<SeparableRunResult> PreparedSeparable::Execute(
     const Atom& query, const FixpointOptions& options,
     const Phase1Closure* reuse, Phase1Closure* capture) {

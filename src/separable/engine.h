@@ -87,6 +87,41 @@ struct Phase1Closure {
   std::vector<std::vector<Value>> rows;
 };
 
+// How a cached phase-1 closure can be kept exact under EDB mutation,
+// classified from the compiled selection shape alone.
+enum class ClosureMaintainability {
+  // Persistent-column anchor (the paper's dummy equivalence class): the
+  // closure is exactly {selection constants}, independent of the data.
+  // Nothing to maintain — the cached rows stay valid across any mutation.
+  kConstant,
+  // The phase-1 rules read only base (non-IDB) relations through positive
+  // literals: the closure is the least fixpoint of a positive Datalog
+  // program over those relations, so an IncrementalEngine can patch it by
+  // semi-naive delta insertion and DRed deletion.
+  kMaintainable,
+  // A phase-1 body references a support (IDB) predicate or a negated
+  // literal: base mutations reach the closure through a derived relation
+  // the maintenance program cannot track. Fall back to invalidation.
+  kNone,
+};
+
+// The closure-as-Datalog-program export for one concrete selection: the
+// program whose least fixpoint (with `seed_name` = {seed_row}) is exactly
+// the phase-1 closure seen_1. `program` is empty for kConstant/kNone.
+struct ClosureMaintenance {
+  ClosureMaintainability kind = ClosureMaintainability::kNone;
+  // $<prefix>c(X..) :- $<prefix>seed(X..).
+  // $<prefix>c(body anchor cols) :- $<prefix>c(head anchor cols), <lits>.
+  //   — one per anchor-class rule (MakePhase1Rule with carry == out).
+  Program program;
+  std::string closure_name;  // "$<prefix>c", arity = anchor width
+  std::string seed_name;     // "$<prefix>seed", same arity
+  std::vector<Value> seed_row;  // the query's anchor-position constants
+  // Base relations the phase-1 rules read: mutations to any other
+  // relation leave the closure untouched.
+  std::vector<std::string> base_relations;
+};
+
 // A full-selection Figure-2 schema compiled once and executed many times —
 // the evaluate-many half of the paper's compile/evaluate split, packaged
 // for the query service's prepared-query cache.
@@ -134,6 +169,15 @@ class PreparedSeparable {
 
   // True when `query` matches the compiled shape.
   bool Matches(const Atom& query) const;
+
+  // Classifies how the phase-1 closure for `query` (which must match the
+  // compiled shape) can be maintained incrementally and, when
+  // kMaintainable, builds the closure program under `prefix` (the caller's
+  // unique namespace, e.g. "$dred7_"). Interns the query's symbol
+  // constants so seed_row holds concrete Values. Pure construction: no
+  // relations are created — feed the program to IncrementalEngine::Create.
+  ClosureMaintenance MaintenanceFor(const Atom& query,
+                                    const std::string& prefix) const;
 
  private:
   struct Impl;

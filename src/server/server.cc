@@ -32,20 +32,25 @@ bool WriteAll(int fd, const std::string& line) {
   return true;
 }
 
-bool SendJson(int fd, json::Object obj) {
+// Serialises and writes one response line under the connection's write
+// mutex. Locking per line (not per request) keeps a long result stream
+// from starving a subscription push aimed at the same connection.
+bool SendJson(int fd, std::mutex& write_mu, json::Object obj) {
   std::string line = json::Serialize(json::Value(std::move(obj)));
   line.push_back('\n');
+  std::lock_guard<std::mutex> lock(write_mu);
   return WriteAll(fd, line);
 }
 
-bool SendError(int fd, int64_t id, const Status& status) {
+bool SendError(int fd, std::mutex& write_mu, int64_t id,
+               const Status& status) {
   json::Object obj;
   obj.emplace("id", json::Value(id));
   obj.emplace("ev", json::Value("error"));
   obj.emplace("code",
               json::Value(std::string(StatusCodeToString(status.code()))));
   obj.emplace("message", json::Value(status.message()));
-  return SendJson(fd, std::move(obj));
+  return SendJson(fd, write_mu, std::move(obj));
 }
 
 StatusOr<Strategy> ParseStrategyName(const std::string& name) {
@@ -164,6 +169,8 @@ void SocketServer::Session(int fd) {
     ev.detail = StrCat("fd", fd);
     service_->trace()->Emit(ev);
   }
+  auto conn = std::make_shared<Conn>();
+  conn->fd = fd;
   std::string buffer;
   char chunk[4096];
   while (!stopping_.load(std::memory_order_acquire)) {
@@ -176,18 +183,22 @@ void SocketServer::Session(int fd) {
       std::string line = buffer.substr(0, pos);
       buffer.erase(0, pos + 1);
       if (line.empty()) continue;
-      HandleLine(fd, line);
+      HandleLine(conn, line);
     }
     if (buffer.size() > max_line_bytes_) {
       // A client streaming bytes with no '\n' would otherwise grow this
       // buffer without bound; fail the connection before it can exhaust
       // server memory.
-      SendError(fd, -1,
+      SendError(fd, conn->write_mu, -1,
                 ResourceExhaustedError(StrCat(
                     "request line exceeds ", max_line_bytes_, " bytes")));
       break;
     }
   }
+  // Drop this connection's subscriptions BEFORE closing the fd: the
+  // registry waits out any in-flight notify sweep (subs_mu_), so no push
+  // can land on a recycled descriptor number.
+  DropSubscriptionsFor(conn.get());
   if (service_->trace() != nullptr) {
     TraceEvent ev;
     ev.kind = TraceEventKind::kSession;
@@ -216,10 +227,13 @@ void SocketServer::Session(int fd) {
   ::close(fd);
 }
 
-void SocketServer::HandleLine(int fd, const std::string& line) {
+void SocketServer::HandleLine(const std::shared_ptr<Conn>& conn,
+                              const std::string& line) {
+  const int fd = conn->fd;
+  std::mutex& wmu = conn->write_mu;
   StatusOr<json::Value> parsed = json::Parse(line);
   if (!parsed.ok()) {
-    SendError(fd, -1, parsed.status());
+    SendError(fd, wmu, -1, parsed.status());
     return;
   }
   const json::Value& req = *parsed;
@@ -231,7 +245,7 @@ void SocketServer::HandleLine(int fd, const std::string& line) {
     obj.emplace("id", json::Value(id));
     obj.emplace("ev", json::Value("done"));
     obj.emplace("ok", json::Value(true));
-    SendJson(fd, std::move(obj));
+    SendJson(fd, wmu, std::move(obj));
     return;
   }
 
@@ -240,7 +254,7 @@ void SocketServer::HandleLine(int fd, const std::string& line) {
     obj.emplace("id", json::Value(id));
     obj.emplace("ev", json::Value("done"));
     obj.emplace("ok", json::Value(true));
-    SendJson(fd, std::move(obj));
+    SendJson(fd, wmu, std::move(obj));
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_requested_ = true;
     shutdown_cv_.notify_all();
@@ -258,23 +272,29 @@ void SocketServer::HandleLine(int fd, const std::string& line) {
     stats.emplace("closure_hits", json::Value(s.closure_hits));
     stats.emplace("closure_misses", json::Value(s.closure_misses));
     stats.emplace("closure_stores", json::Value(s.closure_stores));
+    stats.emplace("closure_patches", json::Value(s.closure_patches));
+    stats.emplace("closure_drops", json::Value(s.closure_drops));
     stats.emplace("processors", json::Value(s.processors));
     stats.emplace("plans", json::Value(s.plans));
     stats.emplace("closures", json::Value(s.closures));
     stats.emplace("generation", json::Value(s.generation));
+    {
+      std::lock_guard<std::mutex> lock(subs_mu_);
+      stats.emplace("subscriptions", json::Value(subs_.size()));
+    }
     json::Object obj;
     obj.emplace("id", json::Value(id));
     obj.emplace("ev", json::Value("done"));
     obj.emplace("ok", json::Value(true));
     obj.emplace("stats", json::Value(std::move(stats)));
-    SendJson(fd, std::move(obj));
+    SendJson(fd, wmu, std::move(obj));
     return;
   }
 
   if (op == "checkpoint") {
     StatusOr<CheckpointInfo> info = service_->Checkpoint();
     if (!info.ok()) {
-      SendError(fd, id, info.status());
+      SendError(fd, wmu, id, info.status());
       return;
     }
     json::Object obj;
@@ -285,20 +305,32 @@ void SocketServer::HandleLine(int fd, const std::string& line) {
     obj.emplace("generation", json::Value(info->generation));
     obj.emplace("wal_bytes_truncated",
                 json::Value(info->wal_bytes_truncated));
-    SendJson(fd, std::move(obj));
+    SendJson(fd, wmu, std::move(obj));
     return;
   }
 
   if (op == "load") {
     const std::string& relation = req.Get("relation").as_string();
     if (relation.empty()) {
-      SendError(fd, id,
+      SendError(fd, wmu, id,
                 InvalidArgumentError("'load' needs a 'relation' name"));
       return;
     }
-    StatusOr<size_t> added = InternalError("unreachable");
+    const std::string& mode = req.Get("mode").as_string();
+    BatchOp batch_op = BatchOp::kInsert;
+    if (mode == "delete") {
+      batch_op = BatchOp::kDelete;
+    } else if (!mode.empty() && mode != "insert") {
+      SendError(fd, wmu, id,
+                InvalidArgumentError(StrCat(
+                    "unknown load mode '", mode,
+                    "' (expected 'insert' or 'delete')")));
+      return;
+    }
+    StatusOr<size_t> changed = InternalError("unreachable");
     if (req.Has("path")) {
-      added = service_->LoadTsvFile(relation, req.Get("path").as_string());
+      changed = service_->ApplyTsvFile(relation, batch_op,
+                                       req.Get("path").as_string());
     } else if (req.Get("rows").is_array()) {
       // Inline rows round-trip through the TSV reader so typing (integer
       // vs symbol columns) matches file loads exactly.
@@ -317,23 +349,128 @@ void SocketServer::HandleLine(int fd, const std::string& line) {
         tsv << '\n';
       }
       std::istringstream in(tsv.str());
-      added = service_->LoadTsv(relation, in);
+      changed = service_->ApplyTsv(relation, batch_op, in);
     } else {
-      SendError(fd, id,
+      SendError(fd, wmu, id,
                 InvalidArgumentError("'load' needs 'path' or 'rows'"));
       return;
     }
-    if (!added.ok()) {
-      SendError(fd, id, added.status());
+    if (!changed.ok()) {
+      SendError(fd, wmu, id, changed.status());
       return;
     }
     json::Object obj;
     obj.emplace("id", json::Value(id));
     obj.emplace("ev", json::Value("done"));
     obj.emplace("ok", json::Value(true));
-    obj.emplace("added", json::Value(*added));
+    // "added" predates delete mode; it repeats "changed" so existing
+    // clients keep working.
+    obj.emplace("added", json::Value(*changed));
+    obj.emplace("changed", json::Value(*changed));
     obj.emplace("generation", json::Value(service_->db()->generation()));
-    SendJson(fd, std::move(obj));
+    SendJson(fd, wmu, std::move(obj));
+    // Push subscription deltas AFTER the mutator's ack: its thread does
+    // the fan-out, so its next request waits for the sweep, but the
+    // mutation itself is acknowledged promptly.
+    if (*changed > 0) NotifySubscribers();
+    return;
+  }
+
+  if (op == "subscribe") {
+    ServiceRequest request;
+    request.program = req.Get("program").as_string();
+    request.query = req.Get("query").as_string();
+    if (request.program.empty() || request.query.empty()) {
+      SendError(fd, wmu, id,
+                InvalidArgumentError(
+                    "'subscribe' needs 'program' and a single 'query'"));
+      return;
+    }
+    StatusOr<ExecutionLimits> limits = ParseLimits(req.Get("limits"));
+    if (!limits.ok()) {
+      SendError(fd, wmu, id, limits.status());
+      return;
+    }
+    request.limits = *limits;
+    // Baseline run: validates the program/query and records the tuples
+    // already derivable, so the first delta event reports only news.
+    StatusOr<std::vector<QueryOutcome>> outcomes =
+        service_->Execute(request);
+    if (!outcomes.ok()) {
+      SendError(fd, wmu, id, outcomes.status());
+      return;
+    }
+    if (outcomes->size() != 1) {
+      SendError(fd, wmu, id,
+                InvalidArgumentError("'subscribe' takes exactly one query"));
+      return;
+    }
+    const QueryOutcome& base = (*outcomes)[0];
+    if (base.result.partial) {
+      SendError(fd, wmu, id,
+                ResourceExhaustedError(
+                    "subscription baseline tripped its governor budget; "
+                    "raise 'limits' or narrow the query"));
+      return;
+    }
+    Subscription sub;
+    sub.id = next_sub_id_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t sid = sub.id;
+    sub.conn = conn;
+    sub.request = std::move(request);
+    sub.query_text = base.query_text;
+    sub.seen.insert(base.tuples.begin(), base.tuples.end());
+    {
+      std::lock_guard<std::mutex> lock(subs_mu_);
+      if (subs_.size() >= max_subscriptions_) {
+        SendError(fd, wmu, id,
+                  ResourceExhaustedError(StrCat(
+                      "subscription limit reached (", max_subscriptions_,
+                      ")")));
+        return;
+      }
+      subs_.emplace(sid, std::move(sub));
+    }
+    TraceSubscription("subscribe", sid, base.query_text, 0);
+    json::Object obj;
+    obj.emplace("id", json::Value(id));
+    obj.emplace("ev", json::Value("done"));
+    obj.emplace("ok", json::Value(true));
+    obj.emplace("subscription", json::Value(sid));
+    obj.emplace("answers", json::Value(base.tuples.size()));
+    obj.emplace("generation", json::Value(base.generation));
+    SendJson(fd, wmu, std::move(obj));
+    return;
+  }
+
+  if (op == "unsubscribe") {
+    if (!req.Has("subscription")) {
+      SendError(fd, wmu, id,
+                InvalidArgumentError(
+                    "'unsubscribe' needs a 'subscription' id"));
+      return;
+    }
+    const uint64_t sid =
+        static_cast<uint64_t>(req.Get("subscription").as_int(0));
+    bool removed = false;
+    {
+      std::lock_guard<std::mutex> lock(subs_mu_);
+      auto it = subs_.find(sid);
+      // Only the owning connection may unsubscribe: ids are easy to
+      // guess, and cancelling another session's feed is a denial of
+      // service.
+      if (it != subs_.end() && it->second.conn.get() == conn.get()) {
+        subs_.erase(it);
+        removed = true;
+      }
+    }
+    if (removed) TraceSubscription("unsubscribe", sid, "", 0);
+    json::Object obj;
+    obj.emplace("id", json::Value(id));
+    obj.emplace("ev", json::Value("done"));
+    obj.emplace("ok", json::Value(true));
+    obj.emplace("removed", json::Value(removed));
+    SendJson(fd, wmu, std::move(obj));
     return;
   }
 
@@ -342,19 +479,20 @@ void SocketServer::HandleLine(int fd, const std::string& line) {
     request.program = req.Get("program").as_string();
     request.query = req.Get("query").as_string();
     if (request.program.empty()) {
-      SendError(fd, id, InvalidArgumentError("'query' needs a 'program'"));
+      SendError(fd, wmu, id,
+                InvalidArgumentError("'query' needs a 'program'"));
       return;
     }
     StatusOr<Strategy> strategy =
         ParseStrategyName(req.Get("strategy").as_string());
     if (!strategy.ok()) {
-      SendError(fd, id, strategy.status());
+      SendError(fd, wmu, id, strategy.status());
       return;
     }
     request.strategy = *strategy;
     StatusOr<ExecutionLimits> limits = ParseLimits(req.Get("limits"));
     if (!limits.ok()) {
-      SendError(fd, id, limits.status());
+      SendError(fd, wmu, id, limits.status());
       return;
     }
     request.limits = *limits;
@@ -366,7 +504,7 @@ void SocketServer::HandleLine(int fd, const std::string& line) {
     StatusOr<std::vector<QueryOutcome>> outcomes =
         service_->Execute(request);
     if (!outcomes.ok()) {
-      SendError(fd, id, outcomes.status());
+      SendError(fd, wmu, id, outcomes.status());
       return;
     }
     for (const QueryOutcome& out : *outcomes) {
@@ -375,14 +513,14 @@ void SocketServer::HandleLine(int fd, const std::string& line) {
         obj.emplace("id", json::Value(id));
         obj.emplace("ev", json::Value("begin"));
         obj.emplace("query", json::Value(out.query_text));
-        if (!SendJson(fd, std::move(obj))) return;
+        if (!SendJson(fd, wmu, std::move(obj))) return;
       }
       for (const std::string& tuple : out.tuples) {
         json::Object obj;
         obj.emplace("id", json::Value(id));
         obj.emplace("ev", json::Value("result"));
         obj.emplace("tuple", json::Value(tuple));
-        if (!SendJson(fd, std::move(obj))) return;
+        if (!SendJson(fd, wmu, std::move(obj))) return;
       }
       json::Object obj;
       obj.emplace("id", json::Value(id));
@@ -419,18 +557,103 @@ void SocketServer::HandleLine(int fd, const std::string& line) {
         obj.emplace("notes", json::Value(std::move(notes)));
       }
       obj.emplace("seconds", json::Value(out.seconds));
-      if (!SendJson(fd, std::move(obj))) return;
+      if (!SendJson(fd, wmu, std::move(obj))) return;
     }
     json::Object obj;
     obj.emplace("id", json::Value(id));
     obj.emplace("ev", json::Value("done"));
     obj.emplace("ok", json::Value(true));
-    SendJson(fd, std::move(obj));
+    SendJson(fd, wmu, std::move(obj));
     return;
   }
 
-  SendError(fd, id,
+  SendError(fd, wmu, id,
             InvalidArgumentError(StrCat("unknown op '", op, "'")));
+}
+
+void SocketServer::NotifySubscribers() {
+  // subs_mu_ is held for the whole sweep: concurrent mutators serialise
+  // their fan-outs here (the service already serialised the mutations),
+  // so per-subscription `seen` updates never race and every subscriber
+  // observes deltas in mutation order.
+  std::lock_guard<std::mutex> lock(subs_mu_);
+  std::vector<uint64_t> dead;
+  for (auto& [sid, sub] : subs_) {
+    StatusOr<std::vector<QueryOutcome>> outcomes =
+        service_->Execute(sub.request);
+    std::string drop_reason;
+    if (!outcomes.ok()) {
+      drop_reason = outcomes.status().ToString();
+    } else if (outcomes->size() != 1) {
+      drop_reason = "subscription produced no outcome";
+    } else if ((*outcomes)[0].result.partial) {
+      // The per-subscription governor budget tripped: the answer set is
+      // incomplete, so diffs against it would fabricate retractions.
+      // Dropping beats silently delivering wrong deltas.
+      drop_reason = "governor budget tripped";
+    }
+    if (!drop_reason.empty()) {
+      json::Object obj;
+      obj.emplace("ev", json::Value("dropped"));
+      obj.emplace("subscription", json::Value(sid));
+      obj.emplace("reason", json::Value(drop_reason));
+      SendJson(sub.conn->fd, sub.conn->write_mu, std::move(obj));
+      TraceSubscription("drop", sid, drop_reason, 0);
+      dead.push_back(sid);
+      continue;
+    }
+    const QueryOutcome& out = (*outcomes)[0];
+    std::set<std::string> current(out.tuples.begin(), out.tuples.end());
+    json::Array fresh;
+    for (const std::string& t : current) {
+      if (sub.seen.count(t) == 0) fresh.emplace_back(t);
+    }
+    json::Array retracted;
+    for (const std::string& t : sub.seen) {
+      if (current.count(t) == 0) retracted.emplace_back(t);
+    }
+    if (fresh.empty() && retracted.empty()) continue;  // no news
+    const uint64_t delivered = fresh.size() + retracted.size();
+    json::Object obj;
+    obj.emplace("ev", json::Value("delta"));
+    obj.emplace("subscription", json::Value(sid));
+    obj.emplace("query", json::Value(sub.query_text));
+    obj.emplace("tuples", json::Value(std::move(fresh)));
+    obj.emplace("retracted", json::Value(std::move(retracted)));
+    obj.emplace("generation", json::Value(out.generation));
+    if (!SendJson(sub.conn->fd, sub.conn->write_mu, std::move(obj))) {
+      dead.push_back(sid);  // subscriber hung up; reaped below
+      continue;
+    }
+    sub.seen = std::move(current);
+    TraceSubscription("notify", sid, sub.query_text, delivered);
+  }
+  for (uint64_t sid : dead) subs_.erase(sid);
+}
+
+void SocketServer::DropSubscriptionsFor(const Conn* conn) {
+  std::lock_guard<std::mutex> lock(subs_mu_);
+  for (auto it = subs_.begin(); it != subs_.end();) {
+    if (it->second.conn.get() == conn) {
+      TraceSubscription("drop", it->first, "connection closed", 0);
+      it = subs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SocketServer::TraceSubscription(std::string_view cause, uint64_t id,
+                                     std::string_view detail,
+                                     uint64_t delivered) {
+  if (service_->trace() == nullptr) return;
+  TraceEvent ev;
+  ev.kind = TraceEventKind::kSubscription;
+  ev.cause = std::string(cause);
+  ev.detail = detail.empty() ? StrCat("sub", id)
+                             : StrCat("sub", id, " ", detail);
+  ev.delta = delivered;
+  service_->trace()->Emit(ev);
 }
 
 void SocketServer::Wait() {

@@ -24,7 +24,35 @@
 //   other ops (each answered with a single "done" or "error" line):
 //     {"op":"load","id":2,"relation":"edge","path":"edge.tsv"}
 //     {"op":"load","id":3,"relation":"edge","rows":[["a","b"],["b","c"]]}
-//         -> {"id":...,"ev":"done","ok":true,"added":N,"generation":G}
+//     {"op":"load","id":8,"relation":"edge","mode":"delete",
+//      "rows":[["a","b"]]}
+//         -> {"id":...,"ev":"done","ok":true,"added":N,"changed":N,
+//             "generation":G}
+//         "mode" is "insert" (default) or "delete"; both modes validate
+//         the whole batch, append one typed WAL record, and apply through
+//         the service's incremental closure-maintenance path ("changed"
+//         counts the rows that actually changed the relation; "added"
+//         repeats it for protocol back-compat). A mutation that changed
+//         anything re-evaluates every subscription and pushes delta
+//         events (below) before the next request on this connection runs.
+//     {"op":"subscribe","id":9,"program":"<datalog>","query":"tc(a,X)",
+//      "limits":{...}}
+//         -> {"id":9,"ev":"done","ok":true,"subscription":S,"answers":N,
+//             "generation":G}
+//         registers a prepared selection; N is the baseline answer size.
+//         After every effective mutation the server re-evaluates the
+//         selection (under the subscription's own limits) and pushes to
+//         the SUBSCRIBING connection:
+//             {"ev":"delta","subscription":S,"query":"tc(a, X)",
+//              "tuples":["(a, e)"],"retracted":[],"generation":G}
+//         (only when something changed; "tuples" are newly derived,
+//         "retracted" formerly derived). A subscription whose
+//         re-evaluation fails or trips its governor budget is dropped
+//         with {"ev":"dropped","subscription":S,"reason":"..."}.
+//     {"op":"unsubscribe","id":10,"subscription":S}
+//         -> {"id":10,"ev":"done","ok":true,"removed":true}
+//         only the subscribing connection can unsubscribe; closing the
+//         connection drops its subscriptions implicitly.
 //     {"op":"stats","id":4}
 //         -> {"id":4,"ev":"done","ok":true,"stats":{...}}
 //     {"op":"checkpoint","id":7}
@@ -42,18 +70,26 @@
 //              line longer than max_line_bytes (default 16 MiB) answers
 //              RESOURCE_EXHAUSTED and closes the connection.
 //
-// Concurrency: one accept thread plus one thread per connection. Each
-// connection's responses are written only by its own thread, so lines are
-// never interleaved; cross-request consistency is the QueryService's
-// problem (which see). Per-request limits isolate budgets: a request
-// tripping its deadline degrades only its own reply.
+// Concurrency: one accept thread plus one thread per connection. A
+// connection's response lines are serialised by its per-connection write
+// mutex: its own thread holds it for request replies, and a MUTATING
+// connection's thread takes it to push subscription delta events, so lines
+// never interleave even when a delta lands mid-query-stream. Cross-request
+// consistency is the QueryService's problem (which see). Per-request
+// limits isolate budgets: a request tripping its deadline degrades only
+// its own reply, and each subscription re-evaluates under the limits its
+// subscribe request carried.
 #ifndef SEPREC_SERVER_SERVER_H_
 #define SEPREC_SERVER_SERVER_H_
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -91,10 +127,41 @@ class SocketServer {
   // disconnected. Call before Start().
   void set_max_line_bytes(size_t n) { max_line_bytes_ = n; }
 
+  // Server-wide cap on live subscriptions; a subscribe past it answers
+  // RESOURCE_EXHAUSTED. Call before Start().
+  void set_max_subscriptions(size_t n) { max_subscriptions_ = n; }
+
  private:
+  // One connection's write side: every response line to this fd goes
+  // through `write_mu`, so subscription pushes from other sessions'
+  // threads never interleave with this session's own replies.
+  struct Conn {
+    int fd = -1;
+    std::mutex write_mu;
+  };
+  // A registered selection: re-evaluated after every effective mutation,
+  // with the delivered-tuple set diffed to find news and retractions.
+  struct Subscription {
+    uint64_t id = 0;
+    std::shared_ptr<Conn> conn;
+    ServiceRequest request;       // program + query + per-subscription limits
+    std::string query_text;       // the query as parsed (event labelling)
+    std::set<std::string> seen;   // tuples last delivered
+  };
+
   void AcceptLoop();
   void Session(int fd);
-  void HandleLine(int fd, const std::string& line);
+  void HandleLine(const std::shared_ptr<Conn>& conn,
+                  const std::string& line);
+  // Re-evaluates every subscription and pushes delta events for those
+  // whose answer changed; drops subscriptions that error, trip their
+  // budget, or whose connection is gone. Runs on the mutating session's
+  // thread, after the mutation's own "done" line.
+  void NotifySubscribers();
+  // Drops every subscription owned by `conn` (connection teardown).
+  void DropSubscriptionsFor(const Conn* conn);
+  void TraceSubscription(std::string_view cause, uint64_t id,
+                         std::string_view detail, uint64_t delivered);
 
   QueryService* service_;
   std::string socket_path_;
@@ -111,6 +178,15 @@ class SocketServer {
                                         // accept loop and by Stop())
   std::vector<int> session_fds_;        // guarded by mu_; open fds only
   size_t max_line_bytes_ = 16u << 20;   // per-connection line-length cap
+
+  // Subscription registry. subs_mu_ is held for the whole notify sweep
+  // (subscribe/unsubscribe wait it out); it is never taken while holding
+  // mu_ or a Conn::write_mu, and the sweep takes write mutexes under it —
+  // so the order is subs_mu_ -> write_mu, never the reverse.
+  std::mutex subs_mu_;
+  std::map<uint64_t, Subscription> subs_;
+  std::atomic<uint64_t> next_sub_id_{1};
+  size_t max_subscriptions_ = 64;
 
   std::mutex stop_mu_;  // serialises Stop(); never held with mu_ waits
   bool stopped_ = false;

@@ -1,12 +1,15 @@
 #include "server/service.h"
 
+#include <atomic>
 #include <fstream>
 #include <istream>
 #include <utility>
 
 #include "core/query.h"
 #include "datalog/parser.h"
+#include "eval/incremental.h"
 #include "separable/detection.h"
+#include "separable/engine.h"
 #include "storage/io.h"
 #include "util/hash.h"
 #include "util/string_util.h"
@@ -76,9 +79,46 @@ struct QueryService::PlanEntry {
       : owner(std::move(o)), prepared(std::move(p)) {}
 };
 
+// INVARIANT: destruction can mutate the Database — a maintainable entry
+// owns an IncrementalEngine plus the '$dred*' closure/seed relations it
+// patches, all dropped here — so every shared_ptr<ClosureEntry> must
+// release its reference while holding db_mu_ (same contract as PlanEntry).
 struct QueryService::ClosureEntry {
   Phase1Closure closure;
   uint64_t tick = 0;
+
+  // How this entry survives EDB mutation: kConstant entries are
+  // data-independent and always kept; kMaintainable entries are patched by
+  // `engine`; kNone entries are swept on the first effective mutation.
+  ClosureMaintainability kind = ClosureMaintainability::kNone;
+  // "<plan_key>|<constants>|g" — appending the current generation yields
+  // the entry's cache key, so a surviving entry is re-keyed after a
+  // mutation by rebuilding the map.
+  std::string base_key;
+  std::unique_ptr<IncrementalEngine> engine;  // kMaintainable only
+  std::string closure_rel;  // "$dred<n>_c": the maintained seen_1 extent
+  std::string seed_rel;     // "$dred<n>_seed": exactly the selection row
+  std::vector<std::string> base_relations;  // what the closure reads
+  Database* db = nullptr;   // set iff engine-backed relations exist
+
+  bool maintainable() const { return engine != nullptr; }
+  bool Reads(std::string_view relation) const {
+    for (const std::string& r : base_relations) {
+      if (r == relation) return true;
+    }
+    return false;
+  }
+
+  ~ClosureEntry() {
+    if (db == nullptr) return;
+    // The engine's compiled plans bind the delta relations; tear the
+    // engine down before dropping them out from under it.
+    std::vector<std::string> scratch = engine->ScratchRelationNames();
+    engine.reset();
+    for (const std::string& name : scratch) db->Drop(name);
+    db->Drop(closure_rel);
+    db->Drop(seed_rel);
+  }
 };
 
 QueryService::QueryService(Database* db, ServiceOptions options)
@@ -296,9 +336,13 @@ StatusOr<std::vector<QueryOutcome>> QueryService::Execute(
         }
 
         out.generation = db_->generation();
+        // The generation is the key's LAST component so an incremental
+        // apply can re-key a surviving entry by appending the new value to
+        // its base_key (see ApplyLocked).
+        const std::string closure_base =
+            StrCat(plan_key, "|", ConstantsString(query), "|g");
         const std::string closure_key =
-            StrCat(plan_key, "|", ConstantsString(query), "|g",
-                   out.generation);
+            StrCat(closure_base, out.generation);
         const bool closure_layer = request.use_cache &&
                                    options_.max_closures > 0 &&
                                    plan->prepared.has_compiled_schema();
@@ -340,6 +384,10 @@ StatusOr<std::vector<QueryOutcome>> QueryService::Execute(
           auto centry = std::make_shared<ClosureEntry>();
           centry->closure = std::move(captured);
           captured = Phase1Closure();
+          centry->base_key = closure_base;
+          // Classify the entry for incremental maintenance while we still
+          // hold db_mu_ (it creates and seeds the '$dred*' relations).
+          AttachMaintenance(plan->prepared, query, centry.get());
           std::unique_lock<std::shared_mutex> lock(cache_mu_);
           centry->tick = ++lru_tick_;
           while (closures_.size() >= options_.max_closures) {
@@ -364,8 +412,11 @@ StatusOr<std::vector<QueryOutcome>> QueryService::Execute(
       // it; this reset covers the local reference, which is the last one
       // whenever the plan never entered the cache ("cache":false,
       // max_prepared == 0, an error return above) or was displaced while
-      // this query ran.
+      // this query ran. ~ClosureEntry has the same contract (it drops the
+      // maintenance engine's '$dred*'/'$inc*' relations), so the reused
+      // entry's local reference releases here too.
       plan.reset();
+      reuse_entry.reset();
       if (!run.ok()) return run;
     }  // db_mu_ released
 
@@ -381,6 +432,16 @@ StatusOr<std::vector<QueryOutcome>> QueryService::Execute(
 
 StatusOr<size_t> QueryService::LoadTsv(std::string_view relation,
                                        std::istream& in) {
+  return ApplyTsv(relation, BatchOp::kInsert, in);
+}
+
+StatusOr<size_t> QueryService::LoadTsvFile(std::string_view relation,
+                                           const std::string& path) {
+  return ApplyTsvFile(relation, BatchOp::kInsert, path);
+}
+
+StatusOr<size_t> QueryService::ApplyTsv(std::string_view relation,
+                                        BatchOp op, std::istream& in) {
   std::lock_guard<std::mutex> db_lock(db_mu_);
   // Two-phase load: every line is validated before anything is applied,
   // so a malformed middle line fails the whole request instead of leaving
@@ -388,25 +449,183 @@ StatusOr<size_t> QueryService::LoadTsv(std::string_view relation,
   // apply could fail.
   SEPREC_ASSIGN_OR_RETURN(TupleBatch batch,
                           ParseRelationTsv(*db_, relation, in));
+  batch.op = op;
+  return ApplyLocked(batch);
+}
+
+StatusOr<size_t> QueryService::ApplyTsvFile(std::string_view relation,
+                                            BatchOp op,
+                                            const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return NotFoundError(StrCat("cannot open '", path, "'"));
+  }
+  return ApplyTsv(relation, op, in);
+}
+
+StatusOr<size_t> QueryService::Apply(const TupleBatch& batch) {
+  std::lock_guard<std::mutex> db_lock(db_mu_);
+  // Server-built batches bypass ParseRelationTsv, so re-validate here:
+  // once the WAL holds the record its apply must not be able to fail.
+  if (const Relation* rel = db_->Find(batch.relation);
+      rel != nullptr && rel->arity() != batch.arity) {
+    return InvalidArgumentError(
+        StrCat("relation '", batch.relation, "' has arity ", rel->arity(),
+               ", batch has arity ", batch.arity));
+  }
+  if (batch.arity == 0) {
+    return InvalidArgumentError("batch arity must be positive");
+  }
+  for (const std::vector<TypedCell>& row : batch.rows) {
+    if (row.size() != batch.arity) {
+      return InvalidArgumentError(
+          StrCat("batch row has ", row.size(), " columns, expected ",
+                 batch.arity));
+    }
+  }
+  return ApplyLocked(batch);
+}
+
+StatusOr<size_t> QueryService::ApplyLocked(const TupleBatch& batch) {
+  const bool deleting = batch.op == BatchOp::kDelete;
   if (options_.storage != nullptr) {
-    // Write-ahead: the batch must be durable before any row lands in the
-    // database. Under fsync=always a client that sees this load
+    // Write-ahead: the batch must be durable before any row changes in
+    // the database. Under fsync=always a client that sees this mutation
     // acknowledged will see the same rows after kill -9 + recovery.
     SEPREC_RETURN_IF_ERROR(options_.storage->LogBatch(batch));
   }
-  SEPREC_ASSIGN_OR_RETURN(size_t added, ApplyTupleBatch(db_, batch));
-  // The apply bumps the generation when it added rows, which already
-  // invalidates every cached closure (their keys embed the old value);
-  // sweep the dead entries eagerly so the map does not pin stale rows.
-  if (added > 0) {
-    std::unique_lock<std::shared_mutex> lock(cache_mu_);
-    closures_.clear();
-    TraceCache("closure", "purge", StrCat("load:", relation));
+
+  WallTimer timer;
+  // Incremental maintenance is bounded: DRed's overdelete provisionally
+  // touches every tuple with a derivation through a deleted one, so past
+  // a point a fresh phase-1 run beats patching. Oversized batches fall
+  // back to invalidation wholesale.
+  const bool incremental =
+      batch.rows.size() <= options_.max_incremental_delta;
+
+  // Engines that must see this delta. Driving them needs db_mu_ (held);
+  // the map probe needs cache_mu_. Entries whose closures do not read the
+  // mutated relation are untouched by definition of base_relations.
+  std::vector<std::shared_ptr<ClosureEntry>> patching;
+  if (incremental) {
+    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    for (const auto& [key, entry] : closures_) {
+      if (entry->maintainable() && entry->Reads(batch.relation)) {
+        patching.push_back(entry);
+      }
+    }
   }
+
+  // Entries whose engine errored: their maintained state is suspect, so
+  // they are dropped below instead of re-keyed. The EDB apply itself must
+  // still happen — the WAL already holds the record, and recovery will
+  // replay it — so engine failures degrade to invalidation, never to a
+  // failed mutation.
+  std::vector<const ClosureEntry*> broken;
+  std::vector<std::vector<Value>> changed;
+  size_t applied = 0;
+
+  if (deleting) {
+    // DRed phase 1 (overdelete) must observe the PRE-deletion state, so
+    // every engine prepares before the rows are erased.
+    std::vector<std::vector<Value>> rows;
+    if (!patching.empty()) {
+      rows.reserve(batch.rows.size());
+      std::vector<Value> row;
+      for (const std::vector<TypedCell>& cells : batch.rows) {
+        row.clear();
+        row.reserve(cells.size());
+        for (const TypedCell& cell : cells) {
+          row.push_back(cell.is_int ? Value::Int(cell.int_value)
+                                    : db_->symbols().Intern(cell.symbol));
+        }
+        rows.push_back(row);
+      }
+    }
+    for (const std::shared_ptr<ClosureEntry>& entry : patching) {
+      if (Status s = entry->engine->PrepareRemoval(batch.relation, rows);
+          !s.ok()) {
+        broken.push_back(entry.get());
+      }
+    }
+    SEPREC_ASSIGN_OR_RETURN(applied, ApplyTupleBatch(db_, batch, &changed));
+    for (const std::shared_ptr<ClosureEntry>& entry : patching) {
+      if (Status s = entry->engine->FinishRemoval(); !s.ok()) {
+        broken.push_back(entry.get());
+      }
+    }
+  } else {
+    SEPREC_ASSIGN_OR_RETURN(applied, ApplyTupleBatch(db_, batch, &changed));
+    if (!changed.empty()) {
+      for (const std::shared_ptr<ClosureEntry>& entry : patching) {
+        if (Status s =
+                entry->engine->PropagateInserted(batch.relation, changed);
+            !s.ok()) {
+          broken.push_back(entry.get());
+        }
+      }
+    }
+  }
+
+  size_t patched = 0;
+  size_t dropped = 0;
+  if (applied > 0) {
+    // The apply bumped the generation: every cached key is stale. Rebuild
+    // the map — surviving entries (data-independent kConstant, patched
+    // kMaintainable) re-key onto the new generation; everything else is
+    // swept (destructors run under db_mu_, which we hold).
+    const uint64_t gen = db_->generation();
+    std::unique_lock<std::shared_mutex> lock(cache_mu_);
+    std::map<std::string, std::shared_ptr<ClosureEntry>> survivors;
+    for (auto& [key, entry] : closures_) {
+      bool keep = false;
+      if (incremental) {
+        if (entry->kind == ClosureMaintainability::kConstant) {
+          keep = true;
+        } else if (entry->maintainable()) {
+          keep = true;
+          for (const ClosureEntry* b : broken) {
+            if (b == entry.get()) keep = false;
+          }
+        }
+      }
+      if (!keep) {
+        ++dropped;
+        continue;
+      }
+      if (entry->maintainable() && entry->Reads(batch.relation)) {
+        // The engine patched "$dred<n>_c" in place; refresh the cached
+        // row vector that Execute seeds phase 1 from.
+        entry->closure.rows.clear();
+        const Relation* c = db_->Find(entry->closure_rel);
+        c->ForEachRow([&](Row r) {
+          entry->closure.rows.emplace_back(r.begin(), r.end());
+        });
+        ++patched;
+      }
+      survivors[StrCat(entry->base_key, gen)] = std::move(entry);
+    }
+    closures_ = std::move(survivors);
+    stats_.closure_patches += patched;
+    stats_.closure_drops += dropped;
+  }
+
+  if (options_.trace != nullptr) {
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kDelta;
+    ev.phase = deleting ? "delete" : "insert";
+    ev.detail = batch.relation;
+    ev.delta = applied;
+    ev.inserted = patched;
+    ev.emitted = dropped;
+    ev.seconds = timer.Seconds();
+    options_.trace->Emit(ev);
+  }
+
   if (options_.storage != nullptr && options_.storage->ShouldCheckpoint()) {
     // Auto-checkpoint bounds WAL growth (and so recovery time). A failure
-    // here must not fail the load — the WAL still holds everything — but
-    // it is reported to the trace sink rather than swallowed.
+    // here must not fail the mutation — the WAL still holds everything —
+    // but it is reported to the trace sink rather than swallowed.
     if (StatusOr<CheckpointInfo> ck = CheckpointLocked(); !ck.ok()) {
       if (options_.trace != nullptr) {
         TraceEvent ev;
@@ -417,16 +636,54 @@ StatusOr<size_t> QueryService::LoadTsv(std::string_view relation,
       }
     }
   }
-  return added;
+  return applied;
 }
 
-StatusOr<size_t> QueryService::LoadTsvFile(std::string_view relation,
-                                           const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    return NotFoundError(StrCat("cannot open '", path, "'"));
+void QueryService::AttachMaintenance(const PreparedQuery& prepared,
+                                     const Atom& query,
+                                     ClosureEntry* entry) {
+  const PreparedSeparable* schema = prepared.compiled_schema();
+  if (schema == nullptr) return;  // kind stays kNone
+
+  // Process-unique prefix: entries come and go independently, and two
+  // entries for the same selection shape (different constants) each get
+  // their own closure program over their own relations.
+  static std::atomic<uint64_t> next_maintenance_id{0};
+  const std::string prefix = StrCat(
+      "$dred", next_maintenance_id.fetch_add(1, std::memory_order_relaxed),
+      "_");
+  ClosureMaintenance m = schema->MaintenanceFor(query, prefix);
+  entry->kind = m.kind;
+  if (m.kind != ClosureMaintainability::kMaintainable) return;
+
+  StatusOr<IncrementalEngine> engine =
+      IncrementalEngine::Create(std::move(m.program), db_);
+  if (!engine.ok()) {
+    // Defensive: an unmaintainable closure program degrades the entry to
+    // invalidation-on-mutation, never fails the request.
+    entry->kind = ClosureMaintainability::kNone;
+    return;
   }
-  return LoadTsv(relation, in);
+  Relation* seed = db_->Find(m.seed_name);
+  Relation* closure = db_->Find(m.closure_name);
+  if (seed == nullptr || closure == nullptr) {
+    entry->kind = ClosureMaintainability::kNone;
+    return;
+  }
+  // Fast initialisation: the captured closure IS the program's least
+  // fixpoint for seed = {seed_row} (phase 1 of the Figure-2 schema runs
+  // exactly these rules), so populate the relations directly instead of
+  // re-deriving them with Initialize().
+  seed->Insert(Row(m.seed_row.data(), m.seed_row.size()));
+  for (const std::vector<Value>& row : entry->closure.rows) {
+    closure->Insert(Row(row.data(), row.size()));
+  }
+  entry->engine =
+      std::make_unique<IncrementalEngine>(std::move(engine).value());
+  entry->closure_rel = std::move(m.closure_name);
+  entry->seed_rel = std::move(m.seed_name);
+  entry->base_relations = std::move(m.base_relations);
+  entry->db = db_;
 }
 
 StatusOr<CheckpointInfo> QueryService::Checkpoint() {
@@ -462,6 +719,9 @@ ServiceStats QueryService::stats() const {
 }
 
 void QueryService::PurgeClosures() {
+  // db_mu_ first: maintainable entries drop their '$dred*'/'$inc*'
+  // relations from the database on destruction.
+  std::lock_guard<std::mutex> db_lock(db_mu_);
   std::unique_lock<std::shared_mutex> lock(cache_mu_);
   closures_.clear();
   TraceCache("closure", "purge", "explicit");

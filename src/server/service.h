@@ -48,6 +48,7 @@
 #include "core/compiler.h"
 #include "eval/trace.h"
 #include "storage/database.h"
+#include "storage/io.h"
 #include "storage/recovery.h"
 #include "util/status.h"
 
@@ -75,6 +76,14 @@ struct ServiceOptions {
   // (write-ahead: an acknowledged load is durable), and a load that grows
   // the WAL past its threshold triggers an automatic checkpoint.
   DurableStorage* storage = nullptr;
+
+  // Largest mutation batch the incremental closure-maintenance path will
+  // patch through DRed / semi-naive deltas. Past this, the update falls
+  // back to wholesale closure invalidation: overdeletion can provisionally
+  // touch far more tuples than it ends up deleting, and for a large-enough
+  // delta a fresh phase-1 run is cheaper than patching. Zero disables
+  // incremental maintenance entirely (every effective mutation purges).
+  size_t max_incremental_delta = 4096;
 };
 
 // One query request: a program, one query atom (text), and per-request
@@ -120,6 +129,10 @@ struct ServiceStats {
   uint64_t closure_hits = 0;
   uint64_t closure_misses = 0;
   uint64_t closure_stores = 0;
+  uint64_t closure_patches = 0;  // entries kept exact through an EDB
+                                 // mutation by incremental maintenance
+  uint64_t closure_drops = 0;    // entries invalidated by a mutation
+                                 // (non-maintainable or fallback purge)
   size_t processors = 0;  // current entry count
   size_t plans = 0;       // current entry count
   size_t closures = 0;    // current entry count
@@ -142,12 +155,30 @@ class QueryService {
   // erroring query's status. Thread-safe.
   StatusOr<std::vector<QueryOutcome>> Execute(const ServiceRequest& request);
 
-  // Loads TSV tuples into `relation` (created on demand), bumping the
-  // database generation — every cached closure stops matching. Returns the
+  // Loads TSV tuples into `relation` (created on demand). Returns the
   // number of NEW tuples. Thread-safe (serialises with Execute).
+  // Equivalent to ApplyTsv with BatchOp::kInsert.
   StatusOr<size_t> LoadTsv(std::string_view relation, std::istream& in);
   StatusOr<size_t> LoadTsvFile(std::string_view relation,
                                const std::string& path);
+
+  // Parses TSV tuples and applies them as `op`: kInsert appends (LoadTsv),
+  // kDelete erases matching rows. Returns the number of rows that actually
+  // changed the relation. Thread-safe (serialises with Execute).
+  StatusOr<size_t> ApplyTsv(std::string_view relation, BatchOp op,
+                            std::istream& in);
+  StatusOr<size_t> ApplyTsvFile(std::string_view relation, BatchOp op,
+                                const std::string& path);
+
+  // Applies an already-built mutation batch (the row-level entry point the
+  // server's insert/delete load modes use). The whole batch is validated,
+  // WAL-logged (when durability is attached), then applied; cached phase-1
+  // closures are PATCHED in place where their selection shape admits
+  // incremental maintenance (see ClosureMaintainability) and invalidated
+  // otherwise. A no-op batch (all duplicates / all misses) leaves the
+  // generation and every cached closure untouched. Returns the number of
+  // rows that actually changed the relation.
+  StatusOr<size_t> Apply(const TupleBatch& batch);
 
   // Snapshots the database and retires the WAL through the attached
   // DurableStorage; FAILED_PRECONDITION when the service has none.
@@ -179,6 +210,15 @@ class QueryService {
                   std::string_view key);
   // Checkpoint body; caller holds db_mu_.
   StatusOr<CheckpointInfo> CheckpointLocked();
+  // Apply body; caller holds db_mu_. WAL-logs, applies, and patches or
+  // invalidates the cached closures.
+  StatusOr<size_t> ApplyLocked(const TupleBatch& batch);
+  // Classifies the freshly captured closure `entry` for incremental
+  // maintenance and, when maintainable, builds its DRed engine and
+  // fast-initialises the maintained relations from the captured rows.
+  // Caller holds db_mu_.
+  void AttachMaintenance(const PreparedQuery& prepared, const Atom& query,
+                         ClosureEntry* entry);
 
   Database* db_;
   ServiceOptions options_;

@@ -48,8 +48,10 @@ Status Database::AddFact(std::string_view relation,
   for (std::string_view s : symbols) {
     row.push_back(symbols_.Intern(s));
   }
-  rel->Insert(Row(row.data(), row.size()));
-  BumpGeneration();
+  // Bump only when the row was genuinely new: a duplicate fact leaves the
+  // stored data untouched, and generation-keyed caches (the query
+  // service's closure cache) must survive no-op mutations.
+  if (rel->Insert(Row(row.data(), row.size()))) BumpGeneration();
   return Status::OK();
 }
 
@@ -62,8 +64,7 @@ Status Database::AddFact(std::string_view relation,
   for (const std::string& s : symbols) {
     row.push_back(symbols_.Intern(s));
   }
-  rel->Insert(Row(row.data(), row.size()));
-  BumpGeneration();
+  if (rel->Insert(Row(row.data(), row.size()))) BumpGeneration();
   return Status::OK();
 }
 

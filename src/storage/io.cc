@@ -97,6 +97,42 @@ StatusOr<TupleBatch> ParseRelationTsv(const Database& db,
 }
 
 StatusOr<size_t> ApplyTupleBatch(Database* db, const TupleBatch& batch) {
+  return ApplyTupleBatch(db, batch, nullptr);
+}
+
+StatusOr<size_t> ApplyTupleBatch(Database* db, const TupleBatch& batch,
+                                 std::vector<std::vector<Value>>* changed) {
+  if (changed != nullptr) changed->clear();
+  if (batch.op == BatchOp::kDelete) {
+    Relation* rel = db->Find(batch.relation);
+    if (rel == nullptr) return size_t{0};  // nothing to delete from
+    if (rel->arity() != batch.arity) {
+      return InvalidArgumentError(
+          StrCat("relation '", batch.relation, "' has arity ", rel->arity(),
+                 ", delete batch has arity ", batch.arity));
+    }
+    // Stage the victims in a scratch relation so EraseRows does one
+    // indexed pass; symbols are interned (not looked up) so replay after
+    // a crash — when the victim symbols may not exist yet in a fresh
+    // symbol table — behaves identically to the live apply.
+    Relation victims("$delete_batch", batch.arity);
+    std::vector<Value> row;
+    for (const std::vector<TypedCell>& cells : batch.rows) {
+      row.clear();
+      row.reserve(cells.size());
+      for (const TypedCell& cell : cells) {
+        row.push_back(cell.is_int ? Value::Int(cell.int_value)
+                                  : db->symbols().Intern(cell.symbol));
+      }
+      Row r(row.data(), row.size());
+      if (victims.Insert(r) && changed != nullptr && rel->Contains(r)) {
+        changed->push_back(row);
+      }
+    }
+    size_t removed = rel->EraseRows(victims);
+    if (removed > 0) db->BumpGeneration();
+    return removed;
+  }
   SEPREC_ASSIGN_OR_RETURN(Relation* rel,
                           db->CreateRelation(batch.relation, batch.arity));
   size_t added = 0;
@@ -108,7 +144,10 @@ StatusOr<size_t> ApplyTupleBatch(Database* db, const TupleBatch& batch) {
       row.push_back(cell.is_int ? Value::Int(cell.int_value)
                                 : db->symbols().Intern(cell.symbol));
     }
-    if (rel->Insert(Row(row.data(), row.size()))) ++added;
+    if (rel->Insert(Row(row.data(), row.size()))) {
+      ++added;
+      if (changed != nullptr) changed->push_back(row);
+    }
   }
   if (added > 0) db->BumpGeneration();
   return added;

@@ -50,11 +50,20 @@ struct TypedCell {
   }
 };
 
+// What applying a batch does to the relation: insert its rows, or erase
+// them (the DRed incremental-deletion path). The op is part of the WAL
+// record, so replay re-applies deletions exactly as they ran live.
+enum class BatchOp : uint8_t {
+  kInsert,
+  kDelete,
+};
+
 // A fully validated batch of tuples bound for one relation: the unit the
 // loaders apply and the WAL logs.
 struct TupleBatch {
   std::string relation;
   size_t arity = 0;
+  BatchOp op = BatchOp::kInsert;
   std::vector<std::vector<TypedCell>> rows;  // every row has `arity` cells
 };
 
@@ -65,11 +74,23 @@ StatusOr<TupleBatch> ParseRelationTsv(const Database& db,
                                       std::string_view name,
                                       std::istream& in);
 
-// Phase 2: creates the relation on demand (arity mismatch with an
-// existing relation is the only error), interns symbols, inserts rows,
-// and bumps the database generation when any row was new. Returns the
-// number of NEW tuples.
+// Phase 2. For BatchOp::kInsert: creates the relation on demand (arity
+// mismatch with an existing relation is the only error), interns symbols,
+// inserts rows, and bumps the database generation when any row was new.
+// Returns the number of NEW tuples. For BatchOp::kDelete: erases the
+// batch's rows from the relation (rows not present are ignored; a missing
+// relation deletes nothing) and bumps the generation when any row was
+// removed. Returns the number of rows REMOVED. Either way the generation
+// bump is conditional on real change, so a WAL replay of the batch leaves
+// the generation counter exactly where the live apply did.
 StatusOr<size_t> ApplyTupleBatch(Database* db, const TupleBatch& batch);
+
+// As above, and additionally reports the batch rows that actually changed
+// the relation — the NEW rows of an insert, the REMOVED rows of a delete —
+// as interned Value rows. This is what incremental view maintenance needs:
+// the effective delta, duplicates and misses filtered out.
+StatusOr<size_t> ApplyTupleBatch(Database* db, const TupleBatch& batch,
+                                 std::vector<std::vector<Value>>* changed);
 
 // ParseRelationTsv + ApplyTupleBatch. Returns the number of NEW tuples.
 StatusOr<size_t> LoadRelationTsv(Database* db, std::string_view name,

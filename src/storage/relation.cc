@@ -145,6 +145,7 @@ void Relation::Clear() {
   if (accountant_ != nullptr && num_slots_ > 0) {
     accountant_->Release(num_slots_ * RowBytes());
   }
+  if (num_slots_ > 0) ++mutation_epoch_;
   data_.clear();
   dead_.clear();
   num_rows_ = 0;
@@ -171,6 +172,8 @@ size_t Relation::EraseRows(const Relation& to_remove) {
       dead_[*row_set_.begin()] = true;
       row_set_.clear();
       num_rows_ = 0;
+      ++erase_epoch_;
+      ++mutation_epoch_;
       return 1;
     }
     return 0;
@@ -194,6 +197,10 @@ size_t Relation::EraseRows(const Relation& to_remove) {
       ++removed;
     }
   });
+  if (removed > 0) {
+    ++erase_epoch_;
+    ++mutation_epoch_;
+  }
   return removed;
 }
 

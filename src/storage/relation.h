@@ -149,6 +149,18 @@ class Relation {
   // Number of storage slots (live + tombstoned). Equal to size() unless
   // EraseRows was used.
   size_t slots() const { return num_slots_; }
+  // Counts EraseRows calls that removed at least one row. TruncateToSlots
+  // cannot undo a tombstoning erase, so DatabaseCheckpoint records this to
+  // refuse rollback across the DRed deletion path.
+  uint64_t erase_epoch() const { return erase_epoch_; }
+  // Counts content mutations that can alias a (size, slots) fingerprint:
+  // erases and non-empty Clears. StatsCatalog folds it into its entry
+  // fingerprint so an erase/clear followed by inserts restoring the same
+  // extent cannot serve stale per-column statistics. TruncateToSlots does
+  // not bump it — truncation restores an exact earlier content prefix, and
+  // it runs on every checkpoint rollback (bumping would thrash the stats
+  // cache once per governed query attempt).
+  uint64_t mutation_epoch() const { return mutation_epoch_; }
   bool IsLive(size_t slot) const {
     SEPREC_DCHECK(slot < num_slots_);
     return !dead_[slot];
@@ -231,6 +243,8 @@ class Relation {
   size_t arity_;
   size_t num_rows_ = 0;   // live rows
   size_t num_slots_ = 0;  // live + tombstoned
+  uint64_t erase_epoch_ = 0;     // effective EraseRows calls
+  uint64_t mutation_epoch_ = 0;  // erases + non-empty Clears
   std::vector<Value> data_;  // row-major, num_slots_ * arity_ values
   std::vector<bool> dead_;   // per slot
   // Approximate bytes a stored row costs, for the accountant.

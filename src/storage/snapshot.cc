@@ -93,6 +93,12 @@ Status SaveSnapshot(const Database& db, std::ostream& out) {
   SEPREC_RETURN_IF_ERROR(Failpoints::Check("snapshot.save"));
   out << kHeaderV2 << '\n';
   for (const std::string& name : db.RelationNames()) {
+    // '$'-prefixed relations are engine scratch (semi-naive deltas, magic
+    // supports, DRed maintenance state): derivable, owned by live plan and
+    // closure objects, and keyed by per-process counters. Persisting them
+    // would hand a recovered process stale state under names a fresh
+    // engine may re-create — skip them; recovery rebuilds what it needs.
+    if (!name.empty() && name[0] == '$') continue;
     const Relation* rel = db.Find(name);
     out << "relation " << name << ' ' << rel->arity() << '\n';
     uint32_t crc = 0;

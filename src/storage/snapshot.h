@@ -31,7 +31,9 @@
 
 namespace seprec {
 
-// Writes every relation of `db` (alphabetically) to `out`.
+// Writes every relation of `db` (alphabetically) to `out`, except
+// '$'-prefixed engine scratch — derivable, process-local state that must
+// not be resurrected into a fresh process.
 Status SaveSnapshot(const Database& db, std::ostream& out);
 Status SaveSnapshotFile(const Database& db, const std::string& path);
 

@@ -17,7 +17,8 @@ namespace {
 
 constexpr char kWalMagic[kWalHeaderSize] = {'s', 'e', 'p', 'r',
                                            'e', 'c', 'W', '1'};
-constexpr uint8_t kRecordBatch = 1;
+constexpr uint8_t kRecordBatch = 1;   // BatchOp::kInsert
+constexpr uint8_t kRecordDelete = 2;  // BatchOp::kDelete (same layout)
 constexpr size_t kRecordHeaderSize = 8;  // u32 len + u32 crc
 // A single record cannot usefully exceed this; a length field above it is
 // garbage (torn or corrupt), not a real record — without the cap a wild
@@ -86,7 +87,8 @@ struct Cursor {
 
 std::string EncodeBatch(const TupleBatch& batch) {
   std::string payload;
-  payload.push_back(static_cast<char>(kRecordBatch));
+  payload.push_back(static_cast<char>(
+      batch.op == BatchOp::kDelete ? kRecordDelete : kRecordBatch));
   PutU16(&payload, static_cast<uint16_t>(batch.relation.size()));
   payload.append(batch.relation);
   PutU32(&payload, static_cast<uint32_t>(batch.arity));
@@ -113,7 +115,10 @@ bool DecodeBatch(const std::string& payload, TupleBatch* batch) {
   Cursor c{reinterpret_cast<const unsigned char*>(payload.data()),
            payload.size()};
   uint8_t type = 0;
-  if (!c.U8(&type) || type != kRecordBatch) return false;
+  if (!c.U8(&type) || (type != kRecordBatch && type != kRecordDelete)) {
+    return false;
+  }
+  batch->op = type == kRecordDelete ? BatchOp::kDelete : BatchOp::kInsert;
   uint16_t name_len = 0;
   if (!c.U16(&name_len) || !c.Bytes(name_len, &batch->relation)) {
     return false;

@@ -9,7 +9,8 @@
 // A payload encodes one TupleBatch — the unit the server's load op
 // applies — with the TSV typing decision baked in:
 //
-//   u8  record type (1 = batch)
+//   u8  record type (1 = insert batch, 2 = delete batch; the two share
+//       the layout below — the type byte IS the BatchOp)
 //   u16 relation name length LE, name bytes
 //   u32 arity LE
 //   u32 row count LE

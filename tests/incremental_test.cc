@@ -8,6 +8,7 @@
 #include "eval/fixpoint.h"
 #include "gen/generators.h"
 #include "gen/workloads.h"
+#include "storage/io.h"
 #include "util/rng.h"
 
 namespace seprec {
@@ -206,6 +207,63 @@ TEST(Incremental, RandomisedMixedWorkloadMatchesScratch) {
       }
     }
   }
+}
+
+TEST(Incremental, SplitPhaseMirrorsServiceLoadPath) {
+  // The service's load path: the CALLER applies the WAL-logged batch to
+  // the EDB, the engine only propagates the effective delta. Insert first,
+  // then delete, each checked against a from-scratch evaluation.
+  Database db;
+  MakeChain(&db, "edge", "v", 6);
+  auto engine = IncrementalEngine::Create(TransitiveClosureProgram(), &db);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  ASSERT_TRUE(engine->Initialize().ok());
+  EXPECT_TRUE(engine->Maintains("edge"));
+  EXPECT_FALSE(engine->Maintains("tc"));
+
+  TupleBatch ins;
+  ins.relation = "edge";
+  ins.arity = 2;
+  ins.rows.push_back({TypedCell::Symbol("x"), TypedCell::Symbol("v0")});
+  ins.rows.push_back({TypedCell::Symbol("v0"), TypedCell::Symbol("v1")});
+  std::vector<std::vector<Value>> changed;
+  ASSERT_TRUE(ApplyTupleBatch(&db, ins, &changed).ok());
+  ASSERT_EQ(changed.size(), 1u);  // (v0,v1) is a duplicate, not a delta
+  ASSERT_TRUE(engine->PropagateInserted("edge", changed).ok());
+  EXPECT_EQ(db.Find("tc")->DebugString(db.symbols()),
+            ScratchIdb(TransitiveClosureProgram(), db, "edge", "tc"));
+
+  // Delete: overdelete closes against the pre-deletion state, so
+  // PrepareRemoval runs BEFORE the erase; FinishRemoval rederives after.
+  std::vector<std::vector<Value>> victims;
+  victims.push_back({db.symbols().Intern("v2"), db.symbols().Intern("v3")});
+  victims.push_back({db.symbols().Intern("no"), db.symbols().Intern("no")});
+  ASSERT_TRUE(engine->PrepareRemoval("edge", victims).ok());
+  TupleBatch del;
+  del.relation = "edge";
+  del.arity = 2;
+  del.op = BatchOp::kDelete;
+  del.rows.push_back({TypedCell::Symbol("v2"), TypedCell::Symbol("v3")});
+  del.rows.push_back({TypedCell::Symbol("no"), TypedCell::Symbol("no")});
+  ASSERT_TRUE(ApplyTupleBatch(&db, del).ok());
+  ASSERT_TRUE(engine->FinishRemoval().ok());
+  EXPECT_EQ(db.Find("tc")->DebugString(db.symbols()),
+            ScratchIdb(TransitiveClosureProgram(), db, "edge", "tc"));
+}
+
+TEST(Incremental, SplitPhaseOrderingEnforced) {
+  Database db;
+  auto engine = IncrementalEngine::Create(TransitiveClosureProgram(), &db);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine->Initialize().ok());
+  EXPECT_EQ(engine->FinishRemoval().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(engine->AddFact("edge", {"a", "b"}).ok());
+  std::vector<std::vector<Value>> victims;
+  victims.push_back({db.symbols().Intern("a"), db.symbols().Intern("b")});
+  ASSERT_TRUE(engine->PrepareRemoval("edge", victims).ok());
+  EXPECT_EQ(engine->PrepareRemoval("edge", victims).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(engine->FinishRemoval().ok());
 }
 
 TEST(Incremental, StatsAreReported) {

@@ -151,6 +151,81 @@ TEST(Io, SaveRoundTrip) {
   EXPECT_EQ(db2.Find("r")->size(), 2u);
 }
 
+TEST(Io, DeleteBatchErasesAndBumpsGeneration) {
+  Database db;
+  std::istringstream in("a\tb\nb\tc\nc\td\n");
+  ASSERT_TRUE(LoadRelationTsv(&db, "edge", in).ok());
+  const uint64_t gen = db.generation();
+
+  TupleBatch del;
+  del.relation = "edge";
+  del.arity = 2;
+  del.op = BatchOp::kDelete;
+  del.rows.push_back({TypedCell::Symbol("b"), TypedCell::Symbol("c")});
+  del.rows.push_back({TypedCell::Symbol("x"), TypedCell::Symbol("y")});
+
+  std::vector<std::vector<Value>> changed;
+  auto removed = ApplyTupleBatch(&db, del, &changed);
+  ASSERT_TRUE(removed.ok()) << removed.status().ToString();
+  // Only the present row is removed; the miss is ignored, and `changed`
+  // reports exactly the effective delta.
+  EXPECT_EQ(*removed, 1u);
+  EXPECT_EQ(db.Find("edge")->size(), 2u);
+  EXPECT_EQ(db.generation(), gen + 1);
+  ASSERT_EQ(changed.size(), 1u);
+
+  // Re-applying is a no-op: no erase, no generation bump — the
+  // conditional bump is what keeps live apply and WAL replay aligned.
+  auto again = ApplyTupleBatch(&db, del, &changed);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, 0u);
+  EXPECT_TRUE(changed.empty());
+  EXPECT_EQ(db.generation(), gen + 1);
+}
+
+TEST(Io, DeleteFromMissingRelationIsNoop) {
+  Database db;
+  TupleBatch del;
+  del.relation = "ghost";
+  del.arity = 1;
+  del.op = BatchOp::kDelete;
+  del.rows.push_back({TypedCell::Symbol("a")});
+  auto removed = ApplyTupleBatch(&db, del);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 0u);
+  EXPECT_EQ(db.generation(), 0u);
+}
+
+TEST(Io, DeleteArityMismatchRejected) {
+  Database db;
+  std::istringstream in("a\tb\n");
+  ASSERT_TRUE(LoadRelationTsv(&db, "edge", in).ok());
+  TupleBatch del;
+  del.relation = "edge";
+  del.arity = 3;
+  del.op = BatchOp::kDelete;
+  del.rows.push_back({TypedCell::Symbol("a"), TypedCell::Symbol("b"),
+                      TypedCell::Symbol("c")});
+  EXPECT_FALSE(ApplyTupleBatch(&db, del).ok());
+}
+
+TEST(Io, InsertBatchReportsChangedRows) {
+  Database db;
+  std::istringstream in("a\tb\n");
+  ASSERT_TRUE(LoadRelationTsv(&db, "edge", in).ok());
+  TupleBatch ins;
+  ins.relation = "edge";
+  ins.arity = 2;
+  ins.rows.push_back({TypedCell::Symbol("a"), TypedCell::Symbol("b")});
+  ins.rows.push_back({TypedCell::Symbol("b"), TypedCell::Symbol("c")});
+  std::vector<std::vector<Value>> changed;
+  auto added = ApplyTupleBatch(&db, ins, &changed);
+  ASSERT_TRUE(added.ok());
+  // The duplicate is filtered: only the genuinely new row is the delta.
+  EXPECT_EQ(*added, 1u);
+  ASSERT_EQ(changed.size(), 1u);
+}
+
 TEST(Io, SaveUnknownRelationFails) {
   Database db;
   std::ostringstream out;

@@ -65,6 +65,32 @@ TEST(Stats, CacheRefreshesAfterClear) {
   EXPECT_EQ(db.stats().Get(*db.Find("e")).rows, 0u);
 }
 
+TEST(Stats, EraseAndRestoreSameExtentRecomputes) {
+  // Regression: the DRed deletion path (EraseRows, possibly followed by a
+  // governor rollback and fresh inserts) can restore the exact (size,
+  // slots) extent with DIFFERENT contents. Without the mutation epoch in
+  // the fingerprint the catalog served the stale distinct counts.
+  Database db;
+  ASSERT_TRUE(db.AddFact("e", {"a", "b"}).ok());
+  ASSERT_TRUE(db.AddFact("e", {"c", "d"}).ok());
+  Relation* rel = db.Find("e");
+  EXPECT_EQ(db.stats().Get(*rel).distinct[0], 2u);  // a, c
+
+  Relation victims("victims", 2);
+  std::vector<Value> row = {db.symbols().Intern("a"),
+                            db.symbols().Intern("b")};
+  victims.Insert(Row(row.data(), row.size()));
+  ASSERT_EQ(rel->EraseRows(victims), 1u);
+  rel->TruncateToSlots(0);
+  ASSERT_TRUE(db.AddFact("e", {"x", "y"}).ok());
+  ASSERT_TRUE(db.AddFact("e", {"x", "z"}).ok());
+  // Same size (2) and slot count (2) as the cached entry, new contents.
+  RelationStats s = db.stats().Get(*rel);
+  EXPECT_EQ(s.rows, 2u);
+  EXPECT_EQ(s.distinct[0], 1u);  // x only — must not report the stale 2
+  EXPECT_EQ(s.distinct[1], 2u);
+}
+
 TEST(Stats, GenerationBumpAloneDoesNotRecompute) {
   Database db;
   ASSERT_TRUE(db.AddFact("e", {"a", "b"}).ok());

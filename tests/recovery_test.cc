@@ -7,6 +7,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "storage/io.h"
@@ -107,6 +108,67 @@ TEST_F(RecoveryTest, ReplayRestoresTuplesAndExactGeneration) {
   EXPECT_EQ(restored.Find("edge")->size(), 4u);
   EXPECT_EQ(restored.generation(), live_generation);
   EXPECT_EQ(report.generation, live_generation);
+}
+
+TEST_F(RecoveryTest, DeleteRecordsReplayToSameStateAndGeneration) {
+  DurabilityOptions opts;
+  opts.fsync = FsyncPolicy::kOff;
+  uint64_t live_generation = 0;
+  {
+    Database db;
+    auto storage = DurableStorage::Open(dir_, &db, opts, nullptr);
+    ASSERT_TRUE(storage.ok()) << storage.status().ToString();
+    LogAndApply(storage->get(), &db, MakeBatch("edge", 1));
+    LogAndApply(storage->get(), &db, MakeBatch("edge", 3));
+    // Delete one present row and one miss; then re-delete (a live no-op
+    // that must also be a replay no-op — the generation counters would
+    // otherwise diverge).
+    TupleBatch del = MakeBatch("edge", 1);
+    del.op = BatchOp::kDelete;
+    del.rows.push_back({TypedCell::Symbol("ghost"),
+                        TypedCell::Symbol("ghost")});
+    LogAndApply(storage->get(), &db, del);
+    LogAndApply(storage->get(), &db, del);
+    ASSERT_EQ(db.Find("edge")->size(), 1u);
+    live_generation = db.generation();
+  }
+  Database db2;
+  RecoveryReport report;
+  auto storage = DurableStorage::Open(dir_, &db2, opts, &report);
+  ASSERT_TRUE(storage.ok()) << storage.status().ToString();
+  EXPECT_EQ(report.wal_records_replayed, 4u);
+  ASSERT_NE(db2.Find("edge"), nullptr);
+  EXPECT_EQ(db2.Find("edge")->size(), 1u);
+  // The surviving row is the one the deletes never touched.
+  std::istringstream probe("v3\tv4\n");
+  auto dup = LoadRelationTsv(&db2, "edge", probe);
+  ASSERT_TRUE(dup.ok());
+  EXPECT_EQ(*dup, 0u);
+  EXPECT_EQ(db2.generation(), live_generation);
+}
+
+TEST_F(RecoveryTest, CheckpointAfterDeletesSnapshotsLiveRowsOnly) {
+  DurabilityOptions opts;
+  opts.fsync = FsyncPolicy::kOff;
+  {
+    Database db;
+    auto storage = DurableStorage::Open(dir_, &db, opts, nullptr);
+    ASSERT_TRUE(storage.ok());
+    LogAndApply(storage->get(), &db, MakeBatch("edge", 1));
+    LogAndApply(storage->get(), &db, MakeBatch("edge", 3));
+    TupleBatch del = MakeBatch("edge", 1);
+    del.op = BatchOp::kDelete;
+    LogAndApply(storage->get(), &db, del);
+    // The snapshot must not resurrect the tombstoned row.
+    ASSERT_TRUE((*storage)->Checkpoint(db).ok());
+  }
+  Database db2;
+  RecoveryReport report;
+  auto storage = DurableStorage::Open(dir_, &db2, opts, &report);
+  ASSERT_TRUE(storage.ok()) << storage.status().ToString();
+  EXPECT_EQ(report.wal_records_replayed, 0u);
+  ASSERT_NE(db2.Find("edge"), nullptr);
+  EXPECT_EQ(db2.Find("edge")->size(), 1u);
 }
 
 TEST_F(RecoveryTest, CheckpointRetiresWalAndRecoversFromSnapshot) {

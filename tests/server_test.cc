@@ -181,7 +181,7 @@ TEST(QueryService, SelectionConstantsKeyTheClosure) {
   EXPECT_TRUE((*renamed)[0].closure_cache_hit);
 }
 
-TEST(QueryService, GenerationBumpInvalidatesClosures) {
+TEST(QueryService, LoadMaintainsCachedClosure) {
   Database db;
   QueryService service(&db);
   auto before = service.Execute(TcRequest("tc(a, X)"));
@@ -196,14 +196,128 @@ TEST(QueryService, GenerationBumpInvalidatesClosures) {
 
   auto after = service.Execute(TcRequest("tc(a, X)"));
   ASSERT_TRUE(after.ok());
-  // Plan survives (database-independent); closure misses (generation is
-  // part of its key) and the answer reflects the new tuple.
+  // Plan survives (database-independent). The generation bumps, but the
+  // cached closure survives it: tc(a, X) binds a persistent column, so
+  // its phase-1 closure is data-independent (kConstant) and is re-keyed
+  // onto the new generation instead of invalidated. The answer still
+  // reflects the new tuple — phase 2 reads the mutated relations.
   EXPECT_TRUE((*after)[0].plan_cache_hit);
-  EXPECT_FALSE((*after)[0].closure_cache_hit);
+  EXPECT_TRUE((*after)[0].closure_cache_hit);
   EXPECT_GT((*after)[0].generation, gen_before);
   EXPECT_EQ((*after)[0].tuples,
             (std::vector<std::string>{"(a, b)", "(a, c)", "(a, d)",
                                       "(a, e)"}));
+}
+
+// Rules only: with the edge facts LOADED rather than in the program text,
+// edge is a base relation and a moving-class closure is DRed-maintainable.
+constexpr const char* kPureTcProgram =
+    "tc(X, Y) :- edge(X, Y).\n"
+    "tc(X, Y) :- tc(X, Z), edge(Z, Y).\n";
+
+ServiceRequest PureTcRequest(const std::string& query) {
+  ServiceRequest req;
+  req.program = kPureTcProgram;
+  req.query = query;
+  return req;
+}
+
+TEST(QueryService, NoOpLoadKeepsClosureAndGeneration) {
+  // Regression: a load where every row is a duplicate must be a true
+  // no-op — no generation bump, so every cached closure (even a
+  // non-maintainable one) stays valid under its existing key.
+  Database db;
+  QueryService service(&db);
+  std::istringstream seed("d\te\n");
+  ASSERT_TRUE(service.LoadTsv("edge", seed).ok());
+  auto before = service.Execute(TcRequest("tc(X, d)"));
+  ASSERT_TRUE(before.ok());
+  EXPECT_TRUE((*before)[0].closure_stored);
+  const uint64_t gen = (*before)[0].generation;
+
+  std::istringstream dup("d\te\n");
+  auto added = service.LoadTsv("edge", dup);
+  ASSERT_TRUE(added.ok());
+  EXPECT_EQ(*added, 0u);
+  // Deleting a row that is not there is equally a no-op.
+  std::istringstream miss("zz\tzz\n");
+  auto removed = service.ApplyTsv("edge", BatchOp::kDelete, miss);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 0u);
+
+  auto after = service.Execute(TcRequest("tc(X, d)"));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ((*after)[0].generation, gen);
+  EXPECT_TRUE((*after)[0].closure_cache_hit);
+  EXPECT_EQ((*after)[0].tuples, (*before)[0].tuples);
+}
+
+TEST(QueryService, DeletePatchesMaintainableClosure) {
+  Database db;
+  QueryService service(&db);
+  std::istringstream rows("a\tb\nb\tc\nc\td\n");
+  ASSERT_TRUE(service.LoadTsv("edge", rows).ok());
+  auto cold = service.Execute(PureTcRequest("tc(X, d)"));
+  ASSERT_TRUE(cold.ok());
+  EXPECT_TRUE((*cold)[0].closure_stored);
+  EXPECT_EQ((*cold)[0].tuples,
+            (std::vector<std::string>{"(a, d)", "(b, d)", "(c, d)"}));
+
+  // Delete an EDB row the closure depends on: the cached phase-1 closure
+  // is patched through DRed (overdelete + rederive), not thrown away.
+  std::istringstream victims("a\tb\n");
+  auto removed = service.ApplyTsv("edge", BatchOp::kDelete, victims);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 1u);
+
+  auto warm = service.Execute(PureTcRequest("tc(X, d)"));
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE((*warm)[0].plan_cache_hit);
+  EXPECT_TRUE((*warm)[0].closure_cache_hit);
+  EXPECT_EQ((*warm)[0].tuples,
+            (std::vector<std::string>{"(b, d)", "(c, d)"}));
+
+  // Insert through the same path: the patched closure absorbs the new
+  // tuple and the answer grows accordingly.
+  std::istringstream fresh("x\tb\n");
+  ASSERT_TRUE(service.ApplyTsv("edge", BatchOp::kInsert, fresh).ok());
+  auto grown = service.Execute(PureTcRequest("tc(X, d)"));
+  ASSERT_TRUE(grown.ok());
+  EXPECT_TRUE((*grown)[0].closure_cache_hit);
+  EXPECT_EQ((*grown)[0].tuples,
+            (std::vector<std::string>{"(b, d)", "(c, d)", "(x, d)"}));
+
+  ServiceStats stats = service.stats();
+  EXPECT_GE(stats.closure_patches, 2u);
+  EXPECT_EQ(stats.closure_drops, 0u);
+  // Patched answers match a cold evaluation bit for bit.
+  QueryService fresh_service(&db);
+  auto reference = fresh_service.Execute(PureTcRequest("tc(X, d)"));
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ((*grown)[0].tuples, (*reference)[0].tuples);
+}
+
+TEST(QueryService, OversizedDeltaFallsBackToInvalidation) {
+  Database db;
+  ServiceOptions options;
+  options.max_incremental_delta = 1;
+  QueryService service(&db, options);
+  std::istringstream rows("a\tb\nb\tc\nc\td\n");
+  ASSERT_TRUE(service.LoadTsv("edge", rows).ok());
+  auto cold = service.Execute(PureTcRequest("tc(X, d)"));
+  ASSERT_TRUE(cold.ok());
+  EXPECT_TRUE((*cold)[0].closure_stored);
+  // A delete exceeding max_incremental_delta drops maintainable entries
+  // instead of patching them; the next query recomputes and is correct.
+  std::istringstream victims("a\tb\nb\tc\n");
+  auto removed = service.ApplyTsv("edge", BatchOp::kDelete, victims);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 2u);
+  auto after = service.Execute(PureTcRequest("tc(X, d)"));
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE((*after)[0].closure_cache_hit);
+  EXPECT_EQ((*after)[0].tuples, (std::vector<std::string>{"(c, d)"}));
+  EXPECT_GE(service.stats().closure_drops, 1u);
 }
 
 TEST(QueryService, NoCacheBypassesPlanAndClosureLayers) {
@@ -578,6 +692,130 @@ TEST_F(SocketServerTest, MalformedMiddleRowFailsLoadWithoutPartialApply) {
   // did not move.
   EXPECT_EQ(db_.Find("m"), nullptr);
   EXPECT_EQ(db_.generation(), 0u);
+}
+
+TEST_F(SocketServerTest, DeleteModeRemovesRowsAndReportsChanged) {
+  SocketClient client(socket_path_);
+  ASSERT_TRUE(client.connected());
+  client.Send(
+      R"({"op":"load","id":1,"relation":"edge","rows":[["a","b"],["b","c"]]})");
+  EXPECT_TRUE(client.ReadLine().Get("ok").as_bool());
+
+  // Delete one present row and one miss: "changed" counts the effective
+  // delta; "added" repeats it for protocol back-compat.
+  client.Send(R"({"op":"load","id":2,"relation":"edge","mode":"delete",)"
+              R"("rows":[["a","b"],["zz","zz"]]})");
+  json::Value deleted = client.ReadLine();
+  EXPECT_TRUE(deleted.Get("ok").as_bool());
+  EXPECT_EQ(deleted.Get("changed").as_int(), 1);
+  EXPECT_EQ(deleted.Get("added").as_int(), 1);
+  EXPECT_EQ(db_.Find("edge")->size(), 1u);
+
+  // An unknown mode is a structured error, not a silent insert.
+  client.Send(R"({"op":"load","id":3,"relation":"edge","mode":"upsert",)"
+              R"("rows":[["x","y"]]})");
+  json::Value error = client.ReadLine();
+  EXPECT_EQ(error.Get("ev").as_string(), "error");
+  EXPECT_EQ(error.Get("code").as_string(), "INVALID_ARGUMENT");
+  EXPECT_EQ(db_.Find("edge")->size(), 1u);
+}
+
+TEST_F(SocketServerTest, SubscribeStreamsDeltasAcrossConnections) {
+  SocketClient sub(socket_path_);
+  SocketClient loader(socket_path_);
+  ASSERT_TRUE(sub.connected());
+  ASSERT_TRUE(loader.connected());
+  loader.Send(
+      R"({"op":"load","id":1,"relation":"edge","rows":[["a","b"],["b","c"]]})");
+  EXPECT_TRUE(loader.ReadLine().Get("ok").as_bool());
+
+  json::Object req;
+  req["op"] = json::Value("subscribe");
+  req["id"] = json::Value(int64_t{2});
+  req["program"] = json::Value(std::string(kPureTcProgram));
+  req["query"] = json::Value("tc(a, X)");
+  sub.Send(json::Serialize(json::Value(req)));
+  json::Value ack = sub.ReadLine();
+  ASSERT_TRUE(ack.Get("ok").as_bool());
+  EXPECT_EQ(ack.Get("answers").as_int(), 2);  // (a,b), (a,c) baseline
+  const int64_t sid = ack.Get("subscription").as_int();
+  EXPECT_GT(sid, 0);
+
+  // An insert on ANOTHER connection pushes the newly derived tuple.
+  loader.Send(
+      R"({"op":"load","id":3,"relation":"edge","rows":[["c","d"]]})");
+  EXPECT_TRUE(loader.ReadLine().Get("ok").as_bool());
+  json::Value delta = sub.ReadLine();
+  EXPECT_EQ(delta.Get("ev").as_string(), "delta");
+  EXPECT_EQ(delta.Get("subscription").as_int(), sid);
+  ASSERT_EQ(delta.Get("tuples").as_array().size(), 1u);
+  EXPECT_EQ(delta.Get("tuples").as_array()[0].as_string(), "(a, d)");
+  EXPECT_TRUE(delta.Get("retracted").as_array().empty());
+
+  // A delete retracts everything the lost edge carried.
+  loader.Send(R"({"op":"load","id":4,"relation":"edge","mode":"delete",)"
+              R"("rows":[["b","c"]]})");
+  EXPECT_TRUE(loader.ReadLine().Get("ok").as_bool());
+  delta = sub.ReadLine();
+  EXPECT_EQ(delta.Get("ev").as_string(), "delta");
+  EXPECT_TRUE(delta.Get("tuples").as_array().empty());
+  ASSERT_EQ(delta.Get("retracted").as_array().size(), 2u);
+  EXPECT_EQ(delta.Get("retracted").as_array()[0].as_string(), "(a, c)");
+  EXPECT_EQ(delta.Get("retracted").as_array()[1].as_string(), "(a, d)");
+
+  // A no-op mutation (duplicate insert) pushes nothing: the next line the
+  // subscriber reads is its own unsubscribe ack, not a delta. Another
+  // connection cannot remove the subscription first.
+  loader.Send(
+      R"({"op":"load","id":5,"relation":"edge","rows":[["a","b"]]})");
+  EXPECT_TRUE(loader.ReadLine().Get("ok").as_bool());
+  loader.Send(StrCat(R"({"op":"unsubscribe","id":6,"subscription":)", sid,
+                     "}"));
+  json::Value stolen = loader.ReadLine();
+  EXPECT_TRUE(stolen.Get("ok").as_bool());
+  EXPECT_FALSE(stolen.Get("removed").as_bool());
+  sub.Send(StrCat(R"({"op":"unsubscribe","id":7,"subscription":)", sid,
+                  "}"));
+  json::Value bye = sub.ReadLine();
+  EXPECT_EQ(bye.Get("ev").as_string(), "done");
+  EXPECT_TRUE(bye.Get("removed").as_bool());
+}
+
+TEST_F(SocketServerTest, SubscriptionTrippingItsBudgetIsDropped) {
+  SocketClient sub(socket_path_);
+  SocketClient loader(socket_path_);
+  ASSERT_TRUE(sub.connected());
+  ASSERT_TRUE(loader.connected());
+  loader.Send(
+      R"({"op":"load","id":1,"relation":"edge","rows":[["a","b"],["b","c"]]})");
+  EXPECT_TRUE(loader.ReadLine().Get("ok").as_bool());
+
+  // The subscription's own limits (the tuple budget counts DERIVED
+  // tuples, not answers) cover the baseline evaluation but not the
+  // re-evaluation after the graph grows; a partial push would be a silent
+  // lie — the subscription is dropped instead.
+  json::Object req;
+  req["op"] = json::Value("subscribe");
+  req["id"] = json::Value(int64_t{2});
+  req["program"] = json::Value(std::string(kPureTcProgram));
+  req["query"] = json::Value("tc(a, X)");
+  json::Object limits;
+  limits["max_tuples"] = json::Value(int64_t{4});
+  req["limits"] = json::Value(limits);
+  sub.Send(json::Serialize(json::Value(req)));
+  json::Value ack = sub.ReadLine();
+  ASSERT_TRUE(ack.Get("ok").as_bool());
+  const int64_t sid = ack.Get("subscription").as_int();
+
+  loader.Send(R"({"op":"load","id":3,"relation":"edge",)"
+              R"("rows":[["c","d"],["d","e"],["e","f"],["f","g"]]})");
+  EXPECT_TRUE(loader.ReadLine().Get("ok").as_bool());
+  json::Value dropped = sub.ReadLine();
+  EXPECT_EQ(dropped.Get("ev").as_string(), "dropped");
+  EXPECT_EQ(dropped.Get("subscription").as_int(), sid);
+  EXPECT_NE(dropped.Get("reason").as_string().find("budget"),
+            std::string::npos)
+      << dropped.Get("reason").as_string();
 }
 
 TEST_F(SocketServerTest, CheckpointWithoutDataDirIsFailedPrecondition) {

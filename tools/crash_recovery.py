@@ -18,8 +18,16 @@ After every crash the harness may also append garbage bytes to the live
 WAL (simulating the torn tail a real power cut leaves — kill -9 alone
 cannot tear completed write()s out of the page cache), restarts the
 server, and retries every op the server never acknowledged. Loads are
-batches of distinct tuples, so retries are idempotent (at-least-once
-delivery, exactly-once effect).
+batches of distinct tuples and every delete batch targets tuples loaded
+by an EARLIER op and never re-loaded, so retries are idempotent
+(at-least-once delivery, exactly-once effect) for both mutation kinds.
+
+A subscriber rides along on a second connection for the whole trial: it
+takes a baseline of the first query, registers a subscription, folds
+every pushed delta into its tuple set, and re-subscribes from scratch
+after each crash. At the end of the trial its folded set must equal the
+server's answer — the streaming path has to survive the same crashes the
+WAL does.
 
 A trial passes when, after all ops are acknowledged:
   * every query's streamed tuples are bit-identical to a crash-free
@@ -68,20 +76,33 @@ CRASH_SITES = [
 ]
 
 
-def make_schedule(rng, num_loads=24):
+def make_schedule(rng, num_loads=24, delete_ratio=0.25):
     """Deterministic op schedule: loads of distinct edges over v0..v14,
-    with checkpoints sprinkled in. Every batch adds at least one new
-    tuple, so the generation bump count is schedule-determined."""
+    with deletions and checkpoints sprinkled in. Every load adds at least
+    one new tuple and every delete removes only still-live tuples (loaded
+    earlier, never re-loaded), so each mutation bumps the generation
+    exactly once and the bump count is schedule-determined even across
+    crash-retry."""
     edges = [(a, b) for a in range(15) for b in range(15) if a != b]
     rng.shuffle(edges)
     per_batch = max(1, len(edges) // num_loads)
     ops = []
+    live = []
     for i in range(num_loads):
         batch = edges[i * per_batch:(i + 1) * per_batch]
         if not batch:
             break
         rows = [["v%d" % a, "v%d" % b] for a, b in batch]
         ops.append({"op": "load", "relation": "edge", "rows": rows})
+        live.extend(batch)
+        if live and rng.random() < delete_ratio:
+            count = rng.randrange(1, min(4, len(live)) + 1)
+            victims = [live.pop(rng.randrange(len(live)))
+                       for _ in range(count)]
+            ops.append({"op": "load", "relation": "edge",
+                        "mode": "delete",
+                        "rows": [["v%d" % a, "v%d" % b]
+                                 for a, b in victims]})
         if rng.random() < 0.25:
             ops.append({"op": "checkpoint"})
     return ops
@@ -89,6 +110,79 @@ def make_schedule(rng, num_loads=24):
 
 class Crashed(Exception):
     """The server went away mid-conversation."""
+
+
+class Subscriber:
+    """A second connection holding a live subscription on QUERIES[0].
+
+    Takes the baseline answer with a plain query, subscribes, then a
+    reader thread folds every pushed delta into `tuples`. Both requests
+    run while the schedule driver is blocked, so no mutation can slip
+    between baseline and registration.
+    """
+
+    def __init__(self, sock_path):
+        s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        s.settimeout(60.0)
+        s.connect(sock_path)
+        self.sock = s
+        self.file = s.makefile("rw", encoding="utf-8", newline="\n")
+        self.lock = threading.Lock()
+        self.dead = False
+        self.deltas = 0
+        lines = self._request({"op": "query", "program": PROGRAM,
+                               "query": QUERIES[0]})
+        assert lines[-1].get("ok"), lines[-1]
+        self.tuples = set(m["tuple"] for m in lines
+                          if m.get("ev") == "result")
+        lines = self._request({"op": "subscribe", "program": PROGRAM,
+                               "query": QUERIES[0]})
+        assert lines[-1].get("ok"), lines[-1]
+        assert lines[-1]["answers"] == len(self.tuples), lines[-1]
+        self.thread = threading.Thread(target=self._pump, daemon=True)
+        self.thread.start()
+
+    def _request(self, obj):
+        obj = dict(obj)
+        obj.setdefault("id", 1)
+        try:
+            self.file.write(json.dumps(obj) + "\n")
+            self.file.flush()
+            lines = []
+            for line in self.file:
+                msg = json.loads(line)
+                lines.append(msg)
+                if msg.get("ev") in ("done", "error"):
+                    return lines
+            raise Crashed()
+        except (OSError, ValueError):
+            raise Crashed()
+
+    def _pump(self):
+        try:
+            for line in self.file:
+                msg = json.loads(line)
+                ev = msg.get("ev")
+                if ev == "delta":
+                    with self.lock:
+                        self.deltas += 1
+                        self.tuples |= set(msg.get("tuples", []))
+                        self.tuples -= set(msg.get("retracted", []))
+                elif ev == "dropped":
+                    break
+        except (OSError, ValueError):
+            pass
+        self.dead = True
+
+    def snapshot(self):
+        with self.lock:
+            return set(self.tuples)
+
+    def close(self):
+        try:
+            self.sock.close()
+        except OSError:
+            pass
 
 
 class Server:
@@ -274,6 +368,7 @@ def run_trial(binary, fsync, schedule, tmp, trial, rng, verbose):
         assert server.exit_code == 42, (server.exit_code, server.stderr)
         server = Server(binary, data_dir, fsync)
         assert server.wait_ready(), server.stderr
+    subscriber = Subscriber(server.sock_path)
 
     timer = None
     crashes = 0
@@ -300,12 +395,14 @@ def run_trial(binary, fsync, schedule, tmp, trial, rng, verbose):
                 timer.cancel()
                 timer = None
             server.kill()
+            subscriber.close()
             if rng.random() < 0.5:
                 inject_torn_tail(data_dir, rng)
             # Restart WITHOUT the crash failpoint and retry everything
             # unacknowledged (idempotent: distinct tuples per batch).
             server = Server(binary, data_dir, fsync)
             assert server.wait_ready(), getattr(server, "stderr", "")
+            subscriber = Subscriber(server.sock_path)
     if timer:
         timer.cancel()
         # The kill may have landed between the last ack and here; make
@@ -314,10 +411,26 @@ def run_trial(binary, fsync, schedule, tmp, trial, rng, verbose):
             server.request({"op": "ping"})
         except Crashed:
             server.kill()
+            subscriber.close()
             server = Server(binary, data_dir, fsync)
             assert server.wait_ready(), getattr(server, "stderr", "")
+            subscriber = Subscriber(server.sock_path)
 
     outcome = run_queries(server)
+    # The notify sweep runs on the mutator's thread after its ack, so the
+    # last delta may still be in flight; give it a (sanitizer-sized)
+    # grace window to land before comparing.
+    expected = set(outcome[QUERIES[0]])
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if subscriber.dead or subscriber.snapshot() == expected:
+            break
+        time.sleep(0.02)
+    assert not subscriber.dead, "subscription died with the server up"
+    assert subscriber.snapshot() == expected, (
+        "subscriber diverged: %r vs %r" %
+        (sorted(subscriber.snapshot()), sorted(expected)))
+    subscriber.close()
     server.shutdown()
 
     # The durability claim, part 2: a clean restart reproduces the same
@@ -327,8 +440,9 @@ def run_trial(binary, fsync, schedule, tmp, trial, rng, verbose):
     reopened = run_queries(server)
     server.shutdown()
     if verbose:
-        print("  trial %2d: %-40s crashes=%d gen=%d" %
-              (trial, detail, crashes, outcome["generation"]))
+        print("  trial %2d: %-40s crashes=%d gen=%d deltas=%d" %
+              (trial, detail, crashes, outcome["generation"],
+               subscriber.deltas))
     return outcome, reopened, detail, crashes
 
 
@@ -386,6 +500,9 @@ def main():
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--fsync", default="always",
                         choices=["always", "batch", "off"])
+    parser.add_argument("--delete-ratio", type=float, default=0.25,
+                        help="probability of a delete op after each load "
+                             "(0 restores the insert-only workload)")
     parser.add_argument("--keep", action="store_true",
                         help="keep the scratch directory")
     parser.add_argument("-q", "--quiet", action="store_true")
@@ -398,11 +515,14 @@ def main():
     verbose = not args.quiet
 
     master = random.Random(args.seed)
-    schedule = make_schedule(master)
-    loads = sum(1 for op in schedule if op["op"] == "load")
-    print("crash_recovery: %d trials, schedule of %d ops (%d loads), "
-          "fsync=%s, seed=%d" %
-          (args.trials, len(schedule), loads, args.fsync, args.seed))
+    schedule = make_schedule(master, delete_ratio=args.delete_ratio)
+    loads = sum(1 for op in schedule
+                if op["op"] == "load" and op.get("mode") != "delete")
+    deletes = sum(1 for op in schedule if op.get("mode") == "delete")
+    print("crash_recovery: %d trials, schedule of %d ops (%d loads, "
+          "%d deletes), fsync=%s, seed=%d" %
+          (args.trials, len(schedule), loads, deletes, args.fsync,
+           args.seed))
 
     tmp = tempfile.mkdtemp(prefix="seprec_crash_")
     failures = 0

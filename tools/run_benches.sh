@@ -19,6 +19,7 @@ BENCHES=(
   fig_example11
   fig_example12
   fig_schema_instantiation
+  micro_dred
   micro_opt
   micro_plan
   micro_server

@@ -12,10 +12,25 @@ Usage:
       [--no-cache] [--stats] [--parallel N]
       [--timeout-ms N] [--max-tuples N] [--max-bytes N]
       [--max-iterations N]
+      [--load REL=FILE.tsv]... [--load-mode insert|delete]
+      [--subscribe [--expect-deltas N] [--delta-timeout SECONDS]]
 
 With --parallel N the same request is fired over N concurrent
 connections; the rendered outputs must be bit-identical (exit 1 when any
 pair differs — the concurrency smoke check) and the first is printed.
+
+With --load REL=FILE.tsv (repeatable) each file's rows are sent as one
+"load" op before anything else; --load-mode delete turns them into
+deletions. With --load alone (no --query/--subscribe) the tool exits
+after the loads.
+
+With --subscribe the query is registered as a server-side subscription:
+the baseline is printed as "%% subscribed S with N answer(s)" and every
+pushed delta as one "+tuple" / "-tuple" line per (newly derived /
+retracted) tuple. --expect-deltas N exits 0 after the N-th delta event;
+without it the stream runs until the server closes the connection. A
+"dropped" push or --delta-timeout expiring exits 1 (the CI streaming
+smoke relies on both).
 
 Exit codes mirror the CLI: 0 success, 1 failure (or parallel mismatch),
 2 usage, 3 partial result / resource limit.
@@ -44,6 +59,91 @@ def build_request(args):
     if limits:
         req["limits"] = limits
     return req
+
+
+def parse_tsv_rows(path):
+    rows = []
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            rows.append(line.split("\t"))
+    return rows
+
+
+def run_loads(sock_path, loads, mode):
+    """Sends one load op per REL=FILE spec over a single connection."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as s:
+        s.connect(sock_path)
+        f = s.makefile("rw", encoding="utf-8", newline="\n")
+        for i, (relation, path) in enumerate(loads):
+            req = {"op": "load", "id": i + 1, "relation": relation,
+                   "rows": parse_tsv_rows(path)}
+            if mode != "insert":
+                req["mode"] = mode
+            f.write(json.dumps(req) + "\n")
+            f.flush()
+            msg = json.loads(f.readline())
+            if msg.get("ev") == "error":
+                sys.stderr.write("seprec_client: load %s: [%s] %s\n"
+                                 % (relation, msg.get("code", "?"),
+                                    msg.get("message", "")))
+                return 1
+            sys.stdout.write("%% loaded %s: changed=%d generation=%d\n"
+                             % (relation, msg.get("changed", 0),
+                                msg.get("generation", 0)))
+            sys.stdout.flush()
+    return 0
+
+
+def run_subscribe(sock_path, request, expect_deltas, delta_timeout):
+    request = dict(request)
+    request["op"] = "subscribe"
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as s:
+        s.connect(sock_path)
+        s.settimeout(delta_timeout)
+        f = s.makefile("rw", encoding="utf-8", newline="\n")
+        f.write(json.dumps(request) + "\n")
+        f.flush()
+        try:
+            ack = json.loads(f.readline())
+        except socket.timeout:
+            sys.stderr.write("seprec_client: subscribe ack timed out\n")
+            return 1
+        if ack.get("ev") == "error":
+            sys.stderr.write("seprec_client: [%s] %s\n"
+                             % (ack.get("code", "?"),
+                                ack.get("message", "")))
+            return 1
+        sys.stdout.write("%% subscribed %d with %d answer(s)\n"
+                         % (ack["subscription"], ack["answers"]))
+        sys.stdout.flush()
+        deltas = 0
+        while expect_deltas is None or deltas < expect_deltas:
+            try:
+                line = f.readline()
+            except socket.timeout:
+                sys.stderr.write("seprec_client: no delta within %gs\n"
+                                 % delta_timeout)
+                return 1
+            if not line:
+                # Server closed: fine without a target, a failure with one.
+                return 0 if expect_deltas is None else 1
+            msg = json.loads(line)
+            ev = msg.get("ev")
+            if ev == "delta":
+                deltas += 1
+                for t in msg.get("tuples", []):
+                    sys.stdout.write("+%s\n" % t)
+                for t in msg.get("retracted", []):
+                    sys.stdout.write("-%s\n" % t)
+                sys.stdout.flush()
+            elif ev == "dropped":
+                sys.stderr.write("seprec_client: subscription dropped: %s\n"
+                                 % msg.get("reason", ""))
+                return 1
+    return 0
 
 
 def run_request(sock_path, request, want_stats):
@@ -103,9 +203,30 @@ def main():
     ap.add_argument("--max-tuples", type=int, dest="max_tuples")
     ap.add_argument("--max-bytes", type=int, dest="max_bytes")
     ap.add_argument("--max-iterations", type=int, dest="max_iterations")
+    ap.add_argument("--load", action="append", default=[],
+                    metavar="REL=FILE.tsv",
+                    help="send a load op for FILE's rows before the query")
+    ap.add_argument("--load-mode", default="insert",
+                    choices=["insert", "delete"])
+    ap.add_argument("--subscribe", action="store_true",
+                    help="register the query as a subscription and "
+                         "stream its delta events")
+    ap.add_argument("--expect-deltas", type=int, default=None,
+                    help="with --subscribe: exit 0 after N delta events")
+    ap.add_argument("--delta-timeout", type=float, default=30.0,
+                    help="with --subscribe: max seconds to wait for the "
+                         "next event before exiting 1")
     args = ap.parse_args()
     if args.parallel < 1:
         ap.error("--parallel must be >= 1")
+    if args.subscribe and args.parallel != 1:
+        ap.error("--subscribe does not combine with --parallel")
+    loads = []
+    for spec in args.load:
+        relation, sep, path = spec.partition("=")
+        if not sep or not relation or not path:
+            ap.error("--load wants REL=FILE.tsv, got '%s'" % spec)
+        loads.append((relation, path))
 
     try:
         with open(args.program, encoding="utf-8") as f:
@@ -116,6 +237,25 @@ def main():
         return 2
 
     request = build_request(args)
+
+    if loads:
+        try:
+            code = run_loads(args.socket, loads, args.load_mode)
+        except OSError as e:
+            sys.stderr.write("seprec_client: load failed: %s\n" % e)
+            return 1
+        if code or (not args.query and not args.subscribe):
+            return code
+
+    if args.subscribe:
+        if not args.query:
+            ap.error("--subscribe needs --query")
+        try:
+            return run_subscribe(args.socket, request, args.expect_deltas,
+                                 args.delta_timeout)
+        except OSError as e:
+            sys.stderr.write("seprec_client: %s\n" % e)
+            return 1
 
     if args.parallel == 1:
         text, code = run_request(args.socket, request, args.stats)

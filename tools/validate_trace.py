@@ -4,12 +4,13 @@
 Usage: tools/validate_trace.py trace.jsonl [--require-engine NAME]...
 
 Checks, per line: parses as a JSON object, carries the envelope fields
-(v in {1, 2, 3}, monotonically increasing seq, non-decreasing numeric t,
-known ev), and carries exactly the fields its event kind requires with the
-right JSON types. The "pass" event (static-analysis pipeline verdicts) was
-added in schema v2 and the "plan" event (cost-based join orders) in v3; a
-line claiming an older version than its event's introduction is a
-violation. With --require-engine the file must additionally contain an
+(v in {1, 2, 3, 4}, monotonically increasing seq, non-decreasing numeric
+t, known ev), and carries exactly the fields its event kind requires with
+the right JSON types. The "pass" event (static-analysis pipeline verdicts)
+was added in schema v2, the "plan" event (cost-based join orders) in v3,
+and the "delta" and "subscription" events (incremental closure maintenance
+and server-side subscriptions) in v4; a line claiming an older version
+than its event's introduction is a violation. With --require-engine the file must additionally contain an
 engine_start, an engine_finish, and at least one round_end for that engine
 (the CI smoke query uses this to prove the traced path actually ran).
 
@@ -44,13 +45,16 @@ EVENT_FIELDS = {
     "pass": {"pass": str, "verdict": str, "detail": str},
     "plan": {"engine": str, "phase": str, "rule": str, "mode": str,
              "order": str, "cost": (int, float), "est_rows": int},
+    "delta": {"phase": str, "detail": str, "delta": int, "inserted": int,
+              "emitted": int, "seconds": (int, float)},
+    "subscription": {"cause": str, "detail": str, "delta": int},
     "note": {"detail": str},
 }
 
-KNOWN_VERSIONS = (1, 2, 3)
+KNOWN_VERSIONS = (1, 2, 3, 4)
 
 # ev -> version that introduced it (events absent here are v1).
-MIN_VERSION = {"pass": 2, "plan": 3}
+MIN_VERSION = {"pass": 2, "plan": 3, "delta": 4, "subscription": 4}
 
 
 def check_fields(obj, spec, lineno, errors):

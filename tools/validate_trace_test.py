@@ -5,8 +5,9 @@ Each test materialises a trace file in a temp dir and runs
 validate_trace.main() with patched argv, asserting on the exit code. The
 versioning cases are the contract this suite pins down: v1 files stay
 valid (back-compat), v2 files may carry "pass" events, v3 files may carry
-"plan" events, and a line claiming an event from a newer schema than its
-own version is a violation.
+"plan" events, v4 files may carry "delta" and "subscription" events, and a
+line claiming an event from a newer schema than its own version is a
+violation.
 """
 
 import importlib.util
@@ -49,6 +50,16 @@ def plan_event(seq, v=3):
                 phase="compile/base",
                 rule="tc(X, Y) :- edge(X, W), tc(W, Y).", mode="cbo",
                 order="1,0", cost=12.5, est_rows=3)
+
+
+def delta_event(seq, v=4):
+    return dict(envelope(seq, "delta", v=v), phase="delete", detail="edge",
+                delta=2, inserted=1, emitted=0, seconds=0.001)
+
+
+def subscription_event(seq, v=4, cause="notify"):
+    return dict(envelope(seq, "subscription", v=v), cause=cause,
+                detail="sub1 tc(a, X)", delta=3)
 
 
 class ValidateTraceTest(unittest.TestCase):
@@ -106,7 +117,34 @@ class ValidateTraceTest(unittest.TestCase):
         self.assertEqual(self.run_validate(), 1)
 
     def test_unknown_version_rejected(self):
-        self.write_trace(engine_pair(v=4))
+        self.write_trace(engine_pair(v=5))
+        self.assertEqual(self.run_validate(), 1)
+
+    def test_v4_delta_and_subscription_events_valid(self):
+        events = [delta_event(0), subscription_event(1)] + \
+            engine_pair(v=4, seq0=2)
+        self.write_trace(events)
+        self.assertEqual(self.run_validate(), 0)
+
+    def test_v3_delta_event_rejected(self):
+        events = [delta_event(0, v=3)] + engine_pair(v=3, seq0=1)
+        self.write_trace(events)
+        self.assertEqual(self.run_validate(), 1)
+
+    def test_v3_subscription_event_rejected(self):
+        events = [subscription_event(0, v=3)] + engine_pair(v=3, seq0=1)
+        self.write_trace(events)
+        self.assertEqual(self.run_validate(), 1)
+
+    def test_delta_event_bad_inserted_type_rejected(self):
+        bad = dict(delta_event(0), inserted="one")
+        self.write_trace([bad] + engine_pair(v=4, seq0=1))
+        self.assertEqual(self.run_validate(), 1)
+
+    def test_subscription_event_missing_cause_rejected(self):
+        bad = subscription_event(0)
+        del bad["cause"]
+        self.write_trace([bad] + engine_pair(v=4, seq0=1))
         self.assertEqual(self.run_validate(), 1)
 
     def test_pass_event_missing_verdict_rejected(self):
