@@ -534,11 +534,22 @@ StatusOr<PreparedQuery> QueryProcessor::Prepare(
       if (positive == 0) continue;
       PlannedBody planned =
           PlanJoinOrder(rule, relations, &db->stats(),
-                        JoinOrderMode::kCostBased, /*indexed=*/true);
+                        JoinOrderMode::kCostBased, /*indexed=*/true,
+                        /*allow_merge=*/true);
       PlanNote note;
       note.rule = rule.ToString();
       note.order = planned.OrderString();
       note.mode = planned.mode;
+      note.algo = planned.algo;
+      // Per-atom statistics provenance: which relations were costed from
+      // exact aggregated-segment counts vs a (possibly capped) scan.
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        if (relations[i] == nullptr) continue;
+        RelationStats rs = db->stats().Get(*relations[i]);
+        if (!note.stats.empty()) note.stats += ",";
+        note.stats += StrCat(relations[i]->name(), "=",
+                             StatsSourceName(rs.source));
+      }
       note.cost = planned.cost;
       note.est_rows = static_cast<uint64_t>(planned.est_rows);
       prepared.pass_report_->plans.push_back(std::move(note));

@@ -96,6 +96,10 @@ struct PlanNote {
   std::string rule;   // rule.ToString()
   std::string order;  // "0,2,1" body indices; "" when greedy decides later
   std::string mode;   // "cbo" | "cbo-fallback" | "textual"
+  std::string algo;   // "merge" (leading pair merge-joins) | "hash"
+  std::string stats;  // per-relation statistics source, e.g.
+                      // "edge=exact,cost=sampled" (segment-backed counts
+                      // vs scan/extrapolation — see StatsSourceName)
   double cost = 0.0;
   uint64_t est_rows = 0;
 };

@@ -182,6 +182,7 @@ class FixpointEngine {
       PlanOptions base_opts;
       base_opts.disable_indexes = options_.disable_indexes;
       base_opts.join_order = join_order();
+      base_opts.allow_merge = !options_.no_segments;
       if (rule->aggregate.has_value()) {
         // Aggregate rules run once per stratum (stratification guarantees
         // their bodies are complete); the plan collects (group, value)
@@ -208,6 +209,7 @@ class FixpointEngine {
         PlanOptions opts;
         opts.disable_indexes = options_.disable_indexes;
         opts.join_order = join_order();
+        opts.allow_merge = !options_.no_segments;
         opts.relation_overrides[i] =
             StrCat(kDeltaPrefix, lit.atom.predicate);
         SEPREC_ASSIGN_OR_RETURN(RulePlan delta,
@@ -220,6 +222,7 @@ class FixpointEngine {
           PlanOptions part_opts;
           part_opts.disable_indexes = options_.disable_indexes;
           part_opts.join_order = join_order();
+          part_opts.allow_merge = !options_.no_segments;
           part_opts.relation_overrides[i] = PartName(k, lit.atom.predicate);
           SEPREC_ASSIGN_OR_RETURN(RulePlan part,
                                   RulePlan::Compile(*rule, db_, part_opts));
@@ -249,6 +252,7 @@ class FixpointEngine {
     e.rule = plan.rule().ToString();
     e.cause = info.mode;            // serialized as "mode"
     e.detail = info.OrderString();  // serialized as "order"
+    e.algo = info.algo;
     e.cost = info.cost;
     e.est_rows = static_cast<uint64_t>(info.est_rows);
     trace_->Emit(e);

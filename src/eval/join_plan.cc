@@ -94,7 +94,9 @@ StatusOr<RulePlan> RulePlan::Compile(const Rule& rule, Database* db,
                                       ? nullptr
                                       : &db->stats(),
                                   options.join_order,
-                                  !options.disable_indexes);
+                                  !options.disable_indexes,
+                                  options.allow_merge &&
+                                      !options.disable_indexes);
   const std::vector<size_t>& forced_order = plan.plan_info_.atom_order;
   size_t forced_cursor = 0;
 
@@ -183,6 +185,86 @@ StatusOr<RulePlan> RulePlan::Compile(const Rule& rule, Database* db,
     return false;
   };
 
+  // Re-verifies the planner's merge-join nomination against the actual
+  // rule shape and, on success, emits one kMergeJoin step consuming the
+  // first two atoms of the forced order. The planner only nominates pairs
+  // of ordered atoms whose arguments are all distinct variables, none
+  // bound before the first scan, joined exactly on a shared leading
+  // prefix; this re-checks every one of those properties so a stale or
+  // inconsistent verdict degrades to the hash pipeline instead of
+  // compiling a wrong plan.
+  auto emit_merge_join = [&]() -> bool {
+    if (forced_order.size() < 2) return false;
+    size_t a = forced_order[0];
+    size_t b = forced_order[1];
+    size_t k = plan.plan_info_.merge_prefix;
+    if (a == b || a >= rule.body.size() || b >= rule.body.size()) {
+      return false;
+    }
+    if (!rule.body[a].IsPositiveAtom() || !rule.body[b].IsPositiveAtom()) {
+      return false;
+    }
+    const Atom& atom_a = rule.body[a].atom;
+    const Atom& atom_b = rule.body[b].atom;
+    if (k == 0 || k > atom_a.args.size() || k > atom_b.args.size()) {
+      return false;
+    }
+    auto distinct_unbound_vars = [&](const Atom& atom) {
+      std::set<std::string> seen;
+      for (const Term& t : atom.args) {
+        if (!t.IsVar() || slot_of.count(t.name) > 0 ||
+            !seen.insert(t.name).second) {
+          return false;
+        }
+      }
+      return true;
+    };
+    if (!distinct_unbound_vars(atom_a) || !distinct_unbound_vars(atom_b)) {
+      return false;
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (atom_a.args[c].name != atom_b.args[c].name) return false;
+    }
+    // Shared variables must be exactly the key prefix: since each atom's
+    // arguments are distinct and the prefixes are identical, it suffices
+    // that no tail variable of `a` occurs anywhere in `b`.
+    std::set<std::string> b_vars;
+    for (const Term& t : atom_b.args) b_vars.insert(t.name);
+    for (size_t c = k; c < atom_a.args.size(); ++c) {
+      if (b_vars.count(atom_a.args[c].name) > 0) return false;
+    }
+
+    Step step;
+    step.kind = Step::Kind::kMergeJoin;
+    step.relation = relations[a];
+    step.display_name = relations[a]->name();
+    step.merge_right = relations[b];
+    step.merge_right_name = relations[b]->name();
+    step.merge_key_len = k;
+    step.slot_comment =
+        StrCat(atom_a.ToString(), " with ", atom_b.ToString());
+    for (size_t c = 0; c < atom_a.args.size(); ++c) {
+      Step::RowAction action;
+      action.col = static_cast<uint32_t>(c);
+      action.kind = Step::RowAction::Kind::kBind;
+      action.slot = slot_for(atom_a.args[c].name);
+      step.actions.push_back(action);
+    }
+    // Key columns are shared with the left atom, so only the right tail
+    // binds new variables.
+    for (size_t c = k; c < atom_b.args.size(); ++c) {
+      Step::RowAction action;
+      action.col = static_cast<uint32_t>(c);
+      action.kind = Step::RowAction::Kind::kBind;
+      action.slot = slot_for(atom_b.args[c].name);
+      step.merge_right_actions.push_back(action);
+    }
+    plan.scanned_.push_back(relations[a]);
+    plan.scanned_.push_back(relations[b]);
+    plan.steps_.push_back(std::move(step));
+    return true;
+  };
+
   while (num_scheduled < rule.body.size()) {
     // 1) Schedule every ready built-in (in source order).
     bool progressed = true;
@@ -200,6 +282,21 @@ StatusOr<RulePlan> RulePlan::Compile(const Rule& rule, Database* db,
       }
     }
     if (num_scheduled == rule.body.size()) break;
+
+    // 2a) Leading merge join: when the DP chose one, it joins the first
+    //     two atoms of the forced order before anything else binds their
+    //     variables. Verification failure falls back to hash scans.
+    if (forced_cursor == 0 && plan.plan_info_.algo == "merge") {
+      if (emit_merge_join()) {
+        scheduled[forced_order[0]] = true;
+        scheduled[forced_order[1]] = true;
+        num_scheduled += 2;
+        forced_cursor = 2;
+        continue;
+      }
+      plan.plan_info_.algo = "hash";
+      plan.plan_info_.merge_prefix = 0;
+    }
 
     // 2) Next relational literal: the planner's choice when one is
     //    queued, otherwise the greedy pick (most bound argument
@@ -497,6 +594,89 @@ void RulePlan::RunStep(size_t step_index, ExecContext* ctx,
       }
       return;
     }
+    case Step::Kind::kMergeJoin: {
+      const size_t k = step.merge_key_len;
+      SEPREC_CHECK(k > 0 && k <= 64);
+      auto apply = [ctx](Row r, const std::vector<Step::RowAction>& actions) {
+        for (const Step::RowAction& action : actions) {
+          switch (action.kind) {
+            case Step::RowAction::Kind::kBind:
+              ctx->slots[action.slot] = r[action.col];
+              break;
+            case Step::RowAction::Kind::kCheckSlot:
+              if (r[action.col] != ctx->slots[action.slot]) return false;
+              break;
+            case Step::RowAction::Kind::kCheckConst:
+              if (r[action.col] != action.constant) return false;
+              break;
+          }
+        }
+        return true;
+      };
+      // Canonical segment order is raw-bits lexicographic, matching
+      // OrderedCursor; keys compare by bits, never by Value semantics.
+      auto key_cmp = [k](Row a, Row b) {
+        for (size_t i = 0; i < k; ++i) {
+          uint64_t x = a[i].bits();
+          uint64_t y = b[i].bits();
+          if (x != y) return x < y ? -1 : 1;
+        }
+        return 0;
+      };
+      Value key[64];
+      auto matches_key = [&key, k](Row r) {
+        for (size_t i = 0; i < k; ++i) {
+          if (r[i] != key[i]) return false;
+        }
+        return true;
+      };
+      const size_t rarity = step.merge_right->arity();
+      std::vector<Value> right_buf;
+      OrderedCursor left(step.relation);
+      OrderedCursor right(step.merge_right);
+      while (!left.AtEnd() && !right.AtEnd()) {
+        int cmp = key_cmp(left.Current(), right.Current());
+        if (cmp < 0) {
+          ++ctx->probes;
+          left.Next();
+          continue;
+        }
+        if (cmp > 0) {
+          ++ctx->probes;
+          right.Next();
+          continue;
+        }
+        // Key group: buffer the right side (typically the smaller fan-out)
+        // then stream the left side against it.
+        {
+          Row l = left.Current();
+          for (size_t i = 0; i < k; ++i) key[i] = l[i];
+        }
+        right_buf.clear();
+        while (!right.AtEnd()) {
+          Row r = right.Current();
+          if (!matches_key(r)) break;
+          ++ctx->probes;
+          right_buf.insert(right_buf.end(), r.data(), r.data() + rarity);
+          right.Next();
+        }
+        while (!left.AtEnd()) {
+          Row l = left.Current();
+          if (!matches_key(l)) break;
+          ++ctx->probes;
+          if (apply(l, step.actions)) {
+            for (size_t off = 0; off < right_buf.size(); off += rarity) {
+              Row r(right_buf.data() + off, rarity);
+              if (apply(r, step.merge_right_actions)) {
+                RunStep(step_index + 1, ctx, sink);
+              }
+            }
+          }
+          left.Next();
+        }
+      }
+      return;
+    }
     case Step::Kind::kCompare: {
       if (EvalCompare(step.cmp_op, resolve(step.lhs), resolve(step.rhs))) {
         RunStep(step_index + 1, ctx, sink);
@@ -584,6 +764,12 @@ std::string RulePlan::DebugString() const {
         out += ")\n";
         break;
       }
+      case Step::Kind::kMergeJoin:
+        out += StrCat("  merge-join ", step.display_name, " with ",
+                      step.merge_right_name, " on ",
+                      static_cast<uint64_t>(step.merge_key_len),
+                      " key col(s) [", step.slot_comment, "]\n");
+        break;
       case Step::Kind::kCompare:
         out += StrCat("  filter ", step.slot_comment, "\n");
         break;

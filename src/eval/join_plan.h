@@ -40,6 +40,11 @@ struct PlanOptions {
   // default runs the DP planner against the database's StatsCatalog;
   // kTextual is the --no-cbo ablation.
   JoinOrderMode join_order = JoinOrderMode::kCostBased;
+
+  // Let the planner choose a merge join over ordered (segment-backed)
+  // relations; false is the --no-segments ablation, which forces the
+  // pure hash pipeline.
+  bool allow_merge = true;
 };
 
 // Work counters for plan executions, accumulated (+=) so one object can
@@ -116,7 +121,7 @@ class RulePlan {
 
  private:
   struct Step {
-    enum class Kind { kScan, kCompare, kBindEq, kAssign };
+    enum class Kind { kScan, kCompare, kBindEq, kAssign, kMergeJoin };
     Kind kind = Kind::kScan;
 
     // kScan ---------------------------------------------------------------
@@ -135,6 +140,17 @@ class RulePlan {
       Value constant;      // kCheckConst
     };
     std::vector<RowAction> actions;
+
+    // kMergeJoin ----------------------------------------------------------
+    // Joins `relation` (left) with `merge_right` on the first
+    // `merge_key_len` columns of each, walking both in canonical raw-bits
+    // order via OrderedCursor. `actions` binds/checks left columns;
+    // `merge_right_actions` binds/checks right columns >= merge_key_len
+    // (the key columns are shared, so the left bindings cover them).
+    const Relation* merge_right = nullptr;
+    std::string merge_right_name;
+    size_t merge_key_len = 0;
+    std::vector<RowAction> merge_right_actions;
 
     // kCompare ------------------------------------------------------------
     CmpOp cmp_op = CmpOp::kEq;

@@ -187,6 +187,7 @@ void JsonTraceSink::Emit(const TraceEvent& e) {
       AppendStr(&line, "rule", e.rule);
       AppendStr(&line, "mode", e.cause);
       AppendStr(&line, "order", e.detail);
+      AppendStr(&line, "algo", e.algo.empty() ? "hash" : e.algo);
       AppendSeconds(&line, "cost", e.cost);
       AppendNum(&line, "est_rows", e.est_rows);
       break;

@@ -32,7 +32,9 @@
 //                  "greedy"/"textual"), order (comma-joined body indices
 //                  of the positive atoms in scan order), cost (estimated
 //                  row visits), est_rows (estimated output bindings) —
-//                  schema v3+
+//                  schema v3+; algo ("merge" when the leading atom pair
+//                  merge-joins on ordered segments, else "hash") —
+//                  schema v5+
 //   delta          phase ("insert"/"delete"), detail (relation), delta
 //                  (rows that actually changed the relation), inserted
 //                  (cached closures patched in place), emitted (cached
@@ -93,6 +95,7 @@ struct TraceEvent {
                        // planner mode (kPlan)
   std::string detail;  // free-form context (kGovernorTrip, kNote); atom
                        // order (kPlan)
+  std::string algo;    // kPlan: "hash" | "merge" (leading-pair join)
   uint64_t round = 0;
   uint64_t emitted = 0;         // head tuples produced, duplicates included
   uint64_t inserted = 0;        // tuples new in the target relation
@@ -130,11 +133,12 @@ class JsonTraceSink : public TraceSink {
   void Emit(const TraceEvent& event) override;
 
   // v2 added the "pass" event (static-analysis pipeline verdicts); v3
-  // added the "plan" event (cost-based planner verdicts); v4 adds the
+  // added the "plan" event (cost-based planner verdicts); v4 added the
   // "delta" and "subscription" events (incremental maintenance and the
-  // server's streaming subscriptions). Every v1/v2/v3 event serialises
-  // identically under v4.
-  static constexpr int kSchemaVersion = 4;
+  // server's streaming subscriptions); v5 adds the "algo" field to
+  // "plan" events (merge-join vs hash-join choice). Every earlier event
+  // serialises identically under v5.
+  static constexpr int kSchemaVersion = 5;
 
  private:
   std::ostream* out_;

@@ -30,4 +30,11 @@ double CostModel::ScanCost(const RelationStats& stats,
          (kProbeCost + EstimateMatches(stats, bound_cols));
 }
 
+double CostModel::MergeJoinCost(const RelationStats& left,
+                                const RelationStats& right,
+                                double out_card) {
+  return kMergeRowCost * (EffectiveRows(left) + EffectiveRows(right)) +
+         out_card;
+}
+
 }  // namespace seprec

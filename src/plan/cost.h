@@ -49,6 +49,17 @@ struct CostModel {
   static double ScanCost(const RelationStats& stats,
                          const std::vector<uint32_t>& bound_cols,
                          double incoming_cardinality, bool indexed);
+
+  // Per-row cost of a sequential ordered scan, relative to the row-visit
+  // unit above. Cheaper than 1.0: merge inputs stream straight out of
+  // decoded segment pages with no hashing, no probe, no index build.
+  static constexpr double kMergeRowCost = 0.5;
+
+  // Cost of merge-joining two ordered relations on a shared key prefix:
+  // one sequential pass over each input plus the emitted bindings. Only
+  // valid when both inputs are ordered (RelationStats::ordered).
+  static double MergeJoinCost(const RelationStats& left,
+                              const RelationStats& right, double out_card);
 };
 
 }  // namespace seprec

@@ -153,25 +153,70 @@ struct Cand {
   std::vector<uint8_t> order;  // positions into model.atoms
   double cost = 0.0;
   double card = 1.0;
+  // Interesting-order tracking (RDF-3X keeps ordered plans alive the same
+  // way): true when this plan's leading pair is a merge join, so its
+  // output streams in key order. `merge_prefix` is the shared-prefix
+  // length; both survive extension since later atoms only hash-probe.
+  bool merged = false;
+  size_t merge_prefix = 0;
 };
 
 // RDF-3X-style dominance insertion: keep `p` only if no existing plan is
-// at least as good on both cost and cardinality; evict plans `p`
-// dominates. Ties go to the incumbent, which makes the winner independent
-// of floating-point noise-free insertion order (itself deterministic).
+// at least as good on both cost and cardinality — and, the interesting-
+// order rule, an unordered plan never evicts an ordered one (a merged
+// plan's streaming output is a property cost and cardinality don't see).
+// Ties go to the incumbent, which makes the winner independent of
+// floating-point noise-free insertion order (itself deterministic).
 void AddPlan(std::vector<Cand>* list, Cand p) {
   for (const Cand& q : *list) {
-    if (q.cost <= p.cost && q.card <= p.card) return;
+    if (q.cost <= p.cost && q.card <= p.card && (q.merged || !p.merged)) {
+      return;
+    }
   }
   list->erase(std::remove_if(list->begin(), list->end(),
                              [&p](const Cand& q) {
-                               return p.cost <= q.cost && p.card <= q.card;
+                               return p.cost <= q.cost && p.card <= q.card &&
+                                      (p.merged || !q.merged);
                              }),
               list->end());
   list->push_back(std::move(p));
 }
 
-PlannedBody RunDp(const BodyModel& model, const Rule& rule, bool indexed) {
+// Longest usable merge prefix of two positive atoms (positions pa, pb
+// into model.atoms), or 0 when they cannot merge-join: every argument of
+// both atoms must be a variable, distinct within its atom; the leading k
+// arguments must be the same variable sequence in the same order; and no
+// variable may be shared outside that prefix (a cross-column equality
+// would need a post-filter the merge operator does not apply).
+size_t MergePrefix(const BodyModel& model, const Rule& rule, size_t pa,
+                   size_t pb) {
+  const Atom& a = rule.body[model.atoms[pa]].atom;
+  const Atom& b = rule.body[model.atoms[pb]].atom;
+  auto all_distinct_vars = [](const Atom& atom) {
+    std::set<std::string> seen;
+    for (const Term& t : atom.args) {
+      if (!t.IsVar() || !seen.insert(t.name).second) return false;
+    }
+    return true;
+  };
+  if (a.args.empty() || b.args.empty()) return 0;
+  if (!all_distinct_vars(a) || !all_distinct_vars(b)) return 0;
+  size_t k = 0;
+  while (k < a.args.size() && k < b.args.size() &&
+         a.args[k].name == b.args[k].name) {
+    ++k;
+  }
+  if (k == 0) return 0;
+  std::set<std::string> a_vars;
+  for (const Term& t : a.args) a_vars.insert(t.name);
+  for (size_t i = k; i < b.args.size(); ++i) {
+    if (a_vars.count(b.args[i].name) != 0) return 0;
+  }
+  return k;
+}
+
+PlannedBody RunDp(const BodyModel& model, const Rule& rule, bool indexed,
+                  bool allow_merge) {
   const size_t n = model.atoms.size();
   const size_t full = (size_t{1} << n) - 1;
 
@@ -187,6 +232,42 @@ PlannedBody RunDp(const BodyModel& model, const Rule& rule, bool indexed) {
 
   std::vector<std::vector<Cand>> table(full + 1);
   table[0].push_back(Cand{});
+
+  // Seed merge-join candidates for every eligible leading pair. A merge
+  // join only runs as the plan's first step (its cursors scan whole
+  // relations; incoming bindings would be ignored), so the pair's
+  // variables must not be pre-bound by built-ins, and both inputs must be
+  // ordered — i.e. segment-backed. The DP then extends these two-atom
+  // plans like any other; dominance keeps them alive as the "ordered"
+  // interesting-order property even when a hash plan is cheaper.
+  if (allow_merge) {
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        if (!model.atom_stats[i].ordered || !model.atom_stats[j].ordered) {
+          continue;
+        }
+        if ((bound_of[0] &
+             (model.atom_vars[i] | model.atom_vars[j])) != 0) {
+          continue;
+        }
+        const size_t k = MergePrefix(model, rule, i, j);
+        if (k == 0) continue;
+        std::vector<uint32_t> key_cols(k);
+        for (size_t c = 0; c < k; ++c) key_cols[c] = static_cast<uint32_t>(c);
+        Cand cand;
+        cand.order = {static_cast<uint8_t>(i), static_cast<uint8_t>(j)};
+        cand.card = CostModel::EffectiveRows(model.atom_stats[i]) *
+                    CostModel::EstimateMatches(model.atom_stats[j], key_cols);
+        cand.cost = CostModel::MergeJoinCost(model.atom_stats[i],
+                                             model.atom_stats[j], cand.card);
+        cand.merged = true;
+        cand.merge_prefix = k;
+        AddPlan(&table[(size_t{1} << i) | (size_t{1} << j)],
+                std::move(cand));
+      }
+    }
+  }
   for (size_t mask = 0; mask < full; ++mask) {
     if (table[mask].empty()) continue;
     for (size_t pos = 0; pos < n; ++pos) {
@@ -203,6 +284,8 @@ PlannedBody RunDp(const BodyModel& model, const Rule& rule, bool indexed) {
         ext.cost =
             base.cost + CostModel::ScanCost(stats, cols, base.card, indexed);
         ext.card = base.card * matches;
+        ext.merged = base.merged;
+        ext.merge_prefix = base.merge_prefix;
         AddPlan(&table[next], std::move(ext));
       }
     }
@@ -218,6 +301,10 @@ PlannedBody RunDp(const BodyModel& model, const Rule& rule, bool indexed) {
   for (uint8_t pos : best->order) out.atom_order.push_back(model.atoms[pos]);
   out.cost = best->cost;
   out.est_rows = best->card;
+  if (best->merged) {
+    out.algo = "merge";
+    out.merge_prefix = best->merge_prefix;
+  }
   return out;
 }
 
@@ -235,7 +322,7 @@ std::string PlannedBody::OrderString() const {
 PlannedBody PlanJoinOrder(const Rule& rule,
                           const std::vector<const Relation*>& relations,
                           StatsCatalog* stats, JoinOrderMode mode,
-                          bool indexed) {
+                          bool indexed, bool allow_merge) {
   PlannedBody out;
   if (mode == JoinOrderMode::kGreedy) {
     out.mode = "greedy";
@@ -274,7 +361,7 @@ PlannedBody PlanJoinOrder(const Rule& rule,
     out.mode = "cbo-fallback";
     return out;
   }
-  return RunDp(model, rule, indexed);
+  return RunDp(model, rule, indexed, allow_merge);
 }
 
 }  // namespace seprec

@@ -44,6 +44,12 @@ struct PlannedBody {
   double cost = 0.0;      // estimated total row visits + probes
   double est_rows = 0.0;  // estimated bindings after the last scan
   std::string mode;       // "cbo" | "cbo-fallback" | "greedy" | "textual"
+  // Join algorithm for the leading pair of atoms: "merge" when the DP
+  // chose a merge join of atom_order[0] and atom_order[1] on their shared
+  // variable prefix of length `merge_prefix` (both inputs ordered, i.e.
+  // segment-backed); "hash" otherwise. Later atoms always hash-probe.
+  std::string algo = "hash";
+  size_t merge_prefix = 0;
 
   // "0,2,1" for logs/traces; "" when atom_order is empty.
   std::string OrderString() const;
@@ -55,10 +61,12 @@ struct PlannedBody {
 // against the relation they actually scan. `stats` may be null (each
 // relation is then scanned directly, uncached). `indexed` is false under
 // the --disable-indexes ablation, where every scan is a full walk.
+// `allow_merge` lets the DP consider merge joins over ordered
+// (segment-backed) relations; false is the --no-segments ablation.
 PlannedBody PlanJoinOrder(const Rule& rule,
                           const std::vector<const Relation*>& relations,
                           StatsCatalog* stats, JoinOrderMode mode,
-                          bool indexed);
+                          bool indexed, bool allow_merge = false);
 
 inline constexpr size_t kMaxDpAtoms = 12;
 

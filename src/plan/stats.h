@@ -33,7 +33,21 @@ struct RelationStats {
   // rows >= 1; exactly counted up to kSampleCap rows, extrapolated past
   // it). Empty relations report rows == 0 and distinct[c] == 0.
   std::vector<size_t> distinct;
+  // Where the numbers came from, for `analyze --explain-plan`:
+  //   kExact        read off the relation's aggregated segment (build-time
+  //                 counts over every row — no scan, no approximation)
+  //   kSampled      full scan (relation fits under kSampleCap)
+  //   kExtrapolated scan stopped at kSampleCap; distincts are the prefix's
+  enum class Source { kSampled, kExtrapolated, kExact };
+  Source source = Source::kSampled;
+  // True when the relation serves its rows in canonical sorted order
+  // cheaply (base segment attached; the delta above it is small by
+  // construction) — the property merge joins need.
+  bool ordered = false;
 };
+
+// "exact" | "sampled" | "extrapolated", for plan notes and traces.
+const char* StatsSourceName(RelationStats::Source source);
 
 class StatsCatalog {
  public:

@@ -11,6 +11,7 @@
 #include "separable/detection.h"
 #include "separable/engine.h"
 #include "storage/io.h"
+#include "storage/segment/snapshot_v3.h"
 #include "util/hash.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -309,6 +310,7 @@ StatusOr<std::vector<QueryOutcome>> QueryService::Execute(
               pe.rule = pn.rule;
               pe.cause = pn.mode;
               pe.detail = pn.order;
+              pe.algo = pn.algo;
               pe.cost = pn.cost;
               pe.est_rows = pn.est_rows;
               options_.trace->Emit(pe);
@@ -698,6 +700,15 @@ StatusOr<CheckpointInfo> QueryService::CheckpointLocked() {
   }
   SEPREC_ASSIGN_OR_RETURN(CheckpointInfo info,
                           options_.storage->Checkpoint(*db_));
+  if (options_.storage->use_segments()) {
+    // The snapshot just written is the database's exact current contents,
+    // so fold the in-memory delta layers into it: every relation re-bases
+    // onto the fresh mmap-backed segments and the resident heap rows are
+    // released. Compiled plans survive (Relation pointers are stable) and
+    // the generation does not move — the data did not change.
+    SEPREC_RETURN_IF_ERROR(CompactToSnapshotSegments(
+        db_, StrCat(options_.storage->dir(), "/", info.snapshot_file)));
+  }
   if (options_.trace != nullptr) {
     TraceEvent ev;
     ev.kind = TraceEventKind::kSession;

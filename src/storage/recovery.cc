@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "storage/io.h"
+#include "storage/segment/snapshot_v3.h"
 #include "storage/snapshot.h"
 #include "util/crc32c.h"
 #include "util/failpoint.h"
@@ -313,8 +314,14 @@ StatusOr<CheckpointInfo> DurableStorage::Checkpoint(const Database& db) {
   const std::string wal_path = JoinPath(dir_, wal_name);
   const uint64_t retired_bytes = wal_bytes();
 
-  // 1. New snapshot, durably in place under its (not-yet-referenced) name.
-  SEPREC_RETURN_IF_ERROR(SaveSnapshotFile(db, snap_path));
+  // 1. New snapshot, durably in place under its (not-yet-referenced)
+  // name. Segment (v3) files and text (v2) files share the same atomic
+  // write-temp + rename discipline; recovery sniffs the format.
+  if (options_.use_segments) {
+    SEPREC_RETURN_IF_ERROR(SaveSnapshotV3File(db, snap_path));
+  } else {
+    SEPREC_RETURN_IF_ERROR(SaveSnapshotFile(db, snap_path));
+  }
 
   // 2. Fresh WAL for the new epoch. An orphan from an interrupted earlier
   // checkpoint may exist; it is unreferenced garbage, so clear it first.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "storage/segment/segment.h"
 #include "util/failpoint.h"
 
 namespace seprec {
@@ -72,12 +73,15 @@ Relation::~Relation() { SetAccountant(nullptr); }
 
 void Relation::SetAccountant(MemoryAccountant* accountant) {
   if (accountant_ == accountant) return;
-  if (accountant_ != nullptr && num_slots_ > 0) {
-    accountant_->Release(num_slots_ * RowBytes());
+  // Only the heap-resident delta layer is accounted; base-segment rows are
+  // mmap-backed file cache, outside the byte budget by design.
+  const size_t delta_slots = num_slots_ - base_slots_;
+  if (accountant_ != nullptr && delta_slots > 0) {
+    accountant_->Release(delta_slots * RowBytes());
   }
   accountant_ = accountant;
-  if (accountant_ != nullptr && num_slots_ > 0) {
-    accountant_->Charge(num_slots_ * RowBytes());
+  if (accountant_ != nullptr && delta_slots > 0) {
+    accountant_->Charge(delta_slots * RowBytes());
   }
 }
 
@@ -86,6 +90,12 @@ bool Relation::Insert(Row row) {
   const bool counting = counters_ != nullptr && counters_->active;
   if (counting) {
     counters_->attempts.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Base dedup by binary search (the row-set below covers only the delta
+  // layer — populating it with the whole base would decode every page).
+  if (base_ != nullptr) {
+    uint64_t idx = base_->Find(row.data(), row.size());
+    if (idx < base_->rows() && !dead_[idx]) return false;
   }
   // Tentatively append so the row-set functors (which hash by slot) can
   // see the candidate row; roll back on duplicate.
@@ -142,8 +152,9 @@ const Index& Relation::GetIndex(const ColumnList& columns) const {
 }
 
 void Relation::Clear() {
-  if (accountant_ != nullptr && num_slots_ > 0) {
-    accountant_->Release(num_slots_ * RowBytes());
+  const size_t delta_slots = num_slots_ - base_slots_;
+  if (accountant_ != nullptr && delta_slots > 0) {
+    accountant_->Release(delta_slots * RowBytes());
   }
   if (num_slots_ > 0) ++mutation_epoch_;
   data_.clear();
@@ -152,6 +163,9 @@ void Relation::Clear() {
   num_slots_ = 0;
   row_set_.clear();
   indexes_.clear();
+  base_.reset();
+  base_slots_ = 0;
+  base_dead_ = 0;
 }
 
 size_t Relation::InsertAll(const Relation& other) {
@@ -191,8 +205,9 @@ size_t Relation::EraseRows(const Relation& to_remove) {
       found = true;
     });
     if (found) {
-      row_set_.erase(victim);
+      row_set_.erase(victim);  // no-op for base slots (delta-only set)
       dead_[victim] = true;
+      if (victim < base_slots_) ++base_dead_;
       --num_rows_;
       ++removed;
     }
@@ -206,6 +221,10 @@ size_t Relation::EraseRows(const Relation& to_remove) {
 
 void Relation::TruncateToSlots(size_t slots) {
   SEPREC_CHECK(slots <= num_slots_);
+  // Truncation can only shed delta rows; a base segment is not an append
+  // and cannot be rolled back (AttachBaseSegment bumps erase_epoch_ so
+  // checkpoints spanning an attach refuse rollback before reaching here).
+  SEPREC_CHECK(slots >= base_slots_);
   if (slots == num_slots_) return;
   // Unregister the dropped slots while their data is still addressable
   // (the row-set hashes by slot id into data_).
@@ -216,12 +235,112 @@ void Relation::TruncateToSlots(size_t slots) {
     }
   }
   size_t removed = num_slots_ - slots;
-  data_.resize(slots * arity_);
+  data_.resize((slots - base_slots_) * arity_);
   dead_.resize(slots);
   num_slots_ = slots;
   // Indexes hold stale slot ids; drop them and rebuild lazily.
   indexes_.clear();
   if (accountant_ != nullptr) accountant_->Release(removed * RowBytes());
+}
+
+Row Relation::BaseRow(size_t slot) const {
+  return Row(base_->row(slot), arity_);
+}
+
+void Relation::AttachBaseSegment(
+    std::shared_ptr<const RelationSegment> base) {
+  SEPREC_CHECK(base != nullptr);
+  SEPREC_CHECK(num_slots_ == 0);
+  SEPREC_CHECK(arity_ > 0);
+  SEPREC_CHECK(base->arity() == arity_);
+  base_ = std::move(base);
+  base_slots_ = static_cast<size_t>(base_->rows());
+  base_dead_ = 0;
+  num_slots_ = base_slots_;
+  num_rows_ = base_slots_;
+  dead_.assign(base_slots_, false);
+  indexes_.clear();
+  if (base_slots_ > 0) {
+    ++mutation_epoch_;
+    ++erase_epoch_;  // checkpoints from before the attach must not roll back
+  }
+  // No accountant charge — see the header comment on AttachBaseSegment.
+}
+
+namespace {
+
+// Canonical raw-bits lexicographic order over two rows of one relation.
+bool RowBitsLess(Row a, Row b) {
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].bits() != b[i].bits()) return a[i].bits() < b[i].bits();
+  }
+  return false;
+}
+
+// a's leading key.size() columns < key, raw-bits order.
+bool PrefixBitsLess(Row a, Row key) {
+  for (size_t i = 0; i < key.size(); ++i) {
+    if (a[i].bits() != key[i].bits()) return a[i].bits() < key[i].bits();
+  }
+  return false;
+}
+
+}  // namespace
+
+OrderedCursor::OrderedCursor(const Relation* rel) : rel_(rel) {
+  const size_t base = rel_->base_slots();
+  delta_.reserve(rel_->slots() - base);
+  for (size_t slot = base; slot < rel_->slots(); ++slot) {
+    if (rel_->IsLive(slot)) delta_.push_back(static_cast<uint32_t>(slot));
+  }
+  std::sort(delta_.begin(), delta_.end(), [rel](uint32_t a, uint32_t b) {
+    return RowBitsLess(rel->row(a), rel->row(b));
+  });
+  Settle();
+}
+
+void OrderedCursor::Settle() {
+  const uint64_t base_rows = rel_->base_slots();
+  while (base_idx_ < base_rows &&
+         !rel_->IsLive(static_cast<size_t>(base_idx_))) {
+    ++base_idx_;
+  }
+  const bool have_base = base_idx_ < base_rows;
+  const bool have_delta = delta_idx_ < delta_.size();
+  at_end_ = !have_base && !have_delta;
+  if (at_end_) return;
+  if (!have_delta) {
+    on_base_ = true;
+  } else if (!have_base) {
+    on_base_ = false;
+  } else {
+    // Never equal: a live delta row never duplicates a live base row
+    // (Insert checks the base first), so the comparison is strict.
+    on_base_ = RowBitsLess(rel_->row(static_cast<size_t>(base_idx_)),
+                           rel_->row(delta_[delta_idx_]));
+  }
+}
+
+void OrderedCursor::Next() {
+  SEPREC_DCHECK(!at_end_);
+  if (on_base_) {
+    ++base_idx_;
+  } else {
+    ++delta_idx_;
+  }
+  Settle();
+}
+
+void OrderedCursor::SeekGE(Row key) {
+  const RelationSegment* seg = rel_->base_segment().get();
+  base_idx_ = seg != nullptr ? seg->LowerBound(key.data(), key.size()) : 0;
+  delta_idx_ = static_cast<size_t>(
+      std::lower_bound(delta_.begin(), delta_.end(), key,
+                       [this](uint32_t slot, Row k) {
+                         return PrefixBitsLess(rel_->row(slot), k);
+                       }) -
+      delta_.begin());
+  Settle();
 }
 
 ShardedSink::ShardedSink(size_t arity, size_t num_shards) : arity_(arity) {

@@ -43,6 +43,7 @@ using Row = std::span<const Value>;
 using ColumnList = std::vector<uint32_t>;
 
 class Relation;
+class RelationSegment;
 
 // Byte-level accounting of relation storage. A Database shares one
 // accountant across all of its relations (and the engines attach it to
@@ -175,10 +176,15 @@ class Relation {
   bool Contains(Row row) const;
 
   // Slot access; callers iterating [0, slots()) must skip dead slots (see
-  // ForEachRow).
+  // ForEachRow). With a base segment attached, slots [0, base_slots())
+  // resolve into the segment (decoding its page on first touch) and the
+  // delta rows occupy slots from base_slots() up.
   Row row(size_t slot) const {
     SEPREC_DCHECK(slot < num_slots_);
-    return Row(data_.data() + slot * arity_, arity_);
+    if (slot >= base_slots_) {
+      return Row(data_.data() + (slot - base_slots_) * arity_, arity_);
+    }
+    return BaseRow(slot);
   }
 
   // Invokes fn(Row) for every live row, in insertion order.
@@ -215,11 +221,46 @@ class Relation {
   // dropped (rebuilt lazily). `slots` must not exceed slots().
   void TruncateToSlots(size_t slots);
 
+  // Seats an immutable, mmap-backed segment as this relation's base
+  // extent. The relation must be empty (slots() == 0) and of matching
+  // non-zero arity. Base rows occupy slots [0, base->rows()) in the
+  // segment's canonical sorted order; later Inserts land in an in-memory
+  // delta layer above them, and EraseRows tombstones base slots like any
+  // other. The base is deliberately NOT charged to the accountant: its
+  // bytes are file-backed page cache, not query heap, so only the delta
+  // counts against ExecutionLimits::max_bytes. Bumps mutation_epoch_ and
+  // erase_epoch_ (a checkpoint from before the attach must refuse
+  // rollback — truncation cannot detach a base).
+  void AttachBaseSegment(std::shared_ptr<const RelationSegment> base);
+
+  // The attached base segment, or nullptr. Shared so compaction can hand
+  // the same segment to diagnostics while the relation still serves it.
+  const std::shared_ptr<const RelationSegment>& base_segment() const {
+    return base_;
+  }
+  // Number of slots served by the base segment (0 without one).
+  size_t base_slots() const { return base_slots_; }
+  // Tombstoned base slots — compaction triggers when this is non-zero.
+  size_t base_dead() const { return base_dead_; }
+  // Live rows held by the in-memory delta layer (all rows without a base).
+  size_t delta_rows() const {
+    return num_rows_ - (base_slots_ - base_dead_);
+  }
+
+  // Invokes fn(Row) for every live row in canonical (raw Value bits,
+  // lexicographic) order — the order segments are stored in and ShardedSink
+  // merges in. Single-threaded with respect to mutators, like ForEachRow.
+  template <typename Fn>
+  void ForEachRowOrdered(Fn&& fn) const;
+
   // One line per row, rows sorted, for tests and diagnostics.
   std::string DebugString(const SymbolTable& symbols) const;
 
  private:
   friend class Index;
+
+  // Out-of-line so this header needs only a RelationSegment declaration.
+  Row BaseRow(size_t slot) const;
 
   struct RowIdHash {
     const Relation* rel;
@@ -262,7 +303,51 @@ class Relation {
   mutable std::mutex index_mu_;
   MemoryAccountant* accountant_ = nullptr;  // not owned; may be null
   StorageCounters* counters_ = nullptr;     // not owned; may be null
+
+  // Mmap-backed base extent (see AttachBaseSegment); null for relations
+  // living entirely on the heap.
+  std::shared_ptr<const RelationSegment> base_;
+  size_t base_slots_ = 0;  // rows served by base_, == base_->rows()
+  size_t base_dead_ = 0;   // tombstoned base slots
 };
+
+// Merged in-order iteration over a relation's base segment and delta
+// layer: yields live rows in canonical raw-bits order, the foundation of
+// ordered range scans and the merge-join operator. Construction sorts the
+// live delta slots (cheap — the delta is small between compactions); the
+// base side streams straight out of the segment. Valid only while no
+// mutator runs, like every other reader.
+class OrderedCursor {
+ public:
+  explicit OrderedCursor(const Relation* rel);
+
+  bool AtEnd() const { return at_end_; }
+  Row Current() const {
+    SEPREC_DCHECK(!at_end_);
+    return rel_->row(on_base_ ? static_cast<size_t>(base_idx_)
+                              : delta_[delta_idx_]);
+  }
+  void Next();
+
+  // Positions the cursor at the first live row whose key.size() leading
+  // columns are >= `key` under raw-bits order (AtEnd when none is).
+  void SeekGE(Row key);
+
+ private:
+  void Settle();
+
+  const Relation* rel_;
+  uint64_t base_idx_ = 0;  // next base slot to consider
+  std::vector<uint32_t> delta_;  // live delta slots, canonical order
+  size_t delta_idx_ = 0;
+  bool on_base_ = false;
+  bool at_end_ = false;
+};
+
+template <typename Fn>
+void Relation::ForEachRowOrdered(Fn&& fn) const {
+  for (OrderedCursor c(this); !c.AtEnd(); c.Next()) fn(c.Current());
+}
 
 // ShardedSink: the concurrent-insert staging area the parallel engines
 // emit into. Rows are deduplicated into S shards, each an independent

@@ -1,0 +1,69 @@
+#include "storage/segment/paged_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "util/string_util.h"
+
+namespace seprec {
+
+StatusOr<std::shared_ptr<PagedFileReader>> PagedFileReader::Open(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return NotFoundError(
+        StrCat("cannot open '", path, "' (errno ", errno, ")"));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return InternalError(
+        StrCat("cannot stat '", path, "' (errno ", errno, ")"));
+  }
+  if (st.st_size <= 0) {
+    ::close(fd);
+    return InvalidArgumentError(StrCat("'", path, "' is empty"));
+  }
+  auto reader = std::shared_ptr<PagedFileReader>(new PagedFileReader());
+  reader->path_ = path;
+  reader->size_ = static_cast<uint64_t>(st.st_size);
+
+  void* map = ::mmap(nullptr, reader->size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (map != MAP_FAILED) {
+    reader->data_ = static_cast<const uint8_t*>(map);
+    reader->mmapped_ = true;
+    ::close(fd);  // the mapping keeps the file alive
+    return reader;
+  }
+
+  // Heap fallback: read the whole file. Loses the larger-than-RAM
+  // property but keeps every code path working.
+  reader->heap_.resize(reader->size_);
+  uint64_t off = 0;
+  while (off < reader->size_) {
+    ssize_t n = ::pread(fd, reader->heap_.data() + off, reader->size_ - off,
+                        static_cast<off_t>(off));
+    if (n <= 0) {
+      ::close(fd);
+      return InternalError(
+          StrCat("short read of '", path, "' (errno ", errno, ")"));
+    }
+    off += static_cast<uint64_t>(n);
+  }
+  ::close(fd);
+  reader->data_ = reader->heap_.data();
+  reader->mmapped_ = false;
+  return reader;
+}
+
+PagedFileReader::~PagedFileReader() {
+  if (mmapped_ && data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+}
+
+}  // namespace seprec

@@ -1,0 +1,51 @@
+// PagedFileReader: read-only, memory-mappable access to a segment file.
+//
+// Snapshot-v3 files are served through one of these: the whole file is
+// mapped PROT_READ (falling back to a heap read when mmap is unavailable,
+// e.g. on filesystems that refuse it), so loading a snapshot costs page
+// faults instead of parsing, and the resident set is whatever the OS
+// keeps cached — the "larger than RAM" property of `serve --data-dir`.
+// The reader is immutable and shared: every RelationSegment carved out of
+// the file holds a shared_ptr, so the mapping outlives the relations that
+// reference it regardless of drop/clear order.
+#ifndef SEPREC_STORAGE_SEGMENT_PAGED_FILE_H_
+#define SEPREC_STORAGE_SEGMENT_PAGED_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace seprec {
+
+class PagedFileReader {
+ public:
+  // Opens and maps `path` read-only. The file must be non-empty.
+  static StatusOr<std::shared_ptr<PagedFileReader>> Open(
+      const std::string& path);
+
+  ~PagedFileReader();
+  PagedFileReader(const PagedFileReader&) = delete;
+  PagedFileReader& operator=(const PagedFileReader&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  uint64_t size() const { return size_; }
+  // True when the file is served by mmap (false on the heap fallback).
+  bool mmapped() const { return mmapped_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  PagedFileReader() = default;
+
+  std::string path_;
+  const uint8_t* data_ = nullptr;
+  uint64_t size_ = 0;
+  bool mmapped_ = false;
+  std::vector<uint8_t> heap_;  // fallback storage when !mmapped_
+};
+
+}  // namespace seprec
+
+#endif  // SEPREC_STORAGE_SEGMENT_PAGED_FILE_H_

@@ -1,0 +1,62 @@
+// LEB128 varint codec for the segment page format.
+//
+// Segment pages store Value bits (and aggregated counts) as unsigned
+// LEB128 varints: 7 payload bits per byte, continuation in the high bit.
+// Delta-compressed rows encode strictly positive deltas, so sorted runs of
+// nearby values (sequential ints, clustered symbol ids) shrink to one or
+// two bytes each — the property the compression-ratio gate in
+// bench/micro_segment measures.
+#ifndef SEPREC_STORAGE_SEGMENT_VARINT_H_
+#define SEPREC_STORAGE_SEGMENT_VARINT_H_
+
+#include <cstdint>
+#include <cstddef>
+
+namespace seprec {
+
+// Largest encoded size of a uint64 (ceil(64 / 7) bytes).
+inline constexpr size_t kMaxVarintBytes = 10;
+
+// Appends the encoding of `v` at `out`, returning one past the last byte
+// written. `out` must have room for kMaxVarintBytes.
+inline uint8_t* EncodeVarint(uint8_t* out, uint64_t v) {
+  while (v >= 0x80) {
+    *out++ = static_cast<uint8_t>(v) | 0x80;
+    v >>= 7;
+  }
+  *out++ = static_cast<uint8_t>(v);
+  return out;
+}
+
+// Number of bytes EncodeVarint will write for `v`.
+inline size_t VarintSize(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+// Decodes one varint from [p, end). Returns one past the last byte read
+// and stores the value in *v; returns nullptr on truncation or a value
+// wider than 64 bits (corrupt input).
+inline const uint8_t* DecodeVarint(const uint8_t* p, const uint8_t* end,
+                                   uint64_t* v) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (p < end && shift < 64) {
+    uint8_t byte = *p++;
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return p;
+    }
+    shift += 7;
+  }
+  return nullptr;
+}
+
+}  // namespace seprec
+
+#endif  // SEPREC_STORAGE_SEGMENT_VARINT_H_

@@ -2,12 +2,14 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <set>
 #include <vector>
 
+#include "storage/segment/snapshot_v3.h"
 #include "storage/wal.h"
 #include "util/crc32c.h"
 #include "util/failpoint.h"
@@ -291,8 +293,19 @@ Status LoadSnapshot(Database* db, std::istream& in) {
 }
 
 Status LoadSnapshotFile(Database* db, const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::in | std::ios::binary);
   if (!in) return NotFoundError(StrCat("cannot open '", path, "'"));
+  // Sniff the 8-byte v3 magic; text snapshots start "seprec-s" which
+  // differs in the last two bytes. v3 files are served mmap-backed.
+  char magic[8] = {0};
+  in.read(magic, sizeof(magic));
+  if (in.gcount() == sizeof(magic) &&
+      std::memcmp(magic, kSnapshotV3Magic, sizeof(magic)) == 0) {
+    in.close();
+    return LoadSnapshotV3File(db, path);
+  }
+  in.clear();
+  in.seekg(0);
   return LoadSnapshot(db, in);
 }
 

@@ -47,6 +47,11 @@ class Value {
 
   uint64_t bits() const { return bits_; }
 
+  // Reconstructs a Value from its raw bit pattern, the inverse of bits().
+  // For deserialisation paths (segment page decode, which stores rows as
+  // raw bits) — `bits` must have come from a Value's bits().
+  static Value FromBits(uint64_t bits) { return Value(bits); }
+
   friend bool operator==(Value a, Value b) { return a.bits_ == b.bits_; }
   friend bool operator!=(Value a, Value b) { return a.bits_ != b.bits_; }
   // Total order: all symbols (by id) precede all ints; ints by numeric value.

@@ -22,6 +22,7 @@ BENCHES=(
   micro_dred
   micro_opt
   micro_plan
+  micro_segment
   micro_server
   micro_wal
   tab_ablation

@@ -136,7 +136,8 @@ int Usage() {
                "[--strategy S] [--stats]\n"
                "                  [--timeout-ms N] [--max-tuples N] "
                "[--max-bytes N] [--threads N]\n"
-               "                  [--trace FILE] [--no-cbo]\n"
+               "                  [--trace FILE] [--no-cbo] "
+               "[--no-segments]\n"
                "       seprec_cli check <program.dl>\n"
                "       seprec_cli explain <program.dl> \"<query>\"\n"
                "       seprec_cli why <program.dl> \"<fact>\" "
@@ -153,7 +154,7 @@ int Usage() {
                "[--data-dir DIR]\n"
                "                  [--fsync always|batch|off] "
                "[--recover strict|tolerant]\n"
-               "                  [--checkpoint-bytes N]\n"
+               "                  [--checkpoint-bytes N] [--no-segments]\n"
                "       seprec_cli client <socket> <program.dl> "
                "[--query \"<atom>\"] [--strategy S]\n"
                "                  [--no-cache] [--stats] [--timeout-ms N] "
@@ -249,6 +250,12 @@ StatusOr<CommonFlags> ParseFlags(int argc, char** argv, int first) {
       // Ablation: keep each rule body's textual atom order instead of the
       // cost-based join order (compare with bench/micro_plan.cc).
       flags.options.no_cbo = true;
+      continue;
+    }
+    if (arg == "--no-segments") {
+      // Ablation: pure hash-join pipeline, never a merge join over
+      // segment-backed relations (compare with bench/micro_segment.cc).
+      flags.options.no_segments = true;
       continue;
     }
     if (arg == "--data" && i + 1 < argc) {
@@ -474,8 +481,9 @@ int LintCommand(const std::string& path, int argc, char** argv, int first) {
 // warning-or-worse, 2 usage/IO error.
 // One line per planned rule, stable across runs for the same program and
 // data — the CI plan-golden step diffs this output against committed
-// dumps. Text: "  mode=cbo cost=42 est_rows=3 order=[1,0] rule: ...".
-// JSON: one object per line (easy to collect as a workflow artifact).
+// dumps. Text: "  mode=cbo algo=hash cost=42 est_rows=3 order=[1,0]
+// stats=[edge=exact] rule: ...". JSON: one object per line (easy to
+// collect as a workflow artifact).
 std::string RenderPlanNotes(const Atom& query,
                             const std::vector<PlanNote>& plans,
                             const std::string& format) {
@@ -486,17 +494,20 @@ std::string RenderPlanNotes(const Atom& query,
   for (const PlanNote& pn : plans) {
     char cost[32];
     std::snprintf(cost, sizeof(cost), "%.6g", pn.cost);
+    const std::string& algo = pn.algo.empty() ? "hash" : pn.algo;
     if (format == "json") {
       out += StrCat("{\"query\":\"", json::Escape(query.ToString()),
                     "\",\"rule\":\"", json::Escape(pn.rule),
                     "\",\"mode\":\"", json::Escape(pn.mode),
+                    "\",\"algo\":\"", json::Escape(algo),
                     "\",\"order\":\"", json::Escape(pn.order),
+                    "\",\"stats\":\"", json::Escape(pn.stats),
                     "\",\"cost\":", cost,
                     ",\"est_rows\":", pn.est_rows, "}\n");
     } else {
-      out += StrCat("  mode=", pn.mode, " cost=", cost,
+      out += StrCat("  mode=", pn.mode, " algo=", algo, " cost=", cost,
                     " est_rows=", pn.est_rows, " order=[", pn.order,
-                    "] rule: ", pn.rule, "\n");
+                    "] stats=[", pn.stats, "] rule: ", pn.rule, "\n");
     }
   }
   return out;
@@ -721,6 +732,12 @@ int ServeCommand(const std::string& socket_path, int argc, char** argv,
       StatusOr<int64_t> v = ParseCount(arg, argv[++i]);
       if (!v.ok()) return Fail(v.status().ToString());
       durability.checkpoint_bytes = static_cast<uint64_t>(*v);
+      continue;
+    }
+    if (arg == "--no-segments") {
+      // Ablation: checkpoints write the text v2 snapshot format (no
+      // mmap-served segments) and no query compiles a merge join.
+      durability.use_segments = false;
       continue;
     }
     return Fail(StrCat("unknown serve flag '", arg, "'"));

@@ -13,6 +13,7 @@ Usage:
       [--timeout-ms N] [--max-tuples N] [--max-bytes N]
       [--max-iterations N]
       [--load REL=FILE.tsv]... [--load-mode insert|delete]
+      [--checkpoint]
       [--subscribe [--expect-deltas N] [--delta-timeout SECONDS]]
 
 With --parallel N the same request is fired over N concurrent
@@ -23,6 +24,12 @@ With --load REL=FILE.tsv (repeatable) each file's rows are sent as one
 "load" op before anything else; --load-mode delete turns them into
 deletions. With --load alone (no --query/--subscribe) the tool exits
 after the loads.
+
+With --checkpoint a "checkpoint" op is sent after any --load ops (and
+before any query): the server snapshots the database, retires the WAL,
+and (in segment mode) re-bases every relation onto the fresh mmap-backed
+segment files. Prints "%% checkpoint ..." with the snapshot name. With
+--checkpoint alone (no --query/--subscribe) the tool exits after it.
 
 With --subscribe the query is registered as a server-side subscription:
 the baseline is printed as "%% subscribed S with N answer(s)" and every
@@ -94,6 +101,27 @@ def run_loads(sock_path, loads, mode):
                              % (relation, msg.get("changed", 0),
                                 msg.get("generation", 0)))
             sys.stdout.flush()
+    return 0
+
+
+def run_checkpoint(sock_path):
+    """Sends one checkpoint op and prints the snapshot it produced."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as s:
+        s.connect(sock_path)
+        f = s.makefile("rw", encoding="utf-8", newline="\n")
+        f.write(json.dumps({"op": "checkpoint", "id": 1}) + "\n")
+        f.flush()
+        msg = json.loads(f.readline())
+        if msg.get("ev") == "error":
+            sys.stderr.write("seprec_client: checkpoint: [%s] %s\n"
+                             % (msg.get("code", "?"),
+                                msg.get("message", "")))
+            return 1
+        sys.stdout.write(
+            "%% checkpoint %s generation=%d wal_bytes_truncated=%d\n"
+            % (msg.get("snapshot", "?"), msg.get("generation", 0),
+               msg.get("wal_bytes_truncated", 0)))
+        sys.stdout.flush()
     return 0
 
 
@@ -208,6 +236,9 @@ def main():
                     help="send a load op for FILE's rows before the query")
     ap.add_argument("--load-mode", default="insert",
                     choices=["insert", "delete"])
+    ap.add_argument("--checkpoint", action="store_true",
+                    help="send a checkpoint op after any loads (needs the "
+                         "server to run with --data-dir)")
     ap.add_argument("--subscribe", action="store_true",
                     help="register the query as a subscription and "
                          "stream its delta events")
@@ -243,6 +274,16 @@ def main():
             code = run_loads(args.socket, loads, args.load_mode)
         except OSError as e:
             sys.stderr.write("seprec_client: load failed: %s\n" % e)
+            return 1
+        if code or (not args.query and not args.subscribe
+                    and not args.checkpoint):
+            return code
+
+    if args.checkpoint:
+        try:
+            code = run_checkpoint(args.socket)
+        except OSError as e:
+            sys.stderr.write("seprec_client: checkpoint failed: %s\n" % e)
             return 1
         if code or (not args.query and not args.subscribe):
             return code

@@ -4,13 +4,16 @@
 Usage: tools/validate_trace.py trace.jsonl [--require-engine NAME]...
 
 Checks, per line: parses as a JSON object, carries the envelope fields
-(v in {1, 2, 3, 4}, monotonically increasing seq, non-decreasing numeric
-t, known ev), and carries exactly the fields its event kind requires with
-the right JSON types. The "pass" event (static-analysis pipeline verdicts)
-was added in schema v2, the "plan" event (cost-based join orders) in v3,
-and the "delta" and "subscription" events (incremental closure maintenance
-and server-side subscriptions) in v4; a line claiming an older version
-than its event's introduction is a violation. With --require-engine the file must additionally contain an
+(v in {1, 2, 3, 4, 5}, monotonically increasing seq, non-decreasing
+numeric t, known ev), and carries exactly the fields its event kind
+requires with the right JSON types. The "pass" event (static-analysis
+pipeline verdicts) was added in schema v2, the "plan" event (cost-based
+join orders) in v3, the "delta" and "subscription" events (incremental
+closure maintenance and server-side subscriptions) in v4, and the "algo"
+field on "plan" events (merge-join vs hash-join choice) in v5; a line
+claiming an older version than its event's introduction is a violation,
+as is a version-gated field appearing below (or missing at) its
+introduction version. With --require-engine the file must additionally contain an
 engine_start, an engine_finish, and at least one round_end for that engine
 (the CI smoke query uses this to prove the traced path actually ran).
 
@@ -51,10 +54,15 @@ EVENT_FIELDS = {
     "note": {"detail": str},
 }
 
-KNOWN_VERSIONS = (1, 2, 3, 4)
+KNOWN_VERSIONS = (1, 2, 3, 4, 5)
 
 # ev -> version that introduced it (events absent here are v1).
 MIN_VERSION = {"pass": 2, "plan": 3, "delta": 4, "subscription": 4}
+
+# ev -> {field: (introduced version, type)}: fields added to an existing
+# event by a later schema version. Required at or above that version,
+# forbidden below it.
+VERSIONED_FIELDS = {"plan": {"algo": (5, str)}}
 
 
 def check_fields(obj, spec, lineno, errors):
@@ -126,7 +134,14 @@ def main():
         if obj["v"] < MIN_VERSION.get(ev, 1):
             errors.append(f"line {lineno}: event '{ev}' requires schema "
                           f"v{MIN_VERSION[ev]} but line claims v{obj['v']}")
-        check_fields(obj, EVENT_FIELDS[ev], lineno, errors)
+        spec = dict(EVENT_FIELDS[ev])
+        for field, (since, ftype) in VERSIONED_FIELDS.get(ev, {}).items():
+            if obj["v"] >= since:
+                spec[field] = ftype
+            elif field in obj:
+                errors.append(f"line {lineno}: field '{field}' requires "
+                              f"schema v{since} but line claims v{obj['v']}")
+        check_fields(obj, spec, lineno, errors)
         engine = obj.get("engine")
         if isinstance(engine, str):
             marks = seen.setdefault(engine, set())

@@ -5,8 +5,9 @@ Each test materialises a trace file in a temp dir and runs
 validate_trace.main() with patched argv, asserting on the exit code. The
 versioning cases are the contract this suite pins down: v1 files stay
 valid (back-compat), v2 files may carry "pass" events, v3 files may carry
-"plan" events, v4 files may carry "delta" and "subscription" events, and a
-line claiming an event from a newer schema than its own version is a
+"plan" events, v4 files may carry "delta" and "subscription" events, v5
+"plan" events must carry "algo" (and earlier ones must not), and a line
+claiming an event or field from a newer schema than its own version is a
 violation.
 """
 
@@ -45,11 +46,15 @@ def pass_event(seq, v=2, name="bounded", verdict="rewritten"):
                 verdict=verdict, detail="t/2: bound 0")
 
 
-def plan_event(seq, v=3):
-    return dict(envelope(seq, "plan", v=v), engine="seminaive",
-                phase="compile/base",
-                rule="tc(X, Y) :- edge(X, W), tc(W, Y).", mode="cbo",
-                order="1,0", cost=12.5, est_rows=3)
+def plan_event(seq, v=3, **extra):
+    ev = dict(envelope(seq, "plan", v=v), engine="seminaive",
+              phase="compile/base",
+              rule="tc(X, Y) :- edge(X, W), tc(W, Y).", mode="cbo",
+              order="1,0", cost=12.5, est_rows=3)
+    if v >= 5 and "algo" not in extra:
+        extra = dict(extra, algo="hash")
+    ev.update(extra)
+    return ev
 
 
 def delta_event(seq, v=4):
@@ -117,8 +122,31 @@ class ValidateTraceTest(unittest.TestCase):
         self.assertEqual(self.run_validate(), 1)
 
     def test_unknown_version_rejected(self):
-        self.write_trace(engine_pair(v=5))
+        self.write_trace(engine_pair(v=6))
         self.assertEqual(self.run_validate(), 1)
+
+    def test_v5_plan_event_with_algo_valid(self):
+        events = [plan_event(0, v=5, algo="merge")] + \
+            engine_pair(v=5, seq0=1)
+        self.write_trace(events)
+        self.assertEqual(self.run_validate(), 0)
+
+    def test_v5_plan_event_missing_algo_rejected(self):
+        bad = plan_event(0, v=5)
+        del bad["algo"]
+        self.write_trace([bad] + engine_pair(v=5, seq0=1))
+        self.assertEqual(self.run_validate(), 1)
+
+    def test_v4_plan_event_with_algo_rejected(self):
+        events = [plan_event(0, v=4, algo="hash")] + \
+            engine_pair(v=4, seq0=1)
+        self.write_trace(events)
+        self.assertEqual(self.run_validate(), 1)
+
+    def test_v4_plan_event_without_algo_still_valid(self):
+        events = [plan_event(0, v=4)] + engine_pair(v=4, seq0=1)
+        self.write_trace(events)
+        self.assertEqual(self.run_validate(), 0)
 
     def test_v4_delta_and_subscription_events_valid(self):
         events = [delta_event(0), subscription_event(1)] + \
